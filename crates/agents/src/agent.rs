@@ -1,0 +1,83 @@
+//! The agent interface SOFT tests against.
+
+use crate::common::{AgentResult, Ctx};
+use soft_dataplane::Packet;
+use soft_sym::{CoverageUniverse, SymBuf};
+
+/// An OpenFlow agent under test.
+///
+/// Implementations must be *deterministic*: all data-dependent control flow
+/// goes through `ctx.branch`, all outputs through `ctx.emit`. The harness
+/// constructs a fresh instance per explored path.
+pub trait OpenFlowAgent {
+    /// Implementation name (used in reports and result files).
+    fn name(&self) -> &'static str;
+
+    /// The agent's instrumentation universe (for coverage accounting).
+    fn universe(&self) -> CoverageUniverse;
+
+    /// Connection-establishment work (runs after the Hello exchange, before
+    /// any test input). Covers the initialization code the paper measures
+    /// as the "No Message" baseline of Table 4.
+    fn on_connect(&mut self, ctx: &mut Ctx<'_>) -> AgentResult;
+
+    /// Process one OpenFlow control message.
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf) -> AgentResult;
+
+    /// Process one data-plane packet arriving on `in_port`.
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, pkt: &Packet) -> AgentResult;
+
+    /// Advance the agent's virtual clock to `now` (seconds since
+    /// connection setup), firing any due timers (flow expiry).
+    ///
+    /// This implements the paper's stated future work ("we plan to extend
+    /// our approach to deal with time, e.g., similarly to MODIST"): with a
+    /// virtual clock the engine *can* trigger timers, making the
+    /// timeout-dependent injected modification (M2) observable.
+    fn handle_time(&mut self, ctx: &mut Ctx<'_>, now: u16) -> AgentResult {
+        let _ = (ctx, now);
+        Ok(())
+    }
+}
+
+/// The agents this reproduction ships, mirroring the paper's evaluation
+/// subjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentKind {
+    /// The OpenFlow 1.0 reference switch model (55K LoC of C in the paper).
+    Reference,
+    /// The Open vSwitch 1.0.0 model (80K LoC of C in the paper).
+    OpenVSwitch,
+    /// The Reference Switch with 7 manually injected behaviour changes
+    /// (§5.1.1).
+    Modified,
+}
+
+impl AgentKind {
+    /// Instantiate a fresh agent of this kind.
+    pub fn make(self) -> Box<dyn OpenFlowAgent> {
+        match self {
+            AgentKind::Reference => Box::new(crate::reference::ReferenceSwitch::new()),
+            AgentKind::OpenVSwitch => Box::new(crate::ovs::OpenVSwitch::new()),
+            AgentKind::Modified => Box::new(crate::modified::modified_switch()),
+        }
+    }
+
+    /// Stable identifier used in result files.
+    pub fn id(self) -> &'static str {
+        match self {
+            AgentKind::Reference => "reference",
+            AgentKind::OpenVSwitch => "ovs",
+            AgentKind::Modified => "modified",
+        }
+    }
+
+    /// All agent kinds.
+    pub fn all() -> [AgentKind; 3] {
+        [
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            AgentKind::Modified,
+        ]
+    }
+}

@@ -1,0 +1,249 @@
+//! Plumbing shared by all agent models.
+//!
+//! Deliberately thin: SOFT exists to compare *independent implementations*,
+//! so validation logic, error propagation and action execution live in each
+//! agent. What is shared here is only what the wire format dictates
+//! (action-slot field offsets, error emission helpers) and the switch-state
+//! containers.
+
+use soft_openflow::layout;
+use soft_openflow::TraceEvent;
+use soft_smt::Term;
+use soft_sym::{ExecCtx, SymBuf};
+
+/// The execution context type all agents run under.
+pub type Ctx<'e> = ExecCtx<'e, TraceEvent>;
+
+/// Result type for agent entry points.
+pub type AgentResult = soft_sym::RunEnd;
+
+/// Accessor for one 8-byte action slot in an action list.
+#[derive(Debug, Clone)]
+pub struct ActionSlot {
+    buf: SymBuf,
+    off: usize,
+}
+
+impl ActionSlot {
+    /// Slot at byte offset `off` of `buf`.
+    pub fn at(buf: &SymBuf, off: usize) -> ActionSlot {
+        ActionSlot {
+            buf: buf.clone(),
+            off,
+        }
+    }
+
+    /// Action type (16-bit term).
+    pub fn atype(&self) -> Term {
+        self.buf.u16(self.off + layout::action::TYPE)
+    }
+
+    /// Declared action length (16-bit term).
+    pub fn alen(&self) -> Term {
+        self.buf.u16(self.off + layout::action::LEN)
+    }
+
+    /// Output action: port.
+    pub fn output_port(&self) -> Term {
+        self.buf.u16(self.off + layout::action::OUTPUT_PORT)
+    }
+
+    /// Output action: max_len (controller truncation).
+    pub fn output_max_len(&self) -> Term {
+        self.buf.u16(self.off + layout::action::OUTPUT_MAX_LEN)
+    }
+
+    /// VLAN vid argument.
+    pub fn vlan_vid(&self) -> Term {
+        self.buf.u16(self.off + layout::action::VLAN_VID)
+    }
+
+    /// VLAN pcp argument.
+    pub fn vlan_pcp(&self) -> Term {
+        self.buf.u8(self.off + layout::action::VLAN_PCP)
+    }
+
+    /// Ethernet address argument (set_dl_src / set_dl_dst). The 8-byte slot
+    /// carries only the first 4 address bytes; the agents read the full
+    /// 6-byte field only when the slot length permits, which our fixed
+    /// 8-byte geometry does not, so the low bytes read as the following
+    /// header — exactly the kind of aliasing the C structs exhibit. To stay
+    /// well-defined we use the 4 argument bytes zero-extended.
+    pub fn dl_addr(&self) -> Term {
+        self.buf.u32(self.off + layout::action::DL_ADDR).zext(48)
+    }
+
+    /// IPv4 address argument.
+    pub fn nw_addr(&self) -> Term {
+        self.buf.u32(self.off + layout::action::NW_ADDR)
+    }
+
+    /// ToS argument.
+    pub fn nw_tos(&self) -> Term {
+        self.buf.u8(self.off + layout::action::NW_TOS)
+    }
+
+    /// Transport-port argument.
+    pub fn tp_port(&self) -> Term {
+        self.buf.u16(self.off + layout::action::TP_PORT)
+    }
+}
+
+/// Switch configuration state (set by Set Config).
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Fragment-handling flags (16-bit term).
+    pub flags: Term,
+    /// Bytes of an unmatched packet forwarded to the controller.
+    pub miss_send_len: Term,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            flags: Term::bv_const(16, 0),
+            miss_send_len: Term::bv_const(
+                16,
+                soft_openflow::consts::DEFAULT_MISS_SEND_LEN as u64,
+            ),
+        }
+    }
+}
+
+/// Classify a probe whose framing bytes are symbolic, branching on the
+/// ethertype(s) the way the C agents' `flow_extract` does. Returns the
+/// packet re-framed for the chosen interpretation. Concrete-framed packets
+/// pass through without branching.
+pub fn classify_packet(
+    ctx: &mut Ctx<'_>,
+    pkt: &soft_dataplane::Packet,
+) -> Result<soft_dataplane::Packet, soft_sym::Stop> {
+    use soft_dataplane::packet::{ETH_TYPE_IP, ETH_TYPE_VLAN};
+    use soft_dataplane::Packet;
+    if !pkt.framing_symbolic() {
+        return Ok(pkt.clone());
+    }
+    ctx.cover("extract.entry");
+    let et = pkt.buf.u16(12);
+    if ctx.branch(
+        "extract.vlan",
+        &et.clone().eq(Term::bv_const(16, ETH_TYPE_VLAN as u64)),
+    )? {
+        ctx.cover("extract.vlan_tagged");
+        if pkt.buf.len() >= 18 {
+            let inner = pkt.buf.u16(16);
+            let ip_ok = pkt.buf.len() >= 18 + 24;
+            if ip_ok
+                && ctx.branch(
+                    "extract.vlan_ip",
+                    &inner.eq(Term::bv_const(16, ETH_TYPE_IP as u64)),
+                )?
+            {
+                ctx.cover("extract.vlan_ip");
+                return Ok(Packet::with_framing(pkt.buf.clone(), true, true, true));
+            }
+            return Ok(Packet::with_framing(pkt.buf.clone(), true, false, false));
+        }
+        return Ok(Packet::with_framing(pkt.buf.clone(), true, false, false));
+    }
+    let ip_ok = pkt.buf.len() >= 14 + 24;
+    if ip_ok
+        && ctx.branch(
+            "extract.ip",
+            &et.eq(Term::bv_const(16, ETH_TYPE_IP as u64)),
+        )?
+    {
+        ctx.cover("extract.ip");
+        return Ok(Packet::with_framing(pkt.buf.clone(), false, true, true));
+    }
+    ctx.cover("extract.other");
+    Ok(Packet::with_framing(pkt.buf.clone(), false, false, false))
+}
+
+/// Emit an OpenFlow error message event.
+pub fn emit_error(ctx: &mut Ctx<'_>, xid: Term, etype: u16, code: u16) {
+    ctx.emit(TraceEvent::Error {
+        xid,
+        etype: Term::bv_const(16, etype as u64),
+        code: Term::bv_const(16, code as u64),
+    });
+}
+
+/// Fork over the value of `len_term` in `0..=max`, returning the concrete
+/// prefix length. Models the per-byte forking a real engine performs when a
+/// `memcpy` length is symbolic (miss_send_len truncation, output max_len).
+pub fn fork_truncation(
+    ctx: &mut Ctx<'_>,
+    site: &'static str,
+    len_term: &Term,
+    max: usize,
+) -> Result<usize, soft_sym::Stop> {
+    debug_assert_eq!(len_term.width(), 16);
+    if let Some(v) = len_term.as_bv_const() {
+        return Ok((v as usize).min(max));
+    }
+    if ctx.branch(site, &len_term.clone().uge(Term::bv_const(16, max as u64)))? {
+        return Ok(max);
+    }
+    for n in 0..max {
+        if ctx.branch(site, &len_term.clone().eq(Term::bv_const(16, n as u64)))? {
+            return Ok(n);
+        }
+    }
+    // Unreachable: len < max and len != 0..max-1 is infeasible; the solver
+    // prunes the final false side, but keep a sound fallback.
+    Err(soft_sym::Stop::Abort("truncation fork exhausted".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_sym::{explore, ExplorerConfig};
+
+    #[test]
+    fn action_slot_field_offsets() {
+        let mut b = SymBuf::concrete(&[0; 16]);
+        b.set_u16(8, 0x0001); // type at slot offset 8
+        b.set_u16(10, 8); // len
+        b.set_u16(12, 0x0abc); // vid
+        let s = ActionSlot::at(&b, 8);
+        assert_eq!(s.atype().as_bv_const(), Some(1));
+        assert_eq!(s.alen().as_bv_const(), Some(8));
+        assert_eq!(s.vlan_vid().as_bv_const(), Some(0x0abc));
+    }
+
+    #[test]
+    fn fork_truncation_concrete_is_single_path() {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut Ctx<'_>| {
+            let n = fork_truncation(ctx, "t", &Term::bv_const(16, 100), 68)?;
+            assert_eq!(n, 68);
+            let n2 = fork_truncation(ctx, "t", &Term::bv_const(16, 5), 68)?;
+            assert_eq!(n2, 5);
+            Ok(())
+        });
+        assert_eq!(ex.stats.paths, 1);
+    }
+
+    #[test]
+    fn fork_truncation_symbolic_covers_all_lengths() {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut Ctx<'_>| {
+            let msl = Term::var("ftr.msl", 16);
+            let n = fork_truncation(ctx, "t", &msl, 4)?;
+            ctx.emit(TraceEvent::DataPlaneTx {
+                port: Term::bv_const(16, n as u64),
+                data: SymBuf::empty(),
+            });
+            Ok(())
+        });
+        // lengths 0,1,2,3 plus the >=4 class
+        let done: Vec<_> = ex.effective_paths().collect();
+        assert_eq!(done.len(), 5);
+    }
+
+    #[test]
+    fn default_config_matches_spec_defaults() {
+        let c = SwitchConfig::default();
+        assert_eq!(c.miss_send_len.as_bv_const(), Some(128));
+        assert_eq!(c.flags.as_bv_const(), Some(0));
+    }
+}

@@ -1,0 +1,24 @@
+//! # soft-agents — the OpenFlow agents under test
+//!
+//! Behavioural models of the paper's three evaluation subjects: the
+//! OpenFlow 1.0 Reference Switch, Open vSwitch 1.0.0, and the "Modified
+//! Switch" with seven injected behaviour changes (§5.1.1). Each agent is a
+//! deterministic program over the `soft-sym` execution context; all the
+//! §5.1.2 divergences — crashes, swallowed errors, strict-vs-masked field
+//! validation, max-port checks, validation ordering, missing features —
+//! are reproduced at the OpenFlow interface level.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+pub mod common;
+pub mod modified;
+pub mod ovs;
+pub mod reference;
+pub mod universe_data;
+
+pub use agent::{AgentKind, OpenFlowAgent};
+pub use common::Ctx;
+pub use ovs::OpenVSwitch;
+pub use reference::{Mutations, ReferenceSwitch};

@@ -1,0 +1,22 @@
+//! The "Modified Switch" of §5.1.1.
+//!
+//! Two team members injected seven behaviour changes into the Reference
+//! Switch; SOFT pinpointed five, missing the Hello-handshake change (the
+//! harness completes a correct handshake before testing begins) and the
+//! timeout-driven change (the engine cannot trigger timers). The
+//! modifications themselves live in [`crate::reference::Mutations`]; this
+//! module just instantiates the reference model with all of them enabled.
+
+use crate::reference::{Mutations, ReferenceSwitch};
+
+/// The reference switch with all seven §5.1.1 modifications enabled.
+pub fn modified_switch() -> ReferenceSwitch {
+    ReferenceSwitch::with_mutations(Mutations::all_injected())
+}
+
+/// How many of the injected modifications SOFT can observe at the OpenFlow
+/// interface (used by the `injected_faults` example and its tests).
+pub const DETECTABLE_MUTATIONS: usize = 5;
+
+/// Total number of injected modifications.
+pub const TOTAL_MUTATIONS: usize = 7;

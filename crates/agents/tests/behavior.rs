@@ -1,0 +1,448 @@
+//! Behavioural unit tests for the agent models, driven through the
+//! symbolic engine with *concrete* inputs (single-path explorations), plus
+//! instrumentation-consistency checks.
+
+use soft_agents::{AgentKind, Mutations, OpenFlowAgent, ReferenceSwitch};
+use soft_dataplane::{tcp_probe, Packet, ProbeSpec};
+use soft_openflow::builder::{self, ActionSpec, FlowModSpec};
+use soft_openflow::consts::{bad_action, bad_request, error_type, msg_type, port as ofpp};
+use soft_openflow::TraceEvent;
+use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
+
+/// Run one agent on a concrete message sequence; returns (events, crashed).
+fn run_concrete(kind: AgentKind, msgs: Vec<SymBuf>, probe: bool) -> (Vec<TraceEvent>, bool) {
+    let ex = explore(&ExplorerConfig::default(), |ctx| {
+        let mut a = kind.make();
+        a.on_connect(ctx)?;
+        for m in &msgs {
+            a.handle_message(ctx, m)?;
+        }
+        if probe {
+            a.handle_packet(ctx, 1, &tcp_probe())?;
+        }
+        Ok(())
+    });
+    assert_eq!(ex.stats.paths, 1, "concrete input must be single-path");
+    let p = &ex.paths[0];
+    let crashed = matches!(p.outcome, PathOutcome::Crashed(_));
+    (p.trace.clone(), crashed)
+}
+
+fn packet_out_with(actions: &[ActionSpec]) -> SymBuf {
+    let payload = tcp_probe().buf.as_concrete().unwrap();
+    let mut m = builder::packet_out("c0", actions, &payload);
+    // Concretize the remaining symbolic fields: unbuffered, in_port 1.
+    m.set_u32(8, soft_openflow::consts::NO_BUFFER);
+    m.set_u16(12, 1);
+    // Concretize any leftover symbolic action argument bytes to zero.
+    for i in 0..m.len() {
+        if m.u8(i).as_bv_const().is_none() {
+            m.set_u8(i, 0);
+        }
+    }
+    m
+}
+
+fn first_error(events: &[TraceEvent]) -> Option<(u64, u64)> {
+    events.iter().find_map(|e| match e {
+        TraceEvent::Error { etype, code, .. } => {
+            Some((etype.as_bv_const().unwrap(), code.as_bv_const().unwrap()))
+        }
+        _ => None,
+    })
+}
+
+// ------------------------------------------------------------ crashes
+
+#[test]
+fn reference_crashes_on_packet_out_to_controller() {
+    let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+    m.set_u16(20, ofpp::OFPP_CONTROLLER); // action 0 port
+    let (_, crashed) = run_concrete(AgentKind::Reference, vec![m.clone()], false);
+    assert!(crashed, "reference must crash");
+    let (ev, crashed) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
+    assert!(!crashed, "ovs must survive");
+    assert!(ev.iter().any(|e| matches!(e, TraceEvent::PacketIn { .. })));
+}
+
+#[test]
+fn reference_crashes_on_set_vlan_in_packet_out() {
+    let m = packet_out_with(&[ActionSpec::SetVlanVid(5), ActionSpec::Output(2)]);
+    let (_, crashed) = run_concrete(AgentKind::Reference, vec![m.clone()], false);
+    assert!(crashed);
+    let (ev, crashed) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
+    assert!(!crashed);
+    // OVS applies the vlan and forwards on port 2; the frame grew by the tag.
+    let tx = ev.iter().find_map(|e| match e {
+        TraceEvent::DataPlaneTx { port, data } => Some((port.as_bv_const().unwrap(), data.len())),
+        _ => None,
+    });
+    assert_eq!(tx, Some((2, 72)));
+}
+
+#[test]
+fn reference_survives_set_vlan_via_flow_mod_probe() {
+    // The crash is specific to the Packet Out execution path: the same
+    // action installed via Flow Mod and applied to a probe is fine.
+    let spec = FlowModSpec {
+        actions: vec![ActionSpec::SetVlanVid(0x1abc), ActionSpec::Output(3)],
+        command: Some(0),
+        buffer_id: Some(soft_openflow::consts::NO_BUFFER),
+        flags: Some(0),
+        match_mode: soft_openflow::builder::MatchMode::WildcardAll,
+        ..FlowModSpec::symbolic_default()
+    };
+    let m = builder::flow_mod("c1", &spec);
+    let (ev, crashed) = run_concrete(AgentKind::Reference, vec![m], true);
+    assert!(!crashed);
+    // Reference auto-masks the out-of-range vid to 12 bits.
+    let tx_data = ev.iter().find_map(|e| match e {
+        TraceEvent::DataPlaneTx { data, .. } => Some(data.clone()),
+        _ => None,
+    });
+    let data = tx_data.expect("probe must be forwarded");
+    let pkt = Packet::parse(&data).unwrap();
+    assert_eq!(pkt.dl_vlan().as_bv_const(), Some(0x0abc), "vid masked to 12 bits");
+}
+
+#[test]
+fn ovs_silently_drops_flow_mod_with_bad_vid() {
+    let spec = FlowModSpec {
+        actions: vec![ActionSpec::SetVlanVid(0x1abc), ActionSpec::Output(3)],
+        command: Some(0),
+        buffer_id: Some(soft_openflow::consts::NO_BUFFER),
+        flags: Some(0),
+        match_mode: soft_openflow::builder::MatchMode::WildcardAll,
+        ..FlowModSpec::symbolic_default()
+    };
+    let m = builder::flow_mod("c2", &spec);
+    let (ev, crashed) = run_concrete(AgentKind::OpenVSwitch, vec![m], true);
+    assert!(!crashed);
+    // No error, no install: the probe misses and goes to the controller.
+    assert!(first_error(&ev).is_none(), "silent drop means no error");
+    assert!(
+        ev.iter().any(|e| matches!(
+            e,
+            TraceEvent::PacketIn { reason, .. } if reason.as_bv_const() == Some(0)
+        )),
+        "probe must miss (NO_MATCH packet-in)"
+    );
+}
+
+#[test]
+fn ovs_silently_drops_bad_tos_and_pcp() {
+    for bad in [ActionSpec::SetNwTos(0x03), ActionSpec::SetVlanPcp(8)] {
+        let m = packet_out_with(&[bad, ActionSpec::Output(2)]);
+        let (ev, crashed) = run_concrete(AgentKind::OpenVSwitch, vec![m.clone()], false);
+        assert!(!crashed);
+        assert!(ev.is_empty(), "whole message silently ignored");
+        // Reference: masks and forwards (ToS) — pcp also masked.
+        let (ev, crashed) = run_concrete(AgentKind::Reference, vec![m], false);
+        assert!(!crashed);
+        assert!(
+            ev.iter().any(|e| matches!(e, TraceEvent::DataPlaneTx { .. })),
+            "reference forwards after masking"
+        );
+    }
+}
+
+// ----------------------------------------------------- port validation
+
+#[test]
+fn max_port_validation_differs() {
+    let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+    m.set_u16(20, 0xff80); // above OFPP_MAX, below the specials
+    let (ev, _) = run_concrete(AgentKind::Reference, vec![m.clone()], false);
+    assert!(
+        ev.iter().any(|e| matches!(
+            e,
+            TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(0xff80)
+        )),
+        "reference forwards to any non-special port"
+    );
+    let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
+    assert_eq!(
+        first_error(&ev),
+        Some((error_type::BAD_ACTION as u64, bad_action::BAD_OUT_PORT as u64)),
+        "ovs validates the maximum port"
+    );
+}
+
+#[test]
+fn normal_port_support_differs() {
+    let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+    m.set_u16(20, ofpp::OFPP_NORMAL);
+    let (ev, _) = run_concrete(AgentKind::Reference, vec![m.clone()], false);
+    assert_eq!(
+        first_error(&ev),
+        Some((error_type::BAD_ACTION as u64, bad_action::BAD_OUT_PORT as u64))
+    );
+    let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
+    assert!(ev.iter().any(|e| matches!(e, TraceEvent::NormalForward { .. })));
+}
+
+#[test]
+fn both_agents_flood_and_all() {
+    for special in [ofpp::OFPP_FLOOD, ofpp::OFPP_ALL] {
+        let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+        m.set_u16(20, special);
+        for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+            let (ev, crashed) = run_concrete(kind, vec![m.clone()], false);
+            assert!(!crashed);
+            assert!(
+                ev.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::Flood { exclude_ingress: true, .. }
+                )),
+                "{kind:?} floods excluding ingress for port {special:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn in_port_output_uses_message_in_port() {
+    let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+    m.set_u16(20, ofpp::OFPP_IN_PORT);
+    m.set_u16(12, 3); // in_port
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_concrete(kind, vec![m.clone()], false);
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(3)
+        )));
+    }
+}
+
+#[test]
+fn output_to_ingress_is_silently_skipped() {
+    let mut m = packet_out_with(&[ActionSpec::Output(1)]);
+    m.set_u16(12, 1); // in_port == out_port, not via OFPP_IN_PORT
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_concrete(kind, vec![m.clone()], false);
+        assert!(ev.is_empty(), "{kind:?} must skip tx back out the ingress");
+    }
+}
+
+// --------------------------------------------------------- buffer ids
+
+#[test]
+fn buffer_unknown_handling_differs() {
+    let mut m = packet_out_with(&[ActionSpec::Output(2)]);
+    m.set_u32(8, 7); // nonexistent buffer
+    let (ev, _) = run_concrete(AgentKind::Reference, vec![m.clone()], false);
+    assert!(ev.is_empty(), "reference swallows the buffer error");
+    let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
+    assert_eq!(
+        first_error(&ev),
+        Some((error_type::BAD_REQUEST as u64, bad_request::BUFFER_UNKNOWN as u64))
+    );
+}
+
+#[test]
+fn flow_mod_buffer_unknown_still_installs_in_both() {
+    let spec = FlowModSpec {
+        actions: vec![ActionSpec::Output(3)],
+        command: Some(0),
+        buffer_id: Some(42), // nonexistent
+        flags: Some(0),
+        match_mode: soft_openflow::builder::MatchMode::WildcardAll,
+        ..FlowModSpec::symbolic_default()
+    };
+    let m = builder::flow_mod("c3", &spec);
+    // Reference: no error; probe hits the installed flow.
+    let (ev, _) = run_concrete(AgentKind::Reference, vec![m.clone()], true);
+    assert!(first_error(&ev).is_none());
+    assert!(ev.iter().any(|e| matches!(
+        e, TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(3)
+    )));
+    // OVS: error AND installed flow.
+    let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], true);
+    assert_eq!(
+        first_error(&ev),
+        Some((error_type::BAD_REQUEST as u64, bad_request::BUFFER_UNKNOWN as u64))
+    );
+    assert!(ev.iter().any(|e| matches!(
+        e, TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(3)
+    )));
+}
+
+// ----------------------------------------------------------- messages
+
+#[test]
+fn echo_features_config_barrier_replies() {
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch, AgentKind::Modified] {
+        let (ev, crashed) = run_concrete(kind, builder::concrete_suite(9), false);
+        assert!(!crashed);
+        let kinds: Vec<u8> = ev
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::OfReply { msg_type, .. } => Some(*msg_type),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                msg_type::ECHO_REPLY,
+                msg_type::FEATURES_REPLY,
+                msg_type::GET_CONFIG_REPLY,
+                msg_type::BARRIER_REPLY
+            ],
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn set_config_changes_reported_config() {
+    let mut sc = builder::set_config("c4");
+    sc.set_u16(8, 1); // frag drop
+    sc.set_u16(10, 10); // miss_send_len 10
+    let get = builder::concrete_header_only(msg_type::GET_CONFIG_REQUEST, 5);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_concrete(kind, vec![sc.clone(), get.clone()], false);
+        let reply = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::OfReply { msg_type: 8, fields, .. } => Some(fields.clone()),
+                _ => None,
+            })
+            .expect("get-config reply");
+        let msl = reply
+            .iter()
+            .find(|(n, _)| *n == "miss_send_len")
+            .map(|(_, t)| t.as_bv_const().unwrap());
+        assert_eq!(msl, Some(10));
+    }
+}
+
+#[test]
+fn set_config_truncates_packet_in_data() {
+    let mut sc = builder::set_config("c5");
+    sc.set_u16(8, 0);
+    sc.set_u16(10, 10);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_concrete(kind, vec![sc.clone()], true);
+        let data_len = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::PacketIn { data, .. } => Some(data.len()),
+                _ => None,
+            })
+            .expect("probe must go to the controller");
+        assert_eq!(data_len, 10, "{kind:?} must truncate to miss_send_len");
+    }
+}
+
+#[test]
+fn bad_version_rejected() {
+    let mut m = builder::concrete_header_only(msg_type::ECHO_REQUEST, 1);
+    m.set_u8(0, 9); // bogus version
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_concrete(kind, vec![m.clone()], false);
+        assert_eq!(
+            first_error(&ev),
+            Some((error_type::BAD_REQUEST as u64, bad_request::BAD_VERSION as u64))
+        );
+    }
+}
+
+#[test]
+fn unknown_message_type_rejected() {
+    let mut m = builder::concrete_header_only(42, 1);
+    m.set_u8(1, 42);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_concrete(kind, vec![m.clone()], false);
+        assert_eq!(
+            first_error(&ev),
+            Some((error_type::BAD_REQUEST as u64, bad_request::BAD_TYPE as u64))
+        );
+    }
+}
+
+// ----------------------------------------------------------- mutations
+
+#[test]
+fn modified_switch_mutation_effects() {
+    // M3: flood includes ingress.
+    let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+    m.set_u16(20, ofpp::OFPP_FLOOD);
+    let (ev, _) = run_concrete(AgentKind::Modified, vec![m], false);
+    assert!(ev.iter().any(|e| matches!(
+        e,
+        TraceEvent::Flood { exclude_ingress: false, .. }
+    )));
+
+    // M4: ports above 1024 rejected.
+    let mut m = packet_out_with(&[ActionSpec::Output(0)]);
+    m.set_u16(20, 2000);
+    let (ev, _) = run_concrete(AgentKind::Modified, vec![m], false);
+    assert_eq!(
+        first_error(&ev),
+        Some((error_type::BAD_ACTION as u64, bad_action::BAD_OUT_PORT as u64))
+    );
+
+    // M5: unknown action type reported as BAD_LEN.
+    let mut m = packet_out_with(&[ActionSpec::Output(2)]);
+    m.set_u16(16, 0x00ee); // unknown action type
+    let (ev, _) = run_concrete(AgentKind::Modified, vec![m], false);
+    assert_eq!(
+        first_error(&ev),
+        Some((error_type::BAD_ACTION as u64, bad_action::BAD_LEN as u64))
+    );
+}
+
+#[test]
+fn mutations_default_to_off() {
+    let plain = ReferenceSwitch::new();
+    assert_eq!(plain.name(), "Reference Switch");
+    let modified = ReferenceSwitch::with_mutations(Mutations::all_injected());
+    assert_eq!(modified.name(), "Modified Switch");
+}
+
+// ------------------------------------------------------ instrumentation
+
+#[test]
+fn universes_cover_all_labels() {
+    // Every label any exploration covers must be declared in the agent's
+    // universe — catches typos and a stale `universe_data.rs`.
+    let payload = tcp_probe().buf.as_concrete().unwrap();
+    let msgs = vec![
+        builder::packet_out("u0", &[ActionSpec::Symbolic, ActionSpec::SymbolicOutput], &payload),
+        builder::flow_mod("u1", &FlowModSpec::symbolic_default()),
+        builder::stats_request("u2"),
+        builder::set_config("u3"),
+        builder::queue_config_request("u4"),
+        builder::short_symbolic("u5"),
+    ];
+    // One exploration per message: exploring the whole sequence at once
+    // would multiply the per-message path counts into an intractable
+    // product. Coverage, not path enumeration, is the point here.
+    for kind in AgentKind::all() {
+        let universe = kind.make().universe();
+        for m in &msgs {
+            let ex = explore(&ExplorerConfig::default(), |ctx| {
+                let mut a = kind.make();
+                a.on_connect(ctx)?;
+                a.handle_message(ctx, m)?;
+                a.handle_packet(ctx, 1, &tcp_probe())?;
+                Ok(())
+            });
+            let bad = ex.coverage.validate(&universe);
+            assert!(bad.is_empty(), "{kind:?} has undeclared labels: {bad:?}");
+        }
+    }
+}
+
+#[test]
+fn vlan_tagged_probe_fields_visible_to_match() {
+    // Regression guard for tag-aware field extraction used in matching.
+    let spec = ProbeSpec {
+        vlan: Some((3, 0x123)),
+        ..Default::default()
+    };
+    let p = Packet::from_spec(&spec);
+    assert_eq!(p.dl_vlan().as_bv_const(), Some(0x123));
+    assert_eq!(p.dl_vlan_pcp().as_bv_const(), Some(3));
+}

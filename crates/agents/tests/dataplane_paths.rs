@@ -1,0 +1,204 @@
+//! Data-plane-centric scenarios: VLAN-tagged probes through flow matching,
+//! OFPP_TABLE resubmission from Packet Out, and rewrite-then-forward
+//! chains — the interactions between action execution and the flow table.
+
+use soft_agents::AgentKind;
+use soft_dataplane::{Packet, ProbeSpec};
+use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
+use soft_openflow::consts::{flow_mod_cmd, port as ofpp, wildcards, NO_BUFFER};
+use soft_openflow::layout;
+use soft_openflow::TraceEvent;
+use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
+
+fn run(kind: AgentKind, msgs: Vec<SymBuf>, probe: Option<Packet>) -> (Vec<TraceEvent>, bool) {
+    let ex = explore(&ExplorerConfig::default(), |ctx| {
+        let mut a = kind.make();
+        a.on_connect(ctx)?;
+        for m in &msgs {
+            a.handle_message(ctx, m)?;
+        }
+        if let Some(p) = &probe {
+            a.handle_packet(ctx, 1, p)?;
+        }
+        Ok(())
+    });
+    assert_eq!(ex.stats.paths, 1);
+    let p = &ex.paths[0];
+    (p.trace.clone(), matches!(p.outcome, PathOutcome::Crashed(_)))
+}
+
+/// A flow mod matching a specific VLAN id exactly.
+fn vlan_match_flow(vid: u16, out: u16) -> SymBuf {
+    let mut m = builder::flow_mod(
+        "dp0",
+        &FlowModSpec {
+            match_mode: MatchMode::WildcardAll,
+            actions: vec![ActionSpec::Output(out)],
+            command: Some(flow_mod_cmd::ADD),
+            buffer_id: Some(NO_BUFFER),
+            flags: Some(0),
+            ..FlowModSpec::symbolic_default()
+        },
+    );
+    // Narrow the wildcard: everything except DL_VLAN.
+    let base = layout::flow_mod::MATCH;
+    m.set_u32(
+        base + layout::ofp_match::WILDCARDS,
+        wildcards::ALL & !wildcards::DL_VLAN,
+    );
+    m.set_u16(base + layout::ofp_match::DL_VLAN, vid);
+    m
+}
+
+#[test]
+fn vlan_exact_match_selects_tagged_traffic() {
+    let flow = vlan_match_flow(100, 4);
+    let tagged = Packet::from_spec(&ProbeSpec {
+        vlan: Some((0, 100)),
+        ..Default::default()
+    });
+    let other_vid = Packet::from_spec(&ProbeSpec {
+        vlan: Some((0, 101)),
+        ..Default::default()
+    });
+    let untagged = Packet::from_spec(&ProbeSpec::default());
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run(kind, vec![flow.clone()], Some(tagged.clone()));
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(4)
+            )),
+            "{kind:?}: vid-100 frame must match"
+        );
+        for miss in [&other_vid, &untagged] {
+            let (ev, _) = run(kind, vec![flow.clone()], Some((*miss).clone()));
+            assert!(
+                ev.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::PacketIn { reason, .. } if reason.as_bv_const() == Some(0)
+                )),
+                "{kind:?}: non-matching frame must go to the controller"
+            );
+        }
+    }
+}
+
+#[test]
+fn packet_out_to_table_resubmits_through_flow_table() {
+    // Install a forward-to-4 flow, then Packet Out with OFPP_TABLE: the
+    // carried packet must be forwarded by the installed flow.
+    let flow = builder::flow_mod(
+        "dp1",
+        &FlowModSpec {
+            match_mode: MatchMode::WildcardAll,
+            actions: vec![ActionSpec::Output(4)],
+            command: Some(flow_mod_cmd::ADD),
+            buffer_id: Some(NO_BUFFER),
+            flags: Some(0),
+            ..FlowModSpec::symbolic_default()
+        },
+    );
+    let payload = soft_dataplane::tcp_probe().buf.as_concrete().unwrap();
+    let mut po = builder::packet_out("dp2", &[ActionSpec::Output(ofpp::OFPP_TABLE)], &payload);
+    po.set_u32(8, NO_BUFFER);
+    po.set_u16(12, 1);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, crashed) = run(kind, vec![flow.clone(), po.clone()], None);
+        assert!(!crashed);
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(4)
+            )),
+            "{kind:?}: OFPP_TABLE must resubmit through the flow table"
+        );
+    }
+}
+
+#[test]
+fn packet_out_to_empty_table_reaches_controller() {
+    let payload = soft_dataplane::tcp_probe().buf.as_concrete().unwrap();
+    let mut po = builder::packet_out("dp3", &[ActionSpec::Output(ofpp::OFPP_TABLE)], &payload);
+    po.set_u32(8, NO_BUFFER);
+    po.set_u16(12, 1);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run(kind, vec![po.clone()], None);
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::PacketIn { reason, .. } if reason.as_bv_const() == Some(0)
+            )),
+            "{kind:?}: table miss on resubmission goes to the controller"
+        );
+    }
+}
+
+#[test]
+fn rewrite_chain_applies_in_order() {
+    // set_dl_dst, set_tp_dst, then output: the emitted frame must carry
+    // both rewrites.
+    let flow = builder::flow_mod(
+        "dp4",
+        &FlowModSpec {
+            match_mode: MatchMode::WildcardAll,
+            actions: vec![
+                ActionSpec::SetNwTos(0x40),
+                ActionSpec::Output(2),
+            ],
+            command: Some(flow_mod_cmd::ADD),
+            buffer_id: Some(NO_BUFFER),
+            flags: Some(0),
+            ..FlowModSpec::symbolic_default()
+        },
+    );
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run(kind, vec![flow.clone()], Some(soft_dataplane::tcp_probe()));
+        let data = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::DataPlaneTx { data, .. } => Some(data.clone()),
+                _ => None,
+            })
+            .expect("forwarded");
+        let pkt = Packet::parse(&data).unwrap();
+        assert_eq!(
+            pkt.nw_tos().as_bv_const(),
+            Some(0x40),
+            "{kind:?}: ToS rewrite must be visible in the emitted frame"
+        );
+    }
+}
+
+#[test]
+fn strip_vlan_on_tagged_probe() {
+    let flow = builder::flow_mod(
+        "dp5",
+        &FlowModSpec {
+            match_mode: MatchMode::WildcardAll,
+            actions: vec![ActionSpec::StripVlan, ActionSpec::Output(2)],
+            command: Some(flow_mod_cmd::ADD),
+            buffer_id: Some(NO_BUFFER),
+            flags: Some(0),
+            ..FlowModSpec::symbolic_default()
+        },
+    );
+    let tagged = Packet::from_spec(&ProbeSpec {
+        vlan: Some((2, 55)),
+        ..Default::default()
+    });
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run(kind, vec![flow.clone()], Some(tagged.clone()));
+        let data = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::DataPlaneTx { data, .. } => Some(data.clone()),
+                _ => None,
+            })
+            .expect("forwarded");
+        assert_eq!(data.len(), tagged.len() - 4, "{kind:?}: tag removed");
+        let pkt = Packet::parse(&data).unwrap();
+        assert!(!pkt.vlan, "{kind:?}");
+        assert_eq!(pkt.tp_dst().as_bv_const(), Some(80), "{kind:?}: inner intact");
+    }
+}

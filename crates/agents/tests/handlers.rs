@@ -1,0 +1,352 @@
+//! Handler-level behaviour tests: statistics, flow-table lifecycle
+//! (modify/delete/overlap/expiry), port mod, and echo payloads — the
+//! handlers not already covered by `behavior.rs`.
+
+use soft_agents::AgentKind;
+use soft_dataplane::tcp_probe;
+use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
+use soft_openflow::consts::{
+    bad_request, error_type, flow_mod_cmd, flow_mod_flags, msg_type, stats_type, NO_BUFFER,
+};
+use soft_openflow::TraceEvent;
+use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
+
+fn run_seq(kind: AgentKind, msgs: Vec<SymBuf>, probe: bool, time: Option<u16>) -> (Vec<TraceEvent>, bool) {
+    let ex = explore(&ExplorerConfig::default(), |ctx| {
+        let mut a = kind.make();
+        a.on_connect(ctx)?;
+        for m in &msgs {
+            a.handle_message(ctx, m)?;
+        }
+        if let Some(now) = time {
+            a.handle_time(ctx, now)?;
+        }
+        if probe {
+            a.handle_packet(ctx, 1, &tcp_probe())?;
+        }
+        Ok(())
+    });
+    assert_eq!(ex.stats.paths, 1, "inputs must be concrete");
+    let p = &ex.paths[0];
+    (p.trace.clone(), matches!(p.outcome, PathOutcome::Crashed(_)))
+}
+
+fn concrete_flow_mod(cmd: u16, flags: u16, out_port: u16, timeouts: (u16, u16)) -> SymBuf {
+    builder::flow_mod(
+        "h0",
+        &FlowModSpec {
+            match_mode: MatchMode::WildcardAll,
+            actions: vec![ActionSpec::Output(out_port)],
+            command: Some(cmd),
+            buffer_id: Some(NO_BUFFER),
+            priority: Some(0x8000),
+            timeouts: Some(timeouts),
+            flags: Some(flags),
+            out_port: Some(soft_openflow::consts::port::OFPP_NONE),
+            cookie: Some(7),
+        },
+    )
+}
+
+fn stats_req(stype: u16) -> SymBuf {
+    let mut m = builder::stats_request("h1");
+    m.set_u16(8, stype);
+    m.set_u16(10, 0);
+    for i in 12..m.len() {
+        if m.u8(i).as_bv_const().is_none() {
+            m.set_u8(i, 0);
+        }
+    }
+    m
+}
+
+// ------------------------------------------------------------ statistics
+
+#[test]
+fn desc_stats_reply_differs_between_agents() {
+    // The descriptions legitimately differ (vendor strings) — a real,
+    // benign divergence SOFT reports.
+    let (ev_ref, _) = run_seq(AgentKind::Reference, vec![stats_req(stats_type::DESC)], false, None);
+    let (ev_ovs, _) = run_seq(AgentKind::OpenVSwitch, vec![stats_req(stats_type::DESC)], false, None);
+    let body = |ev: &[TraceEvent]| {
+        ev.iter()
+            .find_map(|e| match e {
+                TraceEvent::OfReply { msg_type: 17, body, .. } => body.as_concrete(),
+                _ => None,
+            })
+            .expect("desc reply")
+    };
+    assert_ne!(body(&ev_ref), body(&ev_ovs));
+}
+
+#[test]
+fn flow_stats_reflect_installed_entries() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, 0, 3, (0, 0));
+    let mut req = stats_req(stats_type::FLOW);
+    req.set_u8(52, 0xff); // all tables
+    req.set_u16(54, soft_openflow::consts::port::OFPP_NONE);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        // Empty table: empty body.
+        let (ev, _) = run_seq(kind, vec![req.clone()], false, None);
+        let empty_len = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::OfReply { msg_type: 17, body, .. } => Some(body.len()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(empty_len, 0, "{kind:?} empty table");
+        // One entry: non-empty body.
+        let (ev, _) = run_seq(kind, vec![install.clone(), req.clone()], false, None);
+        let len = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::OfReply { msg_type: 17, body, .. } => Some(body.len()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(len > 0, "{kind:?} with one flow");
+    }
+}
+
+#[test]
+fn aggregate_stats_count_entries() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, 0, 3, (0, 0));
+    let req = stats_req(stats_type::AGGREGATE);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![install.clone(), req.clone()], false, None);
+        let body = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::OfReply { msg_type: 17, body, .. } => body.as_concrete(),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(body.last(), Some(&1), "{kind:?} flow count");
+    }
+}
+
+#[test]
+fn unknown_stats_type_divergence() {
+    let mut req = stats_req(0x00ee);
+    req.set_u16(8, 0x00ee);
+    let (ev_ref, _) = run_seq(AgentKind::Reference, vec![req.clone()], false, None);
+    assert!(ev_ref.is_empty(), "reference silently ignores");
+    let (ev_ovs, _) = run_seq(AgentKind::OpenVSwitch, vec![req], false, None);
+    assert!(matches!(
+        ev_ovs.first(),
+        Some(TraceEvent::Error { etype, code, .. })
+            if etype.as_bv_const() == Some(error_type::BAD_REQUEST as u64)
+            && code.as_bv_const() == Some(bad_request::BAD_STAT as u64)
+    ));
+}
+
+// ------------------------------------------------------ flow lifecycle
+
+#[test]
+fn delete_with_notification_flag_sends_flow_removed() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, flow_mod_flags::SEND_FLOW_REM, 3, (0, 0));
+    let delete = concrete_flow_mod(flow_mod_cmd::DELETE, 0, 3, (0, 0));
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![install.clone(), delete.clone()], true, None);
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::OfReply { msg_type: t, .. } if *t == msg_type::FLOW_REMOVED
+            )),
+            "{kind:?} must notify on delete"
+        );
+        // Probe misses after deletion.
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            TraceEvent::PacketIn { reason, .. } if reason.as_bv_const() == Some(0)
+        )));
+    }
+}
+
+#[test]
+fn delete_without_flag_is_silent() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, 0, 3, (0, 0));
+    let delete = concrete_flow_mod(flow_mod_cmd::DELETE, 0, 3, (0, 0));
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![install.clone(), delete.clone()], false, None);
+        assert!(ev.is_empty(), "{kind:?}");
+    }
+}
+
+#[test]
+fn modify_replaces_actions_of_matching_entry() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, 0, 3, (0, 0));
+    let modify = concrete_flow_mod(flow_mod_cmd::MODIFY, 0, 4, (0, 0));
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![install.clone(), modify.clone()], true, None);
+        let port = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::DataPlaneTx { port, .. } => port.as_bv_const(),
+                _ => None,
+            })
+            .expect("probe forwarded");
+        assert_eq!(port, 4, "{kind:?} must forward per the modified actions");
+    }
+}
+
+#[test]
+fn check_overlap_rejects_duplicate_priority() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, 0, 3, (0, 0));
+    let overlapping =
+        concrete_flow_mod(flow_mod_cmd::ADD, flow_mod_flags::CHECK_OVERLAP, 4, (0, 0));
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![install.clone(), overlapping.clone()], true, None);
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::Error { etype, code, .. }
+                    if etype.as_bv_const() == Some(error_type::FLOW_MOD_FAILED as u64)
+                    && code.as_bv_const()
+                        == Some(soft_openflow::consts::flow_mod_failed::OVERLAP as u64)
+            )),
+            "{kind:?} must report OVERLAP"
+        );
+        // The original entry still forwards.
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(3)
+        )));
+    }
+}
+
+// ----------------------------------------------------------- expiry
+
+#[test]
+fn hard_timeout_expires_flow() {
+    let install = concrete_flow_mod(
+        flow_mod_cmd::ADD,
+        flow_mod_flags::SEND_FLOW_REM,
+        3,
+        (0, 30),
+    );
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch, AgentKind::Modified] {
+        let (ev, _) = run_seq(kind, vec![install.clone()], true, Some(60));
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::OfReply { msg_type: t, .. } if *t == msg_type::FLOW_REMOVED
+            )),
+            "{kind:?}: hard-timeout notification must be sent (M2 only \
+             suppresses the idle one)"
+        );
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::PacketIn { reason, .. } if reason.as_bv_const() == Some(0)
+            )),
+            "{kind:?}: the probe must miss after expiry"
+        );
+    }
+}
+
+#[test]
+fn idle_timeout_notification_suppressed_only_in_modified() {
+    let install = concrete_flow_mod(
+        flow_mod_cmd::ADD,
+        flow_mod_flags::SEND_FLOW_REM,
+        3,
+        (30, 0),
+    );
+    let notified = |kind| {
+        let (ev, _) = run_seq(kind, vec![install.clone()], false, Some(60));
+        ev.iter().any(|e| matches!(
+            e,
+            TraceEvent::OfReply { msg_type: t, .. } if *t == msg_type::FLOW_REMOVED
+        ))
+    };
+    assert!(notified(AgentKind::Reference));
+    assert!(notified(AgentKind::OpenVSwitch));
+    assert!(!notified(AgentKind::Modified), "M2 suppresses the idle notification");
+}
+
+#[test]
+fn unexpired_flow_survives_clock_advance() {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, 0, 3, (0, 120));
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![install.clone()], true, Some(60));
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(3)
+            )),
+            "{kind:?}: flow with a 120s hard timeout must survive t=60"
+        );
+    }
+}
+
+// ------------------------------------------------------------- misc
+
+#[test]
+fn echo_reply_carries_payload() {
+    let mut m = SymBuf::concrete(&[1, msg_type::ECHO_REQUEST, 0, 12, 0, 0, 0, 9, 0xde, 0xad, 0xbe, 0xef]);
+    m.set_u16(2, 12);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![m.clone()], false, None);
+        let body = ev
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::OfReply { msg_type: t, body, .. }
+                    if *t == msg_type::ECHO_REPLY =>
+                {
+                    body.as_concrete()
+                }
+                _ => None,
+            })
+            .expect("echo reply");
+        assert_eq!(body, vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+}
+
+#[test]
+fn port_mod_validates_port_range() {
+    let mut ok = SymBuf::concrete(&[0u8; 32]);
+    ok.set_u8(0, 1);
+    ok.set_u8(1, msg_type::PORT_MOD);
+    ok.set_u16(2, 32);
+    ok.set_u16(8, 2);
+    let mut bad = ok.clone();
+    bad.set_u16(8, 99);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![ok.clone()], false, None);
+        assert!(ev.is_empty(), "{kind:?} valid port mod is silent");
+        let (ev, _) = run_seq(kind, vec![bad.clone()], false, None);
+        assert!(
+            matches!(ev.first(), Some(TraceEvent::Error { etype, .. })
+                if etype.as_bv_const() == Some(error_type::PORT_MOD_FAILED as u64)),
+            "{kind:?} invalid port mod errors"
+        );
+    }
+}
+
+#[test]
+fn incomplete_frame_is_silently_buffered() {
+    // Length field larger than the actual bytes: the connection layer
+    // keeps waiting — no output.
+    let mut m = builder::concrete_header_only(msg_type::ECHO_REQUEST, 1);
+    m.set_u16(2, 100);
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![m.clone()], false, None);
+        assert!(ev.is_empty(), "{kind:?}");
+    }
+}
+
+#[test]
+fn runt_length_field_rejected() {
+    let mut m = builder::concrete_header_only(msg_type::ECHO_REQUEST, 1);
+    m.set_u16(2, 4); // less than a header
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (ev, _) = run_seq(kind, vec![m.clone()], false, None);
+        assert!(
+            matches!(ev.first(), Some(TraceEvent::Error { code, .. })
+                if code.as_bv_const() == Some(bad_request::BAD_LEN as u64)),
+            "{kind:?}"
+        );
+    }
+}

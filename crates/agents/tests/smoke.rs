@@ -1,0 +1,39 @@
+//! End-to-end smoke: explore agents on the Packet Out test input.
+
+use soft_agents::AgentKind;
+use soft_dataplane::tcp_probe;
+use soft_openflow::builder::{packet_out, ActionSpec};
+use soft_sym::{explore, ExplorerConfig, PathOutcome};
+use std::time::Instant;
+
+#[test]
+fn packet_out_exploration_smoke() {
+    let probe_payload = tcp_probe().buf.as_concrete().unwrap();
+    let msg = packet_out(
+        "m0",
+        &[ActionSpec::Symbolic, ActionSpec::SymbolicOutput],
+        &probe_payload,
+    );
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch, AgentKind::Modified] {
+        let t0 = Instant::now();
+        let ex = explore(&ExplorerConfig::default(), |ctx| {
+            let mut agent = kind.make();
+            agent.on_connect(ctx)?;
+            agent.handle_message(ctx, &msg)?;
+            Ok(())
+        });
+        let crashed = ex.paths.iter().filter(|p| matches!(p.outcome, PathOutcome::Crashed(_))).count();
+        eprintln!(
+            "{:>10}: {} paths ({} crashed, {} aborted) in {:?}, {} solver queries",
+            kind.id(), ex.stats.paths, crashed, ex.stats.aborted, t0.elapsed(), ex.stats.solver.queries
+        );
+        assert!(ex.stats.paths > 10, "{:?} too few paths", kind);
+        assert!(!ex.stats.truncated);
+        if kind == AgentKind::Reference {
+            assert!(crashed >= 2, "reference should crash on CTRL output and SET_VLAN_VID");
+        }
+        if kind == AgentKind::OpenVSwitch {
+            assert_eq!(crashed, 0, "ovs must not crash");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks of the hot kernels underneath SOFT:
+//! constraint solving (SAT path and simplification path), bit-blasting,
+//! flow-match condition construction, trace normalization, and grouping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soft_core::group_paths;
+use soft_dataplane::{tcp_probe, MatchFields};
+use soft_harness::{ObservedOutput, PathRecord};
+use soft_openflow::TraceEvent;
+use soft_smt::{sexpr, Solver, Term};
+use soft_sym::SymBuf;
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.bench_function("simplification_fast_path", |b| {
+        let x = Term::var("mb.s", 16);
+        let q = vec![
+            x.clone().eq(Term::bv_const(16, 0xfffd)),
+            x.clone().uge(Term::bv_const(16, 25)),
+        ];
+        b.iter(|| {
+            let mut s = Solver::new();
+            black_box(s.check(black_box(&q)))
+        });
+    });
+    g.bench_function("bitblast_range_query", |b| {
+        // Forces the SAT path: overlapping ranges with arithmetic.
+        let x = Term::var("mb.r", 16);
+        let y = Term::var("mb.r2", 16);
+        let q = vec![
+            x.clone().bvadd(y.clone()).ugt(Term::bv_const(16, 30000)),
+            x.clone().ult(Term::bv_const(16, 20000)),
+            y.clone().ult(Term::bv_const(16, 20000)),
+        ];
+        b.iter(|| {
+            let mut s = Solver::new();
+            black_box(s.check(black_box(&q)))
+        });
+    });
+    g.bench_function("unsat_disjoint_ranges", |b| {
+        let x = Term::var("mb.u", 16);
+        let q = vec![
+            x.clone().ult(Term::bv_const(16, 10)),
+            x.clone().ugt(Term::bv_const(16, 20)),
+        ];
+        b.iter(|| {
+            let mut s = Solver::new();
+            black_box(s.check(black_box(&q)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_terms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("terms");
+    g.bench_function("build_match_conditions", |b| {
+        let buf = SymBuf::symbolic("mb.m", 40);
+        let pkt = tcp_probe();
+        let in_port = Term::bv_const(16, 1);
+        b.iter(|| {
+            let mf = MatchFields::parse(black_box(&buf), 0);
+            black_box(mf.conditions(&in_port, &pkt))
+        });
+    });
+    g.bench_function("wire_roundtrip", |b| {
+        let x = Term::var("mb.w", 16);
+        let t = x
+            .clone()
+            .bvadd(Term::bv_const(16, 3))
+            .bvmul(x.clone())
+            .eq(Term::bv_const(16, 77))
+            .and(x.clone().ult(Term::bv_const(16, 1000)));
+        b.iter(|| {
+            let w = sexpr::to_wire(black_box(&t));
+            black_box(sexpr::from_wire(&w).unwrap())
+        });
+    });
+    g.bench_function("op_count_metric", |b| {
+        let conds: Vec<Term> = (0..64)
+            .map(|i| Term::var(format!("mb.c{i}"), 8).eq(Term::bv_const(8, i)))
+            .collect();
+        let big = soft_smt::simplify::mk_or_balanced(&conds);
+        b.iter(|| black_box(soft_smt::metrics::op_count(black_box(&big))));
+    });
+    g.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouping");
+    let paths: Vec<PathRecord> = (0..256)
+        .map(|i| {
+            let cond = Term::var("mb.g", 16).eq(Term::bv_const(16, i));
+            PathRecord {
+                constraint_size: 1,
+                condition: cond,
+                output: ObservedOutput {
+                    events: vec![TraceEvent::Error {
+                        xid: Term::bv_const(32, 0),
+                        etype: Term::bv_const(16, 1),
+                        code: Term::bv_const(16, i % 8),
+                    }],
+                    crashed: false,
+                },
+            }
+        })
+        .collect();
+    g.bench_function("group_256_paths_8_outputs", |b| {
+        b.iter(|| black_box(group_paths("a", "t", black_box(&paths))));
+    });
+    g.bench_function("normalize_trace", |b| {
+        let trace: Vec<TraceEvent> = (0..32)
+            .map(|i| TraceEvent::PacketIn {
+                buffer_id: Term::bv_const(32, i),
+                in_port: Term::bv_const(16, 1),
+                reason: Term::bv_const(8, 0),
+                data_len: Term::bv_const(16, 64),
+                data: SymBuf::concrete(&[0u8; 64]),
+            })
+            .collect();
+        b.iter(|| black_box(soft_openflow::normalize_trace(black_box(&trace))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_terms, bench_grouping);
+criterion_main!(benches);

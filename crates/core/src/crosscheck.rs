@@ -1,0 +1,347 @@
+//! The inconsistency finder (§3.4, §4.2).
+//!
+//! Takes two grouped result sets (one per agent), iterates over all pairs
+//! of *different* output results, and asks the solver whether the
+//! conjunction `C_A(i) ∧ C_B(j)` is satisfiable. A satisfiable pair is an
+//! inconsistency: a common input subspace on which the two agents behave
+//! differently. The solver model is the concrete reproduction test case.
+//!
+//! No false positives by construction: a model pins the input bytes to
+//! values that — by the per-agent path conditions — drive agent A to
+//! output `i` and agent B to output `j ≠ i`.
+
+use crate::group::GroupedResults;
+use soft_harness::ObservedOutput;
+use soft_openflow::TraceEvent;
+use soft_smt::{Assignment, SatResult, Solver, Term};
+use std::time::{Duration, Instant};
+
+/// Condition under which two (possibly symbolic) outputs take *different
+/// concrete values*.
+///
+/// Outputs may embed symbolic input expressions ("the output data may even
+/// contain symbolic inputs", §3.3). Two structurally different outputs —
+/// say `Tx{port: in_port}` vs `Tx{port: action_port}` — can still agree on
+/// the sliver of input space where the embedded expressions coincide, and
+/// a witness drawn from that sliver would be a false positive. The
+/// inconsistency query therefore conjoins this disequality constraint, so
+/// every witness provably makes the observable outputs differ.
+fn outputs_differ(a: &ObservedOutput, b: &ObservedOutput) -> Term {
+    if a.crashed != b.crashed || a.events.len() != b.events.len() {
+        return Term::bool_true();
+    }
+    let mut diff = Term::bool_false();
+    for (ea, eb) in a.events.iter().zip(&b.events) {
+        diff = diff.or(event_differs(ea, eb));
+        if diff.as_bool_const() == Some(true) {
+            return diff;
+        }
+    }
+    diff
+}
+
+fn terms_differ(a: &Term, b: &Term) -> Term {
+    if a == b {
+        Term::bool_false()
+    } else if a.width() != b.width() {
+        Term::bool_true()
+    } else {
+        a.clone().ne(b.clone())
+    }
+}
+
+fn bufs_differ(a: &soft_sym::SymBuf, b: &soft_sym::SymBuf) -> Term {
+    if a.len() != b.len() {
+        return Term::bool_true();
+    }
+    let mut diff = Term::bool_false();
+    for (x, y) in a.bytes().iter().zip(b.bytes()) {
+        diff = diff.or(terms_differ(x, y));
+        if diff.as_bool_const() == Some(true) {
+            break;
+        }
+    }
+    diff
+}
+
+fn event_differs(a: &TraceEvent, b: &TraceEvent) -> Term {
+    match (a, b) {
+        (
+            TraceEvent::Error {
+                etype: ta,
+                code: ca,
+                ..
+            },
+            TraceEvent::Error {
+                etype: tb,
+                code: cb,
+                ..
+            },
+        ) => terms_differ(ta, tb).or(terms_differ(ca, cb)),
+        (
+            TraceEvent::PacketIn {
+                in_port: ia,
+                reason: ra,
+                data_len: la,
+                data: da,
+                ..
+            },
+            TraceEvent::PacketIn {
+                in_port: ib,
+                reason: rb,
+                data_len: lb,
+                data: db,
+                ..
+            },
+        ) => terms_differ(ia, ib)
+            .or(terms_differ(ra, rb))
+            .or(terms_differ(la, lb))
+            .or(bufs_differ(da, db)),
+        (
+            TraceEvent::OfReply {
+                msg_type: ma,
+                fields: fa,
+                body: ba,
+            },
+            TraceEvent::OfReply {
+                msg_type: mb,
+                fields: fb,
+                body: bb,
+            },
+        ) => {
+            if ma != mb || fa.len() != fb.len() {
+                return Term::bool_true();
+            }
+            let mut diff = bufs_differ(ba, bb);
+            for ((na, ta), (nb, tb)) in fa.iter().zip(fb) {
+                if na != nb {
+                    return Term::bool_true();
+                }
+                diff = diff.or(terms_differ(ta, tb));
+            }
+            diff
+        }
+        (
+            TraceEvent::DataPlaneTx { port: pa, data: da },
+            TraceEvent::DataPlaneTx { port: pb, data: db },
+        ) => terms_differ(pa, pb).or(bufs_differ(da, db)),
+        (
+            TraceEvent::Flood {
+                exclude_ingress: xa,
+                data: da,
+            },
+            TraceEvent::Flood {
+                exclude_ingress: xb,
+                data: db,
+            },
+        ) => {
+            if xa != xb {
+                Term::bool_true()
+            } else {
+                bufs_differ(da, db)
+            }
+        }
+        (TraceEvent::NormalForward { data: da }, TraceEvent::NormalForward { data: db }) => {
+            bufs_differ(da, db)
+        }
+        (TraceEvent::ProbeDropped, TraceEvent::ProbeDropped) => Term::bool_false(),
+        _ => Term::bool_true(), // different event kinds
+    }
+}
+
+/// One discovered inconsistency.
+#[derive(Debug, Clone)]
+pub struct Inconsistency {
+    /// Test identifier.
+    pub test: String,
+    /// First agent.
+    pub agent_a: String,
+    /// Second agent.
+    pub agent_b: String,
+    /// Output observed by agent A on the common inputs.
+    pub output_a: ObservedOutput,
+    /// Output observed by agent B on the common inputs.
+    pub output_b: ObservedOutput,
+    /// A concrete witness: input-byte assignment reproducing the
+    /// divergence.
+    pub witness: Assignment,
+}
+
+/// Result of crosschecking two agents on one test.
+#[derive(Debug, Clone, Default)]
+pub struct CrosscheckResult {
+    /// The discovered inconsistencies (one per divergent output pair).
+    pub inconsistencies: Vec<Inconsistency>,
+    /// Solver queries issued (bounded by |RES_A| * |RES_B|).
+    pub queries: usize,
+    /// Queries the solver could not decide within budget.
+    pub unknown: usize,
+    /// Wall-clock time of the intersection phase (Table 3 "Inconsist.
+    /// checking" column).
+    pub check_time: Duration,
+}
+
+/// Options for the inconsistency finder.
+#[derive(Debug, Clone, Default)]
+pub struct CrosscheckConfig {
+    /// Per-query SAT conflict budget (None = unlimited).
+    pub solver_max_conflicts: Option<u64>,
+}
+
+/// Crosscheck two grouped result sets.
+pub fn crosscheck(
+    a: &GroupedResults,
+    b: &GroupedResults,
+    cfg: &CrosscheckConfig,
+) -> CrosscheckResult {
+    assert_eq!(a.test, b.test, "crosschecking different tests");
+    let start = Instant::now();
+    let mut solver = Solver::new();
+    solver.max_conflicts = cfg.solver_max_conflicts;
+    let mut out = CrosscheckResult::default();
+    for ga in &a.groups {
+        for gb in &b.groups {
+            if ga.output == gb.output {
+                continue;
+            }
+            // Require that the outputs differ *semantically* on the
+            // witness, not just structurally in their symbolic form.
+            let differ = outputs_differ(&ga.output, &gb.output);
+            if differ.as_bool_const() == Some(false) {
+                continue; // structurally distinct but semantically identical
+            }
+            out.queries += 1;
+            match solver.check(&[ga.condition.clone(), gb.condition.clone(), differ]) {
+                SatResult::Sat(witness) => {
+                    out.inconsistencies.push(Inconsistency {
+                        test: a.test.clone(),
+                        agent_a: a.agent.clone(),
+                        agent_b: b.agent.clone(),
+                        output_a: ga.output.clone(),
+                        output_b: gb.output.clone(),
+                        witness,
+                    });
+                }
+                SatResult::Unsat => {}
+                SatResult::Unknown => out.unknown += 1,
+            }
+        }
+    }
+    out.check_time = start.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_paths;
+    use soft_harness::PathRecord;
+    use soft_openflow::TraceEvent;
+    use soft_smt::Term;
+
+    fn out(tag: u16) -> ObservedOutput {
+        ObservedOutput {
+            events: vec![TraceEvent::Error {
+                xid: Term::bv_const(32, 0),
+                etype: Term::bv_const(16, 1),
+                code: Term::bv_const(16, tag as u64),
+            }],
+            crashed: false,
+        }
+    }
+
+    fn path(cond: Term, o: ObservedOutput) -> PathRecord {
+        PathRecord {
+            constraint_size: soft_smt::metrics::op_count(&cond),
+            condition: cond,
+            output: o,
+        }
+    }
+
+    /// The Figure 1/2 worked example: agent 1 treats OFPP_CONTROLLER
+    /// specially, agent 2 does not — crosschecking finds exactly the
+    /// p == 0xfffd inconsistency.
+    #[test]
+    fn figure2_example_found() {
+        let p = Term::var("cc.p", 16);
+        let ctrl = Term::bv_const(16, 0xfffd);
+        let small = Term::bv_const(16, 25);
+        // Agent 1: FWD for p < 25; CTRL for p == 0xfffd; ERR otherwise.
+        let a = group_paths(
+            "agent1",
+            "t",
+            &[
+                path(p.clone().ult(small.clone()), out(100)), // FWD
+                path(p.clone().eq(ctrl.clone()), out(200)),   // CTRL
+                path(
+                    p.clone().uge(small.clone()).and(p.clone().ne(ctrl.clone())),
+                    out(300), // ERR
+                ),
+            ],
+        );
+        // Agent 2: FWD for p < 25; ERR otherwise.
+        let b = group_paths(
+            "agent2",
+            "t",
+            &[
+                path(p.clone().ult(small.clone()), out(100)),
+                path(p.clone().uge(small.clone()), out(300)),
+            ],
+        );
+        let r = crosscheck(&a, &b, &CrosscheckConfig::default());
+        assert_eq!(r.inconsistencies.len(), 1, "exactly the CTRL divergence");
+        let inc = &r.inconsistencies[0];
+        assert_eq!(inc.witness.get("cc.p"), Some(0xfffd));
+        assert_eq!(inc.output_a, out(200));
+        assert_eq!(inc.output_b, out(300));
+        // Query bound: |RES_A| * |RES_B| minus equal-output pairs.
+        assert!(r.queries <= a.num_results() * b.num_results());
+    }
+
+    #[test]
+    fn identical_agents_have_no_inconsistencies() {
+        let p = Term::var("cc2.p", 8);
+        let mk = |name: &str| {
+            group_paths(
+                name,
+                "t",
+                &[
+                    path(p.clone().ult(Term::bv_const(8, 10)), out(1)),
+                    path(p.clone().uge(Term::bv_const(8, 10)), out(2)),
+                ],
+            )
+        };
+        let r = crosscheck(&mk("a"), &mk("b"), &CrosscheckConfig::default());
+        assert!(r.inconsistencies.is_empty());
+        // Off-diagonal pairs are checked but unsatisfiable.
+        assert_eq!(r.queries, 2);
+    }
+
+    #[test]
+    fn witness_satisfies_both_conditions() {
+        let p = Term::var("cc3.p", 8);
+        let a = group_paths(
+            "a",
+            "t",
+            &[path(p.clone().ult(Term::bv_const(8, 100)), out(1))],
+        );
+        let b = group_paths(
+            "b",
+            "t",
+            &[path(p.clone().ugt(Term::bv_const(8, 50)), out(2))],
+        );
+        let r = crosscheck(&a, &b, &CrosscheckConfig::default());
+        assert_eq!(r.inconsistencies.len(), 1);
+        let w = &r.inconsistencies[0].witness;
+        assert!(w.eval_bool(&a.groups[0].condition));
+        assert!(w.eval_bool(&b.groups[0].condition));
+    }
+
+    #[test]
+    #[should_panic(expected = "different tests")]
+    fn mismatched_tests_rejected() {
+        let a = group_paths("a", "t1", &[]);
+        let b = group_paths("b", "t2", &[]);
+        crosscheck(&a, &b, &CrosscheckConfig::default());
+    }
+}

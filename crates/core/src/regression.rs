@@ -1,0 +1,137 @@
+//! Regression testing across versions of *one* implementation.
+//!
+//! §2.4: "SOFT can automate performing regression testing. In addition, it
+//! can be used to compare against a well-known set of path conditions that
+//! are bootstrapped from unit tests." The mechanics are the crosscheck —
+//! but the framing differs: the baseline is a previous version of the same
+//! agent (or a blessed artifact checked into the repository), and beyond
+//! pairwise intersections the interesting questions are *which output
+//! classes appeared, which disappeared, and where behaviour shifted*.
+
+use crate::crosscheck::{crosscheck, CrosscheckConfig, Inconsistency};
+use crate::group::GroupedResults;
+use soft_harness::ObservedOutput;
+use std::collections::HashSet;
+
+/// The outcome of comparing a current run against a baseline.
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    /// Output classes present in the current version but not the baseline
+    /// (new behaviours — possibly new features, possibly new bugs).
+    pub new_outputs: Vec<ObservedOutput>,
+    /// Output classes the baseline had but the current version lost
+    /// (removed behaviours).
+    pub removed_outputs: Vec<ObservedOutput>,
+    /// Input subspaces where the same input now produces a different
+    /// output than the baseline (behaviour shifts), with witnesses.
+    pub shifts: Vec<Inconsistency>,
+    /// Solver queries spent on the shift analysis.
+    pub queries: usize,
+}
+
+impl RegressionReport {
+    /// True when the current version is behaviourally identical to the
+    /// baseline on the tested input space.
+    pub fn is_clean(&self) -> bool {
+        self.new_outputs.is_empty() && self.removed_outputs.is_empty() && self.shifts.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline` (both must be grouped results for
+/// the same test; typically the same agent id across versions).
+pub fn regression_check(
+    baseline: &GroupedResults,
+    current: &GroupedResults,
+    cfg: &CrosscheckConfig,
+) -> RegressionReport {
+    assert_eq!(
+        baseline.test, current.test,
+        "regression comparison across different tests"
+    );
+    let base_set: HashSet<&ObservedOutput> = baseline.groups.iter().map(|g| &g.output).collect();
+    let cur_set: HashSet<&ObservedOutput> = current.groups.iter().map(|g| &g.output).collect();
+    let new_outputs = current
+        .groups
+        .iter()
+        .filter(|g| !base_set.contains(&g.output))
+        .map(|g| g.output.clone())
+        .collect();
+    let removed_outputs = baseline
+        .groups
+        .iter()
+        .filter(|g| !cur_set.contains(&g.output))
+        .map(|g| g.output.clone())
+        .collect();
+    // Behaviour shifts: same machinery as interoperability crosschecking.
+    let result = crosscheck(baseline, current, cfg);
+    RegressionReport {
+        new_outputs,
+        removed_outputs,
+        shifts: result.inconsistencies,
+        queries: result.queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_paths;
+    use crate::Soft;
+    use soft_agents::AgentKind;
+    use soft_harness::suite;
+
+    #[test]
+    fn same_version_is_clean() {
+        let soft = Soft::new();
+        let test = suite::queue_config();
+        let run = soft.phase1(AgentKind::Reference, &test);
+        let g1 = group_paths("v1", &run.test, &run.paths);
+        let g2 = group_paths("v2", &run.test, &run.paths);
+        let report = regression_check(&g1, &g2, &CrosscheckConfig::default());
+        assert!(report.is_clean(), "identical versions must be clean");
+    }
+
+    #[test]
+    fn modified_switch_regresses_against_reference() {
+        // The Modified Switch *is* a "new version" of the Reference Switch
+        // with behaviour changes; regression mode must flag them.
+        let soft = Soft::new();
+        let test = suite::packet_out();
+        let base = soft.group(&soft.phase1(AgentKind::Reference, &test));
+        let cur = soft.group(&soft.phase1(AgentKind::Modified, &test));
+        let report = regression_check(&base, &cur, &CrosscheckConfig::default());
+        assert!(!report.is_clean());
+        assert!(
+            !report.shifts.is_empty(),
+            "behaviour shifts must carry witnesses"
+        );
+        // The flood-ingress mutation changes an output class.
+        assert!(
+            !report.new_outputs.is_empty() || !report.removed_outputs.is_empty(),
+            "the mutations change the output-class inventory"
+        );
+    }
+
+    #[test]
+    fn consistent_test_stays_clean_across_agents() {
+        // Set Config behaves identically on Ref and OVS (Table 3: 0
+        // inconsistencies): as a pseudo-regression it must be clean on
+        // shifts, though output inventories can legitimately coincide.
+        let soft = Soft::new();
+        let test = suite::set_config();
+        let base = soft.group(&soft.phase1(AgentKind::Reference, &test));
+        let cur = soft.group(&soft.phase1(AgentKind::OpenVSwitch, &test));
+        let report = regression_check(&base, &cur, &CrosscheckConfig::default());
+        assert!(report.shifts.is_empty());
+        assert!(report.new_outputs.is_empty() && report.removed_outputs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different tests")]
+    fn mismatched_tests_rejected() {
+        let soft = Soft::new();
+        let a = soft.group(&soft.phase1(AgentKind::Reference, &suite::queue_config()));
+        let b = soft.group(&soft.phase1(AgentKind::Reference, &suite::short_symb()));
+        regression_check(&a, &b, &CrosscheckConfig::default());
+    }
+}

@@ -1,0 +1,328 @@
+//! Inconsistency reporting: classification, root-cause deduplication, and
+//! concrete reproduction.
+//!
+//! The paper notes that "usually one difference manifests itself multiple
+//! times and affects many subspaces of inputs. In the extreme example,
+//! although there are 58 reported inconsistencies, manual analysis reveals
+//! only 6 distinct root causes." This module automates the first cut of
+//! that manual analysis: inconsistencies are classified by the *shape* of
+//! the divergence and deduplicated into root-cause buckets.
+
+use crate::crosscheck::Inconsistency;
+use soft_harness::{Input, ObservedOutput, TestCase};
+use soft_openflow::TraceEvent;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The shape of a behavioural divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DivergenceKind {
+    /// One agent crashes, the other does not.
+    CrashVsSurvive,
+    /// One agent reports an error, the other stays silent.
+    ErrorVsSilence,
+    /// Both report errors, but with different type/code.
+    DifferentErrors,
+    /// One forwards a packet, the other reports an error.
+    ForwardVsError,
+    /// One forwards a packet, the other silently drops it.
+    ForwardVsDrop,
+    /// One uses a feature (e.g. OFPP_NORMAL) the other rejects or lacks.
+    MissingFeature,
+    /// Replies differ in content (e.g. stats bodies).
+    DifferentReplies,
+    /// Any other divergence.
+    Other,
+}
+
+impl DivergenceKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DivergenceKind::CrashVsSurvive => "agent terminates with an error",
+            DivergenceKind::ErrorVsSilence => "lack of error message",
+            DivergenceKind::DifferentErrors => "different error messages",
+            DivergenceKind::ForwardVsError => "forwarding vs. error",
+            DivergenceKind::ForwardVsDrop => "packet dropped vs. forwarded",
+            DivergenceKind::MissingFeature => "missing feature",
+            DivergenceKind::DifferentReplies => "different reply contents",
+            DivergenceKind::Other => "other divergence",
+        }
+    }
+}
+
+fn has_error(o: &ObservedOutput) -> bool {
+    o.events.iter().any(|e| matches!(e, TraceEvent::Error { .. }))
+}
+
+fn has_forward(o: &ObservedOutput) -> bool {
+    o.events.iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::DataPlaneTx { .. } | TraceEvent::Flood { .. } | TraceEvent::PacketIn { .. }
+        )
+    })
+}
+
+fn has_normal(o: &ObservedOutput) -> bool {
+    o.events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::NormalForward { .. }))
+}
+
+fn is_silent(o: &ObservedOutput) -> bool {
+    o.events
+        .iter()
+        .all(|e| matches!(e, TraceEvent::ProbeDropped))
+}
+
+/// Classify a single inconsistency by divergence shape.
+pub fn classify(inc: &Inconsistency) -> DivergenceKind {
+    let (a, b) = (&inc.output_a, &inc.output_b);
+    if a.crashed != b.crashed {
+        return DivergenceKind::CrashVsSurvive;
+    }
+    if has_normal(a) != has_normal(b) {
+        return DivergenceKind::MissingFeature;
+    }
+    match (has_error(a), has_error(b)) {
+        (true, true) => {
+            // Both error: compare the first error event.
+            let ea = a.events.iter().find(|e| matches!(e, TraceEvent::Error { .. }));
+            let eb = b.events.iter().find(|e| matches!(e, TraceEvent::Error { .. }));
+            if ea != eb {
+                DivergenceKind::DifferentErrors
+            } else {
+                DivergenceKind::DifferentReplies
+            }
+        }
+        (true, false) | (false, true) => {
+            let (err_side, other_side) = if has_error(a) { (a, b) } else { (b, a) };
+            let _ = err_side;
+            if has_forward(other_side) {
+                DivergenceKind::ForwardVsError
+            } else {
+                DivergenceKind::ErrorVsSilence
+            }
+        }
+        (false, false) => {
+            if has_forward(a) != has_forward(b) {
+                if is_silent(a) || is_silent(b) {
+                    DivergenceKind::ForwardVsDrop
+                } else {
+                    DivergenceKind::DifferentReplies
+                }
+            } else if a.events != b.events {
+                DivergenceKind::DifferentReplies
+            } else {
+                DivergenceKind::Other
+            }
+        }
+    }
+}
+
+/// A root-cause bucket: inconsistencies sharing a divergence shape and
+/// output-kind signature.
+#[derive(Debug, Clone)]
+pub struct RootCause {
+    /// Divergence shape.
+    pub kind: DivergenceKind,
+    /// Output-kind signature (event kinds of both sides).
+    pub signature: String,
+    /// Indices into the original inconsistency list.
+    pub members: Vec<usize>,
+}
+
+fn signature(o: &ObservedOutput) -> String {
+    let mut s = String::new();
+    if o.crashed {
+        s.push_str("crash:");
+    }
+    for e in &o.events {
+        s.push_str(e.kind());
+        if let TraceEvent::Error { etype, code, .. } = e {
+            let _ = write!(s, "({etype},{code})");
+        }
+        s.push('+');
+    }
+    s
+}
+
+/// Deduplicate inconsistencies into root-cause buckets.
+pub fn dedupe(incs: &[Inconsistency]) -> Vec<RootCause> {
+    let mut buckets: BTreeMap<(DivergenceKind, String), Vec<usize>> = BTreeMap::new();
+    for (i, inc) in incs.iter().enumerate() {
+        let kind = classify(inc);
+        let sig = format!("{} / {}", signature(&inc.output_a), signature(&inc.output_b));
+        buckets.entry((kind, sig)).or_default().push(i);
+    }
+    buckets
+        .into_iter()
+        .map(|((kind, signature), members)| RootCause {
+            kind,
+            signature,
+            members,
+        })
+        .collect()
+}
+
+/// Concretize a test's input messages under an inconsistency witness: the
+/// reproduction test case ("a test case that can be used to understand and
+/// trace the root cause of the inconsistency").
+pub fn reproduce(test: &TestCase, inc: &Inconsistency) -> Vec<Vec<u8>> {
+    test.inputs
+        .iter()
+        .filter_map(|i| match i {
+            Input::Message(m) => Some(m.concretize(&inc.witness)),
+            Input::Probe { .. } | Input::AdvanceTime { .. } => None,
+        })
+        .collect()
+}
+
+/// Render a short human-readable description of one inconsistency.
+pub fn describe(inc: &Inconsistency) -> String {
+    let kind = classify(inc);
+    let mut s = format!(
+        "[{}] {} vs {}: {}\n",
+        inc.test,
+        inc.agent_a,
+        inc.agent_b,
+        kind.label()
+    );
+    let _ = writeln!(s, "  {}: {}", inc.agent_a, signature(&inc.output_a));
+    let _ = writeln!(s, "  {}: {}", inc.agent_b, signature(&inc.output_b));
+    let mut vars: Vec<(String, u64)> = inc
+        .witness
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    vars.sort();
+    let rendered: Vec<String> = vars
+        .iter()
+        .take(12)
+        .map(|(k, v)| format!("{k}={v:#x}"))
+        .collect();
+    let _ = writeln!(
+        s,
+        "  witness: {}{}",
+        rendered.join(" "),
+        if vars.len() > 12 { " ..." } else { "" }
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_smt::{Assignment, Term};
+    use soft_sym::SymBuf;
+
+    fn out(events: Vec<TraceEvent>, crashed: bool) -> ObservedOutput {
+        ObservedOutput { events, crashed }
+    }
+
+    fn err(code: u16) -> TraceEvent {
+        TraceEvent::Error {
+            xid: Term::bv_const(32, 0),
+            etype: Term::bv_const(16, 2),
+            code: Term::bv_const(16, code as u64),
+        }
+    }
+
+    fn tx() -> TraceEvent {
+        TraceEvent::DataPlaneTx {
+            port: Term::bv_const(16, 2),
+            data: SymBuf::concrete(&[1]),
+        }
+    }
+
+    fn inc(a: ObservedOutput, b: ObservedOutput) -> Inconsistency {
+        Inconsistency {
+            test: "t".into(),
+            agent_a: "a".into(),
+            agent_b: "b".into(),
+            output_a: a,
+            output_b: b,
+            witness: Assignment::new(),
+        }
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(
+            classify(&inc(out(vec![], true), out(vec![err(4)], false))),
+            DivergenceKind::CrashVsSurvive
+        );
+        assert_eq!(
+            classify(&inc(out(vec![err(4)], false), out(vec![], false))),
+            DivergenceKind::ErrorVsSilence
+        );
+        assert_eq!(
+            classify(&inc(out(vec![err(4)], false), out(vec![err(5)], false))),
+            DivergenceKind::DifferentErrors
+        );
+        assert_eq!(
+            classify(&inc(out(vec![tx()], false), out(vec![err(4)], false))),
+            DivergenceKind::ForwardVsError
+        );
+        assert_eq!(
+            classify(&inc(
+                out(vec![tx()], false),
+                out(vec![TraceEvent::ProbeDropped], false)
+            )),
+            DivergenceKind::ForwardVsDrop
+        );
+        assert_eq!(
+            classify(&inc(
+                out(
+                    vec![TraceEvent::NormalForward {
+                        data: SymBuf::concrete(&[1])
+                    }],
+                    false
+                ),
+                out(vec![err(4)], false)
+            )),
+            DivergenceKind::MissingFeature
+        );
+    }
+
+    #[test]
+    fn dedupe_merges_same_shape() {
+        let incs = vec![
+            inc(out(vec![err(4)], false), out(vec![], false)),
+            inc(out(vec![err(4)], false), out(vec![], false)),
+            inc(out(vec![err(4)], false), out(vec![err(5)], false)),
+        ];
+        let causes = dedupe(&incs);
+        assert_eq!(causes.len(), 2);
+        let sizes: Vec<usize> = causes.iter().map(|c| c.members.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn reproduce_concretizes_messages() {
+        let mut buf = SymBuf::symbolic("rp", 4);
+        buf.set_u8(0, 0xaa);
+        let test = TestCase::new("t", "T", "d", vec![Input::Message(buf)]);
+        let mut w = Assignment::new();
+        w.set("rp.b1", 0x11);
+        w.set("rp.b2", 0x22);
+        let i = Inconsistency {
+            witness: w,
+            ..inc(out(vec![], false), out(vec![], true))
+        };
+        let msgs = reproduce(&test, &i);
+        assert_eq!(msgs, vec![vec![0xaa, 0x11, 0x22, 0x00]]);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let mut w = Assignment::new();
+        w.set("m0.b8", 0xff);
+        let mut i = inc(out(vec![err(4)], false), out(vec![], true));
+        i.witness = w;
+        let d = describe(&i);
+        assert!(d.contains("m0.b8=0xff"));
+        assert!(d.contains("agent terminates"));
+    }
+}

@@ -1,0 +1,89 @@
+//! The SOFT pipeline facade.
+//!
+//! Ties together the two phases: (1) per-vendor symbolic execution of an
+//! agent over a test input (via `soft-harness`), and (2) grouping +
+//! crosschecking of the intermediate results. The phases communicate only
+//! through [`soft_harness::TestRunFile`] artifacts, so they can run on
+//! different machines, at different times, by different parties — the
+//! deployment model of §2.4.
+
+use crate::crosscheck::{crosscheck, CrosscheckConfig, CrosscheckResult};
+use crate::group::{group_paths, GroupedResults};
+use soft_agents::AgentKind;
+use soft_harness::{run_test, TestCase, TestRun, TestRunFile};
+use soft_sym::ExplorerConfig;
+
+/// SOFT configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Soft {
+    /// Symbolic exploration configuration (phase 1).
+    pub explorer: ExplorerConfig,
+    /// Inconsistency-finder configuration (phase 2).
+    pub checker: CrosscheckConfig,
+}
+
+/// The outcome of crosschecking two agents on one test, with all the
+/// intermediate artifacts kept for inspection.
+#[derive(Debug, Clone)]
+pub struct PairReport {
+    /// Phase-1 run of agent A.
+    pub run_a: TestRun,
+    /// Phase-1 run of agent B.
+    pub run_b: TestRun,
+    /// Grouped results of agent A.
+    pub grouped_a: GroupedResults,
+    /// Grouped results of agent B.
+    pub grouped_b: GroupedResults,
+    /// The crosscheck result.
+    pub result: CrosscheckResult,
+}
+
+impl Soft {
+    /// Default configuration (exhaustive exploration, unlimited solver).
+    pub fn new() -> Soft {
+        Soft::default()
+    }
+
+    /// Phase 1: symbolically execute one agent on one test, producing the
+    /// per-path conditions and outputs.
+    pub fn phase1(&self, agent: AgentKind, test: &TestCase) -> TestRun {
+        run_test(agent, test, &self.explorer)
+    }
+
+    /// Phase 1, shipped: the serializable artifact a vendor exports.
+    pub fn phase1_artifact(&self, agent: AgentKind, test: &TestCase) -> TestRunFile {
+        TestRunFile::from_run(&self.phase1(agent, test))
+    }
+
+    /// Group a phase-1 run by output result.
+    pub fn group(&self, run: &TestRun) -> GroupedResults {
+        group_paths(&run.agent, &run.test, &run.paths)
+    }
+
+    /// Group a shipped phase-1 artifact (no agent access needed).
+    pub fn group_artifact(&self, file: &TestRunFile) -> Result<GroupedResults, String> {
+        let paths = file.to_paths()?;
+        Ok(group_paths(&file.agent, &file.test, &paths))
+    }
+
+    /// Phase 2: find inconsistencies between two grouped result sets.
+    pub fn phase2(&self, a: &GroupedResults, b: &GroupedResults) -> CrosscheckResult {
+        crosscheck(a, b, &self.checker)
+    }
+
+    /// Run the whole pipeline for one agent pair on one test.
+    pub fn run_pair(&self, a: AgentKind, b: AgentKind, test: &TestCase) -> PairReport {
+        let run_a = self.phase1(a, test);
+        let run_b = self.phase1(b, test);
+        let grouped_a = self.group(&run_a);
+        let grouped_b = self.group(&run_b);
+        let result = self.phase2(&grouped_a, &grouped_b);
+        PairReport {
+            run_a,
+            run_b,
+            grouped_a,
+            grouped_b,
+            result,
+        }
+    }
+}

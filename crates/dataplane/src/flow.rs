@@ -1,0 +1,311 @@
+//! Flow match primitives.
+//!
+//! OpenFlow 1.0 matching is a 12-tuple with per-field wildcard bits (and
+//! CIDR-style prefix wildcards for the IP addresses). Flow mods installed
+//! from symbolic messages have symbolic match fields, so "does this probe
+//! packet match this entry" is a symbolic condition; agents evaluate it
+//! field by field with short-circuiting, exactly as the C implementations
+//! iterate `flow_fields_match`. This module provides the shared condition
+//! construction; validation quirks stay in the agents.
+
+use crate::packet::Packet;
+use soft_openflow::consts::wildcards as wc;
+use soft_openflow::layout::ofp_match as om;
+use soft_smt::Term;
+use soft_sym::SymBuf;
+
+/// The 12-tuple match of a flow entry, plus wildcards. Every field is a
+/// term (possibly symbolic).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MatchFields {
+    /// Wildcard bit set (32-bit).
+    pub wildcards: Term,
+    /// Ingress port (16-bit).
+    pub in_port: Term,
+    /// Ethernet source (48-bit).
+    pub dl_src: Term,
+    /// Ethernet destination (48-bit).
+    pub dl_dst: Term,
+    /// VLAN id (16-bit; 0xffff = untagged).
+    pub dl_vlan: Term,
+    /// VLAN priority (8-bit).
+    pub dl_vlan_pcp: Term,
+    /// Ethertype (16-bit).
+    pub dl_type: Term,
+    /// IP ToS (8-bit).
+    pub nw_tos: Term,
+    /// IP protocol (8-bit).
+    pub nw_proto: Term,
+    /// IP source (32-bit).
+    pub nw_src: Term,
+    /// IP destination (32-bit).
+    pub nw_dst: Term,
+    /// Transport source port (16-bit).
+    pub tp_src: Term,
+    /// Transport destination port (16-bit).
+    pub tp_dst: Term,
+}
+
+impl MatchFields {
+    /// Parse an `ofp_match` struct from `buf` starting at `off`.
+    pub fn parse(buf: &SymBuf, off: usize) -> MatchFields {
+        MatchFields {
+            wildcards: buf.u32(off + om::WILDCARDS),
+            in_port: buf.u16(off + om::IN_PORT),
+            dl_src: buf.u48(off + om::DL_SRC),
+            dl_dst: buf.u48(off + om::DL_DST),
+            dl_vlan: buf.u16(off + om::DL_VLAN),
+            dl_vlan_pcp: buf.u8(off + om::DL_VLAN_PCP),
+            dl_type: buf.u16(off + om::DL_TYPE),
+            nw_tos: buf.u8(off + om::NW_TOS),
+            nw_proto: buf.u8(off + om::NW_PROTO),
+            nw_src: buf.u32(off + om::NW_SRC),
+            nw_dst: buf.u32(off + om::NW_DST),
+            tp_src: buf.u16(off + om::TP_SRC),
+            tp_dst: buf.u16(off + om::TP_DST),
+        }
+    }
+
+    /// A fully-wildcarded concrete match.
+    pub fn wildcard_all() -> MatchFields {
+        MatchFields {
+            wildcards: Term::bv_const(32, wc::ALL as u64),
+            in_port: Term::bv_const(16, 0),
+            dl_src: Term::bv_const(48, 0),
+            dl_dst: Term::bv_const(48, 0),
+            dl_vlan: Term::bv_const(16, 0),
+            dl_vlan_pcp: Term::bv_const(8, 0),
+            dl_type: Term::bv_const(16, 0),
+            nw_tos: Term::bv_const(8, 0),
+            nw_proto: Term::bv_const(8, 0),
+            nw_src: Term::bv_const(32, 0),
+            nw_dst: Term::bv_const(32, 0),
+            tp_src: Term::bv_const(16, 0),
+            tp_dst: Term::bv_const(16, 0),
+        }
+    }
+
+    /// Condition: the given wildcard bit is set.
+    pub fn wc_bit(&self, bit: u32) -> Term {
+        self.wildcards
+            .clone()
+            .bvand(Term::bv_const(32, bit as u64))
+            .ne(Term::bv_const(32, 0))
+    }
+
+    /// Condition: the prefix-wildcard field leaves at least `n >= 32` bits
+    /// wildcarded, or the top `32 - n` bits agree.
+    fn cidr_condition(&self, shift: u32, field: &Term, key: &Term) -> Term {
+        let n = self
+            .wildcards
+            .clone()
+            .bvlshr(Term::bv_const(32, shift as u64))
+            .bvand(Term::bv_const(32, 0x3f));
+        let all_wild = n.clone().uge(Term::bv_const(32, 32));
+        let hi_equal = field
+            .clone()
+            .bvlshr(n.clone())
+            .eq(key.clone().bvlshr(n));
+        all_wild.or(hi_equal)
+    }
+
+    /// The per-field match conditions against a packet arriving on
+    /// `in_port`, in the order the reference implementation checks them.
+    /// Each entry is `(site-label, wildcarded-or-equal condition)`; agents
+    /// branch on them sequentially and bail at the first false.
+    pub fn conditions(&self, in_port: &Term, pkt: &Packet) -> Vec<(&'static str, Term)> {
+        vec![
+            (
+                "match.in_port",
+                self.wc_bit(wc::IN_PORT)
+                    .or(self.in_port.clone().eq(in_port.clone())),
+            ),
+            (
+                "match.dl_src",
+                self.wc_bit(wc::DL_SRC).or(self.dl_src.clone().eq(pkt.dl_src())),
+            ),
+            (
+                "match.dl_dst",
+                self.wc_bit(wc::DL_DST).or(self.dl_dst.clone().eq(pkt.dl_dst())),
+            ),
+            (
+                "match.dl_vlan",
+                self.wc_bit(wc::DL_VLAN)
+                    .or(self.dl_vlan.clone().eq(pkt.dl_vlan())),
+            ),
+            (
+                "match.dl_vlan_pcp",
+                self.wc_bit(wc::DL_VLAN_PCP)
+                    .or(self.dl_vlan_pcp.clone().eq(pkt.dl_vlan_pcp())),
+            ),
+            (
+                "match.dl_type",
+                self.wc_bit(wc::DL_TYPE)
+                    .or(self.dl_type.clone().eq(pkt.dl_type())),
+            ),
+            (
+                "match.nw_tos",
+                self.wc_bit(wc::NW_TOS).or(self.nw_tos.clone().eq(pkt.nw_tos())),
+            ),
+            (
+                "match.nw_proto",
+                self.wc_bit(wc::NW_PROTO)
+                    .or(self.nw_proto.clone().eq(pkt.nw_proto())),
+            ),
+            (
+                "match.nw_src",
+                self.cidr_condition(wc::NW_SRC_SHIFT, &self.nw_src, &pkt.nw_src()),
+            ),
+            (
+                "match.nw_dst",
+                self.cidr_condition(wc::NW_DST_SHIFT, &self.nw_dst, &pkt.nw_dst()),
+            ),
+            (
+                "match.tp_src",
+                self.wc_bit(wc::TP_SRC).or(self.tp_src.clone().eq(pkt.tp_src())),
+            ),
+            (
+                "match.tp_dst",
+                self.wc_bit(wc::TP_DST).or(self.tp_dst.clone().eq(pkt.tp_dst())),
+            ),
+        ]
+    }
+}
+
+/// A flow-table entry as installed by a Flow Mod. All value fields may be
+/// symbolic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowEntry {
+    /// Match fields.
+    pub fields: MatchFields,
+    /// Priority (16-bit term).
+    pub priority: Term,
+    /// Raw action-list bytes, re-parsed at packet-apply time (like the C
+    /// agents, which store the wire form).
+    pub actions: SymBuf,
+    /// Opaque cookie.
+    pub cookie: Term,
+    /// Idle timeout (seconds).
+    pub idle_timeout: Term,
+    /// Hard timeout (seconds).
+    pub hard_timeout: Term,
+    /// Flow mod flags as installed (16-bit term).
+    pub flags: Term,
+    /// Whether this is an emergency entry (Reference Switch only).
+    pub emergency: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::tcp_probe;
+    use soft_smt::{Assignment, Solver};
+
+    #[test]
+    fn wildcard_all_matches_everything() {
+        let m = MatchFields::wildcard_all();
+        let p = tcp_probe();
+        for (label, cond) in m.conditions(&Term::bv_const(16, 1), &p) {
+            assert_eq!(
+                cond.as_bool_const(),
+                Some(true),
+                "{label} should fold to true under full wildcard"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_match_conditions_fold_for_concrete_entry() {
+        let p = tcp_probe();
+        let mut m = MatchFields::wildcard_all();
+        m.wildcards = Term::bv_const(32, 0);
+        m.in_port = Term::bv_const(16, 1);
+        m.dl_src = p.dl_src();
+        m.dl_dst = p.dl_dst();
+        m.dl_vlan = p.dl_vlan();
+        m.dl_vlan_pcp = p.dl_vlan_pcp();
+        m.dl_type = p.dl_type();
+        m.nw_tos = p.nw_tos();
+        m.nw_proto = p.nw_proto();
+        m.nw_src = p.nw_src();
+        m.nw_dst = p.nw_dst();
+        m.tp_src = p.tp_src();
+        m.tp_dst = p.tp_dst();
+        for (label, cond) in m.conditions(&Term::bv_const(16, 1), &p) {
+            assert_eq!(cond.as_bool_const(), Some(true), "{label} must match");
+        }
+        // Changing one field breaks exactly that condition.
+        m.tp_dst = Term::bv_const(16, 81);
+        let conds = m.conditions(&Term::bv_const(16, 1), &p);
+        assert_eq!(conds[11].1.as_bool_const(), Some(false));
+    }
+
+    #[test]
+    fn symbolic_match_parses_and_constrains() {
+        let buf = SymBuf::symbolic("mf", om::SIZE);
+        let m = MatchFields::parse(&buf, 0);
+        let p = tcp_probe();
+        let conds = m.conditions(&Term::bv_const(16, 1), &p);
+        assert_eq!(conds.len(), 12);
+        // The dl_type condition is satisfiable both ways.
+        let mut s = Solver::new();
+        let c = &conds[5].1;
+        assert!(s.check_one(c).is_sat());
+        assert!(s.check_one(&c.clone().not()).is_sat());
+    }
+
+    #[test]
+    fn cidr_wildcard_semantics() {
+        // Entry nw_src = 10.0.0.0 with 8 wildcarded bits matches 10.0.0.x.
+        let mut m = MatchFields::wildcard_all();
+        m.wildcards = Term::bv_const(32, (8 << wc::NW_SRC_SHIFT) as u64);
+        m.nw_src = Term::bv_const(32, 0x0a00_0000);
+        let p = tcp_probe(); // nw_src = 10.0.0.1
+        let conds = m.conditions(&Term::bv_const(16, 1), &p);
+        let c = conds
+            .iter()
+            .find(|(l, _)| *l == "match.nw_src")
+            .map(|(_, c)| c.clone())
+            .unwrap();
+        assert_eq!(c.as_bool_const(), Some(true));
+
+        // With 0 wildcarded bits it must not match 10.0.0.1.
+        let mut m2 = m.clone();
+        m2.wildcards = Term::bv_const(32, 0);
+        let c2 = m2.conditions(&Term::bv_const(16, 1), &p)[8].1.clone();
+        assert_eq!(c2.as_bool_const(), Some(false));
+
+        // n >= 32 wildcards everything.
+        let mut m3 = m.clone();
+        m3.wildcards = Term::bv_const(32, (63 << wc::NW_SRC_SHIFT) as u64);
+        m3.nw_src = Term::bv_const(32, 0xdead_beef);
+        let c3 = m3.conditions(&Term::bv_const(16, 1), &p)[8].1.clone();
+        assert_eq!(c3.as_bool_const(), Some(true));
+    }
+
+    #[test]
+    fn symbolic_wildcards_cidr_solvable() {
+        let buf = SymBuf::symbolic("cd", om::SIZE);
+        let m = MatchFields::parse(&buf, 0);
+        let p = tcp_probe();
+        let c = m.conditions(&Term::bv_const(16, 1), &p)[8].1.clone();
+        let mut s = Solver::new();
+        // There must be a model where the CIDR condition holds with a
+        // nonzero mask count.
+        let n_nonzero = m
+            .wildcards
+            .clone()
+            .bvlshr(Term::bv_const(32, wc::NW_SRC_SHIFT as u64))
+            .bvand(Term::bv_const(32, 0x3f))
+            .ne(Term::bv_const(32, 0));
+        let r = s.check(&[c.clone(), n_nonzero]);
+        assert!(r.is_sat());
+        let model = r.model().unwrap();
+        // Sanity: evaluate the condition under the model.
+        let mut a = Assignment::new();
+        for (k, v) in model.iter() {
+            a.set(k, v);
+        }
+        assert!(a.eval_bool(&c));
+    }
+}

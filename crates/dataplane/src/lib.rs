@@ -1,0 +1,16 @@
+//! # soft-dataplane — packet and flow-table substrate
+//!
+//! The data-plane model underneath the OpenFlow agents: concrete probe
+//! packets (whose field values may become symbolic after actions rewrite
+//! them), OpenFlow 1.0 12-tuple match condition construction, and flow
+//! entries. Matching semantics shared by all agents live here; validation
+//! quirks — the behaviour SOFT exists to compare — stay in `soft-agents`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod packet;
+
+pub use flow::{FlowEntry, MatchFields};
+pub use packet::{eth_probe, tcp_probe, Packet, ProbeSpec};

@@ -1,0 +1,640 @@
+//! Data-plane packet model.
+//!
+//! Probe packets are *structurally concrete*: their framing (Ethernet,
+//! optional 802.1Q tag, IPv4, TCP/UDP) is fixed, while field values may
+//! become symbolic after OpenFlow actions rewrite them. [`Packet`] tracks
+//! the framing offsets so set-field actions and flow-key extraction work on
+//! both concrete probes and action-rewritten packets.
+
+use soft_smt::Term;
+use soft_sym::SymBuf;
+
+/// EtherType for IPv4.
+pub const ETH_TYPE_IP: u16 = 0x0800;
+/// EtherType for 802.1Q VLAN tagging.
+pub const ETH_TYPE_VLAN: u16 = 0x8100;
+/// EtherType for ARP.
+pub const ETH_TYPE_ARP: u16 = 0x0806;
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+/// IP protocol number for ICMP.
+pub const IPPROTO_ICMP: u8 = 1;
+
+/// Parameters for constructing a concrete probe packet.
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// Ethernet source address.
+    pub dl_src: [u8; 6],
+    /// Ethernet destination address.
+    pub dl_dst: [u8; 6],
+    /// Optional 802.1Q tag (pcp, vid).
+    pub vlan: Option<(u8, u16)>,
+    /// IPv4 ToS byte.
+    pub nw_tos: u8,
+    /// IPv4 source.
+    pub nw_src: u32,
+    /// IPv4 destination.
+    pub nw_dst: u32,
+    /// TCP source port.
+    pub tp_src: u16,
+    /// TCP destination port.
+    pub tp_dst: u16,
+    /// TCP payload length (padding bytes).
+    pub payload_len: usize,
+}
+
+impl Default for ProbeSpec {
+    fn default() -> Self {
+        ProbeSpec {
+            dl_src: [0x02, 0x00, 0x00, 0x00, 0x00, 0x01],
+            dl_dst: [0x02, 0x00, 0x00, 0x00, 0x00, 0x02],
+            vlan: None,
+            nw_tos: 0,
+            nw_src: 0x0a00_0001,
+            nw_dst: 0x0a00_0002,
+            tp_src: 1234,
+            tp_dst: 80,
+            // 14 eth + 20 ip + 20 tcp + 14 payload = 68 bytes total.
+            payload_len: 14,
+        }
+    }
+}
+
+/// Build the standard concrete TCP probe used after state-changing
+/// messages (§3.3 "we inject a concrete packet through the data plane
+/// interface as a simple state probe").
+pub fn tcp_probe() -> Packet {
+    Packet::from_spec(&ProbeSpec::default())
+}
+
+/// Build a short Ethernet-only probe (used by the Eth FlowMod test).
+pub fn eth_probe() -> Packet {
+    let spec = ProbeSpec::default();
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&spec.dl_dst);
+    raw.extend_from_slice(&spec.dl_src);
+    // A non-IP ethertype so L3 parsing does not apply.
+    raw.extend_from_slice(&0x88b5u16.to_be_bytes()); // local experimental
+    raw.extend_from_slice(&[0u8; 6]); // small payload
+    Packet {
+        buf: SymBuf::concrete(&raw),
+        vlan: false,
+        l3: L3::None,
+    }
+}
+
+/// Layer-3 framing of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L3 {
+    /// No parseable L3 (unknown ethertype).
+    None,
+    /// IPv4 with a TCP/UDP header following.
+    Ipv4WithL4,
+    /// IPv4 without a parseable L4.
+    Ipv4,
+}
+
+/// A data-plane packet with known framing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Raw bytes (values possibly symbolic).
+    pub buf: SymBuf,
+    /// Whether an 802.1Q tag is present.
+    pub vlan: bool,
+    /// L3 framing.
+    l3: L3,
+}
+
+impl Packet {
+    /// Build a concrete packet from a probe spec.
+    pub fn from_spec(spec: &ProbeSpec) -> Packet {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&spec.dl_dst);
+        raw.extend_from_slice(&spec.dl_src);
+        if let Some((pcp, vid)) = spec.vlan {
+            raw.extend_from_slice(&ETH_TYPE_VLAN.to_be_bytes());
+            let tci = ((pcp as u16) << 13) | (vid & 0x0fff);
+            raw.extend_from_slice(&tci.to_be_bytes());
+        }
+        raw.extend_from_slice(&ETH_TYPE_IP.to_be_bytes());
+        // IPv4 header (20 bytes, checksum modelled as identity/zero per
+        // the paper's §4.1 simplification).
+        let total_len = (20 + 20 + spec.payload_len) as u16;
+        raw.push(0x45); // version + ihl
+        raw.push(spec.nw_tos);
+        raw.extend_from_slice(&total_len.to_be_bytes());
+        raw.extend_from_slice(&[0, 0, 0, 0]); // id + flags/frag
+        raw.push(64); // ttl
+        raw.push(IPPROTO_TCP);
+        raw.extend_from_slice(&[0, 0]); // checksum (identity model)
+        raw.extend_from_slice(&spec.nw_src.to_be_bytes());
+        raw.extend_from_slice(&spec.nw_dst.to_be_bytes());
+        // TCP header (20 bytes).
+        raw.extend_from_slice(&spec.tp_src.to_be_bytes());
+        raw.extend_from_slice(&spec.tp_dst.to_be_bytes());
+        raw.extend_from_slice(&[0; 8]); // seq + ack
+        raw.push(0x50); // data offset
+        raw.push(0x02); // flags (SYN)
+        raw.extend_from_slice(&[0xff, 0xff]); // window
+        raw.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        raw.extend_from_slice(&vec![0xab; spec.payload_len]);
+        Packet {
+            buf: SymBuf::concrete(&raw),
+            vlan: spec.vlan.is_some(),
+            l3: L3::Ipv4WithL4,
+        }
+    }
+
+    /// Parse framing from a buffer whose *structure* bytes (ethertypes,
+    /// IHL, IP protocol) are concrete — true for all probe payloads in the
+    /// test suite. Field values may still be symbolic.
+    ///
+    /// Returns `None` when a structure byte is symbolic (the caller should
+    /// then treat the packet as opaque).
+    pub fn parse(buf: &SymBuf) -> Option<Packet> {
+        if buf.len() < 14 {
+            return Some(Packet {
+                buf: buf.clone(),
+                vlan: false,
+                l3: L3::None,
+            });
+        }
+        let ethertype = buf.u16(12).as_bv_const()? as u16;
+        let (vlan, eff_type, l3_off) = if ethertype == ETH_TYPE_VLAN {
+            if buf.len() < 18 {
+                return Some(Packet {
+                    buf: buf.clone(),
+                    vlan: true,
+                    l3: L3::None,
+                });
+            }
+            (true, buf.u16(16).as_bv_const()? as u16, 18usize)
+        } else {
+            (false, ethertype, 14usize)
+        };
+        let l3 = if eff_type == ETH_TYPE_IP && buf.len() >= l3_off + 20 {
+            let vihl = buf.u8(l3_off).as_bv_const()?;
+            let proto = buf.u8(l3_off + 9).as_bv_const()? as u8;
+            let has_l4 = vihl == 0x45
+                && (proto == IPPROTO_TCP || proto == IPPROTO_UDP)
+                && buf.len() >= l3_off + 24;
+            if has_l4 {
+                L3::Ipv4WithL4
+            } else {
+                L3::Ipv4
+            }
+        } else {
+            L3::None
+        };
+        Some(Packet {
+            buf: buf.clone(),
+            vlan,
+            l3,
+        })
+    }
+
+    /// A fully symbolic packet of the given length (the "Symbolic Probe"
+    /// ablation variant of Table 5). The framing is *undetermined*: agents
+    /// classify it by branching on the (symbolic) ethertype bytes, the way
+    /// `flow_extract` parses an incoming frame.
+    pub fn symbolic(tag: &str, len: usize) -> Packet {
+        Packet {
+            buf: SymBuf::symbolic(tag, len),
+            vlan: false,
+            l3: L3::None,
+        }
+    }
+
+    /// True if the framing-determining bytes (outer ethertype) are
+    /// symbolic, i.e. [`Packet::parse`] could not have classified this
+    /// packet and the agent must branch to do so.
+    pub fn framing_symbolic(&self) -> bool {
+        self.buf.len() >= 14 && self.buf.u16(12).as_bv_const().is_none()
+    }
+
+    /// Assemble a packet with explicitly chosen framing over `buf` (used
+    /// by agents after branching on a symbolic ethertype).
+    pub fn with_framing(buf: SymBuf, vlan: bool, has_ip: bool, has_l4: bool) -> Packet {
+        let l3 = if has_l4 {
+            L3::Ipv4WithL4
+        } else if has_ip {
+            L3::Ipv4
+        } else {
+            L3::None
+        };
+        Packet { buf, vlan, l3 }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the packet has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    // ------------------------------------------------------------- offsets
+
+    fn l3_off(&self) -> usize {
+        if self.vlan {
+            18
+        } else {
+            14
+        }
+    }
+
+    fn l4_off(&self) -> usize {
+        self.l3_off() + 20
+    }
+
+    /// True if the packet carries an IPv4 header.
+    pub fn has_ip(&self) -> bool {
+        !matches!(self.l3, L3::None)
+    }
+
+    /// True if the packet carries a TCP/UDP header.
+    pub fn has_l4(&self) -> bool {
+        matches!(self.l3, L3::Ipv4WithL4)
+    }
+
+    // ------------------------------------------------------ field readers
+
+    /// Ethernet destination (48-bit term).
+    pub fn dl_dst(&self) -> Term {
+        self.buf.u48(0)
+    }
+
+    /// Ethernet source (48-bit term).
+    pub fn dl_src(&self) -> Term {
+        self.buf.u48(6)
+    }
+
+    /// The effective ethertype (inner type when VLAN-tagged).
+    pub fn dl_type(&self) -> Term {
+        if self.vlan {
+            self.buf.u16(16)
+        } else {
+            self.buf.u16(12)
+        }
+    }
+
+    /// VLAN id (12-bit value zero-extended to 16), or 0xffff if untagged
+    /// (OpenFlow 1.0's OFP_VLAN_NONE).
+    pub fn dl_vlan(&self) -> Term {
+        if self.vlan {
+            self.buf
+                .u16(14)
+                .bvand(Term::bv_const(16, 0x0fff))
+        } else {
+            Term::bv_const(16, 0xffff)
+        }
+    }
+
+    /// VLAN priority (3 bits, in the low bits of an 8-bit term).
+    pub fn dl_vlan_pcp(&self) -> Term {
+        if self.vlan {
+            self.buf.u16(14).extract(15, 13).zext(8)
+        } else {
+            Term::bv_const(8, 0)
+        }
+    }
+
+    /// IPv4 ToS byte (zero if no IP header).
+    pub fn nw_tos(&self) -> Term {
+        if self.has_ip() {
+            self.buf.u8(self.l3_off() + 1)
+        } else {
+            Term::bv_const(8, 0)
+        }
+    }
+
+    /// IPv4 protocol (zero if no IP header).
+    pub fn nw_proto(&self) -> Term {
+        if self.has_ip() {
+            self.buf.u8(self.l3_off() + 9)
+        } else {
+            Term::bv_const(8, 0)
+        }
+    }
+
+    /// IPv4 source (zero if no IP header).
+    pub fn nw_src(&self) -> Term {
+        if self.has_ip() {
+            self.buf.u32(self.l3_off() + 12)
+        } else {
+            Term::bv_const(32, 0)
+        }
+    }
+
+    /// IPv4 destination (zero if no IP header).
+    pub fn nw_dst(&self) -> Term {
+        if self.has_ip() {
+            self.buf.u32(self.l3_off() + 16)
+        } else {
+            Term::bv_const(32, 0)
+        }
+    }
+
+    /// Transport source port (zero if no L4 header).
+    pub fn tp_src(&self) -> Term {
+        if self.has_l4() {
+            self.buf.u16(self.l4_off())
+        } else {
+            Term::bv_const(16, 0)
+        }
+    }
+
+    /// Transport destination port (zero if no L4 header).
+    pub fn tp_dst(&self) -> Term {
+        if self.has_l4() {
+            self.buf.u16(self.l4_off() + 2)
+        } else {
+            Term::bv_const(16, 0)
+        }
+    }
+
+    // ------------------------------------------------------ field writers
+
+    fn set_u48(&mut self, off: usize, v: &Term) {
+        assert_eq!(v.width(), 48);
+        for i in 0..6 {
+            let hi = 47 - 8 * i as u32;
+            self.buf.set_byte_term(off + i, v.clone().extract(hi, hi - 7));
+        }
+    }
+
+    /// Set the Ethernet source address.
+    pub fn set_dl_src(&mut self, v: &Term) {
+        self.set_u48(6, v);
+    }
+
+    /// Set the Ethernet destination address.
+    pub fn set_dl_dst(&mut self, v: &Term) {
+        self.set_u48(0, v);
+    }
+
+    /// Set (or add) the 802.1Q VLAN id. `vid` is a 16-bit term of which the
+    /// low 12 bits are used; `mask_to_12` controls whether the value is
+    /// masked (Reference Switch behaviour) or written raw.
+    pub fn set_vlan_vid(&mut self, vid: &Term, mask_to_12: bool) {
+        assert_eq!(vid.width(), 16);
+        let vid12 = if mask_to_12 {
+            vid.clone().bvand(Term::bv_const(16, 0x0fff))
+        } else {
+            vid.clone()
+        };
+        if self.vlan {
+            let old_tci = self.buf.u16(14);
+            let pcp_bits = old_tci.bvand(Term::bv_const(16, 0xf000));
+            let new_tci = pcp_bits.bvor(vid12);
+            self.buf.set_u16_term(14, &new_tci);
+        } else {
+            self.insert_vlan_tag(vid12);
+        }
+    }
+
+    /// Set the 802.1Q priority bits (`pcp` is an 8-bit term; low 3 bits
+    /// used, optionally masked).
+    pub fn set_vlan_pcp(&mut self, pcp: &Term, mask_to_3: bool) {
+        assert_eq!(pcp.width(), 8);
+        let p3 = if mask_to_3 {
+            pcp.clone().bvand(Term::bv_const(8, 0x07))
+        } else {
+            pcp.clone()
+        };
+        let shifted = p3.zext(16).bvshl(Term::bv_const(16, 13));
+        if self.vlan {
+            let old_tci = self.buf.u16(14);
+            let vid_bits = old_tci.bvand(Term::bv_const(16, 0x1fff));
+            self.buf.set_u16_term(14, &vid_bits.bvor(shifted));
+        } else {
+            self.insert_vlan_tag(Term::bv_const(16, 0));
+            let old_tci = self.buf.u16(14);
+            self.buf.set_u16_term(14, &old_tci.bvor(shifted));
+        }
+    }
+
+    fn insert_vlan_tag(&mut self, tci: Term) {
+        let mut nb = SymBuf::empty();
+        let bytes = self.buf.bytes().to_vec();
+        for b in &bytes[..12] {
+            nb.push(b.clone());
+        }
+        nb.push(Term::bv_const(8, (ETH_TYPE_VLAN >> 8) as u64));
+        nb.push(Term::bv_const(8, (ETH_TYPE_VLAN & 0xff) as u64));
+        nb.push(tci.clone().extract(15, 8));
+        nb.push(tci.extract(7, 0));
+        for b in &bytes[12..] {
+            nb.push(b.clone());
+        }
+        self.buf = nb;
+        self.vlan = true;
+    }
+
+    /// Remove the 802.1Q tag if present.
+    pub fn strip_vlan(&mut self) {
+        if !self.vlan {
+            return;
+        }
+        let bytes = self.buf.bytes().to_vec();
+        let mut nb = SymBuf::empty();
+        for b in &bytes[..12] {
+            nb.push(b.clone());
+        }
+        for b in &bytes[16..] {
+            nb.push(b.clone());
+        }
+        self.buf = nb;
+        self.vlan = false;
+    }
+
+    /// Set the IPv4 source address (no-op without an IP header, matching
+    /// both agents' behaviour on non-IP packets).
+    pub fn set_nw_src(&mut self, v: &Term) {
+        if self.has_ip() {
+            let off = self.l3_off() + 12;
+            self.buf.set_u32_term(off, v);
+        }
+    }
+
+    /// Set the IPv4 destination address.
+    pub fn set_nw_dst(&mut self, v: &Term) {
+        if self.has_ip() {
+            let off = self.l3_off() + 16;
+            self.buf.set_u32_term(off, v);
+        }
+    }
+
+    /// Set the IPv4 ToS byte. `mask_to_dscp` keeps only the high 6 bits
+    /// (Reference Switch auto-masking).
+    pub fn set_nw_tos(&mut self, v: &Term, mask_to_dscp: bool) {
+        assert_eq!(v.width(), 8);
+        if self.has_ip() {
+            let tos = if mask_to_dscp {
+                v.clone().bvand(Term::bv_const(8, 0xfc))
+            } else {
+                v.clone()
+            };
+            let off = self.l3_off() + 1;
+            self.buf.set_byte_term(off, tos);
+        }
+    }
+
+    /// Set the transport source port.
+    pub fn set_tp_src(&mut self, v: &Term) {
+        if self.has_l4() {
+            let off = self.l4_off();
+            self.buf.set_u16_term(off, v);
+        }
+    }
+
+    /// Set the transport destination port.
+    pub fn set_tp_dst(&mut self, v: &Term) {
+        if self.has_l4() {
+            let off = self.l4_off() + 2;
+            self.buf.set_u16_term(off, v);
+        }
+    }
+
+    /// First `n` bytes of the packet (for truncated Packet In data).
+    pub fn truncated(&self, n: usize) -> SymBuf {
+        self.buf.slice(0, n.min(self.buf.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tcp_probe_is_68_bytes() {
+        let p = tcp_probe();
+        assert_eq!(p.len(), 68);
+        assert!(p.has_ip());
+        assert!(p.has_l4());
+        assert_eq!(p.dl_type().as_bv_const(), Some(ETH_TYPE_IP as u64));
+        assert_eq!(p.nw_proto().as_bv_const(), Some(IPPROTO_TCP as u64));
+        assert_eq!(p.tp_dst().as_bv_const(), Some(80));
+        assert_eq!(p.dl_vlan().as_bv_const(), Some(0xffff), "untagged");
+    }
+
+    #[test]
+    fn vlan_tagged_probe_reads_tag_fields() {
+        let spec = ProbeSpec {
+            vlan: Some((5, 100)),
+            ..Default::default()
+        };
+        let p = Packet::from_spec(&spec);
+        assert_eq!(p.dl_vlan().as_bv_const(), Some(100));
+        assert_eq!(p.dl_vlan_pcp().as_bv_const(), Some(5));
+        assert_eq!(p.dl_type().as_bv_const(), Some(ETH_TYPE_IP as u64));
+        assert_eq!(p.len(), 72);
+    }
+
+    #[test]
+    fn set_vlan_on_untagged_inserts_tag() {
+        let mut p = tcp_probe();
+        let before = p.len();
+        p.set_vlan_vid(&Term::bv_const(16, 42), true);
+        assert!(p.vlan);
+        assert_eq!(p.len(), before + 4);
+        assert_eq!(p.dl_vlan().as_bv_const(), Some(42));
+        // Inner fields unchanged.
+        assert_eq!(p.tp_dst().as_bv_const(), Some(80));
+        assert_eq!(p.nw_proto().as_bv_const(), Some(IPPROTO_TCP as u64));
+    }
+
+    #[test]
+    fn set_vlan_masking_semantics() {
+        let mut masked = tcp_probe();
+        masked.set_vlan_vid(&Term::bv_const(16, 0x1fff), true);
+        assert_eq!(masked.dl_vlan().as_bv_const(), Some(0x0fff));
+        let mut raw = tcp_probe();
+        raw.set_vlan_vid(&Term::bv_const(16, 0x1fff), false);
+        // Raw write spills into the pcp/cfi bits.
+        assert_eq!(raw.buf.u16(14).as_bv_const(), Some(0x1fff));
+    }
+
+    #[test]
+    fn strip_vlan_removes_tag() {
+        let spec = ProbeSpec {
+            vlan: Some((1, 7)),
+            ..Default::default()
+        };
+        let mut p = Packet::from_spec(&spec);
+        let tagged_len = p.len();
+        p.strip_vlan();
+        assert!(!p.vlan);
+        assert_eq!(p.len(), tagged_len - 4);
+        assert_eq!(p.dl_vlan().as_bv_const(), Some(0xffff));
+        assert_eq!(p.tp_dst().as_bv_const(), Some(80));
+        // Stripping again is a no-op.
+        p.strip_vlan();
+        assert_eq!(p.len(), tagged_len - 4);
+    }
+
+    #[test]
+    fn set_nw_and_tp_fields() {
+        let mut p = tcp_probe();
+        p.set_nw_src(&Term::bv_const(32, 0xc0a80001));
+        p.set_nw_dst(&Term::bv_const(32, 0xc0a80002));
+        p.set_tp_src(&Term::bv_const(16, 5555));
+        p.set_tp_dst(&Term::bv_const(16, 443));
+        assert_eq!(p.nw_src().as_bv_const(), Some(0xc0a80001));
+        assert_eq!(p.nw_dst().as_bv_const(), Some(0xc0a80002));
+        assert_eq!(p.tp_src().as_bv_const(), Some(5555));
+        assert_eq!(p.tp_dst().as_bv_const(), Some(443));
+    }
+
+    #[test]
+    fn tos_masking() {
+        let mut p = tcp_probe();
+        p.set_nw_tos(&Term::bv_const(8, 0xff), true);
+        assert_eq!(p.nw_tos().as_bv_const(), Some(0xfc));
+        p.set_nw_tos(&Term::bv_const(8, 0xff), false);
+        assert_eq!(p.nw_tos().as_bv_const(), Some(0xff));
+    }
+
+    #[test]
+    fn dl_addr_rewrites() {
+        let mut p = tcp_probe();
+        p.set_dl_src(&Term::bv_const(48, 0x0102_0304_0506));
+        p.set_dl_dst(&Term::bv_const(48, 0x0a0b_0c0d_0e0f));
+        assert_eq!(p.dl_src().as_bv_const(), Some(0x0102_0304_0506));
+        assert_eq!(p.dl_dst().as_bv_const(), Some(0x0a0b_0c0d_0e0f));
+    }
+
+    #[test]
+    fn eth_probe_has_no_l3() {
+        let p = eth_probe();
+        assert!(!p.has_ip());
+        assert_eq!(p.nw_src().as_bv_const(), Some(0));
+        assert_eq!(p.tp_dst().as_bv_const(), Some(0));
+        // Setting L3 fields is a no-op.
+        let mut p2 = p.clone();
+        p2.set_nw_src(&Term::bv_const(32, 1));
+        assert_eq!(p2, p);
+    }
+
+    #[test]
+    fn truncation() {
+        let p = tcp_probe();
+        assert_eq!(p.truncated(10).len(), 10);
+        assert_eq!(p.truncated(1000).len(), 68);
+        assert_eq!(p.truncated(0).len(), 0);
+    }
+
+    #[test]
+    fn symbolic_values_survive_rewrites() {
+        let mut p = tcp_probe();
+        let v = Term::var("pk.vid", 16);
+        p.set_vlan_vid(&v, true);
+        // The VLAN field is now symbolic but the structure is concrete.
+        assert!(p.dl_vlan().as_bv_const().is_none());
+        assert_eq!(p.dl_type().as_bv_const(), Some(ETH_TYPE_IP as u64));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the data-plane substrate.
+
+use proptest::prelude::*;
+use soft_dataplane::{MatchFields, Packet, ProbeSpec};
+use soft_openflow::consts::wildcards as wc;
+use soft_smt::Term;
+
+fn arb_spec() -> impl Strategy<Value = ProbeSpec> {
+    (
+        any::<[u8; 6]>(),
+        any::<[u8; 6]>(),
+        proptest::option::of((0u8..8, 0u16..4096)),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        0usize..32,
+    )
+        .prop_map(
+            |(dl_src, dl_dst, vlan, nw_tos, nw_src, nw_dst, tp_src, tp_dst, payload_len)| {
+                ProbeSpec {
+                    dl_src,
+                    dl_dst,
+                    vlan,
+                    nw_tos,
+                    nw_src,
+                    nw_dst,
+                    tp_src,
+                    tp_dst,
+                    payload_len,
+                }
+            },
+        )
+}
+
+/// Exact match fields extracted from the packet itself.
+fn exact_match_of(p: &Packet, in_port: u16) -> MatchFields {
+    MatchFields {
+        wildcards: Term::bv_const(32, 0),
+        in_port: Term::bv_const(16, in_port as u64),
+        dl_src: p.dl_src(),
+        dl_dst: p.dl_dst(),
+        dl_vlan: p.dl_vlan(),
+        dl_vlan_pcp: p.dl_vlan_pcp(),
+        dl_type: p.dl_type(),
+        nw_tos: p.nw_tos(),
+        nw_proto: p.nw_proto(),
+        nw_src: p.nw_src(),
+        nw_dst: p.nw_dst(),
+        tp_src: p.tp_src(),
+        tp_dst: p.tp_dst(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A full wildcard matches every packet.
+    #[test]
+    fn wildcard_all_matches_any_packet(spec in arb_spec(), port in 1u16..100) {
+        let p = Packet::from_spec(&spec);
+        let m = MatchFields::wildcard_all();
+        for (label, cond) in m.conditions(&Term::bv_const(16, port as u64), &p) {
+            prop_assert_eq!(cond.as_bool_const(), Some(true), "{} failed", label);
+        }
+    }
+
+    /// The exact match extracted from a packet matches it.
+    #[test]
+    fn exact_match_matches_self(spec in arb_spec(), port in 1u16..100) {
+        let p = Packet::from_spec(&spec);
+        let m = exact_match_of(&p, port);
+        for (label, cond) in m.conditions(&Term::bv_const(16, port as u64), &p) {
+            prop_assert_eq!(cond.as_bool_const(), Some(true), "{} failed", label);
+        }
+    }
+
+    /// Changing the ingress port breaks exactly the in_port condition.
+    #[test]
+    fn wrong_in_port_fails_only_in_port(spec in arb_spec(), port in 1u16..100) {
+        let p = Packet::from_spec(&spec);
+        let m = exact_match_of(&p, port);
+        let conds = m.conditions(&Term::bv_const(16, port as u64 + 1), &p);
+        prop_assert_eq!(conds[0].1.as_bool_const(), Some(false));
+        for (label, cond) in &conds[1..] {
+            prop_assert_eq!(cond.as_bool_const(), Some(true), "{} failed", label);
+        }
+    }
+
+    /// Packet parse of serialized bytes reconstructs the framing.
+    #[test]
+    fn parse_reconstructs_framing(spec in arb_spec()) {
+        let p = Packet::from_spec(&spec);
+        let bytes = p.buf.as_concrete().expect("probe concrete");
+        let q = Packet::parse(&soft_sym::SymBuf::concrete(&bytes)).expect("parses");
+        prop_assert_eq!(q.vlan, p.vlan);
+        prop_assert_eq!(q.dl_vlan(), p.dl_vlan());
+        prop_assert_eq!(q.nw_src(), p.nw_src());
+        prop_assert_eq!(q.tp_dst(), p.tp_dst());
+    }
+
+    /// Field rewrites read back what was written.
+    #[test]
+    fn rewrites_roundtrip(spec in arb_spec(), vid in 0u64..4096, tos in any::<u8>(),
+                          ip in any::<u32>(), tp in any::<u16>()) {
+        let mut p = Packet::from_spec(&spec);
+        p.set_vlan_vid(&Term::bv_const(16, vid), true);
+        prop_assert_eq!(p.dl_vlan().as_bv_const(), Some(vid & 0xfff));
+        if p.has_ip() {
+            p.set_nw_src(&Term::bv_const(32, ip as u64));
+            prop_assert_eq!(p.nw_src().as_bv_const(), Some(ip as u64));
+            p.set_nw_tos(&Term::bv_const(8, tos as u64), true);
+            prop_assert_eq!(p.nw_tos().as_bv_const(), Some((tos & 0xfc) as u64));
+        }
+        if p.has_l4() {
+            p.set_tp_dst(&Term::bv_const(16, tp as u64));
+            prop_assert_eq!(p.tp_dst().as_bv_const(), Some(tp as u64));
+        }
+    }
+
+    /// Inserting then stripping a VLAN tag restores the original frame.
+    #[test]
+    fn vlan_insert_strip_roundtrip(spec in arb_spec(), vid in 0u64..4096) {
+        prop_assume!(spec.vlan.is_none());
+        let orig = Packet::from_spec(&spec);
+        let mut p = orig.clone();
+        p.set_vlan_vid(&Term::bv_const(16, vid), true);
+        prop_assert!(p.vlan);
+        p.strip_vlan();
+        prop_assert_eq!(p, orig);
+    }
+
+    /// CIDR wildcard semantics agree with a direct prefix computation.
+    #[test]
+    fn cidr_matches_prefix_semantics(entry_ip in any::<u32>(), pkt_ip in any::<u32>(),
+                                     n in 0u32..64) {
+        let spec = ProbeSpec { nw_src: pkt_ip, ..Default::default() };
+        let p = Packet::from_spec(&spec);
+        let mut m = MatchFields::wildcard_all();
+        m.wildcards = Term::bv_const(32, ((n & 0x3f) << wc::NW_SRC_SHIFT) as u64);
+        m.nw_src = Term::bv_const(32, entry_ip as u64);
+        let cond = m
+            .conditions(&Term::bv_const(16, 1), &p)
+            .into_iter()
+            .find(|(l, _)| *l == "match.nw_src")
+            .unwrap()
+            .1;
+        let expected = if n >= 32 {
+            true
+        } else {
+            (entry_ip >> n) == (pkt_ip >> n)
+        };
+        prop_assert_eq!(cond.as_bool_const(), Some(expected));
+    }
+
+    /// Truncation never exceeds the packet length and preserves prefixes.
+    #[test]
+    fn truncation_is_prefix(spec in arb_spec(), n in 0usize..200) {
+        let p = Packet::from_spec(&spec);
+        let t = p.truncated(n);
+        prop_assert_eq!(t.len(), n.min(p.len()));
+        let full = p.buf.as_concrete().unwrap();
+        let tr = t.as_concrete().unwrap();
+        prop_assert_eq!(&full[..tr.len()], &tr[..]);
+    }
+}

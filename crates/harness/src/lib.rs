@@ -1,0 +1,22 @@
+//! # soft-harness — the SOFT test driver
+//!
+//! Emulates the controller and network around an agent under test (§4.1):
+//! defines the evaluation test suite (Table 1, the Table 5 concretization
+//! ablations, the Figure 4 message-count study), drives symbolic
+//! exploration of an agent over a test's input sequence with probe-drop
+//! detection and output normalization, and serializes the per-vendor
+//! phase-1 artifacts that the crosschecking phase consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod input;
+pub mod recorded;
+pub mod runner;
+pub mod suite;
+pub mod wire;
+
+pub use input::{Input, TestCase};
+pub use recorded::{symbolize_frame, RecordedTrace, Symbolize};
+pub use runner::{run_test, ObservedOutput, PathRecord, TestRun};
+pub use wire::TestRunFile;

@@ -1,0 +1,302 @@
+//! Trace-driven test generation.
+//!
+//! §6.3 observes that OFRewind-style recorded traces "explore only one
+//! specific execution path" and suggests using recorded traces to *create*
+//! test inputs. This module implements that bridge: take concrete recorded
+//! OpenFlow frames, re-symbolize the fields of interest, and obtain a
+//! SOFT test case whose exploration covers *every* behaviour in the
+//! neighbourhood of the recorded interaction — not just the one path the
+//! trace took.
+
+use crate::input::{Input, TestCase};
+use soft_openflow::consts::msg_type;
+use soft_openflow::layout;
+use soft_openflow::parse::{parse, Message, ParseError};
+use soft_sym::SymBuf;
+
+/// Field families that can be re-symbolized in a recorded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbolize {
+    /// Output-action ports (and max_len) in flow mods / packet outs.
+    OutputPorts,
+    /// Arguments of set-field actions (VLAN vid/pcp, ToS, addresses).
+    ActionArguments,
+    /// The buffer id field.
+    BufferId,
+    /// The whole 40-byte match structure of a flow mod.
+    MatchStruct,
+    /// Idle/hard timeouts and flags of a flow mod.
+    TimeoutsAndFlags,
+    /// The statistics type of a stats request.
+    StatsType,
+}
+
+/// Error for trace-to-test conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// A frame failed to parse.
+    BadFrame(usize, ParseError),
+    /// A requested field family does not exist in the frame's type.
+    Inapplicable(usize, Symbolize),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::BadFrame(i, e) => write!(f, "frame {i}: {e}"),
+            RecordError::Inapplicable(i, s) => {
+                write!(f, "frame {i}: {s:?} not applicable to this message type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Byte ranges of the requested field family within a parsed frame.
+fn field_ranges(msg: &Message, sel: Symbolize) -> Option<Vec<(usize, usize)>> {
+    use layout::{action, flow_mod, packet_out, stats_request};
+    // Argument bytes of every action slot (after the type/len header).
+    let action_ranges = |base: usize, n: usize| -> Vec<(usize, usize)> {
+        (0..n)
+            .map(|i| {
+                let off = base + i * action::BASE_SIZE;
+                (off + 4, off + 8)
+            })
+            .collect()
+    };
+    match (msg, sel) {
+        (Message::PacketOut { actions, .. }, Symbolize::OutputPorts) => Some(
+            actions
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.atype == soft_openflow::consts::action::OUTPUT)
+                .map(|(i, _)| {
+                    let off = packet_out::ACTIONS + i * action::BASE_SIZE;
+                    (off + 4, off + 8)
+                })
+                .collect(),
+        ),
+        (Message::PacketOut { actions, .. }, Symbolize::ActionArguments) => {
+            Some(action_ranges(packet_out::ACTIONS, actions.len()))
+        }
+        (Message::PacketOut { .. }, Symbolize::BufferId) => {
+            Some(vec![(packet_out::BUFFER_ID, packet_out::BUFFER_ID + 4)])
+        }
+        (Message::FlowMod { actions, .. }, Symbolize::OutputPorts) => Some(
+            actions
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.atype == soft_openflow::consts::action::OUTPUT)
+                .map(|(i, _)| {
+                    let off = flow_mod::ACTIONS + i * action::BASE_SIZE;
+                    (off + 4, off + 8)
+                })
+                .collect(),
+        ),
+        (Message::FlowMod { actions, .. }, Symbolize::ActionArguments) => {
+            Some(action_ranges(flow_mod::ACTIONS, actions.len()))
+        }
+        (Message::FlowMod { .. }, Symbolize::BufferId) => {
+            Some(vec![(flow_mod::BUFFER_ID, flow_mod::BUFFER_ID + 4)])
+        }
+        (Message::FlowMod { .. }, Symbolize::MatchStruct) => {
+            Some(vec![(flow_mod::MATCH, flow_mod::MATCH + 40)])
+        }
+        (Message::FlowMod { .. }, Symbolize::TimeoutsAndFlags) => Some(vec![
+            (flow_mod::IDLE_TIMEOUT, flow_mod::HARD_TIMEOUT + 2),
+            (flow_mod::FLAGS, flow_mod::FLAGS + 2),
+        ]),
+        (Message::StatsRequest { .. }, Symbolize::StatsType) => {
+            Some(vec![(stats_request::TYPE, stats_request::TYPE + 2)])
+        }
+        _ => None,
+    }
+}
+
+/// Re-symbolize the selected field families of a recorded frame. The
+/// resulting buffer uses the standard `{tag}.b{offset}` variable naming,
+/// so runs of different agents align (§3.1's cross-agent requirement).
+pub fn symbolize_frame(
+    frame_idx: usize,
+    frame: &[u8],
+    tag: &str,
+    fields: &[Symbolize],
+) -> Result<SymBuf, RecordError> {
+    let parsed = parse(frame).map_err(|e| RecordError::BadFrame(frame_idx, e))?;
+    // Start fully symbolic (stable names), then pin every byte that is NOT
+    // selected back to its recorded value.
+    let symbolic = SymBuf::symbolic(tag, frame.len());
+    let mut selected = vec![false; frame.len()];
+    for sel in fields {
+        let ranges = field_ranges(&parsed.message, *sel)
+            .ok_or(RecordError::Inapplicable(frame_idx, *sel))?;
+        for (lo, hi) in ranges {
+            for flag in selected.iter_mut().take(hi.min(frame.len())).skip(lo) {
+                *flag = true;
+            }
+        }
+    }
+    let mut out = symbolic;
+    for (i, &byte) in frame.iter().enumerate() {
+        if !selected[i] {
+            out.set_u8(i, byte);
+        }
+    }
+    Ok(out)
+}
+
+/// A recorded controller-to-switch trace.
+#[derive(Debug, Clone, Default)]
+pub struct RecordedTrace {
+    /// Concrete frames, in arrival order.
+    pub frames: Vec<Vec<u8>>,
+}
+
+impl RecordedTrace {
+    /// New empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one recorded frame.
+    pub fn push(&mut self, frame: Vec<u8>) {
+        self.frames.push(frame);
+    }
+
+    /// Convert to a SOFT test: each frame gets the requested field
+    /// families re-symbolized (frames whose type doesn't carry the family
+    /// stay concrete), and a TCP probe is appended after any
+    /// state-changing message, per §3.3.
+    pub fn to_test(
+        &self,
+        id: &'static str,
+        fields: &[Symbolize],
+    ) -> Result<TestCase, RecordError> {
+        let mut inputs = Vec::new();
+        let mut any_state_changing = false;
+        for (i, frame) in self.frames.iter().enumerate() {
+            let parsed = parse(frame).map_err(|e| RecordError::BadFrame(i, e))?;
+            // Apply only the families applicable to this frame's type.
+            let applicable: Vec<Symbolize> = fields
+                .iter()
+                .copied()
+                .filter(|s| field_ranges(&parsed.message, *s).is_some())
+                .collect();
+            let tag = format!("m{i}");
+            let buf = if applicable.is_empty() {
+                SymBuf::concrete(frame)
+            } else {
+                symbolize_frame(i, frame, &tag, &applicable)?
+            };
+            if matches!(
+                parsed.message,
+                Message::FlowMod { .. } | Message::SetConfig { .. }
+            ) {
+                any_state_changing = true;
+            }
+            let _ = msg_type::FLOW_MOD; // keep the import honest
+            inputs.push(Input::Message(buf));
+        }
+        if any_state_changing {
+            inputs.push(Input::Probe {
+                in_port: 1,
+                packet: soft_dataplane::tcp_probe(),
+            });
+        }
+        Ok(TestCase::new(
+            id,
+            "Recorded trace",
+            "Re-symbolized recorded controller trace (OFRewind-style).",
+            inputs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_openflow::builder::{self, ActionSpec, FlowModSpec};
+
+    fn recorded_flow_mod() -> Vec<u8> {
+        builder::flow_mod("rec", &FlowModSpec::concrete_add(3))
+            .as_concrete()
+            .expect("concrete")
+    }
+
+    #[test]
+    fn symbolize_output_ports_only() {
+        let frame = recorded_flow_mod();
+        let buf = symbolize_frame(0, &frame, "m0", &[Symbolize::OutputPorts]).unwrap();
+        // Action port/max_len bytes (72+4..72+8) symbolic; everything else
+        // pinned to the recorded values.
+        for i in 0..frame.len() {
+            let is_sym = (76..80).contains(&i);
+            assert_eq!(
+                buf.u8(i).as_bv_const().is_none(),
+                is_sym,
+                "byte {i} symbolization wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn symbolize_match_struct() {
+        let frame = recorded_flow_mod();
+        let buf = symbolize_frame(0, &frame, "m0", &[Symbolize::MatchStruct]).unwrap();
+        for i in 8..48 {
+            assert!(buf.u8(i).as_bv_const().is_none(), "match byte {i}");
+        }
+        assert!(buf.u8(56).as_bv_const().is_some(), "command stays concrete");
+    }
+
+    #[test]
+    fn inapplicable_family_rejected() {
+        let frame = builder::hello(1).as_concrete().unwrap();
+        let err = symbolize_frame(0, &frame, "m0", &[Symbolize::OutputPorts]).unwrap_err();
+        assert!(matches!(err, RecordError::Inapplicable(0, _)));
+    }
+
+    #[test]
+    fn trace_to_test_appends_probe_after_state_change() {
+        let mut trace = RecordedTrace::new();
+        trace.push(builder::hello(1).as_concrete().unwrap());
+        trace.push(recorded_flow_mod());
+        let test = trace.to_test("rec_test", &[Symbolize::OutputPorts]).unwrap();
+        assert_eq!(test.inputs.len(), 3, "hello + flow mod + probe");
+        assert!(matches!(test.inputs.last(), Some(Input::Probe { .. })));
+    }
+
+    #[test]
+    fn pure_query_trace_has_no_probe() {
+        let mut trace = RecordedTrace::new();
+        trace.push(builder::concrete_header_only(soft_openflow::consts::msg_type::ECHO_REQUEST, 1).as_concrete().unwrap());
+        let test = trace.to_test("rec_q", &[]).unwrap();
+        assert_eq!(test.inputs.len(), 1);
+    }
+
+    #[test]
+    fn bad_frame_reported_with_index() {
+        let mut trace = RecordedTrace::new();
+        trace.push(vec![9, 9, 9]);
+        let err = trace.to_test("rec_bad", &[]).unwrap_err();
+        assert!(matches!(err, RecordError::BadFrame(0, _)));
+    }
+
+    #[test]
+    fn symbolized_packet_out_uses_recorded_payload() {
+        let payload = [1u8, 2, 3, 4];
+        let mut m = builder::packet_out("rp", &[ActionSpec::Output(2)], &payload);
+        m.set_u32(8, soft_openflow::consts::NO_BUFFER);
+        m.set_u16(12, 1);
+        let frame = m.as_concrete().unwrap();
+        let buf = symbolize_frame(0, &frame, "m0", &[Symbolize::OutputPorts]).unwrap();
+        // Payload bytes pinned.
+        let off = frame.len() - payload.len();
+        for (i, &b) in payload.iter().enumerate() {
+            assert_eq!(buf.u8(off + i).as_bv_const(), Some(b as u64));
+        }
+        // Port bytes symbolic.
+        assert!(buf.u16(20).as_bv_const().is_none());
+    }
+}

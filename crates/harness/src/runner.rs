@@ -1,0 +1,134 @@
+//! The test driver (§4.1).
+//!
+//! Emulates the controller and the network around an agent: completes the
+//! connection handshake, injects the test's symbolic messages and concrete
+//! probes one at a time, captures all emitted output events, marks silent
+//! probe drops, and — after exploration — normalizes each path's trace
+//! into the *observed output* the grouping phase keys on. Agent crashes
+//! are part of the observed output (externally, the TCP connection dies).
+
+use crate::input::{Input, TestCase};
+use soft_agents::AgentKind;
+use soft_openflow::{normalize_trace, TraceEvent};
+use soft_sym::{explore, Coverage, Exploration, ExplorationStats, ExplorerConfig, PathOutcome};
+use std::time::Duration;
+
+/// The normalized externally-observable result of one explored path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObservedOutput {
+    /// Normalized output events, in order.
+    pub events: Vec<TraceEvent>,
+    /// Whether the agent crashed while processing the inputs.
+    pub crashed: bool,
+}
+
+/// One explored path: its input subspace and what was observed.
+#[derive(Debug, Clone)]
+pub struct PathRecord {
+    /// The path condition (conjunction term over the input bytes).
+    pub condition: soft_smt::Term,
+    /// Size metric of the condition (boolean operation count, Table 2).
+    pub constraint_size: u64,
+    /// The normalized observed output.
+    pub output: ObservedOutput,
+}
+
+/// The result of symbolically executing one agent on one test.
+#[derive(Debug, Clone)]
+pub struct TestRun {
+    /// Agent identifier.
+    pub agent: String,
+    /// Test identifier.
+    pub test: String,
+    /// Effective paths (completed or crashed; engine-aborted paths are
+    /// dropped, mirroring "SOFT is capable of working with traces that are
+    /// only partially covering agents' code").
+    pub paths: Vec<PathRecord>,
+    /// Wall-clock time of the exploration.
+    pub wall: Duration,
+    /// Engine statistics.
+    pub stats: ExplorationStats,
+    /// Union coverage.
+    pub coverage: Coverage,
+    /// Instruction coverage percent against the agent's universe.
+    pub instruction_pct: f64,
+    /// Branch coverage percent against the agent's universe.
+    pub branch_pct: f64,
+}
+
+impl TestRun {
+    /// Average and maximum constraint size over the paths (Table 2).
+    pub fn constraint_size_stats(&self) -> (f64, u64) {
+        if self.paths.is_empty() {
+            return (0.0, 0);
+        }
+        let max = self.paths.iter().map(|p| p.constraint_size).max().unwrap_or(0);
+        let avg = self.paths.iter().map(|p| p.constraint_size).sum::<u64>() as f64
+            / self.paths.len() as f64;
+        (avg, max)
+    }
+
+    /// Number of paths on which the agent crashed.
+    pub fn crash_count(&self) -> usize {
+        self.paths.iter().filter(|p| p.output.crashed).count()
+    }
+}
+
+/// Symbolically execute `agent` on `test` (SOFT phase 1 for one
+/// agent/test pair).
+pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
+    let ex: Exploration<TraceEvent> = explore(cfg, |ctx| {
+        let mut a = agent.make();
+        a.on_connect(ctx)?;
+        for input in &test.inputs {
+            match input {
+                Input::Message(m) => a.handle_message(ctx, m)?,
+                Input::Probe { in_port, packet } => {
+                    let before = ctx.trace_len();
+                    a.handle_packet(ctx, *in_port, packet)?;
+                    if ctx.trace_len() == before {
+                        // "The probe packet is then either forwarded ...,
+                        // or it is dropped, in which case we log an empty
+                        // probe response."
+                        ctx.emit(TraceEvent::ProbeDropped);
+                    }
+                }
+                Input::AdvanceTime { now } => a.handle_time(ctx, *now)?,
+            }
+        }
+        Ok(())
+    });
+    summarize(agent, test, ex)
+}
+
+fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {
+    let universe = agent.make().universe();
+    let mut paths = Vec::new();
+    for p in &ex.paths {
+        let crashed = match &p.outcome {
+            PathOutcome::Completed => false,
+            PathOutcome::Crashed(_) => true,
+            PathOutcome::Aborted(_) => continue,
+        };
+        let condition = p.condition_term();
+        let constraint_size = soft_smt::metrics::op_count(&condition);
+        paths.push(PathRecord {
+            condition,
+            constraint_size,
+            output: ObservedOutput {
+                events: normalize_trace(&p.trace),
+                crashed,
+            },
+        });
+    }
+    TestRun {
+        agent: agent.id().to_string(),
+        test: test.id.to_string(),
+        paths,
+        wall: ex.stats.wall,
+        instruction_pct: ex.coverage.instruction_pct(&universe),
+        branch_pct: ex.coverage.branch_pct(&universe),
+        coverage: ex.coverage,
+        stats: ex.stats,
+    }
+}

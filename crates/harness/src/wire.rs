@@ -1,0 +1,387 @@
+//! Serializable phase-1 artifacts.
+//!
+//! SOFT's two phases are decoupled (§2.4): each vendor runs symbolic
+//! execution on its own agent and ships only *intermediate results* — the
+//! input-space partition (path conditions) and the output observed for
+//! each subspace. This module defines that interchange format as JSON with
+//! terms in the `soft-smt` wire syntax, so the crosschecking party needs
+//! no access to the agent at all.
+
+use crate::runner::{ObservedOutput, PathRecord, TestRun};
+use serde::{Deserialize, Serialize};
+use soft_openflow::TraceEvent;
+use soft_smt::{sexpr, Term};
+use soft_sym::SymBuf;
+
+/// Serializable form of a term.
+fn term_out(t: &Term) -> String {
+    sexpr::to_wire(t)
+}
+
+fn term_in(s: &str) -> Result<Term, String> {
+    sexpr::from_wire(s).map_err(|e| e.to_string())
+}
+
+/// Serializable form of a byte buffer: each byte as a wire term.
+fn buf_out(b: &SymBuf) -> Vec<String> {
+    b.bytes().iter().map(term_out).collect()
+}
+
+fn buf_in(v: &[String]) -> Result<SymBuf, String> {
+    let mut b = SymBuf::empty();
+    for s in v {
+        let t = term_in(s)?;
+        if t.sort() != soft_smt::Sort::Bv(8) {
+            return Err(format!("buffer byte has sort {:?}", t.sort()));
+        }
+        b.push(t);
+    }
+    Ok(b)
+}
+
+/// Wire form of one trace event.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum EventFile {
+    /// OpenFlow error message.
+    Error {
+        /// Transaction id (wire term).
+        xid: String,
+        /// Error type (wire term).
+        etype: String,
+        /// Error code (wire term).
+        code: String,
+    },
+    /// Packet In message.
+    PacketIn {
+        /// Buffer id (wire term).
+        buffer_id: String,
+        /// Ingress port (wire term).
+        in_port: String,
+        /// Reason (wire term).
+        reason: String,
+        /// Included data length (wire term).
+        data_len: String,
+        /// Data bytes (wire terms).
+        data: Vec<String>,
+    },
+    /// Any other OpenFlow reply.
+    OfReply {
+        /// Reply message type.
+        msg_type: u8,
+        /// Named fields (name, wire term).
+        fields: Vec<(String, String)>,
+        /// Body bytes (wire terms).
+        body: Vec<String>,
+    },
+    /// Data-plane transmission.
+    DataPlaneTx {
+        /// Egress port (wire term).
+        port: String,
+        /// Frame bytes (wire terms).
+        data: Vec<String>,
+    },
+    /// Flooded frame.
+    Flood {
+        /// Ingress excluded from the flood set?
+        exclude_ingress: bool,
+        /// Frame bytes (wire terms).
+        data: Vec<String>,
+    },
+    /// Handed to the traditional forwarding path.
+    NormalForward {
+        /// Frame bytes (wire terms).
+        data: Vec<String>,
+    },
+    /// Probe produced no output.
+    ProbeDropped,
+}
+
+impl EventFile {
+    /// Convert from the in-memory event.
+    pub fn from_event(e: &TraceEvent) -> EventFile {
+        match e {
+            TraceEvent::Error { xid, etype, code } => EventFile::Error {
+                xid: term_out(xid),
+                etype: term_out(etype),
+                code: term_out(code),
+            },
+            TraceEvent::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                data_len,
+                data,
+            } => EventFile::PacketIn {
+                buffer_id: term_out(buffer_id),
+                in_port: term_out(in_port),
+                reason: term_out(reason),
+                data_len: term_out(data_len),
+                data: buf_out(data),
+            },
+            TraceEvent::OfReply {
+                msg_type,
+                fields,
+                body,
+            } => EventFile::OfReply {
+                msg_type: *msg_type,
+                fields: fields
+                    .iter()
+                    .map(|(n, t)| (n.to_string(), term_out(t)))
+                    .collect(),
+                body: buf_out(body),
+            },
+            TraceEvent::DataPlaneTx { port, data } => EventFile::DataPlaneTx {
+                port: term_out(port),
+                data: buf_out(data),
+            },
+            TraceEvent::Flood {
+                exclude_ingress,
+                data,
+            } => EventFile::Flood {
+                exclude_ingress: *exclude_ingress,
+                data: buf_out(data),
+            },
+            TraceEvent::NormalForward { data } => EventFile::NormalForward { data: buf_out(data) },
+            TraceEvent::ProbeDropped => EventFile::ProbeDropped,
+        }
+    }
+
+    /// Convert back to the in-memory event. Field names are interned as
+    /// static strings from a fixed vocabulary; unknown names are rejected.
+    pub fn to_event(&self) -> Result<TraceEvent, String> {
+        Ok(match self {
+            EventFile::Error { xid, etype, code } => TraceEvent::Error {
+                xid: term_in(xid)?,
+                etype: term_in(etype)?,
+                code: term_in(code)?,
+            },
+            EventFile::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                data_len,
+                data,
+            } => TraceEvent::PacketIn {
+                buffer_id: term_in(buffer_id)?,
+                in_port: term_in(in_port)?,
+                reason: term_in(reason)?,
+                data_len: term_in(data_len)?,
+                data: buf_in(data)?,
+            },
+            EventFile::OfReply {
+                msg_type,
+                fields,
+                body,
+            } => TraceEvent::OfReply {
+                msg_type: *msg_type,
+                fields: fields
+                    .iter()
+                    .map(|(n, t)| Ok((intern_field(n)?, term_in(t)?)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                body: buf_in(body)?,
+            },
+            EventFile::DataPlaneTx { port, data } => TraceEvent::DataPlaneTx {
+                port: term_in(port)?,
+                data: buf_in(data)?,
+            },
+            EventFile::Flood {
+                exclude_ingress,
+                data,
+            } => TraceEvent::Flood {
+                exclude_ingress: *exclude_ingress,
+                data: buf_in(data)?,
+            },
+            EventFile::NormalForward { data } => TraceEvent::NormalForward { data: buf_in(data)? },
+            EventFile::ProbeDropped => TraceEvent::ProbeDropped,
+        })
+    }
+}
+
+/// The fixed vocabulary of reply field names.
+const FIELD_NAMES: [&str; 10] = [
+    "xid",
+    "stats_type",
+    "flags",
+    "miss_send_len",
+    "datapath_id",
+    "n_buffers",
+    "n_tables",
+    "port",
+    "priority",
+    "cookie",
+];
+
+fn intern_field(n: &str) -> Result<&'static str, String> {
+    FIELD_NAMES
+        .iter()
+        .find(|f| **f == n)
+        .copied()
+        .ok_or_else(|| format!("unknown reply field '{n}'"))
+}
+
+/// Wire form of one explored path.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PathFile {
+    /// Path condition (wire term).
+    pub condition: String,
+    /// Whether the agent crashed.
+    pub crashed: bool,
+    /// Normalized output events.
+    pub events: Vec<EventFile>,
+}
+
+/// Wire form of a whole test run — the phase-1 artifact a vendor ships.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TestRunFile {
+    /// Agent identifier.
+    pub agent: String,
+    /// Test identifier.
+    pub test: String,
+    /// Explored paths.
+    pub paths: Vec<PathFile>,
+    /// Exploration wall-clock time, milliseconds.
+    pub wall_ms: u64,
+    /// Instruction coverage percent.
+    pub instruction_pct: f64,
+    /// Branch coverage percent.
+    pub branch_pct: f64,
+    /// Whether exploration hit a configured limit.
+    pub truncated: bool,
+}
+
+impl TestRunFile {
+    /// Build the wire form of a test run.
+    pub fn from_run(run: &TestRun) -> TestRunFile {
+        TestRunFile {
+            agent: run.agent.clone(),
+            test: run.test.clone(),
+            paths: run
+                .paths
+                .iter()
+                .map(|p| PathFile {
+                    condition: term_out(&p.condition),
+                    crashed: p.output.crashed,
+                    events: p.output.events.iter().map(EventFile::from_event).collect(),
+                })
+                .collect(),
+            wall_ms: run.wall.as_millis() as u64,
+            instruction_pct: run.instruction_pct,
+            branch_pct: run.branch_pct,
+            truncated: run.stats.truncated,
+        }
+    }
+
+    /// Reconstruct the in-memory records (for the crosschecking phase —
+    /// no agent access needed).
+    pub fn to_paths(&self) -> Result<Vec<PathRecord>, String> {
+        self.paths
+            .iter()
+            .map(|p| {
+                let condition = term_in(&p.condition)?;
+                let events = p
+                    .events
+                    .iter()
+                    .map(EventFile::to_event)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(PathRecord {
+                    constraint_size: soft_smt::metrics::op_count(&condition),
+                    condition,
+                    output: ObservedOutput { events, crashed: p.crashed },
+                })
+            })
+            .collect()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("TestRunFile serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<TestRunFile, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent::PacketIn {
+            buffer_id: Term::bv_const(32, 0),
+            in_port: Term::var("w.in", 16),
+            reason: Term::bv_const(8, 0),
+            data_len: Term::bv_const(16, 2),
+            data: SymBuf::concrete(&[0xab, 0xcd]),
+        }
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let e = sample_event();
+        let f = EventFile::from_event(&e);
+        assert_eq!(f.to_event().unwrap(), e);
+
+        let err = TraceEvent::Error {
+            xid: Term::bv_const(32, 0),
+            etype: Term::bv_const(16, 1),
+            code: Term::bv_const(16, 6),
+        };
+        let f = EventFile::from_event(&err);
+        assert_eq!(f.to_event().unwrap(), err);
+    }
+
+    #[test]
+    fn of_reply_roundtrip_interns_fields() {
+        let e = TraceEvent::OfReply {
+            msg_type: 17,
+            fields: vec![("stats_type", Term::bv_const(16, 3))],
+            body: SymBuf::concrete(b"x"),
+        };
+        let f = EventFile::from_event(&e);
+        assert_eq!(f.to_event().unwrap(), e);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let f = EventFile::OfReply {
+            msg_type: 17,
+            fields: vec![("bogus".into(), "(c 16 1)".into())],
+            body: vec![],
+        };
+        assert!(f.to_event().is_err());
+    }
+
+    #[test]
+    fn run_file_json_roundtrip() {
+        let cond = Term::var("w.x", 8).eq(Term::bv_const(8, 7));
+        let run_file = TestRunFile {
+            agent: "reference".into(),
+            test: "packet_out".into(),
+            paths: vec![PathFile {
+                condition: sexpr::to_wire(&cond),
+                crashed: true,
+                events: vec![EventFile::from_event(&sample_event())],
+            }],
+            wall_ms: 12,
+            instruction_pct: 26.2,
+            branch_pct: 19.3,
+            truncated: false,
+        };
+        let json = run_file.to_json();
+        let back = TestRunFile::from_json(&json).unwrap();
+        assert_eq!(back, run_file);
+        let paths = back.to_paths().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].condition, cond);
+        assert!(paths[0].output.crashed);
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        assert!(TestRunFile::from_json("{").is_err());
+        assert!(TestRunFile::from_json("{\"agent\": 3}").is_err());
+    }
+}

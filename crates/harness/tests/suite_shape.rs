@@ -1,0 +1,164 @@
+//! The test-suite definitions must match the paper's Table 1 exactly —
+//! names, order, message counts, and the structural properties the
+//! evaluation relies on.
+
+use soft_harness::{suite, Input};
+use soft_openflow::consts::msg_type;
+
+#[test]
+fn table1_has_exactly_the_paper_rows() {
+    let names: Vec<&str> = suite::table1_suite().iter().map(|t| t.name).collect();
+    assert_eq!(
+        names,
+        vec![
+            "Packet Out",
+            "Stats Request",
+            "Set Config",
+            "FlowMod",
+            "Eth FlowMod",
+            "CS FlowMods",
+            "Concrete",
+            "Short Symb"
+        ]
+    );
+}
+
+#[test]
+fn message_counts_match_table2_column() {
+    // Table 2's "Message count" column: 1,1,2,2,2,2,4,1.
+    let counts: Vec<usize> = suite::table1_suite()
+        .iter()
+        .map(|t| t.message_count)
+        .collect();
+    assert_eq!(counts, vec![1, 1, 2, 2, 2, 2, 4, 1]);
+}
+
+#[test]
+fn probes_follow_state_changing_messages() {
+    // §3.3: a concrete packet probes the state after any potentially
+    // state-changing symbolic message.
+    for t in [suite::set_config(), suite::flow_mod(), suite::eth_flow_mod()] {
+        assert!(
+            matches!(t.inputs.last(), Some(Input::Probe { .. })),
+            "{} must end with a probe",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn cs_flow_mods_is_concrete_then_symbolic() {
+    let t = suite::cs_flow_mods();
+    let msgs: Vec<_> = t
+        .inputs
+        .iter()
+        .filter_map(|i| match i {
+            Input::Message(m) => Some(m),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(msgs.len(), 2);
+    assert!(msgs[0].as_concrete().is_some(), "first flow mod is concrete");
+    assert!(msgs[1].as_concrete().is_none(), "second flow mod is symbolic");
+}
+
+#[test]
+fn concrete_suite_has_the_four_fixed_messages() {
+    let t = suite::concrete();
+    let types: Vec<u64> = t
+        .inputs
+        .iter()
+        .filter_map(|i| match i {
+            Input::Message(m) => m.u8(1).as_bv_const(),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        types,
+        vec![
+            msg_type::ECHO_REQUEST as u64,
+            msg_type::FEATURES_REQUEST as u64,
+            msg_type::GET_CONFIG_REQUEST as u64,
+            msg_type::BARRIER_REQUEST as u64
+        ]
+    );
+    for i in &t.inputs {
+        if let Input::Message(m) = i {
+            assert!(m.as_concrete().is_some(), "concrete test must be concrete");
+            assert_eq!(m.len(), 8);
+        }
+    }
+}
+
+#[test]
+fn short_symb_is_ten_bytes_version_only() {
+    let t = suite::short_symb();
+    let Input::Message(m) = &t.inputs[0] else {
+        panic!("short symb is one message")
+    };
+    assert_eq!(m.len(), 10);
+    let concrete_bytes: Vec<usize> = (0..10)
+        .filter(|&i| m.u8(i).as_bv_const().is_some())
+        .collect();
+    assert_eq!(concrete_bytes, vec![0], "only the version byte is concrete");
+}
+
+#[test]
+fn table5_suite_matches_paper_rows() {
+    let names: Vec<&str> = suite::ablation::table5_suite()
+        .iter()
+        .map(|t| t.name)
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "Fully Symbolic",
+            "Concrete Match",
+            "Concrete Action",
+            "Concrete Probe",
+            "Symbolic Probe"
+        ]
+    );
+}
+
+#[test]
+fn fig4_sequences_grow_by_one_message() {
+    let seqs = suite::fig4_message_sequences();
+    assert_eq!(seqs.len(), 3);
+    for (i, t) in seqs.iter().enumerate() {
+        assert_eq!(t.message_count, i + 1);
+    }
+}
+
+#[test]
+fn test_ids_are_unique() {
+    let mut ids: Vec<&str> = suite::table1_suite().iter().map(|t| t.id).collect();
+    ids.push(suite::queue_config().id);
+    ids.push(suite::timeout_flow_mod().id);
+    ids.extend(suite::ablation::table5_suite().iter().map(|t| t.id));
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate test ids");
+}
+
+#[test]
+fn symbolic_messages_share_variable_namespace_across_builds() {
+    // The cross-agent alignment property at suite level: building the
+    // same test twice yields identical inputs (same variables).
+    for (a, b) in suite::table1_suite().iter().zip(suite::table1_suite().iter()) {
+        assert_eq!(a.inputs.len(), b.inputs.len());
+        for (x, y) in a.inputs.iter().zip(b.inputs.iter()) {
+            match (x, y) {
+                (Input::Message(ma), Input::Message(mb)) => assert_eq!(ma, mb),
+                (Input::Probe { packet: pa, .. }, Input::Probe { packet: pb, .. }) => {
+                    assert_eq!(pa, pb)
+                }
+                (Input::AdvanceTime { now: na }, Input::AdvanceTime { now: nb }) => {
+                    assert_eq!(na, nb)
+                }
+                _ => panic!("input shape mismatch"),
+            }
+        }
+    }
+}

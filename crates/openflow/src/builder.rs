@@ -1,0 +1,417 @@
+//! Symbolic test-message construction.
+//!
+//! This implements §3.2 of the paper: inputs are *structured* symbolic
+//! messages. A message starts fully symbolic (every byte a fresh variable
+//! named `{tag}.b{offset}`) and the fields that must be concrete for
+//! tractable exploration — protocol version, message type, total length,
+//! action-list geometry — are overwritten with constants. Anything left
+//! symbolic keeps its byte variables, so path conditions from different
+//! agents fed the same spec refer to the same variables and can be
+//! conjoined by the crosschecking phase.
+
+use crate::consts::{action, msg_type, OFP_VERSION};
+use crate::layout;
+use soft_sym::SymBuf;
+
+/// How one action slot in an action list is constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionSpec {
+    /// Fully symbolic action: type and argument bytes symbolic, length
+    /// concretized to 8 (§3.2.1: "we predetermine the number of action
+    /// items and the relative lengths as concrete values").
+    Symbolic,
+    /// An OUTPUT action with symbolic port and max_len.
+    SymbolicOutput,
+    /// Concrete OUTPUT action to the given port.
+    Output(u16),
+    /// Concrete SET_VLAN_VID action.
+    SetVlanVid(u16),
+    /// Concrete SET_VLAN_PCP action.
+    SetVlanPcp(u8),
+    /// Concrete SET_NW_TOS action.
+    SetNwTos(u8),
+    /// Concrete STRIP_VLAN action.
+    StripVlan,
+}
+
+impl ActionSpec {
+    fn write(&self, m: &mut SymBuf, off: usize) {
+        // Every action slot is 8 bytes with a concrete length field.
+        m.set_u16(off + layout::action::LEN, layout::action::BASE_SIZE as u16);
+        match self {
+            ActionSpec::Symbolic => {
+                // type + 4 argument bytes stay symbolic
+            }
+            ActionSpec::SymbolicOutput => {
+                m.set_u16(off + layout::action::TYPE, action::OUTPUT);
+                // port and max_len stay symbolic
+            }
+            ActionSpec::Output(port) => {
+                m.set_u16(off + layout::action::TYPE, action::OUTPUT);
+                m.set_u16(off + layout::action::OUTPUT_PORT, *port);
+                m.set_u16(off + layout::action::OUTPUT_MAX_LEN, 0);
+            }
+            ActionSpec::SetVlanVid(vid) => {
+                m.set_u16(off + layout::action::TYPE, action::SET_VLAN_VID);
+                m.set_u16(off + layout::action::VLAN_VID, *vid);
+                m.set_u16(off + 6, 0);
+            }
+            ActionSpec::SetVlanPcp(pcp) => {
+                m.set_u16(off + layout::action::TYPE, action::SET_VLAN_PCP);
+                m.set_u8(off + layout::action::VLAN_PCP, *pcp);
+                m.set_u8(off + 5, 0);
+                m.set_u16(off + 6, 0);
+            }
+            ActionSpec::SetNwTos(tos) => {
+                m.set_u16(off + layout::action::TYPE, action::SET_NW_TOS);
+                m.set_u8(off + layout::action::NW_TOS, *tos);
+                m.set_u8(off + 5, 0);
+                m.set_u16(off + 6, 0);
+            }
+            ActionSpec::StripVlan => {
+                m.set_u16(off + layout::action::TYPE, action::STRIP_VLAN);
+                m.set_u32(off + 4, 0);
+            }
+        }
+    }
+}
+
+/// How the 40-byte `ofp_match` of a flow mod is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMode {
+    /// All 40 bytes symbolic.
+    Symbolic,
+    /// Concrete match wildcarding everything (the "Concrete Match"
+    /// ablation variant of Table 5).
+    WildcardAll,
+    /// Ethernet-related fields symbolic; network/transport fields
+    /// concretized and wildcarded (the "Eth FlowMod" test of Table 1).
+    EthOnly,
+}
+
+fn write_header(m: &mut SymBuf, mtype: u8, len: u16, xid: u32) {
+    m.set_u8(layout::header::VERSION, OFP_VERSION);
+    m.set_u8(layout::header::TYPE, mtype);
+    m.set_u16(layout::header::LENGTH, len);
+    m.set_u32(layout::header::XID, xid);
+}
+
+/// An 8-byte concrete message with no body (Hello, Echo Request,
+/// Features Request, Get Config Request, Barrier Request).
+pub fn concrete_header_only(mtype: u8, xid: u32) -> SymBuf {
+    let mut m = SymBuf::concrete(&[0; layout::header::SIZE]);
+    write_header(&mut m, mtype, layout::header::SIZE as u16, xid);
+    m
+}
+
+/// Hello message (sent by both sides at connection setup).
+pub fn hello(xid: u32) -> SymBuf {
+    concrete_header_only(msg_type::HELLO, xid)
+}
+
+/// The "Concrete" test of Table 1: the four concrete 8-byte messages that
+/// have no variable fields.
+pub fn concrete_suite(xid: u32) -> Vec<SymBuf> {
+    vec![
+        concrete_header_only(msg_type::ECHO_REQUEST, xid),
+        concrete_header_only(msg_type::FEATURES_REQUEST, xid + 1),
+        concrete_header_only(msg_type::GET_CONFIG_REQUEST, xid + 2),
+        concrete_header_only(msg_type::BARRIER_REQUEST, xid + 3),
+    ]
+}
+
+/// Symbolic Packet Out (Table 1 "Packet Out"): concrete header and action
+/// geometry; buffer_id, in_port and action arguments symbolic; `payload`
+/// appended as the packet data.
+pub fn packet_out(tag: &str, actions: &[ActionSpec], payload: &[u8]) -> SymBuf {
+    let actions_len = actions.len() * layout::action::BASE_SIZE;
+    let total = layout::packet_out::FIXED_SIZE + actions_len + payload.len();
+    let mut m = SymBuf::symbolic(tag, total);
+    write_header(&mut m, msg_type::PACKET_OUT, total as u16, 0);
+    m.set_u16(layout::packet_out::ACTIONS_LEN, actions_len as u16);
+    for (i, a) in actions.iter().enumerate() {
+        a.write(
+            &mut m,
+            layout::packet_out::ACTIONS + i * layout::action::BASE_SIZE,
+        );
+    }
+    let data_off = layout::packet_out::FIXED_SIZE + actions_len;
+    for (i, &b) in payload.iter().enumerate() {
+        m.set_u8(data_off + i, b);
+    }
+    m
+}
+
+/// Options for building a (partially) symbolic Flow Mod.
+#[derive(Debug, Clone)]
+pub struct FlowModSpec {
+    /// Match construction mode.
+    pub match_mode: MatchMode,
+    /// Action slots.
+    pub actions: Vec<ActionSpec>,
+    /// Concretize the command field (None = symbolic).
+    pub command: Option<u16>,
+    /// Concretize the buffer id (None = symbolic).
+    pub buffer_id: Option<u32>,
+    /// Concretize the priority (None = symbolic).
+    pub priority: Option<u16>,
+    /// Concretize idle/hard timeouts (None = symbolic).
+    pub timeouts: Option<(u16, u16)>,
+    /// Concretize the flags field (None = symbolic).
+    pub flags: Option<u16>,
+    /// Concretize the out_port field (None = symbolic).
+    pub out_port: Option<u16>,
+    /// Concretize the cookie (None = symbolic).
+    pub cookie: Option<u64>,
+}
+
+impl FlowModSpec {
+    /// The Table 1 "FlowMod" test: symbolic match, 1 symbolic action and a
+    /// symbolic output action, everything else pinned to an ADD of an
+    /// unbuffered flow (keeping the focus on match/action handling).
+    pub fn symbolic_default() -> FlowModSpec {
+        FlowModSpec {
+            match_mode: MatchMode::Symbolic,
+            actions: vec![ActionSpec::Symbolic, ActionSpec::SymbolicOutput],
+            command: None,
+            buffer_id: None,
+            priority: Some(0x8000),
+            timeouts: Some((0, 0)),
+            flags: None,
+            out_port: Some(crate::consts::port::OFPP_NONE),
+            cookie: Some(0),
+        }
+    }
+
+    /// The Table 1 "Eth FlowMod" test: non-Ethernet fields concretized.
+    pub fn eth_default() -> FlowModSpec {
+        FlowModSpec {
+            match_mode: MatchMode::EthOnly,
+            ..FlowModSpec::symbolic_default()
+        }
+    }
+
+    /// A fully concrete ADD flow mod (first message of "CS FlowMods").
+    pub fn concrete_add(out_port: u16) -> FlowModSpec {
+        FlowModSpec {
+            match_mode: MatchMode::WildcardAll,
+            actions: vec![ActionSpec::Output(out_port)],
+            command: Some(crate::consts::flow_mod_cmd::ADD),
+            buffer_id: Some(crate::consts::NO_BUFFER),
+            priority: Some(0x8000),
+            timeouts: Some((0, 0)),
+            flags: Some(0),
+            out_port: Some(crate::consts::port::OFPP_NONE),
+            cookie: Some(0),
+        }
+    }
+}
+
+/// Build a Flow Mod message per `spec`, with symbolic bytes named from
+/// `tag`.
+pub fn flow_mod(tag: &str, spec: &FlowModSpec) -> SymBuf {
+    use layout::flow_mod as fm;
+    use layout::ofp_match as om;
+    let actions_len = spec.actions.len() * layout::action::BASE_SIZE;
+    let total = fm::FIXED_SIZE + actions_len;
+    let mut m = SymBuf::symbolic(tag, total);
+    write_header(&mut m, msg_type::FLOW_MOD, total as u16, 0);
+    match spec.match_mode {
+        MatchMode::Symbolic => {}
+        MatchMode::WildcardAll => {
+            for i in 0..om::SIZE {
+                m.set_u8(fm::MATCH + i, 0);
+            }
+            m.set_u32(fm::MATCH + om::WILDCARDS, crate::consts::wildcards::ALL);
+        }
+        MatchMode::EthOnly => {
+            // Wildcards symbolic; nw/tp fields concretized to zero, pads
+            // zeroed, dl fields left symbolic.
+            m.set_u8(fm::MATCH + om::NW_TOS, 0);
+            m.set_u8(fm::MATCH + om::NW_PROTO, 0);
+            m.set_u16(fm::MATCH + 26, 0); // pad
+            m.set_u32(fm::MATCH + om::NW_SRC, 0);
+            m.set_u32(fm::MATCH + om::NW_DST, 0);
+            m.set_u16(fm::MATCH + om::TP_SRC, 0);
+            m.set_u16(fm::MATCH + om::TP_DST, 0);
+            m.set_u8(fm::MATCH + 21, 0); // pad
+        }
+    }
+    if let Some(c) = spec.cookie {
+        m.set_u32(fm::COOKIE, (c >> 32) as u32);
+        m.set_u32(fm::COOKIE + 4, c as u32);
+    }
+    if let Some(cmd) = spec.command {
+        m.set_u16(fm::COMMAND, cmd);
+    }
+    if let Some((idle, hard)) = spec.timeouts {
+        m.set_u16(fm::IDLE_TIMEOUT, idle);
+        m.set_u16(fm::HARD_TIMEOUT, hard);
+    }
+    if let Some(p) = spec.priority {
+        m.set_u16(fm::PRIORITY, p);
+    }
+    if let Some(b) = spec.buffer_id {
+        m.set_u32(fm::BUFFER_ID, b);
+    }
+    if let Some(op) = spec.out_port {
+        m.set_u16(fm::OUT_PORT, op);
+    }
+    if let Some(f) = spec.flags {
+        m.set_u16(fm::FLAGS, f);
+    }
+    for (i, a) in spec.actions.iter().enumerate() {
+        a.write(&mut m, fm::ACTIONS + i * layout::action::BASE_SIZE);
+    }
+    m
+}
+
+/// Symbolic Stats Request (Table 1 "Stats Request"): type, flags, and body
+/// symbolic; sized to carry a flow-stats body so every request type is
+/// reachable ("it covers all possible statistics requests").
+pub fn stats_request(tag: &str) -> SymBuf {
+    let total = layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE;
+    let mut m = SymBuf::symbolic(tag, total);
+    write_header(&mut m, msg_type::STATS_REQUEST, total as u16, 0);
+    m
+}
+
+/// Symbolic Set Config (Table 1 "Set Config"): flags and miss_send_len
+/// symbolic.
+pub fn set_config(tag: &str) -> SymBuf {
+    let mut m = SymBuf::symbolic(tag, layout::switch_config::SIZE);
+    write_header(
+        &mut m,
+        msg_type::SET_CONFIG,
+        layout::switch_config::SIZE as u16,
+        0,
+    );
+    m
+}
+
+/// Symbolic Queue Get Config Request: port symbolic. (Drives the Reference
+/// Switch's port-0 memory error, §5.1.2.)
+pub fn queue_config_request(tag: &str) -> SymBuf {
+    let mut m = SymBuf::symbolic(tag, layout::queue_config_request::SIZE);
+    write_header(
+        &mut m,
+        msg_type::QUEUE_GET_CONFIG_REQUEST,
+        layout::queue_config_request::SIZE as u16,
+        0,
+    );
+    m
+}
+
+/// The Table 1 "Short Symb" test: a 10-byte message in which only the
+/// version byte is concrete — even the type and length are symbolic.
+pub fn short_symbolic(tag: &str) -> SymBuf {
+    let mut m = SymBuf::symbolic(tag, 10);
+    m.set_u8(layout::header::VERSION, OFP_VERSION);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::port;
+
+    #[test]
+    fn header_only_messages_are_concrete() {
+        let h = hello(7);
+        let bytes = h.as_concrete().expect("hello must be concrete");
+        assert_eq!(bytes, vec![1, 0, 0, 8, 0, 0, 0, 7]);
+        assert_eq!(concrete_suite(0).len(), 4);
+        for m in concrete_suite(0) {
+            assert!(m.as_concrete().is_some());
+        }
+    }
+
+    #[test]
+    fn packet_out_geometry() {
+        let payload = [0xaa; 20];
+        let m = packet_out(
+            "po",
+            &[ActionSpec::Symbolic, ActionSpec::SymbolicOutput],
+            &payload,
+        );
+        assert_eq!(m.len(), 16 + 16 + 20);
+        // Header concrete.
+        assert_eq!(m.u8(0).as_bv_const(), Some(1));
+        assert_eq!(m.u8(1).as_bv_const(), Some(13));
+        assert_eq!(m.u16(2).as_bv_const(), Some(52));
+        // actions_len concrete.
+        assert_eq!(m.u16(14).as_bv_const(), Some(16));
+        // buffer_id and in_port symbolic.
+        assert!(m.u32(8).as_bv_const().is_none());
+        assert!(m.u16(12).as_bv_const().is_none());
+        // action 0: type symbolic, len concrete 8.
+        assert!(m.u16(16).as_bv_const().is_none());
+        assert_eq!(m.u16(18).as_bv_const(), Some(8));
+        // action 1: type concrete OUTPUT, port symbolic.
+        assert_eq!(m.u16(24).as_bv_const(), Some(0));
+        assert!(m.u16(28).as_bv_const().is_none());
+        // payload concrete.
+        assert_eq!(m.u8(32).as_bv_const(), Some(0xaa));
+    }
+
+    #[test]
+    fn flow_mod_symbolic_default() {
+        let m = flow_mod("fm", &FlowModSpec::symbolic_default());
+        assert_eq!(m.len(), 72 + 16);
+        assert_eq!(m.u8(1).as_bv_const(), Some(14));
+        // Match symbolic.
+        assert!(m.u32(8).as_bv_const().is_none());
+        // Command symbolic, priority concrete.
+        assert!(m.u16(56).as_bv_const().is_none());
+        assert_eq!(m.u16(62).as_bv_const(), Some(0x8000));
+        assert_eq!(m.u16(68).as_bv_const(), Some(port::OFPP_NONE as u64));
+    }
+
+    #[test]
+    fn flow_mod_concrete_add_is_fully_concrete() {
+        let m = flow_mod("cfm", &FlowModSpec::concrete_add(3));
+        assert!(
+            m.as_concrete().is_some(),
+            "concrete_add must have no symbolic bytes"
+        );
+    }
+
+    #[test]
+    fn eth_flow_mod_concretizes_network_fields() {
+        let m = flow_mod("efm", &FlowModSpec::eth_default());
+        use layout::flow_mod as fm;
+        use layout::ofp_match as om;
+        assert_eq!(m.u32(fm::MATCH + om::NW_SRC).as_bv_const(), Some(0));
+        assert_eq!(m.u16(fm::MATCH + om::TP_DST).as_bv_const(), Some(0));
+        // dl fields still symbolic
+        assert!(m.u16(fm::MATCH + om::DL_VLAN).as_bv_const().is_none());
+        assert!(m.u48(fm::MATCH + om::DL_SRC).as_bv_const().is_none());
+    }
+
+    #[test]
+    fn stats_request_shape() {
+        let m = stats_request("sr");
+        assert_eq!(m.len(), 56);
+        assert_eq!(m.u8(1).as_bv_const(), Some(16));
+        assert!(m.u16(8).as_bv_const().is_none(), "stats type symbolic");
+    }
+
+    #[test]
+    fn short_symbolic_only_version_concrete() {
+        let m = short_symbolic("ss");
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.u8(0).as_bv_const(), Some(1));
+        for i in 1..10 {
+            assert!(m.u8(i).as_bv_const().is_none(), "byte {i} should be symbolic");
+        }
+    }
+
+    #[test]
+    fn variable_names_are_stable_across_builds() {
+        // Two builds with the same tag must produce identical terms — the
+        // cross-agent alignment property.
+        let a = flow_mod("stable", &FlowModSpec::symbolic_default());
+        let b = flow_mod("stable", &FlowModSpec::symbolic_default());
+        assert_eq!(a, b);
+    }
+}

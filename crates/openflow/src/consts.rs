@@ -1,0 +1,295 @@
+//! OpenFlow 1.0 protocol constants.
+//!
+//! Transcribed from the OpenFlow Switch Specification v1.0.0 — the version
+//! both agents in the paper's evaluation implement.
+
+/// Protocol version byte for OpenFlow 1.0.
+pub const OFP_VERSION: u8 = 0x01;
+
+/// OpenFlow message types (`ofp_type`).
+pub mod msg_type {
+    /// Symmetric hello at connection setup.
+    pub const HELLO: u8 = 0;
+    /// Error notification.
+    pub const ERROR: u8 = 1;
+    /// Echo request (keep-alive).
+    pub const ECHO_REQUEST: u8 = 2;
+    /// Echo reply.
+    pub const ECHO_REPLY: u8 = 3;
+    /// Vendor extension.
+    pub const VENDOR: u8 = 4;
+    /// Controller asks for datapath features.
+    pub const FEATURES_REQUEST: u8 = 5;
+    /// Datapath features description.
+    pub const FEATURES_REPLY: u8 = 6;
+    /// Controller asks for current config.
+    pub const GET_CONFIG_REQUEST: u8 = 7;
+    /// Current config description.
+    pub const GET_CONFIG_REPLY: u8 = 8;
+    /// Controller sets switch config.
+    pub const SET_CONFIG: u8 = 9;
+    /// Packet forwarded to the controller.
+    pub const PACKET_IN: u8 = 10;
+    /// Flow removed notification.
+    pub const FLOW_REMOVED: u8 = 11;
+    /// Port status change notification.
+    pub const PORT_STATUS: u8 = 12;
+    /// Controller instructs the switch to send a packet.
+    pub const PACKET_OUT: u8 = 13;
+    /// Flow table modification.
+    pub const FLOW_MOD: u8 = 14;
+    /// Port modification.
+    pub const PORT_MOD: u8 = 15;
+    /// Statistics request.
+    pub const STATS_REQUEST: u8 = 16;
+    /// Statistics reply.
+    pub const STATS_REPLY: u8 = 17;
+    /// Barrier request.
+    pub const BARRIER_REQUEST: u8 = 18;
+    /// Barrier reply.
+    pub const BARRIER_REPLY: u8 = 19;
+    /// Queue configuration request.
+    pub const QUEUE_GET_CONFIG_REQUEST: u8 = 20;
+    /// Queue configuration reply.
+    pub const QUEUE_GET_CONFIG_REPLY: u8 = 21;
+}
+
+/// Special port numbers (`ofp_port`), 16-bit in OpenFlow 1.0.
+pub mod port {
+    /// Maximum number of physical switch ports.
+    pub const OFPP_MAX: u16 = 0xff00;
+    /// Send back out the input port (must be explicit).
+    pub const OFPP_IN_PORT: u16 = 0xfff8;
+    /// Submit to the flow table (Packet Out only).
+    pub const OFPP_TABLE: u16 = 0xfff9;
+    /// Process with normal L2/L3 switching.
+    pub const OFPP_NORMAL: u16 = 0xfffa;
+    /// Flood along the minimum spanning tree, excluding the ingress port.
+    pub const OFPP_FLOOD: u16 = 0xfffb;
+    /// Send out all ports except the ingress port.
+    pub const OFPP_ALL: u16 = 0xfffc;
+    /// Send to the controller.
+    pub const OFPP_CONTROLLER: u16 = 0xfffd;
+    /// Local openflow "port".
+    pub const OFPP_LOCAL: u16 = 0xfffe;
+    /// Wildcard / not associated with any port.
+    pub const OFPP_NONE: u16 = 0xffff;
+}
+
+/// Action types (`ofp_action_type`).
+pub mod action {
+    /// Output to switch port.
+    pub const OUTPUT: u16 = 0;
+    /// Set the 802.1q VLAN id.
+    pub const SET_VLAN_VID: u16 = 1;
+    /// Set the 802.1q priority.
+    pub const SET_VLAN_PCP: u16 = 2;
+    /// Strip the 802.1q header.
+    pub const STRIP_VLAN: u16 = 3;
+    /// Set ethernet source address.
+    pub const SET_DL_SRC: u16 = 4;
+    /// Set ethernet destination address.
+    pub const SET_DL_DST: u16 = 5;
+    /// Set IP source address.
+    pub const SET_NW_SRC: u16 = 6;
+    /// Set IP destination address.
+    pub const SET_NW_DST: u16 = 7;
+    /// Set IP ToS (DSCP field, 6 bits).
+    pub const SET_NW_TOS: u16 = 8;
+    /// Set TCP/UDP source port.
+    pub const SET_TP_SRC: u16 = 9;
+    /// Set TCP/UDP destination port.
+    pub const SET_TP_DST: u16 = 10;
+    /// Output to queue.
+    pub const ENQUEUE: u16 = 11;
+    /// Vendor extension action.
+    pub const VENDOR: u16 = 0xffff;
+}
+
+/// Error types (`ofp_error_type`).
+pub mod error_type {
+    /// Hello protocol failed.
+    pub const HELLO_FAILED: u16 = 0;
+    /// Request was not understood.
+    pub const BAD_REQUEST: u16 = 1;
+    /// Error in action description.
+    pub const BAD_ACTION: u16 = 2;
+    /// Problem modifying flow entry.
+    pub const FLOW_MOD_FAILED: u16 = 3;
+    /// Problem modifying port.
+    pub const PORT_MOD_FAILED: u16 = 4;
+    /// Queue operation failed.
+    pub const QUEUE_OP_FAILED: u16 = 5;
+}
+
+/// `ofp_bad_request_code`.
+pub mod bad_request {
+    /// ofp_header.version not supported.
+    pub const BAD_VERSION: u16 = 0;
+    /// ofp_header.type not supported.
+    pub const BAD_TYPE: u16 = 1;
+    /// ofp_stats_request.type not supported.
+    pub const BAD_STAT: u16 = 2;
+    /// Vendor not supported.
+    pub const BAD_VENDOR: u16 = 3;
+    /// Vendor subtype not supported.
+    pub const BAD_SUBTYPE: u16 = 4;
+    /// Permissions error.
+    pub const EPERM: u16 = 5;
+    /// Wrong request length for type.
+    pub const BAD_LEN: u16 = 6;
+    /// Specified buffer has already been used.
+    pub const BUFFER_EMPTY: u16 = 7;
+    /// Specified buffer does not exist.
+    pub const BUFFER_UNKNOWN: u16 = 8;
+}
+
+/// `ofp_bad_action_code`.
+pub mod bad_action {
+    /// Unknown action type.
+    pub const BAD_TYPE: u16 = 0;
+    /// Length problem in actions.
+    pub const BAD_LEN: u16 = 1;
+    /// Unknown vendor id specified.
+    pub const BAD_VENDOR: u16 = 2;
+    /// Unknown action type for vendor id.
+    pub const BAD_VENDOR_TYPE: u16 = 3;
+    /// Problem validating output action.
+    pub const BAD_OUT_PORT: u16 = 4;
+    /// Bad action argument.
+    pub const BAD_ARGUMENT: u16 = 5;
+    /// Permissions error.
+    pub const EPERM: u16 = 6;
+    /// Can't handle this many actions.
+    pub const TOO_MANY: u16 = 7;
+    /// Problem validating output queue.
+    pub const BAD_QUEUE: u16 = 8;
+}
+
+/// `ofp_flow_mod_failed_code`.
+pub mod flow_mod_failed {
+    /// Flow not added because of full tables.
+    pub const ALL_TABLES_FULL: u16 = 0;
+    /// Attempted to add overlapping flow with CHECK_OVERLAP.
+    pub const OVERLAP: u16 = 1;
+    /// Permissions error.
+    pub const EPERM: u16 = 2;
+    /// Emergency flow mod has non-zero timeouts.
+    pub const BAD_EMERG_TIMEOUT: u16 = 3;
+    /// Unknown command.
+    pub const BAD_COMMAND: u16 = 4;
+    /// Unsupported action list.
+    pub const UNSUPPORTED: u16 = 5;
+}
+
+/// `ofp_queue_op_failed_code`.
+pub mod queue_op_failed {
+    /// Invalid port (or port does not exist).
+    pub const BAD_PORT: u16 = 0;
+    /// Queue does not exist.
+    pub const BAD_QUEUE: u16 = 1;
+    /// Permissions error.
+    pub const EPERM: u16 = 2;
+}
+
+/// Flow mod commands (`ofp_flow_mod_command`).
+pub mod flow_mod_cmd {
+    /// New flow.
+    pub const ADD: u16 = 0;
+    /// Modify all matching flows.
+    pub const MODIFY: u16 = 1;
+    /// Modify strictly matching flows.
+    pub const MODIFY_STRICT: u16 = 2;
+    /// Delete all matching flows.
+    pub const DELETE: u16 = 3;
+    /// Delete strictly matching flows.
+    pub const DELETE_STRICT: u16 = 4;
+}
+
+/// Flow mod flags (`ofp_flow_mod_flags`).
+pub mod flow_mod_flags {
+    /// Send flow removed message when flow expires or is deleted.
+    pub const SEND_FLOW_REM: u16 = 1 << 0;
+    /// Check for overlapping entries first.
+    pub const CHECK_OVERLAP: u16 = 1 << 1;
+    /// Remark this is for emergency.
+    pub const EMERG: u16 = 1 << 2;
+}
+
+/// Flow wildcards (`ofp_flow_wildcards`).
+pub mod wildcards {
+    /// Switch input port.
+    pub const IN_PORT: u32 = 1 << 0;
+    /// VLAN id.
+    pub const DL_VLAN: u32 = 1 << 1;
+    /// Ethernet source address.
+    pub const DL_SRC: u32 = 1 << 2;
+    /// Ethernet destination address.
+    pub const DL_DST: u32 = 1 << 3;
+    /// Ethernet frame type.
+    pub const DL_TYPE: u32 = 1 << 4;
+    /// IP protocol.
+    pub const NW_PROTO: u32 = 1 << 5;
+    /// TCP/UDP source port.
+    pub const TP_SRC: u32 = 1 << 6;
+    /// TCP/UDP destination port.
+    pub const TP_DST: u32 = 1 << 7;
+    /// IP source address wildcard bit shift (6-bit field).
+    pub const NW_SRC_SHIFT: u32 = 8;
+    /// IP source address wildcard bit count mask.
+    pub const NW_SRC_MASK: u32 = 0x3f << NW_SRC_SHIFT;
+    /// IP destination address wildcard bit shift (6-bit field).
+    pub const NW_DST_SHIFT: u32 = 14;
+    /// IP destination address wildcard bit count mask.
+    pub const NW_DST_MASK: u32 = 0x3f << NW_DST_SHIFT;
+    /// VLAN priority.
+    pub const DL_VLAN_PCP: u32 = 1 << 20;
+    /// IP ToS (DSCP field).
+    pub const NW_TOS: u32 = 1 << 21;
+    /// Everything wildcarded.
+    pub const ALL: u32 = (1 << 22) - 1;
+}
+
+/// Switch config flags (`ofp_config_flags`).
+pub mod config_flags {
+    /// No special handling for fragments.
+    pub const FRAG_NORMAL: u16 = 0;
+    /// Drop fragments.
+    pub const FRAG_DROP: u16 = 1;
+    /// Reassemble (only if OFPC_IP_REASM capability set).
+    pub const FRAG_REASM: u16 = 2;
+    /// Mask selecting the fragment-handling bits.
+    pub const FRAG_MASK: u16 = 3;
+}
+
+/// Stats request/reply types (`ofp_stats_types`).
+pub mod stats_type {
+    /// Description of this OpenFlow switch.
+    pub const DESC: u16 = 0;
+    /// Individual flow statistics.
+    pub const FLOW: u16 = 1;
+    /// Aggregate flow statistics.
+    pub const AGGREGATE: u16 = 2;
+    /// Flow table statistics.
+    pub const TABLE: u16 = 3;
+    /// Physical port statistics.
+    pub const PORT: u16 = 4;
+    /// Queue statistics for a port.
+    pub const QUEUE: u16 = 5;
+    /// Vendor extension.
+    pub const VENDOR: u16 = 0xffff;
+}
+
+/// `ofp_packet_in_reason`.
+pub mod packet_in_reason {
+    /// No matching flow.
+    pub const NO_MATCH: u8 = 0;
+    /// Action explicitly output to controller.
+    pub const ACTION: u8 = 1;
+}
+
+/// Buffer id meaning "no buffer" in packet_out / flow_mod.
+pub const NO_BUFFER: u32 = 0xffff_ffff;
+
+/// Default miss_send_len (bytes of packet sent to controller on table miss).
+pub const DEFAULT_MISS_SEND_LEN: u16 = 128;

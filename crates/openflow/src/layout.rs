@@ -1,0 +1,187 @@
+//! Wire-format struct offsets and sizes for OpenFlow 1.0.
+//!
+//! All offsets are byte offsets from the start of the enclosing struct.
+//! Field reads over [`soft_sym::SymBuf`] use these constants, so agent code
+//! reads fields by name instead of magic numbers.
+
+/// `ofp_header`: version(1) type(1) length(2) xid(4).
+pub mod header {
+    /// Total header size.
+    pub const SIZE: usize = 8;
+    /// Protocol version byte.
+    pub const VERSION: usize = 0;
+    /// Message type byte.
+    pub const TYPE: usize = 1;
+    /// Total message length (u16).
+    pub const LENGTH: usize = 2;
+    /// Transaction id (u32).
+    pub const XID: usize = 4;
+}
+
+/// `ofp_match` (40 bytes), embedded in flow_mod / flow stats requests.
+pub mod ofp_match {
+    /// Total struct size.
+    pub const SIZE: usize = 40;
+    /// Wildcard flags (u32).
+    pub const WILDCARDS: usize = 0;
+    /// Input switch port (u16).
+    pub const IN_PORT: usize = 4;
+    /// Ethernet source address (6 bytes).
+    pub const DL_SRC: usize = 6;
+    /// Ethernet destination address (6 bytes).
+    pub const DL_DST: usize = 12;
+    /// Input VLAN id (u16).
+    pub const DL_VLAN: usize = 18;
+    /// Input VLAN priority (u8).
+    pub const DL_VLAN_PCP: usize = 20;
+    /// (1 byte pad at 21.)
+    /// Ethernet frame type (u16).
+    pub const DL_TYPE: usize = 22;
+    /// IP ToS, actually DSCP field (u8).
+    pub const NW_TOS: usize = 24;
+    /// IP protocol or lower 8 bits of ARP opcode (u8).
+    pub const NW_PROTO: usize = 25;
+    /// (2 bytes pad at 26.)
+    /// IP source address (u32).
+    pub const NW_SRC: usize = 28;
+    /// IP destination address (u32).
+    pub const NW_DST: usize = 32;
+    /// TCP/UDP source port (u16).
+    pub const TP_SRC: usize = 36;
+    /// TCP/UDP destination port (u16).
+    pub const TP_DST: usize = 38;
+}
+
+/// `ofp_flow_mod` (72 bytes before the action list).
+pub mod flow_mod {
+    /// Offset of the embedded ofp_match.
+    pub const MATCH: usize = 8;
+    /// Opaque controller cookie (u64).
+    pub const COOKIE: usize = 48;
+    /// Flow mod command (u16).
+    pub const COMMAND: usize = 56;
+    /// Idle time before discarding, seconds (u16).
+    pub const IDLE_TIMEOUT: usize = 58;
+    /// Max time before discarding, seconds (u16).
+    pub const HARD_TIMEOUT: usize = 60;
+    /// Priority level (u16).
+    pub const PRIORITY: usize = 62;
+    /// Buffered packet to apply to, or 0xffffffff (u32).
+    pub const BUFFER_ID: usize = 64;
+    /// For DELETE*: require matching entries to output here (u16).
+    pub const OUT_PORT: usize = 68;
+    /// Flow mod flags (u16).
+    pub const FLAGS: usize = 70;
+    /// Start of the action list.
+    pub const ACTIONS: usize = 72;
+    /// Fixed-size prefix before the action list.
+    pub const FIXED_SIZE: usize = 72;
+}
+
+/// `ofp_packet_out` (16 bytes before the action list).
+pub mod packet_out {
+    /// Buffered packet id, or 0xffffffff (u32).
+    pub const BUFFER_ID: usize = 8;
+    /// Packet's input port, or OFPP_NONE (u16).
+    pub const IN_PORT: usize = 12;
+    /// Size of the action list in bytes (u16).
+    pub const ACTIONS_LEN: usize = 14;
+    /// Start of the action list; packet data follows it.
+    pub const ACTIONS: usize = 16;
+    /// Fixed-size prefix before the action list.
+    pub const FIXED_SIZE: usize = 16;
+}
+
+/// Action headers. Every OpenFlow 1.0 action starts with type(2) len(2).
+pub mod action {
+    /// Offset of the action type (u16).
+    pub const TYPE: usize = 0;
+    /// Offset of the action length (u16), multiple of 8.
+    pub const LEN: usize = 2;
+    /// All actions used in the evaluation are 8 bytes (ENQUEUE is 16).
+    pub const BASE_SIZE: usize = 8;
+    /// `ofp_action_output`: port (u16) at 4, max_len (u16) at 6.
+    pub const OUTPUT_PORT: usize = 4;
+    /// `ofp_action_output.max_len`.
+    pub const OUTPUT_MAX_LEN: usize = 6;
+    /// `ofp_action_vlan_vid.vlan_vid` (u16) at 4.
+    pub const VLAN_VID: usize = 4;
+    /// `ofp_action_vlan_pcp.vlan_pcp` (u8) at 4.
+    pub const VLAN_PCP: usize = 4;
+    /// `ofp_action_dl_addr.dl_addr` (6 bytes) at 4.
+    pub const DL_ADDR: usize = 4;
+    /// `ofp_action_nw_addr.nw_addr` (u32) at 4.
+    pub const NW_ADDR: usize = 4;
+    /// `ofp_action_nw_tos.nw_tos` (u8) at 4.
+    pub const NW_TOS: usize = 4;
+    /// `ofp_action_tp_port.tp_port` (u16) at 4.
+    pub const TP_PORT: usize = 4;
+    /// `ofp_action_enqueue.port` (u16) at 4 (queue id u32 at 12, len 16).
+    pub const ENQUEUE_PORT: usize = 4;
+}
+
+/// `ofp_switch_config`: header + flags(2) + miss_send_len(2).
+pub mod switch_config {
+    /// Total message size.
+    pub const SIZE: usize = 12;
+    /// Fragment handling flags (u16).
+    pub const FLAGS: usize = 8;
+    /// Max bytes of new flow that datapath sends to controller (u16).
+    pub const MISS_SEND_LEN: usize = 10;
+}
+
+/// `ofp_stats_request`: header + type(2) + flags(2) + body.
+pub mod stats_request {
+    /// Fixed-size prefix before the body.
+    pub const FIXED_SIZE: usize = 12;
+    /// Statistics type (u16).
+    pub const TYPE: usize = 8;
+    /// Flags (u16), none defined for requests in 1.0.
+    pub const FLAGS: usize = 10;
+    /// Body start (e.g. ofp_flow_stats_request).
+    pub const BODY: usize = 12;
+    /// `ofp_flow_stats_request`: match(40) + table_id(1) + pad(1) + out_port(2).
+    pub const FLOW_BODY_SIZE: usize = 44;
+    /// Offset of table_id within the flow stats body.
+    pub const FLOW_TABLE_ID: usize = BODY + 40;
+    /// Offset of out_port within the flow stats body.
+    pub const FLOW_OUT_PORT: usize = BODY + 42;
+}
+
+/// `ofp_queue_get_config_request`: header + port(2) + pad(2).
+pub mod queue_config_request {
+    /// Total message size.
+    pub const SIZE: usize = 12;
+    /// Port to query (u16).
+    pub const PORT: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_sizes_match_spec() {
+        assert_eq!(header::SIZE, 8);
+        assert_eq!(ofp_match::SIZE, 40);
+        assert_eq!(flow_mod::FIXED_SIZE, 72);
+        assert_eq!(packet_out::FIXED_SIZE, 16);
+        assert_eq!(switch_config::SIZE, 12);
+        assert_eq!(stats_request::FIXED_SIZE, 12);
+    }
+
+    #[test]
+    fn match_field_offsets_are_contiguous() {
+        assert_eq!(ofp_match::IN_PORT, 4);
+        assert_eq!(ofp_match::DL_SRC + 6, ofp_match::DL_DST);
+        assert_eq!(ofp_match::DL_DST + 6, ofp_match::DL_VLAN);
+        assert_eq!(ofp_match::TP_DST + 2, ofp_match::SIZE);
+    }
+
+    #[test]
+    fn flow_mod_layout_is_contiguous() {
+        assert_eq!(flow_mod::MATCH + ofp_match::SIZE, flow_mod::COOKIE);
+        assert_eq!(flow_mod::COOKIE + 8, flow_mod::COMMAND);
+        assert_eq!(flow_mod::FLAGS + 2, flow_mod::ACTIONS);
+    }
+}

@@ -1,0 +1,18 @@
+//! # soft-openflow — OpenFlow 1.0 protocol definitions
+//!
+//! Wire-level constants, struct layouts, symbolic test-message builders and
+//! the output trace-event model shared by the agents under test and the
+//! SOFT harness. The protocol version is 1.0, matching the two agents the
+//! paper evaluates (the reference switch released with spec v1.0.0 and
+//! Open vSwitch 1.0.0).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod consts;
+pub mod layout;
+pub mod parse;
+pub mod trace;
+
+pub use trace::{normalize_trace, TraceEvent};

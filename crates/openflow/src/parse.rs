@@ -1,0 +1,385 @@
+//! Parsing concrete OpenFlow 1.0 wire bytes into structured messages.
+//!
+//! The inverse of [`crate::builder`]: used by the trace-driven workflow
+//! (§6.3 discusses deriving test inputs from recorded traces à la
+//! OFRewind) and by tests that need to inspect reproduction messages. The
+//! parser is strict about framing and tolerant about semantics — semantic
+//! validation is the agents' job, and *differs* between them; that
+//! difference is the whole point of SOFT.
+
+use crate::consts::{msg_type, OFP_VERSION};
+use crate::layout;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer than 8 bytes.
+    TooShort,
+    /// Version byte differs from OpenFlow 1.0.
+    BadVersion(u8),
+    /// Header length field disagrees with the byte count.
+    LengthMismatch {
+        /// Value of the header length field.
+        declared: u16,
+        /// Actual number of bytes supplied.
+        actual: usize,
+    },
+    /// The body is too short for the declared message type.
+    TruncatedBody(u8),
+    /// Action list geometry is invalid (not a multiple of 8, or overruns).
+    BadActionList,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::TooShort => write!(f, "message shorter than a header"),
+            ParseError::BadVersion(v) => write!(f, "unsupported OpenFlow version {v:#x}"),
+            ParseError::LengthMismatch { declared, actual } => {
+                write!(f, "length field {declared} but {actual} bytes supplied")
+            }
+            ParseError::TruncatedBody(t) => write!(f, "body too short for message type {t}"),
+            ParseError::BadActionList => write!(f, "invalid action list geometry"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAction {
+    /// `ofp_action_type` value.
+    pub atype: u16,
+    /// Declared action length.
+    pub len: u16,
+    /// Argument bytes (after type/len).
+    pub args: Vec<u8>,
+}
+
+/// A parsed OpenFlow 1.0 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Hello (no body).
+    Hello,
+    /// Echo request with payload.
+    EchoRequest(Vec<u8>),
+    /// Echo reply with payload.
+    EchoReply(Vec<u8>),
+    /// Features request.
+    FeaturesRequest,
+    /// Get-config request.
+    GetConfigRequest,
+    /// Barrier request.
+    BarrierRequest,
+    /// Set-config.
+    SetConfig {
+        /// Fragment flags.
+        flags: u16,
+        /// Miss send length.
+        miss_send_len: u16,
+    },
+    /// Packet-out.
+    PacketOut {
+        /// Buffer id.
+        buffer_id: u32,
+        /// Declared ingress port.
+        in_port: u16,
+        /// Parsed actions.
+        actions: Vec<RawAction>,
+        /// Trailing packet data.
+        data: Vec<u8>,
+    },
+    /// Flow-mod.
+    FlowMod {
+        /// Raw 40-byte match struct.
+        match_bytes: [u8; 40],
+        /// Cookie.
+        cookie: u64,
+        /// Command.
+        command: u16,
+        /// Idle timeout.
+        idle_timeout: u16,
+        /// Hard timeout.
+        hard_timeout: u16,
+        /// Priority.
+        priority: u16,
+        /// Buffer id.
+        buffer_id: u32,
+        /// Out-port filter.
+        out_port: u16,
+        /// Flags.
+        flags: u16,
+        /// Parsed actions.
+        actions: Vec<RawAction>,
+    },
+    /// Stats request.
+    StatsRequest {
+        /// Statistics type.
+        stype: u16,
+        /// Flags.
+        flags: u16,
+        /// Body bytes.
+        body: Vec<u8>,
+    },
+    /// Queue get-config request.
+    QueueGetConfigRequest {
+        /// Queried port.
+        port: u16,
+    },
+    /// Any other message type: raw body kept for round-tripping.
+    Other {
+        /// Message type byte.
+        mtype: u8,
+        /// Body bytes (after the header).
+        body: Vec<u8>,
+    },
+}
+
+/// Parsed header + message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// Transaction id from the header.
+    pub xid: u32,
+    /// The message payload.
+    pub message: Message,
+}
+
+fn u16_at(b: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([b[off], b[off + 1]])
+}
+
+fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+fn parse_actions(b: &[u8]) -> Result<Vec<RawAction>, ParseError> {
+    if !b.len().is_multiple_of(layout::action::BASE_SIZE) {
+        return Err(ParseError::BadActionList);
+    }
+    let mut actions = Vec::new();
+    let mut off = 0;
+    while off < b.len() {
+        let atype = u16_at(b, off);
+        let len = u16_at(b, off + 2);
+        if len as usize != layout::action::BASE_SIZE {
+            // Only 8-byte actions appear in this tool's messages; reject
+            // anything else rather than misparse.
+            return Err(ParseError::BadActionList);
+        }
+        actions.push(RawAction {
+            atype,
+            len,
+            args: b[off + 4..off + 8].to_vec(),
+        });
+        off += layout::action::BASE_SIZE;
+    }
+    Ok(actions)
+}
+
+/// Parse one framed OpenFlow message.
+pub fn parse(bytes: &[u8]) -> Result<Parsed, ParseError> {
+    if bytes.len() < layout::header::SIZE {
+        return Err(ParseError::TooShort);
+    }
+    if bytes[0] != OFP_VERSION {
+        return Err(ParseError::BadVersion(bytes[0]));
+    }
+    let declared = u16_at(bytes, layout::header::LENGTH);
+    if declared as usize != bytes.len() {
+        return Err(ParseError::LengthMismatch {
+            declared,
+            actual: bytes.len(),
+        });
+    }
+    let mtype = bytes[1];
+    let xid = u32_at(bytes, layout::header::XID);
+    let body = &bytes[layout::header::SIZE..];
+    let message = match mtype {
+        msg_type::HELLO => Message::Hello,
+        msg_type::ECHO_REQUEST => Message::EchoRequest(body.to_vec()),
+        msg_type::ECHO_REPLY => Message::EchoReply(body.to_vec()),
+        msg_type::FEATURES_REQUEST => Message::FeaturesRequest,
+        msg_type::GET_CONFIG_REQUEST => Message::GetConfigRequest,
+        msg_type::BARRIER_REQUEST => Message::BarrierRequest,
+        msg_type::SET_CONFIG => {
+            if bytes.len() < layout::switch_config::SIZE {
+                return Err(ParseError::TruncatedBody(mtype));
+            }
+            Message::SetConfig {
+                flags: u16_at(bytes, layout::switch_config::FLAGS),
+                miss_send_len: u16_at(bytes, layout::switch_config::MISS_SEND_LEN),
+            }
+        }
+        msg_type::PACKET_OUT => {
+            if bytes.len() < layout::packet_out::FIXED_SIZE {
+                return Err(ParseError::TruncatedBody(mtype));
+            }
+            let actions_len = u16_at(bytes, layout::packet_out::ACTIONS_LEN) as usize;
+            let actions_end = layout::packet_out::FIXED_SIZE + actions_len;
+            if actions_end > bytes.len() {
+                return Err(ParseError::BadActionList);
+            }
+            Message::PacketOut {
+                buffer_id: u32_at(bytes, layout::packet_out::BUFFER_ID),
+                in_port: u16_at(bytes, layout::packet_out::IN_PORT),
+                actions: parse_actions(&bytes[layout::packet_out::ACTIONS..actions_end])?,
+                data: bytes[actions_end..].to_vec(),
+            }
+        }
+        msg_type::FLOW_MOD => {
+            if bytes.len() < layout::flow_mod::FIXED_SIZE {
+                return Err(ParseError::TruncatedBody(mtype));
+            }
+            let mut match_bytes = [0u8; 40];
+            match_bytes.copy_from_slice(&bytes[layout::flow_mod::MATCH..layout::flow_mod::MATCH + 40]);
+            Message::FlowMod {
+                match_bytes,
+                cookie: u64::from_be_bytes(
+                    bytes[layout::flow_mod::COOKIE..layout::flow_mod::COOKIE + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                ),
+                command: u16_at(bytes, layout::flow_mod::COMMAND),
+                idle_timeout: u16_at(bytes, layout::flow_mod::IDLE_TIMEOUT),
+                hard_timeout: u16_at(bytes, layout::flow_mod::HARD_TIMEOUT),
+                priority: u16_at(bytes, layout::flow_mod::PRIORITY),
+                buffer_id: u32_at(bytes, layout::flow_mod::BUFFER_ID),
+                out_port: u16_at(bytes, layout::flow_mod::OUT_PORT),
+                flags: u16_at(bytes, layout::flow_mod::FLAGS),
+                actions: parse_actions(&bytes[layout::flow_mod::ACTIONS..])?,
+            }
+        }
+        msg_type::STATS_REQUEST => {
+            if bytes.len() < layout::stats_request::FIXED_SIZE {
+                return Err(ParseError::TruncatedBody(mtype));
+            }
+            Message::StatsRequest {
+                stype: u16_at(bytes, layout::stats_request::TYPE),
+                flags: u16_at(bytes, layout::stats_request::FLAGS),
+                body: bytes[layout::stats_request::BODY..].to_vec(),
+            }
+        }
+        msg_type::QUEUE_GET_CONFIG_REQUEST => {
+            if bytes.len() < layout::queue_config_request::SIZE {
+                return Err(ParseError::TruncatedBody(mtype));
+            }
+            Message::QueueGetConfigRequest {
+                port: u16_at(bytes, layout::queue_config_request::PORT),
+            }
+        }
+        other => Message::Other {
+            mtype: other,
+            body: body.to_vec(),
+        },
+    };
+    Ok(Parsed { xid, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{self, ActionSpec, FlowModSpec};
+
+    #[test]
+    fn parses_header_only_messages() {
+        let m = builder::hello(7).as_concrete().unwrap();
+        let p = parse(&m).unwrap();
+        assert_eq!(p.xid, 7);
+        assert_eq!(p.message, Message::Hello);
+
+        for (msg, expect) in builder::concrete_suite(1).iter().zip([
+            Message::EchoRequest(vec![]),
+            Message::FeaturesRequest,
+            Message::GetConfigRequest,
+            Message::BarrierRequest,
+        ]) {
+            let p = parse(&msg.as_concrete().unwrap()).unwrap();
+            assert_eq!(p.message, expect);
+        }
+    }
+
+    #[test]
+    fn parses_concrete_flow_mod() {
+        let built = builder::flow_mod("pt0", &FlowModSpec::concrete_add(3));
+        let bytes = built.as_concrete().expect("concrete_add is concrete");
+        let p = parse(&bytes).unwrap();
+        match p.message {
+            Message::FlowMod {
+                command,
+                priority,
+                buffer_id,
+                actions,
+                ..
+            } => {
+                assert_eq!(command, 0);
+                assert_eq!(priority, 0x8000);
+                assert_eq!(buffer_id, crate::consts::NO_BUFFER);
+                assert_eq!(actions.len(), 1);
+                assert_eq!(actions[0].atype, crate::consts::action::OUTPUT);
+                assert_eq!(&actions[0].args[..2], &3u16.to_be_bytes());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_packet_out_payload() {
+        let payload = [0xaa, 0xbb, 0xcc];
+        let mut m = builder::packet_out("pt1", &[ActionSpec::Output(2)], &payload);
+        m.set_u32(8, 5);
+        m.set_u16(12, 1);
+        let p = parse(&m.as_concrete().unwrap()).unwrap();
+        match p.message {
+            Message::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
+                assert_eq!(buffer_id, 5);
+                assert_eq!(in_port, 1);
+                assert_eq!(actions.len(), 1);
+                assert_eq!(data, payload);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framing_errors() {
+        assert_eq!(parse(&[1, 0, 0]), Err(ParseError::TooShort));
+        assert_eq!(
+            parse(&[9, 0, 0, 8, 0, 0, 0, 0]),
+            Err(ParseError::BadVersion(9))
+        );
+        assert_eq!(
+            parse(&[1, 0, 0, 12, 0, 0, 0, 0]),
+            Err(ParseError::LengthMismatch {
+                declared: 12,
+                actual: 8
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        // Set config needs 12 bytes; declare 10 honestly.
+        let mut b = vec![1, msg_type::SET_CONFIG, 0, 10, 0, 0, 0, 0, 0, 0];
+        b[3] = 10;
+        assert_eq!(parse(&b), Err(ParseError::TruncatedBody(msg_type::SET_CONFIG)));
+    }
+
+    #[test]
+    fn unknown_types_kept_raw() {
+        let b = vec![1, 42, 0, 9, 0, 0, 0, 1, 0xee];
+        let p = parse(&b).unwrap();
+        assert_eq!(
+            p.message,
+            Message::Other {
+                mtype: 42,
+                body: vec![0xee]
+            }
+        );
+    }
+}

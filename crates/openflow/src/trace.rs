@@ -1,0 +1,263 @@
+//! Output trace events.
+//!
+//! SOFT compares agents by their *externally observable results*: OpenFlow
+//! messages sent back to the controller and packets emitted on the data
+//! plane (§3.3). Agents emit [`TraceEvent`]s through the engine; fields may
+//! carry symbolic terms (the paper: "the output data may even contain
+//! symbolic inputs"). Before grouping, traces are *normalized* to strip
+//! data for which spurious differences are expected — transaction ids and
+//! buffer identifiers.
+
+use soft_smt::Term;
+use soft_sym::SymBuf;
+
+/// One externally observable output of an OpenFlow agent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// An OpenFlow error message sent to the controller.
+    Error {
+        /// Transaction id echoed from the offending message.
+        xid: Term,
+        /// `ofp_error_type` (16-bit term).
+        etype: Term,
+        /// Type-specific error code (16-bit term).
+        code: Term,
+    },
+    /// A Packet In message to the controller.
+    PacketIn {
+        /// Datapath buffer id assigned to the packet.
+        buffer_id: Term,
+        /// Ingress port.
+        in_port: Term,
+        /// `ofp_packet_in_reason` (8-bit term).
+        reason: Term,
+        /// Number of data bytes included (16-bit term; may be symbolic
+        /// when an output action's `max_len` governs the truncation).
+        data_len: Term,
+        /// Packet bytes included in the message (possibly truncated).
+        data: SymBuf,
+    },
+    /// Any other OpenFlow reply (stats reply, get-config reply, echo
+    /// reply, barrier reply, features reply, ...).
+    OfReply {
+        /// Message type of the reply.
+        msg_type: u8,
+        /// Named header-level fields of the reply.
+        fields: Vec<(&'static str, Term)>,
+        /// Reply body bytes.
+        body: SymBuf,
+    },
+    /// A packet transmitted on a specific data-plane port.
+    DataPlaneTx {
+        /// Egress port (16-bit term).
+        port: Term,
+        /// The transmitted frame.
+        data: SymBuf,
+    },
+    /// A packet flooded along the spanning tree.
+    Flood {
+        /// Whether the ingress port was excluded from the flood set.
+        exclude_ingress: bool,
+        /// The transmitted frame.
+        data: SymBuf,
+    },
+    /// A packet handed to the traditional L2/L3 forwarding path
+    /// (`OFPP_NORMAL`; supported by Open vSwitch, not by the Reference
+    /// Switch).
+    NormalForward {
+        /// The frame handed over.
+        data: SymBuf,
+    },
+    /// Marker appended by the harness when a probe packet produced no
+    /// output ("we log an empty probe response", §3.3).
+    ProbeDropped,
+}
+
+impl TraceEvent {
+    /// Normalize the event for cross-agent comparison: zero the transaction
+    /// id and buffer identifiers ("the buffer identifiers used by different
+    /// agents may differ and such a difference should not be considered an
+    /// inconsistency", §3.3).
+    pub fn normalize(&self) -> TraceEvent {
+        match self {
+            TraceEvent::Error { etype, code, .. } => TraceEvent::Error {
+                xid: Term::bv_const(32, 0),
+                etype: etype.clone(),
+                code: code.clone(),
+            },
+            TraceEvent::PacketIn {
+                in_port,
+                reason,
+                data_len,
+                data,
+                ..
+            } => TraceEvent::PacketIn {
+                buffer_id: Term::bv_const(32, 0),
+                in_port: in_port.clone(),
+                reason: reason.clone(),
+                data_len: data_len.clone(),
+                data: data.clone(),
+            },
+            TraceEvent::OfReply {
+                msg_type,
+                fields,
+                body,
+            } => TraceEvent::OfReply {
+                msg_type: *msg_type,
+                fields: fields
+                    .iter()
+                    .filter(|(name, _)| *name != "xid")
+                    .cloned()
+                    .collect(),
+                body: body.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Concretize every symbolic field under `model` (used by the replayer
+    /// to turn a predicted symbolic output into the concrete output a real
+    /// switch would produce on the witness input).
+    pub fn concretize(&self, model: &soft_smt::Assignment) -> TraceEvent {
+        let c = |t: &Term| Term::bv_const(t.width(), model.eval_bv(t));
+        let cb = |b: &SymBuf| SymBuf::concrete(&b.concretize(model));
+        match self {
+            TraceEvent::Error { xid, etype, code } => TraceEvent::Error {
+                xid: c(xid),
+                etype: c(etype),
+                code: c(code),
+            },
+            TraceEvent::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                data_len,
+                data,
+            } => TraceEvent::PacketIn {
+                buffer_id: c(buffer_id),
+                in_port: c(in_port),
+                reason: c(reason),
+                data_len: c(data_len),
+                data: cb(data),
+            },
+            TraceEvent::OfReply {
+                msg_type,
+                fields,
+                body,
+            } => TraceEvent::OfReply {
+                msg_type: *msg_type,
+                fields: fields.iter().map(|(n, t)| (*n, c(t))).collect(),
+                body: cb(body),
+            },
+            TraceEvent::DataPlaneTx { port, data } => TraceEvent::DataPlaneTx {
+                port: c(port),
+                data: cb(data),
+            },
+            TraceEvent::Flood {
+                exclude_ingress,
+                data,
+            } => TraceEvent::Flood {
+                exclude_ingress: *exclude_ingress,
+                data: cb(data),
+            },
+            TraceEvent::NormalForward { data } => TraceEvent::NormalForward { data: cb(data) },
+            TraceEvent::ProbeDropped => TraceEvent::ProbeDropped,
+        }
+    }
+
+    /// Short human-readable tag for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Error { .. } => "error",
+            TraceEvent::PacketIn { .. } => "packet_in",
+            TraceEvent::OfReply { .. } => "of_reply",
+            TraceEvent::DataPlaneTx { .. } => "tx",
+            TraceEvent::Flood { .. } => "flood",
+            TraceEvent::NormalForward { .. } => "normal",
+            TraceEvent::ProbeDropped => "probe_dropped",
+        }
+    }
+}
+
+/// Normalize a whole trace.
+pub fn normalize_trace(trace: &[TraceEvent]) -> Vec<TraceEvent> {
+    trace.iter().map(TraceEvent::normalize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_xid_and_buffer_id() {
+        let e = TraceEvent::Error {
+            xid: Term::var("tn.xid", 32),
+            etype: Term::bv_const(16, 1),
+            code: Term::bv_const(16, 6),
+        };
+        let n = e.normalize();
+        match &n {
+            TraceEvent::Error { xid, .. } => assert_eq!(xid.as_bv_const(), Some(0)),
+            _ => panic!(),
+        }
+
+        let p = TraceEvent::PacketIn {
+            buffer_id: Term::var("tn.buf", 32),
+            in_port: Term::bv_const(16, 1),
+            reason: Term::bv_const(8, 0),
+            data_len: Term::bv_const(16, 3),
+            data: SymBuf::concrete(&[1, 2, 3]),
+        };
+        match p.normalize() {
+            TraceEvent::PacketIn { buffer_id, .. } => {
+                assert_eq!(buffer_id.as_bv_const(), Some(0))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn normalized_traces_with_different_xids_compare_equal() {
+        let a = TraceEvent::Error {
+            xid: Term::bv_const(32, 11),
+            etype: Term::bv_const(16, 2),
+            code: Term::bv_const(16, 4),
+        };
+        let b = TraceEvent::Error {
+            xid: Term::bv_const(32, 99),
+            etype: Term::bv_const(16, 2),
+            code: Term::bv_const(16, 4),
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.normalize(), b.normalize());
+    }
+
+    #[test]
+    fn of_reply_normalization_drops_xid_field_only() {
+        let r = TraceEvent::OfReply {
+            msg_type: 17,
+            fields: vec![
+                ("xid", Term::bv_const(32, 5)),
+                ("stats_type", Term::bv_const(16, 0)),
+            ],
+            body: SymBuf::empty(),
+        };
+        match r.normalize() {
+            TraceEvent::OfReply { fields, .. } => {
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0, "stats_type");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(TraceEvent::ProbeDropped.kind(), "probe_dropped");
+        let f = TraceEvent::Flood {
+            exclude_ingress: true,
+            data: SymBuf::empty(),
+        };
+        assert_eq!(f.kind(), "flood");
+    }
+}

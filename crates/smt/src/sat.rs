@@ -1,0 +1,765 @@
+//! A CDCL SAT solver.
+//!
+//! MiniSat-style architecture: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause learning and backjumping, VSIDS variable
+//! activities with an indexed binary heap, phase saving, and Luby restarts.
+//! This is the backend the bit-blaster targets, playing the role STP's SAT
+//! core plays in the paper's pipeline.
+
+/// A propositional literal: variable index * 2, +1 if negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of variable `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// Make a literal with explicit sign (`true` = negated).
+    pub fn new(v: u32, negated: bool) -> Lit {
+        Lit((v << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+/// Tri-state assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Outcome of a SAT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before a verdict.
+    Unknown,
+}
+
+const CLAUSE_NONE: u32 = u32::MAX;
+
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+}
+
+/// Indexed max-heap over variable activities (MiniSat's order heap).
+#[derive(Default)]
+struct VarHeap {
+    heap: Vec<u32>,
+    /// position of var in `heap`, or usize::MAX if absent
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    fn grow_to(&mut self, nvars: usize) {
+        while self.pos.len() < nvars {
+            self.pos.push(usize::MAX);
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != usize::MAX
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bump(&mut self, v: u32, act: &[f64]) {
+        if let Some(&p) = self.pos.get(v as usize) {
+            if p != usize::MAX {
+                self.sift_up(p, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] > act[self.heap[parent] as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+/// CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    /// watches[lit] = clauses watching `lit` (i.e. containing it in slot 0/1)
+    watches: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    /// decision level at which each var was assigned
+    level: Vec<u32>,
+    /// reason clause for each implied var (CLAUSE_NONE for decisions)
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    /// trail index where each decision level starts
+    trail_lim: Vec<usize>,
+    /// next trail position to propagate
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+    /// set when an empty clause was added
+    unsat: bool,
+    /// Conflicts encountered so far.
+    pub conflicts: u64,
+    /// Decisions made so far.
+    pub decisions: u64,
+    /// Literal propagations performed so far.
+    pub propagations: u64,
+    /// conflict budget; `None` = unlimited
+    pub max_conflicts: Option<u64>,
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    /// Fresh, empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::default(),
+            saved_phase: Vec::new(),
+            unsat: false,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            max_conflicts: None,
+        }
+    }
+
+    /// Allocate and return a fresh variable.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(CLAUSE_NONE);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assign.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        match self.assign[l.var() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// Add a clause (disjunction of literals). Must be called before `solve`
+    /// at decision level 0. Returns false if the formula became trivially
+    /// unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "add_clause above level 0");
+        if self.unsat {
+            return false;
+        }
+        // Deduplicate and drop satisfied/falsified-at-0 literals.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for i in 0..sorted.len() {
+            let l = sorted[i];
+            if i + 1 < sorted.len() && sorted[i + 1] == l.negate() {
+                return true; // tautology: contains l and !l
+            }
+            match self.value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => c.push(l),
+            }
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], CLAUSE_NONE);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(c, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].negate().index()].push(idx);
+        self.watches[lits[1].negate().index()].push(idx);
+        self.clauses.push(Clause { lits, learned });
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = LBool::from_bool(!l.is_neg());
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.saved_phase[v] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            // Clauses watching !p (they contain p's negation... we store
+            // watches under the *negation* of the watched literal so that
+            // assigning p wakes clauses whose watched literal became false).
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                let false_lit = p.negate();
+                // Ensure the false literal is in slot 1.
+                {
+                    let cl = &mut self.clauses[ci as usize];
+                    if cl.lits[0] == false_lit {
+                        cl.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(cl.lits[1], false_lit);
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value(first) == LBool::True {
+                    i += 1;
+                    continue; // clause satisfied
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[lk.negate().index()].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == LBool::False {
+                    self.watches[p.index()] = ws;
+                    // leave remaining entries: put back the ones we kept
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // slot for the asserting lit
+        let mut seen = vec![false; self.assign.len()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut clause = conflict;
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            let start = if p.is_none() { 0 } else { 1 };
+            let lits: Vec<Lit> = self.clauses[clause as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Select next literal from the trail.
+            loop {
+                idx -= 1;
+                if seen[self.trail[idx].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            p = Some(pl);
+            seen[pl.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            clause = self.reason[pl.var() as usize];
+            debug_assert_ne!(clause, CLAUSE_NONE);
+        }
+        learned[0] = p.unwrap().negate();
+
+        // Compute backjump level = max level among learned[1..].
+        let bj = if learned.len() == 1 {
+            0
+        } else {
+            // Move the max-level literal to slot 1 so it is watched.
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var() as usize] > self.level[learned[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            self.level[learned[1].var() as usize]
+        };
+        (learned, bj)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var();
+                self.assign[v as usize] = LBool::Undef;
+                self.reason[v as usize] = CLAUSE_NONE;
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v as usize] == LBool::Undef {
+                self.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let phase = self.saved_phase[v as usize];
+                self.enqueue(Lit::new(v, !phase), CLAUSE_NONE);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Luby restart sequence (1,1,2,1,1,2,4,...), MiniSat formulation.
+    fn luby(x: u64) -> u64 {
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut x = x;
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Run the CDCL main loop.
+    pub fn solve(&mut self) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = 100 * Self::luby(0);
+        let mut conflicts_this_restart = 0u64;
+        loop {
+            if let Some(conf) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_this_restart += 1;
+                if let Some(max) = self.max_conflicts {
+                    if self.conflicts >= max {
+                        self.backtrack(0);
+                        return SatOutcome::Unknown;
+                    }
+                }
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                let (learned, bj) = self.analyze(conf);
+                self.backtrack(bj);
+                self.var_inc /= 0.95; // VSIDS decay
+                if learned.len() == 1 {
+                    self.enqueue(learned[0], CLAUSE_NONE);
+                } else {
+                    let ci = self.attach_clause(learned.clone(), true);
+                    self.enqueue(learned[0], ci);
+                }
+            } else {
+                if conflicts_this_restart >= conflicts_until_restart {
+                    restart_count += 1;
+                    conflicts_this_restart = 0;
+                    conflicts_until_restart = 100 * Self::luby(restart_count);
+                    self.backtrack(0);
+                    continue;
+                }
+                if !self.decide() {
+                    return SatOutcome::Sat;
+                }
+            }
+        }
+    }
+
+    /// Value of variable `v` in the found model (after `Sat`).
+    pub fn model_value(&self, v: u32) -> bool {
+        match self.assign[v as usize] {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => false, // don't-care
+        }
+    }
+
+    /// Reset statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.conflicts = 0;
+        self.decisions = 0;
+        self.propagations = 0;
+    }
+
+    /// Number of learned clauses currently stored.
+    pub fn num_learned(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learned).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &[i32], sol: &mut SatSolver) -> Vec<Lit> {
+        let maxv = s.iter().map(|x| x.unsigned_abs()).max().unwrap();
+        while sol.num_vars() < maxv as usize {
+            sol.new_var();
+        }
+        s.iter()
+            .map(|&x| Lit::new(x.unsigned_abs() - 1, x < 0))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = SatSolver::new();
+        let c = lits(&[1], &mut s);
+        assert!(s.add_clause(&c));
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert!(s.model_value(0));
+
+        let mut s = SatSolver::new();
+        let c1 = lits(&[1], &mut s);
+        let c2 = lits(&[-1], &mut s);
+        s.add_clause(&c1);
+        assert!(!s.add_clause(&c2));
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicates_handled() {
+        let mut s = SatSolver::new();
+        let c = lits(&[1, -1], &mut s);
+        assert!(s.add_clause(&c));
+        let c = lits(&[2, 2, 2], &mut s);
+        assert!(s.add_clause(&c));
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert!(s.model_value(1));
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // (x1) & (!x1 | x2) & (!x2 | x3) ... forces all true.
+        let mut s = SatSolver::new();
+        let c = lits(&[1], &mut s);
+        s.add_clause(&c);
+        for i in 1i32..50 {
+            let c = lits(&[-i, i + 1], &mut s);
+            s.add_clause(&c);
+        }
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        for v in 0..50 {
+            assert!(s.model_value(v), "var {v} should be true");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_ij: pigeon i in hole j; 3 pigeons, 2 holes.
+        // vars: p(i,j) = i*2 + j + 1 for i in 0..3, j in 0..2
+        let p = |i: i32, j: i32| i * 2 + j + 1;
+        let mut s = SatSolver::new();
+        for i in 0..3 {
+            let c = lits(&[p(i, 0), p(i, 1)], &mut s);
+            s.add_clause(&c);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    let c = lits(&[-p(i1, j), -p(i2, j)], &mut s);
+                    s.add_clause(&c);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_is_sat() {
+        let p = |i: i32, j: i32| i * 3 + j + 1;
+        let mut s = SatSolver::new();
+        for i in 0..3 {
+            let c = lits(&[p(i, 0), p(i, 1), p(i, 2)], &mut s);
+            s.add_clause(&c);
+        }
+        for j in 0..3 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    let c = lits(&[-p(i1, j), -p(i2, j)], &mut s);
+                    s.add_clause(&c);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        // verify: each pigeon has a hole, no two share
+        let mut holes = vec![];
+        for i in 0..3 {
+            let h = (0..3i32).find(|&j| s.model_value((p(i, j) - 1) as u32));
+            assert!(h.is_some());
+            holes.push(h.unwrap());
+        }
+        holes.sort_unstable();
+        holes.dedup();
+        assert_eq!(holes.len(), 3);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A hard-ish pigeonhole with tiny budget.
+        let p = |i: i32, j: i32| i * 5 + j + 1;
+        let mut s = SatSolver::new();
+        s.max_conflicts = Some(3);
+        for i in 0..6 {
+            let c: Vec<i32> = (0..5).map(|j| p(i, j)).collect();
+            let c = lits(&c, &mut s);
+            s.add_clause(&c);
+        }
+        for j in 0..5 {
+            for i1 in 0..6 {
+                for i2 in (i1 + 1)..6 {
+                    let c = lits(&[-p(i1, j), -p(i2, j)], &mut s);
+                    s.add_clause(&c);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn random_3sat_models_verify() {
+        // Deterministic pseudo-random 3-SAT instances at low clause ratio
+        // (almost surely SAT); verify any returned model satisfies all
+        // clauses.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _round in 0..10 {
+            let nvars = 30;
+            let nclauses = 60;
+            let mut s = SatSolver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            let mut cls = vec![];
+            for _ in 0..nclauses {
+                let mut c = vec![];
+                for _ in 0..3 {
+                    let v = (next() % nvars as u64) as u32;
+                    let neg = next() % 2 == 1;
+                    c.push(Lit::new(v, neg));
+                }
+                cls.push(c.clone());
+                s.add_clause(&c);
+            }
+            if s.solve() == SatOutcome::Sat {
+                for c in &cls {
+                    assert!(
+                        c.iter().any(|&l| s.model_value(l.var()) != l.is_neg()),
+                        "model violates clause"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Conjunction-level simplification.
+//!
+//! The smart constructors on [`Term`] already do local rewriting;
+//! this module adds cross-conjunct reasoning that matters for SOFT's
+//! workload: path conditions are big conjunctions in which many conjuncts
+//! pin a message byte to a constant (`m0.b9 == 4`). Propagating those
+//! equalities into the remaining conjuncts lets most infeasibility checks
+//! resolve without ever bit-blasting.
+
+use crate::term::{Op, Term};
+use std::collections::HashMap;
+
+/// Flatten nested `And` nodes into a conjunct list.
+pub fn conjuncts(t: &Term) -> Vec<Term> {
+    let mut out = Vec::new();
+    let mut stack = vec![t.clone()];
+    while let Some(t) = stack.pop() {
+        match t.op() {
+            Op::And(a, b) => {
+                stack.push(b.clone());
+                stack.push(a.clone());
+            }
+            Op::BoolConst(true) => {}
+            _ => out.push(t),
+        }
+    }
+    out
+}
+
+/// Build a right-leaning conjunction of `terms` (empty = true).
+pub fn mk_and(terms: &[Term]) -> Term {
+    let mut acc = Term::bool_true();
+    for t in terms.iter().rev() {
+        acc = t.clone().and(acc);
+    }
+    acc
+}
+
+/// Build a *balanced* disjunction tree, as SOFT's grouping tool does
+/// (§4.2: "we group path conditions by building a balanced binary tree
+/// minimizing the depth of nested expressions").
+pub fn mk_or_balanced(terms: &[Term]) -> Term {
+    match terms.len() {
+        0 => Term::bool_false(),
+        1 => terms[0].clone(),
+        n => {
+            let (l, r) = terms.split_at(n / 2);
+            mk_or_balanced(l).or(mk_or_balanced(r))
+        }
+    }
+}
+
+/// Build a right-leaning (linear) disjunction; kept for the ablation bench
+/// comparing balanced vs. linear grouping trees.
+pub fn mk_or_linear(terms: &[Term]) -> Term {
+    let mut acc = Term::bool_false();
+    for t in terms.iter().rev() {
+        acc = t.clone().or(acc);
+    }
+    acc
+}
+
+/// Substitute every occurrence of the map's keys (which must be variables or
+/// arbitrary subterms) by their values. Sorts must match.
+pub fn substitute(t: &Term, map: &HashMap<Term, Term>) -> Term {
+    let mut memo: HashMap<Term, Term> = HashMap::new();
+    subst_rec(t, map, &mut memo)
+}
+
+fn subst_rec(t: &Term, map: &HashMap<Term, Term>, memo: &mut HashMap<Term, Term>) -> Term {
+    if let Some(r) = map.get(t) {
+        return r.clone();
+    }
+    if let Some(r) = memo.get(t) {
+        return r.clone();
+    }
+    let result = match t.op() {
+        Op::BvConst { .. } | Op::BvVar { .. } | Op::BoolConst(_) => t.clone(),
+        Op::BvUnary(op, a) => {
+            let a = subst_rec(a, map, memo);
+            match op {
+                crate::term::BvUnaryOp::Not => a.bvnot(),
+                crate::term::BvUnaryOp::Neg => a.bvneg(),
+            }
+        }
+        Op::BvBin(op, a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            use crate::term::BvBinOp::*;
+            match op {
+                And => a.bvand(b),
+                Or => a.bvor(b),
+                Xor => a.bvxor(b),
+                Add => a.bvadd(b),
+                Sub => a.bvsub(b),
+                Mul => a.bvmul(b),
+                UDiv => a.bvudiv(b),
+                URem => a.bvurem(b),
+                Shl => a.bvshl(b),
+                Lshr => a.bvlshr(b),
+                Ashr => a.bvashr(b),
+            }
+        }
+        Op::BvConcat(h, l) => {
+            let h = subst_rec(h, map, memo);
+            let l = subst_rec(l, map, memo);
+            h.concat(l)
+        }
+        Op::BvExtract { hi, lo, arg } => {
+            let a = subst_rec(arg, map, memo);
+            a.extract(*hi, *lo)
+        }
+        Op::BvIte(c, a, b) => {
+            let c = subst_rec(c, map, memo);
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            Term::ite_bv(c, a, b)
+        }
+        Op::Not(a) => subst_rec(a, map, memo).not(),
+        Op::And(a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            a.and(b)
+        }
+        Op::Or(a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            a.or(b)
+        }
+        Op::Implies(a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            a.implies(b)
+        }
+        Op::Iff(a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            a.iff(b)
+        }
+        Op::Cmp(op, a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            use crate::term::CmpOp::*;
+            match op {
+                Eq => a.eq(b),
+                Ult => a.ult(b),
+                Ule => a.ule(b),
+                Slt => a.slt(b),
+                Sle => a.sle(b),
+            }
+        }
+    };
+    memo.insert(t.clone(), result.clone());
+    result
+}
+
+/// Select the conjuncts relevant to `target`: those sharing variables with
+/// it, transitively (KLEE's "independent solver" slicing). The returned
+/// slice is equisatisfiable with the full conjunction *for queries about
+/// `target`* as long as the full conjunction is known satisfiable — exactly
+/// the situation of a branch-feasibility check, where the current path
+/// condition is satisfiable by construction.
+pub fn relevant_slice(conjuncts: &[Term], target: &Term) -> Vec<Term> {
+    use std::collections::HashSet;
+    let mut vars: HashSet<String> = crate::metrics::variables(target)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    let conj_vars: Vec<Vec<String>> = conjuncts
+        .iter()
+        .map(|c| {
+            crate::metrics::variables(c)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect()
+        })
+        .collect();
+    let mut included = vec![false; conjuncts.len()];
+    loop {
+        let mut changed = false;
+        for (i, cv) in conj_vars.iter().enumerate() {
+            if included[i] {
+                continue;
+            }
+            if cv.iter().any(|v| vars.contains(v)) {
+                included[i] = true;
+                for v in cv {
+                    vars.insert(v.clone());
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    conjuncts
+        .iter()
+        .zip(&included)
+        .filter(|(_, inc)| **inc)
+        .map(|(c, _)| c.clone())
+        .collect()
+}
+
+/// Result of conjunction preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Preprocessed {
+    /// The conjunction is trivially unsatisfiable.
+    TriviallyFalse,
+    /// The conjunction is trivially valid.
+    TriviallyTrue,
+    /// Residual conjuncts after equality propagation.
+    Residual(Vec<Term>),
+}
+
+/// Propagate `var == const` conjuncts through the conjunction to a fixpoint
+/// (bounded), returning a simplified equisatisfiable residual.
+pub fn propagate_equalities(assertions: &[Term]) -> Preprocessed {
+    let mut todo: Vec<Term> = assertions
+        .iter()
+        .flat_map(conjuncts)
+        .collect();
+    for _round in 0..8 {
+        // Harvest var == const bindings.
+        let mut map: HashMap<Term, Term> = HashMap::new();
+        for c in &todo {
+            if let Op::Cmp(crate::term::CmpOp::Eq, a, b) = c.op() {
+                if a.as_var().is_some() && b.is_const() && !map.contains_key(a) {
+                    map.insert(a.clone(), b.clone());
+                } else if b.as_var().is_some() && a.is_const() && !map.contains_key(b) {
+                    map.insert(b.clone(), a.clone());
+                }
+            }
+        }
+        if map.is_empty() {
+            break;
+        }
+        let mut next: Vec<Term> = Vec::with_capacity(todo.len());
+        let mut changed = false;
+        for c in &todo {
+            // Keep the binding equations themselves (they define the model).
+            let is_binding = match c.op() {
+                Op::Cmp(crate::term::CmpOp::Eq, a, b) => {
+                    (map.get(a) == Some(b)) || (map.get(b) == Some(a))
+                }
+                _ => false,
+            };
+            let s = if is_binding {
+                c.clone()
+            } else {
+                substitute(c, &map)
+            };
+            if s != *c {
+                changed = true;
+            }
+            match s.as_bool_const() {
+                Some(false) => return Preprocessed::TriviallyFalse,
+                Some(true) => {}
+                None => next.extend(conjuncts(&s)),
+            }
+        }
+        todo = next;
+        if !changed {
+            break;
+        }
+    }
+    if todo.is_empty() {
+        Preprocessed::TriviallyTrue
+    } else {
+        Preprocessed::Residual(todo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flattens() {
+        let a = Term::var("sf.a", 8).eq(Term::bv_const(8, 1));
+        let b = Term::var("sf.b", 8).eq(Term::bv_const(8, 2));
+        let c = Term::var("sf.c", 8).eq(Term::bv_const(8, 3));
+        let t = a.clone().and(b.clone()).and(c.clone());
+        assert_eq!(conjuncts(&t), vec![a, b, c]);
+    }
+
+    #[test]
+    fn mk_and_of_empty_is_true() {
+        assert_eq!(mk_and(&[]), Term::bool_true());
+    }
+
+    #[test]
+    fn balanced_or_has_logarithmic_depth() {
+        let terms: Vec<Term> = (0..64)
+            .map(|i| Term::var(format!("or{i}"), 8).eq(Term::bv_const(8, i)))
+            .collect();
+        let balanced = mk_or_balanced(&terms);
+        let linear = mk_or_linear(&terms);
+        let db = crate::metrics::depth(&balanced);
+        let dl = crate::metrics::depth(&linear);
+        assert!(db < dl, "balanced depth {db} should beat linear {dl}");
+        assert!(db <= 9, "depth {db} too deep for 64 leaves");
+    }
+
+    #[test]
+    fn substitute_replaces_vars() {
+        let x = Term::var("sub.x", 8);
+        let y = Term::var("sub.y", 8);
+        let e = x.clone().bvadd(y.clone()).eq(Term::bv_const(8, 10));
+        let mut m = HashMap::new();
+        m.insert(x, Term::bv_const(8, 4));
+        let s = substitute(&e, &m);
+        assert_eq!(s, y.eq(Term::bv_const(8, 6)));
+    }
+
+    #[test]
+    fn propagate_detects_contradiction() {
+        let x = Term::var("pr.x", 8);
+        let a = x.clone().eq(Term::bv_const(8, 4));
+        let b = x.clone().ult(Term::bv_const(8, 3));
+        assert_eq!(propagate_equalities(&[a, b]), Preprocessed::TriviallyFalse);
+    }
+
+    #[test]
+    fn propagate_chains_equalities() {
+        let x = Term::var("pr2.x", 8);
+        let y = Term::var("pr2.y", 8);
+        // x == 4, y == x + 1, y < 3  -> false after two rounds
+        let a = x.clone().eq(Term::bv_const(8, 4));
+        let b = y.clone().eq(x.clone().bvadd(Term::bv_const(8, 1)));
+        let c = y.clone().ult(Term::bv_const(8, 3));
+        assert_eq!(
+            propagate_equalities(&[a, b, c]),
+            Preprocessed::TriviallyFalse
+        );
+    }
+
+    #[test]
+    fn propagate_satisfied_conjunction_is_true() {
+        let x = Term::var("pr3.x", 8);
+        let a = x.clone().eq(Term::bv_const(8, 4));
+        let b = x.clone().ult(Term::bv_const(8, 10));
+        // `a` is kept as the binding; `b` dissolves.
+        match propagate_equalities(&[a.clone(), b]) {
+            Preprocessed::Residual(r) => assert_eq!(r, vec![a]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Solver facade: term-level satisfiability checking with model extraction.
+//!
+//! The pipeline mirrors STP's: algebraic simplification and equality
+//! propagation first (most of SOFT's feasibility checks die here — path
+//! conditions pin many message bytes to constants), then bit-blasting to
+//! CNF, then CDCL SAT. Models come back as [`Assignment`]s over the named
+//! input bytes, which the harness turns into concrete reproduction messages.
+
+use crate::bitblast::BitBlaster;
+use crate::sat::SatOutcome;
+use crate::simplify::{mk_and, propagate_equalities, Preprocessed};
+use crate::{Assignment, Term};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness assignment.
+    Sat(Assignment),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource budget exhausted before a verdict.
+    Unknown,
+}
+
+impl SatResult {
+    /// True for `Sat(_)`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// True for `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SatResult::Sat(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative query statistics, reported by the Table 3 bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total `check` invocations.
+    pub queries: u64,
+    /// Queries answered by simplification alone (no SAT call).
+    pub solved_by_simplification: u64,
+    /// SAT conflicts across all queries.
+    pub sat_conflicts: u64,
+    /// SAT decisions across all queries.
+    pub sat_decisions: u64,
+    /// SAT propagations across all queries.
+    pub sat_propagations: u64,
+    /// CNF clauses generated across all queries.
+    pub cnf_clauses: u64,
+    /// CNF variables generated across all queries.
+    pub cnf_vars: u64,
+    /// Queries answered from the verdict cache.
+    pub cache_hits: u64,
+}
+
+/// Bitvector satisfiability solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// Optional conflict budget per query; exceeded queries return Unknown.
+    pub max_conflicts: Option<u64>,
+    /// Cumulative statistics.
+    pub stats: SolverStats,
+    /// Memoized verdicts keyed by the (sorted, deduped) assertion set.
+    /// Symbolic execution re-checks near-identical conjunctions constantly
+    /// — replayed prefixes, shared sub-branches — so this cache carries a
+    /// large fraction of the load. Models are cached too (they stay valid:
+    /// terms are immutable and interned).
+    cache: std::collections::HashMap<Vec<Term>, SatResult>,
+}
+
+impl Solver {
+    /// Fresh solver with no budget limit.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Check satisfiability of the conjunction of `assertions`.
+    pub fn check(&mut self, assertions: &[Term]) -> SatResult {
+        self.stats.queries += 1;
+        let mut key: Vec<Term> = assertions.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit.clone();
+        }
+        let result = self.check_uncached(assertions);
+        // Unknown verdicts are budget-dependent; don't pin them.
+        if !matches!(result, SatResult::Unknown) {
+            self.cache.insert(key, result.clone());
+        }
+        result
+    }
+
+    fn check_uncached(&mut self, assertions: &[Term]) -> SatResult {
+        // Phase 1: equality propagation and constant folding.
+        let residual = match propagate_equalities(assertions) {
+            Preprocessed::TriviallyFalse => {
+                self.stats.solved_by_simplification += 1;
+                return SatResult::Unsat;
+            }
+            Preprocessed::TriviallyTrue => {
+                self.stats.solved_by_simplification += 1;
+                return SatResult::Sat(Assignment::new());
+            }
+            Preprocessed::Residual(r) => r,
+        };
+        // If the residual is pure bindings (var == const), it is SAT with
+        // the obvious model — but distinguishing that from harder residue is
+        // what the SAT call does anyway; only shortcut the all-binding case.
+        if let Some(model) = Self::all_bindings_model(&residual) {
+            self.stats.solved_by_simplification += 1;
+            let full = mk_and(&residual);
+            debug_assert!(model.eval_bool(&full));
+            return SatResult::Sat(model);
+        }
+        // Phase 2: bit-blast and solve.
+        let mut bb = BitBlaster::new();
+        bb.sat.max_conflicts = self.max_conflicts;
+        for t in &residual {
+            bb.assert_term(t);
+        }
+        self.stats.cnf_clauses += bb.sat.num_clauses() as u64;
+        self.stats.cnf_vars += bb.sat.num_vars() as u64;
+        let out = bb.sat.solve();
+        self.stats.sat_conflicts += bb.sat.conflicts;
+        self.stats.sat_decisions += bb.sat.decisions;
+        self.stats.sat_propagations += bb.sat.propagations;
+        match out {
+            SatOutcome::Sat => {
+                let mut model = bb.extract_assignment();
+                // Re-apply bindings consumed by the preprocessor: evaluate
+                // the original assertions and fill in pinned variables.
+                Self::complete_model(assertions, &mut model);
+                debug_assert!(
+                    assertions.iter().all(|a| model.eval_bool(a)),
+                    "solver model must satisfy original assertions"
+                );
+                SatResult::Sat(model)
+            }
+            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Unknown => SatResult::Unknown,
+        }
+    }
+
+    /// If every residual conjunct is `var == const`, build the model directly.
+    fn all_bindings_model(residual: &[Term]) -> Option<Assignment> {
+        let mut model = Assignment::new();
+        for c in residual {
+            match c.op() {
+                crate::term::Op::Cmp(crate::term::CmpOp::Eq, a, b) => {
+                    if let (Some((name, _)), Some(v)) = (a.as_var(), b.as_bv_const()) {
+                        if let Some(prev) = model.get(name) {
+                            if prev != v {
+                                return None; // conflicting bindings; let SAT decide
+                            }
+                        }
+                        model.set(name, v);
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(model)
+    }
+
+    /// Fill in variables that were eliminated by equality propagation so the
+    /// returned model satisfies the *original* assertions, not just the
+    /// residual. Walks `var == const` bindings to a fixpoint.
+    fn complete_model(assertions: &[Term], model: &mut Assignment) {
+        for _ in 0..8 {
+            let mut changed = false;
+            for a in assertions {
+                for c in crate::simplify::conjuncts(a) {
+                    if let crate::term::Op::Cmp(crate::term::CmpOp::Eq, l, r) = c.op() {
+                        if let Some((name, _)) = l.as_var() {
+                            if model.get(name).is_none() {
+                                let v = model.eval_bv(r);
+                                model.set(name, v);
+                                changed = true;
+                            }
+                        } else if let Some((name, _)) = r.as_var() {
+                            if model.get(name).is_none() {
+                                let v = model.eval_bv(l);
+                                model.set(name, v);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Convenience: check a single term.
+    pub fn check_one(&mut self, t: &Term) -> SatResult {
+        self.check(std::slice::from_ref(t))
+    }
+
+    /// Check whether `a` and `b` can hold simultaneously (the intersection
+    /// query at the heart of SOFT's inconsistency finder).
+    pub fn intersect(&mut self, a: &Term, b: &Term) -> SatResult {
+        self.check(&[a.clone(), b.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simplification_fast_path() {
+        let x = Term::var("sv.x", 8);
+        let mut s = Solver::new();
+        let r = s.check(&[x.clone().eq(Term::bv_const(8, 5))]);
+        assert!(r.is_sat());
+        assert_eq!(r.model().unwrap().get("sv.x"), Some(5));
+        assert_eq!(s.stats.solved_by_simplification, 1);
+
+        let r = s.check(&[
+            x.clone().eq(Term::bv_const(8, 5)),
+            x.clone().eq(Term::bv_const(8, 6)),
+        ]);
+        assert!(r.is_unsat());
+        assert_eq!(s.stats.solved_by_simplification, 2);
+    }
+
+    #[test]
+    fn sat_path_produces_complete_model() {
+        let x = Term::var("sv.a", 8);
+        let y = Term::var("sv.b", 8);
+        // x pinned by equality, y constrained by range: model must cover both.
+        let mut s = Solver::new();
+        let assertions = vec![
+            x.clone().eq(Term::bv_const(8, 9)),
+            y.clone().bvadd(x.clone()).ugt(Term::bv_const(8, 200)),
+            y.clone().ult(Term::bv_const(8, 250)),
+        ];
+        let r = s.check(&assertions);
+        let m = r.model().expect("should be sat");
+        assert_eq!(m.get("sv.a"), Some(9));
+        for a in &assertions {
+            assert!(m.eval_bool(a));
+        }
+    }
+
+    #[test]
+    fn intersect_disjoint_ranges_unsat() {
+        let p = Term::var("sv.p", 16);
+        let a = p.clone().ult(Term::bv_const(16, 10));
+        let b = p.clone().ugt(Term::bv_const(16, 20));
+        let mut s = Solver::new();
+        assert!(s.intersect(&a, &b).is_unsat());
+    }
+
+    #[test]
+    fn intersect_overlapping_ranges_sat() {
+        let p = Term::var("sv.q", 16);
+        let a = p.clone().ult(Term::bv_const(16, 20));
+        let b = p.clone().ugt(Term::bv_const(16, 10));
+        let mut s = Solver::new();
+        let r = s.intersect(&a, &b);
+        let v = r.model().unwrap().get("sv.q").unwrap();
+        assert!((11..20).contains(&v));
+    }
+
+    #[test]
+    fn figure2_style_intersection() {
+        // Agent 1 sends to controller iff p == 0xfffd (OFPP_CONTROLLER);
+        // Agent 2 errors iff p >= 25 — the intersection is the inconsistency
+        // input p = 0xfffd, exactly the §2.3 example.
+        let p = Term::var("sv.port", 16);
+        let a1_ctrl = p.clone().eq(Term::bv_const(16, 0xfffd));
+        let a2_err = p.clone().uge(Term::bv_const(16, 25));
+        let mut s = Solver::new();
+        let r = s.intersect(&a1_ctrl, &a2_err);
+        assert_eq!(r.model().unwrap().get("sv.port"), Some(0xfffd));
+    }
+
+    #[test]
+    fn disjunction_queries() {
+        // (x == 1 or x == 2) and x > 1 => x == 2
+        let x = Term::var("sv.d", 8);
+        let d = x
+            .clone()
+            .eq(Term::bv_const(8, 1))
+            .or(x.clone().eq(Term::bv_const(8, 2)));
+        let g = x.clone().ugt(Term::bv_const(8, 1));
+        let mut s = Solver::new();
+        let r = s.check(&[d, g]);
+        assert_eq!(r.model().unwrap().get("sv.d"), Some(2));
+    }
+
+    #[test]
+    fn cache_hits_repeated_queries() {
+        let x = Term::var("svc.x", 8);
+        let q = [x.clone().ult(Term::bv_const(8, 10)), x.clone().ugt(Term::bv_const(8, 3))];
+        let mut s = Solver::new();
+        let r1 = s.check(&q);
+        assert_eq!(s.stats.cache_hits, 0);
+        let r2 = s.check(&q);
+        assert_eq!(s.stats.cache_hits, 1);
+        assert_eq!(r1, r2);
+        // Order-insensitive key.
+        let q2 = [q[1].clone(), q[0].clone()];
+        let r3 = s.check(&q2);
+        assert_eq!(s.stats.cache_hits, 2);
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn unknown_on_budget_exhaustion() {
+        // Force a non-trivial SAT instance with a tiny conflict budget.
+        let xs: Vec<Term> = (0..12).map(|i| Term::var(format!("sv.u{i}"), 8)).collect();
+        let mut sum = Term::bv_const(8, 0);
+        for x in &xs {
+            sum = sum.bvadd(x.clone().bvmul(x.clone()));
+        }
+        let hard = sum.eq(Term::bv_const(8, 0x5a));
+        let mut s = Solver::new();
+        s.max_conflicts = Some(1);
+        // Either it solves immediately (fine) or reports Unknown; it must
+        // not claim Unsat.
+        let r = s.check(&[hard]);
+        assert!(!r.is_unsat());
+    }
+}

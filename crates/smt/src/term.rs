@@ -1,0 +1,428 @@
+//! Hash-consed bitvector/boolean terms.
+//!
+//! Terms are immutable DAG nodes interned in a global table: structurally
+//! equal terms are pointer-equal, so downstream code (path conditions,
+//! grouping, bit-blasting caches) can hash and compare terms in O(1).
+//!
+//! Variables are identified by *name*, not by a creation counter. This is
+//! load-bearing for SOFT's two-phase design: agent A and agent B are
+//! symbolically executed in separate runs (possibly on separate machines),
+//! and their path conditions are later conjoined. Both runs name the input
+//! bytes identically (e.g. `m0.b5` for byte 5 of message 0), so the solver
+//! sees the same variable in both conditions.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Sort (type) of a term: boolean or a bitvector of width 1..=64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// The boolean sort.
+    Bool,
+    /// Bitvector of the given width in bits (1..=64).
+    Bv(u32),
+}
+
+impl Sort {
+    /// Width of a bitvector sort. Panics on `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::Bv(w) => w,
+            Sort::Bool => panic!("Sort::width called on Bool"),
+        }
+    }
+
+    /// True if this is a bitvector sort.
+    pub fn is_bv(self) -> bool {
+        matches!(self, Sort::Bv(_))
+    }
+}
+
+/// Unary bitvector operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BvUnaryOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+}
+
+/// Binary bitvector operators (both operands share the result width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BvBinOp {
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero yields all-ones (SMT-LIB).
+    UDiv,
+    /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB).
+    URem,
+    /// Left shift; shifts >= width yield zero.
+    Shl,
+    /// Logical right shift; shifts >= width yield zero.
+    Lshr,
+    /// Arithmetic right shift; shifts >= width replicate the sign bit.
+    Ashr,
+}
+
+/// Comparison predicates (bitvector x bitvector -> bool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+}
+
+/// The operator/children of a term node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Bitvector literal. `value` is truncated to `width` bits.
+    BvConst {
+        /// Width in bits (1..=64).
+        width: u32,
+        /// Literal value, masked to `width` bits.
+        value: u64,
+    },
+    /// Named symbolic bitvector variable.
+    BvVar {
+        /// Stable variable name (identity across runs).
+        name: Arc<str>,
+        /// Width in bits (1..=64).
+        width: u32,
+    },
+    /// Unary bitvector operation.
+    BvUnary(BvUnaryOp, Term),
+    /// Binary bitvector operation.
+    BvBin(BvBinOp, Term, Term),
+    /// `hi ++ lo` concatenation; result width = hi.width + lo.width (<= 64).
+    BvConcat(Term, Term),
+    /// Bits `hi..=lo` (inclusive, zero-based from LSB) of `arg`.
+    BvExtract {
+        /// Highest extracted bit (inclusive).
+        hi: u32,
+        /// Lowest extracted bit (inclusive).
+        lo: u32,
+        /// The source bitvector.
+        arg: Term,
+    },
+    /// Bitvector if-then-else: `cond` is boolean; branches share a width.
+    BvIte(Term, Term, Term),
+    /// Boolean literal.
+    BoolConst(bool),
+    /// Boolean negation.
+    Not(Term),
+    /// Boolean conjunction.
+    And(Term, Term),
+    /// Boolean disjunction.
+    Or(Term, Term),
+    /// Boolean implication.
+    Implies(Term, Term),
+    /// Boolean equivalence.
+    Iff(Term, Term),
+    /// Bitvector comparison predicate.
+    Cmp(CmpOp, Term, Term),
+}
+
+/// Interned term node.
+#[derive(Debug)]
+pub struct TermData {
+    pub(crate) op: Op,
+    pub(crate) sort: Sort,
+    pub(crate) id: u64,
+    /// Number of boolean/bitvector operator applications in the DAG rooted
+    /// here, counted over the DAG (shared nodes counted once). Leaves count 0.
+    pub(crate) dag_ops: u64,
+}
+
+/// A hash-consed term. Cheap to clone; equality and hashing are O(1).
+#[derive(Clone)]
+pub struct Term(pub(crate) Arc<TermData>);
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl Eq for Term {}
+
+impl Hash for Term {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.id.hash(state);
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.id.cmp(&other.0.id)
+    }
+}
+
+struct Interner {
+    table: HashMap<Op, Term>,
+    next_id: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            table: HashMap::new(),
+            next_id: 0,
+        })
+    })
+}
+
+/// Mask selecting the low `width` bits (width 1..=64).
+pub fn mask(width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl Term {
+    /// Intern `op` with the given sort, reusing an existing node if present.
+    pub(crate) fn intern(op: Op, sort: Sort) -> Term {
+        let mut g = interner().lock().expect("term interner poisoned");
+        if let Some(t) = g.table.get(&op) {
+            return t.clone();
+        }
+        let dag_ops = Self::count_new_ops(&op);
+        let id = g.next_id;
+        g.next_id += 1;
+        let t = Term(Arc::new(TermData {
+            op: op.clone(),
+            sort,
+            id,
+            dag_ops,
+        }));
+        g.table.insert(op, t.clone());
+        t
+    }
+
+    /// Approximate DAG op count for a new node: 1 + children's counts.
+    ///
+    /// This over-counts shared sub-DAGs (it is really a tree count bounded by
+    /// the DAG count), but is maintained in O(1) per node; the exact
+    /// tree-size metric the paper reports ("number of boolean operations in a
+    /// path condition") is computed by [`crate::metrics`].
+    fn count_new_ops(op: &Op) -> u64 {
+        let children: u64 = op.children().iter().map(|c| c.0.dag_ops).sum();
+        match op {
+            Op::BvConst { .. } | Op::BvVar { .. } | Op::BoolConst(_) => 0,
+            _ => children.saturating_add(1),
+        }
+    }
+
+    /// The operator of this term.
+    pub fn op(&self) -> &Op {
+        &self.0.op
+    }
+
+    /// The sort of this term.
+    pub fn sort(&self) -> Sort {
+        self.0.sort
+    }
+
+    /// Bitvector width; panics if the term is boolean.
+    pub fn width(&self) -> u32 {
+        self.0.sort.width()
+    }
+
+    /// Unique interning id (stable within a process).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Cached upper bound on the number of operator applications.
+    pub fn size_hint(&self) -> u64 {
+        self.0.dag_ops
+    }
+
+    /// True if the term is a bitvector or boolean constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self.op(), Op::BvConst { .. } | Op::BoolConst(_))
+    }
+
+    /// The constant value if this is a bitvector constant.
+    pub fn as_bv_const(&self) -> Option<u64> {
+        match self.op() {
+            Op::BvConst { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The constant value if this is a boolean constant.
+    pub fn as_bool_const(&self) -> Option<bool> {
+        match self.op() {
+            Op::BoolConst(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Variable name if this is a `BvVar`.
+    pub fn as_var(&self) -> Option<(&str, u32)> {
+        match self.op() {
+            Op::BvVar { name, width } => Some((name, *width)),
+            _ => None,
+        }
+    }
+}
+
+impl Op {
+    /// Child terms, in order.
+    pub fn children(&self) -> Vec<&Term> {
+        match self {
+            Op::BvConst { .. } | Op::BvVar { .. } | Op::BoolConst(_) => vec![],
+            Op::BvUnary(_, a) | Op::BvExtract { arg: a, .. } | Op::Not(a) => vec![a],
+            Op::BvBin(_, a, b)
+            | Op::BvConcat(a, b)
+            | Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Implies(a, b)
+            | Op::Iff(a, b)
+            | Op::Cmp(_, a, b) => vec![a, b],
+            Op::BvIte(c, t, e) => vec![c, t, e],
+        }
+    }
+}
+
+impl fmt::Display for BvUnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BvUnaryOp::Not => "bvnot",
+            BvUnaryOp::Neg => "bvneg",
+        })
+    }
+}
+
+impl fmt::Display for BvBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BvBinOp::And => "bvand",
+            BvBinOp::Or => "bvor",
+            BvBinOp::Xor => "bvxor",
+            BvBinOp::Add => "bvadd",
+            BvBinOp::Sub => "bvsub",
+            BvBinOp::Mul => "bvmul",
+            BvBinOp::UDiv => "bvudiv",
+            BvBinOp::URem => "bvurem",
+            BvBinOp::Shl => "bvshl",
+            BvBinOp::Lshr => "bvlshr",
+            BvBinOp::Ashr => "bvashr",
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ult => "bvult",
+            CmpOp::Ule => "bvule",
+            CmpOp::Slt => "bvslt",
+            CmpOp::Sle => "bvsle",
+        })
+    }
+}
+
+impl fmt::Display for Term {
+    /// SMT-LIB-flavoured s-expression rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op() {
+            Op::BvConst { width, value } => write!(f, "#x{value:0>width$x}", width = (*width as usize).div_ceil(4)),
+            Op::BvVar { name, .. } => write!(f, "{name}"),
+            Op::BvUnary(op, a) => write!(f, "({op} {a})"),
+            Op::BvBin(op, a, b) => write!(f, "({op} {a} {b})"),
+            Op::BvConcat(a, b) => write!(f, "(concat {a} {b})"),
+            Op::BvExtract { hi, lo, arg } => write!(f, "((_ extract {hi} {lo}) {arg})"),
+            Op::BvIte(c, t, e) => write!(f, "(ite {c} {t} {e})"),
+            Op::BoolConst(b) => write!(f, "{b}"),
+            Op::Not(a) => write!(f, "(not {a})"),
+            Op::And(a, b) => write!(f, "(and {a} {b})"),
+            Op::Or(a, b) => write!(f, "(or {a} {b})"),
+            Op::Implies(a, b) => write!(f, "(=> {a} {b})"),
+            Op::Iff(a, b) => write!(f, "(iff {a} {b})"),
+            Op::Cmp(op, a, b) => write!(f, "({op} {a} {b})"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Term[{}]({})", self.0.id, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes_structurally_equal_terms() {
+        let a = Term::bv_const(8, 42);
+        let b = Term::bv_const(8, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        let x = Term::var("x", 8);
+        let y = Term::var("x", 8);
+        assert_eq!(x, y, "same-named vars must be the same term");
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let a = Term::bv_const(8, 1);
+        let b = Term::bv_const(8, 2);
+        let c = Term::bv_const(16, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mask_boundaries() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(16), 0xffff);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn sort_accessors() {
+        assert!(Sort::Bv(8).is_bv());
+        assert!(!Sort::Bool.is_bv());
+        assert_eq!(Sort::Bv(12).width(), 12);
+    }
+
+    #[test]
+    fn display_renders_sexpr() {
+        let x = Term::var("x", 8);
+        let y = Term::var("y", 8);
+        let e = x.clone().bvadd(y.clone()).eq(Term::bv_const(8, 0));
+        assert_eq!(format!("{e}"), "(= (bvadd x y) #x00)");
+    }
+}

@@ -1,0 +1,125 @@
+//! Brute-force oracle tests: for formulas over two 4-bit variables, the
+//! solver's verdict must match exhaustive enumeration of all 256
+//! assignments. This is the strongest correctness check of the whole
+//! simplify → bit-blast → CDCL pipeline, because the oracle shares no
+//! code with the solving path (it only uses the evaluator).
+
+use proptest::prelude::*;
+use soft_smt::{Assignment, SatResult, Solver, Term};
+
+const W: u32 = 4;
+
+fn vx() -> Term {
+    Term::var("or.x", W)
+}
+fn vy() -> Term {
+    Term::var("or.y", W)
+}
+
+/// Random small terms over x, y.
+fn bv_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        Just(vx()),
+        Just(vy()),
+        (0u64..16).prop_map(|v| Term::bv_const(W, v)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0..8u8).prop_map(|(a, b, op)| match op {
+                0 => a.bvand(b),
+                1 => a.bvor(b),
+                2 => a.bvxor(b),
+                3 => a.bvadd(b),
+                4 => a.bvsub(b),
+                5 => a.bvmul(b),
+                6 => a.bvudiv(b),
+                _ => a.bvurem(b),
+            }),
+            inner.clone().prop_map(|a| a.bvnot()),
+            inner.prop_map(|a| a.bvneg()),
+        ]
+    })
+}
+
+fn bool_term() -> impl Strategy<Value = Term> {
+    let atom = (bv_term(), bv_term(), 0..5u8).prop_map(|(a, b, op)| match op {
+        0 => a.eq(b),
+        1 => a.ult(b),
+        2 => a.ule(b),
+        3 => a.slt(b),
+        _ => a.sle(b),
+    });
+    atom.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
+        ]
+    })
+}
+
+/// Enumerate all 256 assignments; return a satisfying one if any.
+fn brute_force(t: &Term) -> Option<(u64, u64)> {
+    for x in 0..16u64 {
+        for y in 0..16u64 {
+            let mut a = Assignment::new();
+            a.set("or.x", x);
+            a.set("or.y", y);
+            if a.eval_bool(t) {
+                return Some((x, y));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Solver verdict == brute-force verdict, and models check out.
+    #[test]
+    fn solver_matches_brute_force(t in bool_term()) {
+        let expected = brute_force(&t);
+        let mut solver = Solver::new();
+        match solver.check_one(&t) {
+            SatResult::Sat(m) => {
+                prop_assert!(expected.is_some(), "solver SAT but formula has no model: {t}");
+                prop_assert!(m.eval_bool(&t), "returned model does not satisfy {t}");
+            }
+            SatResult::Unsat => {
+                prop_assert!(expected.is_none(),
+                    "solver UNSAT but {:?} satisfies {t}", expected);
+            }
+            SatResult::Unknown => prop_assert!(false, "unexpected Unknown without budget"),
+        }
+    }
+
+    /// Conjunction with the negation of a brute-force model must exclude
+    /// exactly that model, never flip the overall verdict spuriously.
+    #[test]
+    fn model_exclusion_is_consistent(t in bool_term()) {
+        if let Some((x, y)) = brute_force(&t) {
+            let pin = vx().eq(Term::bv_const(W, x)).and(vy().eq(Term::bv_const(W, y)));
+            let mut solver = Solver::new();
+            // The pinned model satisfies t.
+            prop_assert!(solver.check(&[t.clone(), pin.clone()]).is_sat());
+            // t && !pin is SAT iff another model exists.
+            let others = {
+                let mut found = None;
+                'outer: for xx in 0..16u64 {
+                    for yy in 0..16u64 {
+                        if (xx, yy) == (x, y) { continue; }
+                        let mut a = Assignment::new();
+                        a.set("or.x", xx);
+                        a.set("or.y", yy);
+                        if a.eval_bool(&t) { found = Some(()); break 'outer; }
+                    }
+                }
+                found.is_some()
+            };
+            let verdict = solver.check(&[t.clone(), pin.not()]).is_sat();
+            prop_assert_eq!(verdict, others);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Symbolic byte buffers.
+//!
+//! OpenFlow messages and data-plane packets are byte strings in which any
+//! byte may be concrete or symbolic. [`SymBuf`] models that: a vector of
+//! 8-bit terms. Multi-byte field reads concatenate bytes in network order —
+//! and, following the paper's §4.1 simplification, `ntohs`/`htons` are the
+//! identity, so there is exactly one byte-order shuffle (the one performed
+//! here) instead of two.
+
+use soft_smt::Term;
+
+/// A byte buffer whose bytes are 8-bit terms (concrete or symbolic).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymBuf {
+    bytes: Vec<Term>,
+}
+
+impl SymBuf {
+    /// Buffer of `len` fully symbolic bytes named `{prefix}.b{i}`.
+    pub fn symbolic(prefix: &str, len: usize) -> SymBuf {
+        SymBuf {
+            bytes: (0..len)
+                .map(|i| Term::var(format!("{prefix}.b{i}"), 8))
+                .collect(),
+        }
+    }
+
+    /// Buffer holding the given concrete bytes.
+    pub fn concrete(data: &[u8]) -> SymBuf {
+        SymBuf {
+            bytes: data.iter().map(|&b| Term::bv_const(8, b as u64)).collect(),
+        }
+    }
+
+    /// Empty buffer.
+    pub fn empty() -> SymBuf {
+        SymBuf { bytes: Vec::new() }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the buffer has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw byte terms.
+    pub fn bytes(&self) -> &[Term] {
+        &self.bytes
+    }
+
+    /// Append another buffer.
+    pub fn extend(&mut self, other: &SymBuf) {
+        self.bytes.extend(other.bytes.iter().cloned());
+    }
+
+    /// Append a single byte term.
+    pub fn push(&mut self, byte: Term) {
+        assert_eq!(byte.width(), 8, "SymBuf bytes must be 8-bit");
+        self.bytes.push(byte);
+    }
+
+    /// Sub-buffer `[start, start+len)`.
+    pub fn slice(&self, start: usize, len: usize) -> SymBuf {
+        SymBuf {
+            bytes: self.bytes[start..start + len].to_vec(),
+        }
+    }
+
+    /// Read one byte as a term.
+    pub fn u8(&self, off: usize) -> Term {
+        self.bytes[off].clone()
+    }
+
+    /// Read a 16-bit big-endian field.
+    pub fn u16(&self, off: usize) -> Term {
+        self.bytes[off].clone().concat(self.bytes[off + 1].clone())
+    }
+
+    /// Read a 32-bit big-endian field.
+    pub fn u32(&self, off: usize) -> Term {
+        self.u16(off).concat(self.u16(off + 2))
+    }
+
+    /// Read a 48-bit big-endian field (MAC address).
+    pub fn u48(&self, off: usize) -> Term {
+        self.u32(off).concat(self.u16(off + 4))
+    }
+
+    /// Read a 64-bit big-endian field.
+    pub fn u64(&self, off: usize) -> Term {
+        // Build as ((b0++b1)++(b2++b3)) ++ ((b4++b5)++(b6++b7)) to stay
+        // within the 64-bit term width at every step.
+        self.u32(off).concat(self.u32(off + 4))
+    }
+
+    /// Overwrite one byte with a concrete value.
+    pub fn set_u8(&mut self, off: usize, v: u8) {
+        self.bytes[off] = Term::bv_const(8, v as u64);
+    }
+
+    /// Overwrite one byte with an arbitrary 8-bit term.
+    pub fn set_byte_term(&mut self, off: usize, v: Term) {
+        assert_eq!(v.width(), 8, "SymBuf bytes must be 8-bit");
+        self.bytes[off] = v;
+    }
+
+    /// Overwrite a 16-bit big-endian field with a concrete value.
+    pub fn set_u16(&mut self, off: usize, v: u16) {
+        self.set_u8(off, (v >> 8) as u8);
+        self.set_u8(off + 1, v as u8);
+    }
+
+    /// Overwrite a 32-bit big-endian field with a concrete value.
+    pub fn set_u32(&mut self, off: usize, v: u32) {
+        self.set_u16(off, (v >> 16) as u16);
+        self.set_u16(off + 2, v as u16);
+    }
+
+    /// Overwrite a 16-bit field with an arbitrary term (split into bytes).
+    pub fn set_u16_term(&mut self, off: usize, v: &Term) {
+        assert_eq!(v.width(), 16);
+        self.bytes[off] = v.clone().extract(15, 8);
+        self.bytes[off + 1] = v.clone().extract(7, 0);
+    }
+
+    /// Overwrite a 32-bit field with an arbitrary term (split into bytes).
+    pub fn set_u32_term(&mut self, off: usize, v: &Term) {
+        assert_eq!(v.width(), 32);
+        for i in 0..4 {
+            let hi = 31 - 8 * i as u32;
+            self.bytes[off + i] = v.clone().extract(hi, hi - 7);
+        }
+    }
+
+    /// If every byte is concrete, return the raw bytes.
+    pub fn as_concrete(&self) -> Option<Vec<u8>> {
+        self.bytes
+            .iter()
+            .map(|b| b.as_bv_const().map(|v| v as u8))
+            .collect()
+    }
+
+    /// Concretize under an assignment (e.g. a solver model).
+    pub fn concretize(&self, model: &soft_smt::Assignment) -> Vec<u8> {
+        self.bytes.iter().map(|b| model.eval_bv(b) as u8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_smt::Assignment;
+
+    #[test]
+    fn concrete_roundtrip() {
+        let b = SymBuf::concrete(&[1, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.as_concrete(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(b.u16(0).as_bv_const(), Some(0x0102));
+        assert_eq!(b.u32(0).as_bv_const(), Some(0x01020304));
+    }
+
+    #[test]
+    fn symbolic_bytes_named_by_offset() {
+        let b = SymBuf::symbolic("m0", 3);
+        assert_eq!(b.u8(2).as_var().unwrap().0, "m0.b2");
+        assert!(b.as_concrete().is_none());
+    }
+
+    #[test]
+    fn field_reads_compose_and_extract_back() {
+        let b = SymBuf::symbolic("fx", 8);
+        let f = b.u32(2);
+        assert_eq!(f.width(), 32);
+        assert_eq!(f.clone().extract(31, 24), b.u8(2));
+        assert_eq!(f.extract(7, 0), b.u8(5));
+        assert_eq!(b.u64(0).width(), 64);
+        assert_eq!(b.u48(1).width(), 48);
+    }
+
+    #[test]
+    fn set_fields_overwrite() {
+        let mut b = SymBuf::symbolic("sx", 6);
+        b.set_u16(0, 0xabcd);
+        b.set_u32(2, 0x01020304);
+        assert_eq!(b.u16(0).as_bv_const(), Some(0xabcd));
+        assert_eq!(b.u32(2).as_bv_const(), Some(0x01020304));
+    }
+
+    #[test]
+    fn set_term_splits_into_bytes() {
+        let mut b = SymBuf::concrete(&[0; 4]);
+        let v = Term::var("st.v", 16);
+        b.set_u16_term(0, &v);
+        assert_eq!(b.u16(0), v);
+        let w = Term::var("st.w", 32);
+        b.set_u32_term(0, &w);
+        assert_eq!(b.u32(0), w);
+    }
+
+    #[test]
+    fn concretize_under_model() {
+        let b = SymBuf::symbolic("cz", 2);
+        let mut m = Assignment::new();
+        m.set("cz.b0", 0xde);
+        m.set("cz.b1", 0xad);
+        assert_eq!(b.concretize(&m), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn slice_and_extend() {
+        let mut a = SymBuf::concrete(&[1, 2]);
+        let b = SymBuf::concrete(&[3, 4, 5]);
+        a.extend(&b);
+        assert_eq!(a.len(), 5);
+        let s = a.slice(1, 3);
+        assert_eq!(s.as_concrete(), Some(vec![2, 3, 4]));
+    }
+}

@@ -1,0 +1,353 @@
+//! The exploration driver.
+//!
+//! Runs a deterministic program repeatedly, once per execution-tree path,
+//! replaying decision prefixes scheduled by the active search strategy.
+//! Produces the two artifacts SOFT's crosschecking phase consumes: per-path
+//! input constraints (path conditions) and per-path output traces.
+
+use crate::coverage::Coverage;
+use crate::ctx::{ExecCtx, PathOutcome, PathResult, Pending, RunEnd, Stop};
+use crate::strategy::{Frontier, Strategy};
+use soft_smt::Solver;
+use std::time::{Duration, Instant};
+
+/// Exploration limits and knobs.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Path-selection strategy (default: Cloud9-style interleaving).
+    pub strategy: Strategy,
+    /// Stop after this many explored paths.
+    pub max_paths: Option<usize>,
+    /// Maximum symbolic-branch depth per path.
+    pub max_depth: usize,
+    /// Per-query SAT conflict budget (None = unlimited).
+    pub solver_max_conflicts: Option<u64>,
+    /// Wall-clock budget for the whole exploration.
+    pub time_limit: Option<Duration>,
+    /// PRNG seed for randomized strategies.
+    pub seed: u64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            strategy: Strategy::CoverageInterleaved,
+            max_paths: None,
+            max_depth: 4096,
+            solver_max_conflicts: None,
+            time_limit: None,
+            seed: 0x50F7,
+        }
+    }
+}
+
+/// Aggregate statistics over one exploration, feeding Tables 2 and 5.
+#[derive(Debug, Clone, Default)]
+pub struct ExplorationStats {
+    /// Total paths explored (= input equivalence classes).
+    pub paths: usize,
+    /// Paths that ran to completion.
+    pub completed: usize,
+    /// Paths on which the agent crashed.
+    pub crashed: usize,
+    /// Paths abandoned by the engine.
+    pub aborted: usize,
+    /// Instrumented instruction blocks executed (sum over paths).
+    pub instructions: u64,
+    /// Fresh symbolic branches encountered (execution-tree internal nodes).
+    pub fresh_branches: u64,
+    /// Wall-clock time of the exploration.
+    pub wall: Duration,
+    /// Solver statistics accumulated over all feasibility checks.
+    pub solver: soft_smt::SolverStats,
+    /// True if the exploration hit a configured limit before exhaustion.
+    pub truncated: bool,
+}
+
+/// The outcome of exploring a program.
+#[derive(Debug, Clone)]
+pub struct Exploration<Out> {
+    /// All explored paths.
+    pub paths: Vec<PathResult<Out>>,
+    /// Union coverage over all paths.
+    pub coverage: Coverage,
+    /// Statistics.
+    pub stats: ExplorationStats,
+}
+
+impl<Out> Exploration<Out> {
+    /// Paths that completed or crashed (i.e. represent real agent behaviour,
+    /// not engine artifacts).
+    pub fn effective_paths(&self) -> impl Iterator<Item = &PathResult<Out>> {
+        self.paths
+            .iter()
+            .filter(|p| !matches!(p.outcome, PathOutcome::Aborted(_)))
+    }
+
+    /// Average and maximum constraint size (boolean-operation count per
+    /// path condition), as reported in Table 2.
+    pub fn constraint_size_stats(&self) -> (f64, u64) {
+        let sizes: Vec<u64> = self
+            .effective_paths()
+            .map(|p| soft_smt::metrics::op_count(&p.condition_term()))
+            .collect();
+        if sizes.is_empty() {
+            return (0.0, 0);
+        }
+        let max = *sizes.iter().max().expect("non-empty");
+        let avg = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        (avg, max)
+    }
+}
+
+/// Explore every path of `program`.
+///
+/// `program` must be deterministic: given the same branch decisions it must
+/// take the same actions. It is re-invoked once per path with a fresh
+/// context, so any agent state must be (re)constructed inside the closure.
+pub fn explore<Out, F>(config: &ExplorerConfig, mut program: F) -> Exploration<Out>
+where
+    F: FnMut(&mut ExecCtx<'_, Out>) -> RunEnd,
+{
+    let start = Instant::now();
+    let mut solver = Solver::new();
+    solver.max_conflicts = config.solver_max_conflicts;
+    let mut frontier = Frontier::new(config.strategy, config.seed);
+    let mut paths: Vec<PathResult<Out>> = Vec::new();
+    let mut coverage = Coverage::new();
+    let mut stats = ExplorationStats::default();
+
+    // Seed with the empty prefix.
+    frontier.push(Pending {
+        prefix: Vec::new(),
+        site: "<root>",
+    });
+
+    while let Some(pending) = frontier.pop(&coverage) {
+        if let Some(max) = config.max_paths {
+            if paths.len() >= max {
+                stats.truncated = true;
+                break;
+            }
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() > limit {
+                stats.truncated = true;
+                break;
+            }
+        }
+        let mut ctx: ExecCtx<'_, Out> = ExecCtx::new(pending.prefix, &mut solver, config.max_depth);
+        let end = program(&mut ctx);
+        let outcome = match end {
+            Ok(()) => PathOutcome::Completed,
+            Err(Stop::Crash(m)) => PathOutcome::Crashed(m),
+            Err(Stop::Abort(m)) => PathOutcome::Aborted(m),
+        };
+        let (result, new_pending, instructions, fresh) = ctx.finish(outcome);
+        match result.outcome {
+            PathOutcome::Completed => stats.completed += 1,
+            PathOutcome::Crashed(_) => stats.crashed += 1,
+            PathOutcome::Aborted(_) => stats.aborted += 1,
+        }
+        stats.instructions += instructions;
+        stats.fresh_branches += fresh;
+        coverage.merge(&result.coverage);
+        paths.push(result);
+        for p in new_pending {
+            frontier.push(p);
+        }
+    }
+    if !frontier.is_empty() {
+        stats.truncated = true;
+    }
+    stats.paths = paths.len();
+    stats.wall = start.elapsed();
+    stats.solver = solver.stats;
+    Exploration {
+        paths,
+        coverage,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_smt::Term;
+
+    /// A three-way toy program mirroring Figure 1's Agent 1.
+    fn agent1(ctx: &mut ExecCtx<'_, &'static str>) -> RunEnd {
+        let p = Term::var("ex.p", 16);
+        ctx.cover("entry");
+        if ctx.branch("is_ctrl", &p.clone().eq(Term::bv_const(16, 0xfffd)))? {
+            ctx.cover("ctrl");
+            ctx.emit("CTRL");
+        } else if ctx.branch("is_small", &p.clone().ult(Term::bv_const(16, 25)))? {
+            ctx.cover("fwd");
+            ctx.emit("FWD");
+        } else {
+            ctx.cover("err");
+            ctx.emit("ERR");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn explores_all_three_paths() {
+        let ex = explore(&ExplorerConfig::default(), agent1);
+        assert_eq!(ex.stats.paths, 3);
+        assert_eq!(ex.stats.completed, 3);
+        let mut outputs: Vec<&str> = ex.paths.iter().map(|p| p.trace[0]).collect();
+        outputs.sort_unstable();
+        assert_eq!(outputs, vec!["CTRL", "ERR", "FWD"]);
+        assert!(!ex.stats.truncated);
+    }
+
+    #[test]
+    fn path_conditions_partition_the_input_space() {
+        let ex = explore(&ExplorerConfig::default(), agent1);
+        // Conditions must be pairwise disjoint and jointly exhaustive.
+        let mut solver = Solver::new();
+        let terms: Vec<Term> = ex.paths.iter().map(|p| p.condition_term()).collect();
+        for i in 0..terms.len() {
+            for j in (i + 1)..terms.len() {
+                assert!(
+                    solver.intersect(&terms[i], &terms[j]).is_unsat(),
+                    "paths {i} and {j} overlap"
+                );
+            }
+        }
+        let union = soft_smt::simplify::mk_or_balanced(&terms);
+        assert!(solver.check_one(&union.not()).is_unsat(), "partition has a gap");
+    }
+
+    #[test]
+    fn concrete_branches_do_not_fork() {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut ExecCtx<'_, u32>| {
+            let c = Term::bv_const(8, 3);
+            if ctx.branch("const", &c.clone().ult(Term::bv_const(8, 5)))? {
+                ctx.emit(1);
+            } else {
+                ctx.emit(2);
+            }
+            Ok(())
+        });
+        assert_eq!(ex.stats.paths, 1);
+        assert_eq!(ex.paths[0].trace, vec![1]);
+        assert!(ex.paths[0].condition.is_empty());
+    }
+
+    #[test]
+    fn crash_paths_are_recorded() {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut ExecCtx<'_, u32>| {
+            let x = Term::var("cr.x", 8);
+            if ctx.branch("boom", &x.clone().eq(Term::bv_const(8, 0xee)))? {
+                return Err(Stop::crash("segfault in vlan handling"));
+            }
+            ctx.emit(0);
+            Ok(())
+        });
+        assert_eq!(ex.stats.paths, 2);
+        assert_eq!(ex.stats.crashed, 1);
+        assert_eq!(ex.stats.completed, 1);
+        let crash = ex
+            .paths
+            .iter()
+            .find(|p| matches!(p.outcome, PathOutcome::Crashed(_)))
+            .unwrap();
+        // The crash path's condition must force x == 0xee.
+        let mut s = Solver::new();
+        let m = s.check_one(&crash.condition_term());
+        assert_eq!(m.model().unwrap().get("cr.x"), Some(0xee));
+    }
+
+    #[test]
+    fn max_paths_truncates() {
+        let cfg = ExplorerConfig {
+            max_paths: Some(2),
+            ..Default::default()
+        };
+        let ex = explore(&cfg, |ctx: &mut ExecCtx<'_, u32>| {
+            let x = Term::var("tr.x", 8);
+            // 256-way case split via 8 nested branches.
+            for i in 0..8 {
+                let bit = x.clone().extract(i, i);
+                ctx.branch("bit", &bit.eq(Term::bv_const(1, 1)))?;
+            }
+            ctx.emit(0);
+            Ok(())
+        });
+        assert_eq!(ex.stats.paths, 2);
+        assert!(ex.stats.truncated);
+    }
+
+    #[test]
+    fn assume_prunes_infeasible_paths() {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut ExecCtx<'_, u32>| {
+            let x = Term::var("as.x", 8);
+            ctx.assume(&x.clone().ult(Term::bv_const(8, 10)))?;
+            if ctx.branch("check", &x.clone().ugt(Term::bv_const(8, 200)))? {
+                ctx.emit(99); // unreachable under the assumption
+            } else {
+                ctx.emit(1);
+            }
+            Ok(())
+        });
+        let completed: Vec<_> = ex.effective_paths().collect();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].trace, vec![1]);
+    }
+
+    #[test]
+    fn concretize_pins_value() {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut ExecCtx<'_, u64>| {
+            let x = Term::var("cc.x", 8);
+            ctx.assume(&x.clone().ugt(Term::bv_const(8, 100)))?;
+            let v = ctx.concretize(&x)?;
+            ctx.emit(v);
+            Ok(())
+        });
+        assert_eq!(ex.stats.paths, 1);
+        let v = ex.paths[0].trace[0];
+        assert!(v > 100);
+        // The pin must be part of the path condition.
+        let mut s = Solver::new();
+        let m = s.check_one(&ex.paths[0].condition_term());
+        assert_eq!(m.model().unwrap().get("cc.x"), Some(v));
+    }
+
+    #[test]
+    fn all_strategies_explore_exhaustively() {
+        for strat in [
+            Strategy::Dfs,
+            Strategy::Bfs,
+            Strategy::Random,
+            Strategy::CoverageInterleaved,
+        ] {
+            let cfg = ExplorerConfig {
+                strategy: strat,
+                ..Default::default()
+            };
+            let ex = explore(&cfg, agent1);
+            assert_eq!(ex.stats.paths, 3, "strategy {strat:?} missed paths");
+        }
+    }
+
+    #[test]
+    fn stats_track_instructions_and_branches() {
+        let ex = explore(&ExplorerConfig::default(), agent1);
+        // 3 paths, each covering "entry" plus one leaf block.
+        assert_eq!(ex.stats.instructions, 6);
+        // Fresh symbolic branches: is_ctrl (root) + is_small = 2.
+        assert_eq!(ex.stats.fresh_branches, 2);
+        assert_eq!(ex.coverage.blocks.len(), 4);
+    }
+
+    #[test]
+    fn constraint_size_stats_nonzero() {
+        let ex = explore(&ExplorerConfig::default(), agent1);
+        let (avg, max) = ex.constraint_size_stats();
+        assert!(avg > 0.0);
+        assert!(max >= 1);
+    }
+}

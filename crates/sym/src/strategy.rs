@@ -1,0 +1,191 @@
+//! Path-selection strategies.
+//!
+//! Cloud9's default strategy — the one the paper uses (§4.1) — interleaves
+//! a random path choice with a coverage-optimizing choice. The paper notes
+//! the strategy has little impact for SOFT because input structuring makes
+//! exploration exhaustive; the `ablation_strategy` bench verifies exactly
+//! that claim on our engine.
+
+use crate::ctx::Pending;
+use crate::coverage::Coverage;
+
+/// Which pending path to run next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Depth-first (stack order).
+    Dfs,
+    /// Breadth-first (queue order).
+    Bfs,
+    /// Uniformly random among pending paths.
+    Random,
+    /// Cloud9 default: alternate random choice with preferring the pending
+    /// path whose branch site has the least branch coverage so far.
+    CoverageInterleaved,
+}
+
+/// Tiny deterministic xorshift64* PRNG; keeps the engine dependency-free
+/// and exploration reproducible from a seed.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: seed.max(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The frontier of scheduled-but-unexplored paths.
+pub(crate) struct Frontier {
+    items: Vec<Pending>,
+    strategy: Strategy,
+    rng: XorShift,
+    /// Flip-flop for the interleaved strategy.
+    tick: bool,
+}
+
+impl Frontier {
+    pub fn new(strategy: Strategy, seed: u64) -> Self {
+        Frontier {
+            items: Vec::new(),
+            strategy,
+            rng: XorShift::new(seed),
+            tick: false,
+        }
+    }
+
+    pub fn push(&mut self, p: Pending) {
+        self.items.push(p);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pop the next pending path according to the strategy.
+    pub fn pop(&mut self, coverage: &Coverage) -> Option<Pending> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let idx = match self.strategy {
+            Strategy::Dfs => self.items.len() - 1,
+            Strategy::Bfs => 0,
+            Strategy::Random => self.rng.below(self.items.len()),
+            Strategy::CoverageInterleaved => {
+                self.tick = !self.tick;
+                if self.tick {
+                    self.rng.below(self.items.len())
+                } else {
+                    // Prefer the site with the fewest covered directions.
+                    let covered_dirs = |site: &'static str| {
+                        coverage.branches.contains(&(site, false)) as usize
+                            + coverage.branches.contains(&(site, true)) as usize
+                    };
+                    let mut best = 0;
+                    let mut best_score = usize::MAX;
+                    for (i, p) in self.items.iter().enumerate() {
+                        let s = covered_dirs(p.site);
+                        if s < best_score {
+                            best_score = s;
+                            best = i;
+                        }
+                    }
+                    best
+                }
+            }
+        };
+        Some(self.items.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(site: &'static str, d: bool) -> Pending {
+        Pending {
+            prefix: vec![d],
+            site,
+        }
+    }
+
+    #[test]
+    fn dfs_pops_lifo() {
+        let mut f = Frontier::new(Strategy::Dfs, 1);
+        f.push(pending("a", false));
+        f.push(pending("b", false));
+        let c = Coverage::new();
+        assert_eq!(f.pop(&c).unwrap().site, "b");
+        assert_eq!(f.pop(&c).unwrap().site, "a");
+        assert!(f.pop(&c).is_none());
+    }
+
+    #[test]
+    fn bfs_pops_fifo() {
+        let mut f = Frontier::new(Strategy::Bfs, 1);
+        f.push(pending("a", false));
+        f.push(pending("b", false));
+        let c = Coverage::new();
+        assert_eq!(f.pop(&c).unwrap().site, "a");
+        assert_eq!(f.pop(&c).unwrap().site, "b");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let order = |seed| {
+            let mut f = Frontier::new(Strategy::Random, seed);
+            for s in ["a", "b", "c", "d"] {
+                f.push(pending(s, false));
+            }
+            let c = Coverage::new();
+            let mut got = vec![];
+            while let Some(p) = f.pop(&c) {
+                got.push(p.site);
+            }
+            got
+        };
+        assert_eq!(order(7), order(7));
+    }
+
+    #[test]
+    fn coverage_strategy_prefers_uncovered_sites() {
+        let mut f = Frontier::new(Strategy::CoverageInterleaved, 1);
+        f.push(pending("covered", false));
+        f.push(pending("fresh", false));
+        let mut c = Coverage::new();
+        c.branches.insert(("covered", true));
+        c.branches.insert(("covered", false));
+        // First pop is the random leg; second is the coverage leg. Run the
+        // deterministic coverage leg by ticking once.
+        let first = f.pop(&c).unwrap();
+        let second = f.pop(&c).unwrap();
+        // Between the two pops, one must be "fresh" chosen by coverage.
+        assert!(first.site == "fresh" || second.site == "fresh");
+    }
+
+    #[test]
+    fn xorshift_spreads() {
+        let mut r = XorShift::new(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(r.below(10));
+        }
+        assert!(seen.len() >= 9, "poor spread: {seen:?}");
+    }
+}

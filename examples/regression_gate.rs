@@ -1,0 +1,53 @@
+//! Regression gate: §2.4's secondary use case, runnable.
+//!
+//! A vendor blesses the grouped results of a released agent version as the
+//! baseline; every build of the next version re-runs phase 1 and diffs the
+//! behaviour. Here the "new version" is the Modified Switch — the
+//! Reference Switch with seven injected changes — and the gate flags the
+//! observable ones with concrete witnesses.
+//!
+//! Run with: `cargo run --release --example regression_gate`
+
+use soft::core::regression::regression_check;
+use soft::core::report::describe;
+use soft::core::{CrosscheckConfig, Soft};
+use soft::harness::suite;
+use soft::AgentKind;
+
+fn main() {
+    let soft = Soft::new();
+    let cfg = CrosscheckConfig::default();
+    let mut tests = suite::table1_suite();
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+
+    println!("Regression gate: Reference Switch (baseline) vs Modified Switch (candidate)\n");
+    let mut dirty = 0usize;
+    for test in &tests {
+        let baseline = soft.group(&soft.phase1(AgentKind::Reference, test));
+        let candidate = soft.group(&soft.phase1(AgentKind::Modified, test));
+        let report = regression_check(&baseline, &candidate, &cfg);
+        let verdict = if report.is_clean() { "clean" } else { "REGRESSED" };
+        println!(
+            "{:<18} {:<10} (+{} output classes, -{} classes, {} shifted subspaces)",
+            test.id,
+            verdict,
+            report.new_outputs.len(),
+            report.removed_outputs.len(),
+            report.shifts.len()
+        );
+        if !report.is_clean() {
+            dirty += 1;
+            if let Some(shift) = report.shifts.first() {
+                for line in describe(shift).lines().take(4) {
+                    println!("      {line}");
+                }
+            }
+        }
+    }
+    println!(
+        "\n{dirty} of {} tests flag behaviour changes — the five observable \
+         mutations plus the timeout mutation via the time extension.",
+        tests.len()
+    );
+}

@@ -1,0 +1,264 @@
+//! `soft` — the command-line front end, mirroring the paper's three tools
+//! (§4): the test harness (`phase1`), the grouping tool + inconsistency
+//! finder (`check`), and a report generator with concrete reproductions
+//! and optional replay validation (`report`).
+//!
+//! The vendor-side and crosscheck-side commands communicate only through
+//! JSON artifacts, so they can run on different machines (§2.4):
+//!
+//! ```text
+//! # vendor A (has only its own agent):
+//! soft phase1 --agent reference --test packet_out --out ref.json
+//! # vendor B:
+//! soft phase1 --agent ovs --test packet_out --out ovs.json
+//! # third party (no agent code needed):
+//! soft check ref.json ovs.json
+//! soft report ref.json ovs.json --replay
+//! ```
+
+use soft::core::report::{classify, dedupe, describe, reproduce};
+use soft::core::{replay, Soft};
+use soft::harness::{suite, TestCase, TestRunFile};
+use soft::AgentKind;
+use std::process::ExitCode;
+
+fn all_tests() -> Vec<TestCase> {
+    let mut tests = suite::table1_suite();
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+    tests.extend(suite::ablation::table5_suite());
+    tests
+}
+
+fn find_test(id: &str) -> Option<TestCase> {
+    all_tests().into_iter().find(|t| t.id == id)
+}
+
+fn parse_agent(s: &str) -> Option<AgentKind> {
+    match s {
+        "reference" | "ref" => Some(AgentKind::Reference),
+        "ovs" | "openvswitch" => Some(AgentKind::OpenVSwitch),
+        "modified" => Some(AgentKind::Modified),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified> --test <id> --out <file>\n  soft check <a.json> <b.json>\n  soft report <a.json> <b.json> [--replay]\n  soft regress <baseline.json> <candidate.json>"
+    );
+    ExitCode::FAILURE
+}
+
+/// Extract the value following a `--flag`.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_tests() -> ExitCode {
+    println!("{:<20} {:<4} description", "id", "#in");
+    for t in all_tests() {
+        println!("{:<20} {:<4} {}", t.id, t.inputs.len(), t.description);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_phase1(args: &[String]) -> ExitCode {
+    let Some(agent) = flag_value(args, "--agent").and_then(|a| parse_agent(&a)) else {
+        eprintln!("phase1: missing or unknown --agent");
+        return usage();
+    };
+    let Some(test) = flag_value(args, "--test").and_then(|t| find_test(&t)) else {
+        eprintln!("phase1: missing or unknown --test (see `soft tests`)");
+        return usage();
+    };
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("phase1: missing --out");
+        return usage();
+    };
+    let soft = Soft::new();
+    eprintln!("symbolically executing {} on '{}' ...", agent.id(), test.id);
+    let artifact = soft.phase1_artifact(agent, &test);
+    eprintln!(
+        "  {} paths, instruction coverage {:.1}%, wall {} ms",
+        artifact.paths.len(),
+        artifact.instruction_pct,
+        artifact.wall_ms
+    );
+    if let Err(e) = std::fs::write(&out, artifact.to_json()) {
+        eprintln!("phase1: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn load_artifact(path: &str) -> Result<TestRunFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TestRunFile::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn crosscheck_artifacts(
+    a_path: &str,
+    b_path: &str,
+) -> Result<(soft::core::CrosscheckResult, TestRunFile, TestRunFile), String> {
+    let fa = load_artifact(a_path)?;
+    let fb = load_artifact(b_path)?;
+    if fa.test != fb.test {
+        return Err(format!(
+            "artifacts are for different tests: '{}' vs '{}'",
+            fa.test, fb.test
+        ));
+    }
+    let soft = Soft::new();
+    let ga = soft.group_artifact(&fa)?;
+    let gb = soft.group_artifact(&fb)?;
+    Ok((soft.phase2(&ga, &gb), fa, fb))
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.len() != 2 {
+        return usage();
+    }
+    match crosscheck_artifacts(paths[0], paths[1]) {
+        Ok((result, fa, fb)) => {
+            println!(
+                "{} vs {} on '{}': {} queries, {} inconsistencies",
+                fa.agent,
+                fb.agent,
+                fa.test,
+                result.queries,
+                result.inconsistencies.len()
+            );
+            if result.inconsistencies.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                // Non-zero exit like a linter: divergences found.
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.len() != 2 {
+        return usage();
+    }
+    let do_replay = args.iter().any(|a| a == "--replay");
+    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let test = find_test(&fa.test);
+    let causes = dedupe(&result.inconsistencies);
+    println!(
+        "== {} vs {} on '{}': {} inconsistencies, {} root-cause buckets ==",
+        fa.agent,
+        fb.agent,
+        fa.test,
+        result.inconsistencies.len(),
+        causes.len()
+    );
+    for cause in &causes {
+        let inc = &result.inconsistencies[cause.members[0]];
+        println!(
+            "\n[{}] {} instance(s)",
+            classify(inc).label(),
+            cause.members.len()
+        );
+        for line in describe(inc).lines().skip(1) {
+            println!("{line}");
+        }
+        if let Some(test) = &test {
+            for (i, msg) in reproduce(test, inc).iter().enumerate() {
+                let hex: String = msg.iter().map(|b| format!("{b:02x}")).collect();
+                println!("  repro msg{i}: {hex}");
+            }
+            if do_replay {
+                let (Some(a), Some(b)) = (parse_agent(&fa.agent), parse_agent(&fb.agent)) else {
+                    println!("  replay: unknown agent ids; skipped");
+                    continue;
+                };
+                let r = replay(test, inc, a, b);
+                println!(
+                    "  replay: diverges={} matches_prediction={}",
+                    r.diverges(),
+                    r.matches_prediction()
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_regress(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.len() != 2 {
+        return usage();
+    }
+    let (fa, fb) = match (load_artifact(paths[0]), load_artifact(paths[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("regress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if fa.test != fb.test {
+        eprintln!("regress: artifacts are for different tests");
+        return ExitCode::FAILURE;
+    }
+    let soft = Soft::new();
+    let (ga, gb) = match (soft.group_artifact(&fa), soft.group_artifact(&fb)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("regress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report =
+        soft::core::regression::regression_check(&ga, &gb, &soft::core::CrosscheckConfig::default());
+    println!(
+        "baseline {} vs candidate {} on '{}': +{} output classes, -{} classes, {} shifted subspaces",
+        fa.agent,
+        fb.agent,
+        fa.test,
+        report.new_outputs.len(),
+        report.removed_outputs.len(),
+        report.shifts.len()
+    );
+    for shift in report.shifts.iter().take(5) {
+        for line in describe(shift).lines() {
+            println!("  {line}");
+        }
+    }
+    if report.is_clean() {
+        println!("clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tests") => cmd_tests(),
+        Some("phase1") => cmd_phase1(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("regress") => cmd_regress(&args[1..]),
+        _ => usage(),
+    }
+}

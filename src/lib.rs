@@ -1,0 +1,21 @@
+//! # soft — Systematic OpenFlow Testing
+//!
+//! Umbrella crate re-exporting the whole SOFT reproduction: the solver
+//! stack, the symbolic execution engine, the OpenFlow 1.0 protocol layer,
+//! the data-plane substrate, the agents under test, the test harness, and
+//! the grouping/crosschecking pipeline. See `soft_core` for the pipeline
+//! entry points and the repository README for a tour.
+
+#![forbid(unsafe_code)]
+
+pub use soft_agents as agents;
+pub use soft_core as core;
+pub use soft_dataplane as dataplane;
+pub use soft_harness as harness;
+pub use soft_openflow as openflow;
+pub use soft_smt as smt;
+pub use soft_sym as sym;
+
+pub use soft_agents::AgentKind;
+pub use soft_core::{Soft, PairReport};
+pub use soft_harness::suite;

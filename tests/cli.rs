@@ -1,0 +1,123 @@
+//! End-to-end tests of the `soft` command-line tool — the deployment
+//! shape of §2.4: vendors produce artifacts, a third party crosschecks.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn soft_bin() -> PathBuf {
+    // Integration tests live next to the binary in the same target dir.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug/ or release/
+    p.push(format!("soft{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(soft_bin())
+        .args(args)
+        .output()
+        .expect("spawn soft binary");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn tests_subcommand_lists_suite() {
+    let (stdout, _, code) = run(&["tests"]);
+    assert_eq!(code, Some(0));
+    for id in ["packet_out", "set_config", "short_symb", "timeout_flow_mod"] {
+        assert!(stdout.contains(id), "missing test id {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let (_, stderr, code) = run(&[]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("usage"));
+    let (_, stderr, code) = run(&["phase1", "--agent", "bogus"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("unknown --agent") || stderr.contains("usage"));
+}
+
+#[test]
+fn full_vendor_workflow() {
+    let dir = std::env::temp_dir().join("soft_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("ref.json");
+    let b = dir.join("ovs.json");
+
+    let (stdout, stderr, code) = run(&[
+        "phase1",
+        "--agent",
+        "reference",
+        "--test",
+        "queue_config",
+        "--out",
+        a.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.trim().ends_with("ref.json"));
+
+    let (_, _, code) = run(&[
+        "phase1",
+        "--agent",
+        "ovs",
+        "--test",
+        "queue_config",
+        "--out",
+        b.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+
+    // check: exit code 2 signals divergences, like a linter.
+    let (stdout, _, code) = run(&["check", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stdout.contains("1 inconsistencies"), "{stdout}");
+
+    // report with replay validation.
+    let (stdout, _, code) = run(&[
+        "report",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--replay",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("agent terminates with an error"));
+    assert!(stdout.contains("repro msg0: 0114000c"));
+    assert!(stdout.contains("diverges=true matches_prediction=true"));
+}
+
+#[test]
+fn check_rejects_mismatched_tests() {
+    let dir = std::env::temp_dir().join("soft_cli_mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    run(&[
+        "phase1", "--agent", "reference", "--test", "queue_config", "--out",
+        a.to_str().unwrap(),
+    ]);
+    run(&[
+        "phase1", "--agent", "ovs", "--test", "short_symb", "--out",
+        b.to_str().unwrap(),
+    ]);
+    let (_, stderr, code) = run(&["check", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("different tests"));
+}
+
+#[test]
+fn check_rejects_corrupt_artifacts() {
+    let dir = std::env::temp_dir().join("soft_cli_corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("bad.json");
+    std::fs::write(&a, "{ not json").unwrap();
+    let (_, stderr, code) = run(&["check", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("cannot parse"));
+}

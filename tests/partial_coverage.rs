@@ -1,0 +1,138 @@
+//! Degraded-mode behaviour: SOFT must stay *sound* when its resources are
+//! cut — truncated exploration, solver budgets, partial artifacts. The
+//! paper relies on this ("it is possible to use even partial results of
+//! symbolic execution to look for inconsistencies"; "SOFT is capable of
+//! working with traces that are only partially covering agents' code"):
+//! fewer paths may mean fewer findings (false negatives are expected),
+//! but never false positives.
+
+use soft::core::{crosscheck, group_paths, CrosscheckConfig, Soft};
+use soft::harness::{run_test, suite};
+use soft::sym::ExplorerConfig;
+use soft::AgentKind;
+
+#[test]
+fn truncated_exploration_still_finds_real_inconsistencies() {
+    let cfg = ExplorerConfig {
+        max_paths: Some(60),
+        ..Default::default()
+    };
+    let test = suite::packet_out();
+    let run_a = run_test(AgentKind::Reference, &test, &cfg);
+    let run_b = run_test(AgentKind::OpenVSwitch, &test, &cfg);
+    assert!(run_a.stats.truncated && run_b.stats.truncated);
+    let ga = group_paths(&run_a.agent, &run_a.test, &run_a.paths);
+    let gb = group_paths(&run_b.agent, &run_b.test, &run_b.paths);
+    let result = crosscheck(&ga, &gb, &CrosscheckConfig::default());
+    // Partial coverage finds a subset of the full run's findings; each one
+    // must still be witnessed soundly.
+    for inc in &result.inconsistencies {
+        let in_a = ga.groups.iter().find(|g| g.output == inc.output_a).unwrap();
+        let in_b = gb.groups.iter().find(|g| g.output == inc.output_b).unwrap();
+        assert!(inc.witness.eval_bool(&in_a.condition));
+        assert!(inc.witness.eval_bool(&in_b.condition));
+    }
+}
+
+#[test]
+fn truncated_findings_are_subset_of_full_findings() {
+    // Every (output_a, output_b) divergence a capped run reports must also
+    // be reportable by the full run — truncation may only *lose* findings.
+    let test = suite::queue_config();
+    let capped_cfg = ExplorerConfig {
+        max_paths: Some(2),
+        ..Default::default()
+    };
+    let soft = Soft::new();
+    let full = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    let ra = run_test(AgentKind::Reference, &test, &capped_cfg);
+    let rb = run_test(AgentKind::OpenVSwitch, &test, &capped_cfg);
+    let ga = group_paths(&ra.agent, &ra.test, &ra.paths);
+    let gb = group_paths(&rb.agent, &rb.test, &rb.paths);
+    let capped = crosscheck(&ga, &gb, &CrosscheckConfig::default());
+    let full_keys: Vec<String> = full
+        .result
+        .inconsistencies
+        .iter()
+        .map(|i| format!("{:?}|{:?}", i.output_a, i.output_b))
+        .collect();
+    for inc in &capped.inconsistencies {
+        let key = format!("{:?}|{:?}", inc.output_a, inc.output_b);
+        assert!(
+            full_keys.contains(&key),
+            "capped run reported a divergence the full run does not have"
+        );
+    }
+    assert!(capped.inconsistencies.len() <= full.result.inconsistencies.len());
+}
+
+#[test]
+fn solver_budget_degrades_to_unknown_not_wrong() {
+    // A starved solver may fail to decide intersections (counted as
+    // `unknown`), but must not fabricate witnesses.
+    let test = suite::short_symb();
+    let cfg = ExplorerConfig::default();
+    let ra = run_test(AgentKind::Reference, &test, &cfg);
+    let rb = run_test(AgentKind::OpenVSwitch, &test, &cfg);
+    let ga = group_paths(&ra.agent, &ra.test, &ra.paths);
+    let gb = group_paths(&rb.agent, &rb.test, &rb.paths);
+    let starved = crosscheck(
+        &ga,
+        &gb,
+        &CrosscheckConfig {
+            solver_max_conflicts: Some(1),
+        },
+    );
+    for inc in &starved.inconsistencies {
+        let in_a = ga.groups.iter().find(|g| g.output == inc.output_a).unwrap();
+        let in_b = gb.groups.iter().find(|g| g.output == inc.output_b).unwrap();
+        assert!(
+            inc.witness.eval_bool(&in_a.condition) && inc.witness.eval_bool(&in_b.condition),
+            "even under budget pressure, witnesses must be real"
+        );
+    }
+    // Sanity: the unlimited run decides everything.
+    let unlimited = crosscheck(&ga, &gb, &CrosscheckConfig::default());
+    assert_eq!(unlimited.unknown, 0);
+    assert!(starved.inconsistencies.len() <= unlimited.inconsistencies.len() + starved.unknown);
+}
+
+#[test]
+fn engine_time_limit_is_respected() {
+    use std::time::Duration;
+    let cfg = ExplorerConfig {
+        time_limit: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let run = run_test(AgentKind::OpenVSwitch, &suite::flow_mod(), &cfg);
+    // The full exploration takes seconds; the limit must cut it off and
+    // mark the result truncated.
+    assert!(run.stats.truncated);
+    assert!(run.stats.wall < Duration::from_secs(5));
+    assert!(!run.paths.is_empty(), "partial results are still produced");
+}
+
+#[test]
+fn one_sided_truncation_is_sound_too() {
+    // Vendor A ships a full artifact, vendor B a truncated one (the §2.4
+    // workflow makes no promise both sides ran equally long).
+    let test = suite::packet_out();
+    let full = run_test(AgentKind::Reference, &test, &ExplorerConfig::default());
+    let capped = run_test(
+        AgentKind::OpenVSwitch,
+        &test,
+        &ExplorerConfig {
+            max_paths: Some(30),
+            ..Default::default()
+        },
+    );
+    let ga = group_paths(&full.agent, &full.test, &full.paths);
+    let gb = group_paths(&capped.agent, &capped.test, &capped.paths);
+    let result = crosscheck(&ga, &gb, &CrosscheckConfig::default());
+    for inc in &result.inconsistencies {
+        let in_a = ga.groups.iter().find(|g| g.output == inc.output_a).unwrap();
+        let in_b = gb.groups.iter().find(|g| g.output == inc.output_b).unwrap();
+        assert!(inc.witness.eval_bool(&in_a.condition));
+        assert!(inc.witness.eval_bool(&in_b.condition));
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural properties of the input-space partitions SOFT computes.
+//!
+//! Symbolic execution must partition the input space: path conditions are
+//! pairwise disjoint and jointly exhaustive (§2.3's "equivalence classes
+//! of inputs"). These are the invariants that make the crosscheck sound.
+
+use soft::core::Soft;
+use soft::harness::{run_test, suite};
+use soft::smt::{simplify, Solver};
+use soft::sym::ExplorerConfig;
+use soft::AgentKind;
+
+/// Pairwise-disjointness on a bounded sample of path pairs (full O(n²)
+/// would be wasteful for the larger tests).
+fn check_disjoint_sample(test: &soft::harness::TestCase, kind: AgentKind, sample: usize) {
+    let run = run_test(kind, test, &ExplorerConfig::default());
+    let conds: Vec<_> = run.paths.iter().map(|p| p.condition.clone()).collect();
+    let mut solver = Solver::new();
+    let n = conds.len();
+    assert!(n > 0);
+    let mut checked = 0usize;
+    'outer: for stride in 1..n {
+        for i in 0..(n - stride) {
+            let j = i + stride;
+            assert!(
+                solver.intersect(&conds[i], &conds[j]).is_unsat(),
+                "paths {i} and {j} of {}/{} overlap",
+                kind.id(),
+                test.id
+            );
+            checked += 1;
+            if checked >= sample {
+                break 'outer;
+            }
+        }
+    }
+}
+
+/// Exhaustiveness: the disjunction of all path conditions is valid (its
+/// negation is unsatisfiable).
+fn check_exhaustive(test: &soft::harness::TestCase, kind: AgentKind) {
+    let run = run_test(kind, test, &ExplorerConfig::default());
+    let conds: Vec<_> = run.paths.iter().map(|p| p.condition.clone()).collect();
+    let union = simplify::mk_or_balanced(&conds);
+    let mut solver = Solver::new();
+    assert!(
+        solver.check_one(&union.not()).is_unsat(),
+        "partition of {}/{} has a gap",
+        kind.id(),
+        test.id
+    );
+}
+
+#[test]
+fn packet_out_partitions_are_disjoint() {
+    check_disjoint_sample(&suite::packet_out(), AgentKind::Reference, 300);
+    check_disjoint_sample(&suite::packet_out(), AgentKind::OpenVSwitch, 300);
+}
+
+#[test]
+fn stats_request_partition_is_exhaustive() {
+    check_exhaustive(&suite::stats_request(), AgentKind::Reference);
+    check_exhaustive(&suite::stats_request(), AgentKind::OpenVSwitch);
+}
+
+#[test]
+fn short_symb_partition_is_exhaustive_and_disjoint() {
+    check_exhaustive(&suite::short_symb(), AgentKind::Reference);
+    check_disjoint_sample(&suite::short_symb(), AgentKind::Reference, 200);
+}
+
+#[test]
+fn queue_config_partition_is_exhaustive_and_disjoint() {
+    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+        check_exhaustive(&suite::queue_config(), kind);
+        check_disjoint_sample(&suite::queue_config(), kind, 10);
+    }
+}
+
+/// Grouping preserves the partition: the union of group conditions equals
+/// the union of path conditions, and groups of different outputs stay
+/// disjoint per agent.
+#[test]
+fn grouping_preserves_partition() {
+    let soft = Soft::new();
+    let test = suite::stats_request();
+    let run = soft.phase1(AgentKind::OpenVSwitch, &test);
+    let grouped = soft.group(&run);
+    let mut solver = Solver::new();
+    // Union of groups is exhaustive.
+    let conds: Vec<_> = grouped.groups.iter().map(|g| g.condition.clone()).collect();
+    let union = simplify::mk_or_balanced(&conds);
+    assert!(solver.check_one(&union.not()).is_unsat());
+    // Groups are pairwise disjoint (different outputs => disjoint inputs,
+    // because the agent is deterministic).
+    for i in 0..conds.len() {
+        for j in (i + 1)..conds.len() {
+            assert!(
+                solver.intersect(&conds[i], &conds[j]).is_unsat(),
+                "groups {i} and {j} overlap"
+            );
+        }
+    }
+}
+
+/// Determinism: exploring the same agent twice yields identical partitions
+/// and outputs (a prerequisite for the re-execution engine).
+#[test]
+fn exploration_is_deterministic() {
+    let test = suite::packet_out();
+    let cfg = ExplorerConfig::default();
+    let a = run_test(AgentKind::Reference, &test, &cfg);
+    let b = run_test(AgentKind::Reference, &test, &cfg);
+    assert_eq!(a.paths.len(), b.paths.len());
+    for (x, y) in a.paths.iter().zip(&b.paths) {
+        assert_eq!(x.condition, y.condition);
+        assert_eq!(x.output, y.output);
+    }
+}
+
+/// All search strategies explore the same set of paths when exploration
+/// is exhaustive (the paper: "the choice of the search strategy has small
+/// impact on our tool").
+#[test]
+fn strategies_agree_on_exhaustive_exploration() {
+    use soft::sym::Strategy;
+    let test = suite::queue_config();
+    let mut partitions: Vec<Vec<soft::smt::Term>> = Vec::new();
+    for strat in [
+        Strategy::Dfs,
+        Strategy::Bfs,
+        Strategy::Random,
+        Strategy::CoverageInterleaved,
+    ] {
+        let cfg = ExplorerConfig {
+            strategy: strat,
+            ..Default::default()
+        };
+        let run = run_test(AgentKind::Reference, &test, &cfg);
+        let mut conds: Vec<_> = run.paths.iter().map(|p| p.condition.clone()).collect();
+        conds.sort();
+        partitions.push(conds);
+    }
+    for w in partitions.windows(2) {
+        assert_eq!(w[0], w[1], "strategies disagree on the explored partition");
+    }
+}

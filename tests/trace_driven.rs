@@ -1,0 +1,119 @@
+//! Trace-driven testing end to end (§6.3's OFRewind discussion): a
+//! recorded, perfectly ordinary controller interaction is re-symbolized
+//! and SOFT explores its whole neighbourhood — finding divergences the
+//! single recorded path never exhibited.
+
+use soft::core::report::describe;
+use soft::core::Soft;
+use soft::harness::{RecordedTrace, Symbolize};
+use soft::openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
+use soft::AgentKind;
+
+/// A recorded session: handshake-era hello, then a plain "forward TCP to
+/// port 3" flow installation. Nothing about this trace is anomalous.
+fn recorded_session() -> RecordedTrace {
+    let mut trace = RecordedTrace::new();
+    trace.push(builder::hello(1).as_concrete().unwrap());
+    trace.push(
+        builder::flow_mod(
+            "rec",
+            &FlowModSpec {
+                match_mode: MatchMode::WildcardAll,
+                actions: vec![ActionSpec::Output(3)],
+                command: Some(0),
+                buffer_id: Some(soft::openflow::consts::NO_BUFFER),
+                flags: Some(0),
+                ..FlowModSpec::symbolic_default()
+            },
+        )
+        .as_concrete()
+        .unwrap(),
+    );
+    trace
+}
+
+#[test]
+fn recorded_trace_alone_is_consistent() {
+    // Replaying the trace as-is (no symbolization) explores exactly one
+    // path per agent and finds nothing — the §6.3 limitation.
+    let test = recorded_session().to_test("trace_concrete", &[]).unwrap();
+    let soft = Soft::new();
+    let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    assert_eq!(pair.run_a.paths.len(), 1);
+    assert_eq!(pair.run_b.paths.len(), 1);
+    assert!(pair.result.inconsistencies.is_empty());
+}
+
+#[test]
+fn symbolizing_output_ports_finds_the_port_validation_divergence() {
+    // Re-symbolize just the output-port bytes of the recorded flow mod:
+    // SOFT now explores every port value and rediscovers the §5.1.2
+    // max-port and OFPP_NORMAL divergences from an ordinary trace.
+    let test = recorded_session()
+        .to_test("trace_ports", &[Symbolize::OutputPorts])
+        .unwrap();
+    let soft = Soft::new();
+    let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    assert!(
+        pair.run_a.paths.len() > 3,
+        "symbolization must open up the port space"
+    );
+    assert!(
+        !pair.result.inconsistencies.is_empty(),
+        "the recorded trace's neighbourhood contains known divergences"
+    );
+    // At least one divergence must be port-validation shaped: reference
+    // forwards, OVS errors (or NORMAL-forwarding asymmetry).
+    let found = pair.result.inconsistencies.iter().any(|i| {
+        use soft::openflow::TraceEvent;
+        let fwd = |o: &soft::harness::ObservedOutput| {
+            o.events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::DataPlaneTx { .. } | TraceEvent::NormalForward { .. }))
+        };
+        let err = |o: &soft::harness::ObservedOutput| {
+            o.events.iter().any(|e| matches!(e, TraceEvent::Error { .. }))
+        };
+        (fwd(&i.output_a) && err(&i.output_b)) || (err(&i.output_a) && fwd(&i.output_b))
+    });
+    assert!(
+        found,
+        "expected a forward-vs-error divergence; got:\n{}",
+        pair.result
+            .inconsistencies
+            .iter()
+            .map(describe)
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn symbolizing_timeouts_with_clock_reaches_expiry_behaviour() {
+    // Combine trace-driven testing with the time extension: symbolic
+    // timeouts + a clock advance explore expiry along the recorded trace.
+    let mut test = recorded_session()
+        .to_test("trace_time", &[Symbolize::TimeoutsAndFlags])
+        .unwrap();
+    test.inputs.insert(
+        test.inputs.len() - 1, // before the trailing probe
+        soft::harness::Input::AdvanceTime { now: 60 },
+    );
+    let soft = Soft::new();
+    let run = soft.phase1(AgentKind::Reference, &test);
+    let expiry_paths = run
+        .paths
+        .iter()
+        .filter(|p| {
+            p.output.events.iter().any(|e| {
+                matches!(
+                    e,
+                    soft::openflow::TraceEvent::OfReply { msg_type: 11, .. } // FLOW_REMOVED
+                )
+            })
+        })
+        .count();
+    assert!(
+        expiry_paths > 0,
+        "symbolic timeouts + virtual clock must reach expiry notifications"
+    );
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate crates/agents/src/universe_data.rs from the instrumentation
+labels (ctx.cover / ctx.branch) in the agent model sources."""
+import re
+
+# Labels emitted by shared helpers in common.rs (classify_packet,
+# fork_truncation call sites are extracted per-file separately).
+COMMON_LABELS_BLOCKS = [
+    "extract.entry", "extract.vlan_tagged", "extract.vlan_ip",
+    "extract.ip", "extract.other",
+]
+COMMON_LABELS_SITES = [
+    "extract.vlan", "extract.vlan_ip", "extract.ip",
+]
+
+MATCH_LABELS = [
+    "match.in_port", "match.dl_src", "match.dl_dst", "match.dl_vlan",
+    "match.dl_vlan_pcp", "match.dl_type", "match.nw_tos", "match.nw_proto",
+    "match.nw_src", "match.nw_dst", "match.tp_src", "match.tp_dst",
+]
+
+out = [
+    "//! Auto-maintained instrumentation label inventories.",
+    "//!",
+    "//! Regenerate with `python3 tools/gen_universe.py` after adding or",
+    "//! renaming `ctx.cover(...)` / `ctx.branch(...)` labels in the agent",
+    "//! models; the `universes_cover_all_labels` test fails when this file is",
+    "//! stale.",
+    "",
+]
+for name, path in [("REFERENCE", "crates/agents/src/reference.rs"),
+                   ("OVS", "crates/agents/src/ovs.rs")]:
+    t = open(path).read()
+    covers = sorted(set(re.findall(r'ctx\.cover\("([^"]+)"\)', t) + COMMON_LABELS_BLOCKS))
+    branches = sorted(set(
+        re.findall(r'ctx\.branch\(\s*\n?\s*"([^"]+)"', t)
+        + re.findall(r'\.branch\("([^"]+)"', t)
+        # labels passed through (label, bit) tuple arrays
+        + re.findall(r'\(\s*"([a-z_]+\.[a-z_0-9]+)",\s*wildcards::', t)
+        + re.findall(r'fork_truncation\(ctx,\s*"([^"]+)"', t)
+        + COMMON_LABELS_SITES
+        + MATCH_LABELS))
+    out.append(f"/// Instruction-block labels instrumented in the {name.title()} model.")
+    out.append(f"pub const {name}_BLOCKS: [&str; {len(covers)}] = [")
+    out.extend(f'    "{c}",' for c in covers)
+    out.append("];")
+    out.append("")
+    out.append(f"/// Branch-site labels instrumented in the {name.title()} model.")
+    out.append(f"pub const {name}_BRANCH_SITES: [&str; {len(branches)}] = [")
+    out.extend(f'    "{b}",' for b in branches)
+    out.append("];")
+    out.append("")
+open("crates/agents/src/universe_data.rs", "w").write("\n".join(out))
+print("universe_data.rs regenerated")
