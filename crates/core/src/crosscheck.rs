@@ -13,7 +13,9 @@
 use crate::group::GroupedResults;
 use soft_harness::ObservedOutput;
 use soft_openflow::TraceEvent;
-use soft_smt::{Assignment, SatResult, Solver, Term};
+use soft_smt::{Assignment, SatResult, Solver, Term, VerdictCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Condition under which two (possibly symbolic) outputs take *different
@@ -182,13 +184,31 @@ pub struct CrosscheckResult {
 }
 
 /// Options for the inconsistency finder.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CrosscheckConfig {
     /// Per-query SAT conflict budget (None = unlimited).
     pub solver_max_conflicts: Option<u64>,
+    /// Worker threads for the query matrix (1 = sequential).
+    pub jobs: usize,
+}
+
+impl Default for CrosscheckConfig {
+    fn default() -> Self {
+        CrosscheckConfig {
+            solver_max_conflicts: None,
+            jobs: 1,
+        }
+    }
 }
 
 /// Crosscheck two grouped result sets.
+///
+/// The |RES_A| × |RES_B| query matrix is embarrassingly parallel: with
+/// `cfg.jobs > 1` the pairs are fanned across worker threads, each owning a
+/// private [`Solver`] backed by a shared verdict cache, and the verdicts are
+/// merged back in pair order — the inconsistency set (including the concrete
+/// witnesses) is identical for every job count, because solver models are
+/// pure functions of the canonicalized assertion set.
 pub fn crosscheck(
     a: &GroupedResults,
     b: &GroupedResults,
@@ -196,11 +216,12 @@ pub fn crosscheck(
 ) -> CrosscheckResult {
     assert_eq!(a.test, b.test, "crosschecking different tests");
     let start = Instant::now();
-    let mut solver = Solver::new();
-    solver.max_conflicts = cfg.solver_max_conflicts;
-    let mut out = CrosscheckResult::default();
-    for ga in &a.groups {
-        for gb in &b.groups {
+    // Build the pair list (and its `outputs_differ` terms) up front and
+    // sequentially: term construction is shared-interner work, and doing it
+    // once keeps the parallel section pure solver queries.
+    let mut pairs: Vec<(usize, usize, Term)> = Vec::new();
+    for (i, ga) in a.groups.iter().enumerate() {
+        for (j, gb) in b.groups.iter().enumerate() {
             if ga.output == gb.output {
                 continue;
             }
@@ -210,25 +231,88 @@ pub fn crosscheck(
             if differ.as_bool_const() == Some(false) {
                 continue; // structurally distinct but semantically identical
             }
-            out.queries += 1;
-            match solver.check(&[ga.condition.clone(), gb.condition.clone(), differ]) {
-                SatResult::Sat(witness) => {
-                    out.inconsistencies.push(Inconsistency {
-                        test: a.test.clone(),
-                        agent_a: a.agent.clone(),
-                        agent_b: b.agent.clone(),
-                        output_a: ga.output.clone(),
-                        output_b: gb.output.clone(),
-                        witness,
-                    });
-                }
-                SatResult::Unsat => {}
-                SatResult::Unknown => out.unknown += 1,
+            pairs.push((i, j, differ));
+        }
+    }
+    let verdicts: Vec<SatResult> = if cfg.jobs <= 1 {
+        let mut solver = Solver::new();
+        solver.max_conflicts = cfg.solver_max_conflicts;
+        pairs
+            .iter()
+            .map(|(i, j, differ)| {
+                solver.check(&[
+                    a.groups[*i].condition.clone(),
+                    b.groups[*j].condition.clone(),
+                    differ.clone(),
+                ])
+            })
+            .collect()
+    } else {
+        check_pairs_parallel(a, b, &pairs, cfg)
+    };
+    let mut out = CrosscheckResult::default();
+    for ((i, j, _), verdict) in pairs.iter().zip(verdicts) {
+        out.queries += 1;
+        match verdict {
+            SatResult::Sat(witness) => {
+                out.inconsistencies.push(Inconsistency {
+                    test: a.test.clone(),
+                    agent_a: a.agent.clone(),
+                    agent_b: b.agent.clone(),
+                    output_a: a.groups[*i].output.clone(),
+                    output_b: b.groups[*j].output.clone(),
+                    witness: witness.as_ref().clone(),
+                });
             }
+            SatResult::Unsat => {}
+            SatResult::Unknown => out.unknown += 1,
         }
     }
     out.check_time = start.elapsed();
     out
+}
+
+/// Solve the pair matrix on `cfg.jobs` threads; verdicts come back indexed
+/// by pair, so the caller's merge order is independent of scheduling.
+fn check_pairs_parallel(
+    a: &GroupedResults,
+    b: &GroupedResults,
+    pairs: &[(usize, usize, Term)],
+    cfg: &CrosscheckConfig,
+) -> Vec<SatResult> {
+    let cache = Arc::new(VerdictCache::new());
+    let next = AtomicUsize::new(0);
+    let verdicts: Mutex<Vec<Option<SatResult>>> = Mutex::new(vec![None; pairs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.jobs.min(pairs.len().max(1)) {
+            let cache = Arc::clone(&cache);
+            let next = &next;
+            let verdicts = &verdicts;
+            scope.spawn(move || {
+                let mut solver = Solver::with_cache(cache);
+                solver.max_conflicts = cfg.solver_max_conflicts;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= pairs.len() {
+                        break;
+                    }
+                    let (i, j, differ) = &pairs[k];
+                    let v = solver.check(&[
+                        a.groups[*i].condition.clone(),
+                        b.groups[*j].condition.clone(),
+                        differ.clone(),
+                    ]);
+                    verdicts.lock().expect("verdicts poisoned")[k] = Some(v);
+                }
+            });
+        }
+    });
+    verdicts
+        .into_inner()
+        .expect("verdicts poisoned")
+        .into_iter()
+        .map(|v| v.expect("every pair checked"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -343,5 +427,70 @@ mod tests {
         let a = group_paths("a", "t1", &[]);
         let b = group_paths("b", "t2", &[]);
         crosscheck(&a, &b, &CrosscheckConfig::default());
+    }
+
+    #[test]
+    fn parallel_crosscheck_matches_sequential() {
+        // A 3×4 group matrix with every output distinct: 12 queries, many
+        // satisfiable, so witnesses exercise the deterministic-model path.
+        let p = Term::var("cc4.p", 8);
+        let a = group_paths(
+            "a",
+            "t",
+            &[
+                path(p.clone().ult(Term::bv_const(8, 50)), out(1)),
+                path(
+                    p.clone()
+                        .uge(Term::bv_const(8, 50))
+                        .and(p.clone().ult(Term::bv_const(8, 100))),
+                    out(2),
+                ),
+                path(p.clone().uge(Term::bv_const(8, 100)), out(3)),
+            ],
+        );
+        let b = group_paths(
+            "b",
+            "t",
+            &[
+                path(p.clone().ult(Term::bv_const(8, 30)), out(4)),
+                path(
+                    p.clone()
+                        .uge(Term::bv_const(8, 30))
+                        .and(p.clone().ult(Term::bv_const(8, 80))),
+                    out(5),
+                ),
+                path(
+                    p.clone()
+                        .uge(Term::bv_const(8, 80))
+                        .and(p.clone().ult(Term::bv_const(8, 200))),
+                    out(6),
+                ),
+                path(p.clone().uge(Term::bv_const(8, 200)), out(7)),
+            ],
+        );
+        let seq = crosscheck(&a, &b, &CrosscheckConfig::default());
+        assert!(!seq.inconsistencies.is_empty());
+        for jobs in [2, 4] {
+            let par = crosscheck(
+                &a,
+                &b,
+                &CrosscheckConfig {
+                    jobs,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.queries, seq.queries, "jobs={jobs}");
+            assert_eq!(par.unknown, seq.unknown, "jobs={jobs}");
+            assert_eq!(
+                par.inconsistencies.len(),
+                seq.inconsistencies.len(),
+                "jobs={jobs}"
+            );
+            for (x, y) in seq.inconsistencies.iter().zip(&par.inconsistencies) {
+                assert_eq!(x.output_a, y.output_a, "jobs={jobs}");
+                assert_eq!(x.output_b, y.output_b, "jobs={jobs}");
+                assert_eq!(x.witness, y.witness, "jobs={jobs}");
+            }
+        }
     }
 }

@@ -44,6 +44,14 @@ impl Soft {
         Soft::default()
     }
 
+    /// Set both phases' parallelism knobs at once (the CLI's `--jobs`).
+    /// Results are deterministic for any value; only wall-clock changes.
+    pub fn with_jobs(mut self, jobs: usize) -> Soft {
+        self.explorer.workers = jobs.max(1);
+        self.checker.jobs = jobs.max(1);
+        self
+    }
+
     /// Phase 1: symbolically execute one agent on one test, producing the
     /// per-path conditions and outputs.
     pub fn phase1(&self, agent: AgentKind, test: &TestCase) -> TestRun {

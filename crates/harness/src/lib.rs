@@ -18,5 +18,5 @@ pub mod wire;
 
 pub use input::{Input, TestCase};
 pub use recorded::{symbolize_frame, RecordedTrace, Symbolize};
-pub use runner::{run_test, ObservedOutput, PathRecord, TestRun};
+pub use runner::{run_matrix, run_test, ObservedOutput, PathRecord, TestRun};
 pub use wire::TestRunFile;

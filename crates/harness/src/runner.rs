@@ -10,7 +10,9 @@
 use crate::input::{Input, TestCase};
 use soft_agents::AgentKind;
 use soft_openflow::{normalize_trace, TraceEvent};
-use soft_sym::{explore, Coverage, Exploration, ExplorationStats, ExplorerConfig, PathOutcome};
+use soft_sym::{explore_fn, Coverage, Exploration, ExplorationStats, ExplorerConfig, PathOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// The normalized externally-observable result of one explored path.
@@ -62,7 +64,12 @@ impl TestRun {
         if self.paths.is_empty() {
             return (0.0, 0);
         }
-        let max = self.paths.iter().map(|p| p.constraint_size).max().unwrap_or(0);
+        let max = self
+            .paths
+            .iter()
+            .map(|p| p.constraint_size)
+            .max()
+            .unwrap_or(0);
         let avg = self.paths.iter().map(|p| p.constraint_size).sum::<u64>() as f64
             / self.paths.len() as f64;
         (avg, max)
@@ -76,8 +83,13 @@ impl TestRun {
 
 /// Symbolically execute `agent` on `test` (SOFT phase 1 for one
 /// agent/test pair).
+///
+/// Exploration honors `cfg.workers`; the resulting paths are canonically
+/// ordered by decision prefix for *every* worker count, so the produced
+/// [`TestRun`] (and any artifact serialized from it) is identical whether
+/// the exploration ran on one thread or many.
 pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
-    let ex: Exploration<TraceEvent> = explore(cfg, |ctx| {
+    let ex: Exploration<TraceEvent> = explore_fn(cfg, |ctx| {
         let mut a = agent.make();
         a.on_connect(ctx)?;
         for input in &test.inputs {
@@ -99,6 +111,53 @@ pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> Test
         Ok(())
     });
     summarize(agent, test, ex)
+}
+
+/// Run every (agent, test) combination — SOFT phase 1 over a whole suite —
+/// fanning the combinations across `jobs` worker threads.
+///
+/// Each combination is an independent exploration (own solver, own verdict
+/// cache), and the results come back in agent-major, test-minor order no
+/// matter how many threads ran them, so `jobs = N` output equals
+/// `jobs = 1` output exactly.
+pub fn run_matrix(
+    agents: &[AgentKind],
+    tests: &[TestCase],
+    cfg: &ExplorerConfig,
+    jobs: usize,
+) -> Vec<TestRun> {
+    let combos: Vec<(AgentKind, &TestCase)> = agents
+        .iter()
+        .flat_map(|a| tests.iter().map(move |t| (*a, t)))
+        .collect();
+    if jobs <= 1 {
+        return combos
+            .into_iter()
+            .map(|(a, t)| run_test(a, t, cfg))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<TestRun>>> =
+        Mutex::new((0..combos.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(combos.len().max(1)) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= combos.len() {
+                    break;
+                }
+                let (a, t) = combos[k];
+                let run = run_test(a, t, cfg);
+                results.lock().expect("matrix results poisoned")[k] = Some(run);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("matrix results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every combination executed"))
+        .collect()
 }
 
 fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {

@@ -10,12 +10,18 @@ use crate::bitblast::BitBlaster;
 use crate::sat::SatOutcome;
 use crate::simplify::{mk_and, propagate_equalities, Preprocessed};
 use crate::{Assignment, Term};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Result of a satisfiability query.
+///
+/// Models are behind an [`Arc`]: a cache hit (or a hit in a cross-worker
+/// shared [`VerdictCache`]) hands out another reference instead of cloning
+/// the whole assignment byte map.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SatResult {
     /// Satisfiable, with a witness assignment.
-    Sat(Assignment),
+    Sat(Arc<Assignment>),
     /// Unsatisfiable.
     Unsat,
     /// Resource budget exhausted before a verdict.
@@ -35,6 +41,14 @@ impl SatResult {
 
     /// The model if satisfiable.
     pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SatResult::Sat(a) => Some(a.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The model behind its `Arc` if satisfiable (cheap to clone and share).
+    pub fn model_arc(&self) -> Option<&Arc<Assignment>> {
         match self {
             SatResult::Sat(a) => Some(a),
             _ => None,
@@ -61,6 +75,98 @@ pub struct SolverStats {
     pub cnf_vars: u64,
     /// Queries answered from the verdict cache.
     pub cache_hits: u64,
+    /// Entries in the verdict cache after the most recent insertion (the
+    /// whole shared cache when one is attached, not just this solver's
+    /// contributions).
+    pub cache_size: u64,
+}
+
+impl SolverStats {
+    /// Accumulate another stats block into this one (used when merging
+    /// per-worker solvers after a parallel run). `cache_size` is a gauge,
+    /// not a counter: the maximum wins.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.solved_by_simplification += other.solved_by_simplification;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_decisions += other.sat_decisions;
+        self.sat_propagations += other.sat_propagations;
+        self.cnf_clauses += other.cnf_clauses;
+        self.cnf_vars += other.cnf_vars;
+        self.cache_hits += other.cache_hits;
+        self.cache_size = self.cache_size.max(other.cache_size);
+    }
+}
+
+/// Number of verdict-cache shards (power of two).
+const CACHE_SHARDS: usize = 16;
+
+/// A concurrency-safe verdict cache, shareable between solvers.
+///
+/// Keys are *canonical* assertion sets: sorted by [`Term::structural_cmp`]
+/// and deduped, so the key — and, because [`Solver::check`] evaluates the
+/// canonical key order, the cached verdict and model — are pure functions of
+/// the assertion set, independent of query order, thread timing, and
+/// process. That is what lets worker threads reuse each other's feasibility
+/// verdicts without breaking the byte-for-byte determinism guarantee of
+/// parallel exploration. `Unknown` verdicts are never stored (they are
+/// budget-dependent). Models are stored behind [`Arc`], so a hit is a
+/// pointer bump, not a byte-map clone.
+#[derive(Debug)]
+pub struct VerdictCache {
+    shards: [Mutex<HashMap<Vec<Term>, SatResult>>; CACHE_SHARDS],
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        VerdictCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl VerdictCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        VerdictCache::default()
+    }
+
+    fn shard(&self, key: &[Term]) -> &Mutex<HashMap<Vec<Term>, SatResult>> {
+        // Combine the structural hashes of the key's terms; process-stable.
+        let mut h = 0xcbf29ce484222325u64;
+        for t in key {
+            h = (h ^ t.structural_hash()).wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    fn get(&self, key: &[Term]) -> Option<SatResult> {
+        self.shard(key)
+            .lock()
+            .expect("verdict cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: Vec<Term>, result: SatResult) {
+        self.shard(&key)
+            .lock()
+            .expect("verdict cache poisoned")
+            .insert(key, result);
+    }
+
+    /// Total number of cached verdicts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("verdict cache poisoned").len())
+            .sum()
+    }
+
+    /// True if no verdict is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Bitvector satisfiability solver.
@@ -70,34 +176,55 @@ pub struct Solver {
     pub max_conflicts: Option<u64>,
     /// Cumulative statistics.
     pub stats: SolverStats,
-    /// Memoized verdicts keyed by the (sorted, deduped) assertion set.
-    /// Symbolic execution re-checks near-identical conjunctions constantly
-    /// — replayed prefixes, shared sub-branches — so this cache carries a
-    /// large fraction of the load. Models are cached too (they stay valid:
-    /// terms are immutable and interned).
-    cache: std::collections::HashMap<Vec<Term>, SatResult>,
+    /// Memoized verdicts keyed by the canonical (structurally sorted,
+    /// deduped) assertion set. Symbolic execution re-checks near-identical
+    /// conjunctions constantly — replayed prefixes, shared sub-branches — so
+    /// this cache carries a large fraction of the load. Models are cached
+    /// too (they stay valid: terms are immutable and interned). By default
+    /// each solver owns a private cache; [`Solver::with_cache`] attaches a
+    /// shared one so parallel workers reuse each other's verdicts.
+    cache: Arc<VerdictCache>,
 }
 
 impl Solver {
-    /// Fresh solver with no budget limit.
+    /// Fresh solver with no budget limit and a private verdict cache.
     pub fn new() -> Self {
         Solver::default()
     }
 
+    /// Fresh solver backed by a shared verdict cache.
+    pub fn with_cache(cache: Arc<VerdictCache>) -> Self {
+        Solver {
+            cache,
+            ..Solver::default()
+        }
+    }
+
+    /// The verdict cache this solver reads and writes (clone the `Arc` to
+    /// share it with another solver).
+    pub fn cache(&self) -> &Arc<VerdictCache> {
+        &self.cache
+    }
+
     /// Check satisfiability of the conjunction of `assertions`.
+    ///
+    /// The query is canonicalized first — sorted by structural order and
+    /// deduped — and the canonical form is what gets solved and cached, so
+    /// the verdict *and* the model are pure functions of the assertion set.
     pub fn check(&mut self, assertions: &[Term]) -> SatResult {
         self.stats.queries += 1;
         let mut key: Vec<Term> = assertions.to_vec();
-        key.sort_unstable();
+        key.sort_unstable_by(Term::structural_cmp);
         key.dedup();
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
-            return hit.clone();
+            return hit;
         }
-        let result = self.check_uncached(assertions);
+        let result = self.check_uncached(&key);
         // Unknown verdicts are budget-dependent; don't pin them.
         if !matches!(result, SatResult::Unknown) {
             self.cache.insert(key, result.clone());
+            self.stats.cache_size = self.cache.len() as u64;
         }
         result
     }
@@ -111,18 +238,25 @@ impl Solver {
             }
             Preprocessed::TriviallyTrue => {
                 self.stats.solved_by_simplification += 1;
-                return SatResult::Sat(Assignment::new());
+                return SatResult::Sat(Arc::new(Assignment::new()));
             }
             Preprocessed::Residual(r) => r,
         };
         // If the residual is pure bindings (var == const), it is SAT with
         // the obvious model — but distinguishing that from harder residue is
         // what the SAT call does anyway; only shortcut the all-binding case.
-        if let Some(model) = Self::all_bindings_model(&residual) {
+        if let Some(mut model) = Self::all_bindings_model(&residual) {
             self.stats.solved_by_simplification += 1;
             let full = mk_and(&residual);
             debug_assert!(model.eval_bool(&full));
-            return SatResult::Sat(model);
+            // Variables eliminated by equality propagation still need values
+            // so the model satisfies the *original* assertions.
+            Self::complete_model(assertions, &mut model);
+            debug_assert!(
+                assertions.iter().all(|a| model.eval_bool(a)),
+                "simplification model must satisfy original assertions"
+            );
+            return SatResult::Sat(Arc::new(model));
         }
         // Phase 2: bit-blast and solve.
         let mut bb = BitBlaster::new();
@@ -146,7 +280,7 @@ impl Solver {
                     assertions.iter().all(|a| model.eval_bool(a)),
                     "solver model must satisfy original assertions"
                 );
-                SatResult::Sat(model)
+                SatResult::Sat(Arc::new(model))
             }
             SatOutcome::Unsat => SatResult::Unsat,
             SatOutcome::Unknown => SatResult::Unknown,
@@ -178,9 +312,21 @@ impl Solver {
 
     /// Fill in variables that were eliminated by equality propagation so the
     /// returned model satisfies the *original* assertions, not just the
-    /// residual. Walks `var == const` bindings to a fixpoint.
+    /// residual. Walks `var == const` bindings to a fixpoint; every
+    /// productive round binds at least one previously-unassigned variable,
+    /// so the number of distinct variables bounds the iteration (a fixed
+    /// round cap would silently truncate deeper binding chains).
     fn complete_model(assertions: &[Term], model: &mut Assignment) {
-        for _ in 0..8 {
+        let var_bound = {
+            let mut names: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for a in assertions {
+                for (name, _) in crate::metrics::variables(a) {
+                    names.insert(name);
+                }
+            }
+            names.len()
+        };
+        for _ in 0..=var_bound {
             let mut changed = false;
             for a in assertions {
                 for c in crate::simplify::conjuncts(a) {
@@ -309,7 +455,10 @@ mod tests {
     #[test]
     fn cache_hits_repeated_queries() {
         let x = Term::var("svc.x", 8);
-        let q = [x.clone().ult(Term::bv_const(8, 10)), x.clone().ugt(Term::bv_const(8, 3))];
+        let q = [
+            x.clone().ult(Term::bv_const(8, 10)),
+            x.clone().ugt(Term::bv_const(8, 3)),
+        ];
         let mut s = Solver::new();
         let r1 = s.check(&q);
         assert_eq!(s.stats.cache_hits, 0);
@@ -321,6 +470,51 @@ mod tests {
         let r3 = s.check(&q2);
         assert_eq!(s.stats.cache_hits, 2);
         assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn shared_cache_crosses_solvers() {
+        let cache = Arc::new(VerdictCache::new());
+        let x = Term::var("svs.x", 8);
+        let q = [
+            x.clone().ult(Term::bv_const(8, 10)),
+            x.clone().ugt(Term::bv_const(8, 3)),
+        ];
+        let mut a = Solver::with_cache(Arc::clone(&cache));
+        let ra = a.check(&q);
+        assert_eq!(a.stats.cache_hits, 0);
+        assert!(a.stats.cache_size >= 1);
+        // A different solver sharing the cache answers without re-solving,
+        // and hands back the *same* model allocation.
+        let mut b = Solver::with_cache(Arc::clone(&cache));
+        let rb = b.check(&[q[1].clone(), q[0].clone()]);
+        assert_eq!(b.stats.cache_hits, 1);
+        assert_eq!(ra, rb);
+        match (&ra, &rb) {
+            (SatResult::Sat(ma), SatResult::Sat(mb)) => assert!(Arc::ptr_eq(ma, mb)),
+            other => panic!("expected Sat/Sat, got {other:?}"),
+        }
+        assert_eq!(cache.len() as u64, a.stats.cache_size);
+    }
+
+    #[test]
+    fn model_completion_handles_deep_binding_chains() {
+        // Chain of 16 aliased variables rooted at a constant; the old
+        // fixed 8-round completion cap could leave the tail unassigned.
+        let mut assertions = vec![Term::var("cm.v0", 8).eq(Term::bv_const(8, 7))];
+        for i in 1..16 {
+            assertions
+                .push(Term::var(format!("cm.v{i}"), 8).eq(Term::var(format!("cm.v{}", i - 1), 8)));
+        }
+        let mut s = Solver::new();
+        let r = s.check(&assertions);
+        let m = r.model().expect("chain is satisfiable");
+        for i in 0..16 {
+            assert_eq!(m.get(&format!("cm.v{i}")), Some(7), "cm.v{i} incomplete");
+        }
+        for a in &assertions {
+            assert!(m.eval_bool(a));
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Sort (type) of a term: boolean or a bitvector of width 1..=64.
@@ -150,6 +151,13 @@ pub struct TermData {
     /// Number of boolean/bitvector operator applications in the DAG rooted
     /// here, counted over the DAG (shared nodes counted once). Leaves count 0.
     pub(crate) dag_ops: u64,
+    /// Structural hash: a pure function of the term's structure (operator,
+    /// constants, variable names, child structural hashes). Unlike `id`,
+    /// which depends on interning order and therefore on thread timing when
+    /// terms are built concurrently, `shash` is identical across processes
+    /// and runs. It anchors the process-independent total order of
+    /// [`Term::structural_cmp`].
+    pub(crate) shash: u64,
 }
 
 /// A hash-consed term. Cheap to clone; equality and hashing are O(1).
@@ -175,24 +183,123 @@ impl PartialOrd for Term {
     }
 }
 impl Ord for Term {
+    /// Orders by interning id: O(1), but interning ids depend on
+    /// construction order and are therefore not stable across runs when
+    /// terms are built from multiple threads. Use
+    /// [`Term::structural_cmp`] for any ordering that can reach observable
+    /// output.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.id.cmp(&other.0.id)
     }
 }
 
+/// Number of interner shards. A power of two so shard selection is a mask.
+const INTERNER_SHARDS: usize = 16;
+
+/// The global interner, sharded by structural hash so concurrent term
+/// construction from worker threads does not serialize on one lock. Ids are
+/// allocated from a single atomic counter, so they stay globally unique but
+/// are *not* stable across runs when interning races; all
+/// determinism-sensitive ordering goes through [`Term::structural_cmp`]
+/// instead.
 struct Interner {
-    table: HashMap<Op, Term>,
-    next_id: u64,
+    shards: [Mutex<HashMap<Op, Term>>; INTERNER_SHARDS],
+    next_id: AtomicU64,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            table: HashMap::new(),
-            next_id: 0,
-        })
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        next_id: AtomicU64::new(0),
     })
+}
+
+// ------------------------------------------------------- structural hashing
+//
+// FNV-1a over the term structure with a splitmix64 finalizer. Written out
+// explicitly (rather than via `DefaultHasher`) because the value must be
+// identical across processes: it canonicalizes solver-cache keys, which in
+// turn makes solver models — and anything concretized from them — identical
+// between a `--jobs 1` and a `--jobs 4` run.
+
+fn fnv1a(h: u64, x: u64) -> u64 {
+    let mut h = h;
+    for i in 0..8 {
+        h ^= (x >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fnv1a_str(h: u64, s: &str) -> u64 {
+    let mut h = h;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Small stable discriminant per operator kind (order is part of the
+/// canonical term order; append-only).
+fn op_rank(op: &Op) -> u64 {
+    match op {
+        Op::BvConst { .. } => 0,
+        Op::BvVar { .. } => 1,
+        Op::BvUnary(..) => 2,
+        Op::BvBin(..) => 3,
+        Op::BvConcat(..) => 4,
+        Op::BvExtract { .. } => 5,
+        Op::BvIte(..) => 6,
+        Op::BoolConst(_) => 7,
+        Op::Not(_) => 8,
+        Op::And(..) => 9,
+        Op::Or(..) => 10,
+        Op::Implies(..) => 11,
+        Op::Iff(..) => 12,
+        Op::Cmp(..) => 13,
+    }
+}
+
+fn structural_hash(op: &Op) -> u64 {
+    let mut h = fnv1a(0xcbf29ce484222325, op_rank(op));
+    match op {
+        Op::BvConst { width, value } => {
+            h = fnv1a(h, *width as u64);
+            h = fnv1a(h, *value);
+        }
+        Op::BvVar { name, width } => {
+            h = fnv1a_str(h, name);
+            h = fnv1a(h, *width as u64);
+        }
+        Op::BvUnary(o, _) => h = fnv1a(h, *o as u64),
+        Op::BvBin(o, _, _) => h = fnv1a(h, *o as u64),
+        Op::BvExtract { hi, lo, .. } => {
+            h = fnv1a(h, *hi as u64);
+            h = fnv1a(h, *lo as u64);
+        }
+        Op::BoolConst(b) => h = fnv1a(h, *b as u64),
+        Op::Cmp(o, _, _) => h = fnv1a(h, *o as u64),
+        Op::BvConcat(..)
+        | Op::BvIte(..)
+        | Op::Not(_)
+        | Op::And(..)
+        | Op::Or(..)
+        | Op::Implies(..)
+        | Op::Iff(..) => {}
+    }
+    for c in op.children() {
+        h = fnv1a(h, c.0.shash);
+    }
+    splitmix64(h)
 }
 
 /// Mask selecting the low `width` bits (width 1..=64).
@@ -207,21 +314,28 @@ pub fn mask(width: u32) -> u64 {
 
 impl Term {
     /// Intern `op` with the given sort, reusing an existing node if present.
+    ///
+    /// Thread-safe: the interner is sharded by structural hash, so builders
+    /// running on different worker threads only contend when constructing
+    /// structurally colliding nodes.
     pub(crate) fn intern(op: Op, sort: Sort) -> Term {
-        let mut g = interner().lock().expect("term interner poisoned");
-        if let Some(t) = g.table.get(&op) {
+        let shash = structural_hash(&op);
+        let interner = interner();
+        let shard = &interner.shards[(shash as usize) & (INTERNER_SHARDS - 1)];
+        let mut table = shard.lock().expect("term interner poisoned");
+        if let Some(t) = table.get(&op) {
             return t.clone();
         }
         let dag_ops = Self::count_new_ops(&op);
-        let id = g.next_id;
-        g.next_id += 1;
+        let id = interner.next_id.fetch_add(1, Ordering::Relaxed);
         let t = Term(Arc::new(TermData {
             op: op.clone(),
             sort,
             id,
             dag_ops,
+            shash,
         }));
-        g.table.insert(op, t.clone());
+        table.insert(op, t.clone());
         t
     }
 
@@ -262,6 +376,94 @@ impl Term {
     /// Cached upper bound on the number of operator applications.
     pub fn size_hint(&self) -> u64 {
         self.0.dag_ops
+    }
+
+    /// Process-independent structural hash of this term.
+    ///
+    /// Interning ids ([`Term::id`]) depend on construction order, which is
+    /// racy under parallel exploration; the structural hash depends only on
+    /// the term's shape, so it is identical across runs and machines.
+    pub fn structural_hash(&self) -> u64 {
+        self.0.shash
+    }
+
+    /// Total order on terms that is a pure function of term structure.
+    ///
+    /// Use this — never [`Ord`], which compares interning ids — wherever the
+    /// ordering can influence observable output (canonical solver-cache
+    /// keys, canonical query order). Two terms compare `Equal` iff they are
+    /// the same interned node. The fast path compares structural hashes; the
+    /// recursive structural walk only runs on (astronomically rare) hash
+    /// collisions.
+    pub fn structural_cmp(&self, other: &Term) -> std::cmp::Ordering {
+        use std::cmp::Ordering as O;
+        if self.0.id == other.0.id {
+            return O::Equal;
+        }
+        match self.0.shash.cmp(&other.0.shash) {
+            O::Equal => self.structural_cmp_slow(other),
+            o => o,
+        }
+    }
+
+    /// Structural tie-break on hash collision: operator rank, scalar fields,
+    /// then children left-to-right.
+    fn structural_cmp_slow(&self, other: &Term) -> std::cmp::Ordering {
+        use std::cmp::Ordering as O;
+        if self.0.id == other.0.id {
+            return O::Equal;
+        }
+        let (a, b) = (self.op(), other.op());
+        let rank = op_rank(a).cmp(&op_rank(b));
+        if rank != O::Equal {
+            return rank;
+        }
+        let scalars = match (a, b) {
+            (
+                Op::BvConst {
+                    width: wa,
+                    value: va,
+                },
+                Op::BvConst {
+                    width: wb,
+                    value: vb,
+                },
+            ) => (*wa, *va).cmp(&(*wb, *vb)),
+            (
+                Op::BvVar {
+                    name: na,
+                    width: wa,
+                },
+                Op::BvVar {
+                    name: nb,
+                    width: wb,
+                },
+            ) => (na.as_ref(), *wa).cmp(&(nb.as_ref(), *wb)),
+            (Op::BvUnary(oa, _), Op::BvUnary(ob, _)) => (*oa as u64).cmp(&(*ob as u64)),
+            (Op::BvBin(oa, ..), Op::BvBin(ob, ..)) => (*oa as u64).cmp(&(*ob as u64)),
+            (Op::BvExtract { hi: ha, lo: la, .. }, Op::BvExtract { hi: hb, lo: lb, .. }) => {
+                (*ha, *la).cmp(&(*hb, *lb))
+            }
+            (Op::BoolConst(ba), Op::BoolConst(bb)) => ba.cmp(bb),
+            (Op::Cmp(oa, ..), Op::Cmp(ob, ..)) => (*oa as u64).cmp(&(*ob as u64)),
+            _ => O::Equal,
+        };
+        if scalars != O::Equal {
+            return scalars;
+        }
+        let ca = a.children();
+        let cb = b.children();
+        match ca.len().cmp(&cb.len()) {
+            O::Equal => {}
+            o => return o,
+        }
+        for (x, y) in ca.iter().zip(&cb) {
+            match x.structural_cmp(y) {
+                O::Equal => {}
+                o => return o,
+            }
+        }
+        O::Equal
     }
 
     /// True if the term is a bitvector or boolean constant.
@@ -355,7 +557,11 @@ impl fmt::Display for Term {
     /// SMT-LIB-flavoured s-expression rendering.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op() {
-            Op::BvConst { width, value } => write!(f, "#x{value:0>width$x}", width = (*width as usize).div_ceil(4)),
+            Op::BvConst { width, value } => write!(
+                f,
+                "#x{value:0>width$x}",
+                width = (*width as usize).div_ceil(4)
+            ),
             Op::BvVar { name, .. } => write!(f, "{name}"),
             Op::BvUnary(op, a) => write!(f, "({op} {a})"),
             Op::BvBin(op, a, b) => write!(f, "({op} {a} {b})"),
@@ -424,5 +630,64 @@ mod tests {
         let y = Term::var("y", 8);
         let e = x.clone().bvadd(y.clone()).eq(Term::bv_const(8, 0));
         assert_eq!(format!("{e}"), "(= (bvadd x y) #x00)");
+    }
+
+    #[test]
+    fn structural_hash_is_structural() {
+        // Same structure => same hash, even when built separately.
+        let a = Term::var("sh.x", 8).bvadd(Term::bv_const(8, 3));
+        let b = Term::var("sh.x", 8).bvadd(Term::bv_const(8, 3));
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        // Different structure => (virtually always) different hash.
+        let c = Term::var("sh.x", 8).bvadd(Term::bv_const(8, 4));
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn structural_cmp_is_total_and_consistent() {
+        let terms = vec![
+            Term::var("sc.a", 8),
+            Term::var("sc.b", 8),
+            Term::bv_const(8, 1),
+            Term::var("sc.a", 8).bvadd(Term::var("sc.b", 8)),
+            Term::var("sc.a", 8).eq(Term::bv_const(8, 1)),
+            Term::bool_true(),
+        ];
+        for x in &terms {
+            assert_eq!(x.structural_cmp(x), std::cmp::Ordering::Equal);
+            for y in &terms {
+                assert_eq!(x.structural_cmp(y), y.structural_cmp(x).reverse());
+                // Equal only for the identical interned node.
+                if x.structural_cmp(y) == std::cmp::Ordering::Equal {
+                    assert_eq!(x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_dedupes() {
+        // Hammer the sharded interner from several threads building the
+        // same terms; structural equality must still imply pointer equality.
+        let ids: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..256u64)
+                            .map(|i| {
+                                Term::var("ci.x", 16)
+                                    .bvadd(Term::bv_const(16, i))
+                                    .eq(Term::bv_const(16, 7))
+                                    .id()
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "racing interners must agree on nodes");
+        }
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::coverage::Coverage;
 use soft_smt::{SatResult, Solver, Term};
+use std::time::Instant;
 
 /// Why a path stopped before completing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,10 +58,22 @@ pub struct ExecCtx<'e, Out> {
     max_depth: usize,
     instructions: u64,
     fresh_branches: u64,
+    /// Wall-clock cutoff for the whole exploration; checked before every
+    /// solver interaction so one long path cannot overshoot the budget by
+    /// more than a single query.
+    deadline: Option<Instant>,
+    /// True once the deadline fired mid-path (the driver then reports the
+    /// exploration as truncated).
+    deadline_hit: bool,
 }
 
 impl<'e, Out> ExecCtx<'e, Out> {
-    pub(crate) fn new(prefix: Vec<bool>, solver: &'e mut Solver, max_depth: usize) -> Self {
+    pub(crate) fn new(
+        prefix: Vec<bool>,
+        solver: &'e mut Solver,
+        max_depth: usize,
+        deadline: Option<Instant>,
+    ) -> Self {
         ExecCtx {
             prefix,
             cursor: 0,
@@ -73,8 +86,22 @@ impl<'e, Out> ExecCtx<'e, Out> {
             over_approx: false,
             max_depth,
             instructions: 0,
-        fresh_branches: 0,
+            fresh_branches: 0,
+            deadline,
+            deadline_hit: false,
         }
+    }
+
+    /// Abort the path if the exploration deadline has passed. Called at
+    /// every operation that may reach the solver.
+    fn check_deadline(&mut self) -> Result<(), Stop> {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.deadline_hit = true;
+                return Err(Stop::Abort("exploration time limit exceeded".into()));
+            }
+        }
+        Ok(())
     }
 
     /// Mark an instruction block as covered. Agents call this once per
@@ -105,6 +132,7 @@ impl<'e, Out> ExecCtx<'e, Out> {
         if self.decisions.len() >= self.max_depth {
             return Err(Stop::Abort(format!("max branch depth at site '{site}'")));
         }
+        self.check_deadline()?;
         let dir = if self.cursor < self.prefix.len() {
             let d = self.prefix[self.cursor];
             self.cursor += 1;
@@ -155,6 +183,7 @@ impl<'e, Out> ExecCtx<'e, Out> {
             Some(false) => return Err(Stop::Abort("assume(false)".into())),
             None => {}
         }
+        self.check_deadline()?;
         if !self.feasible(cond.clone()) {
             return Err(Stop::Abort("infeasible assumption".into()));
         }
@@ -169,10 +198,12 @@ impl<'e, Out> ExecCtx<'e, Out> {
         if let Some(v) = term.as_bv_const() {
             return Ok(v);
         }
+        self.check_deadline()?;
         match self.solver.check(&self.pc) {
             SatResult::Sat(model) => {
                 let v = model.eval_bv(term);
-                self.pc.push(term.clone().eq(Term::bv_const(term.width(), v)));
+                self.pc
+                    .push(term.clone().eq(Term::bv_const(term.width(), v)));
                 Ok(v)
             }
             SatResult::Unsat => Err(Stop::Abort("concretize on infeasible path".into())),
@@ -211,12 +242,9 @@ impl<'e, Out> ExecCtx<'e, Out> {
         self.trace.len()
     }
 
-    pub(crate) fn finish(
-        self,
-        outcome: PathOutcome,
-    ) -> (PathResult<Out>, Vec<Pending>, u64, u64) {
-        (
-            PathResult {
+    pub(crate) fn finish(self, outcome: PathOutcome) -> FinishedPath<Out> {
+        FinishedPath {
+            result: PathResult {
                 condition: self.pc,
                 decisions: self.decisions,
                 trace: self.trace,
@@ -224,11 +252,26 @@ impl<'e, Out> ExecCtx<'e, Out> {
                 coverage: self.coverage,
                 over_approx: self.over_approx,
             },
-            self.pending,
-            self.instructions,
-            self.fresh_branches,
-        )
+            pending: self.pending,
+            instructions: self.instructions,
+            fresh_branches: self.fresh_branches,
+            deadline_hit: self.deadline_hit,
+        }
     }
+}
+
+/// Everything one path run hands back to the exploration driver.
+pub(crate) struct FinishedPath<Out> {
+    /// The explored path.
+    pub result: PathResult<Out>,
+    /// Sibling branches scheduled during the run.
+    pub pending: Vec<Pending>,
+    /// Instrumented blocks executed.
+    pub instructions: u64,
+    /// Fresh symbolic branches encountered.
+    pub fresh_branches: u64,
+    /// True if the exploration deadline fired during this path.
+    pub deadline_hit: bool,
 }
 
 /// Terminal status of one explored path.

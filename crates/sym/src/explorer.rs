@@ -6,9 +6,10 @@
 //! input constraints (path conditions) and per-path output traces.
 
 use crate::coverage::Coverage;
-use crate::ctx::{ExecCtx, PathOutcome, PathResult, Pending, RunEnd, Stop};
+use crate::ctx::{ExecCtx, FinishedPath, PathOutcome, PathResult, Pending, RunEnd, Stop};
 use crate::strategy::{Frontier, Strategy};
-use soft_smt::Solver;
+use soft_smt::{Solver, VerdictCache};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Exploration limits and knobs.
@@ -26,6 +27,10 @@ pub struct ExplorerConfig {
     pub time_limit: Option<Duration>,
     /// PRNG seed for randomized strategies.
     pub seed: u64,
+    /// Worker threads for path exploration (1 = the sequential driver).
+    /// Only [`explore_fn`] honors values above 1; exhaustive explorations
+    /// produce identical results for every worker count.
+    pub workers: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -37,6 +42,7 @@ impl Default for ExplorerConfig {
             solver_max_conflicts: None,
             time_limit: None,
             seed: 0x50F7,
+            workers: 1,
         }
     }
 }
@@ -110,6 +116,7 @@ where
     F: FnMut(&mut ExecCtx<'_, Out>) -> RunEnd,
 {
     let start = Instant::now();
+    let deadline = config.time_limit.map(|l| start + l);
     let mut solver = Solver::new();
     solver.max_conflicts = config.solver_max_conflicts;
     let mut frontier = Frontier::new(config.strategy, config.seed);
@@ -136,26 +143,16 @@ where
                 break;
             }
         }
-        let mut ctx: ExecCtx<'_, Out> = ExecCtx::new(pending.prefix, &mut solver, config.max_depth);
+        let mut ctx: ExecCtx<'_, Out> =
+            ExecCtx::new(pending.prefix, &mut solver, config.max_depth, deadline);
         let end = program(&mut ctx);
         let outcome = match end {
             Ok(()) => PathOutcome::Completed,
             Err(Stop::Crash(m)) => PathOutcome::Crashed(m),
             Err(Stop::Abort(m)) => PathOutcome::Aborted(m),
         };
-        let (result, new_pending, instructions, fresh) = ctx.finish(outcome);
-        match result.outcome {
-            PathOutcome::Completed => stats.completed += 1,
-            PathOutcome::Crashed(_) => stats.crashed += 1,
-            PathOutcome::Aborted(_) => stats.aborted += 1,
-        }
-        stats.instructions += instructions;
-        stats.fresh_branches += fresh;
-        coverage.merge(&result.coverage);
-        paths.push(result);
-        for p in new_pending {
-            frontier.push(p);
-        }
+        let fin = ctx.finish(outcome);
+        merge_finished(&mut stats, &mut coverage, &mut frontier, &mut paths, fin);
     }
     if !frontier.is_empty() {
         stats.truncated = true;
@@ -167,6 +164,194 @@ where
         paths,
         coverage,
         stats,
+    }
+}
+
+/// Fold one finished path into the exploration accumulators.
+fn merge_finished<Out>(
+    stats: &mut ExplorationStats,
+    coverage: &mut Coverage,
+    frontier: &mut Frontier,
+    paths: &mut Vec<PathResult<Out>>,
+    fin: FinishedPath<Out>,
+) {
+    match fin.result.outcome {
+        PathOutcome::Completed => stats.completed += 1,
+        PathOutcome::Crashed(_) => stats.crashed += 1,
+        PathOutcome::Aborted(_) => stats.aborted += 1,
+    }
+    stats.instructions += fin.instructions;
+    stats.fresh_branches += fin.fresh_branches;
+    if fin.deadline_hit {
+        stats.truncated = true;
+    }
+    coverage.merge(&fin.result.coverage);
+    paths.push(fin.result);
+    for p in fin.pending {
+        frontier.push(p);
+    }
+}
+
+/// Explore every path of `program`, using `config.workers` threads.
+///
+/// Like [`explore`], but the program closure must be re-invocable from
+/// several threads at once (`Fn + Sync`): each worker owns a private
+/// [`Solver`] backed by a [`VerdictCache`] shared across the workers, pulls
+/// pending decision prefixes from a shared frontier, and re-executes the
+/// program against them. Re-execution forking makes every path run
+/// independent, so the only shared mutable state is the frontier and the
+/// result accumulators, both merged under one lock.
+///
+/// The returned paths are canonically sorted by decision prefix — for every
+/// worker count, including 1 — so an exhaustive exploration yields an
+/// identical [`Exploration`] (paths, coverage, aggregate counters) no matter
+/// how many workers ran it. Truncated runs (`max_paths` / `time_limit`) stay
+/// deterministic only sequentially: under parallelism *which* paths get in
+/// before the limit depends on thread timing.
+pub fn explore_fn<Out, F>(config: &ExplorerConfig, program: F) -> Exploration<Out>
+where
+    Out: Send,
+    F: Fn(&mut ExecCtx<'_, Out>) -> RunEnd + Sync,
+{
+    let mut ex = if config.workers <= 1 {
+        explore(config, &program)
+    } else {
+        explore_parallel(config, &program)
+    };
+    ex.paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
+    ex
+}
+
+/// Shared accumulator the parallel workers merge into.
+struct SharedExploration<Out> {
+    frontier: Frontier,
+    coverage: Coverage,
+    paths: Vec<PathResult<Out>>,
+    stats: ExplorationStats,
+    /// Paths claimed by workers (counted at claim time so `max_paths` is
+    /// enforced before a path runs, mirroring the sequential driver).
+    claimed: usize,
+    /// Paths currently executing outside the lock; the frontier is only
+    /// exhausted once it is empty *and* nothing is in flight.
+    in_flight: usize,
+    /// Set when a limit fires; all workers drain out.
+    stop: bool,
+}
+
+fn explore_parallel<Out, F>(config: &ExplorerConfig, program: &F) -> Exploration<Out>
+where
+    Out: Send,
+    F: Fn(&mut ExecCtx<'_, Out>) -> RunEnd + Sync,
+{
+    let start = Instant::now();
+    let deadline = config.time_limit.map(|l| start + l);
+    let cache = Arc::new(VerdictCache::new());
+    let mut frontier = Frontier::new(config.strategy, config.seed);
+    frontier.push(Pending {
+        prefix: Vec::new(),
+        site: "<root>",
+    });
+    let shared = Mutex::new(SharedExploration {
+        frontier,
+        coverage: Coverage::new(),
+        paths: Vec::new(),
+        stats: ExplorationStats::default(),
+        claimed: 0,
+        in_flight: 0,
+        stop: false,
+    });
+    let work_ready = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            let cache = Arc::clone(&cache);
+            let shared = &shared;
+            let work_ready = &work_ready;
+            scope.spawn(move || {
+                let mut solver = Solver::with_cache(cache);
+                solver.max_conflicts = config.solver_max_conflicts;
+                let mut guard = shared.lock().expect("exploration state poisoned");
+                loop {
+                    if guard.stop {
+                        break;
+                    }
+                    let state = &mut *guard;
+                    match state.frontier.pop(&state.coverage) {
+                        Some(pending) => {
+                            let over_limit = config
+                                .max_paths
+                                .map(|max| state.claimed >= max)
+                                .unwrap_or(false)
+                                || config
+                                    .time_limit
+                                    .map(|limit| start.elapsed() > limit)
+                                    .unwrap_or(false);
+                            if over_limit {
+                                state.stats.truncated = true;
+                                state.stop = true;
+                                // Put the prefix back so the final
+                                // frontier-drained check stays truthful.
+                                state.frontier.push(pending);
+                                work_ready.notify_all();
+                                break;
+                            }
+                            state.claimed += 1;
+                            state.in_flight += 1;
+                            drop(guard);
+
+                            let mut ctx: ExecCtx<'_, Out> = ExecCtx::new(
+                                pending.prefix,
+                                &mut solver,
+                                config.max_depth,
+                                deadline,
+                            );
+                            let end = program(&mut ctx);
+                            let outcome = match end {
+                                Ok(()) => PathOutcome::Completed,
+                                Err(Stop::Crash(m)) => PathOutcome::Crashed(m),
+                                Err(Stop::Abort(m)) => PathOutcome::Aborted(m),
+                            };
+                            let fin = ctx.finish(outcome);
+
+                            guard = shared.lock().expect("exploration state poisoned");
+                            let state = &mut *guard;
+                            state.in_flight -= 1;
+                            merge_finished(
+                                &mut state.stats,
+                                &mut state.coverage,
+                                &mut state.frontier,
+                                &mut state.paths,
+                                fin,
+                            );
+                            // New prefixes may be available, and if this was
+                            // the last in-flight path the idlers must wake to
+                            // notice completion.
+                            work_ready.notify_all();
+                        }
+                        None => {
+                            if state.in_flight == 0 {
+                                work_ready.notify_all();
+                                break;
+                            }
+                            guard = work_ready.wait(guard).expect("exploration state poisoned");
+                        }
+                    }
+                }
+                guard.stats.solver.merge(&solver.stats);
+            });
+        }
+    });
+
+    let mut state = shared.into_inner().expect("exploration state poisoned");
+    if !state.frontier.is_empty() {
+        state.stats.truncated = true;
+    }
+    state.stats.paths = state.paths.len();
+    state.stats.wall = start.elapsed();
+    Exploration {
+        paths: state.paths,
+        coverage: state.coverage,
+        stats: state.stats,
     }
 }
 
@@ -218,7 +403,10 @@ mod tests {
             }
         }
         let union = soft_smt::simplify::mk_or_balanced(&terms);
-        assert!(solver.check_one(&union.not()).is_unsat(), "partition has a gap");
+        assert!(
+            solver.check_one(&union.not()).is_unsat(),
+            "partition has a gap"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! `bench_parallel` — measures the end-to-end speedup of the parallel
+//! pipeline and verifies the determinism contract along the way.
+//!
+//! Runs the heaviest Table 2 workload (`flow_mod` by default) through
+//! phase 1 (both agents) and phase 2 (crosscheck) twice: once at
+//! `jobs = 1` and once at `jobs = available_parallelism`, asserting that
+//! the JSON artifacts are byte-identical (after normalizing wall-clock)
+//! and that the inconsistency sets match exactly. Writes a summary to
+//! `BENCH_parallel.json`.
+//!
+//! ```text
+//! bench_parallel [--test <id>] [--out BENCH_parallel.json] [--jobs N]
+//! ```
+
+use soft::core::Soft;
+use soft::harness::{suite, TestRunFile};
+use soft::AgentKind;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Artifact JSON with the timing field zeroed, so byte comparison only
+/// sees semantic content.
+fn canonical_json(file: &TestRunFile) -> String {
+    let mut f = file.clone();
+    f.wall_ms = 0;
+    f.to_json()
+}
+
+struct PipelineRun {
+    artifact_a: TestRunFile,
+    artifact_b: TestRunFile,
+    inconsistencies: Vec<String>,
+    queries: usize,
+    unknown: usize,
+    solver_queries: u64,
+    cache_hits: u64,
+    cache_size: u64,
+    wall_ms: f64,
+}
+
+fn run_pipeline(test_id: &str, jobs: usize) -> PipelineRun {
+    let test = suite::table1_suite()
+        .into_iter()
+        .chain([suite::queue_config(), suite::timeout_flow_mod()])
+        .find(|t| t.id == test_id)
+        .unwrap_or_else(|| {
+            eprintln!("bench_parallel: unknown test '{test_id}'");
+            std::process::exit(1);
+        });
+    let soft = Soft::new().with_jobs(jobs);
+    let start = Instant::now();
+    let run_a = soft.phase1(AgentKind::Reference, &test);
+    let run_b = soft.phase1(AgentKind::OpenVSwitch, &test);
+    let ga = soft.group(&run_a);
+    let gb = soft.group(&run_b);
+    let result = soft.phase2(&ga, &gb);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut inconsistencies: Vec<String> = result
+        .inconsistencies
+        .iter()
+        .map(|i| {
+            let mut witness: Vec<(&str, u64)> = i.witness.iter().collect();
+            witness.sort();
+            format!("{:?}|{:?}|{witness:?}", i.output_a, i.output_b)
+        })
+        .collect();
+    inconsistencies.sort();
+    PipelineRun {
+        artifact_a: TestRunFile::from_run(&run_a),
+        artifact_b: TestRunFile::from_run(&run_b),
+        inconsistencies,
+        queries: result.queries,
+        unknown: result.unknown,
+        solver_queries: run_a.stats.solver.queries + run_b.stats.solver.queries,
+        cache_hits: run_a.stats.solver.cache_hits + run_b.stats.solver.cache_hits,
+        cache_size: run_a
+            .stats
+            .solver
+            .cache_size
+            .max(run_b.stats.solver.cache_size),
+        wall_ms,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_id = flag_value(&args, "--test").unwrap_or_else(|| "flow_mod".into());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let jobs = match flag_value(&args, "--jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bench_parallel: --jobs must be a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+
+    eprintln!("bench_parallel: '{test_id}' at jobs=1 ...");
+    let seq = run_pipeline(&test_id, 1);
+    eprintln!("  {:.1} ms", seq.wall_ms);
+    eprintln!("bench_parallel: '{test_id}' at jobs={jobs} ...");
+    let par = run_pipeline(&test_id, jobs);
+    eprintln!("  {:.1} ms", par.wall_ms);
+
+    // Determinism contract: byte-identical artifacts, identical findings.
+    let artifacts_identical = canonical_json(&seq.artifact_a) == canonical_json(&par.artifact_a)
+        && canonical_json(&seq.artifact_b) == canonical_json(&par.artifact_b);
+    let inconsistencies_identical = seq.inconsistencies == par.inconsistencies;
+    if !artifacts_identical {
+        eprintln!("bench_parallel: ARTIFACT MISMATCH between jobs=1 and jobs={jobs}");
+    }
+    if !inconsistencies_identical {
+        eprintln!("bench_parallel: INCONSISTENCY-SET MISMATCH between jobs=1 and jobs={jobs}");
+    }
+
+    let speedup = seq.wall_ms / par.wall_ms.max(1e-9);
+    let json = format!(
+        "{{\n  \"test\": \"{test_id}\",\n  \"jobs\": {jobs},\n  \"wall_ms_jobs1\": {:.3},\n  \"wall_ms_jobsN\": {:.3},\n  \"speedup\": {:.3},\n  \"artifacts_identical\": {artifacts_identical},\n  \"inconsistencies_identical\": {inconsistencies_identical},\n  \"inconsistencies\": {},\n  \"crosscheck_queries\": {},\n  \"crosscheck_unknown\": {},\n  \"solver\": {{\n    \"jobs1\": {{ \"queries\": {}, \"cache_hits\": {}, \"cache_size\": {} }},\n    \"jobsN\": {{ \"queries\": {}, \"cache_hits\": {}, \"cache_size\": {} }}\n  }}\n}}\n",
+        seq.wall_ms,
+        par.wall_ms,
+        speedup,
+        seq.inconsistencies.len(),
+        seq.queries,
+        seq.unknown,
+        seq.solver_queries,
+        seq.cache_hits,
+        seq.cache_size,
+        par.solver_queries,
+        par.cache_hits,
+        par.cache_size,
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_parallel: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{out}: speedup {speedup:.2}x at jobs={jobs}");
+    if artifacts_identical && inconsistencies_identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -18,7 +18,7 @@
 
 use soft::core::report::{classify, dedupe, describe, reproduce};
 use soft::core::{replay, Soft};
-use soft::harness::{suite, TestCase, TestRunFile};
+use soft::harness::{run_matrix, suite, TestCase, TestRunFile};
 use soft::AgentKind;
 use std::process::ExitCode;
 
@@ -45,7 +45,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified> --test <id> --out <file>\n  soft check <a.json> <b.json>\n  soft report <a.json> <b.json> [--replay]\n  soft regress <baseline.json> <candidate.json>"
+        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|all> --test <id|all> --out <file-or-prefix> [--jobs N]\n  soft check <a.json> <b.json> [--jobs N]\n  soft report <a.json> <b.json> [--replay]\n  soft regress <baseline.json> <candidate.json>\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -58,6 +58,17 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parse `--jobs N` (default 1). `Err` on malformed or zero values.
+fn jobs_flag(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs") {
+        None => Ok(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs must be a positive integer, got '{v}'")),
+        },
+    }
+}
+
 fn cmd_tests() -> ExitCode {
     println!("{:<20} {:<4} description", "id", "#in");
     for t in all_tests() {
@@ -67,32 +78,89 @@ fn cmd_tests() -> ExitCode {
 }
 
 fn cmd_phase1(args: &[String]) -> ExitCode {
-    let Some(agent) = flag_value(args, "--agent").and_then(|a| parse_agent(&a)) else {
-        eprintln!("phase1: missing or unknown --agent");
-        return usage();
+    let jobs = match jobs_flag(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("phase1: {e}");
+            return usage();
+        }
     };
-    let Some(test) = flag_value(args, "--test").and_then(|t| find_test(&t)) else {
-        eprintln!("phase1: missing or unknown --test (see `soft tests`)");
-        return usage();
-    };
+    let agent_arg = flag_value(args, "--agent");
+    let test_arg = flag_value(args, "--test");
     let Some(out) = flag_value(args, "--out") else {
         eprintln!("phase1: missing --out");
         return usage();
     };
-    let soft = Soft::new();
-    eprintln!("symbolically executing {} on '{}' ...", agent.id(), test.id);
-    let artifact = soft.phase1_artifact(agent, &test);
-    eprintln!(
-        "  {} paths, instruction coverage {:.1}%, wall {} ms",
-        artifact.paths.len(),
-        artifact.instruction_pct,
-        artifact.wall_ms
-    );
-    if let Err(e) = std::fs::write(&out, artifact.to_json()) {
-        eprintln!("phase1: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
+    let agents: Vec<AgentKind> = match agent_arg.as_deref() {
+        Some("all") => vec![
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            AgentKind::Modified,
+        ],
+        Some(a) => match parse_agent(a) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("phase1: unknown --agent '{a}'");
+                return usage();
+            }
+        },
+        None => {
+            eprintln!("phase1: missing --agent");
+            return usage();
+        }
+    };
+    let tests: Vec<TestCase> = match test_arg.as_deref() {
+        Some("all") => all_tests(),
+        Some(t) => match find_test(t) {
+            Some(tc) => vec![tc],
+            None => {
+                eprintln!("phase1: unknown --test '{t}' (see `soft tests`)");
+                return usage();
+            }
+        },
+        None => {
+            eprintln!("phase1: missing --test");
+            return usage();
+        }
+    };
+    if agents.len() == 1 && tests.len() == 1 {
+        // Single combination: `--jobs` parallelizes *within* the
+        // exploration; `--out` is the artifact path.
+        let soft = Soft::new().with_jobs(jobs);
+        let (agent, test) = (agents[0], &tests[0]);
+        eprintln!("symbolically executing {} on '{}' ...", agent.id(), test.id);
+        let artifact = soft.phase1_artifact(agent, test);
+        eprintln!(
+            "  {} paths, instruction coverage {:.1}%, wall {} ms",
+            artifact.paths.len(),
+            artifact.instruction_pct,
+            artifact.wall_ms
+        );
+        if let Err(e) = std::fs::write(&out, artifact.to_json()) {
+            eprintln!("phase1: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{out}");
+        return ExitCode::SUCCESS;
     }
-    println!("{out}");
+    // Matrix mode (`--agent all` and/or `--test all`): `--jobs` fans out
+    // across the agent x test combinations and `--out` is a file prefix;
+    // one artifact `<out><agent>_<test>.json` is written per combination.
+    eprintln!(
+        "symbolically executing {} agent(s) x {} test(s) with {jobs} job(s) ...",
+        agents.len(),
+        tests.len()
+    );
+    let runs = run_matrix(&agents, &tests, &soft::sym::ExplorerConfig::default(), jobs);
+    for run in &runs {
+        let artifact = TestRunFile::from_run(run);
+        let path = format!("{out}{}_{}.json", run.agent, run.test);
+        if let Err(e) = std::fs::write(&path, artifact.to_json()) {
+            eprintln!("phase1: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -104,6 +172,7 @@ fn load_artifact(path: &str) -> Result<TestRunFile, String> {
 fn crosscheck_artifacts(
     a_path: &str,
     b_path: &str,
+    jobs: usize,
 ) -> Result<(soft::core::CrosscheckResult, TestRunFile, TestRunFile), String> {
     let fa = load_artifact(a_path)?;
     let fb = load_artifact(b_path)?;
@@ -113,18 +182,43 @@ fn crosscheck_artifacts(
             fa.test, fb.test
         ));
     }
-    let soft = Soft::new();
+    let soft = Soft::new().with_jobs(jobs);
     let ga = soft.group_artifact(&fa)?;
     let gb = soft.group_artifact(&fb)?;
     Ok((soft.phase2(&ga, &gb), fa, fb))
 }
 
+/// Collect non-flag arguments, skipping the values of flags that take one.
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" || args[i] == "--agent" || args[i] == "--test" || args[i] == "--out"
+        {
+            i += 2; // flag + value
+        } else if args[i].starts_with("--") {
+            i += 1; // bare flag (e.g. --replay)
+        } else {
+            out.push(&args[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let jobs = match jobs_flag(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return usage();
+        }
+    };
+    let paths = positional(args);
     if paths.len() != 2 {
         return usage();
     }
-    match crosscheck_artifacts(paths[0], paths[1]) {
+    match crosscheck_artifacts(paths[0], paths[1], jobs) {
         Ok((result, fa, fb)) => {
             println!(
                 "{} vs {} on '{}': {} queries, {} inconsistencies",
@@ -149,12 +243,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let paths = positional(args);
     if paths.len() != 2 {
         return usage();
     }
     let do_replay = args.iter().any(|a| a == "--replay");
-    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1]) {
+    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1], 1) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("report: {e}");
@@ -204,7 +298,7 @@ fn cmd_report(args: &[String]) -> ExitCode {
 }
 
 fn cmd_regress(args: &[String]) -> ExitCode {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let paths = positional(args);
     if paths.len() != 2 {
         return usage();
     }
@@ -227,8 +321,11 @@ fn cmd_regress(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report =
-        soft::core::regression::regression_check(&ga, &gb, &soft::core::CrosscheckConfig::default());
+    let report = soft::core::regression::regression_check(
+        &ga,
+        &gb,
+        &soft::core::CrosscheckConfig::default(),
+    );
     println!(
         "baseline {} vs candidate {} on '{}': +{} output classes, -{} classes, {} shifted subspaces",
         fa.agent,

@@ -81,6 +81,7 @@ fn solver_budget_degrades_to_unknown_not_wrong() {
         &gb,
         &CrosscheckConfig {
             solver_max_conflicts: Some(1),
+            ..Default::default()
         },
     );
     for inc in &starved.inconsistencies {
