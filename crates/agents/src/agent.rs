@@ -51,6 +51,11 @@ pub enum AgentKind {
     /// The Reference Switch with 7 manually injected behaviour changes
     /// (§5.1.1).
     Modified,
+    /// The Reference Switch with one injected Rust panic on the unbuffered
+    /// Packet Out branch — a fault-injection subject for the failure
+    /// containment tests, not one of the paper's evaluation subjects (and
+    /// therefore not part of [`AgentKind::all`]).
+    Panicky,
 }
 
 impl AgentKind {
@@ -60,6 +65,7 @@ impl AgentKind {
             AgentKind::Reference => Box::new(crate::reference::ReferenceSwitch::new()),
             AgentKind::OpenVSwitch => Box::new(crate::ovs::OpenVSwitch::new()),
             AgentKind::Modified => Box::new(crate::modified::modified_switch()),
+            AgentKind::Panicky => Box::new(crate::modified::panicky_switch()),
         }
     }
 
@@ -69,10 +75,12 @@ impl AgentKind {
             AgentKind::Reference => "reference",
             AgentKind::OpenVSwitch => "ovs",
             AgentKind::Modified => "modified",
+            AgentKind::Panicky => "panicky",
         }
     }
 
-    /// All agent kinds.
+    /// The paper's three evaluation subjects (excludes the fault-injection
+    /// [`AgentKind::Panicky`] agent).
     pub fn all() -> [AgentKind; 3] {
         [
             AgentKind::Reference,

@@ -102,10 +102,7 @@ impl Default for SwitchConfig {
     fn default() -> Self {
         SwitchConfig {
             flags: Term::bv_const(16, 0),
-            miss_send_len: Term::bv_const(
-                16,
-                soft_openflow::consts::DEFAULT_MISS_SEND_LEN as u64,
-            ),
+            miss_send_len: Term::bv_const(16, soft_openflow::consts::DEFAULT_MISS_SEND_LEN as u64),
         }
     }
 }
@@ -147,12 +144,7 @@ pub fn classify_packet(
         return Ok(Packet::with_framing(pkt.buf.clone(), true, false, false));
     }
     let ip_ok = pkt.buf.len() >= 14 + 24;
-    if ip_ok
-        && ctx.branch(
-            "extract.ip",
-            &et.eq(Term::bv_const(16, ETH_TYPE_IP as u64)),
-        )?
-    {
+    if ip_ok && ctx.branch("extract.ip", &et.eq(Term::bv_const(16, ETH_TYPE_IP as u64)))? {
         ctx.cover("extract.ip");
         return Ok(Packet::with_framing(pkt.buf.clone(), false, true, true));
     }

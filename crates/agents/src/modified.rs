@@ -14,6 +14,19 @@ pub fn modified_switch() -> ReferenceSwitch {
     ReferenceSwitch::with_mutations(Mutations::all_injected())
 }
 
+/// The reference switch with a single injected Rust *panic* on the
+/// unbuffered branch of the Packet Out handler — a fault-injection
+/// subject for SOFT's failure containment: one branch of one symbolic
+/// path unwinds instead of returning, and the engine must record a crash
+/// output and finish the exploration (deterministically, at any worker
+/// count) rather than aborting.
+pub fn panicky_switch() -> ReferenceSwitch {
+    ReferenceSwitch::with_mutations(Mutations {
+        panic_on_unbuffered_packet_out: true,
+        ..Mutations::default()
+    })
+}
+
 /// How many of the injected modifications SOFT can observe at the OpenFlow
 /// interface (used by the `injected_faults` example and its tests).
 pub const DETECTABLE_MUTATIONS: usize = 5;

@@ -25,9 +25,8 @@ use crate::agent::OpenFlowAgent;
 use crate::common::{emit_error, fork_truncation, ActionSlot, AgentResult, Ctx, SwitchConfig};
 use soft_dataplane::{FlowEntry, MatchFields, Packet};
 use soft_openflow::consts::{
-    action as act, bad_action, bad_request, config_flags, error_type, flow_mod_cmd,
-    flow_mod_flags, msg_type, port as ofpp, queue_op_failed, stats_type, wildcards, NO_BUFFER,
-    OFP_VERSION,
+    action as act, bad_action, bad_request, config_flags, error_type, flow_mod_cmd, flow_mod_flags,
+    msg_type, port as ofpp, queue_op_failed, stats_type, wildcards, NO_BUFFER, OFP_VERSION,
 };
 use soft_openflow::layout;
 use soft_openflow::TraceEvent;
@@ -118,7 +117,12 @@ impl OpenVSwitch {
         )? {
             // Unlike the reference switch, the error reaches the wire.
             ctx.cover("packet_out.buffer_unknown_error");
-            emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BUFFER_UNKNOWN);
+            emit_error(
+                ctx,
+                xid,
+                error_type::BAD_REQUEST,
+                bad_request::BUFFER_UNKNOWN,
+            );
             return Ok(());
         }
         ctx.cover("packet_out.unbuffered");
@@ -186,7 +190,10 @@ impl OpenVSwitch {
                 // traditional forwarding path.
                 continue;
             }
-            if ctx.branch("val.set_vlan_vid", &at.clone().eq(Self::c16(act::SET_VLAN_VID)))? {
+            if ctx.branch(
+                "val.set_vlan_vid",
+                &at.clone().eq(Self::c16(act::SET_VLAN_VID)),
+            )? {
                 ctx.cover("val.set_vlan_vid");
                 // Strict 12-bit validation; failure drops the message.
                 if ctx.branch(
@@ -198,7 +205,10 @@ impl OpenVSwitch {
                 }
                 continue;
             }
-            if ctx.branch("val.set_vlan_pcp", &at.clone().eq(Self::c16(act::SET_VLAN_PCP)))? {
+            if ctx.branch(
+                "val.set_vlan_pcp",
+                &at.clone().eq(Self::c16(act::SET_VLAN_PCP)),
+            )? {
                 ctx.cover("val.set_vlan_pcp");
                 // "the vlan_pcp field undergoes additional validation in
                 // Open vSwitch."
@@ -215,11 +225,21 @@ impl OpenVSwitch {
                 ctx.cover("val.strip_vlan");
                 continue;
             }
-            if ctx.branch("val.set_dl", &at.clone().eq(Self::c16(act::SET_DL_SRC)).or(at.clone().eq(Self::c16(act::SET_DL_DST))))? {
+            if ctx.branch(
+                "val.set_dl",
+                &at.clone()
+                    .eq(Self::c16(act::SET_DL_SRC))
+                    .or(at.clone().eq(Self::c16(act::SET_DL_DST))),
+            )? {
                 ctx.cover("val.set_dl");
                 continue;
             }
-            if ctx.branch("val.set_nw", &at.clone().eq(Self::c16(act::SET_NW_SRC)).or(at.clone().eq(Self::c16(act::SET_NW_DST))))? {
+            if ctx.branch(
+                "val.set_nw",
+                &at.clone()
+                    .eq(Self::c16(act::SET_NW_SRC))
+                    .or(at.clone().eq(Self::c16(act::SET_NW_DST))),
+            )? {
                 ctx.cover("val.set_nw");
                 continue;
             }
@@ -237,13 +257,21 @@ impl OpenVSwitch {
                 }
                 continue;
             }
-            if ctx.branch("val.set_tp", &at.clone().eq(Self::c16(act::SET_TP_SRC)).or(at.clone().eq(Self::c16(act::SET_TP_DST))))? {
+            if ctx.branch(
+                "val.set_tp",
+                &at.clone()
+                    .eq(Self::c16(act::SET_TP_SRC))
+                    .or(at.clone().eq(Self::c16(act::SET_TP_DST))),
+            )? {
                 ctx.cover("val.set_tp");
                 continue;
             }
             if ctx.branch("val.enqueue", &at.clone().eq(Self::c16(act::ENQUEUE)))? {
                 ctx.cover("val.enqueue_bad_len");
-                return Ok(Validation::Error(error_type::BAD_ACTION, bad_action::BAD_LEN));
+                return Ok(Validation::Error(
+                    error_type::BAD_ACTION,
+                    bad_action::BAD_LEN,
+                ));
             }
             if ctx.branch("val.vendor", &at.clone().eq(Self::c16(act::VENDOR)))? {
                 ctx.cover("val.vendor");
@@ -253,7 +281,10 @@ impl OpenVSwitch {
                 ));
             }
             ctx.cover("val.unknown_type");
-            return Ok(Validation::Error(error_type::BAD_ACTION, bad_action::BAD_TYPE));
+            return Ok(Validation::Error(
+                error_type::BAD_ACTION,
+                bad_action::BAD_TYPE,
+            ));
         }
         Ok(Validation::Ok)
     }
@@ -278,53 +309,83 @@ impl OpenVSwitch {
                 self.exec_output(ctx, &slot, pkt, in_port, origin)?;
                 continue;
             }
-            if ctx.branch("exec.set_vlan_vid", &at.clone().eq(Self::c16(act::SET_VLAN_VID)))? {
+            if ctx.branch(
+                "exec.set_vlan_vid",
+                &at.clone().eq(Self::c16(act::SET_VLAN_VID)),
+            )? {
                 // Validated to fit 12 bits; applied as-is, no crash.
                 ctx.cover("exec.set_vlan_vid");
                 pkt.set_vlan_vid(&slot.vlan_vid(), false);
                 continue;
             }
-            if ctx.branch("exec.set_vlan_pcp", &at.clone().eq(Self::c16(act::SET_VLAN_PCP)))? {
+            if ctx.branch(
+                "exec.set_vlan_pcp",
+                &at.clone().eq(Self::c16(act::SET_VLAN_PCP)),
+            )? {
                 ctx.cover("exec.set_vlan_pcp");
                 pkt.set_vlan_pcp(&slot.vlan_pcp(), false);
                 continue;
             }
-            if ctx.branch("exec.strip_vlan", &at.clone().eq(Self::c16(act::STRIP_VLAN)))? {
+            if ctx.branch(
+                "exec.strip_vlan",
+                &at.clone().eq(Self::c16(act::STRIP_VLAN)),
+            )? {
                 ctx.cover("exec.strip_vlan");
                 pkt.strip_vlan();
                 continue;
             }
-            if ctx.branch("exec.set_dl_src", &at.clone().eq(Self::c16(act::SET_DL_SRC)))? {
+            if ctx.branch(
+                "exec.set_dl_src",
+                &at.clone().eq(Self::c16(act::SET_DL_SRC)),
+            )? {
                 ctx.cover("exec.set_dl_src");
                 pkt.set_dl_src(&slot.dl_addr());
                 continue;
             }
-            if ctx.branch("exec.set_dl_dst", &at.clone().eq(Self::c16(act::SET_DL_DST)))? {
+            if ctx.branch(
+                "exec.set_dl_dst",
+                &at.clone().eq(Self::c16(act::SET_DL_DST)),
+            )? {
                 ctx.cover("exec.set_dl_dst");
                 pkt.set_dl_dst(&slot.dl_addr());
                 continue;
             }
-            if ctx.branch("exec.set_nw_src", &at.clone().eq(Self::c16(act::SET_NW_SRC)))? {
+            if ctx.branch(
+                "exec.set_nw_src",
+                &at.clone().eq(Self::c16(act::SET_NW_SRC)),
+            )? {
                 ctx.cover("exec.set_nw_src");
                 pkt.set_nw_src(&slot.nw_addr());
                 continue;
             }
-            if ctx.branch("exec.set_nw_dst", &at.clone().eq(Self::c16(act::SET_NW_DST)))? {
+            if ctx.branch(
+                "exec.set_nw_dst",
+                &at.clone().eq(Self::c16(act::SET_NW_DST)),
+            )? {
                 ctx.cover("exec.set_nw_dst");
                 pkt.set_nw_dst(&slot.nw_addr());
                 continue;
             }
-            if ctx.branch("exec.set_nw_tos", &at.clone().eq(Self::c16(act::SET_NW_TOS)))? {
+            if ctx.branch(
+                "exec.set_nw_tos",
+                &at.clone().eq(Self::c16(act::SET_NW_TOS)),
+            )? {
                 ctx.cover("exec.set_nw_tos");
                 pkt.set_nw_tos(&slot.nw_tos(), false);
                 continue;
             }
-            if ctx.branch("exec.set_tp_src", &at.clone().eq(Self::c16(act::SET_TP_SRC)))? {
+            if ctx.branch(
+                "exec.set_tp_src",
+                &at.clone().eq(Self::c16(act::SET_TP_SRC)),
+            )? {
                 ctx.cover("exec.set_tp_src");
                 pkt.set_tp_src(&slot.tp_port());
                 continue;
             }
-            if ctx.branch("exec.set_tp_dst", &at.clone().eq(Self::c16(act::SET_TP_DST)))? {
+            if ctx.branch(
+                "exec.set_tp_dst",
+                &at.clone().eq(Self::c16(act::SET_TP_DST)),
+            )? {
                 ctx.cover("exec.set_tp_dst");
                 pkt.set_tp_dst(&slot.tp_port());
                 continue;
@@ -382,7 +443,10 @@ impl OpenVSwitch {
             });
             return Ok(());
         }
-        if ctx.branch("out.controller", &p.clone().eq(Self::c16(ofpp::OFPP_CONTROLLER)))? {
+        if ctx.branch(
+            "out.controller",
+            &p.clone().eq(Self::c16(ofpp::OFPP_CONTROLLER)),
+        )? {
             // No crash here: OVS encapsulates and forwards to the
             // controller from both paths.
             ctx.cover("out.controller");
@@ -426,7 +490,12 @@ impl OpenVSwitch {
         Ok(())
     }
 
-    fn lookup_and_forward(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, in_port: &Term) -> AgentResult {
+    fn lookup_and_forward(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pkt: &Packet,
+        in_port: &Term,
+    ) -> AgentResult {
         ctx.cover("lookup.entry");
         let mut best: Option<usize> = None;
         let table = self.flow_table.clone();
@@ -461,7 +530,15 @@ impl OpenVSwitch {
                 let entry = table[idx].clone();
                 let n = entry.actions.len() / layout::action::BASE_SIZE;
                 let mut p = pkt.clone();
-                self.execute_actions(ctx, &entry.actions, 0, n, &mut p, in_port, ExecOrigin::Probe)
+                self.execute_actions(
+                    ctx,
+                    &entry.actions,
+                    0,
+                    n,
+                    &mut p,
+                    in_port,
+                    ExecOrigin::Probe,
+                )
             }
             None => {
                 ctx.cover("lookup.miss");
@@ -498,7 +575,10 @@ impl OpenVSwitch {
         let mut mf = MatchFields::parse(msg, layout::flow_mod::MATCH);
         self.normalize_match(ctx, &mut mf)?;
         let cmd = msg.u16(layout::flow_mod::COMMAND);
-        if ctx.branch("flow_mod.cmd_add", &cmd.clone().eq(Self::c16(flow_mod_cmd::ADD)))? {
+        if ctx.branch(
+            "flow_mod.cmd_add",
+            &cmd.clone().eq(Self::c16(flow_mod_cmd::ADD)),
+        )? {
             ctx.cover("flow_mod.add");
             return self.flow_add(ctx, msg, xid, mf);
         }
@@ -537,7 +617,10 @@ impl OpenVSwitch {
     /// than the reference switch (Table 2).
     fn normalize_match(&mut self, ctx: &mut Ctx<'_>, mf: &mut MatchFields) -> AgentResult {
         // VLAN handling: a wildcarded dl_vlan makes the pcp irrelevant.
-        if ctx.branch("norm.vlan_wc", &mf.wc_bit(soft_openflow::consts::wildcards::DL_VLAN))? {
+        if ctx.branch(
+            "norm.vlan_wc",
+            &mf.wc_bit(soft_openflow::consts::wildcards::DL_VLAN),
+        )? {
             ctx.cover("norm.vlan_wildcarded");
             mf.dl_vlan_pcp = Term::bv_const(8, 0);
         } else {
@@ -551,9 +634,10 @@ impl OpenVSwitch {
             ctx.cover("norm.dl_type_wildcarded");
         } else if ctx.branch(
             "norm.dl_type_ip",
-            &mf.dl_type
-                .clone()
-                .eq(Term::bv_const(16, soft_dataplane::packet::ETH_TYPE_IP as u64)),
+            &mf.dl_type.clone().eq(Term::bv_const(
+                16,
+                soft_dataplane::packet::ETH_TYPE_IP as u64,
+            )),
         )? {
             ctx.cover("norm.dl_type_ip");
         } else {
@@ -585,7 +669,13 @@ impl OpenVSwitch {
         }
     }
 
-    fn flow_add(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf, xid: Term, mf: MatchFields) -> AgentResult {
+    fn flow_add(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &SymBuf,
+        xid: Term,
+        mf: MatchFields,
+    ) -> AgentResult {
         let n = (msg.len() - layout::flow_mod::ACTIONS) / layout::action::BASE_SIZE;
         match self.validate_actions(ctx, msg, layout::flow_mod::ACTIONS, n)? {
             Validation::Error(t, c) => {
@@ -653,7 +743,12 @@ impl OpenVSwitch {
             &buffer_id.eq(Term::bv_const(32, NO_BUFFER as u64)),
         )? {
             ctx.cover("flow_mod.buffer_unknown_error");
-            emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BUFFER_UNKNOWN);
+            emit_error(
+                ctx,
+                xid,
+                error_type::BAD_REQUEST,
+                bad_request::BUFFER_UNKNOWN,
+            );
         }
         Ok(())
     }
@@ -688,7 +783,13 @@ impl OpenVSwitch {
             .and(a.dl_type.clone().eq(b.dl_type.clone()))
     }
 
-    fn flow_modify(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf, xid: Term, mf: MatchFields) -> AgentResult {
+    fn flow_modify(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &SymBuf,
+        xid: Term,
+        mf: MatchFields,
+    ) -> AgentResult {
         let n = (msg.len() - layout::flow_mod::ACTIONS) / layout::action::BASE_SIZE;
         match self.validate_actions(ctx, msg, layout::flow_mod::ACTIONS, n)? {
             Validation::Error(t, c) => {
@@ -824,9 +925,15 @@ impl OpenVSwitch {
         }
         let flags = msg.u16(layout::switch_config::FLAGS);
         let frag = flags.clone().bvand(Self::c16(config_flags::FRAG_MASK));
-        if ctx.branch("set_config.frag_normal", &frag.clone().eq(Self::c16(config_flags::FRAG_NORMAL)))? {
+        if ctx.branch(
+            "set_config.frag_normal",
+            &frag.clone().eq(Self::c16(config_flags::FRAG_NORMAL)),
+        )? {
             ctx.cover("set_config.frag_normal");
-        } else if ctx.branch("set_config.frag_drop", &frag.clone().eq(Self::c16(config_flags::FRAG_DROP)))? {
+        } else if ctx.branch(
+            "set_config.frag_drop",
+            &frag.clone().eq(Self::c16(config_flags::FRAG_DROP)),
+        )? {
             ctx.cover("set_config.frag_drop");
         } else {
             ctx.cover("set_config.frag_reasm");
@@ -848,27 +955,32 @@ impl OpenVSwitch {
         let reply = |ctx: &mut Ctx<'_>, st: u16, body: SymBuf| {
             ctx.emit(TraceEvent::OfReply {
                 msg_type: msg_type::STATS_REPLY,
-                fields: vec![
-                    ("xid", xid.clone()),
-                    ("stats_type", Self::c16(st)),
-                ],
+                fields: vec![("xid", xid.clone()), ("stats_type", Self::c16(st))],
                 body,
             });
         };
         if ctx.branch("stats.desc", &stype.clone().eq(Self::c16(stats_type::DESC)))? {
             ctx.cover("stats.desc");
-            reply(ctx, stats_type::DESC, SymBuf::concrete(b"Open vSwitch 1.0.0"));
+            reply(
+                ctx,
+                stats_type::DESC,
+                SymBuf::concrete(b"Open vSwitch 1.0.0"),
+            );
             return Ok(());
         }
         if ctx.branch("stats.flow", &stype.clone().eq(Self::c16(stats_type::FLOW)))? {
             ctx.cover("stats.flow");
-            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE {
+            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE
+            {
                 ctx.cover("stats.flow_bad_len");
                 emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_LEN);
                 return Ok(());
             }
             let tid = msg.u8(layout::stats_request::FLOW_TABLE_ID);
-            if ctx.branch("stats.flow_all_tables", &tid.clone().eq(Term::bv_const(8, 0xff)))? {
+            if ctx.branch(
+                "stats.flow_all_tables",
+                &tid.clone().eq(Term::bv_const(8, 0xff)),
+            )? {
                 ctx.cover("stats.flow_all_tables");
             } else if ctx.branch("stats.flow_table0", &tid.eq(Term::bv_const(8, 0)))? {
                 ctx.cover("stats.flow_table0");
@@ -886,9 +998,13 @@ impl OpenVSwitch {
             reply(ctx, stats_type::FLOW, body);
             return Ok(());
         }
-        if ctx.branch("stats.aggregate", &stype.clone().eq(Self::c16(stats_type::AGGREGATE)))? {
+        if ctx.branch(
+            "stats.aggregate",
+            &stype.clone().eq(Self::c16(stats_type::AGGREGATE)),
+        )? {
             ctx.cover("stats.aggregate");
-            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE {
+            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE
+            {
                 ctx.cover("stats.aggregate_bad_len");
                 emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_LEN);
                 return Ok(());
@@ -897,7 +1013,10 @@ impl OpenVSwitch {
             reply(ctx, stats_type::AGGREGATE, SymBuf::concrete(&[0, 0, 0, n]));
             return Ok(());
         }
-        if ctx.branch("stats.table", &stype.clone().eq(Self::c16(stats_type::TABLE)))? {
+        if ctx.branch(
+            "stats.table",
+            &stype.clone().eq(Self::c16(stats_type::TABLE)),
+        )? {
             ctx.cover("stats.table");
             reply(ctx, stats_type::TABLE, SymBuf::concrete(b"classifier"));
             return Ok(());
@@ -905,7 +1024,10 @@ impl OpenVSwitch {
         if ctx.branch("stats.port", &stype.clone().eq(Self::c16(stats_type::PORT)))? {
             ctx.cover("stats.port");
             let port_no = msg.u16(layout::stats_request::BODY);
-            if ctx.branch("stats.port_all", &port_no.clone().eq(Self::c16(ofpp::OFPP_NONE)))? {
+            if ctx.branch(
+                "stats.port_all",
+                &port_no.clone().eq(Self::c16(ofpp::OFPP_NONE)),
+            )? {
                 ctx.cover("stats.port_all");
                 reply(ctx, stats_type::PORT, SymBuf::concrete(&[4]));
                 return Ok(());
@@ -924,12 +1046,18 @@ impl OpenVSwitch {
             reply(ctx, stats_type::PORT, SymBuf::empty());
             return Ok(());
         }
-        if ctx.branch("stats.queue", &stype.clone().eq(Self::c16(stats_type::QUEUE)))? {
+        if ctx.branch(
+            "stats.queue",
+            &stype.clone().eq(Self::c16(stats_type::QUEUE)),
+        )? {
             ctx.cover("stats.queue");
             reply(ctx, stats_type::QUEUE, SymBuf::empty());
             return Ok(());
         }
-        if ctx.branch("stats.vendor", &stype.clone().eq(Self::c16(stats_type::VENDOR)))? {
+        if ctx.branch(
+            "stats.vendor",
+            &stype.clone().eq(Self::c16(stats_type::VENDOR)),
+        )? {
             // OVS answers: vendor stats unsupported -> explicit error.
             ctx.cover("stats.vendor_error");
             emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_VENDOR);
@@ -962,7 +1090,10 @@ impl OpenVSwitch {
             );
             return Ok(());
         }
-        if ctx.branch("queue_cfg.port_special", &port.clone().uge(Self::c16(ofpp::OFPP_MAX)))? {
+        if ctx.branch(
+            "queue_cfg.port_special",
+            &port.clone().uge(Self::c16(ofpp::OFPP_MAX)),
+        )? {
             ctx.cover("queue_cfg.bad_port");
             emit_error(
                 ctx,
@@ -1038,7 +1169,10 @@ impl OpenFlowAgent for OpenVSwitch {
         ctx.cover("rx.message");
         let ver = msg.u8(layout::header::VERSION);
         let xid = msg.u32(layout::header::XID);
-        if !ctx.branch("hdr.version_ok", &ver.eq(Term::bv_const(8, OFP_VERSION as u64)))? {
+        if !ctx.branch(
+            "hdr.version_ok",
+            &ver.eq(Term::bv_const(8, OFP_VERSION as u64)),
+        )? {
             ctx.cover("hdr.bad_version");
             emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_VERSION);
             return Ok(());
@@ -1049,7 +1183,10 @@ impl OpenFlowAgent for OpenVSwitch {
             emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_LEN);
             return Ok(());
         }
-        if !ctx.branch("hdr.len_matches", &len_field.eq(Self::c16(msg.len() as u16)))? {
+        if !ctx.branch(
+            "hdr.len_matches",
+            &len_field.eq(Self::c16(msg.len() as u16)),
+        )? {
             ctx.cover("hdr.incomplete_frame");
             return Ok(());
         }
@@ -1116,7 +1253,10 @@ impl OpenFlowAgent for OpenVSwitch {
             });
             return Ok(());
         }
-        if ctx.branch("dispatch.queue_config", &is(msg_type::QUEUE_GET_CONFIG_REQUEST))? {
+        if ctx.branch(
+            "dispatch.queue_config",
+            &is(msg_type::QUEUE_GET_CONFIG_REQUEST),
+        )? {
             return self.handle_queue_config(ctx, msg, xid);
         }
         if ctx.branch("dispatch.port_mod", &is(msg_type::PORT_MOD))? {

@@ -25,9 +25,8 @@ use crate::agent::OpenFlowAgent;
 use crate::common::{emit_error, fork_truncation, ActionSlot, AgentResult, Ctx, SwitchConfig};
 use soft_dataplane::{FlowEntry, MatchFields, Packet};
 use soft_openflow::consts::{
-    action as act, bad_action, bad_request, config_flags, error_type, flow_mod_cmd,
-    flow_mod_flags, msg_type, port as ofpp, queue_op_failed, stats_type, wildcards, NO_BUFFER,
-    OFP_VERSION,
+    action as act, bad_action, bad_request, config_flags, error_type, flow_mod_cmd, flow_mod_flags,
+    msg_type, port as ofpp, queue_op_failed, stats_type, wildcards, NO_BUFFER, OFP_VERSION,
 };
 use soft_openflow::layout;
 use soft_openflow::TraceEvent;
@@ -56,6 +55,13 @@ pub struct Mutations {
     pub ignore_table_stats: bool,
     /// M7 — a MODIFY that matches nothing does *not* fall back to ADD.
     pub modify_without_add: bool,
+    /// Fault injection for the failure-containment tests (not one of the
+    /// §5.1.1 modifications): `panic!` on the unbuffered branch of Packet
+    /// Out, modeling an agent bug that unwinds in Rust instead of
+    /// returning [`Stop::Crash`]. Exactly one branch of one symbolic path
+    /// blows up; the engine must record it as a crash output and keep
+    /// exploring.
+    pub panic_on_unbuffered_packet_out: bool,
 }
 
 impl Mutations {
@@ -69,6 +75,7 @@ impl Mutations {
             unknown_action_bad_len: true,
             ignore_table_stats: true,
             modify_without_add: true,
+            panic_on_unbuffered_packet_out: false,
         }
     }
 }
@@ -162,6 +169,9 @@ impl ReferenceSwitch {
             return Ok(());
         }
         ctx.cover("packet_out.unbuffered");
+        if self.muts.panic_on_unbuffered_packet_out {
+            panic!("injected fault: unbuffered Packet Out");
+        }
 
         match self.validate_actions(ctx, msg, layout::packet_out::ACTIONS, n_actions, None)? {
             Validation::Error(t, c) => {
@@ -222,7 +232,10 @@ impl ReferenceSwitch {
                 }
                 // Purely an OpenFlow switch: the traditional forwarding
                 // path is not implemented (§5.1.2 "Missing features").
-                if ctx.branch("val.port_normal", &p.clone().eq(Self::c16(ofpp::OFPP_NORMAL)))? {
+                if ctx.branch(
+                    "val.port_normal",
+                    &p.clone().eq(Self::c16(ofpp::OFPP_NORMAL)),
+                )? {
                     ctx.cover("val.port_normal_unsupported");
                     return Ok(Validation::Error(
                         error_type::BAD_ACTION,
@@ -231,7 +244,10 @@ impl ReferenceSwitch {
                 }
                 if let Some(mf) = flow_ctx {
                     // OFPP_TABLE is only legal in Packet Out messages.
-                    if ctx.branch("val.port_table_in_flow", &p.clone().eq(Self::c16(ofpp::OFPP_TABLE)))? {
+                    if ctx.branch(
+                        "val.port_table_in_flow",
+                        &p.clone().eq(Self::c16(ofpp::OFPP_TABLE)),
+                    )? {
                         ctx.cover("val.port_table_in_flow");
                         return Ok(Validation::Error(
                             error_type::BAD_ACTION,
@@ -275,11 +291,17 @@ impl ReferenceSwitch {
             // Reference Switch "does not validate values of the
             // aforementioned fields, but automatically modifies them to fit
             // the expected format."
-            if ctx.branch("val.set_vlan_vid", &at.clone().eq(Self::c16(act::SET_VLAN_VID)))? {
+            if ctx.branch(
+                "val.set_vlan_vid",
+                &at.clone().eq(Self::c16(act::SET_VLAN_VID)),
+            )? {
                 ctx.cover("val.set_vlan_vid");
                 continue;
             }
-            if ctx.branch("val.set_vlan_pcp", &at.clone().eq(Self::c16(act::SET_VLAN_PCP)))? {
+            if ctx.branch(
+                "val.set_vlan_pcp",
+                &at.clone().eq(Self::c16(act::SET_VLAN_PCP)),
+            )? {
                 ctx.cover("val.set_vlan_pcp");
                 continue;
             }
@@ -287,11 +309,21 @@ impl ReferenceSwitch {
                 ctx.cover("val.strip_vlan");
                 continue;
             }
-            if ctx.branch("val.set_dl", &at.clone().eq(Self::c16(act::SET_DL_SRC)).or(at.clone().eq(Self::c16(act::SET_DL_DST))))? {
+            if ctx.branch(
+                "val.set_dl",
+                &at.clone()
+                    .eq(Self::c16(act::SET_DL_SRC))
+                    .or(at.clone().eq(Self::c16(act::SET_DL_DST))),
+            )? {
                 ctx.cover("val.set_dl");
                 continue;
             }
-            if ctx.branch("val.set_nw", &at.clone().eq(Self::c16(act::SET_NW_SRC)).or(at.clone().eq(Self::c16(act::SET_NW_DST))))? {
+            if ctx.branch(
+                "val.set_nw",
+                &at.clone()
+                    .eq(Self::c16(act::SET_NW_SRC))
+                    .or(at.clone().eq(Self::c16(act::SET_NW_DST))),
+            )? {
                 ctx.cover("val.set_nw");
                 continue;
             }
@@ -299,7 +331,12 @@ impl ReferenceSwitch {
                 ctx.cover("val.set_nw_tos");
                 continue;
             }
-            if ctx.branch("val.set_tp", &at.clone().eq(Self::c16(act::SET_TP_SRC)).or(at.clone().eq(Self::c16(act::SET_TP_DST))))? {
+            if ctx.branch(
+                "val.set_tp",
+                &at.clone()
+                    .eq(Self::c16(act::SET_TP_SRC))
+                    .or(at.clone().eq(Self::c16(act::SET_TP_DST))),
+            )? {
                 ctx.cover("val.set_tp");
                 continue;
             }
@@ -307,7 +344,10 @@ impl ReferenceSwitch {
                 // An enqueue action needs a 16-byte body; our 8-byte slot
                 // has the wrong length.
                 ctx.cover("val.enqueue_bad_len");
-                return Ok(Validation::Error(error_type::BAD_ACTION, bad_action::BAD_LEN));
+                return Ok(Validation::Error(
+                    error_type::BAD_ACTION,
+                    bad_action::BAD_LEN,
+                ));
             }
             if ctx.branch("val.vendor", &at.clone().eq(Self::c16(act::VENDOR)))? {
                 ctx.cover("val.vendor");
@@ -347,7 +387,10 @@ impl ReferenceSwitch {
                 self.exec_output(ctx, &slot, pkt, in_port, origin)?;
                 continue;
             }
-            if ctx.branch("exec.set_vlan_vid", &at.clone().eq(Self::c16(act::SET_VLAN_VID)))? {
+            if ctx.branch(
+                "exec.set_vlan_vid",
+                &at.clone().eq(Self::c16(act::SET_VLAN_VID)),
+            )? {
                 if origin == ExecOrigin::PacketOut {
                     // Crash #2 of §5.1.2: "when the agent executes an action
                     // setting the vlan field in a Packet Out message ... the
@@ -361,48 +404,75 @@ impl ReferenceSwitch {
                 pkt.set_vlan_vid(&slot.vlan_vid(), true);
                 continue;
             }
-            if ctx.branch("exec.set_vlan_pcp", &at.clone().eq(Self::c16(act::SET_VLAN_PCP)))? {
+            if ctx.branch(
+                "exec.set_vlan_pcp",
+                &at.clone().eq(Self::c16(act::SET_VLAN_PCP)),
+            )? {
                 ctx.cover("exec.set_vlan_pcp");
                 pkt.set_vlan_pcp(&slot.vlan_pcp(), true);
                 continue;
             }
-            if ctx.branch("exec.strip_vlan", &at.clone().eq(Self::c16(act::STRIP_VLAN)))? {
+            if ctx.branch(
+                "exec.strip_vlan",
+                &at.clone().eq(Self::c16(act::STRIP_VLAN)),
+            )? {
                 ctx.cover("exec.strip_vlan");
                 pkt.strip_vlan();
                 continue;
             }
-            if ctx.branch("exec.set_dl_src", &at.clone().eq(Self::c16(act::SET_DL_SRC)))? {
+            if ctx.branch(
+                "exec.set_dl_src",
+                &at.clone().eq(Self::c16(act::SET_DL_SRC)),
+            )? {
                 ctx.cover("exec.set_dl_src");
                 pkt.set_dl_src(&slot.dl_addr());
                 continue;
             }
-            if ctx.branch("exec.set_dl_dst", &at.clone().eq(Self::c16(act::SET_DL_DST)))? {
+            if ctx.branch(
+                "exec.set_dl_dst",
+                &at.clone().eq(Self::c16(act::SET_DL_DST)),
+            )? {
                 ctx.cover("exec.set_dl_dst");
                 pkt.set_dl_dst(&slot.dl_addr());
                 continue;
             }
-            if ctx.branch("exec.set_nw_src", &at.clone().eq(Self::c16(act::SET_NW_SRC)))? {
+            if ctx.branch(
+                "exec.set_nw_src",
+                &at.clone().eq(Self::c16(act::SET_NW_SRC)),
+            )? {
                 ctx.cover("exec.set_nw_src");
                 pkt.set_nw_src(&slot.nw_addr());
                 continue;
             }
-            if ctx.branch("exec.set_nw_dst", &at.clone().eq(Self::c16(act::SET_NW_DST)))? {
+            if ctx.branch(
+                "exec.set_nw_dst",
+                &at.clone().eq(Self::c16(act::SET_NW_DST)),
+            )? {
                 ctx.cover("exec.set_nw_dst");
                 pkt.set_nw_dst(&slot.nw_addr());
                 continue;
             }
-            if ctx.branch("exec.set_nw_tos", &at.clone().eq(Self::c16(act::SET_NW_TOS)))? {
+            if ctx.branch(
+                "exec.set_nw_tos",
+                &at.clone().eq(Self::c16(act::SET_NW_TOS)),
+            )? {
                 // Auto-masked to the DSCP bits, never validated.
                 ctx.cover("exec.set_nw_tos");
                 pkt.set_nw_tos(&slot.nw_tos(), true);
                 continue;
             }
-            if ctx.branch("exec.set_tp_src", &at.clone().eq(Self::c16(act::SET_TP_SRC)))? {
+            if ctx.branch(
+                "exec.set_tp_src",
+                &at.clone().eq(Self::c16(act::SET_TP_SRC)),
+            )? {
                 ctx.cover("exec.set_tp_src");
                 pkt.set_tp_src(&slot.tp_port());
                 continue;
             }
-            if ctx.branch("exec.set_tp_dst", &at.clone().eq(Self::c16(act::SET_TP_DST)))? {
+            if ctx.branch(
+                "exec.set_tp_dst",
+                &at.clone().eq(Self::c16(act::SET_TP_DST)),
+            )? {
                 ctx.cover("exec.set_tp_dst");
                 pkt.set_tp_dst(&slot.tp_port());
                 continue;
@@ -454,7 +524,10 @@ impl ReferenceSwitch {
             });
             return Ok(());
         }
-        if ctx.branch("out.controller", &p.clone().eq(Self::c16(ofpp::OFPP_CONTROLLER)))? {
+        if ctx.branch(
+            "out.controller",
+            &p.clone().eq(Self::c16(ofpp::OFPP_CONTROLLER)),
+        )? {
             if origin == ExecOrigin::PacketOut {
                 // Crash #1 of §5.1.2: Packet Out with output port
                 // OFPP_CONTROLLER terminates the agent.
@@ -504,7 +577,12 @@ impl ReferenceSwitch {
         Ok(())
     }
 
-    fn lookup_and_forward(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, in_port: &Term) -> AgentResult {
+    fn lookup_and_forward(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pkt: &Packet,
+        in_port: &Term,
+    ) -> AgentResult {
         ctx.cover("lookup.entry");
         let mut best: Option<usize> = None;
         let table = self.flow_table.clone();
@@ -539,7 +617,15 @@ impl ReferenceSwitch {
                 let entry = table[idx].clone();
                 let n = entry.actions.len() / layout::action::BASE_SIZE;
                 let mut p = pkt.clone();
-                self.execute_actions(ctx, &entry.actions, 0, n, &mut p, in_port, ExecOrigin::Probe)
+                self.execute_actions(
+                    ctx,
+                    &entry.actions,
+                    0,
+                    n,
+                    &mut p,
+                    in_port,
+                    ExecOrigin::Probe,
+                )
             }
             None => {
                 ctx.cover("lookup.miss");
@@ -575,7 +661,10 @@ impl ReferenceSwitch {
         }
         let mf = MatchFields::parse(msg, layout::flow_mod::MATCH);
         let cmd = msg.u16(layout::flow_mod::COMMAND);
-        if ctx.branch("flow_mod.cmd_add", &cmd.clone().eq(Self::c16(flow_mod_cmd::ADD)))? {
+        if ctx.branch(
+            "flow_mod.cmd_add",
+            &cmd.clone().eq(Self::c16(flow_mod_cmd::ADD)),
+        )? {
             ctx.cover("flow_mod.add");
             return self.flow_add(ctx, msg, xid, mf);
         }
@@ -624,7 +713,13 @@ impl ReferenceSwitch {
         }
     }
 
-    fn flow_add(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf, xid: Term, mf: MatchFields) -> AgentResult {
+    fn flow_add(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &SymBuf,
+        xid: Term,
+        mf: MatchFields,
+    ) -> AgentResult {
         let n = (msg.len() - layout::flow_mod::ACTIONS) / layout::action::BASE_SIZE;
         match self.validate_actions(ctx, msg, layout::flow_mod::ACTIONS, n, Some(&mf))? {
             Validation::Error(t, c) => {
@@ -736,7 +831,13 @@ impl ReferenceSwitch {
             .and(a.dl_type.clone().eq(b.dl_type.clone()))
     }
 
-    fn flow_modify(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf, xid: Term, mf: MatchFields) -> AgentResult {
+    fn flow_modify(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &SymBuf,
+        xid: Term,
+        mf: MatchFields,
+    ) -> AgentResult {
         let n = (msg.len() - layout::flow_mod::ACTIONS) / layout::action::BASE_SIZE;
         match self.validate_actions(ctx, msg, layout::flow_mod::ACTIONS, n, Some(&mf))? {
             Validation::Error(t, c) => {
@@ -880,9 +981,15 @@ impl ReferenceSwitch {
         }
         let flags = msg.u16(layout::switch_config::FLAGS);
         let frag = flags.clone().bvand(Self::c16(config_flags::FRAG_MASK));
-        if ctx.branch("set_config.frag_normal", &frag.clone().eq(Self::c16(config_flags::FRAG_NORMAL)))? {
+        if ctx.branch(
+            "set_config.frag_normal",
+            &frag.clone().eq(Self::c16(config_flags::FRAG_NORMAL)),
+        )? {
             ctx.cover("set_config.frag_normal");
-        } else if ctx.branch("set_config.frag_drop", &frag.clone().eq(Self::c16(config_flags::FRAG_DROP)))? {
+        } else if ctx.branch(
+            "set_config.frag_drop",
+            &frag.clone().eq(Self::c16(config_flags::FRAG_DROP)),
+        )? {
             ctx.cover("set_config.frag_drop");
         } else {
             ctx.cover("set_config.frag_reasm");
@@ -905,28 +1012,33 @@ impl ReferenceSwitch {
         let reply = |ctx: &mut Ctx<'_>, st: u16, body: SymBuf| {
             ctx.emit(TraceEvent::OfReply {
                 msg_type: msg_type::STATS_REPLY,
-                fields: vec![
-                    ("xid", xid.clone()),
-                    ("stats_type", Self::c16(st)),
-                ],
+                fields: vec![("xid", xid.clone()), ("stats_type", Self::c16(st))],
                 body,
             });
         };
         if ctx.branch("stats.desc", &stype.clone().eq(Self::c16(stats_type::DESC)))? {
             ctx.cover("stats.desc");
-            reply(ctx, stats_type::DESC, SymBuf::concrete(b"OpenFlow reference switch"));
+            reply(
+                ctx,
+                stats_type::DESC,
+                SymBuf::concrete(b"OpenFlow reference switch"),
+            );
             return Ok(());
         }
         if ctx.branch("stats.flow", &stype.clone().eq(Self::c16(stats_type::FLOW)))? {
             ctx.cover("stats.flow");
-            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE {
+            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE
+            {
                 ctx.cover("stats.flow_short_swallowed");
                 return Ok(());
             }
             // Table id selects flow table(s); with an empty table every
             // selection yields an empty body, but the paths differ.
             let tid = msg.u8(layout::stats_request::FLOW_TABLE_ID);
-            if ctx.branch("stats.flow_all_tables", &tid.clone().eq(Term::bv_const(8, 0xff)))? {
+            if ctx.branch(
+                "stats.flow_all_tables",
+                &tid.clone().eq(Term::bv_const(8, 0xff)),
+            )? {
                 ctx.cover("stats.flow_all_tables");
             } else if ctx.branch("stats.flow_table0", &tid.eq(Term::bv_const(8, 0)))? {
                 ctx.cover("stats.flow_table0");
@@ -972,9 +1084,13 @@ impl ReferenceSwitch {
             reply(ctx, stats_type::FLOW, body);
             return Ok(());
         }
-        if ctx.branch("stats.aggregate", &stype.clone().eq(Self::c16(stats_type::AGGREGATE)))? {
+        if ctx.branch(
+            "stats.aggregate",
+            &stype.clone().eq(Self::c16(stats_type::AGGREGATE)),
+        )? {
             ctx.cover("stats.aggregate");
-            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE {
+            if msg.len() < layout::stats_request::FIXED_SIZE + layout::stats_request::FLOW_BODY_SIZE
+            {
                 ctx.cover("stats.aggregate_short_swallowed");
                 return Ok(());
             }
@@ -982,7 +1098,10 @@ impl ReferenceSwitch {
             reply(ctx, stats_type::AGGREGATE, SymBuf::concrete(&[0, 0, 0, n]));
             return Ok(());
         }
-        if ctx.branch("stats.table", &stype.clone().eq(Self::c16(stats_type::TABLE)))? {
+        if ctx.branch(
+            "stats.table",
+            &stype.clone().eq(Self::c16(stats_type::TABLE)),
+        )? {
             if self.muts.ignore_table_stats {
                 // M6: table statistics silently ignored.
                 ctx.cover("stats.mut_table_ignored");
@@ -997,7 +1116,10 @@ impl ReferenceSwitch {
             // Body: ofp_port_stats_request { port_no, pad[6] }. The port
             // lookup walks the port list comparing numbers one by one.
             let port_no = msg.u16(layout::stats_request::BODY);
-            if ctx.branch("stats.port_all", &port_no.clone().eq(Self::c16(ofpp::OFPP_NONE)))? {
+            if ctx.branch(
+                "stats.port_all",
+                &port_no.clone().eq(Self::c16(ofpp::OFPP_NONE)),
+            )? {
                 ctx.cover("stats.port_all");
                 reply(ctx, stats_type::PORT, SymBuf::concrete(&[4])); // 4 ports
                 return Ok(());
@@ -1017,11 +1139,17 @@ impl ReferenceSwitch {
             reply(ctx, stats_type::PORT, SymBuf::empty());
             return Ok(());
         }
-        if ctx.branch("stats.queue", &stype.clone().eq(Self::c16(stats_type::QUEUE)))? {
+        if ctx.branch(
+            "stats.queue",
+            &stype.clone().eq(Self::c16(stats_type::QUEUE)),
+        )? {
             ctx.cover("stats.queue");
             // ofp_queue_stats_request { port_no, pad[2], queue_id }.
             let port_no = msg.u16(layout::stats_request::BODY);
-            if ctx.branch("stats.queue_port_all", &port_no.clone().eq(Self::c16(0xfffc)))? {
+            if ctx.branch(
+                "stats.queue_port_all",
+                &port_no.clone().eq(Self::c16(0xfffc)),
+            )? {
                 ctx.cover("stats.queue_all_ports");
             } else {
                 for pn in 1u16..=4 {
@@ -1034,7 +1162,10 @@ impl ReferenceSwitch {
             reply(ctx, stats_type::QUEUE, SymBuf::empty());
             return Ok(());
         }
-        if ctx.branch("stats.vendor", &stype.clone().eq(Self::c16(stats_type::VENDOR)))? {
+        if ctx.branch(
+            "stats.vendor",
+            &stype.clone().eq(Self::c16(stats_type::VENDOR)),
+        )? {
             // Handler returns an error that is never propagated (§5.1.2).
             ctx.cover("stats.vendor_swallowed");
             return Ok(());
@@ -1058,7 +1189,10 @@ impl ReferenceSwitch {
                 "reference: memory error on queue config request for port 0",
             ));
         }
-        if ctx.branch("queue_cfg.port_special", &port.clone().uge(Self::c16(ofpp::OFPP_MAX)))? {
+        if ctx.branch(
+            "queue_cfg.port_special",
+            &port.clone().uge(Self::c16(ofpp::OFPP_MAX)),
+        )? {
             ctx.cover("queue_cfg.bad_port");
             emit_error(
                 ctx,
@@ -1122,7 +1256,11 @@ impl OpenFlowAgent for ReferenceSwitch {
         // directions of its loop/retry conditions and one direction of a
         // few checks. (M1's Hello-version quirk lives here, invisible to
         // SOFT because the handshake is already complete and concrete.)
-        let neg_version = if self.muts.hello_version_quirk { 2 } else { OFP_VERSION };
+        let neg_version = if self.muts.hello_version_quirk {
+            2
+        } else {
+            OFP_VERSION
+        };
         let ok = ctx.branch(
             "init.version_negotiated",
             &Term::bv_const(8, neg_version as u64).ule(Term::bv_const(8, OFP_VERSION as u64 + 1)),
@@ -1142,7 +1280,10 @@ impl OpenFlowAgent for ReferenceSwitch {
         ctx.cover("rx.message");
         let ver = msg.u8(layout::header::VERSION);
         let xid = msg.u32(layout::header::XID);
-        if !ctx.branch("hdr.version_ok", &ver.eq(Term::bv_const(8, OFP_VERSION as u64)))? {
+        if !ctx.branch(
+            "hdr.version_ok",
+            &ver.eq(Term::bv_const(8, OFP_VERSION as u64)),
+        )? {
             ctx.cover("hdr.bad_version");
             emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_VERSION);
             return Ok(());
@@ -1153,7 +1294,10 @@ impl OpenFlowAgent for ReferenceSwitch {
             emit_error(ctx, xid, error_type::BAD_REQUEST, bad_request::BAD_LEN);
             return Ok(());
         }
-        if !ctx.branch("hdr.len_matches", &len_field.eq(Self::c16(msg.len() as u16)))? {
+        if !ctx.branch(
+            "hdr.len_matches",
+            &len_field.eq(Self::c16(msg.len() as u16)),
+        )? {
             // Framing mismatch: the connection layer keeps waiting for the
             // rest of the declared frame; nothing observable happens.
             ctx.cover("hdr.incomplete_frame");
@@ -1222,7 +1366,10 @@ impl OpenFlowAgent for ReferenceSwitch {
             });
             return Ok(());
         }
-        if ctx.branch("dispatch.queue_config", &is(msg_type::QUEUE_GET_CONFIG_REQUEST))? {
+        if ctx.branch(
+            "dispatch.queue_config",
+            &is(msg_type::QUEUE_GET_CONFIG_REQUEST),
+        )? {
             return self.handle_queue_config(ctx, msg, xid);
         }
         if ctx.branch("dispatch.port_mod", &is(msg_type::PORT_MOD))? {
@@ -1297,11 +1444,7 @@ const INIT_BRANCHES_BOTH: [&str; 9] = [
 ];
 
 /// Init-time branch sites exercised in one direction only.
-const INIT_BRANCHES_ONE: [&str; 3] = [
-    "init.hello_is_first",
-    "init.socket_ok",
-    "init.table_empty",
-];
+const INIT_BRANCHES_ONE: [&str; 3] = ["init.hello_is_first", "init.socket_ok", "init.table_empty"];
 
 /// Blocks present in the binary but unreachable from OpenFlow processing
 /// (command-line configuration, dead code, cleanup and logging paths) —

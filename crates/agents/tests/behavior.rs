@@ -102,7 +102,11 @@ fn reference_survives_set_vlan_via_flow_mod_probe() {
     });
     let data = tx_data.expect("probe must be forwarded");
     let pkt = Packet::parse(&data).unwrap();
-    assert_eq!(pkt.dl_vlan().as_bv_const(), Some(0x0abc), "vid masked to 12 bits");
+    assert_eq!(
+        pkt.dl_vlan().as_bv_const(),
+        Some(0x0abc),
+        "vid masked to 12 bits"
+    );
 }
 
 #[test]
@@ -140,7 +144,8 @@ fn ovs_silently_drops_bad_tos_and_pcp() {
         let (ev, crashed) = run_concrete(AgentKind::Reference, vec![m], false);
         assert!(!crashed);
         assert!(
-            ev.iter().any(|e| matches!(e, TraceEvent::DataPlaneTx { .. })),
+            ev.iter()
+                .any(|e| matches!(e, TraceEvent::DataPlaneTx { .. })),
             "reference forwards after masking"
         );
     }
@@ -163,7 +168,10 @@ fn max_port_validation_differs() {
     let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
     assert_eq!(
         first_error(&ev),
-        Some((error_type::BAD_ACTION as u64, bad_action::BAD_OUT_PORT as u64)),
+        Some((
+            error_type::BAD_ACTION as u64,
+            bad_action::BAD_OUT_PORT as u64
+        )),
         "ovs validates the maximum port"
     );
 }
@@ -175,10 +183,15 @@ fn normal_port_support_differs() {
     let (ev, _) = run_concrete(AgentKind::Reference, vec![m.clone()], false);
     assert_eq!(
         first_error(&ev),
-        Some((error_type::BAD_ACTION as u64, bad_action::BAD_OUT_PORT as u64))
+        Some((
+            error_type::BAD_ACTION as u64,
+            bad_action::BAD_OUT_PORT as u64
+        ))
     );
     let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
-    assert!(ev.iter().any(|e| matches!(e, TraceEvent::NormalForward { .. })));
+    assert!(ev
+        .iter()
+        .any(|e| matches!(e, TraceEvent::NormalForward { .. })));
 }
 
 #[test]
@@ -192,7 +205,10 @@ fn both_agents_flood_and_all() {
             assert!(
                 ev.iter().any(|e| matches!(
                     e,
-                    TraceEvent::Flood { exclude_ingress: true, .. }
+                    TraceEvent::Flood {
+                        exclude_ingress: true,
+                        ..
+                    }
                 )),
                 "{kind:?} floods excluding ingress for port {special:#x}"
             );
@@ -235,7 +251,10 @@ fn buffer_unknown_handling_differs() {
     let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], false);
     assert_eq!(
         first_error(&ev),
-        Some((error_type::BAD_REQUEST as u64, bad_request::BUFFER_UNKNOWN as u64))
+        Some((
+            error_type::BAD_REQUEST as u64,
+            bad_request::BUFFER_UNKNOWN as u64
+        ))
     );
 }
 
@@ -260,7 +279,10 @@ fn flow_mod_buffer_unknown_still_installs_in_both() {
     let (ev, _) = run_concrete(AgentKind::OpenVSwitch, vec![m], true);
     assert_eq!(
         first_error(&ev),
-        Some((error_type::BAD_REQUEST as u64, bad_request::BUFFER_UNKNOWN as u64))
+        Some((
+            error_type::BAD_REQUEST as u64,
+            bad_request::BUFFER_UNKNOWN as u64
+        ))
     );
     assert!(ev.iter().any(|e| matches!(
         e, TraceEvent::DataPlaneTx { port, .. } if port.as_bv_const() == Some(3)
@@ -271,7 +293,11 @@ fn flow_mod_buffer_unknown_still_installs_in_both() {
 
 #[test]
 fn echo_features_config_barrier_replies() {
-    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch, AgentKind::Modified] {
+    for kind in [
+        AgentKind::Reference,
+        AgentKind::OpenVSwitch,
+        AgentKind::Modified,
+    ] {
         let (ev, crashed) = run_concrete(kind, builder::concrete_suite(9), false);
         assert!(!crashed);
         let kinds: Vec<u8> = ev
@@ -305,7 +331,11 @@ fn set_config_changes_reported_config() {
         let reply = ev
             .iter()
             .find_map(|e| match e {
-                TraceEvent::OfReply { msg_type: 8, fields, .. } => Some(fields.clone()),
+                TraceEvent::OfReply {
+                    msg_type: 8,
+                    fields,
+                    ..
+                } => Some(fields.clone()),
                 _ => None,
             })
             .expect("get-config reply");
@@ -343,7 +373,10 @@ fn bad_version_rejected() {
         let (ev, _) = run_concrete(kind, vec![m.clone()], false);
         assert_eq!(
             first_error(&ev),
-            Some((error_type::BAD_REQUEST as u64, bad_request::BAD_VERSION as u64))
+            Some((
+                error_type::BAD_REQUEST as u64,
+                bad_request::BAD_VERSION as u64
+            ))
         );
     }
 }
@@ -371,7 +404,10 @@ fn modified_switch_mutation_effects() {
     let (ev, _) = run_concrete(AgentKind::Modified, vec![m], false);
     assert!(ev.iter().any(|e| matches!(
         e,
-        TraceEvent::Flood { exclude_ingress: false, .. }
+        TraceEvent::Flood {
+            exclude_ingress: false,
+            ..
+        }
     )));
 
     // M4: ports above 1024 rejected.
@@ -380,7 +416,10 @@ fn modified_switch_mutation_effects() {
     let (ev, _) = run_concrete(AgentKind::Modified, vec![m], false);
     assert_eq!(
         first_error(&ev),
-        Some((error_type::BAD_ACTION as u64, bad_action::BAD_OUT_PORT as u64))
+        Some((
+            error_type::BAD_ACTION as u64,
+            bad_action::BAD_OUT_PORT as u64
+        ))
     );
 
     // M5: unknown action type reported as BAD_LEN.
@@ -409,7 +448,11 @@ fn universes_cover_all_labels() {
     // universe — catches typos and a stale `universe_data.rs`.
     let payload = tcp_probe().buf.as_concrete().unwrap();
     let msgs = vec![
-        builder::packet_out("u0", &[ActionSpec::Symbolic, ActionSpec::SymbolicOutput], &payload),
+        builder::packet_out(
+            "u0",
+            &[ActionSpec::Symbolic, ActionSpec::SymbolicOutput],
+            &payload,
+        ),
         builder::flow_mod("u1", &FlowModSpec::symbolic_default()),
         builder::stats_request("u2"),
         builder::set_config("u3"),

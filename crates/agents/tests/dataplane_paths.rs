@@ -24,7 +24,10 @@ fn run(kind: AgentKind, msgs: Vec<SymBuf>, probe: Option<Packet>) -> (Vec<TraceE
     });
     assert_eq!(ex.stats.paths, 1);
     let p = &ex.paths[0];
-    (p.trace.clone(), matches!(p.outcome, PathOutcome::Crashed(_)))
+    (
+        p.trace.clone(),
+        matches!(p.outcome, PathOutcome::Crashed(_)),
+    )
 }
 
 /// A flow mod matching a specific VLAN id exactly.
@@ -142,10 +145,7 @@ fn rewrite_chain_applies_in_order() {
         "dp4",
         &FlowModSpec {
             match_mode: MatchMode::WildcardAll,
-            actions: vec![
-                ActionSpec::SetNwTos(0x40),
-                ActionSpec::Output(2),
-            ],
+            actions: vec![ActionSpec::SetNwTos(0x40), ActionSpec::Output(2)],
             command: Some(flow_mod_cmd::ADD),
             buffer_id: Some(NO_BUFFER),
             flags: Some(0),
@@ -199,6 +199,10 @@ fn strip_vlan_on_tagged_probe() {
         assert_eq!(data.len(), tagged.len() - 4, "{kind:?}: tag removed");
         let pkt = Packet::parse(&data).unwrap();
         assert!(!pkt.vlan, "{kind:?}");
-        assert_eq!(pkt.tp_dst().as_bv_const(), Some(80), "{kind:?}: inner intact");
+        assert_eq!(
+            pkt.tp_dst().as_bv_const(),
+            Some(80),
+            "{kind:?}: inner intact"
+        );
     }
 }

@@ -11,7 +11,12 @@ use soft_openflow::consts::{
 use soft_openflow::TraceEvent;
 use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
 
-fn run_seq(kind: AgentKind, msgs: Vec<SymBuf>, probe: bool, time: Option<u16>) -> (Vec<TraceEvent>, bool) {
+fn run_seq(
+    kind: AgentKind,
+    msgs: Vec<SymBuf>,
+    probe: bool,
+    time: Option<u16>,
+) -> (Vec<TraceEvent>, bool) {
     let ex = explore(&ExplorerConfig::default(), |ctx| {
         let mut a = kind.make();
         a.on_connect(ctx)?;
@@ -28,7 +33,10 @@ fn run_seq(kind: AgentKind, msgs: Vec<SymBuf>, probe: bool, time: Option<u16>) -
     });
     assert_eq!(ex.stats.paths, 1, "inputs must be concrete");
     let p = &ex.paths[0];
-    (p.trace.clone(), matches!(p.outcome, PathOutcome::Crashed(_)))
+    (
+        p.trace.clone(),
+        matches!(p.outcome, PathOutcome::Crashed(_)),
+    )
 }
 
 fn concrete_flow_mod(cmd: u16, flags: u16, out_port: u16, timeouts: (u16, u16)) -> SymBuf {
@@ -66,12 +74,24 @@ fn stats_req(stype: u16) -> SymBuf {
 fn desc_stats_reply_differs_between_agents() {
     // The descriptions legitimately differ (vendor strings) — a real,
     // benign divergence SOFT reports.
-    let (ev_ref, _) = run_seq(AgentKind::Reference, vec![stats_req(stats_type::DESC)], false, None);
-    let (ev_ovs, _) = run_seq(AgentKind::OpenVSwitch, vec![stats_req(stats_type::DESC)], false, None);
+    let (ev_ref, _) = run_seq(
+        AgentKind::Reference,
+        vec![stats_req(stats_type::DESC)],
+        false,
+        None,
+    );
+    let (ev_ovs, _) = run_seq(
+        AgentKind::OpenVSwitch,
+        vec![stats_req(stats_type::DESC)],
+        false,
+        None,
+    );
     let body = |ev: &[TraceEvent]| {
         ev.iter()
             .find_map(|e| match e {
-                TraceEvent::OfReply { msg_type: 17, body, .. } => body.as_concrete(),
+                TraceEvent::OfReply {
+                    msg_type: 17, body, ..
+                } => body.as_concrete(),
                 _ => None,
             })
             .expect("desc reply")
@@ -91,7 +111,9 @@ fn flow_stats_reflect_installed_entries() {
         let empty_len = ev
             .iter()
             .find_map(|e| match e {
-                TraceEvent::OfReply { msg_type: 17, body, .. } => Some(body.len()),
+                TraceEvent::OfReply {
+                    msg_type: 17, body, ..
+                } => Some(body.len()),
                 _ => None,
             })
             .unwrap();
@@ -101,7 +123,9 @@ fn flow_stats_reflect_installed_entries() {
         let len = ev
             .iter()
             .find_map(|e| match e {
-                TraceEvent::OfReply { msg_type: 17, body, .. } => Some(body.len()),
+                TraceEvent::OfReply {
+                    msg_type: 17, body, ..
+                } => Some(body.len()),
                 _ => None,
             })
             .unwrap();
@@ -118,7 +142,9 @@ fn aggregate_stats_count_entries() {
         let body = ev
             .iter()
             .find_map(|e| match e {
-                TraceEvent::OfReply { msg_type: 17, body, .. } => body.as_concrete(),
+                TraceEvent::OfReply {
+                    msg_type: 17, body, ..
+                } => body.as_concrete(),
                 _ => None,
             })
             .unwrap();
@@ -220,13 +246,12 @@ fn check_overlap_rejects_duplicate_priority() {
 
 #[test]
 fn hard_timeout_expires_flow() {
-    let install = concrete_flow_mod(
-        flow_mod_cmd::ADD,
-        flow_mod_flags::SEND_FLOW_REM,
-        3,
-        (0, 30),
-    );
-    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch, AgentKind::Modified] {
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, flow_mod_flags::SEND_FLOW_REM, 3, (0, 30));
+    for kind in [
+        AgentKind::Reference,
+        AgentKind::OpenVSwitch,
+        AgentKind::Modified,
+    ] {
         let (ev, _) = run_seq(kind, vec![install.clone()], true, Some(60));
         assert!(
             ev.iter().any(|e| matches!(
@@ -248,22 +273,22 @@ fn hard_timeout_expires_flow() {
 
 #[test]
 fn idle_timeout_notification_suppressed_only_in_modified() {
-    let install = concrete_flow_mod(
-        flow_mod_cmd::ADD,
-        flow_mod_flags::SEND_FLOW_REM,
-        3,
-        (30, 0),
-    );
+    let install = concrete_flow_mod(flow_mod_cmd::ADD, flow_mod_flags::SEND_FLOW_REM, 3, (30, 0));
     let notified = |kind| {
         let (ev, _) = run_seq(kind, vec![install.clone()], false, Some(60));
-        ev.iter().any(|e| matches!(
-            e,
-            TraceEvent::OfReply { msg_type: t, .. } if *t == msg_type::FLOW_REMOVED
-        ))
+        ev.iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::OfReply { msg_type: t, .. } if *t == msg_type::FLOW_REMOVED
+            )
+        })
     };
     assert!(notified(AgentKind::Reference));
     assert!(notified(AgentKind::OpenVSwitch));
-    assert!(!notified(AgentKind::Modified), "M2 suppresses the idle notification");
+    assert!(
+        !notified(AgentKind::Modified),
+        "M2 suppresses the idle notification"
+    );
 }
 
 #[test]
@@ -285,18 +310,29 @@ fn unexpired_flow_survives_clock_advance() {
 
 #[test]
 fn echo_reply_carries_payload() {
-    let mut m = SymBuf::concrete(&[1, msg_type::ECHO_REQUEST, 0, 12, 0, 0, 0, 9, 0xde, 0xad, 0xbe, 0xef]);
+    let mut m = SymBuf::concrete(&[
+        1,
+        msg_type::ECHO_REQUEST,
+        0,
+        12,
+        0,
+        0,
+        0,
+        9,
+        0xde,
+        0xad,
+        0xbe,
+        0xef,
+    ]);
     m.set_u16(2, 12);
     for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
         let (ev, _) = run_seq(kind, vec![m.clone()], false, None);
         let body = ev
             .iter()
             .find_map(|e| match e {
-                TraceEvent::OfReply { msg_type: t, body, .. }
-                    if *t == msg_type::ECHO_REPLY =>
-                {
-                    body.as_concrete()
-                }
+                TraceEvent::OfReply {
+                    msg_type: t, body, ..
+                } if *t == msg_type::ECHO_REPLY => body.as_concrete(),
                 _ => None,
             })
             .expect("echo reply");

@@ -14,7 +14,11 @@ fn packet_out_exploration_smoke() {
         &[ActionSpec::Symbolic, ActionSpec::SymbolicOutput],
         &probe_payload,
     );
-    for kind in [AgentKind::Reference, AgentKind::OpenVSwitch, AgentKind::Modified] {
+    for kind in [
+        AgentKind::Reference,
+        AgentKind::OpenVSwitch,
+        AgentKind::Modified,
+    ] {
         let t0 = Instant::now();
         let ex = explore(&ExplorerConfig::default(), |ctx| {
             let mut agent = kind.make();
@@ -22,15 +26,27 @@ fn packet_out_exploration_smoke() {
             agent.handle_message(ctx, &msg)?;
             Ok(())
         });
-        let crashed = ex.paths.iter().filter(|p| matches!(p.outcome, PathOutcome::Crashed(_))).count();
+        let crashed = ex
+            .paths
+            .iter()
+            .filter(|p| matches!(p.outcome, PathOutcome::Crashed(_)))
+            .count();
         eprintln!(
             "{:>10}: {} paths ({} crashed, {} aborted) in {:?}, {} solver queries",
-            kind.id(), ex.stats.paths, crashed, ex.stats.aborted, t0.elapsed(), ex.stats.solver.queries
+            kind.id(),
+            ex.stats.paths,
+            crashed,
+            ex.stats.aborted,
+            t0.elapsed(),
+            ex.stats.solver.queries
         );
         assert!(ex.stats.paths > 10, "{:?} too few paths", kind);
         assert!(!ex.stats.truncated);
         if kind == AgentKind::Reference {
-            assert!(crashed >= 2, "reference should crash on CTRL output and SET_VLAN_VID");
+            assert!(
+                crashed >= 2,
+                "reference should crash on CTRL output and SET_VLAN_VID"
+            );
         }
         if kind == AgentKind::OpenVSwitch {
             assert_eq!(crashed, 0, "ovs must not crash");

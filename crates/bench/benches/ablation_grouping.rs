@@ -47,8 +47,10 @@ fn main() {
 
     // Grouped, balanced and linear trees.
     for shape in [TreeShape::Balanced, TreeShape::Linear] {
-        let ga = group_paths_with(&run_a.agent, &run_a.test, &run_a.paths, shape);
-        let gb = group_paths_with(&run_b.agent, &run_b.test, &run_b.paths, shape);
+        let ga =
+            group_paths_with(&run_a.agent, &run_a.test, &run_a.paths, shape).expect("grouping");
+        let gb =
+            group_paths_with(&run_b.agent, &run_b.test, &run_b.paths, shape).expect("grouping");
         let max_depth = ga
             .groups
             .iter()
@@ -71,12 +73,18 @@ fn main() {
         "\npaths {}x{} -> groups {}x{}: the query count drops by ~{}x.",
         run_a.paths.len(),
         run_b.paths.len(),
-        group_paths_with(&run_a.agent, &run_a.test, &run_a.paths, TreeShape::Balanced).num_results(),
-        group_paths_with(&run_b.agent, &run_b.test, &run_b.paths, TreeShape::Balanced).num_results(),
+        group_paths_with(&run_a.agent, &run_a.test, &run_a.paths, TreeShape::Balanced)
+            .expect("grouping")
+            .num_results(),
+        group_paths_with(&run_b.agent, &run_b.test, &run_b.paths, TreeShape::Balanced)
+            .expect("grouping")
+            .num_results(),
         (queries.max(1))
             / crosscheck(
-                &group_paths_with(&run_a.agent, &run_a.test, &run_a.paths, TreeShape::Balanced),
-                &group_paths_with(&run_b.agent, &run_b.test, &run_b.paths, TreeShape::Balanced),
+                &group_paths_with(&run_a.agent, &run_a.test, &run_a.paths, TreeShape::Balanced)
+                    .expect("grouping"),
+                &group_paths_with(&run_b.agent, &run_b.test, &run_b.paths, TreeShape::Balanced)
+                    .expect("grouping"),
                 &CrosscheckConfig::default()
             )
             .queries

@@ -69,7 +69,7 @@ fn main() {
         let po_paths = {
             use soft_harness::run_test;
             let _ = run_test; // keep import shape stable
-            // Re-explore to access per-path coverage.
+                              // Re-explore to access per-path coverage.
             let ex = soft_sym::explore(&cfg, |ctx| {
                 let mut a = AgentKind::Reference.make();
                 a.on_connect(ctx)?;

@@ -27,7 +27,11 @@ fn main() {
     );
     for test in &tests {
         let mut row = format!("{:<14} {:>4} |", test.name, test.message_count);
-        for kind in [AgentKind::Reference, AgentKind::Modified, AgentKind::OpenVSwitch] {
+        for kind in [
+            AgentKind::Reference,
+            AgentKind::Modified,
+            AgentKind::OpenVSwitch,
+        ] {
             let (run, wall) = timed_run(kind, test, &cfg);
             let (avg, max) = run.constraint_size_stats();
             row.push_str(&format!(

@@ -35,10 +35,10 @@ fn main() {
         let run_b = run_test(AgentKind::OpenVSwitch, test, &cfg);
 
         let t0 = Instant::now();
-        let ga = group_paths(&run_a.agent, &run_a.test, &run_a.paths);
+        let ga = group_paths(&run_a.agent, &run_a.test, &run_a.paths).expect("grouping");
         let ta = t0.elapsed();
         let t0 = Instant::now();
-        let gb = group_paths(&run_b.agent, &run_b.test, &run_b.paths);
+        let gb = group_paths(&run_b.agent, &run_b.test, &run_b.paths).expect("grouping");
         let tb = t0.elapsed();
 
         let result = crosscheck(&ga, &gb, &CrosscheckConfig::default());

@@ -13,10 +13,18 @@
 use crate::group::GroupedResults;
 use soft_harness::ObservedOutput;
 use soft_openflow::TraceEvent;
-use soft_smt::{Assignment, SatResult, Solver, Term, VerdictCache};
+use soft_smt::{Assignment, SatResult, Solver, SolverBudget, Term, VerdictCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Recover the guarded data even if a sibling worker panicked while
+/// holding the lock. The verdict vector is only written slot-wise, so a
+/// poisoned lock still guards usable state; unfinished slots degrade to
+/// [`SatResult::Unknown`] rather than aborting the run.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Condition under which two (possibly symbolic) outputs take *different
 /// concrete values*.
@@ -169,6 +177,29 @@ pub struct Inconsistency {
     pub witness: Assignment,
 }
 
+/// An output pair the solver could not decide within its resource budget.
+///
+/// The pair is neither an inconsistency nor proof of agreement — SOFT
+/// reports it as *unverified* so a degraded run never lies in either
+/// direction. Re-running with a larger `--solver-budget` retries exactly
+/// these pairs (the verdict cache remembers the failed budget and only
+/// shortcuts queries it has already failed at an equal-or-larger budget).
+#[derive(Debug, Clone)]
+pub struct UnverifiedPair {
+    /// Test identifier.
+    pub test: String,
+    /// First agent.
+    pub agent_a: String,
+    /// Second agent.
+    pub agent_b: String,
+    /// Output of agent A whose input subspace could not be intersected.
+    pub output_a: ObservedOutput,
+    /// Output of agent B whose input subspace could not be intersected.
+    pub output_b: ObservedOutput,
+    /// The budget the query exhausted.
+    pub budget: SolverBudget,
+}
+
 /// Result of crosschecking two agents on one test.
 #[derive(Debug, Clone, Default)]
 pub struct CrosscheckResult {
@@ -176,18 +207,30 @@ pub struct CrosscheckResult {
     pub inconsistencies: Vec<Inconsistency>,
     /// Solver queries issued (bounded by |RES_A| * |RES_B|).
     pub queries: usize,
-    /// Queries the solver could not decide within budget.
+    /// Queries the solver could not decide within budget
+    /// (= `unverified.len()`).
     pub unknown: usize,
+    /// The undecided pairs, in query order. Never silently dropped: a
+    /// budget-exhausted pair is listed here instead of being misreported
+    /// as consistent or inconsistent.
+    pub unverified: Vec<UnverifiedPair>,
     /// Wall-clock time of the intersection phase (Table 3 "Inconsist.
     /// checking" column).
     pub check_time: Duration,
 }
 
+impl CrosscheckResult {
+    /// True when every queried pair was decided within budget.
+    pub fn fully_verified(&self) -> bool {
+        self.unverified.is_empty()
+    }
+}
+
 /// Options for the inconsistency finder.
 #[derive(Debug, Clone)]
 pub struct CrosscheckConfig {
-    /// Per-query SAT conflict budget (None = unlimited).
-    pub solver_max_conflicts: Option<u64>,
+    /// Per-query solver resource budget (default: unlimited).
+    pub solver_budget: SolverBudget,
     /// Worker threads for the query matrix (1 = sequential).
     pub jobs: usize,
 }
@@ -195,7 +238,7 @@ pub struct CrosscheckConfig {
 impl Default for CrosscheckConfig {
     fn default() -> Self {
         CrosscheckConfig {
-            solver_max_conflicts: None,
+            solver_budget: SolverBudget::unlimited(),
             jobs: 1,
         }
     }
@@ -236,7 +279,7 @@ pub fn crosscheck(
     }
     let verdicts: Vec<SatResult> = if cfg.jobs <= 1 {
         let mut solver = Solver::new();
-        solver.max_conflicts = cfg.solver_max_conflicts;
+        solver.budget = cfg.solver_budget;
         pairs
             .iter()
             .map(|(i, j, differ)| {
@@ -265,7 +308,17 @@ pub fn crosscheck(
                 });
             }
             SatResult::Unsat => {}
-            SatResult::Unknown => out.unknown += 1,
+            SatResult::Unknown => {
+                out.unknown += 1;
+                out.unverified.push(UnverifiedPair {
+                    test: a.test.clone(),
+                    agent_a: a.agent.clone(),
+                    agent_b: b.agent.clone(),
+                    output_a: a.groups[*i].output.clone(),
+                    output_b: b.groups[*j].output.clone(),
+                    budget: cfg.solver_budget,
+                });
+            }
         }
     }
     out.check_time = start.elapsed();
@@ -290,7 +343,7 @@ fn check_pairs_parallel(
             let verdicts = &verdicts;
             scope.spawn(move || {
                 let mut solver = Solver::with_cache(cache);
-                solver.max_conflicts = cfg.solver_max_conflicts;
+                solver.budget = cfg.solver_budget;
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= pairs.len() {
@@ -302,16 +355,19 @@ fn check_pairs_parallel(
                         b.groups[*j].condition.clone(),
                         differ.clone(),
                     ]);
-                    verdicts.lock().expect("verdicts poisoned")[k] = Some(v);
+                    recover(verdicts)[k] = Some(v);
                 }
             });
         }
     });
+    // A slot can only be `None` if its worker died mid-query; degrading it
+    // to Unknown turns the loss into an unverified pair instead of an
+    // abort or a fabricated verdict.
     verdicts
         .into_inner()
-        .expect("verdicts poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|v| v.expect("every pair checked"))
+        .map(|v| v.unwrap_or(SatResult::Unknown))
         .collect()
 }
 
@@ -362,7 +418,8 @@ mod tests {
                     out(300), // ERR
                 ),
             ],
-        );
+        )
+        .expect("grouping");
         // Agent 2: FWD for p < 25; ERR otherwise.
         let b = group_paths(
             "agent2",
@@ -371,7 +428,8 @@ mod tests {
                 path(p.clone().ult(small.clone()), out(100)),
                 path(p.clone().uge(small.clone()), out(300)),
             ],
-        );
+        )
+        .expect("grouping");
         let r = crosscheck(&a, &b, &CrosscheckConfig::default());
         assert_eq!(r.inconsistencies.len(), 1, "exactly the CTRL divergence");
         let inc = &r.inconsistencies[0];
@@ -394,6 +452,7 @@ mod tests {
                     path(p.clone().uge(Term::bv_const(8, 10)), out(2)),
                 ],
             )
+            .expect("grouping")
         };
         let r = crosscheck(&mk("a"), &mk("b"), &CrosscheckConfig::default());
         assert!(r.inconsistencies.is_empty());
@@ -408,12 +467,14 @@ mod tests {
             "a",
             "t",
             &[path(p.clone().ult(Term::bv_const(8, 100)), out(1))],
-        );
+        )
+        .expect("grouping");
         let b = group_paths(
             "b",
             "t",
             &[path(p.clone().ugt(Term::bv_const(8, 50)), out(2))],
-        );
+        )
+        .expect("grouping");
         let r = crosscheck(&a, &b, &CrosscheckConfig::default());
         assert_eq!(r.inconsistencies.len(), 1);
         let w = &r.inconsistencies[0].witness;
@@ -424,9 +485,54 @@ mod tests {
     #[test]
     #[should_panic(expected = "different tests")]
     fn mismatched_tests_rejected() {
-        let a = group_paths("a", "t1", &[]);
-        let b = group_paths("b", "t2", &[]);
+        let a = group_paths("a", "t1", &[]).expect("grouping");
+        let b = group_paths("b", "t2", &[]).expect("grouping");
         crosscheck(&a, &b, &CrosscheckConfig::default());
+    }
+
+    #[test]
+    fn budget_exhausted_pair_listed_as_unverified() {
+        // A sum-of-squares equation the CDCL search cannot settle within a
+        // one-conflict budget (same shape as the smt crate's hard query).
+        let xs: Vec<Term> = (0..12).map(|i| Term::var(format!("cc5.h{i}"), 8)).collect();
+        let mut sum = Term::bv_const(8, 0);
+        for x in &xs {
+            sum = sum.bvadd(x.clone().bvmul(x.clone()));
+        }
+        let hard = sum.eq(Term::bv_const(8, 0x5a));
+        let a = group_paths("a", "t", &[path(hard, out(1))]).expect("grouping");
+        let b = group_paths(
+            "b",
+            "t",
+            &[path(xs[0].clone().ult(Term::bv_const(8, 200)), out(2))],
+        )
+        .expect("grouping");
+        let capped = crosscheck(
+            &a,
+            &b,
+            &CrosscheckConfig {
+                solver_budget: SolverBudget::conflicts(1),
+                jobs: 1,
+            },
+        );
+        assert_eq!(capped.queries, 1);
+        assert_eq!(capped.unknown, 1, "the capped query must come back Unknown");
+        assert_eq!(capped.unverified.len(), 1, "and be listed, not dropped");
+        assert!(
+            capped.inconsistencies.is_empty(),
+            "an undecided pair must never be reported as an inconsistency"
+        );
+        assert!(!capped.fully_verified());
+        let uv = &capped.unverified[0];
+        assert_eq!(uv.output_a, out(1));
+        assert_eq!(uv.output_b, out(2));
+        assert_eq!(uv.budget, SolverBudget::conflicts(1));
+        // An unlimited retry decides the very same pair: the subspaces do
+        // intersect, so it graduates from unverified to inconsistency.
+        let full = crosscheck(&a, &b, &CrosscheckConfig::default());
+        assert!(full.fully_verified());
+        assert_eq!(full.unknown, 0);
+        assert_eq!(full.inconsistencies.len(), 1);
     }
 
     #[test]
@@ -447,7 +553,8 @@ mod tests {
                 ),
                 path(p.clone().uge(Term::bv_const(8, 100)), out(3)),
             ],
-        );
+        )
+        .expect("grouping");
         let b = group_paths(
             "b",
             "t",
@@ -467,7 +574,8 @@ mod tests {
                 ),
                 path(p.clone().uge(Term::bv_const(8, 200)), out(7)),
             ],
-        );
+        )
+        .expect("grouping");
         let seq = crosscheck(&a, &b, &CrosscheckConfig::default());
         assert!(!seq.inconsistencies.is_empty());
         for jobs in [2, 4] {

@@ -13,7 +13,40 @@ use soft_harness::{ObservedOutput, PathRecord};
 use soft_smt::simplify::{mk_or_balanced, mk_or_linear};
 use soft_smt::Term;
 use std::collections::HashMap;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Grouping failure, reported as data instead of a panic so a long matrix
+/// run can skip the affected (agent, test) pair and keep going.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The first-seen output order list and the condition buckets went out
+    /// of sync: an output recorded in arrival order had no bucket. This is
+    /// an internal invariant violation (outputs hash/compare
+    /// inconsistently), not a property of the agent under test.
+    MissingBucket {
+        /// Agent whose paths were being grouped.
+        agent: String,
+        /// Test being grouped.
+        test: String,
+        /// Index of the orphaned output in first-seen order.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::MissingBucket { agent, test, index } => write!(
+                f,
+                "grouping {agent}/{test}: output #{index} has no condition bucket \
+                 (inconsistent ObservedOutput hash/equality)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
 
 /// Shape of the disjunction trees the grouping tool builds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +83,11 @@ pub struct GroupedResults {
 }
 
 /// Group paths by normalized output, building balanced disjunction trees.
-pub fn group_paths(agent: &str, test: &str, paths: &[PathRecord]) -> GroupedResults {
+pub fn group_paths(
+    agent: &str,
+    test: &str,
+    paths: &[PathRecord],
+) -> Result<GroupedResults, GroupError> {
     group_paths_with(agent, test, paths, TreeShape::Balanced)
 }
 
@@ -60,7 +97,7 @@ pub fn group_paths_with(
     test: &str,
     paths: &[PathRecord],
     shape: TreeShape,
-) -> GroupedResults {
+) -> Result<GroupedResults, GroupError> {
     let start = Instant::now();
     // Bucket conditions by output, preserving first-seen order so the
     // result is deterministic.
@@ -73,28 +110,32 @@ pub fn group_paths_with(
         });
         bucket.push(p.condition.clone());
     }
-    let groups = order
-        .into_iter()
-        .map(|output| {
-            let conds = buckets.remove(&output).expect("bucket exists");
-            let path_count = conds.len();
-            let condition = match shape {
-                TreeShape::Balanced => mk_or_balanced(&conds),
-                TreeShape::Linear => mk_or_linear(&conds),
-            };
-            OutputGroup {
-                output,
-                condition,
-                path_count,
-            }
-        })
-        .collect();
-    GroupedResults {
+    let mut groups = Vec::with_capacity(order.len());
+    for (index, output) in order.into_iter().enumerate() {
+        let conds = buckets
+            .remove(&output)
+            .ok_or_else(|| GroupError::MissingBucket {
+                agent: agent.to_string(),
+                test: test.to_string(),
+                index,
+            })?;
+        let path_count = conds.len();
+        let condition = match shape {
+            TreeShape::Balanced => mk_or_balanced(&conds),
+            TreeShape::Linear => mk_or_linear(&conds),
+        };
+        groups.push(OutputGroup {
+            output,
+            condition,
+            path_count,
+        });
+    }
+    Ok(GroupedResults {
         agent: agent.to_string(),
         test: test.to_string(),
         groups,
         group_time: start.elapsed(),
-    }
+    })
 }
 
 impl GroupedResults {
@@ -132,12 +173,8 @@ mod tests {
 
     #[test]
     fn groups_by_output() {
-        let paths = vec![
-            path("g.x", 1, 6),
-            path("g.x", 2, 6),
-            path("g.x", 3, 8),
-        ];
-        let g = group_paths("a", "t", &paths);
+        let paths = vec![path("g.x", 1, 6), path("g.x", 2, 6), path("g.x", 3, 8)];
+        let g = group_paths("a", "t", &paths).expect("grouping");
         assert_eq!(g.num_results(), 2);
         assert_eq!(g.num_paths(), 3);
         assert_eq!(g.groups[0].path_count, 2);
@@ -147,7 +184,7 @@ mod tests {
     #[test]
     fn group_condition_is_disjunction() {
         let paths = vec![path("g2.x", 1, 6), path("g2.x", 2, 6)];
-        let g = group_paths("a", "t", &paths);
+        let g = group_paths("a", "t", &paths).expect("grouping");
         let cond = &g.groups[0].condition;
         let mut solver = soft_smt::Solver::new();
         // x == 1 satisfies, x == 2 satisfies, x == 3 does not.
@@ -164,18 +201,21 @@ mod tests {
     #[test]
     fn tree_shapes_equisatisfiable_but_different_depth() {
         let paths: Vec<PathRecord> = (0..32).map(|i| path("g3.x", i, 6)).collect();
-        let bal = group_paths_with("a", "t", &paths, TreeShape::Balanced);
-        let lin = group_paths_with("a", "t", &paths, TreeShape::Linear);
+        let bal = group_paths_with("a", "t", &paths, TreeShape::Balanced).expect("grouping");
+        let lin = group_paths_with("a", "t", &paths, TreeShape::Linear).expect("grouping");
         let db = soft_smt::metrics::depth(&bal.groups[0].condition);
         let dl = soft_smt::metrics::depth(&lin.groups[0].condition);
-        assert!(db < dl, "balanced {db} should be shallower than linear {dl}");
+        assert!(
+            db < dl,
+            "balanced {db} should be shallower than linear {dl}"
+        );
     }
 
     #[test]
     fn deterministic_group_order() {
         let paths = vec![path("g4.x", 1, 8), path("g4.x", 2, 6)];
-        let g1 = group_paths("a", "t", &paths);
-        let g2 = group_paths("a", "t", &paths);
+        let g1 = group_paths("a", "t", &paths).expect("grouping");
+        let g2 = group_paths("a", "t", &paths).expect("grouping");
         assert_eq!(g1.groups.len(), g2.groups.len());
         for (a, b) in g1.groups.iter().zip(&g2.groups) {
             assert_eq!(a.output, b.output);

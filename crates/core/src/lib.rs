@@ -26,11 +26,13 @@
 //! // Crosscheck the Reference Switch against Open vSwitch on the
 //! // "Packet Out" test of the paper's Table 1.
 //! let soft = Soft::new();
-//! let pair = soft.run_pair(
-//!     AgentKind::Reference,
-//!     AgentKind::OpenVSwitch,
-//!     &suite::packet_out(),
-//! );
+//! let pair = soft
+//!     .run_pair(
+//!         AgentKind::Reference,
+//!         AgentKind::OpenVSwitch,
+//!         &suite::packet_out(),
+//!     )
+//!     .expect("grouping");
 //! assert!(!pair.result.inconsistencies.is_empty());
 //! // Every inconsistency carries a concrete reproduction witness.
 //! let causes = report::dedupe(&pair.result.inconsistencies);
@@ -47,8 +49,12 @@ pub mod replay;
 pub mod report;
 mod soft;
 
-pub use crosscheck::{crosscheck, CrosscheckConfig, CrosscheckResult, Inconsistency};
-pub use group::{group_paths, group_paths_with, GroupedResults, OutputGroup, TreeShape};
+pub use crosscheck::{
+    crosscheck, CrosscheckConfig, CrosscheckResult, Inconsistency, UnverifiedPair,
+};
+pub use group::{
+    group_paths, group_paths_with, GroupError, GroupedResults, OutputGroup, TreeShape,
+};
 pub use regression::{regression_check, RegressionReport};
 pub use replay::{replay, ReplayOutcome};
 pub use soft::{PairReport, Soft};

@@ -85,8 +85,8 @@ mod tests {
         let soft = Soft::new();
         let test = suite::queue_config();
         let run = soft.phase1(AgentKind::Reference, &test);
-        let g1 = group_paths("v1", &run.test, &run.paths);
-        let g2 = group_paths("v2", &run.test, &run.paths);
+        let g1 = group_paths("v1", &run.test, &run.paths).expect("grouping");
+        let g2 = group_paths("v2", &run.test, &run.paths).expect("grouping");
         let report = regression_check(&g1, &g2, &CrosscheckConfig::default());
         assert!(report.is_clean(), "identical versions must be clean");
     }
@@ -97,8 +97,12 @@ mod tests {
         // with behaviour changes; regression mode must flag them.
         let soft = Soft::new();
         let test = suite::packet_out();
-        let base = soft.group(&soft.phase1(AgentKind::Reference, &test));
-        let cur = soft.group(&soft.phase1(AgentKind::Modified, &test));
+        let base = soft
+            .group(&soft.phase1(AgentKind::Reference, &test))
+            .expect("grouping");
+        let cur = soft
+            .group(&soft.phase1(AgentKind::Modified, &test))
+            .expect("grouping");
         let report = regression_check(&base, &cur, &CrosscheckConfig::default());
         assert!(!report.is_clean());
         assert!(
@@ -119,8 +123,12 @@ mod tests {
         // shifts, though output inventories can legitimately coincide.
         let soft = Soft::new();
         let test = suite::set_config();
-        let base = soft.group(&soft.phase1(AgentKind::Reference, &test));
-        let cur = soft.group(&soft.phase1(AgentKind::OpenVSwitch, &test));
+        let base = soft
+            .group(&soft.phase1(AgentKind::Reference, &test))
+            .expect("grouping");
+        let cur = soft
+            .group(&soft.phase1(AgentKind::OpenVSwitch, &test))
+            .expect("grouping");
         let report = regression_check(&base, &cur, &CrosscheckConfig::default());
         assert!(report.shifts.is_empty());
         assert!(report.new_outputs.is_empty() && report.removed_outputs.is_empty());
@@ -130,8 +138,12 @@ mod tests {
     #[should_panic(expected = "different tests")]
     fn mismatched_tests_rejected() {
         let soft = Soft::new();
-        let a = soft.group(&soft.phase1(AgentKind::Reference, &suite::queue_config()));
-        let b = soft.group(&soft.phase1(AgentKind::Reference, &suite::short_symb()));
+        let a = soft
+            .group(&soft.phase1(AgentKind::Reference, &suite::queue_config()))
+            .expect("grouping");
+        let b = soft
+            .group(&soft.phase1(AgentKind::Reference, &suite::short_symb()))
+            .expect("grouping");
         regression_check(&a, &b, &CrosscheckConfig::default());
     }
 }

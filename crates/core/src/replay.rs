@@ -16,7 +16,8 @@ use soft_agents::AgentKind;
 use soft_harness::{Input, ObservedOutput, TestCase};
 use soft_openflow::{normalize_trace, TraceEvent};
 use soft_smt::Assignment;
-use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
+use soft_sym::{explore, ExplorerConfig, PathOutcome, Stop, SymBuf};
+use std::panic::AssertUnwindSafe;
 
 /// The result of concretely replaying one inconsistency.
 #[derive(Debug, Clone)]
@@ -63,30 +64,45 @@ fn concretize_output(o: &ObservedOutput, witness: &Assignment) -> ObservedOutput
 }
 
 /// Run one agent concretely on pre-concretized inputs.
+///
+/// The replayed agent gets the same failure containment as phase 1: a
+/// Rust panic while processing the inputs is an *observable crash* of the
+/// agent (externally, the TCP connection dies), recorded in the output —
+/// never an abort of the replay harness.
 fn run_concrete(kind: AgentKind, inputs: &[Input]) -> ObservedOutput {
     let ex = explore(&ExplorerConfig::default(), |ctx| {
-        let mut agent = kind.make();
-        agent.on_connect(ctx)?;
-        for input in inputs {
-            match input {
-                Input::Message(m) => agent.handle_message(ctx, m)?,
-                Input::Probe { in_port, packet } => {
-                    let before = ctx.trace_len();
-                    agent.handle_packet(ctx, *in_port, packet)?;
-                    if ctx.trace_len() == before {
-                        ctx.emit(TraceEvent::ProbeDropped);
+        let drive = AssertUnwindSafe(|| {
+            let mut agent = kind.make();
+            agent.on_connect(ctx)?;
+            for input in inputs {
+                match input {
+                    Input::Message(m) => agent.handle_message(ctx, m)?,
+                    Input::Probe { in_port, packet } => {
+                        let before = ctx.trace_len();
+                        agent.handle_packet(ctx, *in_port, packet)?;
+                        if ctx.trace_len() == before {
+                            ctx.emit(TraceEvent::ProbeDropped);
+                        }
                     }
+                    Input::AdvanceTime { now } => agent.handle_time(ctx, *now)?,
                 }
-                Input::AdvanceTime { now } => agent.handle_time(ctx, *now)?,
             }
-        }
-        Ok(())
+            Ok(())
+        });
+        std::panic::catch_unwind(drive)
+            .unwrap_or_else(|_| Err(Stop::crash("agent panicked during concrete replay")))
     });
     assert_eq!(
         ex.stats.paths, 1,
         "a concretized reproduction must execute a single path"
     );
     let p = &ex.paths[0];
+    // An engine-aborted replay has no trustworthy output; surfacing a
+    // partial trace as "what the agent did" would be fabrication.
+    assert!(
+        !matches!(p.outcome, PathOutcome::Aborted(_)),
+        "refusing to fabricate an observed output from an aborted replay"
+    );
     ObservedOutput {
         events: normalize_trace(&p.trace),
         crashed: matches!(p.outcome, PathOutcome::Crashed(_)),
@@ -94,6 +110,12 @@ fn run_concrete(kind: AgentKind, inputs: &[Input]) -> ObservedOutput {
 }
 
 /// Replay an inconsistency concretely against the two agents it names.
+///
+/// A witness only ever comes from a `Sat` verdict: budget-exhausted
+/// (`Unknown`) pairs are reported as
+/// [`UnverifiedPair`](crate::crosscheck::UnverifiedPair)s, which carry no
+/// witness and therefore cannot reach this function — replay never
+/// fabricates a reproduction from an undecided query.
 pub fn replay(test: &TestCase, inc: &Inconsistency, a: AgentKind, b: AgentKind) -> ReplayOutcome {
     assert_eq!(inc.test, test.id, "replaying against the wrong test");
     let inputs = concretize_inputs(test, &inc.witness);
@@ -118,7 +140,9 @@ mod tests {
     fn packet_out_inconsistencies_replay_faithfully() {
         let soft = Soft::new();
         let test = suite::packet_out();
-        let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+            .expect("pipeline");
         assert!(!pair.result.inconsistencies.is_empty());
         for inc in &pair.result.inconsistencies {
             let r = replay(&test, inc, AgentKind::Reference, AgentKind::OpenVSwitch);
@@ -144,15 +168,25 @@ mod tests {
     fn queue_config_crash_replays() {
         let soft = Soft::new();
         let test = suite::queue_config();
-        let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+            .expect("pipeline");
         let crash_inc = pair
             .result
             .inconsistencies
             .iter()
             .find(|i| i.output_a.crashed)
             .expect("crash inconsistency");
-        let r = replay(&test, crash_inc, AgentKind::Reference, AgentKind::OpenVSwitch);
-        assert!(r.observed_a.crashed, "the reference switch must crash on replay");
+        let r = replay(
+            &test,
+            crash_inc,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+        );
+        assert!(
+            r.observed_a.crashed,
+            "the reference switch must crash on replay"
+        );
         assert!(!r.observed_b.crashed);
         assert!(r.diverges() && r.matches_prediction());
     }
@@ -161,7 +195,9 @@ mod tests {
     fn replay_rejects_mismatched_test() {
         let soft = Soft::new();
         let test = suite::queue_config();
-        let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+            .expect("pipeline");
         if let Some(inc) = pair.result.inconsistencies.first() {
             let other = suite::packet_out();
             let result = std::panic::catch_unwind(|| {

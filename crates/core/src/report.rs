@@ -8,7 +8,7 @@
 //! that manual analysis: inconsistencies are classified by the *shape* of
 //! the divergence and deduplicated into root-cause buckets.
 
-use crate::crosscheck::Inconsistency;
+use crate::crosscheck::{Inconsistency, UnverifiedPair};
 use soft_harness::{Input, ObservedOutput, TestCase};
 use soft_openflow::TraceEvent;
 use std::collections::BTreeMap;
@@ -52,7 +52,9 @@ impl DivergenceKind {
 }
 
 fn has_error(o: &ObservedOutput) -> bool {
-    o.events.iter().any(|e| matches!(e, TraceEvent::Error { .. }))
+    o.events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Error { .. }))
 }
 
 fn has_forward(o: &ObservedOutput) -> bool {
@@ -88,8 +90,14 @@ pub fn classify(inc: &Inconsistency) -> DivergenceKind {
     match (has_error(a), has_error(b)) {
         (true, true) => {
             // Both error: compare the first error event.
-            let ea = a.events.iter().find(|e| matches!(e, TraceEvent::Error { .. }));
-            let eb = b.events.iter().find(|e| matches!(e, TraceEvent::Error { .. }));
+            let ea = a
+                .events
+                .iter()
+                .find(|e| matches!(e, TraceEvent::Error { .. }));
+            let eb = b
+                .events
+                .iter()
+                .find(|e| matches!(e, TraceEvent::Error { .. }));
             if ea != eb {
                 DivergenceKind::DifferentErrors
             } else {
@@ -153,7 +161,11 @@ pub fn dedupe(incs: &[Inconsistency]) -> Vec<RootCause> {
     let mut buckets: BTreeMap<(DivergenceKind, String), Vec<usize>> = BTreeMap::new();
     for (i, inc) in incs.iter().enumerate() {
         let kind = classify(inc);
-        let sig = format!("{} / {}", signature(&inc.output_a), signature(&inc.output_b));
+        let sig = format!(
+            "{} / {}",
+            signature(&inc.output_a),
+            signature(&inc.output_b)
+        );
         buckets.entry((kind, sig)).or_default().push(i);
     }
     buckets
@@ -207,6 +219,24 @@ pub fn describe(inc: &Inconsistency) -> String {
         "  witness: {}{}",
         rendered.join(" "),
         if vars.len() > 12 { " ..." } else { "" }
+    );
+    s
+}
+
+/// Render a short human-readable description of one unverified pair — an
+/// output pair the solver could not decide within its resource budget.
+/// Unlike [`describe`], there is no witness line: an undecided query has
+/// no model, and SOFT never fabricates one.
+pub fn describe_unverified(uv: &UnverifiedPair) -> String {
+    let mut s = format!(
+        "[{}] {} vs {}: UNVERIFIED (solver budget exhausted)\n",
+        uv.test, uv.agent_a, uv.agent_b
+    );
+    let _ = writeln!(s, "  {}: {}", uv.agent_a, signature(&uv.output_a));
+    let _ = writeln!(s, "  {}: {}", uv.agent_b, signature(&uv.output_b));
+    let _ = writeln!(
+        s,
+        "  rerun with a larger --solver-budget to decide this pair"
     );
     s
 }
@@ -313,6 +343,22 @@ mod tests {
         };
         let msgs = reproduce(&test, &i);
         assert_eq!(msgs, vec![vec![0xaa, 0x11, 0x22, 0x00]]);
+    }
+
+    #[test]
+    fn describe_unverified_has_no_witness() {
+        let uv = UnverifiedPair {
+            test: "t".into(),
+            agent_a: "a".into(),
+            agent_b: "b".into(),
+            output_a: out(vec![err(4)], false),
+            output_b: out(vec![], true),
+            budget: soft_smt::SolverBudget::conflicts(1),
+        };
+        let d = describe_unverified(&uv);
+        assert!(d.contains("UNVERIFIED"));
+        assert!(d.contains("--solver-budget"));
+        assert!(!d.contains("witness"), "an undecided pair has no witness");
     }
 
     #[test]

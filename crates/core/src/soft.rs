@@ -8,7 +8,7 @@
 //! deployment model of §2.4.
 
 use crate::crosscheck::{crosscheck, CrosscheckConfig, CrosscheckResult};
-use crate::group::{group_paths, GroupedResults};
+use crate::group::{group_paths, GroupError, GroupedResults};
 use soft_agents::AgentKind;
 use soft_harness::{run_test, TestCase, TestRun, TestRunFile};
 use soft_sym::ExplorerConfig;
@@ -64,14 +64,14 @@ impl Soft {
     }
 
     /// Group a phase-1 run by output result.
-    pub fn group(&self, run: &TestRun) -> GroupedResults {
+    pub fn group(&self, run: &TestRun) -> Result<GroupedResults, GroupError> {
         group_paths(&run.agent, &run.test, &run.paths)
     }
 
     /// Group a shipped phase-1 artifact (no agent access needed).
     pub fn group_artifact(&self, file: &TestRunFile) -> Result<GroupedResults, String> {
         let paths = file.to_paths()?;
-        Ok(group_paths(&file.agent, &file.test, &paths))
+        group_paths(&file.agent, &file.test, &paths).map_err(|e| e.to_string())
     }
 
     /// Phase 2: find inconsistencies between two grouped result sets.
@@ -80,18 +80,23 @@ impl Soft {
     }
 
     /// Run the whole pipeline for one agent pair on one test.
-    pub fn run_pair(&self, a: AgentKind, b: AgentKind, test: &TestCase) -> PairReport {
+    pub fn run_pair(
+        &self,
+        a: AgentKind,
+        b: AgentKind,
+        test: &TestCase,
+    ) -> Result<PairReport, GroupError> {
         let run_a = self.phase1(a, test);
         let run_b = self.phase1(b, test);
-        let grouped_a = self.group(&run_a);
-        let grouped_b = self.group(&run_b);
+        let grouped_a = self.group(&run_a)?;
+        let grouped_b = self.group(&run_b)?;
         let result = self.phase2(&grouped_a, &grouped_b);
-        PairReport {
+        Ok(PairReport {
             run_a,
             run_b,
             grouped_a,
             grouped_b,
             result,
-        }
+        })
     }
 }

@@ -102,10 +102,7 @@ impl MatchFields {
             .bvlshr(Term::bv_const(32, shift as u64))
             .bvand(Term::bv_const(32, 0x3f));
         let all_wild = n.clone().uge(Term::bv_const(32, 32));
-        let hi_equal = field
-            .clone()
-            .bvlshr(n.clone())
-            .eq(key.clone().bvlshr(n));
+        let hi_equal = field.clone().bvlshr(n.clone()).eq(key.clone().bvlshr(n));
         all_wild.or(hi_equal)
     }
 
@@ -122,11 +119,13 @@ impl MatchFields {
             ),
             (
                 "match.dl_src",
-                self.wc_bit(wc::DL_SRC).or(self.dl_src.clone().eq(pkt.dl_src())),
+                self.wc_bit(wc::DL_SRC)
+                    .or(self.dl_src.clone().eq(pkt.dl_src())),
             ),
             (
                 "match.dl_dst",
-                self.wc_bit(wc::DL_DST).or(self.dl_dst.clone().eq(pkt.dl_dst())),
+                self.wc_bit(wc::DL_DST)
+                    .or(self.dl_dst.clone().eq(pkt.dl_dst())),
             ),
             (
                 "match.dl_vlan",
@@ -145,7 +144,8 @@ impl MatchFields {
             ),
             (
                 "match.nw_tos",
-                self.wc_bit(wc::NW_TOS).or(self.nw_tos.clone().eq(pkt.nw_tos())),
+                self.wc_bit(wc::NW_TOS)
+                    .or(self.nw_tos.clone().eq(pkt.nw_tos())),
             ),
             (
                 "match.nw_proto",
@@ -162,11 +162,13 @@ impl MatchFields {
             ),
             (
                 "match.tp_src",
-                self.wc_bit(wc::TP_SRC).or(self.tp_src.clone().eq(pkt.tp_src())),
+                self.wc_bit(wc::TP_SRC)
+                    .or(self.tp_src.clone().eq(pkt.tp_src())),
             ),
             (
                 "match.tp_dst",
-                self.wc_bit(wc::TP_DST).or(self.tp_dst.clone().eq(pkt.tp_dst())),
+                self.wc_bit(wc::TP_DST)
+                    .or(self.tp_dst.clone().eq(pkt.tp_dst())),
             ),
         ]
     }

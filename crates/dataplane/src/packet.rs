@@ -286,9 +286,7 @@ impl Packet {
     /// (OpenFlow 1.0's OFP_VLAN_NONE).
     pub fn dl_vlan(&self) -> Term {
         if self.vlan {
-            self.buf
-                .u16(14)
-                .bvand(Term::bv_const(16, 0x0fff))
+            self.buf.u16(14).bvand(Term::bv_const(16, 0x0fff))
         } else {
             Term::bv_const(16, 0xffff)
         }
@@ -363,7 +361,8 @@ impl Packet {
         assert_eq!(v.width(), 48);
         for i in 0..6 {
             let hi = 47 - 8 * i as u32;
-            self.buf.set_byte_term(off + i, v.clone().extract(hi, hi - 7));
+            self.buf
+                .set_byte_term(off + i, v.clone().extract(hi, hi - 7));
         }
     }
 

@@ -1,37 +1,56 @@
-//! Property-based tests for the data-plane substrate.
+//! Randomized-but-deterministic tests for the data-plane substrate
+//! (seeded generators, fixed corpus per run).
 
-use proptest::prelude::*;
 use soft_dataplane::{MatchFields, Packet, ProbeSpec};
 use soft_openflow::consts::wildcards as wc;
 use soft_smt::Term;
 
-fn arb_spec() -> impl Strategy<Value = ProbeSpec> {
-    (
-        any::<[u8; 6]>(),
-        any::<[u8; 6]>(),
-        proptest::option::of((0u8..8, 0u16..4096)),
-        any::<u8>(),
-        any::<u32>(),
-        any::<u32>(),
-        any::<u16>(),
-        any::<u16>(),
-        0usize..32,
-    )
-        .prop_map(
-            |(dl_src, dl_dst, vlan, nw_tos, nw_src, nw_dst, tp_src, tp_dst, payload_len)| {
-                ProbeSpec {
-                    dl_src,
-                    dl_dst,
-                    vlan,
-                    nw_tos,
-                    nw_src,
-                    nw_dst,
-                    tp_src,
-                    tp_dst,
-                    payload_len,
-                }
-            },
-        )
+/// splitmix64: deterministic stream from any seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn mac(&mut self) -> [u8; 6] {
+        let v = self.next();
+        [
+            v as u8,
+            (v >> 8) as u8,
+            (v >> 16) as u8,
+            (v >> 24) as u8,
+            (v >> 32) as u8,
+            (v >> 40) as u8,
+        ]
+    }
+}
+
+fn arb_spec(rng: &mut Rng) -> ProbeSpec {
+    ProbeSpec {
+        dl_src: rng.mac(),
+        dl_dst: rng.mac(),
+        vlan: (rng.below(2) == 0).then(|| (rng.below(8) as u8, rng.below(4096) as u16)),
+        nw_tos: rng.next() as u8,
+        nw_src: rng.next() as u32,
+        nw_dst: rng.next() as u32,
+        tp_src: rng.next() as u16,
+        tp_dst: rng.next() as u16,
+        payload_len: rng.below(32) as usize,
+    }
+}
+
+fn arb_port(rng: &mut Rng) -> u16 {
+    1 + rng.below(99) as u16
 }
 
 /// Exact match fields extracted from the packet itself.
@@ -53,89 +72,128 @@ fn exact_match_of(p: &Packet, in_port: u16) -> MatchFields {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// A full wildcard matches every packet.
-    #[test]
-    fn wildcard_all_matches_any_packet(spec in arb_spec(), port in 1u16..100) {
+/// A full wildcard matches every packet.
+#[test]
+fn wildcard_all_matches_any_packet() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_0000 + case);
+        let spec = arb_spec(&mut rng);
+        let port = arb_port(&mut rng);
         let p = Packet::from_spec(&spec);
         let m = MatchFields::wildcard_all();
         for (label, cond) in m.conditions(&Term::bv_const(16, port as u64), &p) {
-            prop_assert_eq!(cond.as_bool_const(), Some(true), "{} failed", label);
+            assert_eq!(cond.as_bool_const(), Some(true), "{label} failed");
         }
     }
+}
 
-    /// The exact match extracted from a packet matches it.
-    #[test]
-    fn exact_match_matches_self(spec in arb_spec(), port in 1u16..100) {
+/// The exact match extracted from a packet matches it.
+#[test]
+fn exact_match_matches_self() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_1000 + case);
+        let spec = arb_spec(&mut rng);
+        let port = arb_port(&mut rng);
         let p = Packet::from_spec(&spec);
         let m = exact_match_of(&p, port);
         for (label, cond) in m.conditions(&Term::bv_const(16, port as u64), &p) {
-            prop_assert_eq!(cond.as_bool_const(), Some(true), "{} failed", label);
+            assert_eq!(cond.as_bool_const(), Some(true), "{label} failed");
         }
     }
+}
 
-    /// Changing the ingress port breaks exactly the in_port condition.
-    #[test]
-    fn wrong_in_port_fails_only_in_port(spec in arb_spec(), port in 1u16..100) {
+/// Changing the ingress port breaks exactly the in_port condition.
+#[test]
+fn wrong_in_port_fails_only_in_port() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_2000 + case);
+        let spec = arb_spec(&mut rng);
+        let port = arb_port(&mut rng);
         let p = Packet::from_spec(&spec);
         let m = exact_match_of(&p, port);
         let conds = m.conditions(&Term::bv_const(16, port as u64 + 1), &p);
-        prop_assert_eq!(conds[0].1.as_bool_const(), Some(false));
+        assert_eq!(conds[0].1.as_bool_const(), Some(false));
         for (label, cond) in &conds[1..] {
-            prop_assert_eq!(cond.as_bool_const(), Some(true), "{} failed", label);
+            assert_eq!(cond.as_bool_const(), Some(true), "{label} failed");
         }
     }
+}
 
-    /// Packet parse of serialized bytes reconstructs the framing.
-    #[test]
-    fn parse_reconstructs_framing(spec in arb_spec()) {
+/// Packet parse of serialized bytes reconstructs the framing.
+#[test]
+fn parse_reconstructs_framing() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_3000 + case);
+        let spec = arb_spec(&mut rng);
         let p = Packet::from_spec(&spec);
         let bytes = p.buf.as_concrete().expect("probe concrete");
         let q = Packet::parse(&soft_sym::SymBuf::concrete(&bytes)).expect("parses");
-        prop_assert_eq!(q.vlan, p.vlan);
-        prop_assert_eq!(q.dl_vlan(), p.dl_vlan());
-        prop_assert_eq!(q.nw_src(), p.nw_src());
-        prop_assert_eq!(q.tp_dst(), p.tp_dst());
+        assert_eq!(q.vlan, p.vlan);
+        assert_eq!(q.dl_vlan(), p.dl_vlan());
+        assert_eq!(q.nw_src(), p.nw_src());
+        assert_eq!(q.tp_dst(), p.tp_dst());
     }
+}
 
-    /// Field rewrites read back what was written.
-    #[test]
-    fn rewrites_roundtrip(spec in arb_spec(), vid in 0u64..4096, tos in any::<u8>(),
-                          ip in any::<u32>(), tp in any::<u16>()) {
+/// Field rewrites read back what was written.
+#[test]
+fn rewrites_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_4000 + case);
+        let spec = arb_spec(&mut rng);
+        let vid = rng.below(4096);
+        let tos = rng.next() as u8;
+        let ip = rng.next() as u32;
+        let tp = rng.next() as u16;
         let mut p = Packet::from_spec(&spec);
         p.set_vlan_vid(&Term::bv_const(16, vid), true);
-        prop_assert_eq!(p.dl_vlan().as_bv_const(), Some(vid & 0xfff));
+        assert_eq!(p.dl_vlan().as_bv_const(), Some(vid & 0xfff));
         if p.has_ip() {
             p.set_nw_src(&Term::bv_const(32, ip as u64));
-            prop_assert_eq!(p.nw_src().as_bv_const(), Some(ip as u64));
+            assert_eq!(p.nw_src().as_bv_const(), Some(ip as u64));
             p.set_nw_tos(&Term::bv_const(8, tos as u64), true);
-            prop_assert_eq!(p.nw_tos().as_bv_const(), Some((tos & 0xfc) as u64));
+            assert_eq!(p.nw_tos().as_bv_const(), Some((tos & 0xfc) as u64));
         }
         if p.has_l4() {
             p.set_tp_dst(&Term::bv_const(16, tp as u64));
-            prop_assert_eq!(p.tp_dst().as_bv_const(), Some(tp as u64));
+            assert_eq!(p.tp_dst().as_bv_const(), Some(tp as u64));
         }
     }
+}
 
-    /// Inserting then stripping a VLAN tag restores the original frame.
-    #[test]
-    fn vlan_insert_strip_roundtrip(spec in arb_spec(), vid in 0u64..4096) {
-        prop_assume!(spec.vlan.is_none());
+/// Inserting then stripping a VLAN tag restores the original frame.
+#[test]
+fn vlan_insert_strip_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_5000 + case);
+        let spec = ProbeSpec {
+            vlan: None,
+            ..arb_spec(&mut rng)
+        };
+        let vid = rng.below(4096);
         let orig = Packet::from_spec(&spec);
         let mut p = orig.clone();
         p.set_vlan_vid(&Term::bv_const(16, vid), true);
-        prop_assert!(p.vlan);
+        assert!(p.vlan);
         p.strip_vlan();
-        prop_assert_eq!(p, orig);
+        assert_eq!(p, orig);
     }
+}
 
-    /// CIDR wildcard semantics agree with a direct prefix computation.
-    #[test]
-    fn cidr_matches_prefix_semantics(entry_ip in any::<u32>(), pkt_ip in any::<u32>(),
-                                     n in 0u32..64) {
-        let spec = ProbeSpec { nw_src: pkt_ip, ..Default::default() };
+/// CIDR wildcard semantics agree with a direct prefix computation.
+#[test]
+fn cidr_matches_prefix_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_6000 + case);
+        let entry_ip = rng.next() as u32;
+        let pkt_ip = rng.next() as u32;
+        let n = rng.below(64) as u32;
+        let spec = ProbeSpec {
+            nw_src: pkt_ip,
+            ..Default::default()
+        };
         let p = Packet::from_spec(&spec);
         let mut m = MatchFields::wildcard_all();
         m.wildcards = Term::bv_const(32, ((n & 0x3f) << wc::NW_SRC_SHIFT) as u64);
@@ -151,17 +209,22 @@ proptest! {
         } else {
             (entry_ip >> n) == (pkt_ip >> n)
         };
-        prop_assert_eq!(cond.as_bool_const(), Some(expected));
+        assert_eq!(cond.as_bool_const(), Some(expected));
     }
+}
 
-    /// Truncation never exceeds the packet length and preserves prefixes.
-    #[test]
-    fn truncation_is_prefix(spec in arb_spec(), n in 0usize..200) {
+/// Truncation never exceeds the packet length and preserves prefixes.
+#[test]
+fn truncation_is_prefix() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd4fa_7000 + case);
+        let spec = arb_spec(&mut rng);
+        let n = rng.below(200) as usize;
         let p = Packet::from_spec(&spec);
         let t = p.truncated(n);
-        prop_assert_eq!(t.len(), n.min(p.len()));
+        assert_eq!(t.len(), n.min(p.len()));
         let full = p.buf.as_concrete().unwrap();
         let tr = t.as_concrete().unwrap();
-        prop_assert_eq!(&full[..tr.len()], &tr[..]);
+        assert_eq!(&full[..tr.len()], &tr[..]);
     }
 }

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod input;
+pub mod json;
 pub mod recorded;
 pub mod runner;
 pub mod suite;

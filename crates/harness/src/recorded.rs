@@ -168,11 +168,7 @@ impl RecordedTrace {
     /// families re-symbolized (frames whose type doesn't carry the family
     /// stay concrete), and a TCP probe is appended after any
     /// state-changing message, per §3.3.
-    pub fn to_test(
-        &self,
-        id: &'static str,
-        fields: &[Symbolize],
-    ) -> Result<TestCase, RecordError> {
+    pub fn to_test(&self, id: &'static str, fields: &[Symbolize]) -> Result<TestCase, RecordError> {
         let mut inputs = Vec::new();
         let mut any_state_changing = false;
         for (i, frame) in self.frames.iter().enumerate() {
@@ -262,7 +258,9 @@ mod tests {
         let mut trace = RecordedTrace::new();
         trace.push(builder::hello(1).as_concrete().unwrap());
         trace.push(recorded_flow_mod());
-        let test = trace.to_test("rec_test", &[Symbolize::OutputPorts]).unwrap();
+        let test = trace
+            .to_test("rec_test", &[Symbolize::OutputPorts])
+            .unwrap();
         assert_eq!(test.inputs.len(), 3, "hello + flow mod + probe");
         assert!(matches!(test.inputs.last(), Some(Input::Probe { .. })));
     }
@@ -270,7 +268,11 @@ mod tests {
     #[test]
     fn pure_query_trace_has_no_probe() {
         let mut trace = RecordedTrace::new();
-        trace.push(builder::concrete_header_only(soft_openflow::consts::msg_type::ECHO_REQUEST, 1).as_concrete().unwrap());
+        trace.push(
+            builder::concrete_header_only(soft_openflow::consts::msg_type::ECHO_REQUEST, 1)
+                .as_concrete()
+                .unwrap(),
+        );
         let test = trace.to_test("rec_q", &[]).unwrap();
         assert_eq!(test.inputs.len(), 1);
     }

@@ -11,9 +11,18 @@ use crate::input::{Input, TestCase};
 use soft_agents::AgentKind;
 use soft_openflow::{normalize_trace, TraceEvent};
 use soft_sym::{explore_fn, Coverage, Exploration, ExplorationStats, ExplorerConfig, PathOutcome};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Recover the guarded data even if a sibling worker panicked while
+/// holding the lock. The result vector is only written slot-wise, so a
+/// poisoned lock still guards usable state; aborting the whole matrix
+/// (what `expect` did) would lose every already-finished combination.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The normalized externally-observable result of one explored path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -133,7 +142,7 @@ pub fn run_matrix(
     if jobs <= 1 {
         return combos
             .into_iter()
-            .map(|(a, t)| run_test(a, t, cfg))
+            .map(|(a, t)| run_test_contained(a, t, cfg))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -147,17 +156,50 @@ pub fn run_matrix(
                     break;
                 }
                 let (a, t) = combos[k];
-                let run = run_test(a, t, cfg);
-                results.lock().expect("matrix results poisoned")[k] = Some(run);
+                let run = run_test_contained(a, t, cfg);
+                recover(&results)[k] = Some(run);
             });
         }
     });
+    // A slot can only be `None` if its worker died outside the per-run
+    // containment (a bug in this loop itself); degrade it the same way.
     results
         .into_inner()
-        .expect("matrix results poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|r| r.expect("every combination executed"))
+        .zip(&combos)
+        .map(|(r, (a, t))| r.unwrap_or_else(|| degraded_run(*a, t)))
         .collect()
+}
+
+/// Run one combination with engine-panic containment: agent panics are
+/// already converted to crash outputs inside the explorer, so an unwind
+/// escaping [`run_test`] means the exploration *machinery* failed. The
+/// matrix must still complete and say so — the combination degrades to an
+/// empty, truncated [`TestRun`] with `engine_panics` set, never to a
+/// process abort that discards every other combination.
+fn run_test_contained(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
+    std::panic::catch_unwind(AssertUnwindSafe(|| run_test(agent, test, cfg)))
+        .unwrap_or_else(|_| degraded_run(agent, test))
+}
+
+/// Placeholder result for a combination whose exploration engine panicked:
+/// no paths, flagged truncated, one engine panic on record.
+fn degraded_run(agent: AgentKind, test: &TestCase) -> TestRun {
+    TestRun {
+        agent: agent.id().to_string(),
+        test: test.id.to_string(),
+        paths: Vec::new(),
+        wall: Duration::ZERO,
+        stats: ExplorationStats {
+            truncated: true,
+            engine_panics: 1,
+            ..ExplorationStats::default()
+        },
+        coverage: Coverage::new(),
+        instruction_pct: 0.0,
+        branch_pct: 0.0,
+    }
 }
 
 fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {

@@ -9,9 +9,7 @@
 
 use crate::input::{Input, TestCase};
 use soft_dataplane::{eth_probe, tcp_probe, Packet};
-use soft_openflow::builder::{
-    self, ActionSpec, FlowModSpec, MatchMode,
-};
+use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
 
 fn tcp_probe_input() -> Input {
     Input::Probe {
@@ -59,10 +57,7 @@ pub fn set_config() -> TestCase {
         "set_config",
         "Set Config",
         "A symbolic Set Config message followed by a probing TCP packet.",
-        vec![
-            Input::Message(builder::set_config("m0")),
-            tcp_probe_input(),
-        ],
+        vec![Input::Message(builder::set_config("m0")), tcp_probe_input()],
     )
 }
 

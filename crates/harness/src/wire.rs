@@ -7,8 +7,8 @@
 //! terms in the `soft-smt` wire syntax, so the crosschecking party needs
 //! no access to the agent at all.
 
+use crate::json::{self, Json};
 use crate::runner::{ObservedOutput, PathRecord, TestRun};
-use serde::{Deserialize, Serialize};
 use soft_openflow::TraceEvent;
 use soft_smt::{sexpr, Term};
 use soft_sym::SymBuf;
@@ -39,9 +39,9 @@ fn buf_in(v: &[String]) -> Result<SymBuf, String> {
     Ok(b)
 }
 
-/// Wire form of one trace event.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+/// Wire form of one trace event. Serialized as an internally tagged
+/// object: `{"kind": "<snake_case variant>", ...fields}`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventFile {
     /// OpenFlow error message.
     Error {
@@ -142,7 +142,9 @@ impl EventFile {
                 exclude_ingress: *exclude_ingress,
                 data: buf_out(data),
             },
-            TraceEvent::NormalForward { data } => EventFile::NormalForward { data: buf_out(data) },
+            TraceEvent::NormalForward { data } => EventFile::NormalForward {
+                data: buf_out(data),
+            },
             TraceEvent::ProbeDropped => EventFile::ProbeDropped,
         }
     }
@@ -192,7 +194,9 @@ impl EventFile {
                 exclude_ingress: *exclude_ingress,
                 data: buf_in(data)?,
             },
-            EventFile::NormalForward { data } => TraceEvent::NormalForward { data: buf_in(data)? },
+            EventFile::NormalForward { data } => TraceEvent::NormalForward {
+                data: buf_in(data)?,
+            },
             EventFile::ProbeDropped => TraceEvent::ProbeDropped,
         })
     }
@@ -221,7 +225,7 @@ fn intern_field(n: &str) -> Result<&'static str, String> {
 }
 
 /// Wire form of one explored path.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathFile {
     /// Path condition (wire term).
     pub condition: String,
@@ -232,7 +236,7 @@ pub struct PathFile {
 }
 
 /// Wire form of a whole test run — the phase-1 artifact a vendor ships.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestRunFile {
     /// Agent identifier.
     pub agent: String,
@@ -287,7 +291,10 @@ impl TestRunFile {
                 Ok(PathRecord {
                     constraint_size: soft_smt::metrics::op_count(&condition),
                     condition,
-                    output: ObservedOutput { events, crashed: p.crashed },
+                    output: ObservedOutput {
+                        events,
+                        crashed: p.crashed,
+                    },
                 })
             })
             .collect()
@@ -295,12 +302,197 @@ impl TestRunFile {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("TestRunFile serializes")
+        Json::Object(vec![
+            ("agent".into(), Json::Str(self.agent.clone())),
+            ("test".into(), Json::Str(self.test.clone())),
+            (
+                "paths".into(),
+                Json::Array(self.paths.iter().map(PathFile::to_json_value).collect()),
+            ),
+            ("wall_ms".into(), Json::UInt(self.wall_ms)),
+            ("instruction_pct".into(), Json::Float(self.instruction_pct)),
+            ("branch_pct".into(), Json::Float(self.branch_pct)),
+            ("truncated".into(), Json::Bool(self.truncated)),
+        ])
+        .to_string()
     }
 
     /// Parse from JSON.
     pub fn from_json(s: &str) -> Result<TestRunFile, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = json::parse(s)?;
+        if !matches!(v, Json::Object(_)) {
+            return Err("artifact must be a JSON object".into());
+        }
+        Ok(TestRunFile {
+            agent: v.field("agent")?.as_str()?.to_string(),
+            test: v.field("test")?.as_str()?.to_string(),
+            paths: v
+                .field("paths")?
+                .as_array()?
+                .iter()
+                .map(PathFile::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            wall_ms: v.field("wall_ms")?.as_u64()?,
+            instruction_pct: v.field("instruction_pct")?.as_f64()?,
+            branch_pct: v.field("branch_pct")?.as_f64()?,
+            truncated: v.field("truncated")?.as_bool()?,
+        })
+    }
+}
+
+impl PathFile {
+    fn to_json_value(&self) -> Json {
+        Json::Object(vec![
+            ("condition".into(), Json::Str(self.condition.clone())),
+            ("crashed".into(), Json::Bool(self.crashed)),
+            (
+                "events".into(),
+                Json::Array(self.events.iter().map(EventFile::to_json_value).collect()),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<PathFile, String> {
+        Ok(PathFile {
+            condition: v.field("condition")?.as_str()?.to_string(),
+            crashed: v.field("crashed")?.as_bool()?,
+            events: v
+                .field("events")?
+                .as_array()?
+                .iter()
+                .map(EventFile::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+fn strings_out(v: &[String]) -> Json {
+    Json::Array(v.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn strings_in(v: &Json) -> Result<Vec<String>, String> {
+    v.as_array()?
+        .iter()
+        .map(|s| Ok(s.as_str()?.to_string()))
+        .collect()
+}
+
+impl EventFile {
+    fn to_json_value(&self) -> Json {
+        let kind = |k: &str| ("kind".to_string(), Json::Str(k.to_string()));
+        match self {
+            EventFile::Error { xid, etype, code } => Json::Object(vec![
+                kind("error"),
+                ("xid".into(), Json::Str(xid.clone())),
+                ("etype".into(), Json::Str(etype.clone())),
+                ("code".into(), Json::Str(code.clone())),
+            ]),
+            EventFile::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                data_len,
+                data,
+            } => Json::Object(vec![
+                kind("packet_in"),
+                ("buffer_id".into(), Json::Str(buffer_id.clone())),
+                ("in_port".into(), Json::Str(in_port.clone())),
+                ("reason".into(), Json::Str(reason.clone())),
+                ("data_len".into(), Json::Str(data_len.clone())),
+                ("data".into(), strings_out(data)),
+            ]),
+            EventFile::OfReply {
+                msg_type,
+                fields,
+                body,
+            } => Json::Object(vec![
+                kind("of_reply"),
+                ("msg_type".into(), Json::UInt(*msg_type as u64)),
+                (
+                    "fields".into(),
+                    Json::Array(
+                        fields
+                            .iter()
+                            .map(|(n, t)| {
+                                Json::Array(vec![Json::Str(n.clone()), Json::Str(t.clone())])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("body".into(), strings_out(body)),
+            ]),
+            EventFile::DataPlaneTx { port, data } => Json::Object(vec![
+                kind("data_plane_tx"),
+                ("port".into(), Json::Str(port.clone())),
+                ("data".into(), strings_out(data)),
+            ]),
+            EventFile::Flood {
+                exclude_ingress,
+                data,
+            } => Json::Object(vec![
+                kind("flood"),
+                ("exclude_ingress".into(), Json::Bool(*exclude_ingress)),
+                ("data".into(), strings_out(data)),
+            ]),
+            EventFile::NormalForward { data } => Json::Object(vec![
+                kind("normal_forward"),
+                ("data".into(), strings_out(data)),
+            ]),
+            EventFile::ProbeDropped => Json::Object(vec![kind("probe_dropped")]),
+        }
+    }
+
+    fn from_json_value(v: &Json) -> Result<EventFile, String> {
+        let kind = v.field("kind")?.as_str()?;
+        Ok(match kind {
+            "error" => EventFile::Error {
+                xid: v.field("xid")?.as_str()?.to_string(),
+                etype: v.field("etype")?.as_str()?.to_string(),
+                code: v.field("code")?.as_str()?.to_string(),
+            },
+            "packet_in" => EventFile::PacketIn {
+                buffer_id: v.field("buffer_id")?.as_str()?.to_string(),
+                in_port: v.field("in_port")?.as_str()?.to_string(),
+                reason: v.field("reason")?.as_str()?.to_string(),
+                data_len: v.field("data_len")?.as_str()?.to_string(),
+                data: strings_in(v.field("data")?)?,
+            },
+            "of_reply" => {
+                let msg_type = v.field("msg_type")?.as_u64()?;
+                if msg_type > u8::MAX as u64 {
+                    return Err(format!("msg_type {msg_type} out of range"));
+                }
+                EventFile::OfReply {
+                    msg_type: msg_type as u8,
+                    fields: v
+                        .field("fields")?
+                        .as_array()?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_array()?;
+                            if pair.len() != 2 {
+                                return Err("field entry must be a [name, term] pair".into());
+                            }
+                            Ok((pair[0].as_str()?.to_string(), pair[1].as_str()?.to_string()))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    body: strings_in(v.field("body")?)?,
+                }
+            }
+            "data_plane_tx" => EventFile::DataPlaneTx {
+                port: v.field("port")?.as_str()?.to_string(),
+                data: strings_in(v.field("data")?)?,
+            },
+            "flood" => EventFile::Flood {
+                exclude_ingress: v.field("exclude_ingress")?.as_bool()?,
+                data: strings_in(v.field("data")?)?,
+            },
+            "normal_forward" => EventFile::NormalForward {
+                data: strings_in(v.field("data")?)?,
+            },
+            "probe_dropped" => EventFile::ProbeDropped,
+            other => return Err(format!("unknown event kind '{other}'")),
+        })
     }
 }
 

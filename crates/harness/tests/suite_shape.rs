@@ -37,7 +37,11 @@ fn message_counts_match_table2_column() {
 fn probes_follow_state_changing_messages() {
     // §3.3: a concrete packet probes the state after any potentially
     // state-changing symbolic message.
-    for t in [suite::set_config(), suite::flow_mod(), suite::eth_flow_mod()] {
+    for t in [
+        suite::set_config(),
+        suite::flow_mod(),
+        suite::eth_flow_mod(),
+    ] {
         assert!(
             matches!(t.inputs.last(), Some(Input::Probe { .. })),
             "{} must end with a probe",
@@ -58,8 +62,14 @@ fn cs_flow_mods_is_concrete_then_symbolic() {
         })
         .collect();
     assert_eq!(msgs.len(), 2);
-    assert!(msgs[0].as_concrete().is_some(), "first flow mod is concrete");
-    assert!(msgs[1].as_concrete().is_none(), "second flow mod is symbolic");
+    assert!(
+        msgs[0].as_concrete().is_some(),
+        "first flow mod is concrete"
+    );
+    assert!(
+        msgs[1].as_concrete().is_none(),
+        "second flow mod is symbolic"
+    );
 }
 
 #[test]
@@ -146,7 +156,10 @@ fn test_ids_are_unique() {
 fn symbolic_messages_share_variable_namespace_across_builds() {
     // The cross-agent alignment property at suite level: building the
     // same test twice yields identical inputs (same variables).
-    for (a, b) in suite::table1_suite().iter().zip(suite::table1_suite().iter()) {
+    for (a, b) in suite::table1_suite()
+        .iter()
+        .zip(suite::table1_suite().iter())
+    {
         assert_eq!(a.inputs.len(), b.inputs.len());
         for (x, y) in a.inputs.iter().zip(b.inputs.iter()) {
             match (x, y) {

@@ -402,7 +402,10 @@ mod tests {
         assert_eq!(m.len(), 10);
         assert_eq!(m.u8(0).as_bv_const(), Some(1));
         for i in 1..10 {
-            assert!(m.u8(i).as_bv_const().is_none(), "byte {i} should be symbolic");
+            assert!(
+                m.u8(i).as_bv_const().is_none(),
+                "byte {i} should be symbolic"
+            );
         }
     }
 

@@ -232,7 +232,8 @@ pub fn parse(bytes: &[u8]) -> Result<Parsed, ParseError> {
                 return Err(ParseError::TruncatedBody(mtype));
             }
             let mut match_bytes = [0u8; 40];
-            match_bytes.copy_from_slice(&bytes[layout::flow_mod::MATCH..layout::flow_mod::MATCH + 40]);
+            match_bytes
+                .copy_from_slice(&bytes[layout::flow_mod::MATCH..layout::flow_mod::MATCH + 40]);
             Message::FlowMod {
                 match_bytes,
                 cookie: u64::from_be_bytes(
@@ -367,7 +368,10 @@ mod tests {
         // Set config needs 12 bytes; declare 10 honestly.
         let mut b = vec![1, msg_type::SET_CONFIG, 0, 10, 0, 0, 0, 0, 0, 0];
         b[3] = 10;
-        assert_eq!(parse(&b), Err(ParseError::TruncatedBody(msg_type::SET_CONFIG)));
+        assert_eq!(
+            parse(&b),
+            Err(ParseError::TruncatedBody(msg_type::SET_CONFIG))
+        );
     }
 
     #[test]

@@ -1,58 +1,83 @@
-//! Property-based tests for the message builders: every construction must
-//! satisfy the wire-format invariants §3.2.1 relies on (concrete version,
-//! type, length; length field equal to the actual byte count; concrete
-//! action geometry).
+//! Randomized-but-deterministic tests for the message builders: every
+//! construction must satisfy the wire-format invariants §3.2.1 relies on
+//! (concrete version, type, length; length field equal to the actual byte
+//! count; concrete action geometry). Specs come from seeded generators,
+//! so each run checks the same corpus.
 
-use proptest::prelude::*;
 use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
 use soft_openflow::consts::OFP_VERSION;
 use soft_openflow::layout;
 
-fn arb_action() -> impl Strategy<Value = ActionSpec> {
-    prop_oneof![
-        Just(ActionSpec::Symbolic),
-        Just(ActionSpec::SymbolicOutput),
-        any::<u16>().prop_map(ActionSpec::Output),
-        (0u16..0x2000).prop_map(ActionSpec::SetVlanVid),
-        any::<u8>().prop_map(ActionSpec::SetVlanPcp),
-        any::<u8>().prop_map(ActionSpec::SetNwTos),
-        Just(ActionSpec::StripVlan),
-    ]
+/// splitmix64: deterministic stream from any seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn chance(&mut self) -> bool {
+        self.below(2) == 0
+    }
 }
 
-fn arb_flow_mod_spec() -> impl Strategy<Value = FlowModSpec> {
-    (
-        prop_oneof![
-            Just(MatchMode::Symbolic),
-            Just(MatchMode::WildcardAll),
-            Just(MatchMode::EthOnly)
-        ],
-        proptest::collection::vec(arb_action(), 1..5),
-        proptest::option::of(0u16..6),
-        proptest::option::of(any::<u32>()),
-        proptest::option::of(any::<u16>()),
-        proptest::option::of((any::<u16>(), any::<u16>())),
-        proptest::option::of(any::<u16>()),
-    )
-        .prop_map(
-            |(match_mode, actions, command, buffer_id, priority, timeouts, flags)| FlowModSpec {
-                match_mode,
-                actions,
-                command,
-                buffer_id,
-                priority,
-                timeouts,
-                flags,
-                out_port: Some(soft_openflow::consts::port::OFPP_NONE),
-                cookie: Some(0),
-            },
-        )
+fn arb_action(rng: &mut Rng) -> ActionSpec {
+    match rng.below(7) {
+        0 => ActionSpec::Symbolic,
+        1 => ActionSpec::SymbolicOutput,
+        2 => ActionSpec::Output(rng.next() as u16),
+        3 => ActionSpec::SetVlanVid(rng.below(0x2000) as u16),
+        4 => ActionSpec::SetVlanPcp(rng.next() as u8),
+        5 => ActionSpec::SetNwTos(rng.next() as u8),
+        _ => ActionSpec::StripVlan,
+    }
+}
+
+fn arb_actions(rng: &mut Rng, lo: usize, hi: usize) -> Vec<ActionSpec> {
+    let n = lo + rng.below((hi - lo) as u64) as usize;
+    (0..n).map(|_| arb_action(rng)).collect()
+}
+
+fn arb_flow_mod_spec(rng: &mut Rng) -> FlowModSpec {
+    let match_mode = match rng.below(3) {
+        0 => MatchMode::Symbolic,
+        1 => MatchMode::WildcardAll,
+        _ => MatchMode::EthOnly,
+    };
+    FlowModSpec {
+        match_mode,
+        actions: arb_actions(rng, 1, 5),
+        command: rng.chance().then(|| rng.below(6) as u16),
+        buffer_id: rng.chance().then(|| rng.next() as u32),
+        priority: rng.chance().then(|| rng.next() as u16),
+        timeouts: rng.chance().then(|| (rng.next() as u16, rng.next() as u16)),
+        flags: rng.chance().then(|| rng.next() as u16),
+        out_port: Some(soft_openflow::consts::port::OFPP_NONE),
+        cookie: Some(0),
+    }
 }
 
 /// Structural invariants every built message must satisfy.
 fn check_invariants(m: &soft_sym::SymBuf, expected_type: u8) {
-    assert_eq!(m.u8(0).as_bv_const(), Some(OFP_VERSION as u64), "version concrete");
-    assert_eq!(m.u8(1).as_bv_const(), Some(expected_type as u64), "type concrete");
+    assert_eq!(
+        m.u8(0).as_bv_const(),
+        Some(OFP_VERSION as u64),
+        "version concrete"
+    );
+    assert_eq!(
+        m.u8(1).as_bv_const(),
+        Some(expected_type as u64),
+        "type concrete"
+    );
     assert_eq!(
         m.u16(2).as_bv_const(),
         Some(m.len() as u64),
@@ -60,16 +85,18 @@ fn check_invariants(m: &soft_sym::SymBuf, expected_type: u8) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Flow mods always have concrete framing and concrete 8-byte action
-    /// slot lengths, for any spec.
-    #[test]
-    fn flow_mod_invariants(spec in arb_flow_mod_spec()) {
+/// Flow mods always have concrete framing and concrete 8-byte action
+/// slot lengths, for any spec.
+#[test]
+fn flow_mod_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xb41d_0000 + case);
+        let spec = arb_flow_mod_spec(&mut rng);
         let m = builder::flow_mod("bp0", &spec);
         check_invariants(&m, soft_openflow::consts::msg_type::FLOW_MOD);
-        prop_assert_eq!(
+        assert_eq!(
             (m.len() - layout::flow_mod::FIXED_SIZE) % layout::action::BASE_SIZE,
             0
         );
@@ -77,56 +104,75 @@ proptest! {
         let n = (m.len() - layout::flow_mod::FIXED_SIZE) / layout::action::BASE_SIZE;
         for i in 0..n {
             let off = layout::flow_mod::ACTIONS + i * layout::action::BASE_SIZE;
-            prop_assert_eq!(m.u16(off + 2).as_bv_const(), Some(8));
+            assert_eq!(m.u16(off + 2).as_bv_const(), Some(8));
         }
         // Concretized fields really are concrete.
         if spec.command.is_some() {
-            prop_assert!(m.u16(layout::flow_mod::COMMAND).as_bv_const().is_some());
+            assert!(m.u16(layout::flow_mod::COMMAND).as_bv_const().is_some());
         } else {
-            prop_assert!(m.u16(layout::flow_mod::COMMAND).as_bv_const().is_none());
+            assert!(m.u16(layout::flow_mod::COMMAND).as_bv_const().is_none());
         }
         if let Some(b) = spec.buffer_id {
-            prop_assert_eq!(m.u32(layout::flow_mod::BUFFER_ID).as_bv_const(), Some(b as u64));
+            assert_eq!(
+                m.u32(layout::flow_mod::BUFFER_ID).as_bv_const(),
+                Some(b as u64)
+            );
         }
     }
+}
 
-    /// Packet outs keep framing, action geometry and payload concrete.
-    #[test]
-    fn packet_out_invariants(
-        actions in proptest::collection::vec(arb_action(), 0..4),
-        payload in proptest::collection::vec(any::<u8>(), 0..80),
-    ) {
+/// Packet outs keep framing, action geometry and payload concrete.
+#[test]
+fn packet_out_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xb41d_1000 + case);
+        let actions = arb_actions(&mut rng, 0, 4);
+        let payload: Vec<u8> = (0..rng.below(80)).map(|_| rng.next() as u8).collect();
         let m = builder::packet_out("bp1", &actions, &payload);
         check_invariants(&m, soft_openflow::consts::msg_type::PACKET_OUT);
-        let alen = m.u16(layout::packet_out::ACTIONS_LEN).as_bv_const().unwrap() as usize;
-        prop_assert_eq!(alen, actions.len() * 8);
+        let alen = m
+            .u16(layout::packet_out::ACTIONS_LEN)
+            .as_bv_const()
+            .unwrap() as usize;
+        assert_eq!(alen, actions.len() * 8);
         // Payload bytes are the concrete input.
         let off = layout::packet_out::FIXED_SIZE + alen;
         for (i, &b) in payload.iter().enumerate() {
-            prop_assert_eq!(m.u8(off + i).as_bv_const(), Some(b as u64));
+            assert_eq!(m.u8(off + i).as_bv_const(), Some(b as u64));
         }
     }
+}
 
-    /// Match-mode concretization touches exactly the promised fields.
-    #[test]
-    fn eth_only_match_keeps_dl_symbolic(actions in proptest::collection::vec(arb_action(), 1..3)) {
-        let spec = FlowModSpec { actions, ..FlowModSpec::eth_default() };
+/// Match-mode concretization touches exactly the promised fields.
+#[test]
+fn eth_only_match_keeps_dl_symbolic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xb41d_2000 + case);
+        let actions = arb_actions(&mut rng, 1, 3);
+        let spec = FlowModSpec {
+            actions,
+            ..FlowModSpec::eth_default()
+        };
         let m = builder::flow_mod("bp2", &spec);
         use layout::ofp_match as om;
         let base = layout::flow_mod::MATCH;
         // dl fields symbolic
-        prop_assert!(m.u48(base + om::DL_SRC).as_bv_const().is_none());
-        prop_assert!(m.u16(base + om::DL_VLAN).as_bv_const().is_none());
+        assert!(m.u48(base + om::DL_SRC).as_bv_const().is_none());
+        assert!(m.u16(base + om::DL_VLAN).as_bv_const().is_none());
         // nw/tp fields concrete zero
-        prop_assert_eq!(m.u32(base + om::NW_SRC).as_bv_const(), Some(0));
-        prop_assert_eq!(m.u16(base + om::TP_SRC).as_bv_const(), Some(0));
+        assert_eq!(m.u32(base + om::NW_SRC).as_bv_const(), Some(0));
+        assert_eq!(m.u16(base + om::TP_SRC).as_bv_const(), Some(0));
     }
+}
 
-    /// Same tag, same spec => identical message (cross-agent alignment).
-    #[test]
-    fn builds_are_deterministic(spec in arb_flow_mod_spec()) {
+/// Same tag, same spec => identical message (cross-agent alignment).
+#[test]
+fn builds_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xb41d_3000 + case);
+        let spec = arb_flow_mod_spec(&mut rng);
         let a = builder::flow_mod("bp3", &spec);
         let b = builder::flow_mod("bp3", &spec);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -539,7 +539,11 @@ mod tests {
             .clone()
             .bvudiv(Term::bv_const(8, 10))
             .eq(Term::bv_const(8, 7))
-            .and(x.clone().bvurem(Term::bv_const(8, 10)).eq(Term::bv_const(8, 3)));
+            .and(
+                x.clone()
+                    .bvurem(Term::bv_const(8, 10))
+                    .eq(Term::bv_const(8, 3)),
+            );
         let a = solve_one(&t).unwrap();
         assert_eq!(a.get("bb.d"), Some(73));
     }

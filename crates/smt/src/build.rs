@@ -633,7 +633,10 @@ mod tests {
         assert_eq!(a.clone().bvadd(b.clone()).as_bv_const(), Some(44)); // wraps
         assert_eq!(a.clone().bvsub(b.clone()).as_bv_const(), Some(100));
         assert_eq!(b.clone().bvsub(a.clone()).as_bv_const(), Some(156));
-        assert_eq!(a.clone().bvmul(b.clone()).as_bv_const(), Some((200 * 100) % 256));
+        assert_eq!(
+            a.clone().bvmul(b.clone()).as_bv_const(),
+            Some((200 * 100) % 256)
+        );
         assert_eq!(a.clone().bvudiv(b.clone()).as_bv_const(), Some(2));
         assert_eq!(a.bvurem(b).as_bv_const(), Some(0));
     }
@@ -649,9 +652,18 @@ mod tests {
     #[test]
     fn shift_semantics() {
         let a = Term::bv_const(8, 0b1000_0001);
-        assert_eq!(a.clone().bvshl(Term::bv_const(8, 1)).as_bv_const(), Some(0b10));
-        assert_eq!(a.clone().bvlshr(Term::bv_const(8, 1)).as_bv_const(), Some(0b0100_0000));
-        assert_eq!(a.clone().bvashr(Term::bv_const(8, 1)).as_bv_const(), Some(0b1100_0000));
+        assert_eq!(
+            a.clone().bvshl(Term::bv_const(8, 1)).as_bv_const(),
+            Some(0b10)
+        );
+        assert_eq!(
+            a.clone().bvlshr(Term::bv_const(8, 1)).as_bv_const(),
+            Some(0b0100_0000)
+        );
+        assert_eq!(
+            a.clone().bvashr(Term::bv_const(8, 1)).as_bv_const(),
+            Some(0b1100_0000)
+        );
         assert_eq!(a.clone().bvshl(Term::bv_const(8, 9)).as_bv_const(), Some(0));
         assert_eq!(a.bvashr(Term::bv_const(8, 9)).as_bv_const(), Some(0xff));
     }
@@ -710,15 +722,23 @@ mod tests {
         let a = Term::var("sa", 8);
         let b = Term::var("sb", 8);
         let e = a.clone().concat(b.clone()).eq(Term::bv_const(16, 0x1234));
-        let expected = a.eq(Term::bv_const(8, 0x12)).and(b.eq(Term::bv_const(8, 0x34)));
+        let expected = a
+            .eq(Term::bv_const(8, 0x12))
+            .and(b.eq(Term::bv_const(8, 0x34)));
         assert_eq!(e, expected);
     }
 
     #[test]
     fn zext_and_sext() {
         assert_eq!(Term::bv_const(8, 0x80).zext(16).as_bv_const(), Some(0x0080));
-        assert_eq!(Term::bv_const(8, 0x80).sext_to(16).as_bv_const(), Some(0xff80));
-        assert_eq!(Term::bv_const(8, 0x7f).sext_to(16).as_bv_const(), Some(0x007f));
+        assert_eq!(
+            Term::bv_const(8, 0x80).sext_to(16).as_bv_const(),
+            Some(0xff80)
+        );
+        assert_eq!(
+            Term::bv_const(8, 0x7f).sext_to(16).as_bv_const(),
+            Some(0x007f)
+        );
         let x = Term::var("zx", 8);
         assert_eq!(x.clone().zext(16).extract(7, 0), x);
     }
@@ -741,24 +761,39 @@ mod tests {
     fn comparisons_fold_and_simplify() {
         let x = Term::var("cmp", 8);
         assert_eq!(
-            Term::bv_const(8, 3).ult(Term::bv_const(8, 5)).as_bool_const(),
+            Term::bv_const(8, 3)
+                .ult(Term::bv_const(8, 5))
+                .as_bool_const(),
             Some(true)
         );
-        assert_eq!(x.clone().ult(Term::bv_const(8, 0)).as_bool_const(), Some(false));
-        assert_eq!(x.clone().ule(Term::bv_const(8, 0xff)).as_bool_const(), Some(true));
+        assert_eq!(
+            x.clone().ult(Term::bv_const(8, 0)).as_bool_const(),
+            Some(false)
+        );
+        assert_eq!(
+            x.clone().ule(Term::bv_const(8, 0xff)).as_bool_const(),
+            Some(true)
+        );
         assert_eq!(x.clone().eq(x.clone()).as_bool_const(), Some(true));
-        assert_eq!(x.clone().ult(Term::bv_const(8, 1)), x.eq(Term::bv_const(8, 0)));
+        assert_eq!(
+            x.clone().ult(Term::bv_const(8, 1)),
+            x.eq(Term::bv_const(8, 0))
+        );
     }
 
     #[test]
     fn signed_comparisons_fold() {
         // 0xff is -1 signed
         assert_eq!(
-            Term::bv_const(8, 0xff).slt(Term::bv_const(8, 0)).as_bool_const(),
+            Term::bv_const(8, 0xff)
+                .slt(Term::bv_const(8, 0))
+                .as_bool_const(),
             Some(true)
         );
         assert_eq!(
-            Term::bv_const(8, 0x7f).slt(Term::bv_const(8, 0x80)).as_bool_const(),
+            Term::bv_const(8, 0x7f)
+                .slt(Term::bv_const(8, 0x80))
+                .as_bool_const(),
             Some(false)
         );
     }

@@ -104,8 +104,8 @@ mod tests {
         let x = Term::var("mt.s", 8);
         let sq = x.clone().bvmul(x.clone()); // 1 op
         let e = sq.clone().bvadd(sq.clone()); // bvadd(sq, sq): sq == sq folds!
-        // x*x + x*x does not fold to a constant; Add with equal operands is
-        // not simplified, so: ops = mul + add = 2, nodes = x, mul, add = 3.
+                                              // x*x + x*x does not fold to a constant; Add with equal operands is
+                                              // not simplified, so: ops = mul + add = 2, nodes = x, mul, add = 3.
         assert_eq!(op_count(&e), 2);
         assert_eq!(node_count(&e), 3);
         assert_eq!(depth(&e), 2);

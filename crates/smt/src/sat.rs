@@ -207,6 +207,10 @@ pub struct SatSolver {
     pub propagations: u64,
     /// conflict budget; `None` = unlimited
     pub max_conflicts: Option<u64>,
+    /// propagation (step) budget; `None` = unlimited
+    pub max_propagations: Option<u64>,
+    /// wall-clock cutoff for the current `solve` call; `None` = unlimited
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SatSolver {
@@ -236,6 +240,8 @@ impl SatSolver {
             decisions: 0,
             propagations: 0,
             max_conflicts: None,
+            max_propagations: None,
+            deadline: None,
         }
     }
 
@@ -521,6 +527,22 @@ impl SatSolver {
         1u64 << seq
     }
 
+    /// True once the conflict or propagation budget is spent (the
+    /// wall-clock deadline is polled separately, on a stride).
+    fn budget_exhausted(&self) -> bool {
+        if let Some(max) = self.max_conflicts {
+            if self.conflicts >= max {
+                return true;
+            }
+        }
+        if let Some(max) = self.max_propagations {
+            if self.propagations >= max {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Run the CDCL main loop.
     pub fn solve(&mut self) -> SatOutcome {
         if self.unsat {
@@ -533,16 +555,27 @@ impl SatSolver {
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = 100 * Self::luby(0);
         let mut conflicts_this_restart = 0u64;
+        // The deadline is polled once per DEADLINE_STRIDE loop iterations so
+        // the `Instant::now()` syscall cost stays off the hot path.
+        const DEADLINE_STRIDE: u32 = 1024;
+        let mut tick = 0u32;
         loop {
-            if let Some(conf) = self.propagate() {
-                self.conflicts += 1;
-                conflicts_this_restart += 1;
-                if let Some(max) = self.max_conflicts {
-                    if self.conflicts >= max {
+            if self.budget_exhausted() {
+                self.backtrack(0);
+                return SatOutcome::Unknown;
+            }
+            tick = tick.wrapping_add(1);
+            if tick.is_multiple_of(DEADLINE_STRIDE) {
+                if let Some(d) = self.deadline {
+                    if std::time::Instant::now() >= d {
                         self.backtrack(0);
                         return SatOutcome::Unknown;
                     }
                 }
+            }
+            if let Some(conf) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_this_restart += 1;
                 if self.trail_lim.is_empty() {
                     self.unsat = true;
                     return SatOutcome::Unsat;

@@ -153,11 +153,10 @@ impl<'a> Parser<'a> {
         if start == self.pos {
             return self.err("expected token");
         }
-        std::str::from_utf8(&self.input[start..self.pos])
-            .map_err(|_| ParseError {
-                message: "invalid utf8".into(),
-                offset: start,
-            })
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+            message: "invalid utf8".into(),
+            offset: start,
+        })
     }
 
     fn quoted_string(&mut self) -> Result<String, ParseError> {
@@ -191,11 +190,10 @@ impl<'a> Parser<'a> {
 
     fn number<T: std::str::FromStr>(&mut self) -> Result<T, ParseError> {
         let t = self.token()?;
-        t.parse()
-            .map_err(|_| ParseError {
-                message: format!("bad number '{t}'"),
-                offset: self.pos,
-            })
+        t.parse().map_err(|_| ParseError {
+            message: format!("bad number '{t}'"),
+            offset: self.pos,
+        })
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
@@ -264,7 +262,11 @@ impl<'a> Parser<'a> {
                 if !a.sort().is_bv() {
                     return self.err("ill-sorted operand for bv unary op");
                 }
-                Ok(if head == "bvnot" { a.bvnot() } else { a.bvneg() })
+                Ok(if head == "bvnot" {
+                    a.bvnot()
+                } else {
+                    a.bvneg()
+                })
             }
             "bvand" => bin!(bvand),
             "bvor" => bin!(bvor),
@@ -371,7 +373,12 @@ mod tests {
             .bvadd(y.clone())
             .bvmul(Term::bv_const(16, 3))
             .eq(Term::bv_const(16, 99))
-            .and(x.clone().extract(7, 0).concat(y.clone().extract(15, 8)).ult(Term::bv_const(16, 7)))
+            .and(
+                x.clone()
+                    .extract(7, 0)
+                    .concat(y.clone().extract(15, 8))
+                    .ult(Term::bv_const(16, 7)),
+            )
             .or(Term::ite_bv(
                 y.clone().ule(x.clone()),
                 x.clone().bvshl(Term::bv_const(16, 2)),

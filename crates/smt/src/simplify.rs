@@ -216,10 +216,7 @@ pub enum Preprocessed {
 /// Propagate `var == const` conjuncts through the conjunction to a fixpoint
 /// (bounded), returning a simplified equisatisfiable residual.
 pub fn propagate_equalities(assertions: &[Term]) -> Preprocessed {
-    let mut todo: Vec<Term> = assertions
-        .iter()
-        .flat_map(conjuncts)
-        .collect();
+    let mut todo: Vec<Term> = assertions.iter().flat_map(conjuncts).collect();
     for _round in 0..8 {
         // Harvest var == const bindings.
         let mut map: HashMap<Term, Term> = HashMap::new();

@@ -322,7 +322,10 @@ impl Term {
         let shash = structural_hash(&op);
         let interner = interner();
         let shard = &interner.shards[(shash as usize) & (INTERNER_SHARDS - 1)];
-        let mut table = shard.lock().expect("term interner poisoned");
+        // Poison recovery: nothing inside the critical section unwinds in
+        // normal operation, and the map is only a cache of canonical nodes —
+        // recovering beats aborting every thread that touches the interner.
+        let mut table = shard.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(t) = table.get(&op) {
             return t.clone();
         }

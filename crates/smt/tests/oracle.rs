@@ -2,12 +2,31 @@
 //! solver's verdict must match exhaustive enumeration of all 256
 //! assignments. This is the strongest correctness check of the whole
 //! simplify → bit-blast → CDCL pipeline, because the oracle shares no
-//! code with the solving path (it only uses the evaluator).
+//! code with the solving path (it only uses the evaluator). Formulas are
+//! generated from fixed seeds, so every run checks the same corpus.
 
-use proptest::prelude::*;
 use soft_smt::{Assignment, SatResult, Solver, Term};
 
 const W: u32 = 4;
+
+/// splitmix64: deterministic stream from any seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 fn vx() -> Term {
     Term::var("or.x", W)
@@ -17,46 +36,46 @@ fn vy() -> Term {
 }
 
 /// Random small terms over x, y.
-fn bv_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        Just(vx()),
-        Just(vy()),
-        (0u64..16).prop_map(|v| Term::bv_const(W, v)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), 0..8u8).prop_map(|(a, b, op)| match op {
-                0 => a.bvand(b),
-                1 => a.bvor(b),
-                2 => a.bvxor(b),
-                3 => a.bvadd(b),
-                4 => a.bvsub(b),
-                5 => a.bvmul(b),
-                6 => a.bvudiv(b),
-                _ => a.bvurem(b),
-            }),
-            inner.clone().prop_map(|a| a.bvnot()),
-            inner.prop_map(|a| a.bvneg()),
-        ]
-    })
+fn bv_term(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(3) {
+            0 => vx(),
+            1 => vy(),
+            _ => Term::bv_const(W, rng.below(16)),
+        };
+    }
+    match rng.below(10) {
+        0 => bv_term(rng, depth - 1).bvand(bv_term(rng, depth - 1)),
+        1 => bv_term(rng, depth - 1).bvor(bv_term(rng, depth - 1)),
+        2 => bv_term(rng, depth - 1).bvxor(bv_term(rng, depth - 1)),
+        3 => bv_term(rng, depth - 1).bvadd(bv_term(rng, depth - 1)),
+        4 => bv_term(rng, depth - 1).bvsub(bv_term(rng, depth - 1)),
+        5 => bv_term(rng, depth - 1).bvmul(bv_term(rng, depth - 1)),
+        6 => bv_term(rng, depth - 1).bvudiv(bv_term(rng, depth - 1)),
+        7 => bv_term(rng, depth - 1).bvurem(bv_term(rng, depth - 1)),
+        8 => bv_term(rng, depth - 1).bvnot(),
+        _ => bv_term(rng, depth - 1).bvneg(),
+    }
 }
 
-fn bool_term() -> impl Strategy<Value = Term> {
-    let atom = (bv_term(), bv_term(), 0..5u8).prop_map(|(a, b, op)| match op {
-        0 => a.eq(b),
-        1 => a.ult(b),
-        2 => a.ule(b),
-        3 => a.slt(b),
-        _ => a.sle(b),
-    });
-    atom.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(|a| a.not()),
-            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
-        ]
-    })
+fn bool_term(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(3) == 0 {
+        let a = bv_term(rng, 2);
+        let b = bv_term(rng, 2);
+        return match rng.below(5) {
+            0 => a.eq(b),
+            1 => a.ult(b),
+            2 => a.ule(b),
+            3 => a.slt(b),
+            _ => a.sle(b),
+        };
+    }
+    match rng.below(4) {
+        0 => bool_term(rng, depth - 1).and(bool_term(rng, depth - 1)),
+        1 => bool_term(rng, depth - 1).or(bool_term(rng, depth - 1)),
+        2 => bool_term(rng, depth - 1).not(),
+        _ => bool_term(rng, depth - 1).iff(bool_term(rng, depth - 1)),
+    }
 }
 
 /// Enumerate all 256 assignments; return a satisfying one if any.
@@ -74,52 +93,70 @@ fn brute_force(t: &Term) -> Option<(u64, u64)> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Solver verdict == brute-force verdict, and models check out.
-    #[test]
-    fn solver_matches_brute_force(t in bool_term()) {
+/// Solver verdict == brute-force verdict, and models check out.
+#[test]
+fn solver_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0aac_0000 + case);
+        let t = bool_term(&mut rng, 3);
         let expected = brute_force(&t);
         let mut solver = Solver::new();
         match solver.check_one(&t) {
             SatResult::Sat(m) => {
-                prop_assert!(expected.is_some(), "solver SAT but formula has no model: {t}");
-                prop_assert!(m.eval_bool(&t), "returned model does not satisfy {t}");
+                assert!(
+                    expected.is_some(),
+                    "solver SAT but formula has no model: {t}"
+                );
+                assert!(m.eval_bool(&t), "returned model does not satisfy {t}");
             }
             SatResult::Unsat => {
-                prop_assert!(expected.is_none(),
-                    "solver UNSAT but {:?} satisfies {t}", expected);
+                assert!(
+                    expected.is_none(),
+                    "solver UNSAT but {expected:?} satisfies {t}"
+                );
             }
-            SatResult::Unknown => prop_assert!(false, "unexpected Unknown without budget"),
+            SatResult::Unknown => panic!("unexpected Unknown without budget"),
         }
     }
+}
 
-    /// Conjunction with the negation of a brute-force model must exclude
-    /// exactly that model, never flip the overall verdict spuriously.
-    #[test]
-    fn model_exclusion_is_consistent(t in bool_term()) {
+/// Conjunction with the negation of a brute-force model must exclude
+/// exactly that model, never flip the overall verdict spuriously.
+#[test]
+fn model_exclusion_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0aac_1000 + case);
+        let t = bool_term(&mut rng, 3);
         if let Some((x, y)) = brute_force(&t) {
-            let pin = vx().eq(Term::bv_const(W, x)).and(vy().eq(Term::bv_const(W, y)));
+            let pin = vx()
+                .eq(Term::bv_const(W, x))
+                .and(vy().eq(Term::bv_const(W, y)));
             let mut solver = Solver::new();
             // The pinned model satisfies t.
-            prop_assert!(solver.check(&[t.clone(), pin.clone()]).is_sat());
+            assert!(solver.check(&[t.clone(), pin.clone()]).is_sat());
             // t && !pin is SAT iff another model exists.
             let others = {
                 let mut found = None;
                 'outer: for xx in 0..16u64 {
                     for yy in 0..16u64 {
-                        if (xx, yy) == (x, y) { continue; }
+                        if (xx, yy) == (x, y) {
+                            continue;
+                        }
                         let mut a = Assignment::new();
                         a.set("or.x", xx);
                         a.set("or.y", yy);
-                        if a.eval_bool(&t) { found = Some(()); break 'outer; }
+                        if a.eval_bool(&t) {
+                            found = Some(());
+                            break 'outer;
+                        }
                     }
                 }
                 found.is_some()
             };
             let verdict = solver.check(&[t.clone(), pin.not()]).is_sat();
-            prop_assert_eq!(verdict, others);
+            assert_eq!(verdict, others, "exclusion verdict mismatch for {t}");
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Property-based tests for the solver stack.
+//! Randomized-but-deterministic tests for the solver stack (seeded
+//! generators, no external property-testing dependency).
 //!
 //! The key invariants: (1) the bit-blaster and the evaluator agree — any
 //! model returned by SAT satisfies the term under concrete evaluation, and
@@ -6,63 +7,83 @@
 //! UNSAT; (3) the wire format round-trips; (4) simplification preserves
 //! satisfiability.
 
-use proptest::prelude::*;
 use soft_smt::{sexpr, simplify, Assignment, SatResult, Solver, Term};
 
 const VARS: [&str; 4] = ["pp.a", "pp.b", "pp.c", "pp.d"];
 const W: u32 = 8;
 
+/// splitmix64: deterministic stream from any seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
 /// Random bitvector term over four 8-bit variables.
-fn bv_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (0..4usize).prop_map(|i| Term::var(VARS[i], W)),
-        any::<u64>().prop_map(|v| Term::bv_const(W, v)),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), 0..11u8).prop_map(|(a, b, op)| match op {
-                0 => a.bvand(b),
-                1 => a.bvor(b),
-                2 => a.bvxor(b),
-                3 => a.bvadd(b),
-                4 => a.bvsub(b),
-                5 => a.bvmul(b),
-                6 => a.bvudiv(b),
-                7 => a.bvurem(b),
-                8 => a.bvshl(b),
-                9 => a.bvlshr(b),
-                _ => a.bvashr(b),
-            }),
-            inner.clone().prop_map(|a| a.bvnot()),
-            inner.clone().prop_map(|a| a.bvneg()),
-            (inner.clone(), 0..W).prop_map(|(a, lo)| {
-                let hi = W - 1;
-                a.extract(hi, lo).zext(W)
-            }),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
-                Term::ite_bv(c.eq(Term::bv_const(W, 0)), a, b)
-            }),
-        ]
-    })
+fn bv_term(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(3) == 0 {
+        return if rng.below(2) == 0 {
+            Term::var(VARS[rng.below(4) as usize], W)
+        } else {
+            Term::bv_const(W, rng.next())
+        };
+    }
+    match rng.below(15) {
+        0 => bv_term(rng, depth - 1).bvand(bv_term(rng, depth - 1)),
+        1 => bv_term(rng, depth - 1).bvor(bv_term(rng, depth - 1)),
+        2 => bv_term(rng, depth - 1).bvxor(bv_term(rng, depth - 1)),
+        3 => bv_term(rng, depth - 1).bvadd(bv_term(rng, depth - 1)),
+        4 => bv_term(rng, depth - 1).bvsub(bv_term(rng, depth - 1)),
+        5 => bv_term(rng, depth - 1).bvmul(bv_term(rng, depth - 1)),
+        6 => bv_term(rng, depth - 1).bvudiv(bv_term(rng, depth - 1)),
+        7 => bv_term(rng, depth - 1).bvurem(bv_term(rng, depth - 1)),
+        8 => bv_term(rng, depth - 1).bvshl(bv_term(rng, depth - 1)),
+        9 => bv_term(rng, depth - 1).bvlshr(bv_term(rng, depth - 1)),
+        10 => bv_term(rng, depth - 1).bvashr(bv_term(rng, depth - 1)),
+        11 => bv_term(rng, depth - 1).bvnot(),
+        12 => bv_term(rng, depth - 1).bvneg(),
+        13 => {
+            let lo = rng.below(W as u64) as u32;
+            bv_term(rng, depth - 1).extract(W - 1, lo).zext(W)
+        }
+        _ => {
+            let c = bv_term(rng, depth - 1).eq(Term::bv_const(W, 0));
+            Term::ite_bv(c, bv_term(rng, depth - 1), bv_term(rng, depth - 1))
+        }
+    }
 }
 
 /// Random boolean term built from comparisons over bitvector terms.
-fn bool_term() -> impl Strategy<Value = Term> {
-    let atom = (bv_term(), bv_term(), 0..5u8).prop_map(|(a, b, op)| match op {
-        0 => a.eq(b),
-        1 => a.ult(b),
-        2 => a.ule(b),
-        3 => a.slt(b),
-        _ => a.sle(b),
-    });
-    atom.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(|a| a.not()),
-            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
-        ]
-    })
+fn bool_term(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(3) == 0 {
+        let a = bv_term(rng, 2);
+        let b = bv_term(rng, 2);
+        return match rng.below(5) {
+            0 => a.eq(b),
+            1 => a.ult(b),
+            2 => a.ule(b),
+            3 => a.slt(b),
+            _ => a.sle(b),
+        };
+    }
+    match rng.below(4) {
+        0 => bool_term(rng, depth - 1).and(bool_term(rng, depth - 1)),
+        1 => bool_term(rng, depth - 1).or(bool_term(rng, depth - 1)),
+        2 => bool_term(rng, depth - 1).not(),
+        _ => bool_term(rng, depth - 1).implies(bool_term(rng, depth - 1)),
+    }
 }
 
 fn assignment(vals: [u64; 4]) -> Assignment {
@@ -73,60 +94,85 @@ fn assignment(vals: [u64; 4]) -> Assignment {
     a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn rand_vals(rng: &mut Rng) -> [u64; 4] {
+    [rng.next(), rng.next(), rng.next(), rng.next()]
+}
 
-    /// Any concretely satisfiable boolean term must be found SAT, and the
-    /// model must concretely satisfy it (checked inside the solver too).
-    #[test]
-    fn solver_agrees_with_concrete_witness(t in bool_term(), vals in any::<[u64; 4]>()) {
+const CASES: u64 = 96;
+
+/// Any concretely satisfiable boolean term must be found SAT, and the
+/// model must concretely satisfy it (checked inside the solver too).
+#[test]
+fn solver_agrees_with_concrete_witness() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_0000 + case);
+        let t = bool_term(&mut rng, 3);
+        let vals = rand_vals(&mut rng);
         let a = assignment(vals);
         let concrete = a.eval_bool(&t);
         let mut solver = Solver::new();
         let r = solver.check_one(&t);
         if concrete {
-            prop_assert!(r.is_sat(), "term {t} is satisfied by {vals:?} but solver said {r:?}");
+            assert!(
+                r.is_sat(),
+                "term {t} is satisfied by {vals:?} but solver said {r:?}"
+            );
         }
         if let SatResult::Sat(m) = &r {
-            prop_assert!(m.eval_bool(&t), "model does not satisfy {t}");
+            assert!(m.eval_bool(&t), "model does not satisfy {t}");
         }
     }
+}
 
-    /// t && !t is always unsatisfiable.
-    #[test]
-    fn excluded_middle(t in bool_term()) {
+/// t && !t is always unsatisfiable.
+#[test]
+fn excluded_middle() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_1000 + case);
+        let t = bool_term(&mut rng, 3);
         let mut solver = Solver::new();
         let r = solver.check(&[t.clone(), t.clone().not()]);
-        prop_assert!(r.is_unsat(), "t && !t was {r:?} for {t}");
+        assert!(r.is_unsat(), "t && !t was {r:?} for {t}");
     }
+}
 
-    /// Smart constructors are semantics-preserving: evaluating the built
-    /// term matches evaluating it under a second, independent assignment
-    /// path (the memoized evaluator vs. a fresh one).
-    #[test]
-    fn wire_roundtrip_is_identity(t in bool_term()) {
+/// The wire format round-trips boolean terms exactly.
+#[test]
+fn wire_roundtrip_is_identity() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_2000 + case);
+        let t = bool_term(&mut rng, 3);
         let w = sexpr::to_wire(&t);
         let back = sexpr::from_wire(&w).expect("printed term must parse");
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    #[test]
-    fn wire_roundtrip_bv(t in bv_term()) {
+#[test]
+fn wire_roundtrip_bv() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_3000 + case);
+        let t = bv_term(&mut rng, 4);
         let w = sexpr::to_wire(&t);
         let back = sexpr::from_wire(&w).expect("printed term must parse");
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    /// Equality propagation preserves the concrete truth value.
-    #[test]
-    fn preprocessing_preserves_semantics(t in bool_term(), vals in any::<[u64; 4]>()) {
+/// Equality propagation preserves the concrete truth value.
+#[test]
+fn preprocessing_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_4000 + case);
+        let t = bool_term(&mut rng, 3);
+        let vals = rand_vals(&mut rng);
         let a = assignment(vals);
         let before = a.eval_bool(&t);
         match simplify::propagate_equalities(std::slice::from_ref(&t)) {
-            simplify::Preprocessed::TriviallyFalse => prop_assert!(!before),
+            simplify::Preprocessed::TriviallyFalse => assert!(!before),
             simplify::Preprocessed::TriviallyTrue => {
                 // Validity claim: spot-check with this assignment.
-                prop_assert!(before);
+                assert!(before);
             }
             simplify::Preprocessed::Residual(r) => {
                 // Residual is equisatisfiable, not equivalent: bindings are
@@ -137,25 +183,36 @@ proptest! {
                 let mut s2 = Solver::new();
                 let v1 = s1.check_one(&t).is_sat();
                 let v2 = s2.check(&r).is_sat();
-                prop_assert_eq!(v1, v2, "sat verdict changed by preprocessing");
+                assert_eq!(v1, v2, "sat verdict changed by preprocessing for {t}");
             }
         }
     }
+}
 
-    /// Balanced and linear disjunction trees are logically equivalent.
-    #[test]
-    fn or_tree_shapes_equivalent(ts in prop::collection::vec(bool_term(), 1..6), vals in any::<[u64; 4]>()) {
+/// Balanced and linear disjunction trees are logically equivalent.
+#[test]
+fn or_tree_shapes_equivalent() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_5000 + case);
+        let n = 1 + rng.below(5) as usize;
+        let ts: Vec<Term> = (0..n).map(|_| bool_term(&mut rng, 2)).collect();
+        let vals = rand_vals(&mut rng);
         let a = assignment(vals);
         let bal = simplify::mk_or_balanced(&ts);
         let lin = simplify::mk_or_linear(&ts);
-        prop_assert_eq!(a.eval_bool(&bal), a.eval_bool(&lin));
+        assert_eq!(a.eval_bool(&bal), a.eval_bool(&lin));
     }
+}
 
-    /// Evaluator sanity: masked arithmetic stays within width.
-    #[test]
-    fn eval_stays_in_width(t in bv_term(), vals in any::<[u64; 4]>()) {
+/// Evaluator sanity: masked arithmetic stays within width.
+#[test]
+fn eval_stays_in_width() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5157_6000 + case);
+        let t = bv_term(&mut rng, 4);
+        let vals = rand_vals(&mut rng);
         let a = assignment(vals);
         let v = a.eval_bv(&t);
-        prop_assert!(v <= 0xff, "8-bit term evaluated to {v:#x}");
+        assert!(v <= 0xff, "8-bit term evaluated to {v:#x}");
     }
 }

@@ -8,9 +8,30 @@
 use crate::coverage::Coverage;
 use crate::ctx::{ExecCtx, FinishedPath, PathOutcome, PathResult, Pending, RunEnd, Stop};
 use crate::strategy::{Frontier, Strategy};
-use soft_smt::{Solver, VerdictCache};
-use std::sync::{Arc, Condvar, Mutex};
+use soft_smt::{Solver, SolverBudget, VerdictCache};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Recover the guarded data even if a worker panicked while holding the
+/// lock. The shared exploration state is only mutated through
+/// [`merge_finished`] and small field updates that keep it consistent, so
+/// a poisoned lock still guards usable state; aborting the whole
+/// exploration (what `expect` did) would lose every already-explored path.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Render a panic payload for the crash record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Exploration limits and knobs.
 #[derive(Debug, Clone)]
@@ -21,8 +42,8 @@ pub struct ExplorerConfig {
     pub max_paths: Option<usize>,
     /// Maximum symbolic-branch depth per path.
     pub max_depth: usize,
-    /// Per-query SAT conflict budget (None = unlimited).
-    pub solver_max_conflicts: Option<u64>,
+    /// Per-query solver resource budget (default: unlimited).
+    pub solver_budget: SolverBudget,
     /// Wall-clock budget for the whole exploration.
     pub time_limit: Option<Duration>,
     /// PRNG seed for randomized strategies.
@@ -39,7 +60,7 @@ impl Default for ExplorerConfig {
             strategy: Strategy::CoverageInterleaved,
             max_paths: None,
             max_depth: 4096,
-            solver_max_conflicts: None,
+            solver_budget: SolverBudget::unlimited(),
             time_limit: None,
             seed: 0x50F7,
             workers: 1,
@@ -68,6 +89,14 @@ pub struct ExplorationStats {
     pub solver: soft_smt::SolverStats,
     /// True if the exploration hit a configured limit before exhaustion.
     pub truncated: bool,
+    /// Agent panics caught and recorded as crash paths (a subset of
+    /// `crashed`): the agent path blew up in Rust rather than returning
+    /// [`Stop::Crash`], and `catch_unwind` converted it.
+    pub caught_panics: usize,
+    /// Worker-level engine panics (bugs in the exploration machinery
+    /// itself, not the agent). Any value above zero also sets `truncated`,
+    /// because the frontier may not have been drained.
+    pub engine_panics: usize,
 }
 
 /// The outcome of exploring a program.
@@ -118,7 +147,7 @@ where
     let start = Instant::now();
     let deadline = config.time_limit.map(|l| start + l);
     let mut solver = Solver::new();
-    solver.max_conflicts = config.solver_max_conflicts;
+    solver.budget = config.solver_budget;
     let mut frontier = Frontier::new(config.strategy, config.seed);
     let mut paths: Vec<PathResult<Out>> = Vec::new();
     let mut coverage = Coverage::new();
@@ -145,13 +174,11 @@ where
         }
         let mut ctx: ExecCtx<'_, Out> =
             ExecCtx::new(pending.prefix, &mut solver, config.max_depth, deadline);
-        let end = program(&mut ctx);
-        let outcome = match end {
-            Ok(()) => PathOutcome::Completed,
-            Err(Stop::Crash(m)) => PathOutcome::Crashed(m),
-            Err(Stop::Abort(m)) => PathOutcome::Aborted(m),
-        };
+        let (outcome, panicked) = run_isolated(&mut ctx, &mut program);
         let fin = ctx.finish(outcome);
+        if panicked {
+            stats.caught_panics += 1;
+        }
         merge_finished(&mut stats, &mut coverage, &mut frontier, &mut paths, fin);
     }
     if !frontier.is_empty() {
@@ -164,6 +191,32 @@ where
         paths,
         coverage,
         stats,
+    }
+}
+
+/// Execute the program on one path, converting a Rust panic into a crash
+/// outcome (paper parity: agent crashes are observable outputs to
+/// crosscheck, not process aborts). Returns the outcome and whether it
+/// came from a caught panic.
+///
+/// `AssertUnwindSafe` is sound here: on panic the context is *kept* and
+/// finalized, and every `ExecCtx` mutation (trace push, path-condition
+/// push, coverage insert) is atomic with respect to unwinding — the
+/// context is always a consistent snapshot of the path up to the panic
+/// point. The panicking re-execution is deterministic per decision
+/// prefix, so crash paths reproduce like any other path.
+fn run_isolated<Out, F>(ctx: &mut ExecCtx<'_, Out>, program: &mut F) -> (PathOutcome, bool)
+where
+    F: FnMut(&mut ExecCtx<'_, Out>) -> RunEnd,
+{
+    match std::panic::catch_unwind(AssertUnwindSafe(|| program(ctx))) {
+        Ok(Ok(())) => (PathOutcome::Completed, false),
+        Ok(Err(Stop::Crash(m))) => (PathOutcome::Crashed(m), false),
+        Ok(Err(Stop::Abort(m))) => (PathOutcome::Aborted(m), false),
+        Err(payload) => (
+            PathOutcome::Crashed(format!("panic: {}", panic_message(payload.as_ref()))),
+            true,
+        ),
     }
 }
 
@@ -238,6 +291,87 @@ struct SharedExploration<Out> {
     stop: bool,
 }
 
+/// One worker's claim/execute/merge loop. Runs until the frontier is
+/// drained (empty with nothing in flight) or `stop` is raised.
+fn worker_loop<Out, F>(
+    config: &ExplorerConfig,
+    program: &F,
+    shared: &Mutex<SharedExploration<Out>>,
+    work_ready: &Condvar,
+    cache: &Arc<VerdictCache>,
+    start: Instant,
+    deadline: Option<Instant>,
+) where
+    Out: Send,
+    F: Fn(&mut ExecCtx<'_, Out>) -> RunEnd + Sync,
+{
+    let mut solver = Solver::with_cache(Arc::clone(cache));
+    solver.budget = config.solver_budget;
+    let mut guard = recover(shared);
+    loop {
+        if guard.stop {
+            break;
+        }
+        let state = &mut *guard;
+        match state.frontier.pop(&state.coverage) {
+            Some(pending) => {
+                let over_limit = config
+                    .max_paths
+                    .map(|max| state.claimed >= max)
+                    .unwrap_or(false)
+                    || config
+                        .time_limit
+                        .map(|limit| start.elapsed() > limit)
+                        .unwrap_or(false);
+                if over_limit {
+                    state.stats.truncated = true;
+                    state.stop = true;
+                    // Put the prefix back so the final
+                    // frontier-drained check stays truthful.
+                    state.frontier.push(pending);
+                    work_ready.notify_all();
+                    break;
+                }
+                state.claimed += 1;
+                state.in_flight += 1;
+                drop(guard);
+
+                let mut ctx: ExecCtx<'_, Out> =
+                    ExecCtx::new(pending.prefix, &mut solver, config.max_depth, deadline);
+                let mut prog = |c: &mut ExecCtx<'_, Out>| program(c);
+                let (outcome, panicked) = run_isolated(&mut ctx, &mut prog);
+                let fin = ctx.finish(outcome);
+
+                guard = recover(shared);
+                let state = &mut *guard;
+                state.in_flight -= 1;
+                if panicked {
+                    state.stats.caught_panics += 1;
+                }
+                merge_finished(
+                    &mut state.stats,
+                    &mut state.coverage,
+                    &mut state.frontier,
+                    &mut state.paths,
+                    fin,
+                );
+                // New prefixes may be available, and if this was
+                // the last in-flight path the idlers must wake to
+                // notice completion.
+                work_ready.notify_all();
+            }
+            None => {
+                if state.in_flight == 0 {
+                    work_ready.notify_all();
+                    break;
+                }
+                guard = work_ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+    guard.stats.solver.merge(&solver.stats);
+}
+
 fn explore_parallel<Out, F>(config: &ExplorerConfig, program: &F) -> Exploration<Out>
 where
     Out: Send,
@@ -268,81 +402,28 @@ where
             let shared = &shared;
             let work_ready = &work_ready;
             scope.spawn(move || {
-                let mut solver = Solver::with_cache(cache);
-                solver.max_conflicts = config.solver_max_conflicts;
-                let mut guard = shared.lock().expect("exploration state poisoned");
-                loop {
-                    if guard.stop {
-                        break;
-                    }
-                    let state = &mut *guard;
-                    match state.frontier.pop(&state.coverage) {
-                        Some(pending) => {
-                            let over_limit = config
-                                .max_paths
-                                .map(|max| state.claimed >= max)
-                                .unwrap_or(false)
-                                || config
-                                    .time_limit
-                                    .map(|limit| start.elapsed() > limit)
-                                    .unwrap_or(false);
-                            if over_limit {
-                                state.stats.truncated = true;
-                                state.stop = true;
-                                // Put the prefix back so the final
-                                // frontier-drained check stays truthful.
-                                state.frontier.push(pending);
-                                work_ready.notify_all();
-                                break;
-                            }
-                            state.claimed += 1;
-                            state.in_flight += 1;
-                            drop(guard);
-
-                            let mut ctx: ExecCtx<'_, Out> = ExecCtx::new(
-                                pending.prefix,
-                                &mut solver,
-                                config.max_depth,
-                                deadline,
-                            );
-                            let end = program(&mut ctx);
-                            let outcome = match end {
-                                Ok(()) => PathOutcome::Completed,
-                                Err(Stop::Crash(m)) => PathOutcome::Crashed(m),
-                                Err(Stop::Abort(m)) => PathOutcome::Aborted(m),
-                            };
-                            let fin = ctx.finish(outcome);
-
-                            guard = shared.lock().expect("exploration state poisoned");
-                            let state = &mut *guard;
-                            state.in_flight -= 1;
-                            merge_finished(
-                                &mut state.stats,
-                                &mut state.coverage,
-                                &mut state.frontier,
-                                &mut state.paths,
-                                fin,
-                            );
-                            // New prefixes may be available, and if this was
-                            // the last in-flight path the idlers must wake to
-                            // notice completion.
-                            work_ready.notify_all();
-                        }
-                        None => {
-                            if state.in_flight == 0 {
-                                work_ready.notify_all();
-                                break;
-                            }
-                            guard = work_ready.wait(guard).expect("exploration state poisoned");
-                        }
-                    }
+                // Two containment rings: `run_isolated` (inside the loop)
+                // catches *agent* panics per path, and this outer catch
+                // contains *engine* panics so one broken worker cannot
+                // strand its siblings on the condvar or leave the shared
+                // state claimed-but-never-merged.
+                let worker = AssertUnwindSafe(|| {
+                    worker_loop(config, program, shared, work_ready, &cache, start, deadline)
+                });
+                if std::panic::catch_unwind(worker).is_err() {
+                    let mut guard = recover(shared);
+                    guard.stats.engine_panics += 1;
+                    guard.stats.truncated = true;
+                    // The panicked worker may have leaked an `in_flight`
+                    // claim; `stop` makes every waiter drain out anyway.
+                    guard.stop = true;
+                    work_ready.notify_all();
                 }
-                guard.stats.solver.merge(&solver.stats);
             });
         }
     });
 
-    let mut state = shared.into_inner().expect("exploration state poisoned");
+    let mut state = shared.into_inner().unwrap_or_else(|e| e.into_inner());
     if !state.frontier.is_empty() {
         state.stats.truncated = true;
     }

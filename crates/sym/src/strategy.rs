@@ -6,8 +6,8 @@
 //! exploration exhaustive; the `ablation_strategy` bench verifies exactly
 //! that claim on our engine.
 
-use crate::ctx::Pending;
 use crate::coverage::Coverage;
+use crate::ctx::Pending;
 
 /// Which pending path to run next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,9 +32,7 @@ pub(crate) struct XorShift {
 
 impl XorShift {
     pub fn new(seed: u64) -> Self {
-        XorShift {
-            state: seed.max(1),
-        }
+        XorShift { state: seed.max(1) }
     }
 
     pub fn next_u64(&mut self) -> u64 {

@@ -1,11 +1,29 @@
-//! Property-based tests for the exploration engine: for randomly
-//! generated branching programs, the engine must discover exactly the
+//! Randomized-but-deterministic tests for the exploration engine: for
+//! seeded random branching programs, the engine must discover exactly the
 //! feasible leaves, produce a disjoint and exhaustive partition, and be
 //! deterministic.
 
-use proptest::prelude::*;
 use soft_smt::{simplify, Solver, Term};
 use soft_sym::{explore, ExecCtx, ExplorerConfig, RunEnd};
+
+/// splitmix64: deterministic stream from any seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A random program: a perfect binary tree of depth `d` branching on
 /// comparisons of byte variables against thresholds; each leaf emits its
@@ -17,13 +35,13 @@ struct TreeProgram {
     nodes: Vec<(usize, u8)>,
 }
 
-fn arb_program() -> impl Strategy<Value = TreeProgram> {
-    (1usize..4)
-        .prop_flat_map(|depth| {
-            let n_nodes = (1 << depth) - 1;
-            proptest::collection::vec((0usize..4, any::<u8>()), n_nodes)
-                .prop_map(move |nodes| TreeProgram { depth, nodes })
-        })
+fn arb_program(rng: &mut Rng) -> TreeProgram {
+    let depth = 1 + rng.below(3) as usize;
+    let n_nodes = (1 << depth) - 1;
+    let nodes = (0..n_nodes)
+        .map(|_| (rng.below(4) as usize, rng.next() as u8))
+        .collect();
+    TreeProgram { depth, nodes }
 }
 
 fn run_program(p: &TreeProgram, ctx: &mut ExecCtx<'_, usize>) -> RunEnd {
@@ -75,89 +93,111 @@ fn feasible_leaves(p: &TreeProgram) -> usize {
     count
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// The engine explores exactly the feasible leaves.
-    #[test]
-    fn engine_finds_exactly_feasible_leaves(p in arb_program()) {
+/// The engine explores exactly the feasible leaves.
+#[test]
+fn engine_finds_exactly_feasible_leaves() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xe291_0000 + case);
+        let p = arb_program(&mut rng);
         let expected = feasible_leaves(&p);
         let ex = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
-        prop_assert_eq!(ex.stats.paths, expected, "program {:?}", p);
-        prop_assert_eq!(ex.stats.completed, expected);
-        prop_assert!(!ex.stats.truncated);
+        assert_eq!(ex.stats.paths, expected, "program {p:?}");
+        assert_eq!(ex.stats.completed, expected);
+        assert!(!ex.stats.truncated);
     }
+}
 
-    /// Path conditions form a partition: pairwise disjoint, jointly
-    /// exhaustive.
-    #[test]
-    fn path_conditions_partition(p in arb_program()) {
+/// Path conditions form a partition: pairwise disjoint, jointly
+/// exhaustive.
+#[test]
+fn path_conditions_partition() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xe291_1000 + case);
+        let p = arb_program(&mut rng);
         let ex = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
         let conds: Vec<Term> = ex.paths.iter().map(|q| q.condition_term()).collect();
         let mut solver = Solver::new();
         for i in 0..conds.len() {
             for j in (i + 1)..conds.len() {
-                prop_assert!(solver.intersect(&conds[i], &conds[j]).is_unsat());
+                assert!(solver.intersect(&conds[i], &conds[j]).is_unsat());
             }
         }
         let union = simplify::mk_or_balanced(&conds);
-        prop_assert!(solver.check_one(&union.not()).is_unsat());
+        assert!(solver.check_one(&union.not()).is_unsat());
     }
+}
 
-    /// Every path's emitted leaf is consistent with evaluating the
-    /// program under a model of its own path condition.
-    #[test]
-    fn outputs_agree_with_models(p in arb_program()) {
+/// Every path's emitted leaf is consistent with evaluating the
+/// program under a model of its own path condition.
+#[test]
+fn outputs_agree_with_models() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xe291_2000 + case);
+        let p = arb_program(&mut rng);
         let ex = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
         let mut solver = Solver::new();
         for path in &ex.paths {
             let model = match solver.check_one(&path.condition_term()) {
                 soft_smt::SatResult::Sat(m) => m,
-                other => {
-                    prop_assert!(false, "path condition unsat? {other:?}");
-                    unreachable!()
-                }
+                other => panic!("path condition unsat? {other:?}"),
             };
             // Re-run the program concretely on the model.
             let mut node = 0usize;
             let mut leaf = 0usize;
-            for level in 0..p.depth {
+            for _level in 0..p.depth {
                 let (vi, t) = p.nodes[node];
                 let v = model.get(&format!("ep.v{vi}")).unwrap_or(0) as u8;
                 let taken = v < t;
                 leaf = leaf * 2 + taken as usize;
                 node = node * 2 + 1 + taken as usize;
-                let _ = level;
             }
-            prop_assert_eq!(path.trace[0], leaf);
+            assert_eq!(path.trace[0], leaf);
         }
     }
+}
 
-    /// Exploration is deterministic across runs.
-    #[test]
-    fn exploration_deterministic(p in arb_program()) {
+/// Exploration is deterministic across runs.
+#[test]
+fn exploration_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xe291_3000 + case);
+        let p = arb_program(&mut rng);
         let a = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
         let b = explore(&ExplorerConfig::default(), |ctx| run_program(&p, ctx));
-        prop_assert_eq!(a.stats.paths, b.stats.paths);
+        assert_eq!(a.stats.paths, b.stats.paths);
         let ca: Vec<Term> = a.paths.iter().map(|q| q.condition_term()).collect();
         let cb: Vec<Term> = b.paths.iter().map(|q| q.condition_term()).collect();
-        prop_assert_eq!(ca, cb);
+        assert_eq!(ca, cb);
     }
+}
 
-    /// All strategies agree on the explored set.
-    #[test]
-    fn strategies_equivalent(p in arb_program()) {
-        use soft_sym::Strategy;
+/// All strategies agree on the explored set.
+#[test]
+fn strategies_equivalent() {
+    use soft_sym::Strategy;
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xe291_4000 + case);
+        let p = arb_program(&mut rng);
         let mut sets: Vec<Vec<Term>> = Vec::new();
-        for s in [Strategy::Dfs, Strategy::Bfs, Strategy::Random, Strategy::CoverageInterleaved] {
-            let cfg = ExplorerConfig { strategy: s, ..Default::default() };
+        for s in [
+            Strategy::Dfs,
+            Strategy::Bfs,
+            Strategy::Random,
+            Strategy::CoverageInterleaved,
+        ] {
+            let cfg = ExplorerConfig {
+                strategy: s,
+                ..Default::default()
+            };
             let ex = explore(&cfg, |ctx| run_program(&p, ctx));
             let mut conds: Vec<Term> = ex.paths.iter().map(|q| q.condition_term()).collect();
             conds.sort();
             sets.push(conds);
         }
         for w in sets.windows(2) {
-            prop_assert_eq!(&w[0], &w[1]);
+            assert_eq!(&w[0], &w[1]);
         }
     }
 }

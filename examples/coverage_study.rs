@@ -17,10 +17,7 @@ fn no_message_baseline(kind: AgentKind) -> (f64, f64) {
         a.on_connect(ctx)
     });
     let u = kind.make().universe();
-    (
-        ex.coverage.instruction_pct(&u),
-        ex.coverage.branch_pct(&u),
-    )
+    (ex.coverage.instruction_pct(&u), ex.coverage.branch_pct(&u))
 }
 
 fn main() {
@@ -48,7 +45,10 @@ fn main() {
         for (kind, cum) in cumulative.iter_mut() {
             let run = run_test(*kind, &test, &cfg);
             cum.merge(&run.coverage);
-            row.push_str(&format!(" {:>10.2} {:>10.2}   ", run.instruction_pct, run.branch_pct));
+            row.push_str(&format!(
+                " {:>10.2} {:>10.2}   ",
+                run.instruction_pct, run.branch_pct
+            ));
         }
         println!("{row}");
     }
@@ -66,7 +66,10 @@ fn main() {
     }
 
     println!("\n== Figure 4: coverage vs number of symbolic messages ==\n");
-    println!("{:<22} {:>12} {:>12} {:>8}", "Sequence", "Ref Inst%", "Ref Br%", "Paths");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "Sequence", "Ref Inst%", "Ref Br%", "Paths"
+    );
     let mut prev = 0.0f64;
     for test in suite::fig4_message_sequences() {
         let run = run_test(AgentKind::Reference, &test, &cfg);

@@ -22,7 +22,9 @@ fn main() {
     let mut found_tests = 0usize;
     let mut all = Vec::new();
     for test in &tests {
-        let pair = soft.run_pair(AgentKind::Reference, AgentKind::Modified, test);
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::Modified, test)
+            .expect("pipeline");
         let n = pair.result.inconsistencies.len();
         println!(
             "{:<14} paths {:>5}/{:<5} groups {:>2}x{:<2} inconsistencies {:>3}",
@@ -40,7 +42,11 @@ fn main() {
     }
 
     let causes = dedupe(&all);
-    println!("\n{} tests exposed divergences; {} root-cause buckets:", found_tests, causes.len());
+    println!(
+        "\n{} tests exposed divergences; {} root-cause buckets:",
+        found_tests,
+        causes.len()
+    );
     for cause in &causes {
         let inc = &all[cause.members[0]];
         println!("\n{}", describe(inc).trim_end());
@@ -57,11 +63,13 @@ fn main() {
     // The paper's future work, implemented: with a virtual clock the
     // timeout mutation becomes observable too.
     println!("\n== With the time extension (the paper's future work) ==\n");
-    let pair = soft.run_pair(
-        AgentKind::Reference,
-        AgentKind::Modified,
-        &suite::timeout_flow_mod(),
-    );
+    let pair = soft
+        .run_pair(
+            AgentKind::Reference,
+            AgentKind::Modified,
+            &suite::timeout_flow_mod(),
+        )
+        .expect("pipeline");
     println!(
         "timeout_flow_mod: {} inconsistencies -> M2 detected; 6 of 7 total",
         pair.result.inconsistencies.len()

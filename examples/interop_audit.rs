@@ -70,7 +70,11 @@ fn main() {
         // Print one representative per root cause, with a reproduction.
         for cause in &causes {
             let inc = &result.inconsistencies[cause.members[0]];
-            println!("    - {} ({} instances)", classify(inc).label(), cause.members.len());
+            println!(
+                "    - {} ({} instances)",
+                classify(inc).label(),
+                cause.members.len()
+            );
             for line in describe(inc).lines().skip(1) {
                 println!("    {line}");
             }

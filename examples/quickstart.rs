@@ -19,7 +19,10 @@ use soft::sym::{explore, ExecCtx, ExplorerConfig, RunEnd, SymBuf};
 /// rejects everything else.
 fn agent1(ctx: &mut ExecCtx<'_, TraceEvent>) -> RunEnd {
     let p = Term::var("q.port", 16);
-    if ctx.branch("a1.is_ctrl", &p.clone().eq(Term::bv_const(16, OFPP_CONTROLLER as u64)))? {
+    if ctx.branch(
+        "a1.is_ctrl",
+        &p.clone().eq(Term::bv_const(16, OFPP_CONTROLLER as u64)),
+    )? {
         ctx.emit(TraceEvent::PacketIn {
             buffer_id: Term::bv_const(32, 0),
             in_port: Term::bv_const(16, 1),
@@ -87,11 +90,14 @@ fn main() {
     let paths1 = paths_of(agent1);
     let paths2 = paths_of(agent2);
     println!("Agent 1 explored {} paths (input subspaces)", paths1.len());
-    println!("Agent 2 explored {} paths (input subspaces)\n", paths2.len());
+    println!(
+        "Agent 2 explored {} paths (input subspaces)\n",
+        paths2.len()
+    );
 
     // Grouping: merge subspaces with identical outputs.
-    let g1 = group_paths("agent1", "fig2", &paths1);
-    let g2 = group_paths("agent2", "fig2", &paths2);
+    let g1 = group_paths("agent1", "fig2", &paths1).expect("grouping");
+    let g2 = group_paths("agent2", "fig2", &paths2).expect("grouping");
     println!("Agent 1 distinct outputs: {}", g1.num_results());
     println!("Agent 2 distinct outputs: {}\n", g2.num_results());
 

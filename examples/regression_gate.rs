@@ -24,10 +24,18 @@ fn main() {
     println!("Regression gate: Reference Switch (baseline) vs Modified Switch (candidate)\n");
     let mut dirty = 0usize;
     for test in &tests {
-        let baseline = soft.group(&soft.phase1(AgentKind::Reference, test));
-        let candidate = soft.group(&soft.phase1(AgentKind::Modified, test));
+        let baseline = soft
+            .group(&soft.phase1(AgentKind::Reference, test))
+            .expect("grouping");
+        let candidate = soft
+            .group(&soft.phase1(AgentKind::Modified, test))
+            .expect("grouping");
         let report = regression_check(&baseline, &candidate, &cfg);
-        let verdict = if report.is_clean() { "clean" } else { "REGRESSED" };
+        let verdict = if report.is_clean() {
+            "clean"
+        } else {
+            "REGRESSED"
+        };
         println!(
             "{:<18} {:<10} (+{} output classes, -{} classes, {} shifted subspaces)",
             test.id,

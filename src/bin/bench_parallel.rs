@@ -58,8 +58,8 @@ fn run_pipeline(test_id: &str, jobs: usize) -> PipelineRun {
     let start = Instant::now();
     let run_a = soft.phase1(AgentKind::Reference, &test);
     let run_b = soft.phase1(AgentKind::OpenVSwitch, &test);
-    let ga = soft.group(&run_a);
-    let gb = soft.group(&run_b);
+    let ga = soft.group(&run_a).expect("grouping");
+    let gb = soft.group(&run_b).expect("grouping");
     let result = soft.phase2(&ga, &gb);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let mut inconsistencies: Vec<String> = result

@@ -16,11 +16,23 @@
 //! soft report ref.json ovs.json --replay
 //! ```
 
-use soft::core::report::{classify, dedupe, describe, reproduce};
+use soft::core::report::{classify, dedupe, describe, describe_unverified, reproduce};
 use soft::core::{replay, Soft};
 use soft::harness::{run_matrix, suite, TestCase, TestRunFile};
+use soft::smt::SolverBudget;
 use soft::AgentKind;
 use std::process::ExitCode;
+
+/// Exit code when inconsistencies were found (like a linter).
+const EXIT_INCONSISTENT: u8 = 2;
+/// Exit code when some output pairs stayed undecided within the solver
+/// budget: the run is sound but incomplete — rerun with a larger
+/// `--solver-budget`.
+const EXIT_UNVERIFIED: u8 = 3;
+/// Exit code when exploration was truncated (path/time limit hit, or an
+/// engine panic was contained): artifacts cover only part of the input
+/// space.
+const EXIT_TRUNCATED: u8 = 4;
 
 fn all_tests() -> Vec<TestCase> {
     let mut tests = suite::table1_suite();
@@ -39,13 +51,14 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
         "reference" | "ref" => Some(AgentKind::Reference),
         "ovs" | "openvswitch" => Some(AgentKind::OpenVSwitch),
         "modified" => Some(AgentKind::Modified),
+        "panicky" => Some(AgentKind::Panicky),
         _ => None,
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|all> --test <id|all> --out <file-or-prefix> [--jobs N]\n  soft check <a.json> <b.json> [--jobs N]\n  soft report <a.json> <b.json> [--replay]\n  soft regress <baseline.json> <candidate.json>\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--solver-budget N]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N]\n  soft report <a.json> <b.json> [--replay] [--solver-budget N]\n  soft regress <baseline.json> <candidate.json>\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -69,6 +82,20 @@ fn jobs_flag(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// Parse `--solver-budget N` (SAT conflicts per query; default unlimited).
+/// `Err` on malformed or zero values.
+fn budget_flag(args: &[String]) -> Result<SolverBudget, String> {
+    match flag_value(args, "--solver-budget") {
+        None => Ok(SolverBudget::unlimited()),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(SolverBudget::conflicts(n)),
+            _ => Err(format!(
+                "--solver-budget must be a positive conflict count, got '{v}'"
+            )),
+        },
+    }
+}
+
 fn cmd_tests() -> ExitCode {
     println!("{:<20} {:<4} description", "id", "#in");
     for t in all_tests() {
@@ -80,6 +107,13 @@ fn cmd_tests() -> ExitCode {
 fn cmd_phase1(args: &[String]) -> ExitCode {
     let jobs = match jobs_flag(args) {
         Ok(j) => j,
+        Err(e) => {
+            eprintln!("phase1: {e}");
+            return usage();
+        }
+    };
+    let budget = match budget_flag(args) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("phase1: {e}");
             return usage();
@@ -126,7 +160,8 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
     if agents.len() == 1 && tests.len() == 1 {
         // Single combination: `--jobs` parallelizes *within* the
         // exploration; `--out` is the artifact path.
-        let soft = Soft::new().with_jobs(jobs);
+        let mut soft = Soft::new().with_jobs(jobs);
+        soft.explorer.solver_budget = budget;
         let (agent, test) = (agents[0], &tests[0]);
         eprintln!("symbolically executing {} on '{}' ...", agent.id(), test.id);
         let artifact = soft.phase1_artifact(agent, test);
@@ -141,6 +176,10 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("{out}");
+        if artifact.truncated {
+            eprintln!("phase1: exploration truncated — artifact covers part of the input space");
+            return ExitCode::from(EXIT_TRUNCATED);
+        }
         return ExitCode::SUCCESS;
     }
     // Matrix mode (`--agent all` and/or `--test all`): `--jobs` fans out
@@ -151,7 +190,12 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
         agents.len(),
         tests.len()
     );
-    let runs = run_matrix(&agents, &tests, &soft::sym::ExplorerConfig::default(), jobs);
+    let cfg = soft::sym::ExplorerConfig {
+        solver_budget: budget,
+        ..Default::default()
+    };
+    let runs = run_matrix(&agents, &tests, &cfg, jobs);
+    let mut truncated = 0usize;
     for run in &runs {
         let artifact = TestRunFile::from_run(run);
         let path = format!("{out}{}_{}.json", run.agent, run.test);
@@ -159,7 +203,14 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
             eprintln!("phase1: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+        if run.stats.truncated {
+            truncated += 1;
+        }
         println!("{path}");
+    }
+    if truncated > 0 {
+        eprintln!("phase1: {truncated} run(s) truncated — artifacts cover part of the input space");
+        return ExitCode::from(EXIT_TRUNCATED);
     }
     ExitCode::SUCCESS
 }
@@ -173,6 +224,7 @@ fn crosscheck_artifacts(
     a_path: &str,
     b_path: &str,
     jobs: usize,
+    budget: SolverBudget,
 ) -> Result<(soft::core::CrosscheckResult, TestRunFile, TestRunFile), String> {
     let fa = load_artifact(a_path)?;
     let fb = load_artifact(b_path)?;
@@ -182,7 +234,8 @@ fn crosscheck_artifacts(
             fa.test, fb.test
         ));
     }
-    let soft = Soft::new().with_jobs(jobs);
+    let mut soft = Soft::new().with_jobs(jobs);
+    soft.checker.solver_budget = budget;
     let ga = soft.group_artifact(&fa)?;
     let gb = soft.group_artifact(&fb)?;
     Ok((soft.phase2(&ga, &gb), fa, fb))
@@ -193,7 +246,11 @@ fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--jobs" || args[i] == "--agent" || args[i] == "--test" || args[i] == "--out"
+        if args[i] == "--jobs"
+            || args[i] == "--agent"
+            || args[i] == "--test"
+            || args[i] == "--out"
+            || args[i] == "--solver-budget"
         {
             i += 2; // flag + value
         } else if args[i].starts_with("--") {
@@ -206,9 +263,35 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
+/// The exit code for a finished crosscheck, by severity: divergences found
+/// beats undecided pairs beats truncated inputs beats clean.
+fn verdict_exit_code(
+    result: &soft::core::CrosscheckResult,
+    fa: &TestRunFile,
+    fb: &TestRunFile,
+) -> ExitCode {
+    if !result.inconsistencies.is_empty() {
+        // Non-zero exit like a linter: divergences found.
+        ExitCode::from(EXIT_INCONSISTENT)
+    } else if !result.unverified.is_empty() {
+        ExitCode::from(EXIT_UNVERIFIED)
+    } else if fa.truncated || fb.truncated {
+        ExitCode::from(EXIT_TRUNCATED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     let jobs = match jobs_flag(args) {
         Ok(j) => j,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return usage();
+        }
+    };
+    let budget = match budget_flag(args) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("check: {e}");
             return usage();
@@ -218,22 +301,23 @@ fn cmd_check(args: &[String]) -> ExitCode {
     if paths.len() != 2 {
         return usage();
     }
-    match crosscheck_artifacts(paths[0], paths[1], jobs) {
+    match crosscheck_artifacts(paths[0], paths[1], jobs, budget) {
         Ok((result, fa, fb)) => {
             println!(
-                "{} vs {} on '{}': {} queries, {} inconsistencies",
+                "{} vs {} on '{}': {} queries, {} inconsistencies, {} unverified",
                 fa.agent,
                 fb.agent,
                 fa.test,
                 result.queries,
-                result.inconsistencies.len()
+                result.inconsistencies.len(),
+                result.unverified.len()
             );
-            if result.inconsistencies.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                // Non-zero exit like a linter: divergences found.
-                ExitCode::from(2)
+            if fa.truncated || fb.truncated {
+                eprintln!(
+                    "check: input artifact(s) truncated — verdict covers part of the input space"
+                );
             }
+            verdict_exit_code(&result, &fa, &fb)
         }
         Err(e) => {
             eprintln!("check: {e}");
@@ -243,12 +327,19 @@ fn cmd_check(args: &[String]) -> ExitCode {
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {
+    let budget = match budget_flag(args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return usage();
+        }
+    };
     let paths = positional(args);
     if paths.len() != 2 {
         return usage();
     }
     let do_replay = args.iter().any(|a| a == "--replay");
-    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1], 1) {
+    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1], 1, budget) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("report: {e}");
@@ -294,7 +385,19 @@ fn cmd_report(args: &[String]) -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    if !result.unverified.is_empty() {
+        println!(
+            "\n== {} pair(s) UNVERIFIED within the solver budget ==",
+            result.unverified.len()
+        );
+        for uv in &result.unverified {
+            println!();
+            for line in describe_unverified(uv).lines() {
+                println!("{line}");
+            }
+        }
+    }
+    verdict_exit_code(&result, &fa, &fb)
 }
 
 fn cmd_regress(args: &[String]) -> ExitCode {

@@ -17,5 +17,5 @@ pub use soft_smt as smt;
 pub use soft_sym as sym;
 
 pub use soft_agents::AgentKind;
-pub use soft_core::{Soft, PairReport};
+pub use soft_core::{PairReport, Soft};
 pub use soft_harness::suite;

@@ -79,17 +79,66 @@ fn full_vendor_workflow() {
     assert_eq!(code, Some(2));
     assert!(stdout.contains("1 inconsistencies"), "{stdout}");
 
-    // report with replay validation.
+    // report with replay validation; like check, it exits 2 on divergences.
     let (stdout, _, code) = run(&[
         "report",
         a.to_str().unwrap(),
         b.to_str().unwrap(),
         "--replay",
     ]);
-    assert_eq!(code, Some(0));
+    assert_eq!(code, Some(2));
     assert!(stdout.contains("agent terminates with an error"));
     assert!(stdout.contains("repro msg0: 0114000c"));
     assert!(stdout.contains("diverges=true matches_prediction=true"));
+
+    // An explicit (generous) solver budget decides every pair the same way.
+    let (stdout, _, code) = run(&[
+        "check",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--solver-budget",
+        "1000000",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stdout.contains("0 unverified"), "{stdout}");
+}
+
+#[test]
+fn solver_budget_flag_is_validated() {
+    let (_, stderr, code) = run(&["check", "a.json", "b.json", "--solver-budget", "zero"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("--solver-budget"), "{stderr}");
+    let (_, stderr, _) = run(&["nonsense"]);
+    assert!(
+        stderr.contains("--solver-budget"),
+        "usage must document the budget flag:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("exit codes"),
+        "usage must document exit codes:\n{stderr}"
+    );
+}
+
+#[test]
+fn panicky_agent_completes_phase1() {
+    let dir = std::env::temp_dir().join("soft_cli_panicky");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("panicky.json");
+    // The injected panic is contained as a crash output: the run finishes,
+    // the artifact is written, and the exit code is clean (not truncated).
+    let (stdout, stderr, code) = run(&[
+        "phase1",
+        "--agent",
+        "panicky",
+        "--test",
+        "packet_out",
+        "--out",
+        a.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.trim().ends_with("panicky.json"));
+    let text = std::fs::read_to_string(&a).unwrap();
+    assert!(text.contains("\"truncated\":false"), "run must complete");
 }
 
 #[test]
@@ -99,11 +148,21 @@ fn check_rejects_mismatched_tests() {
     let a = dir.join("a.json");
     let b = dir.join("b.json");
     run(&[
-        "phase1", "--agent", "reference", "--test", "queue_config", "--out",
+        "phase1",
+        "--agent",
+        "reference",
+        "--test",
+        "queue_config",
+        "--out",
         a.to_str().unwrap(),
     ]);
     run(&[
-        "phase1", "--agent", "ovs", "--test", "short_symb", "--out",
+        "phase1",
+        "--agent",
+        "ovs",
+        "--test",
+        "short_symb",
+        "--out",
         b.to_str().unwrap(),
     ]);
     let (_, stderr, code) = run(&["check", a.to_str().unwrap(), b.to_str().unwrap()]);

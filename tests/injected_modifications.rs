@@ -22,11 +22,10 @@ fn pair(test: &soft::harness::TestCase) -> &'static soft::PairReport {
         return p;
     }
     let soft = Soft::new();
-    let p = Box::leak(Box::new(soft.run_pair(
-        AgentKind::Reference,
-        AgentKind::Modified,
-        test,
-    )));
+    let p = Box::leak(Box::new(
+        soft.run_pair(AgentKind::Reference, AgentKind::Modified, test)
+            .expect("pipeline"),
+    ));
     g.insert(test.id.to_string(), p);
     p
 }
@@ -51,13 +50,18 @@ fn detects_flood_ingress_modification() {
     let found = incs(&suite::packet_out()).iter().find(|i| {
         let flood_flag = |o: &soft::harness::ObservedOutput| {
             o.events.iter().find_map(|e| match e {
-                TraceEvent::Flood { exclude_ingress, .. } => Some(*exclude_ingress),
+                TraceEvent::Flood {
+                    exclude_ingress, ..
+                } => Some(*exclude_ingress),
                 _ => None,
             })
         };
         flood_flag(&i.output_a) == Some(true) && flood_flag(&i.output_b) == Some(false)
     });
-    assert!(found.is_some(), "M3 (flood includes ingress) must be detected");
+    assert!(
+        found.is_some(),
+        "M3 (flood includes ingress) must be detected"
+    );
 }
 
 /// M4 — max-port validation: the modified switch rejects ports > 1024.
@@ -68,7 +72,11 @@ fn detects_max_port_modification() {
             .events
             .iter()
             .any(|e| matches!(e, TraceEvent::DataPlaneTx { .. }))
-            && has_error_code(&i.output_b, error_type::BAD_ACTION, bad_action::BAD_OUT_PORT)
+            && has_error_code(
+                &i.output_b,
+                error_type::BAD_ACTION,
+                bad_action::BAD_OUT_PORT,
+            )
     });
     assert!(found.is_some(), "M4 (max port 1024) must be detected");
 }
@@ -86,9 +94,9 @@ fn detects_error_code_modification() {
 /// M6 — TABLE statistics silently ignored.
 #[test]
 fn detects_table_stats_modification() {
-    let found = incs(&suite::stats_request()).iter().find(|i| {
-        !i.output_a.events.is_empty() && i.output_b.events.is_empty()
-    });
+    let found = incs(&suite::stats_request())
+        .iter()
+        .find(|i| !i.output_a.events.is_empty() && i.output_b.events.is_empty());
     assert!(found.is_some(), "M6 (table stats ignored) must be detected");
 }
 
@@ -133,15 +141,37 @@ fn five_of_seven_modifications_detected() {
     // Detection signatures per mutation, evaluated across the whole suite.
     let all: Vec<&Inconsistency> = tests.iter().flat_map(|t| incs(t).iter()).collect();
     let flood = all.iter().any(|i| {
-        i.output_a.events.iter().any(|e| matches!(e, TraceEvent::Flood { exclude_ingress: true, .. }))
-            && i.output_b.events.iter().any(|e| matches!(e, TraceEvent::Flood { exclude_ingress: false, .. }))
+        i.output_a.events.iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::Flood {
+                    exclude_ingress: true,
+                    ..
+                }
+            )
+        }) && i.output_b.events.iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::Flood {
+                    exclude_ingress: false,
+                    ..
+                }
+            )
+        })
     });
     if flood {
         detected.push("M3:flood-includes-ingress");
     }
     let max_port = all.iter().any(|i| {
-        i.output_a.events.iter().any(|e| matches!(e, TraceEvent::DataPlaneTx { .. }))
-            && has_error_code(&i.output_b, error_type::BAD_ACTION, bad_action::BAD_OUT_PORT)
+        i.output_a
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DataPlaneTx { .. }))
+            && has_error_code(
+                &i.output_b,
+                error_type::BAD_ACTION,
+                bad_action::BAD_OUT_PORT,
+            )
     });
     if max_port {
         detected.push("M4:max-port-validation");
@@ -160,8 +190,8 @@ fn five_of_seven_modifications_detected() {
         detected.push("M6:table-stats-ignored");
     }
     let modify = all.iter().any(|i| {
-        let cmd = (i.witness.get("m0.b56").unwrap_or(0) << 8)
-            | i.witness.get("m0.b57").unwrap_or(0);
+        let cmd =
+            (i.witness.get("m0.b56").unwrap_or(0) << 8) | i.witness.get("m0.b57").unwrap_or(0);
         (i.test == "flow_mod" || i.test == "cs_flow_mods") && (cmd == 1 || cmd == 2)
     });
     if modify {

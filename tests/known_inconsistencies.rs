@@ -24,11 +24,10 @@ fn pair_report(test: &soft::harness::TestCase) -> &'static soft::PairReport {
         return p;
     }
     let soft = Soft::new();
-    let pair = Box::leak(Box::new(soft.run_pair(
-        AgentKind::Reference,
-        AgentKind::OpenVSwitch,
-        test,
-    )));
+    let pair = Box::leak(Box::new(
+        soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, test)
+            .expect("pipeline"),
+    ));
     g.insert(test.id.to_string(), pair);
     pair
 }
@@ -167,7 +166,11 @@ fn packet_out_max_port_validation() {
                 .events
                 .iter()
                 .any(|e| matches!(e, TraceEvent::DataPlaneTx { .. }))
-            && has_error_code(&i.output_b, error_type::BAD_ACTION, bad_action::BAD_OUT_PORT)
+            && has_error_code(
+                &i.output_b,
+                error_type::BAD_ACTION,
+                bad_action::BAD_OUT_PORT,
+            )
     });
     assert!(
         found.is_some(),
@@ -206,7 +209,8 @@ fn flow_mod_buffer_id_error_asymmetry() {
     let incs = run(&suite::flow_mod());
     let found = incs.iter().find(|i| {
         !i.output_a.crashed
-            && !i.output_a
+            && !i
+                .output_a
                 .events
                 .iter()
                 .any(|e| matches!(e, TraceEvent::Error { .. }))
@@ -244,11 +248,15 @@ fn flow_mod_normal_port_unsupported_by_reference() {
     // §5.1.2 "Missing features": OFPP_NORMAL.
     let incs = run(&suite::flow_mod());
     let found = incs.iter().find(|i| {
-        has_error_code(&i.output_a, error_type::BAD_ACTION, bad_action::BAD_OUT_PORT)
-            && i.output_b
-                .events
-                .iter()
-                .any(|e| matches!(e, TraceEvent::NormalForward { .. }))
+        has_error_code(
+            &i.output_a,
+            error_type::BAD_ACTION,
+            bad_action::BAD_OUT_PORT,
+        ) && i
+            .output_b
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NormalForward { .. }))
     });
     assert!(
         found.is_some(),
@@ -264,11 +272,15 @@ fn flow_mod_in_port_equals_out_port() {
     // matching packets.
     let incs = run(&suite::flow_mod());
     let found = incs.iter().find(|i| {
-        has_error_code(&i.output_a, error_type::BAD_ACTION, bad_action::BAD_OUT_PORT)
-            && i.output_b
-                .events
-                .iter()
-                .any(|e| matches!(e, TraceEvent::ProbeDropped))
+        has_error_code(
+            &i.output_a,
+            error_type::BAD_ACTION,
+            bad_action::BAD_OUT_PORT,
+        ) && i
+            .output_b
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ProbeDropped))
     });
     assert!(
         found.is_some(),
@@ -291,7 +303,11 @@ fn stats_requests_silently_ignored_by_reference() {
     );
     let vendor = incs.iter().find(|i| {
         i.output_a.events.is_empty()
-            && has_error_code(&i.output_b, error_type::BAD_REQUEST, bad_request::BAD_VENDOR)
+            && has_error_code(
+                &i.output_b,
+                error_type::BAD_REQUEST,
+                bad_request::BAD_VENDOR,
+            )
     });
     assert!(
         vendor.is_some(),
@@ -338,9 +354,9 @@ fn short_symb_finds_divergences() {
         !incs.is_empty(),
         "the 10-byte symbolic message must expose divergences"
     );
-    let queue_len = incs.iter().find(|i| {
-        has_error_code(&i.output_b, error_type::BAD_REQUEST, bad_request::BAD_LEN)
-    });
+    let queue_len = incs
+        .iter()
+        .find(|i| has_error_code(&i.output_b, error_type::BAD_REQUEST, bad_request::BAD_LEN));
     assert!(
         queue_len.is_some(),
         "expected OVS BAD_LEN where the reference switch proceeds"

@@ -49,11 +49,13 @@ fn phase1_artifact_json_identical_across_jobs() {
 #[test]
 fn full_pipeline_identical_across_jobs() {
     let test = suite::flow_mod();
-    let seq = Soft::new().run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
-    let par =
-        Soft::new()
-            .with_jobs(4)
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    let seq = Soft::new()
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
+    let par = Soft::new()
+        .with_jobs(4)
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
     assert_eq!(seq.result.queries, par.result.queries);
     assert_eq!(seq.result.unknown, par.result.unknown);
     assert_eq!(

@@ -8,6 +8,7 @@
 
 use soft::core::{crosscheck, group_paths, CrosscheckConfig, Soft};
 use soft::harness::{run_test, suite};
+use soft::smt::SolverBudget;
 use soft::sym::ExplorerConfig;
 use soft::AgentKind;
 
@@ -21,8 +22,8 @@ fn truncated_exploration_still_finds_real_inconsistencies() {
     let run_a = run_test(AgentKind::Reference, &test, &cfg);
     let run_b = run_test(AgentKind::OpenVSwitch, &test, &cfg);
     assert!(run_a.stats.truncated && run_b.stats.truncated);
-    let ga = group_paths(&run_a.agent, &run_a.test, &run_a.paths);
-    let gb = group_paths(&run_b.agent, &run_b.test, &run_b.paths);
+    let ga = group_paths(&run_a.agent, &run_a.test, &run_a.paths).expect("grouping");
+    let gb = group_paths(&run_b.agent, &run_b.test, &run_b.paths).expect("grouping");
     let result = crosscheck(&ga, &gb, &CrosscheckConfig::default());
     // Partial coverage finds a subset of the full run's findings; each one
     // must still be witnessed soundly.
@@ -44,11 +45,13 @@ fn truncated_findings_are_subset_of_full_findings() {
         ..Default::default()
     };
     let soft = Soft::new();
-    let full = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    let full = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
     let ra = run_test(AgentKind::Reference, &test, &capped_cfg);
     let rb = run_test(AgentKind::OpenVSwitch, &test, &capped_cfg);
-    let ga = group_paths(&ra.agent, &ra.test, &ra.paths);
-    let gb = group_paths(&rb.agent, &rb.test, &rb.paths);
+    let ga = group_paths(&ra.agent, &ra.test, &ra.paths).expect("grouping");
+    let gb = group_paths(&rb.agent, &rb.test, &rb.paths).expect("grouping");
     let capped = crosscheck(&ga, &gb, &CrosscheckConfig::default());
     let full_keys: Vec<String> = full
         .result
@@ -74,13 +77,13 @@ fn solver_budget_degrades_to_unknown_not_wrong() {
     let cfg = ExplorerConfig::default();
     let ra = run_test(AgentKind::Reference, &test, &cfg);
     let rb = run_test(AgentKind::OpenVSwitch, &test, &cfg);
-    let ga = group_paths(&ra.agent, &ra.test, &ra.paths);
-    let gb = group_paths(&rb.agent, &rb.test, &rb.paths);
+    let ga = group_paths(&ra.agent, &ra.test, &ra.paths).expect("grouping");
+    let gb = group_paths(&rb.agent, &rb.test, &rb.paths).expect("grouping");
     let starved = crosscheck(
         &ga,
         &gb,
         &CrosscheckConfig {
-            solver_max_conflicts: Some(1),
+            solver_budget: SolverBudget::conflicts(1),
             ..Default::default()
         },
     );
@@ -92,6 +95,11 @@ fn solver_budget_degrades_to_unknown_not_wrong() {
             "even under budget pressure, witnesses must be real"
         );
     }
+    assert_eq!(
+        starved.unverified.len(),
+        starved.unknown,
+        "every undecided pair must be listed, not silently dropped"
+    );
     // Sanity: the unlimited run decides everything.
     let unlimited = crosscheck(&ga, &gb, &CrosscheckConfig::default());
     assert_eq!(unlimited.unknown, 0);
@@ -127,8 +135,8 @@ fn one_sided_truncation_is_sound_too() {
             ..Default::default()
         },
     );
-    let ga = group_paths(&full.agent, &full.test, &full.paths);
-    let gb = group_paths(&capped.agent, &capped.test, &capped.paths);
+    let ga = group_paths(&full.agent, &full.test, &full.paths).expect("grouping");
+    let gb = group_paths(&capped.agent, &capped.test, &capped.paths).expect("grouping");
     let result = crosscheck(&ga, &gb, &CrosscheckConfig::default());
     for inc in &result.inconsistencies {
         let in_a = ga.groups.iter().find(|g| g.output == inc.output_a).unwrap();

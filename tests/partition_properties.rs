@@ -85,7 +85,7 @@ fn grouping_preserves_partition() {
     let soft = Soft::new();
     let test = suite::stats_request();
     let run = soft.phase1(AgentKind::OpenVSwitch, &test);
-    let grouped = soft.group(&run);
+    let grouped = soft.group(&run).expect("grouping");
     let mut solver = Solver::new();
     // Union of groups is exhaustive.
     let conds: Vec<_> = grouped.groups.iter().map(|g| g.condition.clone()).collect();

@@ -24,12 +24,17 @@ fn expiry_is_consistent_between_reference_and_ovs() {
     // The expiry semantics themselves are identical in both public agents:
     // the time extension must not create spurious inconsistencies.
     let soft = Soft::new();
-    let pair = soft.run_pair(
-        AgentKind::Reference,
-        AgentKind::OpenVSwitch,
-        &suite::timeout_flow_mod(),
+    let pair = soft
+        .run_pair(
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            &suite::timeout_flow_mod(),
+        )
+        .expect("pipeline");
+    assert!(
+        pair.run_a.paths.len() > 4,
+        "timeouts must partition the space"
     );
-    assert!(pair.run_a.paths.len() > 4, "timeouts must partition the space");
     // The symbolic flags field re-exposes the *known* emergency-flow
     // divergence (Ref supports emergency entries, OVS rejects them) — that
     // is §5.1.2, not the time extension. Expiry itself must add no new
@@ -65,14 +70,18 @@ fn time_extension_exposes_m2() {
     // suppression (M2) becomes visible: the reference switch sends a Flow
     // Removed where the modified switch stays silent.
     let soft = Soft::new();
-    let pair = soft.run_pair(
-        AgentKind::Reference,
-        AgentKind::Modified,
-        &suite::timeout_flow_mod(),
-    );
-    let m2 = pair.result.inconsistencies.iter().find(|i| {
-        flow_removed_count(&i.output_a) == 1 && flow_removed_count(&i.output_b) == 0
-    });
+    let pair = soft
+        .run_pair(
+            AgentKind::Reference,
+            AgentKind::Modified,
+            &suite::timeout_flow_mod(),
+        )
+        .expect("pipeline");
+    let m2 = pair
+        .result
+        .inconsistencies
+        .iter()
+        .find(|i| flow_removed_count(&i.output_a) == 1 && flow_removed_count(&i.output_b) == 0);
     assert!(
         m2.is_some(),
         "the time extension must expose the idle-timeout modification (M2)"
@@ -82,7 +91,10 @@ fn time_extension_exposes_m2() {
     let w = &m2.unwrap().witness;
     let idle = (w.get("m0.b58").unwrap_or(0) << 8) | w.get("m0.b59").unwrap_or(0);
     let flags = (w.get("m0.b70").unwrap_or(0) << 8) | w.get("m0.b71").unwrap_or(0);
-    assert!(idle > 0 && idle <= 60, "witness idle timeout {idle} must be in (0, 60]");
+    assert!(
+        idle > 0 && idle <= 60,
+        "witness idle timeout {idle} must be in (0, 60]"
+    );
     assert_eq!(flags & 1, 1, "witness must set OFPFF_SEND_FLOW_REM");
 }
 
@@ -94,7 +106,10 @@ fn hard_timeout_notification_not_suppressed_by_m2() {
     let soft = Soft::new();
     let test = suite::timeout_flow_mod();
     let run_m = soft.phase1(AgentKind::Modified, &test);
-    let found = run_m.paths.iter().any(|p| flow_removed_count(&p.output) == 1);
+    let found = run_m
+        .paths
+        .iter()
+        .any(|p| flow_removed_count(&p.output) == 1);
     assert!(
         found,
         "the modified switch must still send Flow Removed for hard timeouts"
@@ -136,11 +151,13 @@ fn six_of_seven_with_time_extension() {
     // the timeout test raises it to 6 of 7. Only the Hello-handshake
     // change remains invisible.
     let soft = Soft::new();
-    let pair = soft.run_pair(
-        AgentKind::Reference,
-        AgentKind::Modified,
-        &suite::timeout_flow_mod(),
-    );
+    let pair = soft
+        .run_pair(
+            AgentKind::Reference,
+            AgentKind::Modified,
+            &suite::timeout_flow_mod(),
+        )
+        .expect("pipeline");
     assert!(
         !pair.result.inconsistencies.is_empty(),
         "M2 must be detectable with time support"

@@ -38,7 +38,9 @@ fn recorded_trace_alone_is_consistent() {
     // path per agent and finds nothing — the §6.3 limitation.
     let test = recorded_session().to_test("trace_concrete", &[]).unwrap();
     let soft = Soft::new();
-    let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
     assert_eq!(pair.run_a.paths.len(), 1);
     assert_eq!(pair.run_b.paths.len(), 1);
     assert!(pair.result.inconsistencies.is_empty());
@@ -53,7 +55,9 @@ fn symbolizing_output_ports_finds_the_port_validation_divergence() {
         .to_test("trace_ports", &[Symbolize::OutputPorts])
         .unwrap();
     let soft = Soft::new();
-    let pair = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
     assert!(
         pair.run_a.paths.len() > 3,
         "symbolization must open up the port space"
@@ -67,12 +71,17 @@ fn symbolizing_output_ports_finds_the_port_validation_divergence() {
     let found = pair.result.inconsistencies.iter().any(|i| {
         use soft::openflow::TraceEvent;
         let fwd = |o: &soft::harness::ObservedOutput| {
-            o.events
-                .iter()
-                .any(|e| matches!(e, TraceEvent::DataPlaneTx { .. } | TraceEvent::NormalForward { .. }))
+            o.events.iter().any(|e| {
+                matches!(
+                    e,
+                    TraceEvent::DataPlaneTx { .. } | TraceEvent::NormalForward { .. }
+                )
+            })
         };
         let err = |o: &soft::harness::ObservedOutput| {
-            o.events.iter().any(|e| matches!(e, TraceEvent::Error { .. }))
+            o.events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Error { .. }))
         };
         (fwd(&i.output_a) && err(&i.output_b)) || (err(&i.output_a) && fwd(&i.output_b))
     });

@@ -16,7 +16,9 @@ fn artifact_roundtrip_preserves_crosscheck_results() {
     let test = suite::packet_out();
 
     // In-process pipeline.
-    let direct = soft.run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test);
+    let direct = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
 
     // Decoupled pipeline: each "vendor" exports JSON; the third party
     // imports, groups, and crosschecks without touching any agent.
@@ -37,9 +39,8 @@ fn artifact_roundtrip_preserves_crosscheck_results() {
         "decoupling must not change the inconsistency count"
     );
     // The output pairs must match one-to-one.
-    let key = |i: &soft::core::Inconsistency| {
-        (format!("{:?}", i.output_a), format!("{:?}", i.output_b))
-    };
+    let key =
+        |i: &soft::core::Inconsistency| (format!("{:?}", i.output_a), format!("{:?}", i.output_b));
     let mut direct_keys: Vec<_> = direct.result.inconsistencies.iter().map(key).collect();
     let mut decoupled_keys: Vec<_> = decoupled.inconsistencies.iter().map(key).collect();
     direct_keys.sort();
@@ -82,7 +83,7 @@ fn grouping_counts_match_between_direct_and_artifact() {
     let test = suite::stats_request();
     for kind in [AgentKind::Reference, AgentKind::OpenVSwitch] {
         let run = soft.phase1(kind, &test);
-        let direct = soft.group(&run);
+        let direct = soft.group(&run).expect("grouping");
         let artifact = TestRunFile::from_run(&run);
         let via_artifact = soft.group_artifact(&artifact).unwrap();
         assert_eq!(direct.num_results(), via_artifact.num_results());

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Lint gate: forbid aborting on poisoned locks in non-test code.
+#
+# Shared-state locks in this workspace (explorer frontier, verdict slots,
+# matrix result slots, the term interner) are written slot-wise or merged
+# commutatively, so a sibling worker's panic leaves usable state behind the
+# mutex. The graceful-degradation contract therefore requires
+#   lock().unwrap_or_else(|e| e.into_inner())
+# instead of `.lock().unwrap()` / `.lock().expect(...)`, which turn one
+# contained panic into a process-wide abort. Test code (tests/ and
+# #[cfg(test)] modules) is exempt: an abort there *is* the failure report.
+set -u
+
+fail=0
+for f in $(find crates/*/src src examples -name '*.rs' 2>/dev/null | sort); do
+    # Strip everything from the first `#[cfg(test)]` on: by repo convention
+    # test modules are a single trailing `mod tests` block per file.
+    hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
+        | grep -n '\.lock()\.unwrap()\|\.lock()\.expect(' || true)
+    if [ -n "$hits" ]; then
+        echo "$f: poisoned-lock abort in non-test code:"
+        echo "$hits" | sed 's/^/  /'
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "Use lock().unwrap_or_else(|e| e.into_inner()) (see DESIGN.md,"
+    echo "\"Failure containment & resource budgets\")."
+    exit 1
+fi
+echo "lock handling OK: no poisoned-lock aborts in non-test code"
