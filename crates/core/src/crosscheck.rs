@@ -214,6 +214,10 @@ pub struct CrosscheckResult {
     /// budget-exhausted pair is listed here instead of being misreported
     /// as consistent or inconsistent.
     pub unverified: Vec<UnverifiedPair>,
+    /// Pairs that came back Unknown at the base budget but were decided
+    /// on an escalated retry rung (or recovered already-decided from a
+    /// journal written by such a retry).
+    pub resolved_on_retry: usize,
     /// Wall-clock time of the intersection phase (Table 3 "Inconsist.
     /// checking" column).
     pub check_time: Duration,
@@ -233,6 +237,17 @@ pub struct CrosscheckConfig {
     pub solver_budget: SolverBudget,
     /// Worker threads for the query matrix (1 = sequential).
     pub jobs: usize,
+    /// Budget-escalation retry rungs for Unknown verdicts: after the base
+    /// pass, each still-undecided pair is re-solved up to this many times
+    /// under a geometrically growing budget (default 0 = no retries; a
+    /// no-op when the base budget is unlimited).
+    pub retry_rungs: u32,
+    /// Budget growth factor per retry rung (default 4).
+    pub retry_factor: u64,
+    /// Optional ceiling on the escalated conflict/propagation budgets;
+    /// the ladder stops early once the cap makes a rung no larger than
+    /// the previous attempt.
+    pub retry_cap: Option<u64>,
 }
 
 impl Default for CrosscheckConfig {
@@ -240,7 +255,79 @@ impl Default for CrosscheckConfig {
         CrosscheckConfig {
             solver_budget: SolverBudget::unlimited(),
             jobs: 1,
+            retry_rungs: 0,
+            retry_factor: 4,
+            retry_cap: None,
         }
+    }
+}
+
+/// Observer notified once per decided-or-exhausted verdict, in pair
+/// order, as each solving pass completes — the write-ahead hook the
+/// crosscheck journal plugs into. Implementations must be `Sync`.
+pub trait VerdictSink: Sync {
+    /// One pair's final verdict for this pass. `i`/`j` are group indices
+    /// into the two result sets; `budget` is the budget the verdict was
+    /// produced under.
+    fn on_verdict(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget);
+}
+
+/// Verdicts recovered from a crosscheck journal, keyed by group-index
+/// pair. Seeded verdicts short-circuit re-solving on resume: decided
+/// verdicts are final, and an Unknown is reusable only for budgets the
+/// recorded attempt already covers.
+#[derive(Debug, Clone, Default)]
+pub struct CheckSeeds {
+    map: std::collections::HashMap<(usize, usize), (SatResult, SolverBudget)>,
+}
+
+impl CheckSeeds {
+    /// Empty seed set.
+    pub fn new() -> Self {
+        CheckSeeds::default()
+    }
+
+    /// Number of seeded pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no verdicts are seeded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Record one journaled verdict. Later records supersede earlier ones
+    /// only when they carry more information: a decided verdict replaces
+    /// an Unknown, and a bigger-budget Unknown replaces a smaller one —
+    /// so a journal holding both a base-pass Unknown and a retry-rung
+    /// decision for the same pair resolves to the decision.
+    pub fn insert(&mut self, i: usize, j: usize, verdict: SatResult, budget: SolverBudget) {
+        use std::collections::hash_map::Entry;
+        match self.map.entry((i, j)) {
+            Entry::Vacant(e) => {
+                e.insert((verdict, budget));
+            }
+            Entry::Occupied(mut e) => {
+                let (old_v, old_b) = e.get();
+                let supersedes = match (&verdict, old_v) {
+                    (SatResult::Unknown, SatResult::Unknown) => budget.covers(old_b),
+                    (SatResult::Unknown, _) => false,
+                    (_, SatResult::Unknown) => true,
+                    // Two decided verdicts for one pair: keep the first
+                    // (they must agree; the replay validation on the
+                    // artifacts guards the inputs).
+                    _ => false,
+                };
+                if supersedes {
+                    e.insert((verdict, budget));
+                }
+            }
+        }
+    }
+
+    fn get(&self, i: usize, j: usize) -> Option<&(SatResult, SolverBudget)> {
+        self.map.get(&(i, j))
     }
 }
 
@@ -256,6 +343,24 @@ pub fn crosscheck(
     a: &GroupedResults,
     b: &GroupedResults,
     cfg: &CrosscheckConfig,
+) -> CrosscheckResult {
+    crosscheck_durable(a, b, cfg, None, None)
+}
+
+/// [`crosscheck`] with journal support: `seeds` short-circuits pairs whose
+/// verdicts were recovered from a crosscheck journal, `sink` observes each
+/// newly produced verdict (in pair order, once per solving pass) so the
+/// journal can persist it. After the base pass, `cfg.retry_rungs` extra
+/// passes re-solve the still-Unknown pairs under geometrically escalated
+/// budgets — all passes share one verdict cache, whose budget-aware
+/// semantics guarantee a small-budget Unknown never masks a bigger-budget
+/// re-solve.
+pub fn crosscheck_durable(
+    a: &GroupedResults,
+    b: &GroupedResults,
+    cfg: &CrosscheckConfig,
+    seeds: Option<&CheckSeeds>,
+    sink: Option<&dyn VerdictSink>,
 ) -> CrosscheckResult {
     assert_eq!(a.test, b.test, "crosschecking different tests");
     let start = Instant::now();
@@ -277,27 +382,89 @@ pub fn crosscheck(
             pairs.push((i, j, differ));
         }
     }
-    let verdicts: Vec<SatResult> = if cfg.jobs <= 1 {
-        let mut solver = Solver::new();
-        solver.budget = cfg.solver_budget;
-        pairs
-            .iter()
-            .map(|(i, j, differ)| {
-                solver.check(&[
-                    a.groups[*i].condition.clone(),
-                    b.groups[*j].condition.clone(),
-                    differ.clone(),
-                ])
-            })
-            .collect()
-    } else {
-        check_pairs_parallel(a, b, &pairs, cfg)
-    };
+
+    // One (verdict, budget) slot per pair. Journaled verdicts pre-fill
+    // their slots: decided ones are final; an Unknown is kept only if the
+    // recorded attempt already covers the base budget (otherwise the base
+    // pass must genuinely retry it).
+    let mut slots: Vec<Option<(SatResult, SolverBudget)>> = pairs
+        .iter()
+        .map(|(i, j, _)| match seeds.and_then(|s| s.get(*i, *j)) {
+            Some((v, b)) if !matches!(v, SatResult::Unknown) => Some((v.clone(), *b)),
+            Some((SatResult::Unknown, b)) if b.covers(&cfg.solver_budget) => {
+                Some((SatResult::Unknown, *b))
+            }
+            _ => None,
+        })
+        .collect();
+
+    // All passes share one budget-aware verdict cache: verdicts decided in
+    // the base pass shortcut identical queries on retry rungs, while
+    // Unknowns recorded under a smaller budget never suppress a re-solve
+    // under a larger one.
+    let cache = Arc::new(VerdictCache::new());
+
+    // Base pass: everything the seeds did not settle.
+    let todo: Vec<usize> = (0..pairs.len()).filter(|&k| slots[k].is_none()).collect();
+    solve_pass(
+        a,
+        b,
+        &pairs,
+        &mut slots,
+        &todo,
+        cfg.solver_budget,
+        cfg.jobs,
+        &cache,
+    );
+    notify_sink(sink, &pairs, &slots, &todo);
+
+    // Escalation ladder: geometrically larger budgets for the leftovers.
+    // Unlimited base budgets have nothing to escalate.
+    if !cfg.solver_budget.is_unlimited() {
+        let mut last_budget = cfg.solver_budget;
+        for rung in 1..=cfg.retry_rungs {
+            let mut budget = cfg
+                .solver_budget
+                .scaled(cfg.retry_factor.saturating_pow(rung));
+            if let Some(cap) = cfg.retry_cap {
+                budget.max_conflicts = budget.max_conflicts.map(|n| n.min(cap));
+                budget.max_propagations = budget.max_propagations.map(|n| n.min(cap));
+            }
+            // The cap (or saturation) made this rung no bigger than the
+            // last attempt: further rungs cannot make progress.
+            if last_budget.covers(&budget) {
+                break;
+            }
+            let todo: Vec<usize> = (0..pairs.len())
+                .filter(|&k| match &slots[k] {
+                    // Re-solve Unknowns whose deciding attempt was smaller
+                    // than this rung (journal-recovered Unknowns may
+                    // already cover it).
+                    Some((SatResult::Unknown, b)) => !b.covers(&budget),
+                    Some(_) => false,
+                    None => true,
+                })
+                .collect();
+            if todo.is_empty() {
+                break;
+            }
+            solve_pass(a, b, &pairs, &mut slots, &todo, budget, cfg.jobs, &cache);
+            notify_sink(sink, &pairs, &slots, &todo);
+            last_budget = budget;
+        }
+    }
+
     let mut out = CrosscheckResult::default();
-    for ((i, j, _), verdict) in pairs.iter().zip(verdicts) {
+    for ((i, j, _), slot) in pairs.iter().zip(&slots) {
         out.queries += 1;
+        let (verdict, budget) = slot
+            .as_ref()
+            .expect("every pair gets a slot in the base pass");
         match verdict {
             SatResult::Sat(witness) => {
+                if *budget != cfg.solver_budget {
+                    out.resolved_on_retry += 1;
+                }
                 out.inconsistencies.push(Inconsistency {
                     test: a.test.clone(),
                     agent_a: a.agent.clone(),
@@ -307,7 +474,11 @@ pub fn crosscheck(
                     witness: witness.as_ref().clone(),
                 });
             }
-            SatResult::Unsat => {}
+            SatResult::Unsat => {
+                if *budget != cfg.solver_budget {
+                    out.resolved_on_retry += 1;
+                }
+            }
             SatResult::Unknown => {
                 out.unknown += 1;
                 out.unverified.push(UnverifiedPair {
@@ -316,7 +487,8 @@ pub fn crosscheck(
                     agent_b: b.agent.clone(),
                     output_a: a.groups[*i].output.clone(),
                     output_b: b.groups[*j].output.clone(),
-                    budget: cfg.solver_budget,
+                    // The final (largest) budget the pair exhausted.
+                    budget: *budget,
                 });
             }
         }
@@ -325,37 +497,77 @@ pub fn crosscheck(
     out
 }
 
-/// Solve the pair matrix on `cfg.jobs` threads; verdicts come back indexed
-/// by pair, so the caller's merge order is independent of scheduling.
-fn check_pairs_parallel(
+/// Report the verdicts a pass just produced, in pair order, so the
+/// journal bytes are deterministic for every job count.
+fn notify_sink(
+    sink: Option<&dyn VerdictSink>,
+    pairs: &[(usize, usize, Term)],
+    slots: &[Option<(SatResult, SolverBudget)>],
+    solved: &[usize],
+) {
+    if let Some(s) = sink {
+        for &k in solved {
+            let (i, j, _) = &pairs[k];
+            if let Some((verdict, budget)) = &slots[k] {
+                s.on_verdict(*i, *j, verdict, budget);
+            }
+        }
+    }
+}
+
+/// Solve the `todo` subset of the pair matrix under `budget`, filling the
+/// corresponding slots. Sequential for `jobs <= 1`; otherwise fanned over
+/// worker threads with verdicts written back by pair index, so the merge
+/// order is independent of scheduling.
+#[allow(clippy::too_many_arguments)] // private plumbing shared by every pass
+fn solve_pass(
     a: &GroupedResults,
     b: &GroupedResults,
     pairs: &[(usize, usize, Term)],
-    cfg: &CrosscheckConfig,
-) -> Vec<SatResult> {
-    let cache = Arc::new(VerdictCache::new());
+    slots: &mut [Option<(SatResult, SolverBudget)>],
+    todo: &[usize],
+    budget: SolverBudget,
+    jobs: usize,
+    cache: &Arc<VerdictCache>,
+) {
+    if todo.is_empty() {
+        return;
+    }
+    let query = |solver: &mut Solver, k: usize| {
+        let (i, j, differ) = &pairs[k];
+        solver.check(&[
+            a.groups[*i].condition.clone(),
+            b.groups[*j].condition.clone(),
+            differ.clone(),
+        ])
+    };
+    if jobs <= 1 {
+        let mut solver = Solver::with_cache(Arc::clone(cache));
+        solver.budget = budget;
+        for &k in todo {
+            let v = query(&mut solver, k);
+            slots[k] = Some((v, budget));
+        }
+        return;
+    }
     let next = AtomicUsize::new(0);
-    let verdicts: Mutex<Vec<Option<SatResult>>> = Mutex::new(vec![None; pairs.len()]);
+    let verdicts: Mutex<Vec<Option<SatResult>>> = Mutex::new(vec![None; todo.len()]);
     std::thread::scope(|scope| {
-        for _ in 0..cfg.jobs.min(pairs.len().max(1)) {
-            let cache = Arc::clone(&cache);
+        for _ in 0..jobs.min(todo.len()) {
+            let cache = Arc::clone(cache);
             let next = &next;
             let verdicts = &verdicts;
+            let query = &query;
             scope.spawn(move || {
                 let mut solver = Solver::with_cache(cache);
-                solver.budget = cfg.solver_budget;
+                solver.budget = budget;
                 loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= pairs.len() {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= todo.len() {
                         break;
                     }
-                    let (i, j, differ) = &pairs[k];
-                    let v = solver.check(&[
-                        a.groups[*i].condition.clone(),
-                        b.groups[*j].condition.clone(),
-                        differ.clone(),
-                    ]);
-                    recover(verdicts)[k] = Some(v);
+                    let v = query(&mut solver, todo[t]);
+                    recover(verdicts)[t] = Some(v);
                 }
             });
         }
@@ -363,12 +575,10 @@ fn check_pairs_parallel(
     // A slot can only be `None` if its worker died mid-query; degrading it
     // to Unknown turns the loss into an unverified pair instead of an
     // abort or a fabricated verdict.
-    verdicts
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_iter()
-        .map(|v| v.unwrap_or(SatResult::Unknown))
-        .collect()
+    let solved = verdicts.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (t, v) in solved.into_iter().enumerate() {
+        slots[todo[t]] = Some((v.unwrap_or(SatResult::Unknown), budget));
+    }
 }
 
 #[cfg(test)]
@@ -512,7 +722,7 @@ mod tests {
             &b,
             &CrosscheckConfig {
                 solver_budget: SolverBudget::conflicts(1),
-                jobs: 1,
+                ..Default::default()
             },
         );
         assert_eq!(capped.queries, 1);
@@ -597,6 +807,210 @@ mod tests {
             for (x, y) in seq.inconsistencies.iter().zip(&par.inconsistencies) {
                 assert_eq!(x.output_a, y.output_a, "jobs={jobs}");
                 assert_eq!(x.output_b, y.output_b, "jobs={jobs}");
+                assert_eq!(x.witness, y.witness, "jobs={jobs}");
+            }
+        }
+    }
+
+    /// The hard pair from `budget_exhausted_pair_listed_as_unverified`,
+    /// reusable for the retry-ladder tests.
+    fn hard_pair() -> (GroupedResults, GroupedResults) {
+        let xs: Vec<Term> = (0..12).map(|i| Term::var(format!("cc6.h{i}"), 8)).collect();
+        let mut sum = Term::bv_const(8, 0);
+        for x in &xs {
+            sum = sum.bvadd(x.clone().bvmul(x.clone()));
+        }
+        let hard = sum.eq(Term::bv_const(8, 0x5a));
+        let a = group_paths("a", "t", &[path(hard, out(1))]).expect("grouping");
+        let b = group_paths(
+            "b",
+            "t",
+            &[path(xs[0].clone().ult(Term::bv_const(8, 200)), out(2))],
+        )
+        .expect("grouping");
+        (a, b)
+    }
+
+    #[test]
+    fn retry_ladder_decides_what_the_base_budget_could_not() {
+        let (a, b) = hard_pair();
+        // Base pass alone: Unknown.
+        let base = crosscheck(
+            &a,
+            &b,
+            &CrosscheckConfig {
+                solver_budget: SolverBudget::conflicts(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.unknown, 1);
+        assert_eq!(base.resolved_on_retry, 0);
+        // With the escalation ladder the same run decides the pair. The
+        // passes share one verdict cache, so this also proves a rung-N
+        // Unknown cannot mask the rung-(N+1) re-solve — if it did, the
+        // pair would stay Unknown forever.
+        let laddered = crosscheck(
+            &a,
+            &b,
+            &CrosscheckConfig {
+                solver_budget: SolverBudget::conflicts(1),
+                retry_rungs: 10,
+                ..Default::default()
+            },
+        );
+        assert!(laddered.fully_verified(), "ladder must decide the pair");
+        assert_eq!(laddered.unknown, 0);
+        assert_eq!(laddered.unverified.len(), 0);
+        assert_eq!(laddered.inconsistencies.len(), 1);
+        assert_eq!(laddered.resolved_on_retry, 1);
+        // Same witness quality as anywhere else: it satisfies both sides.
+        let w = &laddered.inconsistencies[0].witness;
+        assert!(w.eval_bool(&a.groups[0].condition));
+        assert!(w.eval_bool(&b.groups[0].condition));
+    }
+
+    #[test]
+    fn retry_cap_bounds_the_ladder() {
+        let (a, b) = hard_pair();
+        let capped = crosscheck(
+            &a,
+            &b,
+            &CrosscheckConfig {
+                solver_budget: SolverBudget::conflicts(1),
+                retry_rungs: 10,
+                retry_cap: Some(2),
+                ..Default::default()
+            },
+        );
+        // Rung 1 is capped to 2 conflicts; rung 2 would also be 2, so the
+        // ladder stops instead of spinning. The pair stays honestly
+        // unverified, reported at the largest budget actually attempted.
+        assert_eq!(capped.unknown, 1);
+        assert_eq!(capped.unverified[0].budget, SolverBudget::conflicts(2));
+        assert_eq!(capped.resolved_on_retry, 0);
+    }
+
+    #[test]
+    fn retry_ladder_is_a_noop_for_unlimited_budgets() {
+        let (a, b) = hard_pair();
+        let r = crosscheck(
+            &a,
+            &b,
+            &CrosscheckConfig {
+                retry_rungs: 5,
+                ..Default::default()
+            },
+        );
+        assert!(r.fully_verified());
+        assert_eq!(r.resolved_on_retry, 0, "nothing to escalate from unlimited");
+    }
+
+    #[derive(Default)]
+    struct CollectVerdicts(Mutex<Vec<(usize, usize, SatResult, SolverBudget)>>);
+
+    impl VerdictSink for CollectVerdicts {
+        fn on_verdict(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) {
+            recover(&self.0).push((i, j, verdict.clone(), *budget));
+        }
+    }
+
+    #[test]
+    fn seeded_verdicts_short_circuit_resolving() {
+        let (a, b) = hard_pair();
+        let cfg = CrosscheckConfig {
+            solver_budget: SolverBudget::conflicts(1),
+            retry_rungs: 10,
+            ..Default::default()
+        };
+        let sink = CollectVerdicts::default();
+        let first = crosscheck_durable(&a, &b, &cfg, None, Some(&sink));
+        let journaled = sink.0.into_inner().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            journaled.len() >= 2,
+            "the hard pair must be journaled once per attempt (Unknown then decided)"
+        );
+        // Recovery: replay the journal into seeds, decided-supersedes-Unknown.
+        let mut seeds = CheckSeeds::new();
+        for (i, j, v, bud) in &journaled {
+            seeds.insert(*i, *j, v.clone(), *bud);
+        }
+        let resume_sink = CollectVerdicts::default();
+        let resumed = crosscheck_durable(&a, &b, &cfg, Some(&seeds), Some(&resume_sink));
+        assert!(
+            resume_sink
+                .0
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty(),
+            "a complete verdict journal owes no solver work"
+        );
+        assert_eq!(resumed.queries, first.queries);
+        assert_eq!(resumed.unknown, first.unknown);
+        assert_eq!(resumed.resolved_on_retry, first.resolved_on_retry);
+        assert_eq!(resumed.inconsistencies.len(), first.inconsistencies.len());
+        for (x, y) in first.inconsistencies.iter().zip(&resumed.inconsistencies) {
+            assert_eq!(x.witness, y.witness, "journaled witnesses must roundtrip");
+        }
+    }
+
+    #[test]
+    fn seeded_unknown_at_small_budget_is_resolved_not_reused() {
+        let (a, b) = hard_pair();
+        // A journal written by a plain base-budget run: one Unknown at 1
+        // conflict.
+        let mut seeds = CheckSeeds::new();
+        seeds.insert(0, 0, SatResult::Unknown, SolverBudget::conflicts(1));
+        // Resuming with a retry ladder must re-solve the pair, not let the
+        // recorded small-budget Unknown mask the escalated attempts.
+        let cfg = CrosscheckConfig {
+            solver_budget: SolverBudget::conflicts(1),
+            retry_rungs: 10,
+            ..Default::default()
+        };
+        let r = crosscheck_durable(&a, &b, &cfg, Some(&seeds), None);
+        assert!(r.fully_verified());
+        assert_eq!(r.resolved_on_retry, 1);
+    }
+
+    #[test]
+    fn check_seeds_supersede_rules() {
+        let mut s = CheckSeeds::new();
+        s.insert(0, 0, SatResult::Unknown, SolverBudget::conflicts(1));
+        s.insert(0, 0, SatResult::Unknown, SolverBudget::conflicts(4));
+        assert!(matches!(
+            s.get(0, 0),
+            Some((SatResult::Unknown, b)) if *b == SolverBudget::conflicts(4)
+        ));
+        // A decision replaces any Unknown...
+        s.insert(0, 0, SatResult::Unsat, SolverBudget::conflicts(16));
+        assert!(matches!(s.get(0, 0), Some((SatResult::Unsat, _))));
+        // ...and a later Unknown never downgrades a decision.
+        s.insert(0, 0, SatResult::Unknown, SolverBudget::conflicts(64));
+        assert!(matches!(s.get(0, 0), Some((SatResult::Unsat, _))));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn parallel_retry_ladder_matches_sequential() {
+        let (a, b) = hard_pair();
+        let mk = |jobs| CrosscheckConfig {
+            solver_budget: SolverBudget::conflicts(1),
+            jobs,
+            retry_rungs: 10,
+            ..Default::default()
+        };
+        let seq = crosscheck(&a, &b, &mk(1));
+        for jobs in [2, 4] {
+            let par = crosscheck(&a, &b, &mk(jobs));
+            assert_eq!(par.unknown, seq.unknown, "jobs={jobs}");
+            assert_eq!(par.resolved_on_retry, seq.resolved_on_retry, "jobs={jobs}");
+            assert_eq!(
+                par.inconsistencies.len(),
+                seq.inconsistencies.len(),
+                "jobs={jobs}"
+            );
+            for (x, y) in seq.inconsistencies.iter().zip(&par.inconsistencies) {
                 assert_eq!(x.witness, y.witness, "jobs={jobs}");
             }
         }

@@ -50,7 +50,8 @@ pub mod report;
 mod soft;
 
 pub use crosscheck::{
-    crosscheck, CrosscheckConfig, CrosscheckResult, Inconsistency, UnverifiedPair,
+    crosscheck, crosscheck_durable, CheckSeeds, CrosscheckConfig, CrosscheckResult, Inconsistency,
+    UnverifiedPair, VerdictSink,
 };
 pub use group::{
     group_paths, group_paths_with, GroupError, GroupedResults, OutputGroup, TreeShape,

@@ -234,9 +234,12 @@ pub fn describe_unverified(uv: &UnverifiedPair) -> String {
     );
     let _ = writeln!(s, "  {}: {}", uv.agent_a, signature(&uv.output_a));
     let _ = writeln!(s, "  {}: {}", uv.agent_b, signature(&uv.output_b));
+    if let Some(n) = uv.budget.max_conflicts {
+        let _ = writeln!(s, "  last attempted budget: {n} conflicts");
+    }
     let _ = writeln!(
         s,
-        "  rerun with a larger --solver-budget to decide this pair"
+        "  rerun with a larger --solver-budget or --retry-unknown rungs to decide this pair"
     );
     s
 }

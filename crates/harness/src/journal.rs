@@ -1,0 +1,1446 @@
+//! Durability: write-ahead journaling, crash recovery, and atomic
+//! artifact writes.
+//!
+//! EGT re-execution makes every explored path a perfect checkpoint: the
+//! decision sequence alone reproduces the path concretely, with no forks
+//! and no fresh solver queries. The journal exploits that — each record
+//! persists one path's canonical decision prefix, normalized output,
+//! coverage delta, and the sibling prefixes it scheduled. Recovery
+//! replays the journaled prefixes and explores only the remaining
+//! frontier `({root} ∪ all pendings) − all origins`, so a resumed run
+//! produces byte-identical artifacts to an uninterrupted one at any
+//! worker count.
+//!
+//! On-disk format: a header record followed by data records, each framed
+//! as `[u32 LE payload length][u32 LE CRC-32 of payload][JSON payload]`.
+//! A torn or corrupted tail (the expected shape of a crash mid-append)
+//! is detected by the checksum, reported, and truncated away; everything
+//! before it is trusted. Artifacts themselves are published with
+//! [`atomic_write`] (temp file in the same directory, fsync, rename), so
+//! a reader never observes a half-written artifact.
+
+use crate::input::TestCase;
+use crate::json::{self, Json};
+use crate::runner::{agent_program, degraded_run, summarize, TestRun};
+use crate::wire::EventFile;
+use soft_agents::AgentKind;
+use soft_openflow::normalize_trace;
+use soft_smt::{Assignment, SatResult, SolverBudget};
+use soft_sym::{
+    explore_fn_seeded, ExplorerConfig, PathOutcome, PathResult, PathSink, ResumeSeed, SeedPending,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{self, Write};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Recover the guarded data even if a sibling worker panicked while
+/// holding the lock (same policy as the runner: slot-wise writes keep a
+/// poisoned lock's state usable).
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, computed at compile time.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of a byte string.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+
+/// Everything that can go wrong while journaling or recovering.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The journal body is damaged beyond the recoverable torn tail.
+    Corrupt(String),
+    /// The journal belongs to a different run configuration; resuming
+    /// would silently produce wrong artifacts, so we refuse.
+    Mismatch(String),
+    /// A replayed path diverged from its journaled record — the agent,
+    /// test, or engine changed since the journal was written.
+    Replay(String),
+    /// The run configuration cannot be journaled (e.g. wall-clock
+    /// truncation, which replays non-deterministically).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt(m) => write!(f, "journal corrupt: {m}"),
+            JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+            JournalError::Replay(m) => write!(f, "journal replay divergence: {m}"),
+            JournalError::Unsupported(m) => write!(f, "not journalable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic artifact writes.
+
+/// Write `data` to `path` atomically: temp file in the same directory,
+/// flush (+ fsync unless disabled), rename over the target, then fsync
+/// the directory so the rename itself is durable. A crash at any point
+/// leaves either the old content or the new content, never a torn file.
+pub fn atomic_write(path: &Path, data: &[u8], fsync: bool) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let publish = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        if fsync {
+            f.sync_all()?;
+        }
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if publish.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return publish;
+    }
+    if fsync {
+        // Durability of the rename needs the directory synced; best-effort
+        // (some filesystems refuse to fsync directories).
+        if let Ok(d) = fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Record framing.
+
+/// Sanity bound on a single record; journals hold per-path metadata, so
+/// anything larger than this is framing damage, not data.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Append-only journal file handle.
+pub struct JournalWriter {
+    file: fs::File,
+    fsync: bool,
+    /// Pending frames not yet handed to the OS. With fsync on, every
+    /// append flushes (durability per record); without it, frames batch
+    /// up to [`FLUSH_THRESHOLD`] — a crash then loses at most the buffer,
+    /// which resume simply re-explores.
+    buf: Vec<u8>,
+    /// Reused serialization buffer (records are built back to back).
+    scratch: String,
+}
+
+/// No-fsync write batching bound.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+impl JournalWriter {
+    fn new(file: fs::File, fsync: bool) -> Self {
+        JournalWriter {
+            file,
+            fsync,
+            buf: Vec::new(),
+            scratch: String::new(),
+        }
+    }
+
+    /// Append one record (length + checksum + payload) and make it
+    /// durable if fsync is enabled.
+    pub fn append(&mut self, record: &Json) -> io::Result<()> {
+        self.scratch.clear();
+        record.write_into(&mut self.scratch);
+        let payload = self.scratch.as_bytes();
+        self.buf.reserve(payload.len() + 8);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        if self.fsync {
+            self.flush()?;
+            self.file.sync_all()?;
+        } else if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Hand any buffered frames to the OS (no fsync).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// What recovery found in a journal file.
+struct RawRecovery {
+    /// Parsed record payloads, in append order (header first).
+    records: Vec<Json>,
+    /// Byte length of the valid prefix.
+    valid_len: u64,
+    /// True if a torn or corrupted tail was dropped.
+    dropped_tail: bool,
+}
+
+/// Scan the journal bytes, stopping at the first torn or corrupted
+/// frame. Everything before the damage is returned; the damage itself
+/// is reported, not fatal — a torn tail is the *expected* shape of a
+/// crash mid-append.
+fn scan_records(bytes: &[u8]) -> RawRecovery {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    loop {
+        if bytes.len() - off < 8 {
+            return RawRecovery {
+                records,
+                valid_len: off as u64,
+                dropped_tail: off < bytes.len(),
+            };
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        if len as u32 > MAX_RECORD_LEN || bytes.len() - off - 8 < len {
+            return RawRecovery {
+                records,
+                valid_len: off as u64,
+                dropped_tail: true,
+            };
+        }
+        let payload = &bytes[off + 8..off + 8 + len];
+        if crc32(payload) != crc {
+            return RawRecovery {
+                records,
+                valid_len: off as u64,
+                dropped_tail: true,
+            };
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                return RawRecovery {
+                    records,
+                    valid_len: off as u64,
+                    dropped_tail: true,
+                }
+            }
+        };
+        match json::parse(text) {
+            Ok(v) => records.push(v),
+            Err(_) => {
+                return RawRecovery {
+                    records,
+                    valid_len: off as u64,
+                    dropped_tail: true,
+                }
+            }
+        }
+        off += 8 + len;
+    }
+}
+
+/// Create a fresh journal at `path` with the given header record.
+fn fresh_journal(path: &Path, header: &Json, fsync: bool) -> Result<JournalWriter, JournalError> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let file = fs::File::create(path)?;
+    let mut w = JournalWriter::new(file, fsync);
+    w.append(header)?;
+    Ok(w)
+}
+
+/// Open an existing journal for resumption: scan it, verify the header
+/// against `kind`/`fingerprint`, truncate any damaged tail, and return
+/// the data records plus an append handle positioned after the valid
+/// prefix. A missing or empty journal degrades to a fresh start.
+fn open_resume(
+    path: &Path,
+    kind: &str,
+    fingerprint: &str,
+    header: &Json,
+    fsync: bool,
+) -> Result<(Vec<Json>, JournalWriter), JournalError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let raw = scan_records(&bytes);
+    if raw.records.is_empty() {
+        // Nothing recoverable (missing, empty, or fully torn) — start over.
+        return Ok((Vec::new(), fresh_journal(path, header, fsync)?));
+    }
+    let head = &raw.records[0];
+    let format = head.get("format").and_then(|v| v.as_u64().ok());
+    if format != Some(1) {
+        return Err(JournalError::Corrupt(format!(
+            "{}: unsupported journal format {format:?}",
+            path.display()
+        )));
+    }
+    let head_kind = head.get("kind").and_then(|v| v.as_str().ok()).unwrap_or("");
+    if head_kind != kind {
+        return Err(JournalError::Mismatch(format!(
+            "{}: journal kind is '{head_kind}', this run needs '{kind}'",
+            path.display()
+        )));
+    }
+    let head_fp = head
+        .get("fingerprint")
+        .and_then(|v| v.as_str().ok())
+        .unwrap_or("");
+    if head_fp != fingerprint {
+        return Err(JournalError::Mismatch(format!(
+            "{}: journal fingerprint {head_fp} does not match this run's {fingerprint} \
+             (different agent, test, seed, strategy, budget, or inputs); \
+             delete the journal or drop --resume to start over",
+            path.display()
+        )));
+    }
+    // Trust the valid prefix; drop the damaged tail before appending.
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(raw.valid_len)?;
+    let file = fs::OpenOptions::new().append(true).open(path)?;
+    if raw.dropped_tail {
+        file.sync_all()?;
+    }
+    let records = raw.records.into_iter().skip(1).collect();
+    Ok((records, JournalWriter::new(file, fsync)))
+}
+
+// ---------------------------------------------------------------------------
+// Small codecs shared by both journal kinds.
+
+/// Decision sequence as a compact bitstring ("01…").
+fn bits_out(bits: &[bool]) -> Json {
+    Json::Str(bits.iter().map(|&b| if b { '1' } else { '0' }).collect())
+}
+
+fn bits_in(v: &Json) -> Result<Vec<bool>, String> {
+    v.as_str()?
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("bad decision bit '{other}'")),
+        })
+        .collect()
+}
+
+/// FNV-1a 64-bit over a sequence of parts (with separators), rendered as
+/// fixed-width hex. Deliberately avoids hashing any interner-dependent
+/// representation: only stable identifiers and raw artifact text go in.
+fn fnv64_hex(parts: &[&str]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    for p in parts {
+        eat(p.as_bytes());
+        eat(&[0x1f]); // unit separator: "ab"+"c" must differ from "a"+"bc"
+    }
+    format!("{h:016x}")
+}
+
+/// Wire form of a solver budget (only finite dimensions appear).
+fn budget_out(b: &SolverBudget) -> Json {
+    let mut o = Vec::new();
+    if let Some(n) = b.max_conflicts {
+        o.push(("conflicts".to_string(), Json::UInt(n)));
+    }
+    if let Some(n) = b.max_propagations {
+        o.push(("propagations".to_string(), Json::UInt(n)));
+    }
+    if let Some(t) = b.time_limit {
+        o.push(("time_us".to_string(), Json::UInt(t.as_micros() as u64)));
+    }
+    Json::Object(o)
+}
+
+fn budget_in(v: &Json) -> Result<SolverBudget, String> {
+    let dim = |key: &str| -> Result<Option<u64>, String> {
+        match v.get(key) {
+            Some(j) => Ok(Some(j.as_u64()?)),
+            None => Ok(None),
+        }
+    };
+    Ok(SolverBudget {
+        max_conflicts: dim("conflicts")?,
+        max_propagations: dim("propagations")?,
+        time_limit: dim("time_us")?.map(Duration::from_micros),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Phase-1 journals (one per agent/test exploration).
+
+/// Options for a journaled (durable) exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableRun<'a> {
+    /// Journal file path.
+    pub journal: &'a Path,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// fsync each journal append and artifact publish (disable only for
+    /// benchmarks; a crash may then lose the journal tail).
+    pub fsync: bool,
+}
+
+/// Identity of one phase-1 exploration, for refusing to resume a journal
+/// written under a different configuration. Hashes only process-stable
+/// inputs (ids, config scalars) — never `Term` debug output, whose
+/// interner indices differ across processes. `workers` is deliberately
+/// excluded: resuming with a different `--jobs` is supported and produces
+/// identical artifacts.
+pub fn phase1_fingerprint(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> String {
+    fnv64_hex(&[
+        "phase1",
+        agent.id(),
+        test.id,
+        &test.inputs.len().to_string(),
+        &cfg.seed.to_string(),
+        &format!("{:?}", cfg.strategy),
+        &cfg.max_depth.to_string(),
+        &budget_out(&cfg.solver_budget).to_string(),
+    ])
+}
+
+fn phase1_header(agent: AgentKind, test: &TestCase, fingerprint: &str) -> Json {
+    Json::Object(vec![
+        ("format".to_string(), Json::UInt(1)),
+        ("kind".to_string(), Json::Str("phase1".to_string())),
+        ("agent".to_string(), Json::Str(agent.id().to_string())),
+        ("test".to_string(), Json::Str(test.id.to_string())),
+        (
+            "fingerprint".to_string(),
+            Json::Str(fingerprint.to_string()),
+        ),
+    ])
+}
+
+/// What one path record carries besides its decision sequence; used to
+/// cross-check the replayed path against the journal on resume.
+#[derive(Debug, Clone, PartialEq)]
+struct RecordedPath {
+    origin: Vec<bool>,
+    outcome: &'static str,
+    /// Normalized output, shared between all paths that referenced the
+    /// same `output` record.
+    events: Arc<Vec<EventFile>>,
+    cov: String,
+    pending: Vec<(Vec<bool>, String)>,
+}
+
+/// Order-independent digest of one path's coverage sets. The journal
+/// stores this instead of the full block/branch lists: replay validation
+/// only ever compares the sets whole, and serializing the lists would
+/// dominate the journaling cost (they are the bulk of each record).
+fn cov_digest(coverage: &soft_sym::Coverage) -> String {
+    // XOR-folding per-element FNV hashes is order-independent, so the
+    // sets need neither sorting nor copying (sets have no duplicates, so
+    // XOR cancellation cannot occur).
+    let elem = |bytes: &[u8], tag: u8| -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes.iter().chain(std::iter::once(&tag)) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    };
+    let mut acc_blocks = 0u64;
+    for b in coverage.blocks.iter() {
+        acc_blocks ^= elem(b.as_bytes(), 0);
+    }
+    let mut acc_branches = 0u64;
+    for (site, dir) in coverage.branches.iter() {
+        acc_branches ^= elem(site.as_bytes(), *dir as u8 + 1);
+    }
+    format!("{acc_blocks:016x}{acc_branches:016x}")
+}
+
+fn outcome_tag(outcome: &PathOutcome) -> &'static str {
+    match outcome {
+        PathOutcome::Completed => "completed",
+        PathOutcome::Crashed(_) => "crashed",
+        PathOutcome::Aborted(_) => "aborted",
+    }
+}
+
+/// One distinct normalized output, stored once and referenced by id from
+/// every path record that produced it. Most paths share few distinct
+/// outputs (the grouping premise), so this keeps the journal — and the
+/// per-path serialization cost — small.
+fn output_record(oid: u64, events: &[soft_openflow::TraceEvent]) -> Json {
+    Json::Object(vec![
+        ("rec".to_string(), Json::Str("output".to_string())),
+        ("oid".to_string(), Json::UInt(oid)),
+        (
+            "events".to_string(),
+            Json::Array(
+                events
+                    .iter()
+                    .map(|e| EventFile::from_event(e).to_json_value())
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_output_record(v: &Json) -> Result<(u64, Vec<EventFile>), String> {
+    let oid = v.field("oid")?.as_u64()?;
+    let events = v
+        .field("events")?
+        .as_array()?
+        .iter()
+        .map(EventFile::from_json_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((oid, events))
+}
+
+/// Serialize one freshly explored path for the journal. `oid` points at
+/// the path's `output` record; aborted paths carry no observable output
+/// (summarize drops them) and journal no reference.
+fn path_record(
+    origin: &[bool],
+    result: &PathResult<soft_openflow::TraceEvent>,
+    pending: &[(Vec<bool>, &str)],
+    oid: Option<u64>,
+) -> Json {
+    let mut fields = vec![
+        ("rec".to_string(), Json::Str("path".to_string())),
+        ("origin".to_string(), bits_out(origin)),
+        ("decisions".to_string(), bits_out(&result.decisions)),
+        (
+            "outcome".to_string(),
+            Json::Str(outcome_tag(&result.outcome).to_string()),
+        ),
+    ];
+    if let Some(oid) = oid {
+        fields.push(("oid".to_string(), Json::UInt(oid)));
+    }
+    fields.push((
+        "pending".to_string(),
+        Json::Array(
+            pending
+                .iter()
+                .map(|(p, s)| Json::Array(vec![bits_out(p), Json::Str(s.to_string())]))
+                .collect(),
+        ),
+    ));
+    fields.push(("cov".to_string(), Json::Str(cov_digest(&result.coverage))));
+    Json::Object(fields)
+}
+
+fn parse_path_record(
+    v: &Json,
+    outputs: &BTreeMap<u64, Arc<Vec<EventFile>>>,
+) -> Result<(Vec<bool>, RecordedPath), String> {
+    let decisions = bits_in(v.field("decisions")?)?;
+    let origin = bits_in(v.field("origin")?)?;
+    let outcome = match v.field("outcome")?.as_str()? {
+        "completed" => "completed",
+        "crashed" => "crashed",
+        "aborted" => "aborted",
+        other => return Err(format!("unknown outcome '{other}'")),
+    };
+    // Output records are appended before any path record referencing
+    // them, so a valid journal prefix always resolves.
+    let events = match v.get("oid") {
+        Some(oid) => {
+            let oid = oid.as_u64()?;
+            outputs
+                .get(&oid)
+                .cloned()
+                .ok_or_else(|| format!("path references unknown output {oid}"))?
+        }
+        None => Arc::new(Vec::new()),
+    };
+    let pending = v
+        .field("pending")?
+        .as_array()?
+        .iter()
+        .map(|p| {
+            let pair = p.as_array()?;
+            if pair.len() != 2 {
+                return Err("pending entry is not a [bits, site] pair".to_string());
+            }
+            Ok((bits_in(&pair[0])?, pair[1].as_str()?.to_string()))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let cov = v.field("cov")?.as_str()?.to_string();
+    Ok((
+        decisions,
+        RecordedPath {
+            origin,
+            outcome,
+            events,
+            cov,
+            pending,
+        },
+    ))
+}
+
+/// Rebuild the resume state from recovered path records: replay every
+/// journaled decision sequence, and re-schedule the remaining frontier
+/// `({root} ∪ all scheduled pendings) − all consumed origins`. Origins
+/// (not decision prefixes) are subtracted because an aborted path's
+/// decisions can differ from the frontier entry it consumed.
+fn build_seed(recorded: &BTreeMap<Vec<bool>, RecordedPath>) -> ResumeSeed {
+    let mut candidates: BTreeMap<Vec<bool>, String> = BTreeMap::new();
+    candidates.insert(Vec::new(), "<root>".to_string());
+    for r in recorded.values() {
+        for (p, s) in &r.pending {
+            candidates.insert(p.clone(), s.clone());
+        }
+    }
+    for r in recorded.values() {
+        candidates.remove(&r.origin);
+    }
+    ResumeSeed {
+        replay: recorded.keys().cloned().collect(),
+        frontier: candidates
+            .into_iter()
+            .map(|(prefix, site)| SeedPending { prefix, site })
+            .collect(),
+    }
+}
+
+/// Journal state shared by the workers: the writer plus the dedup table
+/// mapping each distinct normalized output (keyed by interned-term
+/// identity, so hashing is cheap and process-local) to its output id.
+struct SinkState {
+    writer: JournalWriter,
+    outputs: HashMap<Vec<soft_openflow::TraceEvent>, u64>,
+    next_oid: u64,
+}
+
+/// The write-ahead hook: journal each freshly explored path before its
+/// siblings become claimable. A path's `output` record (if its output is
+/// new) is appended immediately before the path record under one lock
+/// hold, so any surviving journal prefix resolves every reference. I/O
+/// failures are stashed (the sink trait is infallible) and surfaced
+/// after exploration.
+struct JournalSink {
+    state: Mutex<SinkState>,
+    failed: Mutex<Option<io::Error>>,
+}
+
+impl JournalSink {
+    fn stash(&self, e: io::Error) {
+        let mut slot = recover(&self.failed);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+impl PathSink<soft_openflow::TraceEvent> for JournalSink {
+    fn on_path(
+        &self,
+        origin: &[bool],
+        result: &PathResult<soft_openflow::TraceEvent>,
+        pending: &[(Vec<bool>, &str)],
+    ) {
+        let events = match result.outcome {
+            PathOutcome::Aborted(_) => None,
+            _ => Some(normalize_trace(&result.trace)),
+        };
+        let mut st = recover(&self.state);
+        let oid = events.map(|ev| match st.outputs.get(&ev) {
+            Some(&oid) => oid,
+            None => {
+                let oid = st.next_oid;
+                st.next_oid += 1;
+                let rec = output_record(oid, &ev);
+                if let Err(e) = st.writer.append(&rec) {
+                    self.stash(e);
+                }
+                st.outputs.insert(ev, oid);
+                oid
+            }
+        });
+        let rec = path_record(origin, result, pending, oid);
+        if let Err(e) = st.writer.append(&rec) {
+            self.stash(e);
+        }
+    }
+}
+
+/// Compare every journaled record against the path the resumed
+/// exploration actually produced for the same decision sequence. Any
+/// divergence means the agent, test, or engine changed under the journal
+/// — resuming would fabricate artifacts, so it is a hard error.
+fn validate_replay(
+    recorded: &BTreeMap<Vec<bool>, RecordedPath>,
+    paths: &[PathResult<soft_openflow::TraceEvent>],
+) -> Result<(), JournalError> {
+    if recorded.is_empty() {
+        return Ok(());
+    }
+    let by_decisions: BTreeMap<&[bool], &PathResult<soft_openflow::TraceEvent>> =
+        paths.iter().map(|p| (p.decisions.as_slice(), p)).collect();
+    for (decisions, rec) in recorded {
+        let bits: String = decisions
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let p = by_decisions.get(decisions.as_slice()).ok_or_else(|| {
+            JournalError::Replay(format!("journaled path [{bits}] was not reproduced"))
+        })?;
+        if outcome_tag(&p.outcome) != rec.outcome {
+            return Err(JournalError::Replay(format!(
+                "path [{bits}]: journaled outcome '{}' replayed as '{}'",
+                rec.outcome,
+                outcome_tag(&p.outcome)
+            )));
+        }
+        if !matches!(p.outcome, PathOutcome::Aborted(_)) {
+            let replayed: Vec<EventFile> = normalize_trace(&p.trace)
+                .iter()
+                .map(EventFile::from_event)
+                .collect();
+            if replayed != *rec.events {
+                return Err(JournalError::Replay(format!(
+                    "path [{bits}]: journaled output differs from replayed output"
+                )));
+            }
+        }
+        if cov_digest(&p.coverage) != rec.cov {
+            return Err(JournalError::Replay(format!(
+                "path [{bits}]: journaled coverage differs from replayed coverage"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`crate::run_test`] with write-ahead journaling and resume.
+///
+/// Fresh mode truncates (or creates) the journal, writes the header, and
+/// journals every explored path before its siblings become claimable.
+/// Resume mode recovers the valid journal prefix (torn tails are
+/// truncated away), refuses fingerprint mismatches, replays the
+/// journaled paths concretely — zero forks, zero fresh-branch solver
+/// queries — validates each against its record, and explores only the
+/// remaining frontier. Either way the resulting [`TestRun`] is
+/// byte-identical (modulo wall time) to an uninterrupted run at any
+/// worker count.
+pub fn run_test_durable(
+    agent: AgentKind,
+    test: &TestCase,
+    cfg: &ExplorerConfig,
+    opts: &DurableRun<'_>,
+) -> Result<TestRun, JournalError> {
+    if cfg.time_limit.is_some() {
+        return Err(JournalError::Unsupported(
+            "time-limited explorations replay non-deterministically; \
+             run without --time-limit or without a journal"
+                .to_string(),
+        ));
+    }
+    if cfg.max_paths.is_some() {
+        return Err(JournalError::Unsupported(
+            "max-paths-truncated explorations are not resumable; \
+             run without the path cap or without a journal"
+                .to_string(),
+        ));
+    }
+    let fp = phase1_fingerprint(agent, test, cfg);
+    let header = phase1_header(agent, test, &fp);
+    let (records, writer) = if opts.resume {
+        open_resume(opts.journal, "phase1", &fp, &header, opts.fsync)?
+    } else {
+        (
+            Vec::new(),
+            fresh_journal(opts.journal, &header, opts.fsync)?,
+        )
+    };
+    let mut outputs: BTreeMap<u64, Arc<Vec<EventFile>>> = BTreeMap::new();
+    let mut recorded: BTreeMap<Vec<bool>, RecordedPath> = BTreeMap::new();
+    for r in &records {
+        match r.field("rec").and_then(Json::as_str) {
+            Ok("output") => {
+                let (oid, events) = parse_output_record(r).map_err(JournalError::Corrupt)?;
+                outputs.insert(oid, Arc::new(events));
+            }
+            Ok("path") => {
+                let (decisions, rec) =
+                    parse_path_record(r, &outputs).map_err(JournalError::Corrupt)?;
+                if let Some(prev) = recorded.get(&decisions) {
+                    if *prev != rec {
+                        return Err(JournalError::Corrupt(format!(
+                            "conflicting duplicate records for one decision sequence \
+                             ({} records)",
+                            records.len()
+                        )));
+                    }
+                    continue;
+                }
+                recorded.insert(decisions, rec);
+            }
+            Ok(other) => {
+                return Err(JournalError::Corrupt(format!(
+                    "unknown record kind '{other}'"
+                )));
+            }
+            Err(e) => return Err(JournalError::Corrupt(e)),
+        }
+    }
+    let seed = build_seed(&recorded);
+    let seed_opt = if seed.is_empty() { None } else { Some(&seed) };
+    // Resumed outputs are not rehydrated into the dedup table (journal ids
+    // are not interned-term identities), so a resumed run may re-journal a
+    // previously seen output under a fresh oid; that is redundant but
+    // harmless, as long as fresh oids never collide with recovered ones.
+    let next_oid = outputs.keys().next_back().map_or(0, |m| m + 1);
+    let sink = JournalSink {
+        state: Mutex::new(SinkState {
+            writer,
+            outputs: HashMap::new(),
+            next_oid,
+        }),
+        failed: Mutex::new(None),
+    };
+    let ex = explore_fn_seeded(cfg, agent_program(agent, test), seed_opt, Some(&sink));
+    if let Some(e) = recover(&sink.failed).take() {
+        return Err(JournalError::Io(e));
+    }
+    recover(&sink.state)
+        .writer
+        .flush()
+        .map_err(JournalError::Io)?;
+    validate_replay(&recorded, &ex.paths)?;
+    Ok(summarize(agent, test, ex))
+}
+
+/// [`crate::run_matrix`] with per-combination journaling: every
+/// (agent, test) pair gets its own journal (`journal_for` maps the pair
+/// to a path) and its own resumability. Engine panics degrade the
+/// combination exactly as the plain matrix does; journal errors are
+/// reported per combination so one damaged journal cannot sink the rest.
+pub fn run_matrix_durable(
+    agents: &[AgentKind],
+    tests: &[TestCase],
+    cfg: &ExplorerConfig,
+    jobs: usize,
+    journal_for: &(dyn Fn(&str, &str) -> PathBuf + Sync),
+    resume: bool,
+    fsync: bool,
+) -> Vec<Result<TestRun, JournalError>> {
+    let combos: Vec<(AgentKind, &TestCase)> = agents
+        .iter()
+        .flat_map(|a| tests.iter().map(move |t| (*a, t)))
+        .collect();
+    let run_one = |a: AgentKind, t: &TestCase| -> Result<TestRun, JournalError> {
+        let path = journal_for(a.id(), t.id);
+        let opts = DurableRun {
+            journal: &path,
+            resume,
+            fsync,
+        };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| run_test_durable(a, t, cfg, &opts))) {
+            Ok(r) => r,
+            // Engine panic: same degradation as the plain matrix — the
+            // combination reports itself truncated instead of aborting
+            // the process (its journal stays resumable).
+            Err(_) => Ok(degraded_run(a, t)),
+        }
+    };
+    if jobs <= 1 {
+        return combos.into_iter().map(|(a, t)| run_one(a, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<TestRun, JournalError>>>> =
+        Mutex::new((0..combos.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(combos.len().max(1)) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= combos.len() {
+                    break;
+                }
+                let (a, t) = combos[k];
+                let run = run_one(a, t);
+                recover(&results)[k] = Some(run);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .zip(&combos)
+        .map(|(r, (a, t))| r.unwrap_or_else(|| Ok(degraded_run(*a, t))))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Crosscheck (phase-2) journals.
+
+/// Identity of one crosscheck run: both artifact texts plus the solver
+/// settings string (budget and retry ladder). Artifacts are hashed as
+/// raw text — any re-exploration that changes them invalidates the
+/// verdict journal.
+pub fn check_fingerprint(a_text: &str, b_text: &str, settings: &str) -> String {
+    fnv64_hex(&["check", a_text, b_text, settings])
+}
+
+/// One journaled crosscheck verdict, recovered on resume.
+#[derive(Debug, Clone)]
+pub struct VerdictRec {
+    /// Path index in artifact A.
+    pub i: usize,
+    /// Path index in artifact B.
+    pub j: usize,
+    /// The solver's verdict (Sat carries the reconstructed witness).
+    pub verdict: SatResult,
+    /// The budget the verdict was decided under; Unknown verdicts are
+    /// only reusable for budgets they cover.
+    pub budget: SolverBudget,
+}
+
+fn verdict_record(i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) -> Json {
+    let mut fields = vec![
+        ("rec".to_string(), Json::Str("verdict".to_string())),
+        ("i".to_string(), Json::UInt(i as u64)),
+        ("j".to_string(), Json::UInt(j as u64)),
+    ];
+    match verdict {
+        SatResult::Sat(model) => {
+            let mut pairs: Vec<(&str, u64)> = model.iter().collect();
+            pairs.sort_unstable();
+            fields.push(("verdict".to_string(), Json::Str("sat".to_string())));
+            fields.push((
+                "model".to_string(),
+                Json::Array(
+                    pairs
+                        .iter()
+                        .map(|(n, v)| Json::Array(vec![Json::Str(n.to_string()), Json::UInt(*v)]))
+                        .collect(),
+                ),
+            ));
+        }
+        SatResult::Unsat => fields.push(("verdict".to_string(), Json::Str("unsat".to_string()))),
+        SatResult::Unknown => {
+            fields.push(("verdict".to_string(), Json::Str("unknown".to_string())))
+        }
+    }
+    fields.push(("budget".to_string(), budget_out(budget)));
+    Json::Object(fields)
+}
+
+fn parse_verdict_record(v: &Json) -> Result<VerdictRec, String> {
+    let rec = v.field("rec")?.as_str()?;
+    if rec != "verdict" {
+        return Err(format!("unexpected record type '{rec}'"));
+    }
+    let i = v.field("i")?.as_u64()? as usize;
+    let j = v.field("j")?.as_u64()? as usize;
+    let verdict = match v.field("verdict")?.as_str()? {
+        "sat" => {
+            let mut model = Assignment::new();
+            for pair in v.field("model")?.as_array()? {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return Err("model entry is not a [name, value] pair".to_string());
+                }
+                model.set(pair[0].as_str()?, pair[1].as_u64()?);
+            }
+            SatResult::Sat(Arc::new(model))
+        }
+        "unsat" => SatResult::Unsat,
+        "unknown" => SatResult::Unknown,
+        other => return Err(format!("unknown verdict '{other}'")),
+    };
+    let budget = budget_in(v.field("budget")?)?;
+    Ok(VerdictRec {
+        i,
+        j,
+        verdict,
+        budget,
+    })
+}
+
+/// Write-ahead journal for crosscheck verdicts. Thread-safe; I/O errors
+/// are stashed and surfaced via [`CheckJournal::take_error`].
+pub struct CheckJournal {
+    writer: Mutex<JournalWriter>,
+    failed: Mutex<Option<io::Error>>,
+}
+
+impl CheckJournal {
+    /// Open (or resume) a crosscheck journal. Returns the journal handle
+    /// plus every verdict recovered from an existing valid prefix (empty
+    /// in fresh mode or when the file is missing/empty).
+    pub fn open(
+        path: &Path,
+        resume: bool,
+        fsync: bool,
+        fingerprint: &str,
+    ) -> Result<(CheckJournal, Vec<VerdictRec>), JournalError> {
+        let header = Json::Object(vec![
+            ("format".to_string(), Json::UInt(1)),
+            ("kind".to_string(), Json::Str("check".to_string())),
+            (
+                "fingerprint".to_string(),
+                Json::Str(fingerprint.to_string()),
+            ),
+        ]);
+        let (records, writer) = if resume {
+            open_resume(path, "check", fingerprint, &header, fsync)?
+        } else {
+            (Vec::new(), fresh_journal(path, &header, fsync)?)
+        };
+        let verdicts = records
+            .iter()
+            .map(parse_verdict_record)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(JournalError::Corrupt)?;
+        Ok((
+            CheckJournal {
+                writer: Mutex::new(writer),
+                failed: Mutex::new(None),
+            },
+            verdicts,
+        ))
+    }
+
+    /// Append one decided (or exhausted) verdict.
+    pub fn record(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) {
+        let rec = verdict_record(i, j, verdict, budget);
+        let res = recover(&self.writer).append(&rec);
+        if let Err(e) = res {
+            let mut slot = recover(&self.failed);
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    }
+
+    /// The first journaling I/O failure, if any occurred. Flushes any
+    /// buffered frames first, so call this after the crosscheck finishes.
+    pub fn take_error(&self) -> Option<io::Error> {
+        if let Err(e) = recover(&self.writer).flush() {
+            return Some(e);
+        }
+        recover(&self.failed).take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("soft_journal_{}_{}", std::process::id(), name))
+    }
+
+    fn write_records(path: &Path, payloads: &[&str]) {
+        let file = fs::File::create(path).unwrap();
+        let mut w = JournalWriter::new(file, false);
+        for p in payloads {
+            w.append(&json::parse(p).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let path = temp_path("roundtrip");
+        write_records(&path, &[r#"{"a":1}"#, r#"{"b":[true,"x"]}"#]);
+        let raw = scan_records(&fs::read(&path).unwrap());
+        assert_eq!(raw.records.len(), 2);
+        assert!(!raw.dropped_tail);
+        assert_eq!(
+            raw.records[1].get("b").unwrap().as_array().unwrap().len(),
+            2
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        write_records(&path, &[r#"{"a":1}"#, r#"{"b":2}"#]);
+        let full = fs::read(&path).unwrap();
+        // Simulate a crash mid-append: a frame header promising more
+        // bytes than the file holds.
+        let mut torn = full.clone();
+        torn.extend_from_slice(&100u32.to_le_bytes());
+        torn.extend_from_slice(&0u32.to_le_bytes());
+        torn.extend_from_slice(b"half");
+        let raw = scan_records(&torn);
+        assert_eq!(raw.records.len(), 2);
+        assert!(raw.dropped_tail);
+        assert_eq!(raw.valid_len as usize, full.len());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_truncates_from_damage_onward() {
+        let path = temp_path("corrupt");
+        write_records(&path, &[r#"{"a":1}"#, r#"{"b":2}"#, r#"{"c":3}"#]);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte inside the second record.
+        let first_frame = 8 + r#"{"a":1}"#.len();
+        bytes[first_frame + 8 + 2] ^= 0xFF;
+        let raw = scan_records(&bytes);
+        assert_eq!(raw.records.len(), 1, "records after the damage are dropped");
+        assert!(raw.dropped_tail);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_and_missing_files_scan_clean() {
+        let raw = scan_records(&[]);
+        assert!(raw.records.is_empty());
+        assert!(!raw.dropped_tail);
+        assert_eq!(raw.valid_len, 0);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let path = temp_path("atomic");
+        atomic_write(&path, b"first version", true).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first version");
+        atomic_write(&path, b"second", false).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No temp droppings left behind.
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(&name) && e.path() != path)
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn budget_roundtrips_through_wire_form() {
+        for b in [
+            SolverBudget::unlimited(),
+            SolverBudget::conflicts(123),
+            SolverBudget {
+                max_conflicts: Some(5),
+                max_propagations: Some(99),
+                time_limit: Some(Duration::from_micros(1500)),
+            },
+        ] {
+            assert_eq!(budget_in(&budget_out(&b)).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn verdict_records_roundtrip() {
+        let mut model = Assignment::new();
+        model.set("m0.x", 7);
+        model.set("m0.y", 0xfffd);
+        let cases = [
+            (
+                SatResult::Sat(Arc::new(model.clone())),
+                SolverBudget::conflicts(10),
+            ),
+            (SatResult::Unsat, SolverBudget::unlimited()),
+            (SatResult::Unknown, SolverBudget::conflicts(1)),
+        ];
+        for (k, (verdict, budget)) in cases.iter().enumerate() {
+            let rec = parse_verdict_record(&verdict_record(k, k + 1, verdict, budget)).unwrap();
+            assert_eq!(rec.i, k);
+            assert_eq!(rec.j, k + 1);
+            assert_eq!(rec.budget, *budget);
+            match (&rec.verdict, verdict) {
+                (SatResult::Sat(a), SatResult::Sat(b)) => assert_eq!(**a, **b),
+                (SatResult::Unsat, SatResult::Unsat) => {}
+                (SatResult::Unknown, SatResult::Unknown) => {}
+                other => panic!("verdict did not roundtrip: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run() {
+        let tests = suite::table1_suite();
+        let agent = AgentKind::Reference;
+        let test = &tests[0];
+        let cfg = ExplorerConfig::default();
+        let plain = crate::run_test(agent, test, &cfg);
+        let path = temp_path("fresh_run");
+        let run = run_test_durable(
+            agent,
+            test,
+            &cfg,
+            &DurableRun {
+                journal: &path,
+                resume: false,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            crate::wire::TestRunFile::from_run(&run).paths,
+            crate::wire::TestRunFile::from_run(&plain).paths
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_from_complete_journal_is_identical_and_appends_nothing() {
+        let tests = suite::table1_suite();
+        let agent = AgentKind::Reference;
+        let test = &tests[0];
+        let cfg = ExplorerConfig::default();
+        let path = temp_path("resume_full");
+        let opts = DurableRun {
+            journal: &path,
+            resume: false,
+            fsync: false,
+        };
+        let first = run_test_durable(agent, test, &cfg, &opts).unwrap();
+        let journal_after_first = fs::read(&path).unwrap();
+        // Resume with a different worker count: replay everything, fork
+        // nothing, append nothing.
+        let cfg4 = ExplorerConfig {
+            workers: 4,
+            ..ExplorerConfig::default()
+        };
+        let resumed = run_test_durable(
+            agent,
+            test,
+            &cfg4,
+            &DurableRun {
+                journal: &path,
+                resume: true,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            crate::wire::TestRunFile::from_run(&first).paths,
+            crate::wire::TestRunFile::from_run(&resumed).paths
+        );
+        assert_eq!(resumed.stats.fresh_branches, 0, "full replay must not fork");
+        assert_eq!(fs::read(&path).unwrap(), journal_after_first);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_from_truncated_journal_completes_the_run() {
+        let tests = suite::table1_suite();
+        let agent = AgentKind::Reference;
+        let test = &tests[0];
+        let cfg = ExplorerConfig::default();
+        let path = temp_path("resume_cut");
+        let opts = DurableRun {
+            journal: &path,
+            resume: false,
+            fsync: false,
+        };
+        let reference = run_test_durable(agent, test, &cfg, &opts).unwrap();
+        // Keep the header plus the first two path records; drop the rest
+        // plus simulate a torn final append.
+        let bytes = fs::read(&path).unwrap();
+        let raw = scan_records(&bytes);
+        assert!(raw.records.len() > 3, "need a few records to cut");
+        let mut keep = 0usize;
+        for _ in 0..3 {
+            let len = u32::from_le_bytes(bytes[keep..keep + 4].try_into().unwrap()) as usize;
+            keep += 8 + len;
+        }
+        let mut cut = bytes[..keep].to_vec();
+        cut.extend_from_slice(&77u32.to_le_bytes()); // torn tail
+        fs::write(&path, &cut).unwrap();
+        let resumed = run_test_durable(
+            agent,
+            test,
+            &cfg,
+            &DurableRun {
+                journal: &path,
+                resume: true,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            crate::wire::TestRunFile::from_run(&reference).paths,
+            crate::wire::TestRunFile::from_run(&resumed).paths
+        );
+        // The journal is complete again: a further resume owes nothing.
+        let raw = scan_records(&fs::read(&path).unwrap());
+        assert!(!raw.dropped_tail);
+        let path_records = raw
+            .records
+            .iter()
+            .filter(|r| matches!(r.get("rec").and_then(|t| t.as_str().ok()), Some("path")))
+            .count();
+        assert_eq!(
+            path_records,
+            reference.paths.len() + reference.stats.aborted
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_foreign_fingerprint() {
+        let tests = suite::table1_suite();
+        let cfg = ExplorerConfig::default();
+        let path = temp_path("foreign");
+        run_test_durable(
+            AgentKind::Reference,
+            &tests[0],
+            &cfg,
+            &DurableRun {
+                journal: &path,
+                resume: false,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        // Same journal, different agent: must refuse, not fabricate.
+        let err = run_test_durable(
+            AgentKind::OpenVSwitch,
+            &tests[0],
+            &cfg,
+            &DurableRun {
+                journal: &path,
+                resume: true,
+                fsync: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)), "got {err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_refuses_unsupported_limits() {
+        let tests = suite::table1_suite();
+        let path = temp_path("limits");
+        for cfg in [
+            ExplorerConfig {
+                time_limit: Some(Duration::from_secs(1)),
+                ..ExplorerConfig::default()
+            },
+            ExplorerConfig {
+                max_paths: Some(3),
+                ..ExplorerConfig::default()
+            },
+        ] {
+            let err = run_test_durable(
+                AgentKind::Reference,
+                &tests[0],
+                &cfg,
+                &DurableRun {
+                    journal: &path,
+                    resume: false,
+                    fsync: false,
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, JournalError::Unsupported(_)), "got {err}");
+        }
+    }
+
+    #[test]
+    fn check_journal_roundtrips_and_resumes() {
+        let path = temp_path("checkj");
+        let fp = check_fingerprint("artifact-a", "artifact-b", "budget=10");
+        let (j, seeds) = CheckJournal::open(&path, false, false, &fp).unwrap();
+        assert!(seeds.is_empty());
+        j.record(0, 1, &SatResult::Unsat, &SolverBudget::conflicts(10));
+        let mut model = Assignment::new();
+        model.set("w.x", 3);
+        j.record(
+            2,
+            0,
+            &SatResult::Sat(Arc::new(model)),
+            &SolverBudget::conflicts(10),
+        );
+        assert!(j.take_error().is_none());
+        drop(j);
+        let (_j2, seeds) = CheckJournal::open(&path, true, false, &fp).unwrap();
+        assert_eq!(seeds.len(), 2);
+        assert!(seeds[0].verdict.is_unsat());
+        assert_eq!(seeds[1].i, 2);
+        assert_eq!(seeds[1].verdict.model().unwrap().get("w.x"), Some(3));
+        // Wrong fingerprint refuses.
+        let err = match CheckJournal::open(&path, true, false, "0000000000000000") {
+            Ok(_) => panic!("foreign fingerprint accepted"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, JournalError::Mismatch(_)));
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -98,6 +98,12 @@ impl Json {
         }
     }
 
+    /// Serialize into `out` (compact form) without intermediate
+    /// allocations — the hot path for journal appends.
+    pub fn write_into(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -153,21 +159,30 @@ impl std::fmt::Display for Json {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{8}' => out.push_str("\\b"),
-            '\u{c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // Bulk-copy maximal spans that need no escaping (the overwhelmingly
+    // common case — ids, bitstrings, hex) instead of pushing char by char.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                0x8 => out.push_str("\\b"),
+                0xc => out.push_str("\\f"),
+                _ => out.push_str(&format!("\\u{:04x}", b as u32)),
             }
-            c => out.push(c),
+            start = i + 1;
         }
+        i += 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod input;
+pub mod journal;
 pub mod json;
 pub mod recorded;
 pub mod runner;
@@ -18,6 +19,10 @@ pub mod suite;
 pub mod wire;
 
 pub use input::{Input, TestCase};
+pub use journal::{
+    atomic_write, check_fingerprint, phase1_fingerprint, run_matrix_durable, run_test_durable,
+    CheckJournal, DurableRun, JournalError, VerdictRec,
+};
 pub use recorded::{symbolize_frame, RecordedTrace, Symbolize};
 pub use runner::{run_matrix, run_test, ObservedOutput, PathRecord, TestRun};
 pub use wire::TestRunFile;

@@ -10,7 +10,10 @@
 use crate::input::{Input, TestCase};
 use soft_agents::AgentKind;
 use soft_openflow::{normalize_trace, TraceEvent};
-use soft_sym::{explore_fn, Coverage, Exploration, ExplorationStats, ExplorerConfig, PathOutcome};
+use soft_sym::{
+    explore_fn, Coverage, ExecCtx, Exploration, ExplorationStats, ExplorerConfig, PathOutcome,
+    RunEnd,
+};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -98,7 +101,18 @@ impl TestRun {
 /// [`TestRun`] (and any artifact serialized from it) is identical whether
 /// the exploration ran on one thread or many.
 pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
-    let ex: Exploration<TraceEvent> = explore_fn(cfg, |ctx| {
+    let ex: Exploration<TraceEvent> = explore_fn(cfg, agent_program(agent, test));
+    summarize(agent, test, ex)
+}
+
+/// The exploration closure for one agent/test combination: handshake,
+/// then the test's input sequence with probe-drop detection. Shared by
+/// the plain and the journaled (durable) drivers.
+pub(crate) fn agent_program(
+    agent: AgentKind,
+    test: &TestCase,
+) -> impl Fn(&mut ExecCtx<'_, TraceEvent>) -> RunEnd + Sync + '_ {
+    move |ctx| {
         let mut a = agent.make();
         a.on_connect(ctx)?;
         for input in &test.inputs {
@@ -118,8 +132,7 @@ pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> Test
             }
         }
         Ok(())
-    });
-    summarize(agent, test, ex)
+    }
 }
 
 /// Run every (agent, test) combination — SOFT phase 1 over a whole suite —
@@ -185,7 +198,7 @@ fn run_test_contained(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -
 
 /// Placeholder result for a combination whose exploration engine panicked:
 /// no paths, flagged truncated, one engine panic on record.
-fn degraded_run(agent: AgentKind, test: &TestCase) -> TestRun {
+pub(crate) fn degraded_run(agent: AgentKind, test: &TestCase) -> TestRun {
     TestRun {
         agent: agent.id().to_string(),
         test: test.id.to_string(),
@@ -202,7 +215,7 @@ fn degraded_run(agent: AgentKind, test: &TestCase) -> TestRun {
     }
 }
 
-fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {
+pub(crate) fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {
     let universe = agent.make().universe();
     let mut paths = Vec::new();
     for p in &ex.paths {

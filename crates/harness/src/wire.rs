@@ -378,7 +378,8 @@ fn strings_in(v: &Json) -> Result<Vec<String>, String> {
 }
 
 impl EventFile {
-    fn to_json_value(&self) -> Json {
+    /// Serialize to a JSON value (shared with the journal records).
+    pub(crate) fn to_json_value(&self) -> Json {
         let kind = |k: &str| ("kind".to_string(), Json::Str(k.to_string()));
         match self {
             EventFile::Error { xid, etype, code } => Json::Object(vec![
@@ -442,7 +443,8 @@ impl EventFile {
         }
     }
 
-    fn from_json_value(v: &Json) -> Result<EventFile, String> {
+    /// Parse from a JSON value (shared with the journal records).
+    pub(crate) fn from_json_value(v: &Json) -> Result<EventFile, String> {
         let kind = v.field("kind")?.as_str()?;
         Ok(match kind {
             "error" => EventFile::Error {

@@ -50,6 +50,21 @@ impl SolverBudget {
         }
     }
 
+    /// This budget with every finite dimension multiplied by `factor`
+    /// (saturating; unlimited dimensions stay unlimited). The retry
+    /// escalation ladder uses this to grow budgets geometrically — an
+    /// Unknown verdict recorded under the smaller budget never `covers`
+    /// the scaled one, so the verdict cache re-solves rather than
+    /// shortcutting (the PR 2 budget-aware cache contract).
+    pub fn scaled(&self, factor: u64) -> SolverBudget {
+        let time_factor = u32::try_from(factor).unwrap_or(u32::MAX);
+        SolverBudget {
+            max_conflicts: self.max_conflicts.map(|n| n.saturating_mul(factor)),
+            max_propagations: self.max_propagations.map(|n| n.saturating_mul(factor)),
+            time_limit: self.time_limit.map(|t| t.saturating_mul(time_factor)),
+        }
+    }
+
     /// True if no dimension is limited.
     pub fn is_unlimited(&self) -> bool {
         self.max_conflicts.is_none() && self.max_propagations.is_none() && self.time_limit.is_none()
@@ -754,5 +769,31 @@ mod tests {
         let r = s.check(&[hard_query()]);
         assert!(!r.is_sat() || r.model().is_some());
         assert!(!r.is_unsat(), "deadline exhaustion must not claim Unsat");
+    }
+
+    #[test]
+    fn scaled_budget_grows_finite_dimensions_only() {
+        let b = SolverBudget {
+            max_conflicts: Some(3),
+            max_propagations: None,
+            time_limit: Some(Duration::from_millis(10)),
+        };
+        let s = b.scaled(4);
+        assert_eq!(s.max_conflicts, Some(12));
+        assert_eq!(s.max_propagations, None);
+        assert_eq!(s.time_limit, Some(Duration::from_millis(40)));
+        // The escalated budget is strictly larger, so a cached Unknown
+        // recorded under `b` must not cover it (forcing a re-solve).
+        assert!(s.covers(&b));
+        assert!(!b.covers(&s));
+        // Unlimited budgets are a fixpoint; saturation never wraps.
+        assert_eq!(
+            SolverBudget::unlimited().scaled(4),
+            SolverBudget::unlimited()
+        );
+        assert_eq!(
+            SolverBudget::conflicts(u64::MAX).scaled(4).max_conflicts,
+            Some(u64::MAX)
+        );
     }
 }

@@ -36,7 +36,7 @@ impl CoverageUniverse {
 }
 
 /// Accumulated coverage across one or more explorations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Coverage {
     /// Instruction blocks hit at least once.
     pub blocks: HashSet<&'static str>,

@@ -41,6 +41,10 @@ pub(crate) struct Pending {
     pub prefix: Vec<bool>,
     /// Branch site that created this pending path.
     pub site: &'static str,
+    /// True for a journaled path re-executed on resume: the prefix is a
+    /// *complete* decision sequence, so the run forks nothing new and is
+    /// not re-reported to the path sink.
+    pub replay: bool,
 }
 
 /// Execution context handed to the program for a single path.
@@ -149,6 +153,7 @@ impl<'e, Out> ExecCtx<'e, Out> {
                     self.pending.push(Pending {
                         prefix: sibling,
                         site,
+                        replay: false,
                     });
                     true
                 }
@@ -252,6 +257,7 @@ impl<'e, Out> ExecCtx<'e, Out> {
                 coverage: self.coverage,
                 over_approx: self.over_approx,
             },
+            origin: self.prefix,
             pending: self.pending,
             instructions: self.instructions,
             fresh_branches: self.fresh_branches,
@@ -264,6 +270,9 @@ impl<'e, Out> ExecCtx<'e, Out> {
 pub(crate) struct FinishedPath<Out> {
     /// The explored path.
     pub result: PathResult<Out>,
+    /// The decision prefix this run was scheduled under (the frontier
+    /// entry it consumed — not the full decision sequence it grew into).
+    pub origin: Vec<bool>,
     /// Sibling branches scheduled during the run.
     pub pending: Vec<Pending>,
     /// Instrumented blocks executed.

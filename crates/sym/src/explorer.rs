@@ -99,6 +99,57 @@ pub struct ExplorationStats {
     pub engine_panics: usize,
 }
 
+/// A scheduled-but-unexplored decision prefix recovered from a durability
+/// journal (the remaining frontier of an interrupted exploration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedPending {
+    /// Decision prefix to replay, including the flipped final decision.
+    pub prefix: Vec<bool>,
+    /// Branch site that scheduled the prefix (informational: it only
+    /// feeds strategy heuristics, never the explored path set).
+    pub site: String,
+}
+
+/// Recovered exploration state to resume from.
+///
+/// `replay` holds the complete decision sequences of already-explored
+/// paths: EGT re-execution makes each one a perfect checkpoint, so the
+/// engine re-runs it with the full sequence as the forced prefix — no
+/// fresh branches fire, nothing forks, and no feasibility query is
+/// issued. `frontier` holds the prefixes that were scheduled but never
+/// explored; only these drive new exploration. An exhaustive resumed run
+/// therefore produces exactly the path set of an uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResumeSeed {
+    /// Complete decision sequences of journaled paths, to re-execute
+    /// concretely.
+    pub replay: Vec<Vec<bool>>,
+    /// Scheduled-but-unexplored prefixes (the remaining frontier).
+    pub frontier: Vec<SeedPending>,
+}
+
+impl ResumeSeed {
+    /// True when the seed carries no state (fresh exploration).
+    pub fn is_empty(&self) -> bool {
+        self.replay.is_empty() && self.frontier.is_empty()
+    }
+}
+
+/// Observer notified once per *newly explored* path (replayed paths are
+/// skipped — they are already on record). This is the write-ahead-journal
+/// hook: `origin` is the frontier prefix the path was scheduled under,
+/// `pending` the sibling prefixes the path scheduled in turn. Together
+/// they let a recovery reconstruct the exact remaining frontier:
+/// `({root} ∪ all pendings) − all origins`.
+///
+/// Implementations must be `Sync`: parallel workers invoke the sink
+/// concurrently, in completion order.
+pub trait PathSink<Out>: Sync {
+    /// Called after a non-replay path finishes, before it is merged into
+    /// the shared accumulators (write-ahead ordering).
+    fn on_path(&self, origin: &[bool], result: &PathResult<Out>, pending: &[(Vec<bool>, &str)]);
+}
+
 /// The outcome of exploring a program.
 #[derive(Debug, Clone)]
 pub struct Exploration<Out> {
@@ -140,7 +191,68 @@ impl<Out> Exploration<Out> {
 /// `program` must be deterministic: given the same branch decisions it must
 /// take the same actions. It is re-invoked once per path with a fresh
 /// context, so any agent state must be (re)constructed inside the closure.
-pub fn explore<Out, F>(config: &ExplorerConfig, mut program: F) -> Exploration<Out>
+pub fn explore<Out, F>(config: &ExplorerConfig, program: F) -> Exploration<Out>
+where
+    F: FnMut(&mut ExecCtx<'_, Out>) -> RunEnd,
+{
+    explore_seeded(config, program, None, None)
+}
+
+/// Seed a frontier from recovered journal state, or with the root prefix
+/// for a fresh exploration. Journaled sites arrive as owned strings while
+/// [`Pending`] carries `&'static str`; the handful of recovered sites are
+/// leaked (bounded by the frontier size, once per resume) — they only
+/// feed strategy heuristics.
+fn seed_frontier(frontier: &mut Frontier, seed: Option<&ResumeSeed>) {
+    match seed {
+        Some(s) if !s.is_empty() => {
+            for decisions in &s.replay {
+                frontier.push(Pending {
+                    prefix: decisions.clone(),
+                    site: "<replay>",
+                    replay: true,
+                });
+            }
+            for p in &s.frontier {
+                frontier.push(Pending {
+                    prefix: p.prefix.clone(),
+                    site: Box::leak(p.site.clone().into_boxed_str()),
+                    replay: false,
+                });
+            }
+        }
+        _ => frontier.push(Pending {
+            prefix: Vec::new(),
+            site: "<root>",
+            replay: false,
+        }),
+    }
+}
+
+/// Report a freshly explored path to the journal sink (replays are
+/// already on record). Called *before* the path is merged into the
+/// shared accumulators, giving write-ahead ordering: a path is journaled
+/// no later than its siblings become claimable.
+fn notify_sink<Out>(sink: Option<&dyn PathSink<Out>>, replay: bool, fin: &FinishedPath<Out>) {
+    if replay {
+        return;
+    }
+    if let Some(s) = sink {
+        let pending: Vec<(Vec<bool>, &str)> = fin
+            .pending
+            .iter()
+            .map(|p| (p.prefix.clone(), p.site))
+            .collect();
+        s.on_path(&fin.origin, &fin.result, &pending);
+    }
+}
+
+fn explore_seeded<Out, F>(
+    config: &ExplorerConfig,
+    mut program: F,
+    seed: Option<&ResumeSeed>,
+    sink: Option<&dyn PathSink<Out>>,
+) -> Exploration<Out>
 where
     F: FnMut(&mut ExecCtx<'_, Out>) -> RunEnd,
 {
@@ -153,11 +265,7 @@ where
     let mut coverage = Coverage::new();
     let mut stats = ExplorationStats::default();
 
-    // Seed with the empty prefix.
-    frontier.push(Pending {
-        prefix: Vec::new(),
-        site: "<root>",
-    });
+    seed_frontier(&mut frontier, seed);
 
     while let Some(pending) = frontier.pop(&coverage) {
         if let Some(max) = config.max_paths {
@@ -172,6 +280,7 @@ where
                 break;
             }
         }
+        let replay = pending.replay;
         let mut ctx: ExecCtx<'_, Out> =
             ExecCtx::new(pending.prefix, &mut solver, config.max_depth, deadline);
         let (outcome, panicked) = run_isolated(&mut ctx, &mut program);
@@ -179,6 +288,7 @@ where
         if panicked {
             stats.caught_panics += 1;
         }
+        notify_sink(sink, replay, &fin);
         merge_finished(&mut stats, &mut coverage, &mut frontier, &mut paths, fin);
     }
     if !frontier.is_empty() {
@@ -266,10 +376,30 @@ where
     Out: Send,
     F: Fn(&mut ExecCtx<'_, Out>) -> RunEnd + Sync,
 {
+    explore_fn_seeded(config, program, None, None)
+}
+
+/// [`explore_fn`] with resume support: `seed` replays journaled paths and
+/// restores the remaining frontier, `sink` observes each newly explored
+/// path (the write-ahead-journal hook). An exhaustive seeded exploration
+/// yields the same canonical [`Exploration`] as an unseeded one, for
+/// every worker count — replayed paths contribute their recorded results
+/// and fork nothing, seeded frontier prefixes explore exactly the paths
+/// the interrupted run still owed.
+pub fn explore_fn_seeded<Out, F>(
+    config: &ExplorerConfig,
+    program: F,
+    seed: Option<&ResumeSeed>,
+    sink: Option<&dyn PathSink<Out>>,
+) -> Exploration<Out>
+where
+    Out: Send,
+    F: Fn(&mut ExecCtx<'_, Out>) -> RunEnd + Sync,
+{
     let mut ex = if config.workers <= 1 {
-        explore(config, &program)
+        explore_seeded(config, &program, seed, sink)
     } else {
-        explore_parallel(config, &program)
+        explore_parallel(config, &program, seed, sink)
     };
     ex.paths.sort_by(|a, b| a.decisions.cmp(&b.decisions));
     ex
@@ -293,12 +423,14 @@ struct SharedExploration<Out> {
 
 /// One worker's claim/execute/merge loop. Runs until the frontier is
 /// drained (empty with nothing in flight) or `stop` is raised.
+#[allow(clippy::too_many_arguments)] // private plumbing shared by every worker
 fn worker_loop<Out, F>(
     config: &ExplorerConfig,
     program: &F,
     shared: &Mutex<SharedExploration<Out>>,
     work_ready: &Condvar,
     cache: &Arc<VerdictCache>,
+    sink: Option<&dyn PathSink<Out>>,
     start: Instant,
     deadline: Option<Instant>,
 ) where
@@ -336,11 +468,13 @@ fn worker_loop<Out, F>(
                 state.in_flight += 1;
                 drop(guard);
 
+                let replay = pending.replay;
                 let mut ctx: ExecCtx<'_, Out> =
                     ExecCtx::new(pending.prefix, &mut solver, config.max_depth, deadline);
                 let mut prog = |c: &mut ExecCtx<'_, Out>| program(c);
                 let (outcome, panicked) = run_isolated(&mut ctx, &mut prog);
                 let fin = ctx.finish(outcome);
+                notify_sink(sink, replay, &fin);
 
                 guard = recover(shared);
                 let state = &mut *guard;
@@ -372,7 +506,12 @@ fn worker_loop<Out, F>(
     guard.stats.solver.merge(&solver.stats);
 }
 
-fn explore_parallel<Out, F>(config: &ExplorerConfig, program: &F) -> Exploration<Out>
+fn explore_parallel<Out, F>(
+    config: &ExplorerConfig,
+    program: &F,
+    seed: Option<&ResumeSeed>,
+    sink: Option<&dyn PathSink<Out>>,
+) -> Exploration<Out>
 where
     Out: Send,
     F: Fn(&mut ExecCtx<'_, Out>) -> RunEnd + Sync,
@@ -381,10 +520,7 @@ where
     let deadline = config.time_limit.map(|l| start + l);
     let cache = Arc::new(VerdictCache::new());
     let mut frontier = Frontier::new(config.strategy, config.seed);
-    frontier.push(Pending {
-        prefix: Vec::new(),
-        site: "<root>",
-    });
+    seed_frontier(&mut frontier, seed);
     let shared = Mutex::new(SharedExploration {
         frontier,
         coverage: Coverage::new(),
@@ -408,7 +544,9 @@ where
                 // strand its siblings on the condvar or leave the shared
                 // state claimed-but-never-merged.
                 let worker = AssertUnwindSafe(|| {
-                    worker_loop(config, program, shared, work_ready, &cache, start, deadline)
+                    worker_loop(
+                        config, program, shared, work_ready, &cache, sink, start, deadline,
+                    )
                 });
                 if std::panic::catch_unwind(worker).is_err() {
                     let mut guard = recover(shared);

@@ -120,6 +120,7 @@ mod tests {
         Pending {
             prefix: vec![d],
             site,
+            replay: false,
         }
     }
 

@@ -29,7 +29,8 @@ fn main() {
             let t0 = Instant::now();
             let artifact = soft.phase1_artifact(kind, test);
             let path = dir.join(format!("{}_{}.json", kind.id(), test.id));
-            fs::write(&path, artifact.to_json()).expect("write artifact");
+            soft::harness::atomic_write(&path, artifact.to_json().as_bytes(), true)
+                .expect("write artifact");
             println!(
                 "  {:<12} {:<13} {:>6} paths  {:>9.2?}  -> {}",
                 test.id,

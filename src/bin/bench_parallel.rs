@@ -138,7 +138,7 @@ fn main() -> ExitCode {
         par.cache_hits,
         par.cache_size,
     );
-    if let Err(e) = std::fs::write(&out, &json) {
+    if let Err(e) = soft::harness::atomic_write(std::path::Path::new(&out), json.as_bytes(), true) {
         eprintln!("bench_parallel: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }

@@ -17,10 +17,14 @@
 //! ```
 
 use soft::core::report::{classify, dedupe, describe, describe_unverified, reproduce};
-use soft::core::{replay, Soft};
-use soft::harness::{run_matrix, suite, TestCase, TestRunFile};
-use soft::smt::SolverBudget;
+use soft::core::{crosscheck_durable, replay, CheckSeeds, CrosscheckConfig, Soft, VerdictSink};
+use soft::harness::{
+    atomic_write, check_fingerprint, run_matrix, run_matrix_durable, run_test_durable, suite,
+    CheckJournal, DurableRun, TestCase, TestRunFile,
+};
+use soft::smt::{SatResult, SolverBudget};
 use soft::AgentKind;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Exit code when inconsistencies were found (like a linter).
@@ -58,7 +62,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--solver-budget N]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N]\n  soft report <a.json> <b.json> [--replay] [--solver-budget N]\n  soft regress <baseline.json> <candidate.json>\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--solver-budget N] [--retry-unknown RUNGS]\n  soft regress <baseline.json> <candidate.json>\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n\nDurability: phase1 and check write a write-ahead journal next to their\noutput (<out>.wal / <a>.check.wal unless --journal overrides) and publish\nartifacts atomically; --resume continues an interrupted run from the\njournal, producing byte-identical artifacts for any --jobs value.\n--no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -96,6 +100,45 @@ fn budget_flag(args: &[String]) -> Result<SolverBudget, String> {
     }
 }
 
+/// Parse `--retry-unknown RUNGS` (default 0 = no escalation retries).
+fn retry_flag(args: &[String]) -> Result<u32, String> {
+    match flag_value(args, "--retry-unknown") {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("--retry-unknown must be a rung count, got '{v}'")),
+    }
+}
+
+/// Journal-related flags shared by phase1 and check.
+struct JournalFlags {
+    /// Journaling enabled (the default; `--no-journal` turns it off).
+    enabled: bool,
+    /// Custom journal path (`--journal FILE`); commands derive a default
+    /// next to their output otherwise.
+    path: Option<String>,
+    /// Resume from an existing journal.
+    resume: bool,
+    /// fsync journal appends and artifact publishes (`--no-fsync` off).
+    fsync: bool,
+}
+
+fn journal_flags(args: &[String]) -> Result<JournalFlags, String> {
+    let enabled = !args.iter().any(|a| a == "--no-journal");
+    let path = flag_value(args, "--journal");
+    let resume = args.iter().any(|a| a == "--resume");
+    let fsync = !args.iter().any(|a| a == "--no-fsync");
+    if !enabled && (path.is_some() || resume) {
+        return Err("--no-journal conflicts with --journal/--resume".to_string());
+    }
+    Ok(JournalFlags {
+        enabled,
+        path,
+        resume,
+        fsync,
+    })
+}
+
 fn cmd_tests() -> ExitCode {
     println!("{:<20} {:<4} description", "id", "#in");
     for t in all_tests() {
@@ -114,6 +157,13 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
     };
     let budget = match budget_flag(args) {
         Ok(b) => b,
+        Err(e) => {
+            eprintln!("phase1: {e}");
+            return usage();
+        }
+    };
+    let journal = match journal_flags(args) {
+        Ok(j) => j,
         Err(e) => {
             eprintln!("phase1: {e}");
             return usage();
@@ -160,18 +210,46 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
     if agents.len() == 1 && tests.len() == 1 {
         // Single combination: `--jobs` parallelizes *within* the
         // exploration; `--out` is the artifact path.
-        let mut soft = Soft::new().with_jobs(jobs);
-        soft.explorer.solver_budget = budget;
         let (agent, test) = (agents[0], &tests[0]);
         eprintln!("symbolically executing {} on '{}' ...", agent.id(), test.id);
-        let artifact = soft.phase1_artifact(agent, test);
+        let cfg = soft::sym::ExplorerConfig {
+            solver_budget: budget,
+            workers: jobs.max(1),
+            ..Default::default()
+        };
+        let run = if journal.enabled {
+            let jpath = PathBuf::from(journal.path.clone().unwrap_or_else(|| format!("{out}.wal")));
+            match run_test_durable(
+                agent,
+                test,
+                &cfg,
+                &DurableRun {
+                    journal: &jpath,
+                    resume: journal.resume,
+                    fsync: journal.fsync,
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("phase1: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            soft::harness::run_test(agent, test, &cfg)
+        };
+        let artifact = TestRunFile::from_run(&run);
         eprintln!(
             "  {} paths, instruction coverage {:.1}%, wall {} ms",
             artifact.paths.len(),
             artifact.instruction_pct,
             artifact.wall_ms
         );
-        if let Err(e) = std::fs::write(&out, artifact.to_json()) {
+        if let Err(e) = atomic_write(
+            std::path::Path::new(&out),
+            artifact.to_json().as_bytes(),
+            journal.fsync,
+        ) {
             eprintln!("phase1: cannot write {out}: {e}");
             return ExitCode::FAILURE;
         }
@@ -184,7 +262,8 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
     }
     // Matrix mode (`--agent all` and/or `--test all`): `--jobs` fans out
     // across the agent x test combinations and `--out` is a file prefix;
-    // one artifact `<out><agent>_<test>.json` is written per combination.
+    // one artifact `<out><agent>_<test>.json` is written per combination,
+    // with its journal at `<out><agent>_<test>.json.wal`.
     eprintln!(
         "symbolically executing {} agent(s) x {} test(s) with {jobs} job(s) ...",
         agents.len(),
@@ -194,12 +273,42 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
         solver_budget: budget,
         ..Default::default()
     };
-    let runs = run_matrix(&agents, &tests, &cfg, jobs);
+    let runs = if journal.enabled {
+        let journal_for =
+            |agent: &str, test: &str| PathBuf::from(format!("{out}{agent}_{test}.json.wal"));
+        run_matrix_durable(
+            &agents,
+            &tests,
+            &cfg,
+            jobs,
+            &journal_for,
+            journal.resume,
+            journal.fsync,
+        )
+    } else {
+        run_matrix(&agents, &tests, &cfg, jobs)
+            .into_iter()
+            .map(Ok)
+            .collect()
+    };
     let mut truncated = 0usize;
+    let mut failed = 0usize;
     for run in &runs {
+        let run = match run {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("phase1: {e}");
+                failed += 1;
+                continue;
+            }
+        };
         let artifact = TestRunFile::from_run(run);
         let path = format!("{out}{}_{}.json", run.agent, run.test);
-        if let Err(e) = std::fs::write(&path, artifact.to_json()) {
+        if let Err(e) = atomic_write(
+            std::path::Path::new(&path),
+            artifact.to_json().as_bytes(),
+            journal.fsync,
+        ) {
             eprintln!("phase1: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -207,6 +316,10 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
             truncated += 1;
         }
         println!("{path}");
+    }
+    if failed > 0 {
+        eprintln!("phase1: {failed} combination(s) failed to journal or resume");
+        return ExitCode::FAILURE;
     }
     if truncated > 0 {
         eprintln!("phase1: {truncated} run(s) truncated — artifacts cover part of the input space");
@@ -220,25 +333,79 @@ fn load_artifact(path: &str) -> Result<TestRunFile, String> {
     TestRunFile::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+/// How a crosscheck should run: parallelism, budget, escalation ladder,
+/// and (for `check`) the verdict journal.
+struct CheckOpts {
+    jobs: usize,
+    budget: SolverBudget,
+    retry_rungs: u32,
+    /// Verdict journal path; `None` runs without one (`report`, or
+    /// `--no-journal`).
+    journal: Option<PathBuf>,
+    resume: bool,
+    fsync: bool,
+}
+
+/// Adapter: the core's verdict hook writing into the harness journal.
+struct JournalVerdictSink<'a>(&'a CheckJournal);
+
+impl VerdictSink for JournalVerdictSink<'_> {
+    fn on_verdict(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) {
+        self.0.record(i, j, verdict, budget);
+    }
+}
+
 fn crosscheck_artifacts(
     a_path: &str,
     b_path: &str,
-    jobs: usize,
-    budget: SolverBudget,
+    opts: &CheckOpts,
 ) -> Result<(soft::core::CrosscheckResult, TestRunFile, TestRunFile), String> {
-    let fa = load_artifact(a_path)?;
-    let fb = load_artifact(b_path)?;
+    let a_text =
+        std::fs::read_to_string(a_path).map_err(|e| format!("cannot read {a_path}: {e}"))?;
+    let b_text =
+        std::fs::read_to_string(b_path).map_err(|e| format!("cannot read {b_path}: {e}"))?;
+    let fa = TestRunFile::from_json(&a_text).map_err(|e| format!("cannot parse {a_path}: {e}"))?;
+    let fb = TestRunFile::from_json(&b_text).map_err(|e| format!("cannot parse {b_path}: {e}"))?;
     if fa.test != fb.test {
         return Err(format!(
             "artifacts are for different tests: '{}' vs '{}'",
             fa.test, fb.test
         ));
     }
-    let mut soft = Soft::new().with_jobs(jobs);
-    soft.checker.solver_budget = budget;
+    let soft = Soft::new();
     let ga = soft.group_artifact(&fa)?;
     let gb = soft.group_artifact(&fb)?;
-    Ok((soft.phase2(&ga, &gb), fa, fb))
+    let cfg = CrosscheckConfig {
+        solver_budget: opts.budget,
+        jobs: opts.jobs.max(1),
+        retry_rungs: opts.retry_rungs,
+        ..Default::default()
+    };
+    let result = match &opts.journal {
+        None => crosscheck_durable(&ga, &gb, &cfg, None, None),
+        Some(jpath) => {
+            // The journal is keyed to the exact artifact bytes and solver
+            // settings: any change invalidates the recorded verdicts.
+            let settings = format!(
+                "budget={:?};rungs={};factor={};cap={:?}",
+                opts.budget, cfg.retry_rungs, cfg.retry_factor, cfg.retry_cap
+            );
+            let fp = check_fingerprint(&a_text, &b_text, &settings);
+            let (journal, recovered) = CheckJournal::open(jpath, opts.resume, opts.fsync, &fp)
+                .map_err(|e| e.to_string())?;
+            let mut seeds = CheckSeeds::new();
+            for r in recovered {
+                seeds.insert(r.i, r.j, r.verdict, r.budget);
+            }
+            let sink = JournalVerdictSink(&journal);
+            let result = crosscheck_durable(&ga, &gb, &cfg, Some(&seeds), Some(&sink));
+            if let Some(e) = journal.take_error() {
+                return Err(format!("cannot append to {}: {e}", jpath.display()));
+            }
+            result
+        }
+    };
+    Ok((result, fa, fb))
 }
 
 /// Collect non-flag arguments, skipping the values of flags that take one.
@@ -251,6 +418,8 @@ fn positional(args: &[String]) -> Vec<&String> {
             || args[i] == "--test"
             || args[i] == "--out"
             || args[i] == "--solver-budget"
+            || args[i] == "--retry-unknown"
+            || args[i] == "--journal"
         {
             i += 2; // flag + value
         } else if args[i].starts_with("--") {
@@ -297,11 +466,40 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return usage();
         }
     };
+    let retry_rungs = match retry_flag(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return usage();
+        }
+    };
+    let journal = match journal_flags(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return usage();
+        }
+    };
     let paths = positional(args);
     if paths.len() != 2 {
         return usage();
     }
-    match crosscheck_artifacts(paths[0], paths[1], jobs, budget) {
+    let opts = CheckOpts {
+        jobs,
+        budget,
+        retry_rungs,
+        journal: journal.enabled.then(|| {
+            PathBuf::from(
+                journal
+                    .path
+                    .clone()
+                    .unwrap_or_else(|| format!("{}.check.wal", paths[0])),
+            )
+        }),
+        resume: journal.resume,
+        fsync: journal.fsync,
+    };
+    match crosscheck_artifacts(paths[0], paths[1], &opts) {
         Ok((result, fa, fb)) => {
             println!(
                 "{} vs {} on '{}': {} queries, {} inconsistencies, {} unverified",
@@ -312,6 +510,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 result.inconsistencies.len(),
                 result.unverified.len()
             );
+            if result.resolved_on_retry > 0 {
+                println!(
+                    "{} pair(s) resolved on budget-escalation retry",
+                    result.resolved_on_retry
+                );
+            }
             if fa.truncated || fb.truncated {
                 eprintln!(
                     "check: input artifact(s) truncated — verdict covers part of the input space"
@@ -334,12 +538,29 @@ fn cmd_report(args: &[String]) -> ExitCode {
             return usage();
         }
     };
+    let retry_rungs = match retry_flag(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return usage();
+        }
+    };
     let paths = positional(args);
     if paths.len() != 2 {
         return usage();
     }
     let do_replay = args.iter().any(|a| a == "--replay");
-    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1], 1, budget) {
+    // Reporting is a read-only analysis: it honors the retry ladder but
+    // never journals.
+    let opts = CheckOpts {
+        jobs: 1,
+        budget,
+        retry_rungs,
+        journal: None,
+        resume: false,
+        fsync: true,
+    };
+    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1], &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("report: {e}");

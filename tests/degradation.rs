@@ -211,6 +211,7 @@ fn parallel_crosscheck_with_unknowns_is_deterministic() {
     let cfg = |jobs| CrosscheckConfig {
         solver_budget: SolverBudget::conflicts(1),
         jobs,
+        ..Default::default()
     };
     let seq = soft::core::crosscheck(&a, &b, &cfg(1));
     for jobs in [2, 4] {

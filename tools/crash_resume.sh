@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Crash/resume soak: SIGKILL the pipeline mid-run, resume from the
+# write-ahead journal, and demand byte-identical artifacts.
+#
+# For phase 1 (at --jobs 1 and --jobs N) and for check, the script:
+#   1. produces uninterrupted reference output,
+#   2. re-runs the same command under `timeout -s KILL`, retrying with
+#      --resume while the process keeps getting killed (the timeout grows
+#      each round so the loop always terminates),
+#   3. diffs the resumed artifacts against the reference (wall_ms is the
+#      only permitted difference — it is wall-clock, not a result).
+#
+# Exit nonzero on any divergence.
+# Usage: tools/crash_resume.sh [phase1-test-id] [check-test-id]
+set -u
+
+TEST_ID="${1:-flow_mod}"
+# The check stage wants a test whose crosscheck takes long enough to be
+# interruptible but finishes in seconds; set_config (~5k queries) fits.
+CHECK_TEST="${2:-set_config}"
+JOBS_N=4
+SOFT="${SOFT_BIN:-target/release/soft}"
+
+if [ ! -x "$SOFT" ]; then
+    echo "crash_resume: building release binary ..."
+    cargo build --release --bin soft || exit 1
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/soft_crash_resume.XXXXXX") || exit 1
+trap 'rm -rf "$WORK"' EXIT
+fail=0
+
+# Normalize an artifact for comparison: wall-clock is environmental.
+norm() {
+    sed 's/"wall_ms": *[0-9.]*/"wall_ms": 0/' "$1"
+}
+
+# run_until_done <timeout-ms-start> <log> <cmd...>
+# First round runs the command as given; every retry appends --resume.
+# Returns the final (non-KILL) exit code.
+run_until_done() {
+    local t_ms=$1 log=$2 rc=137 round=0
+    shift 2
+    while [ "$rc" -eq 137 ] && [ "$round" -lt 40 ]; do
+        local extra=()
+        [ "$round" -gt 0 ] && extra=(--resume)
+        # Subshell so bash's async "Killed" job notice stays out of the
+        # script's own stderr.
+        (
+            timeout -s KILL "$(awk "BEGIN{printf \"%.3f\", $t_ms/1000}")" \
+                "$@" "${extra[@]}" >"$log" 2>>"$WORK/stderr.log"
+        ) 2>/dev/null
+        rc=$?
+        round=$((round + 1))
+        t_ms=$((t_ms * 3 / 2 + 20))
+    done
+    echo "    $((round - 1)) interruption(s) before completion" >&2
+    return "$rc"
+}
+
+echo "== phase1 reference (uninterrupted) =="
+for agent in reference ovs; do
+    "$SOFT" phase1 --agent "$agent" --test "$TEST_ID" \
+        --out "$WORK/ref_${agent}.json" --jobs 1 >/dev/null 2>&1
+    rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+        echo "crash_resume: reference phase1 ($agent) failed with $rc"
+        exit 1
+    fi
+done
+
+for jobs in 1 "$JOBS_N"; do
+    echo "== phase1 under SIGKILL at --jobs $jobs =="
+    for agent in reference ovs; do
+        out="$WORK/kill_${agent}_j${jobs}.json"
+        run_until_done 40 "$WORK/phase1.out" \
+            "$SOFT" phase1 --agent "$agent" --test "$TEST_ID" \
+            --out "$out" --jobs "$jobs" --journal "$out.wal"
+        rc=$?
+        if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+            echo "crash_resume: resumed phase1 ($agent, jobs=$jobs) exit $rc"
+            fail=1
+            continue
+        fi
+        if ! diff <(norm "$WORK/ref_${agent}.json") <(norm "$out") >/dev/null; then
+            echo "crash_resume: ARTIFACT DIVERGED: $agent at jobs=$jobs"
+            diff <(norm "$WORK/ref_${agent}.json") <(norm "$out") | head -20
+            fail=1
+        else
+            echo "    $agent artifact byte-identical to reference"
+        fi
+    done
+done
+
+echo "== check reference (uninterrupted, '$CHECK_TEST') =="
+for agent in reference ovs; do
+    "$SOFT" phase1 --agent "$agent" --test "$CHECK_TEST" \
+        --out "$WORK/chk_${agent}.json" --no-journal >/dev/null 2>&1
+    rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+        echo "crash_resume: phase1 for check stage ($agent) failed with $rc"
+        exit 1
+    fi
+done
+"$SOFT" check "$WORK/chk_reference.json" "$WORK/chk_ovs.json" \
+    --no-journal >"$WORK/check_ref.out" 2>/dev/null
+ref_rc=$?
+
+echo "== check under SIGKILL =="
+run_until_done 500 "$WORK/check_kill.out" \
+    "$SOFT" check "$WORK/chk_reference.json" "$WORK/chk_ovs.json" \
+    --journal "$WORK/check.wal"
+rc=$?
+if [ "$rc" -ne "$ref_rc" ]; then
+    echo "crash_resume: check exit code diverged: reference $ref_rc, resumed $rc"
+    fail=1
+fi
+# The verdict (inconsistencies / unverified) must survive any number of
+# crashes; compare it rather than the whole line to keep the check
+# focused on results, not report cosmetics.
+verdict() { grep -o '[0-9]* inconsistencies, [0-9]* unverified' "$1"; }
+if [ "$(verdict "$WORK/check_ref.out")" != "$(verdict "$WORK/check_kill.out")" ]; then
+    echo "crash_resume: check verdict diverged:"
+    echo "  reference: $(cat "$WORK/check_ref.out")"
+    echo "  resumed:   $(cat "$WORK/check_kill.out")"
+    fail=1
+else
+    echo "    check verdict identical to reference"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "crash_resume: FAILED"
+    exit 1
+fi
+echo "crash_resume: OK — SIGKILL + --resume reproduced the uninterrupted results"

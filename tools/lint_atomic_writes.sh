@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lint gate: forbid non-atomic artifact writes in non-test code.
+#
+# Artifacts (phase-1 JSON, bench summaries, reports) must never be
+# observable half-written: a crash mid-write would leave a truncated file
+# that a later resume or crosscheck happily parses — or chokes on. The
+# durability contract (DESIGN.md, "Durability model") therefore requires
+#   soft::harness::atomic_write(path, bytes, fsync)
+# (tmp file in the same directory, fsync, rename) instead of raw
+# `fs::write` / `File::create`. Test code (tests/ and #[cfg(test)]
+# modules) is exempt: tests construct fixtures, including deliberately
+# torn ones. The journal module itself is exempt — it IS the low-level
+# writer, and its append-only log has its own torn-tail recovery.
+set -u
+
+fail=0
+for f in $(find crates/*/src src examples -name '*.rs' 2>/dev/null | sort); do
+    case "$f" in
+        crates/harness/src/journal.rs) continue ;;
+    esac
+    # Strip everything from the first `#[cfg(test)]` on: by repo convention
+    # test modules are a single trailing `mod tests` block per file.
+    hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
+        | grep -n 'fs::write(\|File::create(' || true)
+    if [ -n "$hits" ]; then
+        echo "$f: non-atomic file write in non-test code:"
+        echo "$hits" | sed 's/^/  /'
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "Use soft::harness::atomic_write (see DESIGN.md, \"Durability model\")."
+    exit 1
+fi
+echo "atomic writes OK: no raw artifact writes in non-test code"
