@@ -57,5 +57,6 @@ pub use group::{
     group_paths, group_paths_with, GroupError, GroupedResults, OutputGroup, TreeShape,
 };
 pub use regression::{regression_check, RegressionReport};
-pub use replay::{replay, ReplayOutcome};
+pub use replay::{concretize_inputs, replay, run_concrete, ReplayError, ReplayOutcome};
+pub use report::{classify_outputs, signature, DivergenceKind};
 pub use soft::{PairReport, Soft};

@@ -13,11 +13,44 @@
 
 use crate::crosscheck::Inconsistency;
 use soft_agents::AgentKind;
+use soft_dataplane::Packet;
 use soft_harness::{Input, ObservedOutput, TestCase};
 use soft_openflow::{normalize_trace, TraceEvent};
 use soft_smt::Assignment;
 use soft_sym::{explore, ExplorerConfig, PathOutcome, Stop, SymBuf};
 use std::panic::AssertUnwindSafe;
+
+/// Why a concrete run could not produce a trustworthy observed output.
+///
+/// Surfaced as data (not a panic) so callers like the witness distillation
+/// pipeline can report the affected witness as *unconfirmed* instead of
+/// aborting a whole batch — the same never-lie discipline as `Unknown`
+/// solver verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The inputs were not fully concrete: the run forked into more than
+    /// one path, so there is no single observed behaviour to report.
+    NotConcrete {
+        /// Number of paths the run split into.
+        paths: usize,
+    },
+    /// The engine abandoned the (single) path; a partial trace is not an
+    /// observation, and fabricating one would be lying.
+    Aborted(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::NotConcrete { paths } => {
+                write!(f, "inputs are not fully concrete ({paths} paths explored)")
+            }
+            ReplayError::Aborted(reason) => write!(f, "engine aborted the replay: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// The result of concretely replaying one inconsistency.
 #[derive(Debug, Clone)]
@@ -45,12 +78,26 @@ impl ReplayOutcome {
     }
 }
 
-/// Concretize the test inputs under a witness assignment.
-fn concretize_inputs(test: &TestCase, witness: &Assignment) -> Vec<Input> {
+/// Concretize the test inputs under a witness assignment: every symbolic
+/// message byte and probe-packet byte is evaluated under the model
+/// (unassigned variables read 0, the solver's don't-care convention).
+///
+/// Already-concrete probes are cloned untouched; a symbolic probe (the
+/// Table 5 ablation shape) is concretized and its framing re-derived from
+/// the now-concrete structure bytes.
+pub fn concretize_inputs(test: &TestCase, witness: &Assignment) -> Vec<Input> {
     test.inputs
         .iter()
         .map(|i| match i {
             Input::Message(m) => Input::Message(SymBuf::concrete(&m.concretize(witness))),
+            Input::Probe { in_port, packet } if packet.buf.as_concrete().is_none() => {
+                let raw = SymBuf::concrete(&packet.buf.concretize(witness));
+                Input::Probe {
+                    in_port: *in_port,
+                    packet: Packet::parse(&raw)
+                        .expect("a fully concrete buffer always has parseable framing"),
+                }
+            }
             other => other.clone(),
         })
         .collect()
@@ -63,13 +110,16 @@ fn concretize_output(o: &ObservedOutput, witness: &Assignment) -> ObservedOutput
     }
 }
 
-/// Run one agent concretely on pre-concretized inputs.
+/// Run one agent concretely on pre-concretized inputs, capturing its
+/// normalized output trace.
 ///
 /// The replayed agent gets the same failure containment as phase 1: a
 /// Rust panic while processing the inputs is an *observable crash* of the
 /// agent (externally, the TCP connection dies), recorded in the output —
-/// never an abort of the replay harness.
-fn run_concrete(kind: AgentKind, inputs: &[Input]) -> ObservedOutput {
+/// never an abort of the replay harness. Conditions the engine cannot
+/// vouch for — inputs that fork, an engine-aborted path — come back as
+/// [`ReplayError`] instead of a fabricated observation.
+pub fn run_concrete(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput, ReplayError> {
     let ex = explore(&ExplorerConfig::default(), |ctx| {
         let drive = AssertUnwindSafe(|| {
             let mut agent = kind.make();
@@ -92,21 +142,21 @@ fn run_concrete(kind: AgentKind, inputs: &[Input]) -> ObservedOutput {
         std::panic::catch_unwind(drive)
             .unwrap_or_else(|_| Err(Stop::crash("agent panicked during concrete replay")))
     });
-    assert_eq!(
-        ex.stats.paths, 1,
-        "a concretized reproduction must execute a single path"
-    );
+    if ex.stats.paths != 1 {
+        return Err(ReplayError::NotConcrete {
+            paths: ex.stats.paths,
+        });
+    }
     let p = &ex.paths[0];
     // An engine-aborted replay has no trustworthy output; surfacing a
     // partial trace as "what the agent did" would be fabrication.
-    assert!(
-        !matches!(p.outcome, PathOutcome::Aborted(_)),
-        "refusing to fabricate an observed output from an aborted replay"
-    );
-    ObservedOutput {
+    if let PathOutcome::Aborted(reason) = &p.outcome {
+        return Err(ReplayError::Aborted(reason.clone()));
+    }
+    Ok(ObservedOutput {
         events: normalize_trace(&p.trace),
         crashed: matches!(p.outcome, PathOutcome::Crashed(_)),
-    }
+    })
 }
 
 /// Replay an inconsistency concretely against the two agents it names.
@@ -119,9 +169,13 @@ fn run_concrete(kind: AgentKind, inputs: &[Input]) -> ObservedOutput {
 pub fn replay(test: &TestCase, inc: &Inconsistency, a: AgentKind, b: AgentKind) -> ReplayOutcome {
     assert_eq!(inc.test, test.id, "replaying against the wrong test");
     let inputs = concretize_inputs(test, &inc.witness);
+    let must_run = |kind: AgentKind| {
+        run_concrete(kind, &inputs)
+            .unwrap_or_else(|e| panic!("concretized reproduction failed to replay: {e}"))
+    };
     ReplayOutcome {
-        observed_a: run_concrete(a, &inputs),
-        observed_b: run_concrete(b, &inputs),
+        observed_a: must_run(a),
+        observed_b: must_run(b),
         predicted_a: concretize_output(&inc.output_a, &inc.witness),
         predicted_b: concretize_output(&inc.output_b, &inc.witness),
     }

@@ -80,7 +80,15 @@ fn is_silent(o: &ObservedOutput) -> bool {
 
 /// Classify a single inconsistency by divergence shape.
 pub fn classify(inc: &Inconsistency) -> DivergenceKind {
-    let (a, b) = (&inc.output_a, &inc.output_b);
+    classify_outputs(&inc.output_a, &inc.output_b)
+}
+
+/// Classify a pair of observed outputs by divergence shape.
+///
+/// The output-level form of [`classify`], shared with the witness
+/// distillation pipeline, which classifies *concretely replayed* traces
+/// rather than the symbolic predictions stored in an [`Inconsistency`].
+pub fn classify_outputs(a: &ObservedOutput, b: &ObservedOutput) -> DivergenceKind {
     if a.crashed != b.crashed {
         return DivergenceKind::CrashVsSurvive;
     }
@@ -141,7 +149,11 @@ pub struct RootCause {
     pub members: Vec<usize>,
 }
 
-fn signature(o: &ObservedOutput) -> String {
+/// Compact signature of an observed output: the event-kind sequence plus
+/// error type/code, prefixed with `crash:` for crashed agents. Two outputs
+/// in the same [`group`](crate::group) bucket share a signature; the
+/// witness clustering key is built from a pair of these.
+pub fn signature(o: &ObservedOutput) -> String {
     let mut s = String::new();
     if o.crashed {
         s.push_str("crash:");

@@ -156,6 +156,149 @@ pub mod queue_config_request {
     pub const PORT: usize = 8;
 }
 
+/// Field-boundary enumeration over concrete message bytes.
+///
+/// The witness minimizer shrinks free bytes *field-wise* — canonicalizing
+/// a whole `buffer_id` or `wildcards` at once before falling back to
+/// single bytes — so it needs the byte ranges of every protocol field for
+/// a given message. Spans are derived from the struct offsets above;
+/// bytes not covered by a known field (unknown message types, packet-out
+/// payload) fall back to single-byte spans.
+pub mod spans {
+    use super::*;
+    use crate::consts::msg_type;
+
+    fn push_match(s: &mut Vec<(usize, usize)>, base: usize) {
+        for (off, width) in [
+            (ofp_match::WILDCARDS, 4),
+            (ofp_match::IN_PORT, 2),
+            (ofp_match::DL_SRC, 6),
+            (ofp_match::DL_DST, 6),
+            (ofp_match::DL_VLAN, 2),
+            (ofp_match::DL_VLAN_PCP, 1),
+            (ofp_match::DL_VLAN_PCP + 1, 1), // pad
+            (ofp_match::DL_TYPE, 2),
+            (ofp_match::NW_TOS, 1),
+            (ofp_match::NW_PROTO, 1),
+            (ofp_match::NW_PROTO + 1, 2), // pad
+            (ofp_match::NW_SRC, 4),
+            (ofp_match::NW_DST, 4),
+            (ofp_match::TP_SRC, 2),
+            (ofp_match::TP_DST, 2),
+        ] {
+            s.push((base + off, base + off + width));
+        }
+    }
+
+    /// One 8-byte action slot at `off`: type(2) len(2) arg(2) arg(2).
+    fn push_action(s: &mut Vec<(usize, usize)>, off: usize) {
+        s.push((off + action::TYPE, off + action::TYPE + 2));
+        s.push((off + action::LEN, off + action::LEN + 2));
+        s.push((off + 4, off + 6));
+        s.push((off + 6, off + 8));
+    }
+
+    /// Byte ranges `(start, end)` of the protocol fields of one concrete
+    /// message, covering `[0, bytes.len())` exactly: contiguous,
+    /// non-overlapping, sorted by offset. Bytes outside any known field
+    /// are returned as single-byte spans.
+    pub fn message_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+        let len = bytes.len();
+        let mut s: Vec<(usize, usize)> = Vec::new();
+        if len >= header::SIZE {
+            s.push((header::VERSION, header::VERSION + 1));
+            s.push((header::TYPE, header::TYPE + 1));
+            s.push((header::LENGTH, header::LENGTH + 2));
+            s.push((header::XID, header::XID + 4));
+            match bytes[header::TYPE] {
+                msg_type::SET_CONFIG if len >= switch_config::SIZE => {
+                    s.push((switch_config::FLAGS, switch_config::FLAGS + 2));
+                    s.push((
+                        switch_config::MISS_SEND_LEN,
+                        switch_config::MISS_SEND_LEN + 2,
+                    ));
+                }
+                msg_type::PACKET_OUT if len >= packet_out::FIXED_SIZE => {
+                    s.push((packet_out::BUFFER_ID, packet_out::BUFFER_ID + 4));
+                    s.push((packet_out::IN_PORT, packet_out::IN_PORT + 2));
+                    s.push((packet_out::ACTIONS_LEN, packet_out::ACTIONS_LEN + 2));
+                    let actions_len = u16::from_be_bytes([
+                        bytes[packet_out::ACTIONS_LEN],
+                        bytes[packet_out::ACTIONS_LEN + 1],
+                    ]) as usize;
+                    let actions_end = (packet_out::ACTIONS + actions_len).min(len);
+                    let mut off = packet_out::ACTIONS;
+                    while off + action::BASE_SIZE <= actions_end {
+                        push_action(&mut s, off);
+                        off += action::BASE_SIZE;
+                    }
+                    // Payload data after the action list: single bytes.
+                }
+                msg_type::FLOW_MOD if len >= flow_mod::FIXED_SIZE => {
+                    push_match(&mut s, flow_mod::MATCH);
+                    s.push((flow_mod::COOKIE, flow_mod::COOKIE + 8));
+                    s.push((flow_mod::COMMAND, flow_mod::COMMAND + 2));
+                    s.push((flow_mod::IDLE_TIMEOUT, flow_mod::IDLE_TIMEOUT + 2));
+                    s.push((flow_mod::HARD_TIMEOUT, flow_mod::HARD_TIMEOUT + 2));
+                    s.push((flow_mod::PRIORITY, flow_mod::PRIORITY + 2));
+                    s.push((flow_mod::BUFFER_ID, flow_mod::BUFFER_ID + 4));
+                    s.push((flow_mod::OUT_PORT, flow_mod::OUT_PORT + 2));
+                    s.push((flow_mod::FLAGS, flow_mod::FLAGS + 2));
+                    let mut off = flow_mod::ACTIONS;
+                    while off + action::BASE_SIZE <= len {
+                        push_action(&mut s, off);
+                        off += action::BASE_SIZE;
+                    }
+                }
+                msg_type::STATS_REQUEST if len >= stats_request::FIXED_SIZE => {
+                    s.push((stats_request::TYPE, stats_request::TYPE + 2));
+                    s.push((stats_request::FLAGS, stats_request::FLAGS + 2));
+                    if len == stats_request::FIXED_SIZE + stats_request::FLOW_BODY_SIZE {
+                        push_match(&mut s, stats_request::BODY);
+                        s.push((
+                            stats_request::FLOW_TABLE_ID,
+                            stats_request::FLOW_TABLE_ID + 1,
+                        ));
+                        s.push((
+                            stats_request::FLOW_TABLE_ID + 1,
+                            stats_request::FLOW_TABLE_ID + 2,
+                        )); // pad
+                        s.push((
+                            stats_request::FLOW_OUT_PORT,
+                            stats_request::FLOW_OUT_PORT + 2,
+                        ));
+                    }
+                }
+                msg_type::QUEUE_GET_CONFIG_REQUEST if len >= queue_config_request::SIZE => {
+                    s.push((queue_config_request::PORT, queue_config_request::PORT + 2));
+                    s.push((
+                        queue_config_request::PORT + 2,
+                        queue_config_request::PORT + 4,
+                    ));
+                    // pad
+                }
+                _ => {}
+            }
+        }
+        // Keep only spans fully inside the message, then fill every
+        // uncovered byte with a single-byte span.
+        s.retain(|&(_, end)| end <= len);
+        let mut covered = vec![false; len];
+        for &(a, b) in &s {
+            for c in covered.iter_mut().take(b).skip(a) {
+                *c = true;
+            }
+        }
+        for (i, c) in covered.iter().enumerate() {
+            if !*c {
+                s.push((i, i + 1));
+            }
+        }
+        s.sort_unstable();
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +326,54 @@ mod tests {
         assert_eq!(flow_mod::MATCH + ofp_match::SIZE, flow_mod::COOKIE);
         assert_eq!(flow_mod::COOKIE + 8, flow_mod::COMMAND);
         assert_eq!(flow_mod::FLAGS + 2, flow_mod::ACTIONS);
+    }
+
+    /// Spans must partition the message exactly: contiguous, sorted,
+    /// non-overlapping, covering every byte.
+    fn assert_partition(bytes: &[u8]) {
+        let s = spans::message_spans(bytes);
+        let mut expect = 0;
+        for &(a, b) in &s {
+            assert_eq!(a, expect, "gap or overlap at {a} in {s:?}");
+            assert!(b > a);
+            expect = b;
+        }
+        assert_eq!(expect, bytes.len(), "spans must cover the whole message");
+    }
+
+    #[test]
+    fn spans_partition_every_message_shape() {
+        use crate::consts::msg_type;
+        // hello, queue config, set config, stats(flow), flow_mod+1 action,
+        // packet_out with 2 actions + 3 payload bytes, unknown type, runt.
+        let mk = |mtype: u8, body: usize| {
+            let mut b = vec![1u8, mtype, 0, 0, 0, 0, 0, 0];
+            b.extend(std::iter::repeat_n(0u8, body));
+            let n = b.len() as u16;
+            b[2..4].copy_from_slice(&n.to_be_bytes());
+            b
+        };
+        assert_partition(&mk(msg_type::HELLO, 0));
+        assert_partition(&mk(msg_type::QUEUE_GET_CONFIG_REQUEST, 4));
+        assert_partition(&mk(msg_type::SET_CONFIG, 4));
+        assert_partition(&mk(
+            msg_type::STATS_REQUEST,
+            4 + stats_request::FLOW_BODY_SIZE,
+        ));
+        assert_partition(&mk(msg_type::FLOW_MOD, 64 + action::BASE_SIZE));
+        let mut po = mk(msg_type::PACKET_OUT, 8 + 2 * action::BASE_SIZE + 3);
+        po[packet_out::ACTIONS_LEN + 1] = 2 * action::BASE_SIZE as u8;
+        assert_partition(&po);
+        assert_partition(&mk(42, 5));
+        assert_partition(&[1, 0, 0]); // shorter than a header
+    }
+
+    #[test]
+    fn spans_are_field_grained() {
+        let mut qc = vec![1u8, 20, 0, 12, 0, 0, 0, 0, 0, 0, 0, 0];
+        qc[3] = 12;
+        let s = spans::message_spans(&qc);
+        // version, type, length, xid, port, pad
+        assert_eq!(s, vec![(0, 1), (1, 2), (2, 4), (4, 8), (8, 10), (10, 12)]);
     }
 }

@@ -43,5 +43,5 @@ mod solver;
 mod term;
 
 pub use eval::{Assignment, Value};
-pub use solver::{SatResult, Solver, SolverBudget, SolverStats, VerdictCache};
+pub use solver::{complete_model, SatResult, Solver, SolverBudget, SolverStats, VerdictCache};
 pub use term::{mask, BvBinOp, BvUnaryOp, CmpOp, Op, Sort, Term};

@@ -390,7 +390,7 @@ impl Solver {
             debug_assert!(model.eval_bool(&full));
             // Variables eliminated by equality propagation still need values
             // so the model satisfies the *original* assertions.
-            Self::complete_model(assertions, &mut model);
+            complete_model(assertions, &mut model);
             debug_assert!(
                 assertions.iter().all(|a| model.eval_bool(a)),
                 "simplification model must satisfy original assertions"
@@ -416,7 +416,7 @@ impl Solver {
                 let mut model = bb.extract_assignment();
                 // Re-apply bindings consumed by the preprocessor: evaluate
                 // the original assertions and fill in pinned variables.
-                Self::complete_model(assertions, &mut model);
+                complete_model(assertions, &mut model);
                 debug_assert!(
                     assertions.iter().all(|a| model.eval_bool(a)),
                     "solver model must satisfy original assertions"
@@ -451,49 +451,6 @@ impl Solver {
         Some(model)
     }
 
-    /// Fill in variables that were eliminated by equality propagation so the
-    /// returned model satisfies the *original* assertions, not just the
-    /// residual. Walks `var == const` bindings to a fixpoint; every
-    /// productive round binds at least one previously-unassigned variable,
-    /// so the number of distinct variables bounds the iteration (a fixed
-    /// round cap would silently truncate deeper binding chains).
-    fn complete_model(assertions: &[Term], model: &mut Assignment) {
-        let var_bound = {
-            let mut names: std::collections::HashSet<String> = std::collections::HashSet::new();
-            for a in assertions {
-                for (name, _) in crate::metrics::variables(a) {
-                    names.insert(name);
-                }
-            }
-            names.len()
-        };
-        for _ in 0..=var_bound {
-            let mut changed = false;
-            for a in assertions {
-                for c in crate::simplify::conjuncts(a) {
-                    if let crate::term::Op::Cmp(crate::term::CmpOp::Eq, l, r) = c.op() {
-                        if let Some((name, _)) = l.as_var() {
-                            if model.get(name).is_none() {
-                                let v = model.eval_bv(r);
-                                model.set(name, v);
-                                changed = true;
-                            }
-                        } else if let Some((name, _)) = r.as_var() {
-                            if model.get(name).is_none() {
-                                let v = model.eval_bv(l);
-                                model.set(name, v);
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-    }
-
     /// Convenience: check a single term.
     pub fn check_one(&mut self, t: &Term) -> SatResult {
         self.check(std::slice::from_ref(t))
@@ -503,6 +460,56 @@ impl Solver {
     /// query at the heart of SOFT's inconsistency finder).
     pub fn intersect(&mut self, a: &Term, b: &Term) -> SatResult {
         self.check(&[a.clone(), b.clone()])
+    }
+}
+
+/// Complete a (possibly partial) model against the assertions it came from.
+///
+/// Fills in variables that were eliminated by equality propagation so the
+/// model satisfies the *original* assertions, not just the preprocessed
+/// residual. Walks `var == const` bindings to a fixpoint; every productive
+/// round binds at least one previously-unassigned variable, so the number
+/// of distinct variables bounds the iteration (a fixed round cap would
+/// silently truncate deeper binding chains).
+///
+/// [`Solver::check`] applies this to every `Sat` model before returning
+/// it; the witness distillation pipeline re-applies it when turning a
+/// stored model back into full concrete input bytes (journal-recovered
+/// witnesses may predate bindings the preprocessor would pin today).
+pub fn complete_model(assertions: &[Term], model: &mut Assignment) {
+    let var_bound = {
+        let mut names: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for a in assertions {
+            for (name, _) in crate::metrics::variables(a) {
+                names.insert(name);
+            }
+        }
+        names.len()
+    };
+    for _ in 0..=var_bound {
+        let mut changed = false;
+        for a in assertions {
+            for c in crate::simplify::conjuncts(a) {
+                if let crate::term::Op::Cmp(crate::term::CmpOp::Eq, l, r) = c.op() {
+                    if let Some((name, _)) = l.as_var() {
+                        if model.get(name).is_none() {
+                            let v = model.eval_bv(r);
+                            model.set(name, v);
+                            changed = true;
+                        }
+                    } else if let Some((name, _)) = r.as_var() {
+                        if model.get(name).is_none() {
+                            let v = model.eval_bv(l);
+                            model.set(name, v);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
     }
 }
 

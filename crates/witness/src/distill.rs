@@ -1,0 +1,574 @@
+//! The witness distillation pipeline.
+//!
+//! Turns crosscheck inconsistencies (solver models over symbolic input
+//! bytes) into a [`Corpus`] of minimal, clustered, independently
+//! replayable wire-format reproductions:
+//!
+//! 1. **model extraction** — complete the stored witness against the two
+//!    recorded path conditions ([`soft_smt::complete_model`]), then
+//!    concretize the test inputs under it;
+//! 2. **wire validation** — every OpenFlow message must survive a
+//!    lossless parse→unparse round-trip ([`soft_openflow::parse`]);
+//! 3. **replay confirmation** — both agents run concretely
+//!    ([`soft_core::run_concrete`]); the traces must actually diverge;
+//! 4. **minimization** — field-aware ddmin to a 1-minimal core
+//!    ([`crate::minimize`]);
+//! 5. **clustering** — confirmed witnesses are grouped by
+//!    (divergence kind, normalized signature pair): the automated cut of
+//!    the paper's Table 3 root-cause analysis;
+//! 6. **neighborhood fuzzing** — seeded, field-wise mutations of
+//!    confirmed witnesses; newly divergent mutants are minimized and fed
+//!    back into the corpus ([`crate::fuzz`]).
+//!
+//! A witness that fails any confirmation stage becomes an `Unconfirmed`
+//! corpus entry carrying the reason — reported, never dropped. Stage 1–4
+//! and 6 are parallel per witness over `--jobs`; results are
+//! byte-identical for any worker count.
+
+use crate::corpus::{ConcreteInput, Corpus, CorpusEntry, Origin, Status};
+use crate::fuzz::mutate;
+use crate::minimize::{free_positions, minimize, residual_bytes};
+use crate::pool::par_map;
+use crate::rng::{stream_seed, SplitMix64};
+use soft_agents::AgentKind;
+use soft_core::{
+    classify_outputs, concretize_inputs, run_concrete, signature, CrosscheckResult, GroupedResults,
+    Inconsistency,
+};
+use soft_harness::{Input, ObservedOutput, TestCase};
+use soft_openflow::parse::roundtrips;
+use soft_smt::complete_model;
+
+/// Default base seed for the neighborhood fuzzer ("SOFT" on a hex
+/// keypad). Override with `--seed`.
+pub const DEFAULT_SEED: u64 = 0x50F7;
+
+/// Distillation configuration.
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Worker threads for the per-witness stages (output is identical for
+    /// any value).
+    pub jobs: usize,
+    /// Base seed for the neighborhood fuzzer.
+    pub seed: u64,
+    /// Fuzz mutations attempted per confirmed witness (0 disables).
+    pub fuzz_tries: usize,
+}
+
+impl Default for DistillConfig {
+    fn default() -> DistillConfig {
+        DistillConfig {
+            jobs: 1,
+            seed: DEFAULT_SEED,
+            fuzz_tries: 4,
+        }
+    }
+}
+
+/// Aggregate distillation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistillStats {
+    /// Inconsistencies fed into the pipeline.
+    pub witnesses: usize,
+    /// Witnesses confirmed (wire-valid, diverging, minimized).
+    pub confirmed: usize,
+    /// Witnesses reported as unconfirmed (with reasons, in the corpus).
+    pub unconfirmed: usize,
+    /// Divergent fuzz mutants added to the corpus.
+    pub fuzz_added: usize,
+    /// Total concrete replay-pair evaluations spent.
+    pub replays: usize,
+    /// Distinct root-cause clusters among confirmed entries.
+    pub clusters: usize,
+    /// Free (originally symbolic) bytes across all corpus entries.
+    pub free_bytes: usize,
+    /// Free bytes still nonzero after minimization.
+    pub residual_bytes: usize,
+}
+
+/// The distillation result: the corpus plus its statistics.
+#[derive(Debug, Clone)]
+pub struct DistillReport {
+    /// The distilled corpus (save with [`Corpus::save`]).
+    pub corpus: Corpus,
+    /// Aggregate statistics.
+    pub stats: DistillStats,
+}
+
+/// Convert concretized harness inputs into corpus form. Panics if any
+/// input is still symbolic — `concretize_inputs` guarantees it is not.
+fn to_concrete(inputs: &[Input]) -> Vec<ConcreteInput> {
+    inputs
+        .iter()
+        .map(|i| match i {
+            Input::Message(m) => ConcreteInput::Message(
+                m.as_concrete()
+                    .expect("concretized message must be concrete"),
+            ),
+            Input::Probe { in_port, packet } => ConcreteInput::Probe {
+                in_port: *in_port,
+                packet: packet
+                    .buf
+                    .as_concrete()
+                    .expect("concretized probe must be concrete"),
+            },
+            Input::AdvanceTime { now } => ConcreteInput::AdvanceTime { now: *now },
+        })
+        .collect()
+}
+
+/// Every OpenFlow message input survives a lossless parse round-trip.
+fn wire_valid(inputs: &[ConcreteInput]) -> bool {
+    inputs.iter().all(|i| match i {
+        ConcreteInput::Message(bytes) => roundtrips(bytes),
+        _ => true,
+    })
+}
+
+/// The divergence oracle: `Some(outputs)` iff the candidate is wire-valid
+/// and the two agents' concrete traces differ. Counts every call in
+/// `replays`.
+fn evaluate(
+    a: AgentKind,
+    b: AgentKind,
+    inputs: &[ConcreteInput],
+    replays: &mut usize,
+) -> Option<(ObservedOutput, ObservedOutput)> {
+    *replays += 1;
+    if !wire_valid(inputs) {
+        return None;
+    }
+    let concrete: Vec<Input> = inputs.iter().map(|i| i.to_input()).collect();
+    let oa = run_concrete(a, &concrete).ok()?;
+    let ob = run_concrete(b, &concrete).ok()?;
+    (oa != ob).then_some((oa, ob))
+}
+
+/// One witness through stages 1–4, before clustering. `outcome` is the
+/// replayed output pair for confirmed witnesses, or the refusal reason.
+struct Draft {
+    origin: Origin,
+    inputs: Vec<ConcreteInput>,
+    outcome: Result<(ObservedOutput, ObservedOutput), String>,
+    replays: usize,
+    free_bytes: usize,
+    residual: usize,
+}
+
+fn unconfirmed(
+    origin: Origin,
+    inputs: Vec<ConcreteInput>,
+    free: &[Vec<usize>],
+    reason: String,
+    replays: usize,
+) -> Draft {
+    let free_bytes = free.iter().map(Vec::len).sum();
+    let residual = residual_bytes(&inputs, free);
+    Draft {
+        origin,
+        inputs,
+        outcome: Err(reason),
+        replays,
+        free_bytes,
+        residual,
+    }
+}
+
+fn distill_one(
+    test: &TestCase,
+    inc: &Inconsistency,
+    index: usize,
+    grouped_a: &GroupedResults,
+    grouped_b: &GroupedResults,
+    a: AgentKind,
+    b: AgentKind,
+) -> Draft {
+    let origin = Origin::Distilled {
+        inconsistency: index,
+    };
+    let free = free_positions(test);
+    let mut replays = 0;
+
+    // Stage 1: complete the model against the recorded path conditions,
+    // so bytes the solver never had to pin get their implied values (a
+    // journal-recovered witness may be partial).
+    let mut witness = inc.witness.clone();
+    let cond_a = grouped_a
+        .groups
+        .iter()
+        .find(|g| g.output == inc.output_a)
+        .map(|g| g.condition.clone());
+    let cond_b = grouped_b
+        .groups
+        .iter()
+        .find(|g| g.output == inc.output_b)
+        .map(|g| g.condition.clone());
+    if let (Some(ca), Some(cb)) = (&cond_a, &cond_b) {
+        complete_model(&[ca.clone(), cb.clone()], &mut witness);
+        if !witness.eval_bool(ca) || !witness.eval_bool(cb) {
+            let inputs = to_concrete(&concretize_inputs(test, &witness));
+            return unconfirmed(
+                origin,
+                inputs,
+                &free,
+                "stored model does not satisfy the recorded path conditions".into(),
+                replays,
+            );
+        }
+    }
+    let inputs = to_concrete(&concretize_inputs(test, &witness));
+
+    // Stage 2: wire validation.
+    if !wire_valid(&inputs) {
+        return unconfirmed(
+            origin,
+            inputs,
+            &free,
+            "witness is not valid OpenFlow 1.0 wire format (parse round-trip failed)".into(),
+            replays,
+        );
+    }
+
+    // Stage 3: replay confirmation — with per-agent reasons, so a failed
+    // witness says *which* side refused and why.
+    let concrete: Vec<Input> = inputs.iter().map(|i| i.to_input()).collect();
+    replays += 1;
+    let oa = match run_concrete(a, &concrete) {
+        Ok(o) => o,
+        Err(e) => {
+            let reason = format!("concrete replay of {} failed: {e}", a.id());
+            return unconfirmed(origin, inputs, &free, reason, replays);
+        }
+    };
+    let ob = match run_concrete(b, &concrete) {
+        Ok(o) => o,
+        Err(e) => {
+            let reason = format!("concrete replay of {} failed: {e}", b.id());
+            return unconfirmed(origin, inputs, &free, reason, replays);
+        }
+    };
+    if oa == ob {
+        return unconfirmed(
+            origin,
+            inputs,
+            &free,
+            "replayed traces do not diverge".into(),
+            replays,
+        );
+    }
+
+    // Stage 4: minimization (re-confirms divergence at every step).
+    let minimized = minimize(&inputs, &free, |candidate| {
+        evaluate(a, b, candidate, &mut replays)
+    })
+    .expect("stage 3 confirmed the starting inputs diverge");
+    let residual = residual_bytes(&minimized.inputs, &free);
+    Draft {
+        origin,
+        free_bytes: free.iter().map(Vec::len).sum(),
+        residual,
+        inputs: minimized.inputs,
+        outcome: Ok((minimized.output_a, minimized.output_b)),
+        replays,
+    }
+}
+
+/// Stage 6: fuzz the neighborhood of one confirmed witness. Returns
+/// divergent, minimized mutants in step order.
+fn fuzz_one(
+    parent_index: usize,
+    parent_inputs: &[ConcreteInput],
+    free: &[Vec<usize>],
+    a: AgentKind,
+    b: AgentKind,
+    cfg: &DistillConfig,
+) -> Vec<Draft> {
+    let mut out = Vec::new();
+    for step in 0..cfg.fuzz_tries {
+        let mut rng = SplitMix64::new(stream_seed(cfg.seed, parent_index as u64, step as u64));
+        let Some(mutant) = mutate(parent_inputs, free, &mut rng) else {
+            continue;
+        };
+        let mut replays = 0;
+        if evaluate(a, b, &mutant, &mut replays).is_none() {
+            out.push(Draft {
+                origin: Origin::Fuzzed {
+                    parent: parent_index,
+                    step,
+                },
+                inputs: Vec::new(), // marker: not divergent, dropped later
+                outcome: Err(String::new()),
+                replays,
+                free_bytes: 0,
+                residual: 0,
+            });
+            continue;
+        }
+        let minimized = minimize(&mutant, free, |candidate| {
+            evaluate(a, b, candidate, &mut replays)
+        })
+        .expect("the mutant was just confirmed divergent");
+        out.push(Draft {
+            origin: Origin::Fuzzed {
+                parent: parent_index,
+                step,
+            },
+            free_bytes: free.iter().map(Vec::len).sum(),
+            residual: residual_bytes(&minimized.inputs, free),
+            inputs: minimized.inputs,
+            outcome: Ok((minimized.output_a, minimized.output_b)),
+            replays,
+        })
+    }
+    out
+}
+
+/// Run the full distillation pipeline over a crosscheck result.
+///
+/// `grouped_a`/`grouped_b` are the same grouped results the crosscheck
+/// consumed; they supply the path conditions for model completion. The
+/// returned corpus is deterministic: byte-identical for any `cfg.jobs`.
+pub fn distill(
+    test: &TestCase,
+    result: &CrosscheckResult,
+    grouped_a: &GroupedResults,
+    grouped_b: &GroupedResults,
+    a: AgentKind,
+    b: AgentKind,
+    cfg: &DistillConfig,
+) -> DistillReport {
+    // Stages 1–4, parallel per witness.
+    let drafts: Vec<Draft> = par_map(cfg.jobs, &result.inconsistencies, |i, inc| {
+        distill_one(test, inc, i, grouped_a, grouped_b, a, b)
+    });
+
+    // Stage 6, parallel per confirmed parent. The fuzzer mutates the
+    // *minimized* witness: its neighborhood is the irreducible core, so
+    // mutations probe the bytes that matter.
+    let free = free_positions(test);
+    let parents: Vec<usize> = (0..drafts.len())
+        .filter(|&i| drafts[i].outcome.is_ok())
+        .collect();
+    let fuzz_results: Vec<Vec<Draft>> = par_map(cfg.jobs, &parents, |_, &p| {
+        let Origin::Distilled { inconsistency } = drafts[p].origin else {
+            unreachable!("parents are distilled drafts");
+        };
+        fuzz_one(inconsistency, &drafts[p].inputs, &free, a, b, cfg)
+    });
+
+    // Stage 5 + assembly, sequential and order-deterministic: distilled
+    // entries first (inconsistency order), then fuzz mutants (parent,
+    // step order), deduplicated by exact input bytes; clusters are keyed
+    // by (divergence kind, signature pair) in first-seen order.
+    let mut stats = DistillStats {
+        witnesses: result.inconsistencies.len(),
+        ..DistillStats::default()
+    };
+    let mut clusters: Vec<(String, String)> = Vec::new();
+    let mut entries: Vec<CorpusEntry> = Vec::new();
+    fn push(
+        draft: Draft,
+        stats: &mut DistillStats,
+        clusters: &mut Vec<(String, String)>,
+        entries: &mut Vec<CorpusEntry>,
+    ) {
+        let (status, kind, sig) = match &draft.outcome {
+            Ok((oa, ob)) => {
+                let kind = classify_outputs(oa, ob).label().to_string();
+                let sig = format!("{} / {}", signature(oa), signature(ob));
+                let key = (kind.clone(), sig.clone());
+                let cluster = match clusters.iter().position(|k| *k == key) {
+                    Some(c) => c,
+                    None => {
+                        clusters.push(key);
+                        clusters.len() - 1
+                    }
+                };
+                (Status::Confirmed { cluster }, kind, sig)
+            }
+            Err(reason) => (
+                Status::Unconfirmed {
+                    reason: reason.clone(),
+                },
+                String::new(),
+                String::new(),
+            ),
+        };
+        stats.free_bytes += draft.free_bytes;
+        stats.residual_bytes += draft.residual;
+        let msg_types = draft
+            .inputs
+            .iter()
+            .filter_map(|i| match i {
+                ConcreteInput::Message(b) => Some(b.get(1).copied().unwrap_or(0)),
+                _ => None,
+            })
+            .collect();
+        entries.push(CorpusEntry {
+            origin: draft.origin,
+            status,
+            inputs: draft.inputs,
+            kind,
+            signature: sig,
+            msg_types,
+            free_bytes: draft.free_bytes,
+            residual_bytes: draft.residual,
+        });
+    }
+
+    for draft in drafts {
+        stats.replays += draft.replays;
+        match draft.outcome {
+            Ok(_) => stats.confirmed += 1,
+            Err(_) => stats.unconfirmed += 1,
+        }
+        push(draft, &mut stats, &mut clusters, &mut entries);
+    }
+    for draft in fuzz_results.into_iter().flatten() {
+        stats.replays += draft.replays;
+        if draft.outcome.is_err() {
+            continue; // non-divergent mutant: not a witness, just spent replays
+        }
+        if entries.iter().any(|e| e.inputs == draft.inputs) {
+            continue; // rediscovered an existing witness
+        }
+        stats.fuzz_added += 1;
+        push(draft, &mut stats, &mut clusters, &mut entries);
+    }
+    stats.clusters = clusters.len();
+
+    DistillReport {
+        corpus: Corpus {
+            test: test.id.to_string(),
+            agent_a: a.id().to_string(),
+            agent_b: b.id().to_string(),
+            seed: cfg.seed,
+            entries,
+        },
+        stats,
+    }
+}
+
+/// Replay a saved corpus: every confirmed entry is re-run concretely and
+/// must reproduce its recorded divergence signature. Returns, per
+/// confirmed entry index, `Ok(())` or a description of the failure.
+/// Unconfirmed entries are skipped (they carry no claim to re-check).
+pub fn reproduce_corpus(
+    corpus: &Corpus,
+    a: AgentKind,
+    b: AgentKind,
+    jobs: usize,
+) -> Vec<(usize, Result<(), String>)> {
+    let confirmed = corpus.confirmed();
+    let outcomes = par_map(jobs, &confirmed, |_, &i| {
+        let entry = &corpus.entries[i];
+        if !wire_valid(&entry.inputs) {
+            return Err("entry is not valid OpenFlow 1.0 wire format".to_string());
+        }
+        let concrete: Vec<Input> = entry.inputs.iter().map(|inp| inp.to_input()).collect();
+        let oa = run_concrete(a, &concrete).map_err(|e| format!("replay of {}: {e}", a.id()))?;
+        let ob = run_concrete(b, &concrete).map_err(|e| format!("replay of {}: {e}", b.id()))?;
+        if oa == ob {
+            return Err("traces no longer diverge".to_string());
+        }
+        let sig = format!("{} / {}", signature(&oa), signature(&ob));
+        if sig != entry.signature {
+            return Err(format!(
+                "divergence signature changed: recorded '{}', replayed '{sig}'",
+                entry.signature
+            ));
+        }
+        Ok(())
+    });
+    confirmed.into_iter().zip(outcomes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_core::Soft;
+    use soft_harness::suite;
+
+    fn queue_config_report(cfg: &DistillConfig) -> DistillReport {
+        let soft = Soft::new();
+        let test = suite::queue_config();
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+            .expect("pipeline");
+        distill(
+            &test,
+            &pair.result,
+            &pair.grouped_a,
+            &pair.grouped_b,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            cfg,
+        )
+    }
+
+    #[test]
+    fn queue_config_distills_and_reproduces() {
+        let report = queue_config_report(&DistillConfig::default());
+        assert!(report.stats.confirmed > 0, "stats: {:?}", report.stats);
+        assert_eq!(
+            report.stats.confirmed + report.stats.unconfirmed,
+            report.stats.witnesses
+        );
+        for (_, r) in reproduce_corpus(
+            &report.corpus,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            1,
+        ) {
+            r.expect("every confirmed entry must reproduce");
+        }
+    }
+
+    #[test]
+    fn corpus_is_jobs_invariant() {
+        let base = queue_config_report(&DistillConfig::default());
+        let par = queue_config_report(&DistillConfig {
+            jobs: 4,
+            ..DistillConfig::default()
+        });
+        assert_eq!(
+            base.corpus.to_json_string(),
+            par.corpus.to_json_string(),
+            "corpus must be byte-identical for any --jobs"
+        );
+        assert_eq!(base.stats, par.stats);
+    }
+
+    #[test]
+    fn identical_agents_yield_unconfirmed_not_silence() {
+        // Distill the ref-vs-ovs inconsistencies, then confirm against an
+        // *identical* pair: nothing can diverge, and the never-lie rule
+        // says every witness must surface as unconfirmed, not vanish.
+        let soft = Soft::new();
+        let test = suite::queue_config();
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+            .expect("pipeline");
+        let report = distill(
+            &test,
+            &pair.result,
+            &pair.grouped_a,
+            &pair.grouped_b,
+            AgentKind::Reference,
+            AgentKind::Reference,
+            &DistillConfig {
+                fuzz_tries: 0,
+                ..DistillConfig::default()
+            },
+        );
+        assert_eq!(report.stats.confirmed, 0);
+        assert_eq!(report.stats.unconfirmed, report.stats.witnesses);
+        assert!(report.stats.witnesses > 0);
+        for e in &report.corpus.entries {
+            match &e.status {
+                Status::Unconfirmed { reason } => assert!(!reason.is_empty()),
+                s => panic!("expected unconfirmed, got {s:?}"),
+            }
+        }
+    }
+}

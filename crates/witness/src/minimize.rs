@@ -1,0 +1,227 @@
+//! Field-aware witness minimization (ddmin-style greedy to fixpoint).
+//!
+//! A solver model pins every symbolic input byte, but most of those
+//! values are incidental: the solver picked *something*, not something
+//! that matters. Minimization drives every free byte it can back to the
+//! canonical unassigned value `0` — the solver's own don't-care
+//! convention — while re-confirming after every step that the candidate
+//! is still valid OpenFlow wire format and still concretely diverges.
+//!
+//! Two pass granularities, repeated to a joint fixpoint:
+//!
+//! 1. **field spans** from [`soft_openflow::layout`]: whole protocol
+//!    fields zeroed at once (fast progress, respects field semantics);
+//! 2. **single bytes**: every remaining nonzero free byte individually.
+//!
+//! The fixpoint over single-byte passes makes the result 1-minimal (no
+//! single free byte can be zeroed without losing the divergence) and the
+//! procedure idempotent: minimizing a minimized witness changes nothing.
+
+use crate::corpus::ConcreteInput;
+use soft_harness::{Input, ObservedOutput, TestCase};
+use soft_openflow::layout::spans::message_spans;
+
+/// A minimized, re-confirmed witness.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The minimized concrete inputs.
+    pub inputs: Vec<ConcreteInput>,
+    /// Agent A's replayed output on the minimized inputs.
+    pub output_a: ObservedOutput,
+    /// Agent B's replayed output on the minimized inputs.
+    pub output_b: ObservedOutput,
+    /// Number of candidate evaluations (replay pairs) spent.
+    pub replays: usize,
+}
+
+/// Per-input free byte positions: the indices that were *symbolic* in the
+/// original test, i.e. the only bytes a witness is allowed to vary.
+/// Concrete bytes (headers, builder-pinned fields) are structural and
+/// never touched.
+pub fn free_positions(test: &TestCase) -> Vec<Vec<usize>> {
+    test.inputs
+        .iter()
+        .map(|i| {
+            let bytes = match i {
+                Input::Message(m) => m.bytes(),
+                Input::Probe { packet, .. } => packet.buf.bytes(),
+                Input::AdvanceTime { .. } => return Vec::new(),
+            };
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.as_bv_const().is_none())
+                .map(|(p, _)| p)
+                .collect()
+        })
+        .collect()
+}
+
+/// Zero-out candidate groups, coarse to fine: protocol field spans
+/// (intersected with the free positions) for messages, then every free
+/// position individually. Spans are computed from the *current* bytes, so
+/// length-bearing fields already zeroed reshape later groups correctly.
+fn groups(inputs: &[ConcreteInput], free: &[Vec<usize>]) -> Vec<(usize, Vec<usize>)> {
+    let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
+    // Pass-1 groups: field spans restricted to free positions.
+    for (idx, input) in inputs.iter().enumerate() {
+        if let ConcreteInput::Message(bytes) = input {
+            for (start, end) in message_spans(bytes) {
+                let span: Vec<usize> = free[idx]
+                    .iter()
+                    .copied()
+                    .filter(|&p| p >= start && p < end)
+                    .collect();
+                if span.len() > 1 {
+                    out.push((idx, span));
+                }
+            }
+        }
+    }
+    // Pass-2 groups: every free byte on its own (messages and probes).
+    for (idx, positions) in free.iter().enumerate() {
+        for &p in positions {
+            out.push((idx, vec![p]));
+        }
+    }
+    out
+}
+
+fn zeroed(inputs: &[ConcreteInput], idx: usize, span: &[usize]) -> Option<Vec<ConcreteInput>> {
+    let mut out = inputs.to_vec();
+    let bytes = match &mut out[idx] {
+        ConcreteInput::Message(b) => b,
+        ConcreteInput::Probe { packet, .. } => packet,
+        ConcreteInput::AdvanceTime { .. } => return None,
+    };
+    let mut changed = false;
+    for &p in span {
+        if p < bytes.len() && bytes[p] != 0 {
+            bytes[p] = 0;
+            changed = true;
+        }
+    }
+    changed.then_some(out)
+}
+
+/// Minimize `inputs` under the divergence oracle `check`.
+///
+/// `check` must return `Some((output_a, output_b))` iff the candidate is
+/// wire-valid and the two agents concretely diverge on it; minimization
+/// only ever *keeps* candidates the oracle confirms. Returns `None` if the
+/// starting inputs themselves do not diverge (nothing to minimize — the
+/// caller reports the witness as unconfirmed instead).
+pub fn minimize<F>(inputs: &[ConcreteInput], free: &[Vec<usize>], mut check: F) -> Option<Minimized>
+where
+    F: FnMut(&[ConcreteInput]) -> Option<(ObservedOutput, ObservedOutput)>,
+{
+    let mut replays = 1;
+    let (mut out_a, mut out_b) = check(inputs)?;
+    let mut current = inputs.to_vec();
+    loop {
+        let mut progressed = false;
+        for (idx, span) in groups(&current, free) {
+            let Some(candidate) = zeroed(&current, idx, &span) else {
+                continue; // span already all-zero
+            };
+            replays += 1;
+            if let Some((a, b)) = check(&candidate) {
+                current = candidate;
+                out_a = a;
+                out_b = b;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Some(Minimized {
+        inputs: current,
+        output_a: out_a,
+        output_b: out_b,
+        replays,
+    })
+}
+
+/// Count the free bytes still holding nonzero values: the irreducible
+/// core of the reproduction after minimization.
+pub fn residual_bytes(inputs: &[ConcreteInput], free: &[Vec<usize>]) -> usize {
+    inputs
+        .iter()
+        .zip(free)
+        .map(|(input, positions)| {
+            let bytes: &[u8] = match input {
+                ConcreteInput::Message(b) => b,
+                ConcreteInput::Probe { packet, .. } => packet,
+                ConcreteInput::AdvanceTime { .. } => return 0,
+            };
+            positions
+                .iter()
+                .filter(|&&p| p < bytes.len() && bytes[p] != 0)
+                .count()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_harness::ObservedOutput;
+
+    fn out() -> ObservedOutput {
+        ObservedOutput {
+            events: Vec::new(),
+            crashed: false,
+        }
+    }
+
+    /// Synthetic oracle: diverges iff byte 9 of the only message is
+    /// nonzero OR bytes 8 and 10 are both nonzero.
+    fn oracle(inputs: &[ConcreteInput]) -> Option<(ObservedOutput, ObservedOutput)> {
+        let ConcreteInput::Message(b) = &inputs[0] else {
+            return None;
+        };
+        (b[9] != 0 || (b[8] != 0 && b[10] != 0)).then(|| (out(), out()))
+    }
+
+    fn start() -> (Vec<ConcreteInput>, Vec<Vec<usize>>) {
+        let mut bytes = vec![1, 20, 0, 12, 0, 0, 0, 0, 7, 9, 3, 5];
+        bytes[3] = 12;
+        (
+            vec![ConcreteInput::Message(bytes)],
+            vec![vec![8, 9, 10, 11]],
+        )
+    }
+
+    #[test]
+    fn reaches_a_one_minimal_core() {
+        let (inputs, free) = start();
+        let m = minimize(&inputs, &free, oracle).expect("diverges");
+        let ConcreteInput::Message(b) = &m.inputs[0] else {
+            panic!()
+        };
+        // Only byte 9 is needed; everything else zeroes out.
+        assert_eq!(&b[8..12], &[0, 9, 0, 0]);
+        assert_eq!(residual_bytes(&m.inputs, &free), 1);
+        // 1-minimality: zeroing the survivor kills the divergence.
+        let dead = zeroed(&m.inputs, 0, &[9]).unwrap();
+        assert!(oracle(&dead).is_none());
+    }
+
+    #[test]
+    fn is_idempotent() {
+        let (inputs, free) = start();
+        let once = minimize(&inputs, &free, oracle).unwrap();
+        let twice = minimize(&once.inputs, &free, oracle).unwrap();
+        assert_eq!(once.inputs, twice.inputs);
+    }
+
+    #[test]
+    fn refuses_non_diverging_start() {
+        let inputs = vec![ConcreteInput::Message(vec![
+            1, 20, 0, 12, 0, 0, 0, 0, 0, 0, 0, 0,
+        ])];
+        assert!(minimize(&inputs, &[vec![8, 9, 10, 11]], oracle).is_none());
+    }
+}

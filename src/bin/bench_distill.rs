@@ -1,0 +1,137 @@
+//! Witness-distillation throughput benchmark.
+//!
+//! Runs the full pipeline (phase 1 for both agents, grouping, crosscheck)
+//! once, then times distillation over the resulting witnesses and reports
+//! witnesses/second, replay counts, and the shrink ratio (free bytes the
+//! minimizer drove back to the canonical zero). Distillation is
+//! deterministic, so the timed repetitions produce identical corpora.
+//!
+//! Usage: bench_distill [--test <id>] [--reps N] [--jobs N] [--fuzz N] [--out FILE]
+
+use soft::harness::{atomic_write, suite, TestCase};
+use soft::witness::{distill, DistillConfig, DistillReport};
+use soft::{AgentKind, Soft};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usize_flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("{name} must be a non-negative integer, got '{v}'")),
+    }
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_id = flag_value(&args, "--test").unwrap_or_else(|| "packet_out".to_string());
+    let (reps, jobs, fuzz) = match (
+        usize_flag(&args, "--reps", 5),
+        usize_flag(&args, "--jobs", 1),
+        usize_flag(&args, "--fuzz", 4),
+    ) {
+        (Ok(r), Ok(j), Ok(f)) if r > 0 => (r, j.max(1), f),
+        (Ok(0), _, _) => {
+            eprintln!("bench_distill: --reps must be positive");
+            return ExitCode::FAILURE;
+        }
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("bench_distill: {e}");
+            return ExitCode::FAILURE;
+        }
+        _ => unreachable!(),
+    };
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_distill.json".to_string());
+
+    let mut tests = suite::table1_suite();
+    tests.extend(suite::ablation::table5_suite());
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+    let Some(test): Option<TestCase> = tests.into_iter().find(|t| t.id == test_id) else {
+        eprintln!("bench_distill: unknown --test '{test_id}' (see `soft tests`)");
+        return ExitCode::FAILURE;
+    };
+
+    let (a, b) = (AgentKind::Reference, AgentKind::OpenVSwitch);
+    let soft = Soft::new();
+    let pair = match soft.run_pair(a, b, &test) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_distill: pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let witnesses = pair.result.inconsistencies.len();
+    eprintln!("bench_distill: '{test_id}', {witnesses} witness(es), {reps} reps, {jobs} job(s)");
+    if witnesses == 0 {
+        eprintln!("bench_distill: nothing to distill on '{test_id}'");
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = DistillConfig {
+        jobs,
+        fuzz_tries: fuzz,
+        ..DistillConfig::default()
+    };
+    let run = || -> DistillReport {
+        distill(
+            &test,
+            &pair.result,
+            &pair.grouped_a,
+            &pair.grouped_b,
+            a,
+            b,
+            &cfg,
+        )
+    };
+    let report = run(); // warm-up; also the corpus all reps must match
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let again = run();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            again.corpus.to_json_string(),
+            report.corpus.to_json_string(),
+            "distillation must be deterministic"
+        );
+    }
+    let ms = median_ms(&mut samples);
+    let s = &report.stats;
+    let per_sec = s.witnesses as f64 / (ms / 1e3);
+    // Shrink ratio: fraction of free bytes the minimizer zeroed away.
+    let shrink = if s.free_bytes > 0 {
+        1.0 - s.residual_bytes as f64 / s.free_bytes as f64
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"test\": \"{test_id}\",\n  \"reps\": {reps},\n  \"jobs\": {jobs},\n  \"fuzz\": {fuzz},\n  \"witnesses\": {},\n  \"confirmed\": {},\n  \"unconfirmed\": {},\n  \"fuzz_added\": {},\n  \"clusters\": {},\n  \"replays\": {},\n  \"free_bytes\": {},\n  \"residual_bytes\": {},\n  \"shrink_ratio\": {shrink:.4},\n  \"distill_ms\": {ms:.3},\n  \"witnesses_per_sec\": {per_sec:.1}\n}}\n",
+        s.witnesses, s.confirmed, s.unconfirmed, s.fuzz_added, s.clusters, s.replays,
+        s.free_bytes, s.residual_bytes
+    );
+    if let Err(e) = atomic_write(Path::new(&out), json.as_bytes(), true) {
+        eprintln!("bench_distill: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{out}: {witnesses} witness(es) distilled in {ms:.1} ms ({per_sec:.1}/s), shrink ratio {shrink:.2}, {} cluster(s)",
+        s.clusters
+    );
+    ExitCode::SUCCESS
+}

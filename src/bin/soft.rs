@@ -17,14 +17,20 @@
 //! ```
 
 use soft::core::report::{classify, dedupe, describe, describe_unverified, reproduce};
-use soft::core::{crosscheck_durable, replay, CheckSeeds, CrosscheckConfig, Soft, VerdictSink};
+use soft::core::{
+    crosscheck_durable, replay, CheckSeeds, CrosscheckConfig, GroupedResults, Soft, VerdictSink,
+};
+use soft::harness::json::Json;
 use soft::harness::{
     atomic_write, check_fingerprint, run_matrix, run_matrix_durable, run_test_durable, suite,
     CheckJournal, DurableRun, TestCase, TestRunFile,
 };
 use soft::smt::{SatResult, SolverBudget};
+use soft::witness::{
+    distill, reproduce_corpus, Corpus, CorpusEntry, DistillConfig, Status, DEFAULT_SEED,
+};
 use soft::AgentKind;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Exit code when inconsistencies were found (like a linter).
@@ -62,7 +68,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--solver-budget N] [--retry-unknown RUNGS]\n  soft regress <baseline.json> <candidate.json>\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n\nDurability: phase1 and check write a write-ahead journal next to their\noutput (<out>.wal / <a>.check.wal unless --journal overrides) and publish\nartifacts atomically; --resume continues an interrupted run from the\njournal, producing byte-identical artifacts for any --jobs value.\n--no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: phase1, check and distill write a write-ahead journal next to\ntheir output (<out>.wal / <a>.check.wal unless --journal overrides) and\npublish artifacts atomically; --resume continues an interrupted run from\nthe journal, producing byte-identical artifacts for any --jobs value.\n--no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -97,6 +103,30 @@ fn budget_flag(args: &[String]) -> Result<SolverBudget, String> {
                 "--solver-budget must be a positive conflict count, got '{v}'"
             )),
         },
+    }
+}
+
+/// Parse `--seed S` (decimal or `0x…` hex; default [`DEFAULT_SEED`]).
+fn seed_flag(args: &[String]) -> Result<u64, String> {
+    match flag_value(args, "--seed") {
+        None => Ok(DEFAULT_SEED),
+        Some(v) => {
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse::<u64>(),
+            };
+            parsed.map_err(|_| format!("--seed must be a u64 (decimal or 0x hex), got '{v}'"))
+        }
+    }
+}
+
+/// Parse `--fuzz N` (mutants per confirmed witness; default 4).
+fn fuzz_flag(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--fuzz") {
+        None => Ok(4),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--fuzz must be a mutation count, got '{v}'")),
     }
 }
 
@@ -169,6 +199,13 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
             return usage();
         }
     };
+    let seed = match seed_flag(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("phase1: {e}");
+            return usage();
+        }
+    };
     let agent_arg = flag_value(args, "--agent");
     let test_arg = flag_value(args, "--test");
     let Some(out) = flag_value(args, "--out") else {
@@ -215,6 +252,7 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
         let cfg = soft::sym::ExplorerConfig {
             solver_budget: budget,
             workers: jobs.max(1),
+            seed,
             ..Default::default()
         };
         let run = if journal.enabled {
@@ -271,6 +309,7 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
     );
     let cfg = soft::sym::ExplorerConfig {
         solver_budget: budget,
+        seed,
         ..Default::default()
     };
     let runs = if journal.enabled {
@@ -355,11 +394,21 @@ impl VerdictSink for JournalVerdictSink<'_> {
     }
 }
 
+/// Everything a crosscheck produces, kept together so downstream
+/// commands (report, distill) can reuse the grouped conditions.
+struct CheckedPair {
+    result: soft::core::CrosscheckResult,
+    file_a: TestRunFile,
+    file_b: TestRunFile,
+    grouped_a: GroupedResults,
+    grouped_b: GroupedResults,
+}
+
 fn crosscheck_artifacts(
     a_path: &str,
     b_path: &str,
     opts: &CheckOpts,
-) -> Result<(soft::core::CrosscheckResult, TestRunFile, TestRunFile), String> {
+) -> Result<CheckedPair, String> {
     let a_text =
         std::fs::read_to_string(a_path).map_err(|e| format!("cannot read {a_path}: {e}"))?;
     let b_text =
@@ -405,7 +454,13 @@ fn crosscheck_artifacts(
             result
         }
     };
-    Ok((result, fa, fb))
+    Ok(CheckedPair {
+        result,
+        file_a: fa,
+        file_b: fb,
+        grouped_a: ga,
+        grouped_b: gb,
+    })
 }
 
 /// Collect non-flag arguments, skipping the values of flags that take one.
@@ -420,6 +475,9 @@ fn positional(args: &[String]) -> Vec<&String> {
             || args[i] == "--solver-budget"
             || args[i] == "--retry-unknown"
             || args[i] == "--journal"
+            || args[i] == "--seed"
+            || args[i] == "--fuzz"
+            || args[i] == "--json"
         {
             i += 2; // flag + value
         } else if args[i].starts_with("--") {
@@ -500,7 +558,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
         fsync: journal.fsync,
     };
     match crosscheck_artifacts(paths[0], paths[1], &opts) {
-        Ok((result, fa, fb)) => {
+        Ok(CheckedPair {
+            result,
+            file_a: fa,
+            file_b: fb,
+            ..
+        }) => {
             println!(
                 "{} vs {} on '{}': {} queries, {} inconsistencies, {} unverified",
                 fa.agent,
@@ -530,6 +593,48 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// The machine-readable witness block of a `report --json` root cause.
+fn witness_json(entry: &CorpusEntry) -> Json {
+    match &entry.status {
+        Status::Confirmed { cluster } => Json::Object(vec![
+            ("status".into(), Json::Str("confirmed".into())),
+            ("cluster".into(), Json::UInt(*cluster as u64)),
+            (
+                "msg_types".into(),
+                Json::Array(
+                    entry
+                        .msg_types
+                        .iter()
+                        .map(|&t| Json::UInt(t as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "minimized_bytes".into(),
+                Json::UInt(entry.messages().iter().map(|m| m.len() as u64).sum()),
+            ),
+            (
+                "residual_bytes".into(),
+                Json::UInt(entry.residual_bytes as u64),
+            ),
+            (
+                "repro".into(),
+                Json::Array(
+                    entry
+                        .messages()
+                        .iter()
+                        .map(|m| Json::Str(soft::witness::corpus::hex(m)))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Status::Unconfirmed { reason } => Json::Object(vec![
+            ("status".into(), Json::Str("unconfirmed".into())),
+            ("reason".into(), Json::Str(reason.clone())),
+        ]),
+    }
+}
+
 fn cmd_report(args: &[String]) -> ExitCode {
     let budget = match budget_flag(args) {
         Ok(b) => b,
@@ -540,6 +645,13 @@ fn cmd_report(args: &[String]) -> ExitCode {
     };
     let retry_rungs = match retry_flag(args) {
         Ok(r) => r,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return usage();
+        }
+    };
+    let seed = match seed_flag(args) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("report: {e}");
             return usage();
@@ -560,14 +672,43 @@ fn cmd_report(args: &[String]) -> ExitCode {
         resume: false,
         fsync: true,
     };
-    let (result, fa, fb) = match crosscheck_artifacts(paths[0], paths[1], &opts) {
+    let checked = match crosscheck_artifacts(paths[0], paths[1], &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("report: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let (result, fa, fb) = (&checked.result, &checked.file_a, &checked.file_b);
     let test = find_test(&fa.test);
+    let agents = (parse_agent(&fa.agent), parse_agent(&fb.agent));
+    // Distill the witnesses up front (no fuzzing): the report shows the
+    // minimized, replay-confirmed reproduction instead of the raw solver
+    // model bytes.
+    let distilled = match (&test, agents) {
+        (Some(test), (Some(a), Some(b))) if !result.inconsistencies.is_empty() => Some(distill(
+            test,
+            result,
+            &checked.grouped_a,
+            &checked.grouped_b,
+            a,
+            b,
+            &DistillConfig {
+                jobs: 1,
+                seed,
+                fuzz_tries: 0,
+            },
+        )),
+        _ => None,
+    };
+    let entry_for = |idx: usize| -> Option<&CorpusEntry> {
+        distilled.as_ref().and_then(|r| {
+            r.corpus.entries.iter().find(|e| {
+                matches!(e.origin, soft::witness::Origin::Distilled { inconsistency }
+                    if inconsistency == idx)
+            })
+        })
+    };
     let causes = dedupe(&result.inconsistencies);
     println!(
         "== {} vs {} on '{}': {} inconsistencies, {} root-cause buckets ==",
@@ -579,32 +720,108 @@ fn cmd_report(args: &[String]) -> ExitCode {
     );
     for cause in &causes {
         let inc = &result.inconsistencies[cause.members[0]];
+        let entry = entry_for(cause.members[0]);
         println!(
             "\n[{}] {} instance(s)",
             classify(inc).label(),
             cause.members.len()
         );
         for line in describe(inc).lines().skip(1) {
+            // The distilled summary below supersedes the raw model dump.
+            if entry.is_some() && line.trim_start().starts_with("witness:") {
+                continue;
+            }
             println!("{line}");
         }
-        if let Some(test) = &test {
-            for (i, msg) in reproduce(test, inc).iter().enumerate() {
-                let hex: String = msg.iter().map(|b| format!("{b:02x}")).collect();
-                println!("  repro msg{i}: {hex}");
+        match entry {
+            Some(e) => match &e.status {
+                Status::Confirmed { cluster } => {
+                    let minimized: usize = e.messages().iter().map(|m| m.len()).sum();
+                    println!(
+                        "  witness: cluster {cluster}, msg types {:?}, minimized {minimized} \
+                         bytes, residual {}/{} free bytes",
+                        e.msg_types, e.residual_bytes, e.free_bytes
+                    );
+                    for (i, msg) in e.messages().iter().enumerate() {
+                        println!("  repro msg{i}: {}", soft::witness::corpus::hex(msg));
+                    }
+                }
+                Status::Unconfirmed { reason } => {
+                    println!("  witness: UNCONFIRMED — {reason}");
+                    if let Some(test) = &test {
+                        // Fall back to the raw model bytes: an unconfirmed
+                        // witness is still reported, never dropped.
+                        for (i, msg) in reproduce(test, inc).iter().enumerate() {
+                            let hex: String = msg.iter().map(|b| format!("{b:02x}")).collect();
+                            println!("  repro msg{i} (unconfirmed model): {hex}");
+                        }
+                    }
+                }
+            },
+            None => {
+                if let Some(test) = &test {
+                    for (i, msg) in reproduce(test, inc).iter().enumerate() {
+                        let hex: String = msg.iter().map(|b| format!("{b:02x}")).collect();
+                        println!("  repro msg{i}: {hex}");
+                    }
+                }
             }
-            if do_replay {
-                let (Some(a), Some(b)) = (parse_agent(&fa.agent), parse_agent(&fb.agent)) else {
-                    println!("  replay: unknown agent ids; skipped");
-                    continue;
-                };
+        }
+        if do_replay {
+            if let (Some(test), (Some(a), Some(b))) = (&test, agents) {
                 let r = replay(test, inc, a, b);
                 println!(
                     "  replay: diverges={} matches_prediction={}",
                     r.diverges(),
                     r.matches_prediction()
                 );
+            } else {
+                println!("  replay: unknown test or agent ids; skipped");
             }
         }
+    }
+    if let Some(json_path) = flag_value(args, "--json") {
+        // Machine-readable report. Format 2: adds the distilled `witness`
+        // block per root cause; format-1 consumers that ignore unknown
+        // fields keep working (kind/signature/instances are unchanged).
+        let causes_json: Vec<Json> = causes
+            .iter()
+            .map(|cause| {
+                let mut fields = vec![
+                    ("kind".into(), Json::Str(cause.kind.label().into())),
+                    ("signature".into(), Json::Str(cause.signature.clone())),
+                    ("instances".into(), Json::UInt(cause.members.len() as u64)),
+                ];
+                if let Some(e) = entry_for(cause.members[0]) {
+                    fields.push(("witness".into(), witness_json(e)));
+                }
+                Json::Object(fields)
+            })
+            .collect();
+        let report_json = Json::Object(vec![
+            ("format".into(), Json::UInt(2)),
+            ("agent_a".into(), Json::Str(fa.agent.clone())),
+            ("agent_b".into(), Json::Str(fb.agent.clone())),
+            ("test".into(), Json::Str(fa.test.clone())),
+            (
+                "inconsistencies".into(),
+                Json::UInt(result.inconsistencies.len() as u64),
+            ),
+            (
+                "unverified".into(),
+                Json::UInt(result.unverified.len() as u64),
+            ),
+            ("root_causes".into(), Json::Array(causes_json)),
+        ]);
+        if let Err(e) = atomic_write(
+            Path::new(&json_path),
+            report_json.to_string().as_bytes(),
+            true,
+        ) {
+            eprintln!("report: cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n{json_path}");
     }
     if !result.unverified.is_empty() {
         println!(
@@ -618,7 +835,190 @@ fn cmd_report(args: &[String]) -> ExitCode {
             }
         }
     }
-    verdict_exit_code(&result, &fa, &fb)
+    verdict_exit_code(result, fa, fb)
+}
+
+fn cmd_distill(args: &[String]) -> ExitCode {
+    let jobs = match jobs_flag(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return usage();
+        }
+    };
+    let budget = match budget_flag(args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return usage();
+        }
+    };
+    let retry_rungs = match retry_flag(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return usage();
+        }
+    };
+    let journal = match journal_flags(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return usage();
+        }
+    };
+    let seed = match seed_flag(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return usage();
+        }
+    };
+    let fuzz_tries = match fuzz_flag(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return usage();
+        }
+    };
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("distill: missing --out");
+        return usage();
+    };
+    let paths = positional(args);
+    if paths.len() != 2 {
+        return usage();
+    }
+    let opts = CheckOpts {
+        jobs,
+        budget,
+        retry_rungs,
+        journal: journal.enabled.then(|| {
+            PathBuf::from(
+                journal
+                    .path
+                    .clone()
+                    .unwrap_or_else(|| format!("{}.check.wal", paths[0])),
+            )
+        }),
+        resume: journal.resume,
+        fsync: journal.fsync,
+    };
+    let checked = match crosscheck_artifacts(paths[0], paths[1], &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("distill: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (result, fa, fb) = (&checked.result, &checked.file_a, &checked.file_b);
+    let Some(test) = find_test(&fa.test) else {
+        eprintln!("distill: unknown test '{}' (see `soft tests`)", fa.test);
+        return ExitCode::FAILURE;
+    };
+    let (Some(a), Some(b)) = (parse_agent(&fa.agent), parse_agent(&fb.agent)) else {
+        eprintln!(
+            "distill: unknown agent ids '{}'/'{}' — cannot replay",
+            fa.agent, fb.agent
+        );
+        return ExitCode::FAILURE;
+    };
+    let report = distill(
+        &test,
+        result,
+        &checked.grouped_a,
+        &checked.grouped_b,
+        a,
+        b,
+        &DistillConfig {
+            jobs,
+            seed,
+            fuzz_tries,
+        },
+    );
+    let s = &report.stats;
+    println!(
+        "{} vs {} on '{}': {} witness(es) -> {} confirmed, {} unconfirmed, {} fuzz-added, {} root-cause cluster(s)",
+        fa.agent, fb.agent, fa.test, s.witnesses, s.confirmed, s.unconfirmed, s.fuzz_added, s.clusters
+    );
+    println!(
+        "  {} replay pair(s); free bytes minimized {} -> {} residual",
+        s.replays, s.free_bytes, s.residual_bytes
+    );
+    for c in report.corpus.clusters() {
+        println!(
+            "  cluster {}: [{}] {} — {} witness(es)",
+            c.id, c.kind, c.signature, c.members
+        );
+    }
+    for (i, e) in report.corpus.entries.iter().enumerate() {
+        if let Status::Unconfirmed { reason } = &e.status {
+            println!("  unconfirmed #{i}: {reason}");
+        }
+    }
+    if let Err(e) = report.corpus.save(Path::new(&out), journal.fsync) {
+        eprintln!("distill: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{out}");
+    verdict_exit_code(result, fa, fb)
+}
+
+fn cmd_repro(args: &[String]) -> ExitCode {
+    let jobs = match jobs_flag(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return usage();
+        }
+    };
+    let paths = positional(args);
+    if paths.len() != 1 {
+        return usage();
+    }
+    let corpus = match Corpus::load(Path::new(paths[0])) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(a), Some(b)) = (parse_agent(&corpus.agent_a), parse_agent(&corpus.agent_b)) else {
+        eprintln!(
+            "repro: unknown agent ids '{}'/'{}' in corpus",
+            corpus.agent_a, corpus.agent_b
+        );
+        return ExitCode::FAILURE;
+    };
+    let outcomes = reproduce_corpus(&corpus, a, b, jobs);
+    let confirmed = outcomes.len();
+    let skipped = corpus.entries.len() - confirmed;
+    let mut failures = 0usize;
+    for (idx, outcome) in &outcomes {
+        match outcome {
+            Ok(()) => println!(
+                "witness #{idx}: reproduces [{}] {}",
+                corpus.entries[*idx].kind, corpus.entries[*idx].signature
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("witness #{idx}: FAILED — {e}");
+            }
+        }
+    }
+    println!(
+        "{} vs {} on '{}': {}/{confirmed} confirmed witness(es) reproduce ({skipped} unconfirmed entr{} skipped)",
+        corpus.agent_a,
+        corpus.agent_b,
+        corpus.test,
+        confirmed - failures,
+        if skipped == 1 { "y" } else { "ies" }
+    );
+    if failures > 0 {
+        ExitCode::from(EXIT_INCONSISTENT)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_regress(args: &[String]) -> ExitCode {
@@ -679,6 +1079,8 @@ fn main() -> ExitCode {
         Some("phase1") => cmd_phase1(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("distill") => cmd_distill(&args[1..]),
+        Some("repro") => cmd_repro(&args[1..]),
         Some("regress") => cmd_regress(&args[1..]),
         _ => usage(),
     }

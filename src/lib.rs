@@ -15,6 +15,7 @@ pub use soft_harness as harness;
 pub use soft_openflow as openflow;
 pub use soft_smt as smt;
 pub use soft_sym as sym;
+pub use soft_witness as witness;
 
 pub use soft_agents::AgentKind;
 pub use soft_core::{PairReport, Soft};

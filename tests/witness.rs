@@ -1,0 +1,240 @@
+//! Witness distillation properties, verified end to end and independently
+//! of the pipeline's own bookkeeping: wire validity, concrete divergence,
+//! 1-minimality, corpus round-tripping, and determinism across `--jobs`.
+
+use soft::core::run_concrete;
+use soft::harness::{suite, Input};
+use soft::openflow::parse::roundtrips;
+use soft::witness::{
+    distill, free_positions, minimize, reproduce_corpus, ConcreteInput, Corpus, DistillConfig,
+    Status,
+};
+use soft::{AgentKind, Soft};
+
+fn distill_packet_out(
+    cfg: &DistillConfig,
+) -> (soft::harness::TestCase, soft::witness::DistillReport) {
+    let soft = Soft::new();
+    let test = suite::packet_out();
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
+    let report = distill(
+        &test,
+        &pair.result,
+        &pair.grouped_a,
+        &pair.grouped_b,
+        AgentKind::Reference,
+        AgentKind::OpenVSwitch,
+        cfg,
+    );
+    (test, report)
+}
+
+/// Independent divergence oracle: wire-valid and concretely diverging,
+/// checked with the public replay API rather than distill's internals.
+fn diverges(inputs: &[ConcreteInput]) -> bool {
+    if inputs.iter().any(|i| match i {
+        ConcreteInput::Message(b) => !roundtrips(b),
+        _ => false,
+    }) {
+        return false;
+    }
+    let concrete: Vec<Input> = inputs.iter().map(|i| i.to_input()).collect();
+    let (Ok(oa), Ok(ob)) = (
+        run_concrete(AgentKind::Reference, &concrete),
+        run_concrete(AgentKind::OpenVSwitch, &concrete),
+    ) else {
+        return false;
+    };
+    oa != ob
+}
+
+/// Every confirmed witness is valid OpenFlow wire format, reproduces a
+/// divergence under independent replay, and is 1-minimal: zeroing any
+/// single remaining nonzero free byte destroys the reproduction.
+#[test]
+fn confirmed_witnesses_are_valid_diverging_and_one_minimal() {
+    let (test, report) = distill_packet_out(&DistillConfig {
+        fuzz_tries: 2,
+        ..DistillConfig::default()
+    });
+    assert!(report.stats.confirmed > 0, "stats: {:?}", report.stats);
+    let free = free_positions(&test);
+    for (idx, entry) in report.corpus.entries.iter().enumerate() {
+        if !entry.is_confirmed() {
+            continue;
+        }
+        for msg in entry.messages() {
+            assert!(roundtrips(msg), "witness #{idx} is not wire-valid");
+        }
+        assert!(diverges(&entry.inputs), "witness #{idx} does not diverge");
+        for (input_idx, positions) in free.iter().enumerate() {
+            for &p in positions {
+                let mut mutant = entry.inputs.clone();
+                let bytes = match &mut mutant[input_idx] {
+                    ConcreteInput::Message(b) => b,
+                    ConcreteInput::Probe { packet, .. } => packet,
+                    ConcreteInput::AdvanceTime { .. } => continue,
+                };
+                if p >= bytes.len() || bytes[p] == 0 {
+                    continue;
+                }
+                bytes[p] = 0;
+                assert!(
+                    !diverges(&mutant),
+                    "witness #{idx} is not 1-minimal: byte {p} of input {input_idx} \
+                     can be zeroed without losing the divergence"
+                );
+            }
+        }
+    }
+}
+
+/// Export → import → re-export is byte-identical, through a real file.
+#[test]
+fn corpus_round_trips_byte_identically_through_disk() {
+    let (_, report) = distill_packet_out(&DistillConfig::default());
+    let dir = std::env::temp_dir().join("soft_witness_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.json");
+    report.corpus.save(&path, false).expect("save");
+    let loaded = Corpus::load(&path).expect("load");
+    assert_eq!(loaded, report.corpus);
+    assert_eq!(
+        loaded.to_json_string(),
+        report.corpus.to_json_string(),
+        "re-export must be byte-identical"
+    );
+    // A corrupted payload must be refused on import.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let corrupt = text.replacen("\"entries\"", "\"entriez\"", 1);
+    std::fs::write(dir.join("bad.json"), corrupt).unwrap();
+    let err = Corpus::load(&dir.join("bad.json")).expect_err("must refuse");
+    assert!(err.contains("fingerprint"), "{err}");
+}
+
+/// The corpus — including fuzz-derived entries — is byte-identical for
+/// any worker count and across repeated runs.
+#[test]
+fn distillation_is_deterministic_across_jobs_and_runs() {
+    let cfg1 = DistillConfig {
+        fuzz_tries: 3,
+        ..DistillConfig::default()
+    };
+    let cfg4 = DistillConfig {
+        jobs: 4,
+        ..cfg1.clone()
+    };
+    let (_, r1) = distill_packet_out(&cfg1);
+    let (_, r4) = distill_packet_out(&cfg4);
+    let (_, r1again) = distill_packet_out(&cfg1);
+    assert_eq!(r1.corpus.to_json_string(), r4.corpus.to_json_string());
+    assert_eq!(r1.corpus.to_json_string(), r1again.corpus.to_json_string());
+    assert_eq!(r1.stats, r4.stats);
+    // A different fuzz seed is allowed to produce a different corpus, but
+    // the distilled (non-fuzz) entries must be unaffected by it.
+    let (_, other_seed) = distill_packet_out(&DistillConfig {
+        seed: 0xDEAD_BEEF,
+        ..cfg1.clone()
+    });
+    let distilled_only = |c: &Corpus| -> Vec<ConcreteInput> {
+        c.entries
+            .iter()
+            .filter(|e| matches!(e.origin, soft::witness::Origin::Distilled { .. }))
+            .flat_map(|e| e.inputs.clone())
+            .collect()
+    };
+    assert_eq!(
+        distilled_only(&r1.corpus),
+        distilled_only(&other_seed.corpus)
+    );
+}
+
+/// Minimization is idempotent and divergence-preserving on real
+/// witnesses: re-minimizing a distilled entry changes nothing.
+#[test]
+fn minimization_is_idempotent_and_divergence_preserving() {
+    let (test, report) = distill_packet_out(&DistillConfig::default());
+    let free = free_positions(&test);
+    let out = |inputs: &[ConcreteInput]| {
+        diverges(inputs).then(|| {
+            let concrete: Vec<Input> = inputs.iter().map(|i| i.to_input()).collect();
+            (
+                run_concrete(AgentKind::Reference, &concrete).unwrap(),
+                run_concrete(AgentKind::OpenVSwitch, &concrete).unwrap(),
+            )
+        })
+    };
+    let mut checked = 0;
+    for entry in &report.corpus.entries {
+        if !entry.is_confirmed() {
+            continue;
+        }
+        let again = minimize(&entry.inputs, &free, out).expect("still diverges");
+        assert_eq!(
+            again.inputs, entry.inputs,
+            "minimization must be idempotent"
+        );
+        assert!(diverges(&again.inputs));
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+/// Every confirmed corpus entry replays through the public
+/// `reproduce_corpus` API with its recorded signature, at any job count.
+#[test]
+fn reproduce_confirms_the_whole_corpus() {
+    let (_, report) = distill_packet_out(&DistillConfig {
+        fuzz_tries: 2,
+        ..DistillConfig::default()
+    });
+    for jobs in [1, 3] {
+        for (idx, outcome) in reproduce_corpus(
+            &report.corpus,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            jobs,
+        ) {
+            outcome.unwrap_or_else(|e| panic!("witness #{idx} failed with {jobs} jobs: {e}"));
+        }
+    }
+}
+
+/// Witnesses that cannot be confirmed surface as `Unconfirmed` entries
+/// with a reason — the corpus never silently drops a witness.
+#[test]
+fn unconfirmable_witnesses_are_reported_not_dropped() {
+    let soft = Soft::new();
+    let test = suite::packet_out();
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
+    // Replaying against an identical pair: nothing can diverge.
+    let report = distill(
+        &test,
+        &pair.result,
+        &pair.grouped_a,
+        &pair.grouped_b,
+        AgentKind::OpenVSwitch,
+        AgentKind::OpenVSwitch,
+        &DistillConfig {
+            fuzz_tries: 0,
+            ..DistillConfig::default()
+        },
+    );
+    assert_eq!(report.stats.confirmed, 0);
+    assert_eq!(report.stats.unconfirmed, report.stats.witnesses);
+    assert_eq!(report.corpus.entries.len(), report.stats.witnesses);
+    assert!(report.stats.witnesses > 0);
+    for e in &report.corpus.entries {
+        match &e.status {
+            Status::Unconfirmed { reason } => {
+                assert!(!reason.is_empty());
+                assert!(!e.inputs.is_empty(), "inputs are retained for triage");
+            }
+            s => panic!("expected unconfirmed, got {s:?}"),
+        }
+    }
+}

@@ -7,10 +7,14 @@
 # durability contract (DESIGN.md, "Durability model") therefore requires
 #   soft::harness::atomic_write(path, bytes, fsync)
 # (tmp file in the same directory, fsync, rename) instead of raw
-# `fs::write` / `File::create`. Test code (tests/ and #[cfg(test)]
-# modules) is exempt: tests construct fixtures, including deliberately
-# torn ones. The journal module itself is exempt — it IS the low-level
-# writer, and its append-only log has its own torn-tail recovery.
+# `fs::write` / `File::create`, including the back doors
+# `OpenOptions...create(true)` / `create_new(true)`. Witness corpora
+# (crates/witness) fall under the same contract: a half-written corpus
+# would fail its fingerprint check on load, but the write should never
+# tear in the first place. Test code (tests/ and #[cfg(test)] modules) is
+# exempt: tests construct fixtures, including deliberately torn ones. The
+# journal module itself is exempt — it IS the low-level writer, and its
+# append-only log has its own torn-tail recovery.
 set -u
 
 fail=0
@@ -21,7 +25,7 @@ for f in $(find crates/*/src src examples -name '*.rs' 2>/dev/null | sort); do
     # Strip everything from the first `#[cfg(test)]` on: by repo convention
     # test modules are a single trailing `mod tests` block per file.
     hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
-        | grep -n 'fs::write(\|File::create(' || true)
+        | grep -n 'fs::write(\|File::create(\|create_new(\|OpenOptions::new(' || true)
     if [ -n "$hits" ]; then
         echo "$f: non-atomic file write in non-test code:"
         echo "$hits" | sed 's/^/  /'
