@@ -36,7 +36,7 @@ fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
 /// a witness drawn from that sliver would be a false positive. The
 /// inconsistency query therefore conjoins this disequality constraint, so
 /// every witness provably makes the observable outputs differ.
-fn outputs_differ(a: &ObservedOutput, b: &ObservedOutput) -> Term {
+pub(crate) fn outputs_differ(a: &ObservedOutput, b: &ObservedOutput) -> Term {
     if a.crashed != b.crashed || a.events.len() != b.events.len() {
         return Term::bool_true();
     }
@@ -270,6 +270,16 @@ pub trait VerdictSink: Sync {
     /// into the two result sets; `budget` is the budget the verdict was
     /// produced under.
     fn on_verdict(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget);
+
+    /// Called once per *freshly solved* verdict the moment it is
+    /// produced, from whichever worker thread solved it — delivery order
+    /// is scheduling-dependent, unlike [`VerdictSink::on_verdict`]'s
+    /// canonical pair order. This is the streaming hook: eager witness
+    /// distillation starts here instead of waiting for the pass barrier.
+    /// Seeded (journal-recovered) verdicts are not re-delivered, and a
+    /// worker lost mid-query degrades its slot to Unknown without a call.
+    /// Default: no-op.
+    fn on_decided(&self, _i: usize, _j: usize, _verdict: &SatResult, _budget: &SolverBudget) {}
 }
 
 /// Verdicts recovered from a crosscheck journal, keyed by group-index
@@ -362,6 +372,51 @@ pub fn crosscheck_durable(
     seeds: Option<&CheckSeeds>,
     sink: Option<&dyn VerdictSink>,
 ) -> CrosscheckResult {
+    crosscheck_hooked(
+        a,
+        b,
+        cfg,
+        CheckHooks {
+            seeds,
+            sink,
+            ..Default::default()
+        },
+    )
+}
+
+/// Streaming extensions layered on the canonical crosscheck pass
+/// structure. Everything here is a latency lever, not a semantics lever:
+/// the verdict slots are merged by pair index and published in pair
+/// order, so the result (and the journal bytes a sink writes) are
+/// identical with or without hooks.
+#[derive(Default)]
+pub struct CheckHooks<'a> {
+    /// Verdicts recovered from a crosscheck journal (as in
+    /// [`crosscheck_durable`]).
+    pub seeds: Option<&'a CheckSeeds>,
+    /// Per-pass canonical observer (the journal hook) plus the immediate
+    /// [`VerdictSink::on_decided`] streaming hook.
+    pub sink: Option<&'a dyn VerdictSink>,
+    /// Share a verdict cache with out-of-band solver work: the eager
+    /// scheduler's probes run against the same cache, so a probe that
+    /// already decided a final-refinement query makes the canonical pass
+    /// a cache hit.
+    pub cache: Option<Arc<VerdictCache>>,
+    /// Group-index pairs to solve *first* within the base pass — the
+    /// scheduler passes its known-satisfiable pairs so inconsistencies
+    /// (the pairs distillation will need) decide earliest.
+    pub solve_first: Vec<(usize, usize)>,
+}
+
+/// [`crosscheck_durable`] with streaming hooks — see [`CheckHooks`].
+pub fn crosscheck_hooked(
+    a: &GroupedResults,
+    b: &GroupedResults,
+    cfg: &CrosscheckConfig,
+    hooks: CheckHooks<'_>,
+) -> CrosscheckResult {
+    let seeds = hooks.seeds;
+    let sink = hooks.sink;
     assert_eq!(a.test, b.test, "crosschecking different tests");
     let start = Instant::now();
     // Build the pair list (and its `outputs_differ` terms) up front and
@@ -401,11 +456,19 @@ pub fn crosscheck_durable(
     // All passes share one budget-aware verdict cache: verdicts decided in
     // the base pass shortcut identical queries on retry rungs, while
     // Unknowns recorded under a smaller budget never suppress a re-solve
-    // under a larger one.
-    let cache = Arc::new(VerdictCache::new());
+    // under a larger one. A caller-provided cache extends the sharing to
+    // the eager scheduler's out-of-band probes.
+    let cache = hooks.cache.unwrap_or_else(|| Arc::new(VerdictCache::new()));
 
-    // Base pass: everything the seeds did not settle.
-    let todo: Vec<usize> = (0..pairs.len()).filter(|&k| slots[k].is_none()).collect();
+    // Base pass: everything the seeds did not settle. Hinted pairs go
+    // first (stable partition, so pair order survives within each class);
+    // the verdict slots make the solve order invisible in the output.
+    let mut todo: Vec<usize> = (0..pairs.len()).filter(|&k| slots[k].is_none()).collect();
+    if !hooks.solve_first.is_empty() {
+        let first: std::collections::HashSet<(usize, usize)> =
+            hooks.solve_first.iter().copied().collect();
+        todo.sort_by_key(|&k| !first.contains(&(pairs[k].0, pairs[k].1)));
+    }
     solve_pass(
         a,
         b,
@@ -415,6 +478,7 @@ pub fn crosscheck_durable(
         cfg.solver_budget,
         cfg.jobs,
         &cache,
+        sink,
     );
     notify_sink(sink, &pairs, &slots, &todo);
 
@@ -448,7 +512,9 @@ pub fn crosscheck_durable(
             if todo.is_empty() {
                 break;
             }
-            solve_pass(a, b, &pairs, &mut slots, &todo, budget, cfg.jobs, &cache);
+            solve_pass(
+                a, b, &pairs, &mut slots, &todo, budget, cfg.jobs, &cache, sink,
+            );
             notify_sink(sink, &pairs, &slots, &todo);
             last_budget = budget;
         }
@@ -529,17 +595,22 @@ fn solve_pass(
     budget: SolverBudget,
     jobs: usize,
     cache: &Arc<VerdictCache>,
+    sink: Option<&dyn VerdictSink>,
 ) {
     if todo.is_empty() {
         return;
     }
     let query = |solver: &mut Solver, k: usize| {
         let (i, j, differ) = &pairs[k];
-        solver.check(&[
+        let v = solver.check(&[
             a.groups[*i].condition.clone(),
             b.groups[*j].condition.clone(),
             differ.clone(),
-        ])
+        ]);
+        if let Some(s) = sink {
+            s.on_decided(*i, *j, &v, &budget);
+        }
+        v
     };
     if jobs <= 1 {
         let mut solver = Solver::with_cache(Arc::clone(cache));
@@ -989,6 +1060,96 @@ mod tests {
         assert!(matches!(s.get(0, 0), Some((SatResult::Unsat, _))));
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
+    }
+
+    #[derive(Default)]
+    struct CountDecided(std::sync::atomic::AtomicUsize);
+
+    impl VerdictSink for CountDecided {
+        fn on_verdict(&self, _: usize, _: usize, _: &SatResult, _: &SolverBudget) {}
+        fn on_decided(&self, _: usize, _: usize, _: &SatResult, _: &SolverBudget) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn hooks_do_not_change_results() {
+        let (a, b) = hard_pair();
+        let cfg = CrosscheckConfig {
+            solver_budget: SolverBudget::conflicts(1),
+            retry_rungs: 10,
+            ..Default::default()
+        };
+        let plain = crosscheck_durable(&a, &b, &cfg, None, None);
+        // Solve-first hints, a shared external cache, and the immediate
+        // on_decided hook — none of them may perturb the canonical result.
+        let sink = CountDecided::default();
+        let hooked = crosscheck_hooked(
+            &a,
+            &b,
+            &cfg,
+            CheckHooks {
+                sink: Some(&sink),
+                cache: Some(Arc::new(VerdictCache::new())),
+                solve_first: vec![(0, 0)],
+                ..Default::default()
+            },
+        );
+        assert_eq!(hooked.queries, plain.queries);
+        assert_eq!(hooked.unknown, plain.unknown);
+        assert_eq!(hooked.resolved_on_retry, plain.resolved_on_retry);
+        assert_eq!(hooked.inconsistencies.len(), plain.inconsistencies.len());
+        for (x, y) in plain.inconsistencies.iter().zip(&hooked.inconsistencies) {
+            assert_eq!(x.witness, y.witness);
+        }
+        // Every fresh solve fired the immediate hook: the base-pass
+        // Unknown plus each escalation attempt.
+        assert!(sink.0.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn shared_cache_lets_presolved_queries_short_circuit() {
+        // Pre-solve the canonical query out of band through a shared
+        // cache, the way the eager scheduler's final-refinement probe
+        // does, then confirm the canonical pass reproduces the identical
+        // witness (cache hits return the cached model verbatim).
+        let p = Term::var("cc7.p", 8);
+        let a = group_paths(
+            "a",
+            "t",
+            &[path(p.clone().ult(Term::bv_const(8, 100)), out(1))],
+        )
+        .expect("grouping");
+        let b = group_paths(
+            "b",
+            "t",
+            &[path(p.clone().ugt(Term::bv_const(8, 50)), out(2))],
+        )
+        .expect("grouping");
+        let cache = Arc::new(VerdictCache::new());
+        let differ = outputs_differ(&a.groups[0].output, &b.groups[0].output);
+        let mut probe = Solver::with_cache(Arc::clone(&cache));
+        let probed = probe.check(&[
+            a.groups[0].condition.clone(),
+            b.groups[0].condition.clone(),
+            differ,
+        ]);
+        assert!(probed.is_sat());
+        let hooked = crosscheck_hooked(
+            &a,
+            &b,
+            &CrosscheckConfig::default(),
+            CheckHooks {
+                cache: Some(cache),
+                ..Default::default()
+            },
+        );
+        let plain = crosscheck(&a, &b, &CrosscheckConfig::default());
+        assert_eq!(hooked.inconsistencies.len(), 1);
+        assert_eq!(
+            hooked.inconsistencies[0].witness,
+            plain.inconsistencies[0].witness
+        );
     }
 
     #[test]

@@ -48,15 +48,17 @@ pub mod regression;
 pub mod replay;
 pub mod report;
 mod soft;
+pub mod stream;
 
 pub use crosscheck::{
-    crosscheck, crosscheck_durable, CheckSeeds, CrosscheckConfig, CrosscheckResult, Inconsistency,
-    UnverifiedPair, VerdictSink,
+    crosscheck, crosscheck_durable, crosscheck_hooked, CheckHooks, CheckSeeds, CrosscheckConfig,
+    CrosscheckResult, Inconsistency, UnverifiedPair, VerdictSink,
 };
 pub use group::{
-    group_paths, group_paths_with, GroupError, GroupedResults, OutputGroup, TreeShape,
+    group_paths, group_paths_with, GroupBuilder, GroupError, GroupedResults, OutputGroup, TreeShape,
 };
 pub use regression::{regression_check, RegressionReport};
 pub use replay::{concretize_inputs, replay, run_concrete, ReplayError, ReplayOutcome};
 pub use report::{classify_outputs, signature, DivergenceKind};
 pub use soft::{PairReport, Soft};
+pub use stream::{CheckScheduler, Probe};

@@ -1,0 +1,302 @@
+//! Eager crosscheck scheduling for the streaming pipeline.
+//!
+//! The phased flow leaves the solver idle while the explorer runs: no
+//! intersection query is issued until both artifacts are on disk. The
+//! streaming session instead probes a group pair as soon as *both* sides
+//! have emitted at least one path for it, and re-checks refinements as
+//! the groups grow.
+//!
+//! Soundness of partial verdicts rests on disjunction monotonicity: a
+//! partial group condition is a disjunction over a *subset* of the final
+//! disjuncts, so it implies the final condition. A satisfiable partial
+//! probe therefore proves the final pair satisfiable — conclusive, and
+//! sticky. An unsatisfiable or unknown partial probe proves nothing about
+//! the final pair (later paths may add the intersecting subspace), so it
+//! only parks the pair until the groups grow enough to warrant another
+//! look.
+//!
+//! Probes never publish: the canonical crosscheck pass re-derives every
+//! verdict from full-group queries in pair order, so artifacts stay
+//! byte-identical to the phased flow at any `--jobs`. What the probes buy
+//! is latency — solver work overlaps exploration, and the known-Sat set
+//! feeds [`CheckHooks::solve_first`](crate::crosscheck::CheckHooks) so
+//! the canonical pass decides real inconsistencies (the pairs eager
+//! distillation is waiting on) first. Probes also share the session's
+//! [`VerdictCache`], so a probe issued against an already-final pair of
+//! groups *is* the canonical query and turns the later pass into a cache
+//! hit.
+
+use crate::group::GroupBuilder;
+use soft_harness::ObservedOutput;
+use soft_smt::{SatResult, Solver, SolverBudget, Term, VerdictCache};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Recover the guarded data even if a probing worker panicked while
+/// holding the lock; the pair table is only mutated field-wise, so a
+/// poisoned lock still guards usable state.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Cap on probe budgets: partial queries are advisory, so they never
+/// deserve more conflicts than this even under an unlimited session
+/// budget.
+const PROBE_CONFLICTS: u64 = 256;
+
+/// Per-pair probe state.
+#[derive(Debug, Clone, Default)]
+struct PairProbe {
+    /// Path counts (a-side, b-side) at the last issued probe.
+    probed: Option<(usize, usize)>,
+    /// A probe for this pair is currently in flight.
+    in_flight: bool,
+    /// A partial probe came back Sat: conclusive and sticky.
+    sat: bool,
+}
+
+/// A claimed probe: the snapshot a worker solves outside any lock.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    key: (ObservedOutput, ObservedOutput),
+    cond_a: Term,
+    cond_b: Term,
+    counts: (usize, usize),
+}
+
+/// The eager crosscheck scheduler for one test: tracks which group pairs
+/// have been probed at which sizes, claims probe work, and remembers
+/// which pairs are already known satisfiable.
+pub struct CheckScheduler {
+    budget: SolverBudget,
+    cache: Arc<VerdictCache>,
+    pairs: Mutex<HashMap<(ObservedOutput, ObservedOutput), PairProbe>>,
+}
+
+impl CheckScheduler {
+    /// Scheduler whose probes run under `session_budget` capped at
+    /// [`PROBE_CONFLICTS`] conflicts (probes are advisory; the canonical
+    /// pass spends the real budget).
+    pub fn new(session_budget: SolverBudget) -> CheckScheduler {
+        let cap = SolverBudget::conflicts(PROBE_CONFLICTS);
+        let budget = if session_budget.covers(&cap) {
+            cap
+        } else {
+            session_budget
+        };
+        CheckScheduler {
+            budget,
+            cache: Arc::new(VerdictCache::new()),
+            pairs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The verdict cache probes write into — hand it to
+    /// [`CheckHooks::cache`](crate::crosscheck::CheckHooks) so the
+    /// canonical pass reuses any probe that already ran the final query.
+    pub fn cache(&self) -> Arc<VerdictCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Claim a probe for the cross product of a freshly grown bucket on
+    /// one side against every bucket of the other side. `grown` is the
+    /// arrival-order slot that just absorbed a path; `a_side` says which
+    /// of the two builders grew. Returns the claimed probes; each must be
+    /// handed to [`CheckScheduler::run`] (on any thread) to release its
+    /// ticket.
+    ///
+    /// Claim policy per pair: skip equal outputs, skip known-Sat, skip
+    /// in-flight, and re-probe only once either side has *doubled* since
+    /// the last attempt — refinement re-checks stay O(log paths) per
+    /// pair.
+    pub fn claim(
+        &self,
+        a: &GroupBuilder,
+        b: &GroupBuilder,
+        grown: usize,
+        a_side: bool,
+    ) -> Vec<Probe> {
+        let (grew, other) = if a_side { (a, b) } else { (b, a) };
+        if grown >= grew.num_outputs() {
+            return Vec::new();
+        }
+        let mut claimed = Vec::new();
+        let mut pairs = recover(&self.pairs);
+        for slot in 0..other.num_outputs() {
+            let (out_a, sa, out_b, sb) = if a_side {
+                (grew.output(grown), grown, other.output(slot), slot)
+            } else {
+                (other.output(slot), slot, grew.output(grown), grown)
+            };
+            if out_a == out_b {
+                continue;
+            }
+            let na = a.partial_count(sa);
+            let nb = b.partial_count(sb);
+            let key = (out_a.clone(), out_b.clone());
+            let st = pairs.entry(key.clone()).or_default();
+            let due = !st.sat
+                && !st.in_flight
+                && match st.probed {
+                    None => true,
+                    Some((pa, pb)) => na >= pa.saturating_mul(2) || nb >= pb.saturating_mul(2),
+                };
+            if !due {
+                continue;
+            }
+            st.in_flight = true;
+            claimed.push(Probe {
+                key,
+                cond_a: a.partial_condition(sa),
+                cond_b: b.partial_condition(sb),
+                counts: (na, nb),
+            });
+        }
+        claimed
+    }
+
+    /// Solve one claimed probe (outside the pair-table lock) and record
+    /// the outcome. Returns the verdict for observability; conclusions
+    /// are tracked internally.
+    pub fn run(&self, probe: Probe) -> SatResult {
+        let differ = crate::crosscheck::outputs_differ(&probe.key.0, &probe.key.1);
+        let verdict = if differ.as_bool_const() == Some(false) {
+            // Structurally different but semantically identical outputs:
+            // the canonical pass never queries this pair either.
+            SatResult::Unsat
+        } else {
+            let mut solver = Solver::with_cache(Arc::clone(&self.cache));
+            solver.budget = self.budget;
+            solver.check(&[probe.cond_a.clone(), probe.cond_b.clone(), differ])
+        };
+        let mut pairs = recover(&self.pairs);
+        let st = pairs.entry(probe.key).or_default();
+        st.in_flight = false;
+        st.probed = Some(probe.counts);
+        if verdict.is_sat() {
+            st.sat = true;
+        }
+        verdict
+    }
+
+    /// Pairs a partial probe already proved satisfiable, translated to
+    /// canonical group indices of the *finalized* group sets — the
+    /// [`solve_first`](crate::crosscheck::CheckHooks::solve_first) hint
+    /// for the canonical pass.
+    pub fn known_sat(
+        &self,
+        a: &crate::group::GroupedResults,
+        b: &crate::group::GroupedResults,
+    ) -> Vec<(usize, usize)> {
+        let index = |g: &crate::group::GroupedResults, out: &ObservedOutput| {
+            g.groups.iter().position(|grp| grp.output == *out)
+        };
+        let pairs = recover(&self.pairs);
+        let mut hints: Vec<(usize, usize)> = pairs
+            .iter()
+            .filter(|(_, st)| st.sat)
+            .filter_map(|((oa, ob), _)| Some((index(a, oa)?, index(b, ob)?)))
+            .collect();
+        hints.sort_unstable();
+        hints
+    }
+
+    /// Number of pairs with at least one completed probe.
+    pub fn probed_pairs(&self) -> usize {
+        recover(&self.pairs)
+            .values()
+            .filter(|st| st.probed.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::TreeShape;
+    use soft_harness::PathRecord;
+    use soft_openflow::TraceEvent;
+
+    fn out(tag: u16) -> ObservedOutput {
+        ObservedOutput {
+            events: vec![TraceEvent::Error {
+                xid: Term::bv_const(32, 0),
+                etype: Term::bv_const(16, 1),
+                code: Term::bv_const(16, tag as u64),
+            }],
+            crashed: false,
+        }
+    }
+
+    fn rec(var: &str, val: u64, tag: u16) -> PathRecord {
+        let cond = Term::var(var, 8).eq(Term::bv_const(8, val));
+        PathRecord {
+            constraint_size: soft_smt::metrics::op_count(&cond),
+            condition: cond,
+            output: out(tag),
+        }
+    }
+
+    #[test]
+    fn partial_sat_probe_is_sticky_and_feeds_hints() {
+        let mut a = GroupBuilder::new("a", "t", TreeShape::Balanced);
+        let mut b = GroupBuilder::new("b", "t", TreeShape::Balanced);
+        let sched = CheckScheduler::new(SolverBudget::unlimited());
+        // One path per side, same input point, different outputs: the
+        // partial intersection is satisfiable immediately.
+        let sa = a.absorb(vec![false], rec("st.x", 7, 1));
+        assert!(sched.claim(&a, &b, sa, true).is_empty(), "b side empty");
+        let sb = b.absorb(vec![false], rec("st.x", 7, 2));
+        let probes = sched.claim(&a, &b, sb, false);
+        assert_eq!(probes.len(), 1);
+        assert!(sched
+            .run(probes.into_iter().next().expect("probe"))
+            .is_sat());
+        // Sticky: growing the groups claims no new probe for the pair.
+        let sa2 = a.absorb(vec![true], rec("st.x", 8, 1));
+        assert_eq!(sa, sa2);
+        assert!(sched.claim(&a, &b, sa2, true).is_empty());
+        // The hint survives finalization, in canonical indices.
+        let ga = a.finalize().expect("finalize");
+        let gb = b.finalize().expect("finalize");
+        assert_eq!(sched.known_sat(&ga, &gb), vec![(0, 0)]);
+        assert_eq!(sched.probed_pairs(), 1);
+    }
+
+    #[test]
+    fn unsat_probe_reprobes_only_after_doubling() {
+        let mut a = GroupBuilder::new("a", "t", TreeShape::Balanced);
+        let mut b = GroupBuilder::new("b", "t", TreeShape::Balanced);
+        let sched = CheckScheduler::new(SolverBudget::unlimited());
+        // Disjoint single-path groups: first probe is Unsat.
+        a.absorb(vec![false], rec("s2.x", 1, 1));
+        let sb = b.absorb(vec![false], rec("s2.x", 9, 2));
+        let probes = sched.claim(&a, &b, sb, false);
+        assert_eq!(probes.len(), 1);
+        assert!(sched
+            .run(probes.into_iter().next().expect("probe"))
+            .is_unsat());
+        // One more a-side path (1 → 2 = doubled): due again, and this one
+        // intersects b's group, flipping the pair to known-Sat.
+        let sa = a.absorb(vec![true], rec("s2.x", 9, 1));
+        let probes = sched.claim(&a, &b, sa, true);
+        assert_eq!(probes.len(), 1, "doubled side must re-probe");
+        assert!(sched
+            .run(probes.into_iter().next().expect("probe"))
+            .is_sat());
+        let ga = a.finalize().expect("finalize");
+        let gb = b.finalize().expect("finalize");
+        assert_eq!(sched.known_sat(&ga, &gb), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn equal_outputs_never_probed() {
+        let mut a = GroupBuilder::new("a", "t", TreeShape::Balanced);
+        let mut b = GroupBuilder::new("b", "t", TreeShape::Balanced);
+        let sched = CheckScheduler::new(SolverBudget::unlimited());
+        a.absorb(vec![false], rec("s3.x", 1, 1));
+        let sb = b.absorb(vec![false], rec("s3.x", 1, 1));
+        assert!(sched.claim(&a, &b, sb, false).is_empty());
+        assert_eq!(sched.probed_pairs(), 0);
+    }
+}

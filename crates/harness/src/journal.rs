@@ -534,21 +534,25 @@ fn outcome_tag(outcome: &PathOutcome) -> &'static str {
 /// One distinct normalized output, stored once and referenced by id from
 /// every path record that produced it. Most paths share few distinct
 /// outputs (the grouping premise), so this keeps the journal — and the
-/// per-path serialization cost — small.
-fn output_record(oid: u64, events: &[soft_openflow::TraceEvent]) -> Json {
-    Json::Object(vec![
-        ("rec".to_string(), Json::Str("output".to_string())),
-        ("oid".to_string(), Json::UInt(oid)),
-        (
-            "events".to_string(),
-            Json::Array(
-                events
-                    .iter()
-                    .map(|e| EventFile::from_event(e).to_json_value())
-                    .collect(),
-            ),
+/// per-path serialization cost — small. Session journals tag each record
+/// with the (agent, test) unit it belongs to; phase-1 journals hold one
+/// unit and carry no tag.
+fn output_record(unit: Option<u64>, oid: u64, events: &[soft_openflow::TraceEvent]) -> Json {
+    let mut fields = vec![("rec".to_string(), Json::Str("output".to_string()))];
+    if let Some(u) = unit {
+        fields.push(("unit".to_string(), Json::UInt(u)));
+    }
+    fields.push(("oid".to_string(), Json::UInt(oid)));
+    fields.push((
+        "events".to_string(),
+        Json::Array(
+            events
+                .iter()
+                .map(|e| EventFile::from_event(e).to_json_value())
+                .collect(),
         ),
-    ])
+    ));
+    Json::Object(fields)
 }
 
 fn parse_output_record(v: &Json) -> Result<(u64, Vec<EventFile>), String> {
@@ -566,20 +570,24 @@ fn parse_output_record(v: &Json) -> Result<(u64, Vec<EventFile>), String> {
 /// the path's `output` record; aborted paths carry no observable output
 /// (summarize drops them) and journal no reference.
 fn path_record(
+    unit: Option<u64>,
     origin: &[bool],
     result: &PathResult<soft_openflow::TraceEvent>,
     pending: &[(Vec<bool>, &str)],
     oid: Option<u64>,
 ) -> Json {
-    let mut fields = vec![
-        ("rec".to_string(), Json::Str("path".to_string())),
+    let mut fields = vec![("rec".to_string(), Json::Str("path".to_string()))];
+    if let Some(u) = unit {
+        fields.push(("unit".to_string(), Json::UInt(u)));
+    }
+    fields.extend([
         ("origin".to_string(), bits_out(origin)),
         ("decisions".to_string(), bits_out(&result.decisions)),
         (
             "outcome".to_string(),
             Json::Str(outcome_tag(&result.outcome).to_string()),
         ),
-    ];
+    ]);
     if let Some(oid) = oid {
         fields.push(("oid".to_string(), Json::UInt(oid)));
     }
@@ -684,24 +692,44 @@ struct SinkState {
 /// new) is appended immediately before the path record under one lock
 /// hold, so any surviving journal prefix resolves every reference. I/O
 /// failures are stashed (the sink trait is infallible) and surfaced
-/// after exploration.
-struct JournalSink {
+/// after exploration. One `SharedSink` backs either a single phase-1
+/// journal or every unit of a session journal (the output dedup table
+/// and oid counter are deliberately shared: units of one session often
+/// produce identical normalized outputs).
+struct SharedSink {
     state: Mutex<SinkState>,
     failed: Mutex<Option<io::Error>>,
 }
 
-impl JournalSink {
+impl SharedSink {
+    fn new(writer: JournalWriter, next_oid: u64) -> SharedSink {
+        SharedSink {
+            state: Mutex::new(SinkState {
+                writer,
+                outputs: HashMap::new(),
+                next_oid,
+            }),
+            failed: Mutex::new(None),
+        }
+    }
+
     fn stash(&self, e: io::Error) {
         let mut slot = recover(&self.failed);
         if slot.is_none() {
             *slot = Some(e);
         }
     }
-}
 
-impl PathSink<soft_openflow::TraceEvent> for JournalSink {
-    fn on_path(
+    fn append_json(&self, rec: &Json) {
+        let res = recover(&self.state).writer.append(rec);
+        if let Err(e) = res {
+            self.stash(e);
+        }
+    }
+
+    fn append_path(
         &self,
+        unit: Option<u64>,
         origin: &[bool],
         result: &PathResult<soft_openflow::TraceEvent>,
         pending: &[(Vec<bool>, &str)],
@@ -716,7 +744,7 @@ impl PathSink<soft_openflow::TraceEvent> for JournalSink {
             None => {
                 let oid = st.next_oid;
                 st.next_oid += 1;
-                let rec = output_record(oid, &ev);
+                let rec = output_record(unit, oid, &ev);
                 if let Err(e) = st.writer.append(&rec) {
                     self.stash(e);
                 }
@@ -724,10 +752,38 @@ impl PathSink<soft_openflow::TraceEvent> for JournalSink {
                 oid
             }
         });
-        let rec = path_record(origin, result, pending, oid);
+        let rec = path_record(unit, origin, result, pending, oid);
         if let Err(e) = st.writer.append(&rec) {
             self.stash(e);
         }
+    }
+
+    fn finish(&self) -> Result<(), JournalError> {
+        if let Some(e) = recover(&self.failed).take() {
+            return Err(JournalError::Io(e));
+        }
+        recover(&self.state)
+            .writer
+            .flush()
+            .map_err(JournalError::Io)
+    }
+}
+
+/// One unit's view of a [`SharedSink`]: tags every record with the unit
+/// index (or nothing, for single-unit phase-1 journals).
+struct RecordSink<'a> {
+    shared: &'a SharedSink,
+    unit: Option<u64>,
+}
+
+impl PathSink<soft_openflow::TraceEvent> for RecordSink<'_> {
+    fn on_path(
+        &self,
+        origin: &[bool],
+        result: &PathResult<soft_openflow::TraceEvent>,
+        pending: &[(Vec<bool>, &str)],
+    ) {
+        self.shared.append_path(self.unit, origin, result, pending);
     }
 }
 
@@ -779,6 +835,26 @@ fn validate_replay(
     Ok(())
 }
 
+/// Configurations whose explorations cannot be replayed deterministically
+/// are refused by every journaled entry point.
+fn check_resumable(cfg: &ExplorerConfig) -> Result<(), JournalError> {
+    if cfg.time_limit.is_some() {
+        return Err(JournalError::Unsupported(
+            "time-limited explorations replay non-deterministically; \
+             run without --time-limit or without a journal"
+                .to_string(),
+        ));
+    }
+    if cfg.max_paths.is_some() {
+        return Err(JournalError::Unsupported(
+            "max-paths-truncated explorations are not resumable; \
+             run without the path cap or without a journal"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
 /// [`crate::run_test`] with write-ahead journaling and resume.
 ///
 /// Fresh mode truncates (or creates) the journal, writes the header, and
@@ -796,20 +872,7 @@ pub fn run_test_durable(
     cfg: &ExplorerConfig,
     opts: &DurableRun<'_>,
 ) -> Result<TestRun, JournalError> {
-    if cfg.time_limit.is_some() {
-        return Err(JournalError::Unsupported(
-            "time-limited explorations replay non-deterministically; \
-             run without --time-limit or without a journal"
-                .to_string(),
-        ));
-    }
-    if cfg.max_paths.is_some() {
-        return Err(JournalError::Unsupported(
-            "max-paths-truncated explorations are not resumable; \
-             run without the path cap or without a journal"
-                .to_string(),
-        ));
-    }
+    check_resumable(cfg)?;
     let fp = phase1_fingerprint(agent, test, cfg);
     let header = phase1_header(agent, test, &fp);
     let (records, writer) = if opts.resume {
@@ -858,22 +921,13 @@ pub fn run_test_durable(
     // previously seen output under a fresh oid; that is redundant but
     // harmless, as long as fresh oids never collide with recovered ones.
     let next_oid = outputs.keys().next_back().map_or(0, |m| m + 1);
-    let sink = JournalSink {
-        state: Mutex::new(SinkState {
-            writer,
-            outputs: HashMap::new(),
-            next_oid,
-        }),
-        failed: Mutex::new(None),
+    let shared = SharedSink::new(writer, next_oid);
+    let sink = RecordSink {
+        shared: &shared,
+        unit: None,
     };
     let ex = explore_fn_seeded(cfg, agent_program(agent, test), seed_opt, Some(&sink));
-    if let Some(e) = recover(&sink.failed).take() {
-        return Err(JournalError::Io(e));
-    }
-    recover(&sink.state)
-        .writer
-        .flush()
-        .map_err(JournalError::Io)?;
+    shared.finish()?;
     validate_replay(&recorded, &ex.paths)?;
     Ok(summarize(agent, test, ex))
 }
@@ -964,12 +1018,21 @@ pub struct VerdictRec {
     pub budget: SolverBudget,
 }
 
-fn verdict_record(i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) -> Json {
-    let mut fields = vec![
-        ("rec".to_string(), Json::Str("verdict".to_string())),
+fn verdict_record(
+    t: Option<u64>,
+    i: usize,
+    j: usize,
+    verdict: &SatResult,
+    budget: &SolverBudget,
+) -> Json {
+    let mut fields = vec![("rec".to_string(), Json::Str("verdict".to_string()))];
+    if let Some(t) = t {
+        fields.push(("t".to_string(), Json::UInt(t)));
+    }
+    fields.extend([
         ("i".to_string(), Json::UInt(i as u64)),
         ("j".to_string(), Json::UInt(j as u64)),
-    ];
+    ]);
     match verdict {
         SatResult::Sat(model) => {
             let mut pairs: Vec<(&str, u64)> = model.iter().collect();
@@ -1072,7 +1135,7 @@ impl CheckJournal {
 
     /// Append one decided (or exhausted) verdict.
     pub fn record(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) {
-        let rec = verdict_record(i, j, verdict, budget);
+        let rec = verdict_record(None, i, j, verdict, budget);
         let res = recover(&self.writer).append(&rec);
         if let Err(e) = res {
             let mut slot = recover(&self.failed);
@@ -1090,6 +1153,309 @@ impl CheckJournal {
         }
         recover(&self.failed).take()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Session journals: one WAL covering the whole streaming pipeline.
+
+/// Identity of one streaming session: the agent pair, the test list, the
+/// exploration config, and the (opaque) crosscheck and distillation
+/// settings strings. Like [`phase1_fingerprint`], only process-stable
+/// scalars are hashed and worker counts are excluded — resuming at a
+/// different `--jobs` is supported. Artifact text is *not* part of the
+/// identity (the session produces the artifacts); replay validation
+/// guards against the agents or tests changing under the journal.
+pub fn session_fingerprint(
+    agent_a: AgentKind,
+    agent_b: AgentKind,
+    tests: &[TestCase],
+    cfg: &ExplorerConfig,
+    check_settings: &str,
+    distill_settings: &str,
+) -> String {
+    let mut parts: Vec<String> = vec![
+        "session".to_string(),
+        agent_a.id().to_string(),
+        agent_b.id().to_string(),
+        cfg.seed.to_string(),
+        format!("{:?}", cfg.strategy),
+        cfg.max_depth.to_string(),
+        budget_out(&cfg.solver_budget).to_string(),
+        check_settings.to_string(),
+        distill_settings.to_string(),
+    ];
+    for t in tests {
+        parts.push(t.id.to_string());
+        parts.push(t.inputs.len().to_string());
+    }
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    fnv64_hex(&refs)
+}
+
+/// Everything the journal recovered about one (agent, test) exploration
+/// unit of a session.
+#[derive(Default)]
+pub struct UnitRecovery {
+    recorded: BTreeMap<Vec<bool>, RecordedPath>,
+}
+
+impl UnitRecovery {
+    /// No paths were journaled for this unit (explore it from scratch).
+    pub fn is_empty(&self) -> bool {
+        self.recorded.is_empty()
+    }
+
+    /// Number of journaled paths.
+    pub fn path_count(&self) -> usize {
+        self.recorded.len()
+    }
+
+    /// Resume seed replaying the journaled paths and re-scheduling the
+    /// remaining frontier (see [`build_seed`]).
+    pub fn seed(&self) -> ResumeSeed {
+        build_seed(&self.recorded)
+    }
+
+    /// Cross-check the resumed exploration against the journal; any
+    /// divergence means the agent, test, or engine changed and resuming
+    /// would fabricate artifacts.
+    pub fn validate(
+        &self,
+        paths: &[PathResult<soft_openflow::TraceEvent>],
+    ) -> Result<(), JournalError> {
+        validate_replay(&self.recorded, paths)
+    }
+}
+
+/// A journaled distillation result for one test: the published corpus
+/// bytes plus the summary the CLI reported. On resume the corpus is
+/// republished verbatim instead of re-running crosscheck + distillation.
+#[derive(Debug, Clone)]
+pub struct CorpusRec {
+    /// The summary object journaled next to the corpus (counts, exit
+    /// severity — whatever the session chose to stash).
+    pub summary: Json,
+    /// The exact corpus artifact text.
+    pub data: String,
+}
+
+/// Everything a session journal recovered from its valid prefix: per-unit
+/// path records, per-test crosscheck verdicts (superseding rules are the
+/// caller's concern, as with [`CheckJournal`]), and per-test finished
+/// corpora.
+pub struct SessionRecovery {
+    /// One entry per exploration unit, in the caller's unit order.
+    pub units: Vec<UnitRecovery>,
+    /// Journaled verdicts per test, in journal order.
+    pub verdicts: Vec<Vec<VerdictRec>>,
+    /// Finished distillations per test (last record wins).
+    pub corpora: Vec<Option<CorpusRec>>,
+}
+
+/// Write-ahead journal covering a whole streaming session: path, output,
+/// verdict, and corpus records interleaved in one file. Thread-safe; I/O
+/// errors are stashed and surfaced via [`SessionJournal::take_error`].
+pub struct SessionJournal {
+    shared: SharedSink,
+}
+
+/// The unit indices a session journal will accept, fixed at open time so
+/// corrupt records cannot allocate unbounded recovery state.
+impl SessionJournal {
+    /// Open (or resume) a session journal for `n_units` exploration units
+    /// and `n_tests` tests. Returns the journal handle plus everything
+    /// recovered from an existing valid prefix (all-empty in fresh mode
+    /// or when the file is missing/empty).
+    pub fn open(
+        path: &Path,
+        resume: bool,
+        fsync: bool,
+        fingerprint: &str,
+        n_units: usize,
+        n_tests: usize,
+    ) -> Result<(SessionJournal, SessionRecovery), JournalError> {
+        let header = Json::Object(vec![
+            ("format".to_string(), Json::UInt(1)),
+            ("kind".to_string(), Json::Str("session".to_string())),
+            (
+                "fingerprint".to_string(),
+                Json::Str(fingerprint.to_string()),
+            ),
+        ]);
+        let (records, writer) = if resume {
+            open_resume(path, "session", fingerprint, &header, fsync)?
+        } else {
+            (Vec::new(), fresh_journal(path, &header, fsync)?)
+        };
+        let mut outputs: BTreeMap<u64, Arc<Vec<EventFile>>> = BTreeMap::new();
+        let mut recovery = SessionRecovery {
+            units: (0..n_units).map(|_| UnitRecovery::default()).collect(),
+            verdicts: vec![Vec::new(); n_tests],
+            corpora: vec![None; n_tests],
+        };
+        let unit_of = |r: &Json, bound: usize| -> Result<usize, JournalError> {
+            let u = r
+                .field("unit")
+                .and_then(Json::as_u64)
+                .map_err(JournalError::Corrupt)? as usize;
+            if u >= bound {
+                return Err(JournalError::Corrupt(format!(
+                    "record for unit {u} out of range (session has {bound})"
+                )));
+            }
+            Ok(u)
+        };
+        let test_of = |r: &Json, bound: usize| -> Result<usize, JournalError> {
+            let t = r
+                .field("t")
+                .and_then(Json::as_u64)
+                .map_err(JournalError::Corrupt)? as usize;
+            if t >= bound {
+                return Err(JournalError::Corrupt(format!(
+                    "record for test {t} out of range (session has {bound})"
+                )));
+            }
+            Ok(t)
+        };
+        for r in &records {
+            match r.field("rec").and_then(Json::as_str) {
+                Ok("output") => {
+                    let (oid, events) = parse_output_record(r).map_err(JournalError::Corrupt)?;
+                    outputs.insert(oid, Arc::new(events));
+                }
+                Ok("path") => {
+                    let unit = unit_of(r, n_units)?;
+                    let (decisions, rec) =
+                        parse_path_record(r, &outputs).map_err(JournalError::Corrupt)?;
+                    let recorded = &mut recovery.units[unit].recorded;
+                    if let Some(prev) = recorded.get(&decisions) {
+                        if *prev != rec {
+                            return Err(JournalError::Corrupt(format!(
+                                "unit {unit}: conflicting duplicate records for one \
+                                 decision sequence"
+                            )));
+                        }
+                        continue;
+                    }
+                    recorded.insert(decisions, rec);
+                }
+                Ok("verdict") => {
+                    let t = test_of(r, n_tests)?;
+                    let v = parse_verdict_record(r).map_err(JournalError::Corrupt)?;
+                    recovery.verdicts[t].push(v);
+                }
+                Ok("corpus") => {
+                    let t = test_of(r, n_tests)?;
+                    let summary = r.field("summary").map_err(JournalError::Corrupt)?.clone();
+                    let data = r
+                        .field("data")
+                        .and_then(Json::as_str)
+                        .map_err(JournalError::Corrupt)?
+                        .to_string();
+                    recovery.corpora[t] = Some(CorpusRec { summary, data });
+                }
+                Ok(other) => {
+                    return Err(JournalError::Corrupt(format!(
+                        "unknown record kind '{other}'"
+                    )));
+                }
+                Err(e) => return Err(JournalError::Corrupt(e)),
+            }
+        }
+        let next_oid = outputs.keys().next_back().map_or(0, |m| m + 1);
+        Ok((
+            SessionJournal {
+                shared: SharedSink::new(writer, next_oid),
+            },
+            recovery,
+        ))
+    }
+
+    /// The path sink for one exploration unit; hand it to the explorer
+    /// (possibly teed with a streaming sink). Replayed paths are ignored
+    /// — they are already on record.
+    pub fn unit_sink(&self, unit: usize) -> SessionUnitSink<'_> {
+        SessionUnitSink {
+            inner: RecordSink {
+                shared: &self.shared,
+                unit: Some(unit as u64),
+            },
+        }
+    }
+
+    /// Append one decided (or exhausted) crosscheck verdict for `test`.
+    pub fn record_verdict(
+        &self,
+        test: usize,
+        i: usize,
+        j: usize,
+        verdict: &SatResult,
+        budget: &SolverBudget,
+    ) {
+        let rec = verdict_record(Some(test as u64), i, j, verdict, budget);
+        self.shared.append_json(&rec);
+    }
+
+    /// Journal the finished distillation for `test`: the exact corpus
+    /// artifact text plus a summary object of the caller's choosing.
+    /// Written *after* the corpus artifact is published, so a journaled
+    /// corpus implies the test is fully done.
+    pub fn record_corpus(&self, test: usize, summary: &Json, data: &str) {
+        let rec = Json::Object(vec![
+            ("rec".to_string(), Json::Str("corpus".to_string())),
+            ("t".to_string(), Json::UInt(test as u64)),
+            ("summary".to_string(), summary.clone()),
+            ("data".to_string(), Json::Str(data.to_string())),
+        ]);
+        self.shared.append_json(&rec);
+    }
+
+    /// The first journaling I/O failure, if any occurred. Flushes any
+    /// buffered frames first; call at unit/test boundaries and once at
+    /// session end.
+    pub fn take_error(&self) -> Option<io::Error> {
+        match self.shared.finish() {
+            Err(JournalError::Io(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One unit's [`PathSink`] view of a [`SessionJournal`].
+pub struct SessionUnitSink<'a> {
+    inner: RecordSink<'a>,
+}
+
+impl PathSink<soft_openflow::TraceEvent> for SessionUnitSink<'_> {
+    fn on_path(
+        &self,
+        origin: &[bool],
+        result: &PathResult<soft_openflow::TraceEvent>,
+        pending: &[(Vec<bool>, &str)],
+    ) {
+        self.inner.on_path(origin, result, pending);
+    }
+}
+
+/// Explore one (agent, test) unit of a streaming session: seed from the
+/// recovered unit state (an empty recovery explores from scratch), emit
+/// every path — fresh or replayed — through `sink` (typically a tee of
+/// [`SessionJournal::unit_sink`] and a streaming consumer), validate the
+/// replay against the journal, and summarize. Byte-identical (modulo
+/// wall time) to [`run_test_durable`] for the same unit at any worker
+/// count.
+pub fn run_unit_durable(
+    agent: AgentKind,
+    test: &TestCase,
+    cfg: &ExplorerConfig,
+    recovery: &UnitRecovery,
+    sink: &dyn PathSink<soft_openflow::TraceEvent>,
+) -> Result<TestRun, JournalError> {
+    check_resumable(cfg)?;
+    let seed = recovery.seed();
+    let ex = explore_fn_seeded(cfg, agent_program(agent, test), Some(&seed), Some(sink));
+    recovery.validate(&ex.paths)?;
+    Ok(summarize(agent, test, ex))
 }
 
 #[cfg(test)]
@@ -1217,7 +1583,8 @@ mod tests {
             (SatResult::Unknown, SolverBudget::conflicts(1)),
         ];
         for (k, (verdict, budget)) in cases.iter().enumerate() {
-            let rec = parse_verdict_record(&verdict_record(k, k + 1, verdict, budget)).unwrap();
+            let rec =
+                parse_verdict_record(&verdict_record(None, k, k + 1, verdict, budget)).unwrap();
             assert_eq!(rec.i, k);
             assert_eq!(rec.j, k + 1);
             assert_eq!(rec.budget, *budget);
@@ -1441,6 +1808,77 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, JournalError::Mismatch(_)));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn session_journal_roundtrips_all_record_kinds() {
+        let tests = suite::table1_suite();
+        let test = &tests[0];
+        let cfg = ExplorerConfig::default();
+        let path = temp_path("session");
+        let fp = session_fingerprint(
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            std::slice::from_ref(test),
+            &cfg,
+            "budget=unlimited",
+            "seed=0;fuzz=0",
+        );
+        let (j, rec) = SessionJournal::open(&path, false, false, &fp, 2, 1).unwrap();
+        assert!(rec.units.iter().all(UnitRecovery::is_empty));
+        assert!(rec.verdicts[0].is_empty() && rec.corpora[0].is_none());
+        // Unit 0 explores through the journal; unit 1 stays untouched.
+        let sink = j.unit_sink(0);
+        let ex = explore_fn_seeded(
+            &cfg,
+            agent_program(AgentKind::Reference, test),
+            None,
+            Some(&sink),
+        );
+        j.record_verdict(0, 1, 2, &SatResult::Unsat, &SolverBudget::conflicts(10));
+        let summary = Json::Object(vec![("inconsistencies".to_string(), Json::UInt(3))]);
+        j.record_corpus(0, &summary, "{\"corpus\":true}");
+        assert!(j.take_error().is_none());
+        drop(j);
+        let (_j2, rec) = SessionJournal::open(&path, true, false, &fp, 2, 1).unwrap();
+        assert_eq!(rec.units[0].path_count(), ex.paths.len());
+        rec.units[0].validate(&ex.paths).unwrap();
+        assert!(rec.units[1].is_empty());
+        // A full unit's seed replays everything and leaves no frontier.
+        let seed = rec.units[0].seed();
+        assert_eq!(seed.replay.len(), ex.paths.len());
+        assert!(seed.frontier.is_empty());
+        assert_eq!(rec.verdicts[0].len(), 1);
+        assert!(rec.verdicts[0][0].verdict.is_unsat());
+        let corpus = rec.corpora[0].as_ref().expect("corpus recovered");
+        assert_eq!(corpus.data, "{\"corpus\":true}");
+        assert_eq!(
+            corpus.summary.field("inconsistencies").unwrap().as_u64(),
+            Ok(3)
+        );
+        // Wrong fingerprint refuses.
+        let err = match SessionJournal::open(&path, true, false, "0000000000000000", 2, 1) {
+            Ok(_) => panic!("foreign fingerprint accepted"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, JournalError::Mismatch(_)));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn session_journal_rejects_out_of_range_units_and_tests() {
+        let path = temp_path("session_range");
+        let fp = "00000000000000ab";
+        let (j, _) = SessionJournal::open(&path, false, false, fp, 1, 1).unwrap();
+        j.record_verdict(5, 0, 0, &SatResult::Unknown, &SolverBudget::conflicts(1));
+        assert!(j.take_error().is_none());
+        drop(j);
+        let err = match SessionJournal::open(&path, true, false, fp, 1, 1) {
+            Ok(_) => panic!("out-of-range test index accepted"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, JournalError::Corrupt(_)), "got {err}");
         fs::remove_file(&path).unwrap();
     }
 }

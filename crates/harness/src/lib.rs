@@ -21,8 +21,9 @@ pub mod wire;
 pub use input::{Input, TestCase};
 pub use journal::{
     atomic_write, check_fingerprint, phase1_fingerprint, run_matrix_durable, run_test_durable,
-    CheckJournal, DurableRun, JournalError, VerdictRec,
+    run_unit_durable, session_fingerprint, CheckJournal, CorpusRec, DurableRun, JournalError,
+    SessionJournal, SessionRecovery, SessionUnitSink, UnitRecovery, VerdictRec,
 };
 pub use recorded::{symbolize_frame, RecordedTrace, Symbolize};
-pub use runner::{run_matrix, run_test, ObservedOutput, PathRecord, TestRun};
+pub use runner::{record_path, run_matrix, run_test, ObservedOutput, PathRecord, TestRun};
 pub use wire::TestRunFile;

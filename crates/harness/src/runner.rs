@@ -215,26 +215,32 @@ pub(crate) fn degraded_run(agent: AgentKind, test: &TestCase) -> TestRun {
     }
 }
 
+/// Convert one explored path into the [`PathRecord`] the grouping phase
+/// consumes, or `None` for an engine-aborted path (aborted paths carry no
+/// externally-observable output and are dropped from artifacts). This is
+/// the single normalization point shared by the phased artifact writer
+/// and the streaming session's incremental grouper.
+pub fn record_path(p: &soft_sym::PathResult<TraceEvent>) -> Option<PathRecord> {
+    let crashed = match &p.outcome {
+        PathOutcome::Completed => false,
+        PathOutcome::Crashed(_) => true,
+        PathOutcome::Aborted(_) => return None,
+    };
+    let condition = p.condition_term();
+    let constraint_size = soft_smt::metrics::op_count(&condition);
+    Some(PathRecord {
+        condition,
+        constraint_size,
+        output: ObservedOutput {
+            events: normalize_trace(&p.trace),
+            crashed,
+        },
+    })
+}
+
 pub(crate) fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {
     let universe = agent.make().universe();
-    let mut paths = Vec::new();
-    for p in &ex.paths {
-        let crashed = match &p.outcome {
-            PathOutcome::Completed => false,
-            PathOutcome::Crashed(_) => true,
-            PathOutcome::Aborted(_) => continue,
-        };
-        let condition = p.condition_term();
-        let constraint_size = soft_smt::metrics::op_count(&condition);
-        paths.push(PathRecord {
-            condition,
-            constraint_size,
-            output: ObservedOutput {
-                events: normalize_trace(&p.trace),
-                crashed,
-            },
-        });
-    }
+    let paths: Vec<PathRecord> = ex.paths.iter().filter_map(record_path).collect();
     TestRun {
         agent: agent.id().to_string(),
         test: test.id.to_string(),

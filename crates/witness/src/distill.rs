@@ -144,10 +144,13 @@ fn evaluate(
     (oa != ob).then_some((oa, ob))
 }
 
-/// One witness through stages 1–4, before clustering. `outcome` is the
-/// replayed output pair for confirmed witnesses, or the refusal reason.
-struct Draft {
-    origin: Origin,
+/// One witness through stages 1–4 (model completion, wire validation,
+/// replay confirmation, minimization), before clustering. `outcome` is
+/// the replayed output pair for confirmed witnesses, or the refusal
+/// reason. A draft is a pure function of its inputs, so the streaming
+/// session computes drafts eagerly as Sat verdicts arrive and hands them
+/// to [`assemble`] later — byte-identical to batch [`distill`].
+pub struct WitnessDraft {
     inputs: Vec<ConcreteInput>,
     outcome: Result<(ObservedOutput, ObservedOutput), String>,
     replays: usize,
@@ -155,17 +158,28 @@ struct Draft {
     residual: usize,
 }
 
-fn unconfirmed(
+impl WitnessDraft {
+    /// The witness survived every confirmation stage.
+    pub fn is_confirmed(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// A draft tagged with where it came from (assembly stage only).
+struct Draft {
     origin: Origin,
+    inner: WitnessDraft,
+}
+
+fn unconfirmed(
     inputs: Vec<ConcreteInput>,
     free: &[Vec<usize>],
     reason: String,
     replays: usize,
-) -> Draft {
+) -> WitnessDraft {
     let free_bytes = free.iter().map(Vec::len).sum();
     let residual = residual_bytes(&inputs, free);
-    Draft {
-        origin,
+    WitnessDraft {
         inputs,
         outcome: Err(reason),
         replays,
@@ -174,18 +188,17 @@ fn unconfirmed(
     }
 }
 
-fn distill_one(
+/// Stages 1–4 for one inconsistency: complete the stored model, validate
+/// the wire format, confirm divergence by concrete replay on both agents,
+/// and minimize. Deterministic — independent of when or where it runs.
+pub fn draft_witness(
     test: &TestCase,
     inc: &Inconsistency,
-    index: usize,
     grouped_a: &GroupedResults,
     grouped_b: &GroupedResults,
     a: AgentKind,
     b: AgentKind,
-) -> Draft {
-    let origin = Origin::Distilled {
-        inconsistency: index,
-    };
+) -> WitnessDraft {
     let free = free_positions(test);
     let mut replays = 0;
 
@@ -208,7 +221,6 @@ fn distill_one(
         if !witness.eval_bool(ca) || !witness.eval_bool(cb) {
             let inputs = to_concrete(&concretize_inputs(test, &witness));
             return unconfirmed(
-                origin,
                 inputs,
                 &free,
                 "stored model does not satisfy the recorded path conditions".into(),
@@ -221,7 +233,6 @@ fn distill_one(
     // Stage 2: wire validation.
     if !wire_valid(&inputs) {
         return unconfirmed(
-            origin,
             inputs,
             &free,
             "witness is not valid OpenFlow 1.0 wire format (parse round-trip failed)".into(),
@@ -237,19 +248,18 @@ fn distill_one(
         Ok(o) => o,
         Err(e) => {
             let reason = format!("concrete replay of {} failed: {e}", a.id());
-            return unconfirmed(origin, inputs, &free, reason, replays);
+            return unconfirmed(inputs, &free, reason, replays);
         }
     };
     let ob = match run_concrete(b, &concrete) {
         Ok(o) => o,
         Err(e) => {
             let reason = format!("concrete replay of {} failed: {e}", b.id());
-            return unconfirmed(origin, inputs, &free, reason, replays);
+            return unconfirmed(inputs, &free, reason, replays);
         }
     };
     if oa == ob {
         return unconfirmed(
-            origin,
             inputs,
             &free,
             "replayed traces do not diverge".into(),
@@ -263,8 +273,7 @@ fn distill_one(
     })
     .expect("stage 3 confirmed the starting inputs diverge");
     let residual = residual_bytes(&minimized.inputs, &free);
-    Draft {
-        origin,
+    WitnessDraft {
         free_bytes: free.iter().map(Vec::len).sum(),
         residual,
         inputs: minimized.inputs,
@@ -289,18 +298,21 @@ fn fuzz_one(
         let Some(mutant) = mutate(parent_inputs, free, &mut rng) else {
             continue;
         };
+        let origin = Origin::Fuzzed {
+            parent: parent_index,
+            step,
+        };
         let mut replays = 0;
         if evaluate(a, b, &mutant, &mut replays).is_none() {
             out.push(Draft {
-                origin: Origin::Fuzzed {
-                    parent: parent_index,
-                    step,
+                origin,
+                inner: WitnessDraft {
+                    inputs: Vec::new(), // marker: not divergent, dropped later
+                    outcome: Err(String::new()),
+                    replays,
+                    free_bytes: 0,
+                    residual: 0,
                 },
-                inputs: Vec::new(), // marker: not divergent, dropped later
-                outcome: Err(String::new()),
-                replays,
-                free_bytes: 0,
-                residual: 0,
             });
             continue;
         }
@@ -309,15 +321,14 @@ fn fuzz_one(
         })
         .expect("the mutant was just confirmed divergent");
         out.push(Draft {
-            origin: Origin::Fuzzed {
-                parent: parent_index,
-                step,
+            origin,
+            inner: WitnessDraft {
+                free_bytes: free.iter().map(Vec::len).sum(),
+                residual: residual_bytes(&minimized.inputs, free),
+                inputs: minimized.inputs,
+                outcome: Ok((minimized.output_a, minimized.output_b)),
+                replays,
             },
-            free_bytes: free.iter().map(Vec::len).sum(),
-            residual: residual_bytes(&minimized.inputs, free),
-            inputs: minimized.inputs,
-            outcome: Ok((minimized.output_a, minimized.output_b)),
-            replays,
         })
     }
     out
@@ -337,23 +348,63 @@ pub fn distill(
     b: AgentKind,
     cfg: &DistillConfig,
 ) -> DistillReport {
-    // Stages 1–4, parallel per witness.
-    let drafts: Vec<Draft> = par_map(cfg.jobs, &result.inconsistencies, |i, inc| {
-        distill_one(test, inc, i, grouped_a, grouped_b, a, b)
+    let none = (0..result.inconsistencies.len()).map(|_| None).collect();
+    assemble(test, result, none, grouped_a, grouped_b, a, b, cfg)
+}
+
+/// Stages 5–6 plus corpus assembly over a mix of precomputed and missing
+/// drafts. `drafts[k]`, when present, must be the output of
+/// [`draft_witness`] for `result.inconsistencies[k]` — the streaming
+/// session supplies drafts it computed eagerly while verdicts arrived;
+/// `None` slots are drafted here (in parallel over `cfg.jobs`). The
+/// result is byte-identical however the drafts are split between the two
+/// sources.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble(
+    test: &TestCase,
+    result: &CrosscheckResult,
+    drafts: Vec<Option<WitnessDraft>>,
+    grouped_a: &GroupedResults,
+    grouped_b: &GroupedResults,
+    a: AgentKind,
+    b: AgentKind,
+    cfg: &DistillConfig,
+) -> DistillReport {
+    assert_eq!(
+        drafts.len(),
+        result.inconsistencies.len(),
+        "one draft slot per inconsistency"
+    );
+    // Stages 1–4 for the missing slots, parallel per witness.
+    let missing: Vec<usize> = (0..drafts.len()).filter(|&k| drafts[k].is_none()).collect();
+    let fresh: Vec<WitnessDraft> = par_map(cfg.jobs, &missing, |_, &k| {
+        draft_witness(test, &result.inconsistencies[k], grouped_a, grouped_b, a, b)
     });
+    let mut slots = drafts;
+    for (k, d) in missing.into_iter().zip(fresh) {
+        slots[k] = Some(d);
+    }
+    let drafts: Vec<Draft> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(k, d)| Draft {
+            origin: Origin::Distilled { inconsistency: k },
+            inner: d.expect("every slot filled above"),
+        })
+        .collect();
 
     // Stage 6, parallel per confirmed parent. The fuzzer mutates the
     // *minimized* witness: its neighborhood is the irreducible core, so
     // mutations probe the bytes that matter.
     let free = free_positions(test);
     let parents: Vec<usize> = (0..drafts.len())
-        .filter(|&i| drafts[i].outcome.is_ok())
+        .filter(|&i| drafts[i].inner.outcome.is_ok())
         .collect();
     let fuzz_results: Vec<Vec<Draft>> = par_map(cfg.jobs, &parents, |_, &p| {
         let Origin::Distilled { inconsistency } = drafts[p].origin else {
             unreachable!("parents are distilled drafts");
         };
-        fuzz_one(inconsistency, &drafts[p].inputs, &free, a, b, cfg)
+        fuzz_one(inconsistency, &drafts[p].inner.inputs, &free, a, b, cfg)
     });
 
     // Stage 5 + assembly, sequential and order-deterministic: distilled
@@ -372,7 +423,7 @@ pub fn distill(
         clusters: &mut Vec<(String, String)>,
         entries: &mut Vec<CorpusEntry>,
     ) {
-        let (status, kind, sig) = match &draft.outcome {
+        let (status, kind, sig) = match &draft.inner.outcome {
             Ok((oa, ob)) => {
                 let kind = classify_outputs(oa, ob).label().to_string();
                 let sig = format!("{} / {}", signature(oa), signature(ob));
@@ -394,9 +445,10 @@ pub fn distill(
                 String::new(),
             ),
         };
-        stats.free_bytes += draft.free_bytes;
-        stats.residual_bytes += draft.residual;
+        stats.free_bytes += draft.inner.free_bytes;
+        stats.residual_bytes += draft.inner.residual;
         let msg_types = draft
+            .inner
             .inputs
             .iter()
             .filter_map(|i| match i {
@@ -407,29 +459,29 @@ pub fn distill(
         entries.push(CorpusEntry {
             origin: draft.origin,
             status,
-            inputs: draft.inputs,
+            inputs: draft.inner.inputs,
             kind,
             signature: sig,
             msg_types,
-            free_bytes: draft.free_bytes,
-            residual_bytes: draft.residual,
+            free_bytes: draft.inner.free_bytes,
+            residual_bytes: draft.inner.residual,
         });
     }
 
     for draft in drafts {
-        stats.replays += draft.replays;
-        match draft.outcome {
+        stats.replays += draft.inner.replays;
+        match draft.inner.outcome {
             Ok(_) => stats.confirmed += 1,
             Err(_) => stats.unconfirmed += 1,
         }
         push(draft, &mut stats, &mut clusters, &mut entries);
     }
     for draft in fuzz_results.into_iter().flatten() {
-        stats.replays += draft.replays;
-        if draft.outcome.is_err() {
+        stats.replays += draft.inner.replays;
+        if draft.inner.outcome.is_err() {
             continue; // non-divergent mutant: not a witness, just spent replays
         }
-        if entries.iter().any(|e| e.inputs == draft.inputs) {
+        if entries.iter().any(|e| e.inputs == draft.inner.inputs) {
             continue; // rediscovered an existing witness
         }
         stats.fuzz_added += 1;
@@ -537,6 +589,60 @@ mod tests {
             "corpus must be byte-identical for any --jobs"
         );
         assert_eq!(base.stats, par.stats);
+    }
+
+    #[test]
+    fn precomputed_drafts_assemble_identically() {
+        // The streaming session drafts witnesses eagerly (out of band) and
+        // hands them to assemble; the corpus must be byte-identical to the
+        // batch pipeline no matter which slots were precomputed.
+        let soft = Soft::new();
+        let test = suite::queue_config();
+        let pair = soft
+            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+            .expect("pipeline");
+        let cfg = DistillConfig::default();
+        let batch = distill(
+            &test,
+            &pair.result,
+            &pair.grouped_a,
+            &pair.grouped_b,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            &cfg,
+        );
+        assert!(!pair.result.inconsistencies.is_empty(), "need a slot");
+        // Precompute every other draft; leave the rest to assemble.
+        let slots: Vec<Option<WitnessDraft>> = pair
+            .result
+            .inconsistencies
+            .iter()
+            .enumerate()
+            .map(|(k, inc)| {
+                (k % 2 == 0).then(|| {
+                    draft_witness(
+                        &test,
+                        inc,
+                        &pair.grouped_a,
+                        &pair.grouped_b,
+                        AgentKind::Reference,
+                        AgentKind::OpenVSwitch,
+                    )
+                })
+            })
+            .collect();
+        let mixed = assemble(
+            &test,
+            &pair.result,
+            slots,
+            &pair.grouped_a,
+            &pair.grouped_b,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            &cfg,
+        );
+        assert_eq!(batch.corpus.to_json_string(), mixed.corpus.to_json_string());
+        assert_eq!(batch.stats, mixed.stats);
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod rng;
 
 pub use corpus::{ClusterSummary, ConcreteInput, Corpus, CorpusEntry, Origin, Status};
 pub use distill::{
-    distill, reproduce_corpus, DistillConfig, DistillReport, DistillStats, DEFAULT_SEED,
+    assemble, distill, draft_witness, reproduce_corpus, DistillConfig, DistillReport, DistillStats,
+    WitnessDraft, DEFAULT_SEED,
 };
 pub use minimize::{free_positions, minimize, residual_bytes, Minimized};
 pub use rng::{stream_seed, SplitMix64};

@@ -1,0 +1,335 @@
+//! Streaming-vs-phased pipeline benchmark.
+//!
+//! Times the full SOFT workflow both ways over the same test list: the
+//! phased sequence the batch subcommands run (`phase1` for each agent,
+//! then `check`, then `distill` — the latter re-deriving the crosscheck
+//! from the artifacts, exactly like the CLI), and the streaming
+//! `soft run` session that overlaps exploration with grouping and
+//! crosschecking and solves every pair once. The streaming target is a
+//! ≥ 1.3x wall-clock win at `--jobs 8`; the benchmark also verifies the
+//! two flows publish byte-identical artifacts (modulo recorded
+//! wall-clock), so the speedup is never bought with drift.
+//!
+//! Usage: bench_pipeline [--test <id|interop|all|a,b,c>] [--jobs N]
+//!                       [--fuzz N] [--reps N] [--out FILE]
+//!
+//! The default `interop` suite covers every interoperability test whose
+//! end-to-end crosscheck completes in seconds. `all` adds the flow-mod
+//! family and the Table-5 concretization ablations for offline soak
+//! runs — a single `flow_mod` crosscheck runs for tens of minutes (and
+//! the phased flow needs it twice), and `abl_fully_symbolic`
+//! path-explodes by design (~76k paths / 700 MB artifact on the
+//! reference side alone).
+
+use soft::core::{crosscheck, CrosscheckConfig};
+use soft::harness::{atomic_write, run_test, suite, TestCase, TestRunFile};
+use soft::smt::SolverBudget;
+use soft::sym::ExplorerConfig;
+use soft::witness::{distill, DistillConfig, DEFAULT_SEED};
+use soft::{run_session, AgentKind, SessionConfig, Soft};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    samples[samples.len() / 2]
+}
+
+fn timed<F: FnOnce()>(f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// The full catalog in the CLI's `--test all` order.
+fn all_tests() -> Vec<TestCase> {
+    let mut tests = suite::table1_suite();
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+    tests.extend(suite::ablation::table5_suite());
+    tests
+}
+
+/// The default bench suite: interoperability tests with tractable
+/// crosschecks (see the module docs for what `all` adds and why it is
+/// not the default).
+fn interop_tests() -> Vec<TestCase> {
+    const HEAVY: [&str; 2] = ["flow_mod", "eth_flow_mod"];
+    let mut tests: Vec<TestCase> = suite::table1_suite()
+        .into_iter()
+        .filter(|t| !HEAVY.contains(&t.id))
+        .collect();
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+    tests
+}
+
+/// Zero the one artifact field allowed to differ between the two flows.
+fn normalize_wall(text: &str) -> String {
+    let Some(at) = text.find("\"wall_ms\":") else {
+        return text.to_string();
+    };
+    let tail = &text[at + "\"wall_ms\":".len()..];
+    let skip = tail
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == ' ')
+        .count();
+    format!("{}\"wall_ms\": 0{}", &text[..at], &tail[skip..])
+}
+
+/// The phased flow, CLI-faithful at the library level: explore and
+/// publish both artifacts, then `check` (parse + group + crosscheck),
+/// then `distill` (parse + group + crosscheck *again* + distill) — the
+/// batch commands communicate only through artifacts, so the crosscheck
+/// work is genuinely done twice.
+fn phased_flow(
+    tests: &[TestCase],
+    jobs: usize,
+    seed: u64,
+    fuzz: usize,
+    dir: &Path,
+) -> Result<(), String> {
+    let explorer = ExplorerConfig {
+        solver_budget: SolverBudget::unlimited(),
+        workers: jobs.max(1),
+        seed,
+        ..ExplorerConfig::default()
+    };
+    let check_cfg = CrosscheckConfig {
+        solver_budget: SolverBudget::unlimited(),
+        jobs: jobs.max(1),
+        ..CrosscheckConfig::default()
+    };
+    let distill_cfg = DistillConfig {
+        jobs: jobs.max(1),
+        seed,
+        fuzz_tries: fuzz,
+    };
+    // phase1: one artifact per agent/test.
+    for test in tests {
+        for agent in [AgentKind::Reference, AgentKind::OpenVSwitch] {
+            let run = run_test(agent, test, &explorer);
+            let path = dir.join(format!("{}_{}.json", run.agent, run.test));
+            let text = TestRunFile::from_run(&run).to_json();
+            atomic_write(&path, text.as_bytes(), false)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+    }
+    let soft = Soft::new();
+    let load = |agent: &str, test: &str| -> Result<_, String> {
+        let path = dir.join(format!("{agent}_{test}.json"));
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let parsed =
+            TestRunFile::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        soft.group_artifact(&parsed)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    };
+    for test in tests {
+        // check: parse both artifacts, group, crosscheck.
+        let ga = load("reference", test.id)?;
+        let gb = load("ovs", test.id)?;
+        let _ = crosscheck(&ga, &gb, &check_cfg);
+        // distill: a separate command — it re-reads the artifacts and
+        // re-derives the crosscheck before distilling.
+        let ga = load("reference", test.id)?;
+        let gb = load("ovs", test.id)?;
+        let result = crosscheck(&ga, &gb, &check_cfg);
+        let report = distill(
+            test,
+            &result,
+            &ga,
+            &gb,
+            AgentKind::Reference,
+            AgentKind::OpenVSwitch,
+            &distill_cfg,
+        );
+        let path = dir.join(format!("corpus_{}.json", test.id));
+        atomic_write(&path, report.corpus.to_json_string().as_bytes(), false)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// The streaming flow: one `run_session` over the same tests.
+fn streaming_flow(
+    tests: &[TestCase],
+    jobs: usize,
+    seed: u64,
+    fuzz: usize,
+    dir: &Path,
+) -> Result<(), String> {
+    let cfg = SessionConfig {
+        agent_a: AgentKind::Reference,
+        agent_b: AgentKind::OpenVSwitch,
+        tests: tests.to_vec(),
+        jobs,
+        seed,
+        solver_budget: SolverBudget::unlimited(),
+        retry_rungs: 0,
+        fuzz_tries: fuzz,
+        out_prefix: format!("{}/", dir.display()),
+        journal: None,
+        resume: false,
+        fsync: false,
+    };
+    run_session(&cfg).map(|_| ())
+}
+
+/// Compare the two output directories: artifacts modulo wall-clock,
+/// corpora byte-for-byte.
+fn verify_identical(tests: &[TestCase], phased: &Path, streaming: &Path) -> Result<(), String> {
+    let read = |dir: &Path, name: &str| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(name)).map_err(|e| format!("read {name}: {e}"))
+    };
+    for test in tests {
+        for agent in ["reference", "ovs"] {
+            let name = format!("{agent}_{}.json", test.id);
+            if normalize_wall(&read(phased, &name)?) != normalize_wall(&read(streaming, &name)?) {
+                return Err(format!("artifact {name} differs between flows"));
+            }
+        }
+        let name = format!("corpus_{}.json", test.id);
+        if read(phased, &name)? != read(streaming, &name)? {
+            return Err(format!("corpus {name} differs between flows"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_arg = flag_value(&args, "--test").unwrap_or_else(|| "interop".to_string());
+    let jobs: usize = match flag_value(&args, "--jobs").as_deref() {
+        None => 8,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bench_pipeline: --jobs must be a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let fuzz: usize = match flag_value(&args, "--fuzz").as_deref() {
+        None => 4,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            _ => {
+                eprintln!("bench_pipeline: --fuzz must be a mutation count");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let reps: usize = match flag_value(&args, "--reps").as_deref() {
+        None => 1,
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bench_pipeline: --reps must be a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let tests: Vec<TestCase> = if test_arg == "all" {
+        all_tests()
+    } else if test_arg == "interop" {
+        interop_tests()
+    } else {
+        let catalog = all_tests();
+        let mut picked = Vec::new();
+        for id in test_arg.split(',') {
+            match catalog.iter().find(|t| t.id == id) {
+                Some(t) => picked.push(t.clone()),
+                None => {
+                    eprintln!("bench_pipeline: unknown --test '{id}' (see `soft tests`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+    let seed = DEFAULT_SEED;
+
+    let base = std::env::temp_dir().join(format!("soft_bench_pipeline_{}", std::process::id()));
+    let phased_dir: PathBuf = base.join("phased");
+    let streaming_dir: PathBuf = base.join("streaming");
+    for d in [&phased_dir, &streaming_dir] {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("bench_pipeline: cannot create {}: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "bench_pipeline: {} test(s), jobs {jobs}, fuzz {fuzz}, {reps} rep(s) per flow",
+        tests.len()
+    );
+
+    // Interleave the two flows within each round so clock-speed drift
+    // during the benchmark biases neither.
+    let (mut phased_samples, mut streaming_samples) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        let mut failed = None;
+        phased_samples.push(timed(|| {
+            failed = phased_flow(&tests, jobs, seed, fuzz, &phased_dir).err();
+        }));
+        if let Some(e) = failed {
+            eprintln!("bench_pipeline: phased flow: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut failed = None;
+        streaming_samples.push(timed(|| {
+            failed = streaming_flow(&tests, jobs, seed, fuzz, &streaming_dir).err();
+        }));
+        if let Some(e) = failed {
+            eprintln!("bench_pipeline: streaming flow: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench_pipeline: rep {}: phased {:.0} ms, streaming {:.0} ms",
+            rep + 1,
+            phased_samples[rep],
+            streaming_samples[rep]
+        );
+    }
+    if let Err(e) = verify_identical(&tests, &phased_dir, &streaming_dir) {
+        eprintln!("bench_pipeline: {e}");
+        return ExitCode::FAILURE;
+    }
+    let phased_ms = median_ms(&mut phased_samples);
+    let streaming_ms = median_ms(&mut streaming_samples);
+    let _ = std::fs::remove_dir_all(&base);
+
+    let speedup = phased_ms / streaming_ms;
+    let within_target = speedup >= 1.3;
+    let test_list = tests
+        .iter()
+        .map(|t| format!("\"{}\"", t.id))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"tests\": [{test_list}],\n  \"jobs\": {jobs},\n  \"fuzz\": {fuzz},\n  \"reps\": {reps},\n  \"phased_ms\": {phased_ms:.3},\n  \"streaming_ms\": {streaming_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 1.3,\n  \"within_target\": {within_target},\n  \"artifacts_identical\": true\n}}\n"
+    );
+    if let Err(e) = atomic_write(Path::new(&out), json.as_bytes(), true) {
+        eprintln!("bench_pipeline: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{out}: streaming {streaming_ms:.0} ms vs phased {phased_ms:.0} ms = {speedup:.2}x speedup (target 1.3x)"
+    );
+    if within_target {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_pipeline: speedup below the 1.3x target");
+        ExitCode::from(2)
+    }
+}

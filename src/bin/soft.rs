@@ -29,7 +29,7 @@ use soft::smt::{SatResult, SolverBudget};
 use soft::witness::{
     distill, reproduce_corpus, Corpus, CorpusEntry, DistillConfig, Status, DEFAULT_SEED,
 };
-use soft::AgentKind;
+use soft::{run_session, AgentKind, SessionConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -68,7 +68,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: phase1, check and distill write a write-ahead journal next to\ntheir output (<out>.wal / <a>.check.wal unless --journal overrides) and\npublish artifacts atomically; --resume continues an interrupted run from\nthe journal, producing byte-identical artifacts for any --jobs value.\n--no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -169,6 +169,38 @@ fn journal_flags(args: &[String]) -> Result<JournalFlags, String> {
     })
 }
 
+/// The flags shared across the pipeline commands, parsed in one place so
+/// every command validates them identically and reports errors with a
+/// uniform `<cmd>: <message>` prefix. Commands read the subset their
+/// usage line documents; the rest parse to their defaults.
+struct CommonArgs {
+    jobs: usize,
+    budget: SolverBudget,
+    seed: u64,
+    fuzz: usize,
+    retry_rungs: u32,
+    journal: JournalFlags,
+}
+
+/// Parse the shared flags, or print `<cmd>: <error>` plus the usage text
+/// and return the usage exit code.
+fn common_args(cmd: &str, args: &[String]) -> Result<CommonArgs, ExitCode> {
+    let parsed = (|| {
+        Ok(CommonArgs {
+            jobs: jobs_flag(args)?,
+            budget: budget_flag(args)?,
+            seed: seed_flag(args)?,
+            fuzz: fuzz_flag(args)?,
+            retry_rungs: retry_flag(args)?,
+            journal: journal_flags(args)?,
+        })
+    })();
+    parsed.map_err(|e: String| {
+        eprintln!("{cmd}: {e}");
+        usage()
+    })
+}
+
 fn cmd_tests() -> ExitCode {
     println!("{:<20} {:<4} description", "id", "#in");
     for t in all_tests() {
@@ -178,34 +210,11 @@ fn cmd_tests() -> ExitCode {
 }
 
 fn cmd_phase1(args: &[String]) -> ExitCode {
-    let jobs = match jobs_flag(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("phase1: {e}");
-            return usage();
-        }
+    let common = match common_args("phase1", args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
-    let budget = match budget_flag(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("phase1: {e}");
-            return usage();
-        }
-    };
-    let journal = match journal_flags(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("phase1: {e}");
-            return usage();
-        }
-    };
-    let seed = match seed_flag(args) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("phase1: {e}");
-            return usage();
-        }
-    };
+    let (jobs, budget, seed, journal) = (common.jobs, common.budget, common.seed, common.journal);
     let agent_arg = flag_value(args, "--agent");
     let test_arg = flag_value(args, "--test");
     let Some(out) = flag_value(args, "--out") else {
@@ -330,7 +339,7 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
             .map(Ok)
             .collect()
     };
-    let mut truncated = 0usize;
+    let mut truncated: Vec<String> = Vec::new();
     let mut failed = 0usize;
     for run in &runs {
         let run = match run {
@@ -352,7 +361,7 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         if run.stats.truncated {
-            truncated += 1;
+            truncated.push(format!("{}/{}", run.agent, run.test));
         }
         println!("{path}");
     }
@@ -360,11 +369,115 @@ fn cmd_phase1(args: &[String]) -> ExitCode {
         eprintln!("phase1: {failed} combination(s) failed to journal or resume");
         return ExitCode::FAILURE;
     }
-    if truncated > 0 {
-        eprintln!("phase1: {truncated} run(s) truncated — artifacts cover part of the input space");
+    if !truncated.is_empty() {
+        eprintln!(
+            "phase1: {} run(s) truncated ({}) — artifacts cover part of the input space",
+            truncated.len(),
+            truncated.join(", ")
+        );
         return ExitCode::from(EXIT_TRUNCATED);
     }
     ExitCode::SUCCESS
+}
+
+/// The streaming pipeline: phase1 + check + distill for one agent pair,
+/// as a single session. Publishes the same artifacts the phased commands
+/// would (byte-identical modulo recorded wall-clock), under one journal.
+fn cmd_run(args: &[String]) -> ExitCode {
+    let common = match common_args("run", args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let Some(agents_arg) = flag_value(args, "--agents") else {
+        eprintln!("run: missing --agents (e.g. --agents reference,ovs)");
+        return usage();
+    };
+    let parts: Vec<&str> = agents_arg.split(',').collect();
+    if parts.len() != 2 {
+        eprintln!("run: --agents takes exactly two comma-separated agents, got '{agents_arg}'");
+        return usage();
+    }
+    let (Some(agent_a), Some(agent_b)) = (parse_agent(parts[0]), parse_agent(parts[1])) else {
+        eprintln!("run: unknown agent in --agents '{agents_arg}'");
+        return usage();
+    };
+    let tests: Vec<TestCase> = match flag_value(args, "--test").as_deref() {
+        Some("all") => all_tests(),
+        Some(t) => match find_test(t) {
+            Some(tc) => vec![tc],
+            None => {
+                eprintln!("run: unknown --test '{t}' (see `soft tests`)");
+                return usage();
+            }
+        },
+        None => {
+            eprintln!("run: missing --test");
+            return usage();
+        }
+    };
+    let out = flag_value(args, "--out").unwrap_or_default();
+    let cfg = SessionConfig {
+        agent_a,
+        agent_b,
+        tests,
+        jobs: common.jobs,
+        seed: common.seed,
+        solver_budget: common.budget,
+        retry_rungs: common.retry_rungs,
+        fuzz_tries: common.fuzz,
+        out_prefix: out.clone(),
+        journal: common.journal.enabled.then(|| {
+            PathBuf::from(
+                common
+                    .journal
+                    .path
+                    .clone()
+                    .unwrap_or_else(|| format!("{out}session.wal")),
+            )
+        }),
+        resume: common.journal.resume,
+        fsync: common.journal.fsync,
+    };
+    eprintln!(
+        "streaming {} vs {} through {} test(s) with {} job(s) ...",
+        agent_a.id(),
+        agent_b.id(),
+        cfg.tests.len(),
+        cfg.jobs
+    );
+    let report = match run_session(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for o in &report.outcomes {
+        println!(
+            "{}: {}+{} paths, {} inconsistencies, {} unverified, {} confirmed witness(es) in {} cluster(s) -> {}{}",
+            o.test,
+            o.paths_a,
+            o.paths_b,
+            o.inconsistencies,
+            o.unverified,
+            o.confirmed,
+            o.clusters,
+            o.corpus_path.display(),
+            if o.replayed { " (resumed)" } else { "" }
+        );
+    }
+    if report.truncated() {
+        eprintln!("run: exploration truncated — artifacts cover part of the input space");
+    }
+    if report.inconsistencies() > 0 {
+        ExitCode::from(EXIT_INCONSISTENT)
+    } else if report.unverified() > 0 {
+        ExitCode::from(EXIT_UNVERIFIED)
+    } else if report.truncated() {
+        ExitCode::from(EXIT_TRUNCATED)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn load_artifact(path: &str) -> Result<TestRunFile, String> {
@@ -470,6 +583,7 @@ fn positional(args: &[String]) -> Vec<&String> {
     while i < args.len() {
         if args[i] == "--jobs"
             || args[i] == "--agent"
+            || args[i] == "--agents"
             || args[i] == "--test"
             || args[i] == "--out"
             || args[i] == "--solver-budget"
@@ -510,42 +624,20 @@ fn verdict_exit_code(
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
-    let jobs = match jobs_flag(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("check: {e}");
-            return usage();
-        }
+    let common = match common_args("check", args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
-    let budget = match budget_flag(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("check: {e}");
-            return usage();
-        }
-    };
-    let retry_rungs = match retry_flag(args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("check: {e}");
-            return usage();
-        }
-    };
-    let journal = match journal_flags(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("check: {e}");
-            return usage();
-        }
-    };
+    let journal = common.journal;
     let paths = positional(args);
     if paths.len() != 2 {
+        eprintln!("check: expected exactly two artifacts, got {}", paths.len());
         return usage();
     }
     let opts = CheckOpts {
-        jobs,
-        budget,
-        retry_rungs,
+        jobs: common.jobs,
+        budget: common.budget,
+        retry_rungs: common.retry_rungs,
         journal: journal.enabled.then(|| {
             PathBuf::from(
                 journal
@@ -636,29 +728,17 @@ fn witness_json(entry: &CorpusEntry) -> Json {
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {
-    let budget = match budget_flag(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("report: {e}");
-            return usage();
-        }
+    let common = match common_args("report", args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
-    let retry_rungs = match retry_flag(args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("report: {e}");
-            return usage();
-        }
-    };
-    let seed = match seed_flag(args) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("report: {e}");
-            return usage();
-        }
-    };
+    let seed = common.seed;
     let paths = positional(args);
     if paths.len() != 2 {
+        eprintln!(
+            "report: expected exactly two artifacts, got {}",
+            paths.len()
+        );
         return usage();
     }
     let do_replay = args.iter().any(|a| a == "--replay");
@@ -666,8 +746,8 @@ fn cmd_report(args: &[String]) -> ExitCode {
     // never journals.
     let opts = CheckOpts {
         jobs: 1,
-        budget,
-        retry_rungs,
+        budget: common.budget,
+        retry_rungs: common.retry_rungs,
         journal: None,
         resume: false,
         fsync: true,
@@ -839,60 +919,27 @@ fn cmd_report(args: &[String]) -> ExitCode {
 }
 
 fn cmd_distill(args: &[String]) -> ExitCode {
-    let jobs = match jobs_flag(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("distill: {e}");
-            return usage();
-        }
+    let common = match common_args("distill", args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
-    let budget = match budget_flag(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("distill: {e}");
-            return usage();
-        }
-    };
-    let retry_rungs = match retry_flag(args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("distill: {e}");
-            return usage();
-        }
-    };
-    let journal = match journal_flags(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("distill: {e}");
-            return usage();
-        }
-    };
-    let seed = match seed_flag(args) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("distill: {e}");
-            return usage();
-        }
-    };
-    let fuzz_tries = match fuzz_flag(args) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("distill: {e}");
-            return usage();
-        }
-    };
+    let (jobs, seed, fuzz_tries, journal) = (common.jobs, common.seed, common.fuzz, common.journal);
     let Some(out) = flag_value(args, "--out") else {
         eprintln!("distill: missing --out");
         return usage();
     };
     let paths = positional(args);
     if paths.len() != 2 {
+        eprintln!(
+            "distill: expected exactly two artifacts, got {}",
+            paths.len()
+        );
         return usage();
     }
     let opts = CheckOpts {
         jobs,
-        budget,
-        retry_rungs,
+        budget: common.budget,
+        retry_rungs: common.retry_rungs,
         journal: journal.enabled.then(|| {
             PathBuf::from(
                 journal
@@ -965,15 +1012,17 @@ fn cmd_distill(args: &[String]) -> ExitCode {
 }
 
 fn cmd_repro(args: &[String]) -> ExitCode {
-    let jobs = match jobs_flag(args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("repro: {e}");
-            return usage();
-        }
+    let common = match common_args("repro", args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
+    let jobs = common.jobs;
     let paths = positional(args);
     if paths.len() != 1 {
+        eprintln!(
+            "repro: expected exactly one corpus file, got {}",
+            paths.len()
+        );
         return usage();
     }
     let corpus = match Corpus::load(Path::new(paths[0])) {
@@ -1024,6 +1073,10 @@ fn cmd_repro(args: &[String]) -> ExitCode {
 fn cmd_regress(args: &[String]) -> ExitCode {
     let paths = positional(args);
     if paths.len() != 2 {
+        eprintln!(
+            "regress: expected exactly two artifacts, got {}",
+            paths.len()
+        );
         return usage();
     }
     let (fa, fb) = match (load_artifact(paths[0]), load_artifact(paths[1])) {
@@ -1076,6 +1129,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("tests") => cmd_tests(),
+        Some("run") => cmd_run(&args[1..]),
         Some("phase1") => cmd_phase1(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("report") => cmd_report(&args[1..]),

@@ -8,6 +8,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod session;
+
+pub use session::{run_session, SessionConfig, SessionReport, TestOutcome};
+
 pub use soft_agents as agents;
 pub use soft_core as core;
 pub use soft_dataplane as dataplane;

@@ -1,0 +1,600 @@
+//! The streaming session pipeline (`soft run`).
+//!
+//! The phased CLI runs SOFT as four barriers: explore everything, group
+//! everything, crosscheck everything, distill everything. Each phase
+//! leaves most of the machine idle — the solver waits for the explorer,
+//! the replayer waits for the solver. A [`run_session`] call instead
+//! wires the phases into one pipeline per test:
+//!
+//! - explorer workers emit completed paths through bounded
+//!   [`StreamSink`] channels while they run;
+//! - consumer threads absorb each path into an incremental
+//!   [`GroupBuilder`] and hand freshly grown group pairs to the eager
+//!   [`CheckScheduler`], whose advisory probes warm the verdict cache
+//!   and collect known-Sat hints while exploration is still producing;
+//! - the canonical crosscheck pass re-derives every verdict from
+//!   full-group queries (probe verdicts are never published), solving
+//!   the known-Sat pairs first so eager witness drafting starts on real
+//!   inconsistencies immediately;
+//! - witness distillation drafts begin per Sat verdict via
+//!   [`VerdictSink::on_decided`], and the final corpus is assembled from
+//!   the drafts once the pass completes.
+//!
+//! **Determinism invariant**: for the same seed and inputs the session
+//! publishes byte-identical artifacts (modulo recorded wall-clock) to
+//! the phased flow, at any `--jobs`. Eager work only ever *accelerates*
+//! the canonical result: probes are advisory, drafts are pure functions
+//! of the canonical verdicts, and all published verdicts are merged in
+//! canonical pair order.
+//!
+//! One [`SessionJournal`] write-ahead log covers the whole session —
+//! path, verdict, and corpus records interleaved — so `--resume`
+//! restarts mid-pipeline: finished tests republish their journaled
+//! corpus verbatim, finished paths replay concretely, decided verdicts
+//! seed the crosscheck, and only the genuinely unfinished work re-runs.
+
+use soft_agents::AgentKind;
+use soft_core::{
+    crosscheck_hooked, CheckHooks, CheckScheduler, CheckSeeds, CrosscheckConfig, GroupBuilder,
+    GroupedResults, Inconsistency, Probe, Soft, TreeShape, VerdictSink,
+};
+use soft_harness::journal::{
+    atomic_write, run_unit_durable, session_fingerprint, SessionJournal, SessionRecovery,
+    UnitRecovery,
+};
+use soft_harness::json::Json;
+use soft_harness::{record_path, TestCase, TestRun, TestRunFile};
+use soft_openflow::TraceEvent;
+use soft_smt::{SatResult, SolverBudget};
+use soft_sym::{ExplorerConfig, StreamSink, StreamedPath, TeeSink};
+use soft_witness::{assemble, draft_witness, DistillConfig, WitnessDraft};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Recover the guarded data even if a sibling worker panicked while
+/// holding the lock; all session state is mutated field-wise, so a
+/// poisoned lock still guards usable state.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// In-flight bound of each explorer→consumer path channel. Small enough
+/// to backpressure a runaway explorer, large enough that grouping (cheap)
+/// never stalls exploration (expensive).
+const STREAM_CAPACITY: usize = 256;
+
+/// Everything `soft run` needs to know; one value drives the whole
+/// multi-test session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// First agent under test.
+    pub agent_a: AgentKind,
+    /// Second agent under test.
+    pub agent_b: AgentKind,
+    /// Tests to run, in order.
+    pub tests: Vec<TestCase>,
+    /// Total worker threads, split across exploration, probing, and the
+    /// crosscheck/distill phases. Results are identical for any value.
+    pub jobs: usize,
+    /// PRNG seed (exploration strategy + witness fuzzer).
+    pub seed: u64,
+    /// Per-query solver budget for every phase.
+    pub solver_budget: SolverBudget,
+    /// Budget-escalation retry rungs for Unknown crosscheck verdicts.
+    pub retry_rungs: u32,
+    /// Fuzz mutations per confirmed witness (0 disables).
+    pub fuzz_tries: usize,
+    /// Prefix for published artifacts: `{prefix}{agent}_{test}.json` and
+    /// `{prefix}corpus_{test}.json`.
+    pub out_prefix: String,
+    /// Session write-ahead journal path (`None` disables durability).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of truncating it.
+    pub resume: bool,
+    /// Fsync journal appends and artifact publishes.
+    pub fsync: bool,
+}
+
+/// What one test produced, for CLI reporting and exit-code policy.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Test identifier.
+    pub test: String,
+    /// Effective paths explored for agent A.
+    pub paths_a: usize,
+    /// Effective paths explored for agent B.
+    pub paths_b: usize,
+    /// Either side's exploration was truncated by budget limits.
+    pub truncated: bool,
+    /// Crosscheck inconsistencies found.
+    pub inconsistencies: usize,
+    /// Pairs left Unknown after all retry rungs.
+    pub unverified: usize,
+    /// Witnesses confirmed by concrete replay.
+    pub confirmed: usize,
+    /// Distinct root-cause clusters among confirmed witnesses.
+    pub clusters: usize,
+    /// Divergent fuzz mutants added to the corpus.
+    pub fuzz_added: usize,
+    /// Where the witness corpus was published.
+    pub corpus_path: PathBuf,
+    /// The corpus was republished verbatim from the journal (the test
+    /// had already finished before a resume).
+    pub replayed: bool,
+}
+
+/// The session's aggregate result, one outcome per test.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Per-test outcomes, in the configured test order.
+    pub outcomes: Vec<TestOutcome>,
+}
+
+impl SessionReport {
+    /// Total inconsistencies across all tests.
+    pub fn inconsistencies(&self) -> usize {
+        self.outcomes.iter().map(|o| o.inconsistencies).sum()
+    }
+
+    /// Total unverified pairs across all tests.
+    pub fn unverified(&self) -> usize {
+        self.outcomes.iter().map(|o| o.unverified).sum()
+    }
+
+    /// Any test's exploration was truncated.
+    pub fn truncated(&self) -> bool {
+        self.outcomes.iter().any(|o| o.truncated)
+    }
+}
+
+/// Crosscheck settings string hashed into the session fingerprint; must
+/// stay in sync with the phased `check` command's settings string so a
+/// given configuration identifies the same work in both flows.
+fn check_settings(cfg: &SessionConfig, check: &CrosscheckConfig) -> String {
+    format!(
+        "budget={:?};rungs={};factor={};cap={:?}",
+        cfg.solver_budget, check.retry_rungs, check.retry_factor, check.retry_cap
+    )
+}
+
+/// Run the whole streaming session: explore, group, crosscheck, and
+/// distill every configured test through one pipeline, publishing the
+/// same artifacts the phased commands would (modulo recorded wall-clock)
+/// for any `jobs` value.
+pub fn run_session(cfg: &SessionConfig) -> Result<SessionReport, String> {
+    let base_explorer = ExplorerConfig {
+        solver_budget: cfg.solver_budget,
+        seed: cfg.seed,
+        ..ExplorerConfig::default()
+    };
+    let check_cfg = CrosscheckConfig {
+        solver_budget: cfg.solver_budget,
+        jobs: cfg.jobs.max(1),
+        retry_rungs: cfg.retry_rungs,
+        ..CrosscheckConfig::default()
+    };
+    let n_units = cfg.tests.len() * 2;
+    let (journal, recovery) = match &cfg.journal {
+        Some(path) => {
+            let fingerprint = session_fingerprint(
+                cfg.agent_a,
+                cfg.agent_b,
+                &cfg.tests,
+                &base_explorer,
+                &check_settings(cfg, &check_cfg),
+                &format!("seed={};fuzz={}", cfg.seed, cfg.fuzz_tries),
+            );
+            let (journal, recovery) = SessionJournal::open(
+                path,
+                cfg.resume,
+                cfg.fsync,
+                &fingerprint,
+                n_units,
+                cfg.tests.len(),
+            )
+            .map_err(|e| format!("journal {}: {e}", path.display()))?;
+            (Some(journal), recovery)
+        }
+        None => (
+            None,
+            SessionRecovery {
+                units: (0..n_units).map(|_| UnitRecovery::default()).collect(),
+                verdicts: vec![Vec::new(); cfg.tests.len()],
+                corpora: vec![None; cfg.tests.len()],
+            },
+        ),
+    };
+    let mut outcomes = Vec::with_capacity(cfg.tests.len());
+    for (t, test) in cfg.tests.iter().enumerate() {
+        outcomes.push(run_one_test(
+            cfg,
+            &base_explorer,
+            &check_cfg,
+            journal.as_ref(),
+            &recovery,
+            t,
+            test,
+        )?);
+    }
+    if let Some(j) = &journal {
+        if let Some(e) = j.take_error() {
+            return Err(format!("session journal write failed: {e}"));
+        }
+    }
+    Ok(SessionReport { outcomes })
+}
+
+/// Bounded work queue feeding probe workers. The closed flag lives under
+/// the same lock as the queue so a close between a worker's emptiness
+/// check and its wait cannot lose the wakeup.
+struct ProbeQueue {
+    state: Mutex<(VecDeque<Probe>, bool)>,
+    cv: Condvar,
+}
+
+impl ProbeQueue {
+    fn new() -> ProbeQueue {
+        ProbeQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push_all(&self, probes: Vec<Probe>) {
+        if probes.is_empty() {
+            return;
+        }
+        recover(&self.state).0.extend(probes);
+        self.cv.notify_all();
+    }
+
+    /// No more probes will arrive; workers drain the remainder and exit.
+    fn close(&self) {
+        recover(&self.state).1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Next probe, blocking while the queue is open; `None` once closed
+    /// *and* drained.
+    fn pop(&self) -> Option<Probe> {
+        let mut st = recover(&self.state);
+        loop {
+            if let Some(p) = st.0.pop_front() {
+                return Some(p);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+type DraftMap = Mutex<HashMap<(usize, usize), WitnessDraft>>;
+
+/// The streaming [`VerdictSink`]: journals every canonical verdict, and
+/// starts distilling a witness the moment a pair is freshly decided Sat
+/// — from whichever crosscheck worker solved it. Drafting is a pure
+/// function of the canonical verdict, so scheduling order cannot leak
+/// into the corpus; [`assemble`] slots the drafts back in canonical
+/// inconsistency order.
+struct EagerSink<'a> {
+    journal: Option<&'a SessionJournal>,
+    t: usize,
+    test: &'a TestCase,
+    grouped_a: &'a GroupedResults,
+    grouped_b: &'a GroupedResults,
+    agent_a: AgentKind,
+    agent_b: AgentKind,
+    drafts: &'a DraftMap,
+}
+
+impl VerdictSink for EagerSink<'_> {
+    fn on_verdict(&self, i: usize, j: usize, verdict: &SatResult, budget: &SolverBudget) {
+        if let Some(journal) = self.journal {
+            journal.record_verdict(self.t, i, j, verdict, budget);
+        }
+    }
+
+    fn on_decided(&self, i: usize, j: usize, verdict: &SatResult, _budget: &SolverBudget) {
+        let SatResult::Sat(model) = verdict else {
+            return;
+        };
+        let inc = Inconsistency {
+            test: self.grouped_a.test.clone(),
+            agent_a: self.grouped_a.agent.clone(),
+            agent_b: self.grouped_b.agent.clone(),
+            output_a: self.grouped_a.groups[i].output.clone(),
+            output_b: self.grouped_b.groups[j].output.clone(),
+            witness: model.as_ref().clone(),
+        };
+        let draft = draft_witness(
+            self.test,
+            &inc,
+            self.grouped_a,
+            self.grouped_b,
+            self.agent_a,
+            self.agent_b,
+        );
+        recover(self.drafts).insert((i, j), draft);
+    }
+}
+
+fn summary_u64(summary: &Json, key: &str) -> usize {
+    summary.field(key).and_then(Json::as_u64).unwrap_or(0) as usize
+}
+
+fn summary_bool(summary: &Json, key: &str) -> bool {
+    summary.field(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_test(
+    cfg: &SessionConfig,
+    base_explorer: &ExplorerConfig,
+    check_cfg: &CrosscheckConfig,
+    journal: Option<&SessionJournal>,
+    recovery: &SessionRecovery,
+    t: usize,
+    test: &TestCase,
+) -> Result<TestOutcome, String> {
+    let corpus_path = PathBuf::from(format!("{}corpus_{}.json", cfg.out_prefix, test.id));
+    // A journaled corpus means the test fully finished before a resume
+    // (the record is written after the corpus artifact is published):
+    // republish the exact bytes and skip every phase.
+    if let Some(rec) = &recovery.corpora[t] {
+        atomic_write(&corpus_path, rec.data.as_bytes(), cfg.fsync)
+            .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
+        return Ok(TestOutcome {
+            test: test.id.to_string(),
+            paths_a: summary_u64(&rec.summary, "paths_a"),
+            paths_b: summary_u64(&rec.summary, "paths_b"),
+            truncated: summary_bool(&rec.summary, "truncated"),
+            inconsistencies: summary_u64(&rec.summary, "inconsistencies"),
+            unverified: summary_u64(&rec.summary, "unverified"),
+            confirmed: summary_u64(&rec.summary, "confirmed"),
+            clusters: summary_u64(&rec.summary, "clusters"),
+            fuzz_added: summary_u64(&rec.summary, "fuzz_added"),
+            corpus_path,
+            replayed: true,
+        });
+    }
+
+    // --- Stage 1+2: stream both explorations into incremental groups,
+    // probing group pairs eagerly as they grow.
+    let explorer_cfg = ExplorerConfig {
+        workers: (cfg.jobs / 2).max(1),
+        ..base_explorer.clone()
+    };
+    let sched = CheckScheduler::new(cfg.solver_budget);
+    let builders = Mutex::new((
+        GroupBuilder::new(cfg.agent_a.id(), test.id, TreeShape::Balanced),
+        GroupBuilder::new(cfg.agent_b.id(), test.id, TreeShape::Balanced),
+    ));
+    let queue = ProbeQueue::new();
+
+    let explore_side = |agent: AgentKind,
+                        unit: usize,
+                        sink: StreamSink<TraceEvent>|
+     -> Result<TestRun, String> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match journal {
+            Some(j) => {
+                let journal_sink = j.unit_sink(unit);
+                let tee = TeeSink::new(&journal_sink, &sink);
+                run_unit_durable(agent, test, &explorer_cfg, &recovery.units[unit], &tee)
+            }
+            None => run_unit_durable(agent, test, &explorer_cfg, &recovery.units[unit], &sink),
+        }));
+        match outcome {
+            Ok(Ok(run)) => Ok(run),
+            Ok(Err(e)) => Err(format!("exploring {}/{}: {e}", agent.id(), test.id)),
+            Err(_) => Err(format!(
+                "exploring {}/{}: engine panicked",
+                agent.id(),
+                test.id
+            )),
+        }
+    };
+    // Replays are absorbed too — resuming must rebuild the incremental
+    // group state the interrupted run had built from those paths.
+    let absorb_side = |rx: Receiver<StreamedPath<TraceEvent>>, a_side: bool| {
+        for streamed in rx {
+            let Some(rec) = record_path(&streamed.result) else {
+                continue;
+            };
+            let probes = {
+                let mut guard = recover(&builders);
+                let (builder_a, builder_b) = &mut *guard;
+                let slot = if a_side {
+                    builder_a.absorb(streamed.result.decisions.clone(), rec)
+                } else {
+                    builder_b.absorb(streamed.result.decisions.clone(), rec)
+                };
+                sched.claim(builder_a, builder_b, slot, a_side)
+            };
+            queue.push_all(probes);
+        }
+    };
+
+    let (run_a, run_b) = std::thread::scope(|scope| {
+        let (sink_a, rx_a) = StreamSink::bounded(STREAM_CAPACITY);
+        let (sink_b, rx_b) = StreamSink::bounded(STREAM_CAPACITY);
+        let explorer_a = scope.spawn(|| explore_side(cfg.agent_a, 2 * t, sink_a));
+        let explorer_b = scope.spawn(|| explore_side(cfg.agent_b, 2 * t + 1, sink_b));
+        let consumer_a = scope.spawn(|| absorb_side(rx_a, true));
+        let consumer_b = scope.spawn(|| absorb_side(rx_b, false));
+        for _ in 0..(cfg.jobs / 4).max(1) {
+            scope.spawn(|| {
+                while let Some(probe) = queue.pop() {
+                    sched.run(probe);
+                }
+            });
+        }
+        let run_a = explorer_a.join().unwrap_or_else(|_| {
+            Err(format!(
+                "exploring {}/{}: thread panicked",
+                cfg.agent_a.id(),
+                test.id
+            ))
+        });
+        let run_b = explorer_b.join().unwrap_or_else(|_| {
+            Err(format!(
+                "exploring {}/{}: thread panicked",
+                cfg.agent_b.id(),
+                test.id
+            ))
+        });
+        let _ = consumer_a.join();
+        let _ = consumer_b.join();
+        queue.close();
+        (run_a, run_b)
+    });
+    let (run_a, run_b) = (run_a?, run_b?);
+
+    // --- Publish phase-1 artifacts, then group from the parsed-back wire
+    // form — the exact input the phased `check` command consumes — so any
+    // wire-roundtrip normalization lands identically in both flows.
+    let file_a = TestRunFile::from_run(&run_a);
+    let file_b = TestRunFile::from_run(&run_b);
+    let text_a = file_a.to_json();
+    let text_b = file_b.to_json();
+    let path_a = format!("{}{}_{}.json", cfg.out_prefix, run_a.agent, run_a.test);
+    let path_b = format!("{}{}_{}.json", cfg.out_prefix, run_b.agent, run_b.test);
+    atomic_write(Path::new(&path_a), text_a.as_bytes(), cfg.fsync)
+        .map_err(|e| format!("write {path_a}: {e}"))?;
+    atomic_write(Path::new(&path_b), text_b.as_bytes(), cfg.fsync)
+        .map_err(|e| format!("write {path_b}: {e}"))?;
+    if let Some(j) = journal {
+        if let Some(e) = j.take_error() {
+            return Err(format!("session journal write failed: {e}"));
+        }
+    }
+    let soft = Soft::new();
+    let parsed_a = TestRunFile::from_json(&text_a).map_err(|e| format!("{path_a}: {e}"))?;
+    let parsed_b = TestRunFile::from_json(&text_b).map_err(|e| format!("{path_b}: {e}"))?;
+    let grouped_a = soft
+        .group_artifact(&parsed_a)
+        .map_err(|e| format!("{path_a}: {e}"))?;
+    let grouped_b = soft
+        .group_artifact(&parsed_b)
+        .map_err(|e| format!("{path_b}: {e}"))?;
+
+    // --- Stage 3: the canonical crosscheck pass. Journal-recovered
+    // verdicts seed it, probe work feeds it (shared cache + known-Sat
+    // ordering hints), and fresh Sat verdicts start distillation drafts
+    // immediately.
+    let mut seeds = CheckSeeds::new();
+    for v in &recovery.verdicts[t] {
+        seeds.insert(v.i, v.j, v.verdict.clone(), v.budget);
+    }
+    let drafts: DraftMap = Mutex::new(HashMap::new());
+    let sink = EagerSink {
+        journal,
+        t,
+        test,
+        grouped_a: &grouped_a,
+        grouped_b: &grouped_b,
+        agent_a: cfg.agent_a,
+        agent_b: cfg.agent_b,
+        drafts: &drafts,
+    };
+    let hooks = CheckHooks {
+        seeds: Some(&seeds),
+        sink: Some(&sink),
+        cache: Some(sched.cache()),
+        solve_first: sched.known_sat(&grouped_a, &grouped_b),
+    };
+    let result = crosscheck_hooked(&grouped_a, &grouped_b, check_cfg, hooks);
+    if let Some(j) = journal {
+        if let Some(e) = j.take_error() {
+            return Err(format!("session journal write failed: {e}"));
+        }
+    }
+
+    // --- Stage 4: assemble the corpus from the eager drafts. Seeded Sat
+    // pairs never fired `on_decided`, so their slots are drafted inside
+    // `assemble`; each inconsistency maps to its draft through the
+    // (output_a, output_b) pair, unique per side by construction.
+    let mut eager = recover(&drafts);
+    let slots: Vec<Option<WitnessDraft>> = result
+        .inconsistencies
+        .iter()
+        .map(|inc| {
+            let i = grouped_a
+                .groups
+                .iter()
+                .position(|g| g.output == inc.output_a)?;
+            let j = grouped_b
+                .groups
+                .iter()
+                .position(|g| g.output == inc.output_b)?;
+            eager.remove(&(i, j))
+        })
+        .collect();
+    drop(eager);
+    let distill_cfg = DistillConfig {
+        jobs: cfg.jobs.max(1),
+        seed: cfg.seed,
+        fuzz_tries: cfg.fuzz_tries,
+    };
+    let report = assemble(
+        test,
+        &result,
+        slots,
+        &grouped_a,
+        &grouped_b,
+        cfg.agent_a,
+        cfg.agent_b,
+        &distill_cfg,
+    );
+    let corpus_text = report.corpus.to_json_string();
+    atomic_write(&corpus_path, corpus_text.as_bytes(), cfg.fsync)
+        .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
+
+    let outcome = TestOutcome {
+        test: test.id.to_string(),
+        paths_a: run_a.paths.len(),
+        paths_b: run_b.paths.len(),
+        truncated: run_a.stats.truncated || run_b.stats.truncated,
+        inconsistencies: result.inconsistencies.len(),
+        unverified: result.unverified.len(),
+        confirmed: report.stats.confirmed,
+        clusters: report.stats.clusters,
+        fuzz_added: report.stats.fuzz_added,
+        corpus_path: corpus_path.clone(),
+        replayed: false,
+    };
+    // Journaled last, after the corpus artifact is durably published: a
+    // corpus record is the test's commit point.
+    if let Some(j) = journal {
+        let summary = Json::Object(vec![
+            ("paths_a".to_string(), Json::UInt(outcome.paths_a as u64)),
+            ("paths_b".to_string(), Json::UInt(outcome.paths_b as u64)),
+            ("truncated".to_string(), Json::Bool(outcome.truncated)),
+            (
+                "inconsistencies".to_string(),
+                Json::UInt(outcome.inconsistencies as u64),
+            ),
+            (
+                "unverified".to_string(),
+                Json::UInt(outcome.unverified as u64),
+            ),
+            (
+                "confirmed".to_string(),
+                Json::UInt(outcome.confirmed as u64),
+            ),
+            ("clusters".to_string(), Json::UInt(outcome.clusters as u64)),
+            (
+                "fuzz_added".to_string(),
+                Json::UInt(outcome.fuzz_added as u64),
+            ),
+        ]);
+        j.record_corpus(t, &summary, &corpus_text);
+        if let Some(e) = j.take_error() {
+            return Err(format!("session journal write failed: {e}"));
+        }
+    }
+    Ok(outcome)
+}

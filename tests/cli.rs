@@ -104,6 +104,72 @@ fn full_vendor_workflow() {
 }
 
 #[test]
+fn streaming_run_workflow() {
+    let dir = std::env::temp_dir().join("soft_cli_run");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = format!("{}/", dir.display());
+
+    // One command replaces the whole phase1 + check + distill sequence;
+    // like check, it exits 2 when inconsistencies were found.
+    let (stdout, stderr, code) = run(&[
+        "run",
+        "--agents",
+        "reference,ovs",
+        "--test",
+        "queue_config",
+        "--out",
+        &prefix,
+        "--jobs",
+        "4",
+        "--no-fsync",
+    ]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stdout.contains("1 inconsistencies"), "{stdout}");
+    assert!(stdout.contains("confirmed witness"), "{stdout}");
+    for artifact in [
+        "reference_queue_config.json",
+        "ovs_queue_config.json",
+        "corpus_queue_config.json",
+        "session.wal",
+    ] {
+        assert!(
+            dir.join(artifact).exists(),
+            "missing published artifact {artifact}"
+        );
+    }
+
+    // Re-running with --resume replays the finished test from the
+    // journal instead of re-exploring.
+    let (stdout, stderr, code) = run(&[
+        "run",
+        "--agents",
+        "reference,ovs",
+        "--test",
+        "queue_config",
+        "--out",
+        &prefix,
+        "--resume",
+        "--no-fsync",
+    ]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stdout.contains("(resumed)"), "{stdout}");
+}
+
+#[test]
+fn run_flag_validation() {
+    let (_, stderr, code) = run(&["run", "--test", "queue_config"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("missing --agents"), "{stderr}");
+    let (_, stderr, code) = run(&["run", "--agents", "reference", "--test", "queue_config"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("exactly two"), "{stderr}");
+    let (_, stderr, code) = run(&["run", "--agents", "reference,ovs"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("--test"), "{stderr}");
+}
+
+#[test]
 fn solver_budget_flag_is_validated() {
     let (_, stderr, code) = run(&["check", "a.json", "b.json", "--solver-budget", "zero"]);
     assert_eq!(code, Some(1));

@@ -1,0 +1,190 @@
+//! Streaming-vs-phased equivalence (the PR 5 determinism invariant).
+//!
+//! `soft run` must publish byte-identical artifacts to the phased
+//! `phase1 + check + distill` sequence — modulo the recorded wall-clock
+//! — for every seed, at any `--jobs`. The streaming pipeline overlaps
+//! exploration, grouping, eager probing, crosscheck, and distillation,
+//! so this is the test that proves none of that scheduling freedom leaks
+//! into the published bytes.
+
+use soft::core::{crosscheck, CrosscheckConfig};
+use soft::harness::{run_test, suite, TestRunFile};
+use soft::smt::SolverBudget;
+use soft::sym::ExplorerConfig;
+use soft::witness::{distill, DistillConfig};
+use soft::{run_session, AgentKind, SessionConfig};
+use std::fs;
+use std::path::PathBuf;
+
+const FUZZ_TRIES: usize = 4;
+const RETRY_RUNGS: u32 = 2;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soft_stream_eq_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Zero out the `"wall_ms": <n>` field — the only artifact byte range
+/// that may legitimately differ between two runs of the same work.
+fn normalize_wall(text: &str) -> String {
+    let Some(at) = text.find("\"wall_ms\":") else {
+        return text.to_string();
+    };
+    let tail = &text[at + "\"wall_ms\":".len()..];
+    let value_len = tail
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == ' ')
+        .count();
+    format!("{}\"wall_ms\": 0{}", &text[..at], &tail[value_len..])
+}
+
+/// The phased pipeline, library-level but CLI-faithful: explore both
+/// agents, serialize + re-parse the wire artifacts (exactly what
+/// `check` consumes), group, crosscheck, distill. Returns the two
+/// artifact texts and the corpus text.
+fn phased(seed: u64, jobs: usize) -> (String, String, String) {
+    let test = suite::queue_config();
+    let explorer = ExplorerConfig {
+        solver_budget: SolverBudget::unlimited(),
+        workers: jobs,
+        seed,
+        ..ExplorerConfig::default()
+    };
+    let run_a = run_test(AgentKind::Reference, &test, &explorer);
+    let run_b = run_test(AgentKind::OpenVSwitch, &test, &explorer);
+    let text_a = TestRunFile::from_run(&run_a).to_json();
+    let text_b = TestRunFile::from_run(&run_b).to_json();
+    let soft = soft::Soft::new();
+    let ga = soft
+        .group_artifact(&TestRunFile::from_json(&text_a).expect("parse A"))
+        .expect("group A");
+    let gb = soft
+        .group_artifact(&TestRunFile::from_json(&text_b).expect("parse B"))
+        .expect("group B");
+    let check = CrosscheckConfig {
+        solver_budget: SolverBudget::unlimited(),
+        jobs: jobs.max(1),
+        retry_rungs: RETRY_RUNGS,
+        ..CrosscheckConfig::default()
+    };
+    let result = crosscheck(&ga, &gb, &check);
+    let report = distill(
+        &test,
+        &result,
+        &ga,
+        &gb,
+        AgentKind::Reference,
+        AgentKind::OpenVSwitch,
+        &DistillConfig {
+            jobs: jobs.max(1),
+            seed,
+            fuzz_tries: FUZZ_TRIES,
+        },
+    );
+    (text_a, text_b, report.corpus.to_json_string())
+}
+
+/// One `soft run` session over the same test; returns the published
+/// artifact bytes read back from disk.
+fn streaming(tag: &str, seed: u64, jobs: usize) -> (String, String, String) {
+    let dir = temp_dir(tag);
+    let prefix = format!("{}/", dir.display());
+    let cfg = SessionConfig {
+        agent_a: AgentKind::Reference,
+        agent_b: AgentKind::OpenVSwitch,
+        tests: vec![suite::queue_config()],
+        jobs,
+        seed,
+        solver_budget: SolverBudget::unlimited(),
+        retry_rungs: RETRY_RUNGS,
+        fuzz_tries: FUZZ_TRIES,
+        out_prefix: prefix.clone(),
+        journal: None,
+        resume: false,
+        fsync: false,
+    };
+    let report = run_session(&cfg).expect("session");
+    assert_eq!(report.outcomes.len(), 1);
+    let text_a = fs::read_to_string(format!("{prefix}reference_queue_config.json"))
+        .expect("read artifact A");
+    let text_b =
+        fs::read_to_string(format!("{prefix}ovs_queue_config.json")).expect("read artifact B");
+    let corpus =
+        fs::read_to_string(format!("{prefix}corpus_queue_config.json")).expect("read corpus");
+    let _ = fs::remove_dir_all(&dir);
+    (text_a, text_b, corpus)
+}
+
+/// The property itself: for each seed in the matrix, the streaming
+/// session at `--jobs 1` and `--jobs 8` publishes byte-identical
+/// artifacts to the phased sequence (wall-clock zeroed), and the witness
+/// corpus matches byte-for-byte with no normalization at all.
+#[test]
+fn streaming_matches_phased_for_every_seed_and_jobs() {
+    for (s, &seed) in [0x50F7u64, 7].iter().enumerate() {
+        let (ref_a, ref_b, ref_corpus) = phased(seed, 2);
+        let (norm_a, norm_b) = (normalize_wall(&ref_a), normalize_wall(&ref_b));
+        for jobs in [1usize, 8] {
+            let tag = format!("s{s}_j{jobs}");
+            let (got_a, got_b, got_corpus) = streaming(&tag, seed, jobs);
+            assert_eq!(
+                normalize_wall(&got_a),
+                norm_a,
+                "artifact A diverged (seed {seed:#x}, jobs {jobs})"
+            );
+            assert_eq!(
+                normalize_wall(&got_b),
+                norm_b,
+                "artifact B diverged (seed {seed:#x}, jobs {jobs})"
+            );
+            assert_eq!(
+                got_corpus, ref_corpus,
+                "corpus diverged (seed {seed:#x}, jobs {jobs})"
+            );
+        }
+    }
+}
+
+/// The session honors a solver budget end to end: a starved budget may
+/// leave pairs unverified, but the session must still complete cleanly
+/// and stay deterministic across job counts.
+#[test]
+fn starved_session_is_clean_and_deterministic() {
+    let budget = SolverBudget::conflicts(1);
+    let mk = |tag: &str, jobs: usize| {
+        let dir = temp_dir(tag);
+        let prefix = format!("{}/", dir.display());
+        let cfg = SessionConfig {
+            agent_a: AgentKind::Reference,
+            agent_b: AgentKind::OpenVSwitch,
+            tests: vec![suite::queue_config()],
+            jobs,
+            seed: 1,
+            solver_budget: budget,
+            retry_rungs: 0,
+            fuzz_tries: 0,
+            out_prefix: prefix.clone(),
+            journal: None,
+            resume: false,
+            fsync: false,
+        };
+        let report = run_session(&cfg).expect("session");
+        let corpus =
+            fs::read_to_string(format!("{prefix}corpus_queue_config.json")).expect("corpus");
+        let _ = fs::remove_dir_all(&dir);
+        (report, corpus)
+    };
+    let (r1, c1) = mk("starved_j1", 1);
+    let (r8, c8) = mk("starved_j8", 8);
+    assert_eq!(
+        r1.outcomes[0].inconsistencies, r8.outcomes[0].inconsistencies,
+        "starved verdict counts diverged across jobs"
+    );
+    assert_eq!(
+        r1.outcomes[0].unverified, r8.outcomes[0].unverified,
+        "starved unverified counts diverged across jobs"
+    );
+    assert_eq!(c1, c8, "starved corpus diverged across jobs");
+}

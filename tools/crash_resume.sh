@@ -128,6 +128,53 @@ else
     echo "    check verdict identical to reference"
 fi
 
+echo "== run (streaming session) reference (uninterrupted, '$CHECK_TEST') =="
+"$SOFT" run --agents reference,ovs --test "$CHECK_TEST" \
+    --out "$WORK/run_ref_" --jobs "$JOBS_N" --no-journal --no-fsync \
+    >"$WORK/run_ref.out" 2>/dev/null
+run_ref_rc=$?
+
+echo "== run under SIGKILL =="
+# One session journal covers the whole pipeline, so the kills land in
+# every stage — exploration, crosscheck, distillation — across rounds.
+run_until_done 300 "$WORK/run_kill.out" \
+    "$SOFT" run --agents reference,ovs --test "$CHECK_TEST" \
+    --out "$WORK/run_kill_" --jobs "$JOBS_N" --no-fsync
+rc=$?
+if [ "$rc" -ne "$run_ref_rc" ]; then
+    echo "crash_resume: run exit code diverged: reference $run_ref_rc, resumed $rc"
+    fail=1
+fi
+for agent in reference ovs; do
+    if ! diff <(norm "$WORK/run_ref_${agent}_${CHECK_TEST}.json") \
+              <(norm "$WORK/run_kill_${agent}_${CHECK_TEST}.json") >/dev/null; then
+        echo "crash_resume: RUN ARTIFACT DIVERGED: $agent"
+        fail=1
+    else
+        echo "    $agent artifact byte-identical to reference"
+    fi
+done
+# The corpus records no wall-clock: byte-identical, no normalization.
+if ! diff "$WORK/run_ref_corpus_${CHECK_TEST}.json" \
+          "$WORK/run_kill_corpus_${CHECK_TEST}.json" >/dev/null; then
+    echo "crash_resume: RUN CORPUS DIVERGED"
+    fail=1
+else
+    echo "    corpus byte-identical to reference"
+fi
+# The per-test summary counts must survive the crashes too (a resumed
+# session may replay them from the journal — strip that marker, and
+# fold both out-prefixes to one token: the paths legitimately differ).
+if [ "$(sed -e 's/ (resumed)//' -e "s|$WORK/run_kill_|OUT/|g" "$WORK/run_kill.out")" != \
+     "$(sed -e "s|$WORK/run_ref_|OUT/|g" "$WORK/run_ref.out")" ]; then
+    echo "crash_resume: run summary diverged:"
+    echo "  reference: $(cat "$WORK/run_ref.out")"
+    echo "  resumed:   $(cat "$WORK/run_kill.out")"
+    fail=1
+else
+    echo "    run summary identical to reference"
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "crash_resume: FAILED"
     exit 1
