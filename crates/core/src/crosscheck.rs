@@ -13,7 +13,7 @@
 use crate::group::GroupedResults;
 use soft_harness::ObservedOutput;
 use soft_openflow::TraceEvent;
-use soft_smt::{Assignment, SatResult, Solver, SolverBudget, Term, VerdictCache};
+use soft_smt::{Assignment, SatResult, Solver, SolverBudget, SolverStats, Term, VerdictCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -221,6 +221,10 @@ pub struct CrosscheckResult {
     /// Wall-clock time of the intersection phase (Table 3 "Inconsist.
     /// checking" column).
     pub check_time: Duration,
+    /// Merged per-worker solver statistics across every pass (base +
+    /// escalation rungs), including the incremental-context counters
+    /// (assumption probes, UNSAT-core prunes, CNF cache hits).
+    pub solver: SolverStats,
 }
 
 impl CrosscheckResult {
@@ -248,6 +252,14 @@ pub struct CrosscheckConfig {
     /// the ladder stops early once the cap makes a rung no larger than
     /// the previous attempt.
     pub retry_cap: Option<u64>,
+    /// Give each worker a persistent incremental solving context
+    /// (default: true). Only takes effect on passes whose budget is
+    /// unlimited — probe outcomes under a finite budget would depend on
+    /// the context's query history and so on worker claim order, which
+    /// would break the jobs-count determinism guarantee. Verdicts and
+    /// artifacts are byte-identical either way; this is purely a speed
+    /// lever.
+    pub incremental: bool,
 }
 
 impl Default for CrosscheckConfig {
@@ -258,6 +270,7 @@ impl Default for CrosscheckConfig {
             retry_rungs: 0,
             retry_factor: 4,
             retry_cap: None,
+            incremental: true,
         }
     }
 }
@@ -469,6 +482,7 @@ pub fn crosscheck_hooked(
             hooks.solve_first.iter().copied().collect();
         todo.sort_by_key(|&k| !first.contains(&(pairs[k].0, pairs[k].1)));
     }
+    let stats: Mutex<SolverStats> = Mutex::new(SolverStats::default());
     solve_pass(
         a,
         b,
@@ -476,9 +490,10 @@ pub fn crosscheck_hooked(
         &mut slots,
         &todo,
         cfg.solver_budget,
-        cfg.jobs,
+        cfg,
         &cache,
         sink,
+        &stats,
     );
     notify_sink(sink, &pairs, &slots, &todo);
 
@@ -513,14 +528,17 @@ pub fn crosscheck_hooked(
                 break;
             }
             solve_pass(
-                a, b, &pairs, &mut slots, &todo, budget, cfg.jobs, &cache, sink,
+                a, b, &pairs, &mut slots, &todo, budget, cfg, &cache, sink, &stats,
             );
             notify_sink(sink, &pairs, &slots, &todo);
             last_budget = budget;
         }
     }
 
-    let mut out = CrosscheckResult::default();
+    let mut out = CrosscheckResult {
+        solver: *recover(&stats),
+        ..CrosscheckResult::default()
+    };
     for ((i, j, _), slot) in pairs.iter().zip(&slots) {
         out.queries += 1;
         let (verdict, budget) = slot
@@ -581,10 +599,35 @@ fn notify_sink(
     }
 }
 
+/// Construct one pass-lifetime pair-query solver. This is the *single*
+/// place crosscheck builds a [`Solver`] (`tools/lint_fresh_solver.sh`
+/// gates against throwaway per-pair construction): a worker's solver
+/// lives for the whole pass, and with `incremental` it carries a
+/// persistent context so the pairs it claims share bit-blasting, learned
+/// clauses, and recorded UNSAT cores. Callers own the gating rule: pass
+/// `incremental` only when the *governing* budget is unlimited —
+/// solve passes gate on their pass budget, the streaming scheduler on
+/// the session budget (its probe budget is deliberately finite, which is
+/// sound because probes only ever publish Unsat; see
+/// [`CrosscheckConfig::incremental`]).
+pub(crate) fn worker_solver(
+    cache: Arc<VerdictCache>,
+    budget: SolverBudget,
+    incremental: bool,
+) -> Solver {
+    let mut solver = Solver::with_cache(cache); // lint-exempt: pass-lifetime worker
+    solver.budget = budget;
+    if incremental {
+        solver.enable_incremental();
+    }
+    solver
+}
+
 /// Solve the `todo` subset of the pair matrix under `budget`, filling the
 /// corresponding slots. Sequential for `jobs <= 1`; otherwise fanned over
 /// worker threads with verdicts written back by pair index, so the merge
-/// order is independent of scheduling.
+/// order is independent of scheduling. Each worker's solver statistics
+/// are merged into `stats` when its pass share completes.
 #[allow(clippy::too_many_arguments)] // private plumbing shared by every pass
 fn solve_pass(
     a: &GroupedResults,
@@ -593,9 +636,10 @@ fn solve_pass(
     slots: &mut [Option<(SatResult, SolverBudget)>],
     todo: &[usize],
     budget: SolverBudget,
-    jobs: usize,
+    cfg: &CrosscheckConfig,
     cache: &Arc<VerdictCache>,
     sink: Option<&dyn VerdictSink>,
+    stats: &Mutex<SolverStats>,
 ) {
     if todo.is_empty() {
         return;
@@ -612,13 +656,18 @@ fn solve_pass(
         }
         v
     };
+    let jobs = cfg.jobs;
     if jobs <= 1 {
-        let mut solver = Solver::with_cache(Arc::clone(cache));
-        solver.budget = budget;
+        let mut solver = worker_solver(
+            Arc::clone(cache),
+            budget,
+            cfg.incremental && budget.is_unlimited(),
+        );
         for &k in todo {
             let v = query(&mut solver, k);
             slots[k] = Some((v, budget));
         }
+        recover(stats).merge(&solver.stats);
         return;
     }
     let next = AtomicUsize::new(0);
@@ -630,8 +679,8 @@ fn solve_pass(
             let verdicts = &verdicts;
             let query = &query;
             scope.spawn(move || {
-                let mut solver = Solver::with_cache(cache);
-                solver.budget = budget;
+                let mut solver =
+                    worker_solver(cache, budget, cfg.incremental && budget.is_unlimited());
                 loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
                     if t >= todo.len() {
@@ -640,6 +689,7 @@ fn solve_pass(
                     let v = query(&mut solver, todo[t]);
                     recover(verdicts)[t] = Some(v);
                 }
+                recover(stats).merge(&solver.stats);
             });
         }
     });

@@ -68,7 +68,18 @@ pub struct Probe {
 /// have been probed at which sizes, claims probe work, and remembers
 /// which pairs are already known satisfiable.
 pub struct CheckScheduler {
-    budget: SolverBudget,
+    /// The probe solver, shared by every probing worker. Long-lived (the
+    /// `tools/lint_fresh_solver.sh` contract: no throwaway solver per
+    /// probe) and — when the *session* budget is unlimited — carrying a
+    /// persistent incremental context, so successive probes of one test
+    /// share bit-blasting and learned clauses. Probes still run under the
+    /// capped probe budget; that is sound because a probe may only
+    /// *publish* (via the shared [`VerdictCache`]) verdicts the canonical
+    /// unlimited pass would re-derive identically. Under a finite session
+    /// budget no incremental context is attached anywhere: a
+    /// history-dependent probe outcome could then upgrade a canonical
+    /// Unknown and break jobs-count determinism.
+    solver: Mutex<Solver>,
     cache: Arc<VerdictCache>,
     pairs: Mutex<HashMap<(ObservedOutput, ObservedOutput), PairProbe>>,
 }
@@ -76,17 +87,25 @@ pub struct CheckScheduler {
 impl CheckScheduler {
     /// Scheduler whose probes run under `session_budget` capped at
     /// [`PROBE_CONFLICTS`] conflicts (probes are advisory; the canonical
-    /// pass spends the real budget).
-    pub fn new(session_budget: SolverBudget) -> CheckScheduler {
+    /// pass spends the real budget). `incremental` opts the probe solver
+    /// into a persistent incremental context — honored only when
+    /// `session_budget` is unlimited, see [`CheckScheduler::solver`].
+    pub fn new(session_budget: SolverBudget, incremental: bool) -> CheckScheduler {
         let cap = SolverBudget::conflicts(PROBE_CONFLICTS);
         let budget = if session_budget.covers(&cap) {
             cap
         } else {
             session_budget
         };
-        CheckScheduler {
+        let cache = Arc::new(VerdictCache::new());
+        let solver = crate::crosscheck::worker_solver(
+            Arc::clone(&cache),
             budget,
-            cache: Arc::new(VerdictCache::new()),
+            incremental && session_budget.is_unlimited(),
+        );
+        CheckScheduler {
+            solver: Mutex::new(solver),
+            cache,
             pairs: Mutex::new(HashMap::new()),
         }
     }
@@ -165,9 +184,7 @@ impl CheckScheduler {
             // the canonical pass never queries this pair either.
             SatResult::Unsat
         } else {
-            let mut solver = Solver::with_cache(Arc::clone(&self.cache));
-            solver.budget = self.budget;
-            solver.check(&[probe.cond_a.clone(), probe.cond_b.clone(), differ])
+            recover(&self.solver).check(&[probe.cond_a.clone(), probe.cond_b.clone(), differ])
         };
         let mut pairs = recover(&self.pairs);
         let st = pairs.entry(probe.key).or_default();
@@ -241,7 +258,7 @@ mod tests {
     fn partial_sat_probe_is_sticky_and_feeds_hints() {
         let mut a = GroupBuilder::new("a", "t", TreeShape::Balanced);
         let mut b = GroupBuilder::new("b", "t", TreeShape::Balanced);
-        let sched = CheckScheduler::new(SolverBudget::unlimited());
+        let sched = CheckScheduler::new(SolverBudget::unlimited(), true);
         // One path per side, same input point, different outputs: the
         // partial intersection is satisfiable immediately.
         let sa = a.absorb(vec![false], rec("st.x", 7, 1));
@@ -267,7 +284,7 @@ mod tests {
     fn unsat_probe_reprobes_only_after_doubling() {
         let mut a = GroupBuilder::new("a", "t", TreeShape::Balanced);
         let mut b = GroupBuilder::new("b", "t", TreeShape::Balanced);
-        let sched = CheckScheduler::new(SolverBudget::unlimited());
+        let sched = CheckScheduler::new(SolverBudget::unlimited(), true);
         // Disjoint single-path groups: first probe is Unsat.
         a.absorb(vec![false], rec("s2.x", 1, 1));
         let sb = b.absorb(vec![false], rec("s2.x", 9, 2));
@@ -293,7 +310,7 @@ mod tests {
     fn equal_outputs_never_probed() {
         let mut a = GroupBuilder::new("a", "t", TreeShape::Balanced);
         let mut b = GroupBuilder::new("b", "t", TreeShape::Balanced);
-        let sched = CheckScheduler::new(SolverBudget::unlimited());
+        let sched = CheckScheduler::new(SolverBudget::unlimited(), true);
         a.absorb(vec![false], rec("s3.x", 1, 1));
         let sb = b.absorb(vec![false], rec("s3.x", 1, 1));
         assert!(sched.claim(&a, &b, sb, false).is_empty());

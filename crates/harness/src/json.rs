@@ -189,6 +189,7 @@ fn write_string(s: &str, out: &mut String) {
 /// Parse a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
+        input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -205,6 +206,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
 const MAX_DEPTH: usize = 64;
 
 struct Parser<'a> {
+    input: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -364,16 +366,22 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar; the input is a &str so the
-                    // bytes are valid UTF-8 by construction.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().ok_or("unterminated string")?;
-                    if (c as u32) < 0x20 {
-                        return Err("unescaped control character in string".into());
+                    // Bulk-copy the maximal span needing no unescaping —
+                    // the overwhelmingly common case. The input is a &str
+                    // (valid UTF-8 by construction) and spans begin and end
+                    // at ASCII delimiters, so byte indexes are always char
+                    // boundaries; non-ASCII bytes pass through untouched.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        if b < 0x20 {
+                            return Err("unescaped control character in string".into());
+                        }
+                        self.pos += 1;
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(&self.input[start..self.pos]);
                 }
             }
         }

@@ -13,11 +13,21 @@ use crate::Assignment;
 use std::collections::HashMap;
 
 /// Bit-blasting context owning the SAT solver.
+///
+/// Encodings are cached per term, keyed by the hash-consed DAG node id
+/// (interner ids are unique for the life of the process, and the cache
+/// holds the [`Term`] alive through its key's origin anyway via the
+/// global interner). In a long-lived incremental context this means each
+/// shared subterm is lowered to CNF once per *context*, not once per
+/// query.
 pub struct BitBlaster {
     /// Underlying SAT solver; exposed for statistics inspection.
     pub sat: SatSolver,
-    bv_cache: HashMap<Term, Vec<Lit>>,
-    bool_cache: HashMap<Term, Lit>,
+    /// Times a `blast_bv`/`blast_bool` lookup was served from the CNF
+    /// cache instead of re-encoding the node.
+    pub cache_hits: u64,
+    bv_cache: HashMap<u64, Vec<Lit>>,
+    bool_cache: HashMap<u64, Lit>,
     var_bits: HashMap<String, Vec<Lit>>,
     true_lit: Lit,
 }
@@ -37,6 +47,7 @@ impl BitBlaster {
         sat.add_clause(&[true_lit]);
         BitBlaster {
             sat,
+            cache_hits: 0,
             bv_cache: HashMap::new(),
             bool_cache: HashMap::new(),
             var_bits: HashMap::new(),
@@ -287,7 +298,8 @@ impl BitBlaster {
 
     /// Lower a bitvector term to its literal vector (little-endian).
     pub fn blast_bv(&mut self, t: &Term) -> Vec<Lit> {
-        if let Some(v) = self.bv_cache.get(t) {
+        if let Some(v) = self.bv_cache.get(&t.id()) {
+            self.cache_hits += 1;
             return v.clone();
         }
         let bits: Vec<Lit> = match t.op() {
@@ -365,13 +377,14 @@ impl BitBlaster {
             }
             _ => panic!("blast_bv on boolean term {t}"),
         };
-        self.bv_cache.insert(t.clone(), bits.clone());
+        self.bv_cache.insert(t.id(), bits.clone());
         bits
     }
 
     /// Lower a boolean term to a single literal.
     pub fn blast_bool(&mut self, t: &Term) -> Lit {
-        if let Some(&l) = self.bool_cache.get(t) {
+        if let Some(&l) = self.bool_cache.get(&t.id()) {
+            self.cache_hits += 1;
             return l;
         }
         let lit = match t.op() {
@@ -423,7 +436,7 @@ impl BitBlaster {
             }
             _ => panic!("blast_bool on bitvector term {t}"),
         };
-        self.bool_cache.insert(t.clone(), lit);
+        self.bool_cache.insert(t.id(), lit);
         lit
     }
 

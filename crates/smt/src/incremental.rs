@@ -1,0 +1,347 @@
+//! Persistent incremental solving context: assumption probes over a
+//! shared CNF encoding.
+//!
+//! A crosscheck test asks hundreds of closely-related questions — "can
+//! group *i* of agent A and group *j* of agent B fire on the same input
+//! that makes their replies differ?" — and every pair shares almost its
+//! entire assertion set with every other pair of the same test. The
+//! fresh-solver flow re-bitblasts and re-searches that shared structure
+//! from scratch per pair. [`IncrementalSolver`] instead keeps **one**
+//! CDCL instance alive per test:
+//!
+//! - Each distinct assertion term is bit-blasted **once** (the
+//!   [`BitBlaster`] CNF cache is keyed by hash-consed DAG node id, so
+//!   shared subterms encode once even across distinct assertions) and
+//!   guarded behind a fresh *activation literal* `a_t` via the clause
+//!   `¬a_t ∨ enc(t)`. With `a_t` unset the encoding is inert; assuming
+//!   `a_t` turns the assertion on for one query.
+//! - A query over assertions `{t₁..tₙ}` becomes
+//!   [`SatSolver::solve_under_assumptions`]`(&[a_t1..a_tn])`. Learned
+//!   clauses, variable activities, and saved phases survive between
+//!   queries — sound because activation guards make every added clause a
+//!   logical consequence of the *union* of all encoded assertions, never
+//!   of any particular query's subset.
+//! - When a probe is Unsat the solver's final-conflict analysis yields
+//!   an **UNSAT core** over the assumptions. The core is recorded, and
+//!   any later probe whose assumption set contains a recorded core is
+//!   refuted without search ([`IncrementalSolver::core_prunes`]). A core
+//!   that avoids both pair-specific activation literals refutes every
+//!   pair sharing the remaining conditions — whole families of pairs
+//!   collapse into one recorded core.
+//!
+//! Probes are **advisory accelerators**, not a replacement verdict path:
+//! only Unsat — a value-deterministic answer — is published by the
+//! facade ([`crate::Solver`]); Sat and Unknown probes fall through to
+//! the canonical fresh solve so models and budget-limited Unknowns stay
+//! byte-identical to the non-incremental flow.
+
+use crate::bitblast::BitBlaster;
+use crate::sat::{Lit, SatOutcome};
+use crate::solver::SolverBudget;
+use crate::Term;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+#[cfg(doc)]
+use crate::sat::SatSolver;
+
+/// True if every literal of `core` appears in `set`; both slices must be
+/// sorted ascending by raw literal code.
+fn is_subset(core: &[Lit], set: &[Lit]) -> bool {
+    let mut set = set.iter();
+    'outer: for c in core {
+        for s in set.by_ref() {
+            if s == c {
+                continue 'outer;
+            }
+            if s.0 > c.0 {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A long-lived SAT context answering assertion-set queries as
+/// assumption probes over activation literals (see the module docs).
+///
+/// One instance per (test, worker): all queries routed through it must
+/// draw from the same test's assertion universe so the shared encoding
+/// and recorded cores stay relevant (and small).
+pub struct IncrementalSolver {
+    /// The persistent encoding + CDCL instance.
+    bb: BitBlaster,
+    /// Activation literal per encoded assertion, keyed by the term's
+    /// hash-consed DAG node id (ids are unique for the process lifetime).
+    acts: HashMap<u64, Lit>,
+    /// Recorded UNSAT cores (each sorted ascending by literal code). Any
+    /// probe whose assumption set contains one of these is Unsat without
+    /// search. An empty core means the base encoding itself is unsat, so
+    /// every probe is.
+    refuted: Vec<Vec<Lit>>,
+    probes: u64,
+    probe_unsat: u64,
+    core_prunes: u64,
+    bitblast_ns: u64,
+    search_ns: u64,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> Self {
+        IncrementalSolver::new()
+    }
+}
+
+impl fmt::Debug for IncrementalSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IncrementalSolver")
+            .field("probes", &self.probes)
+            .field("probe_unsat", &self.probe_unsat)
+            .field("core_prunes", &self.core_prunes)
+            .field("encoded_terms", &self.acts.len())
+            .field("recorded_cores", &self.refuted.len())
+            .field("learned_retained", &self.bb.sat.num_learned())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncrementalSolver {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        IncrementalSolver {
+            bb: BitBlaster::new(),
+            acts: HashMap::new(),
+            refuted: Vec::new(),
+            probes: 0,
+            probe_unsat: 0,
+            core_prunes: 0,
+            bitblast_ns: 0,
+            search_ns: 0,
+        }
+    }
+
+    /// The activation literal guarding `t`'s encoding, encoding the term
+    /// on first sight (`¬a_t ∨ enc(t)`).
+    fn activation(&mut self, t: &Term) -> Lit {
+        if let Some(&a) = self.acts.get(&t.id()) {
+            return a;
+        }
+        let enc = self.bb.blast_bool(t);
+        let act = Lit::pos(self.bb.sat.new_var());
+        self.bb.sat.add_clause(&[act.negate(), enc]);
+        self.acts.insert(t.id(), act);
+        act
+    }
+
+    /// Probe the conjunction of `key` under `budget` (per-probe deltas;
+    /// the persistent instance's cumulative counters never starve a
+    /// later probe).
+    ///
+    /// Unsat answers are definitive under any budget. Sat answers mean
+    /// "satisfiable, model available from this context's history-
+    /// dependent state" — callers wanting a canonical model must
+    /// re-derive it. Unknown means the budget ran out *in this context*;
+    /// a fresh solve may still decide.
+    pub fn probe(&mut self, key: &[Term], budget: &SolverBudget) -> SatOutcome {
+        self.probes += 1;
+        let t0 = Instant::now();
+        let mut assumptions = Vec::with_capacity(key.len());
+        for t in key {
+            assumptions.push(self.activation(t));
+        }
+        self.bitblast_ns += t0.elapsed().as_nanos() as u64;
+        assumptions.sort_unstable_by_key(|l| l.0);
+        assumptions.dedup();
+        if self
+            .refuted
+            .iter()
+            .any(|core| is_subset(core, &assumptions))
+        {
+            self.core_prunes += 1;
+            self.probe_unsat += 1;
+            return SatOutcome::Unsat;
+        }
+        self.bb.sat.max_conflicts = budget.max_conflicts;
+        self.bb.sat.max_propagations = budget.max_propagations;
+        self.bb.sat.deadline = budget.time_limit.map(|d| Instant::now() + d);
+        let t1 = Instant::now();
+        let out = self.bb.sat.solve_under_assumptions(&assumptions);
+        self.search_ns += t1.elapsed().as_nanos() as u64;
+        if matches!(out, SatOutcome::Unsat) {
+            self.probe_unsat += 1;
+            let mut core: Vec<Lit> = self.bb.sat.last_core().to_vec();
+            core.sort_unstable_by_key(|l| l.0);
+            core.dedup();
+            // Keep only non-subsumed cores: a core already implied by a
+            // recorded subset adds no pruning power.
+            if !self.refuted.iter().any(|c| is_subset(c, &core)) {
+                self.refuted.push(core);
+            }
+        }
+        out
+    }
+
+    /// Assumption probes issued (including core-pruned ones).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probes answered Unsat (search or core prune).
+    pub fn probe_unsat(&self) -> u64 {
+        self.probe_unsat
+    }
+
+    /// Probes refuted by a recorded UNSAT core without any search.
+    pub fn core_prunes(&self) -> u64 {
+        self.core_prunes
+    }
+
+    /// Learned clauses currently retained across queries.
+    pub fn learned_retained(&self) -> u64 {
+        self.bb.sat.num_learned() as u64
+    }
+
+    /// CNF cache hits in the persistent bit-blaster (shared subterms
+    /// served without re-encoding).
+    pub fn cnf_cache_hits(&self) -> u64 {
+        self.bb.cache_hits
+    }
+
+    /// Cumulative `(conflicts, decisions, propagations)` of the
+    /// underlying SAT instance — callers snapshot around [`Self::probe`]
+    /// to attribute per-probe search effort.
+    pub fn sat_counters(&self) -> (u64, u64, u64) {
+        (
+            self.bb.sat.conflicts,
+            self.bb.sat.decisions,
+            self.bb.sat.propagations,
+        )
+    }
+
+    /// Cumulative `(bitblast_ns, search_ns)` spent in this context.
+    pub fn timing_ns(&self) -> (u64, u64) {
+        (self.bitblast_ns, self.search_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> Term {
+        Term::var("inc.port", 16)
+    }
+
+    #[test]
+    fn probe_answers_match_semantics_across_queries() {
+        let p = port();
+        let low = p.clone().ult(Term::bv_const(16, 10));
+        let high = p.clone().ugt(Term::bv_const(16, 20));
+        let mid = p.clone().eq(Term::bv_const(16, 15));
+        let mut inc = IncrementalSolver::new();
+        let b = SolverBudget::unlimited();
+        assert!(matches!(
+            inc.probe(&[low.clone(), high.clone()], &b),
+            SatOutcome::Unsat
+        ));
+        assert!(matches!(
+            inc.probe(std::slice::from_ref(&low), &b),
+            SatOutcome::Sat
+        ));
+        assert!(matches!(
+            inc.probe(std::slice::from_ref(&high), &b),
+            SatOutcome::Sat
+        ));
+        assert!(matches!(
+            inc.probe(&[mid.clone(), low], &b),
+            SatOutcome::Unsat
+        ));
+        assert!(matches!(inc.probe(&[mid, high], &b), SatOutcome::Unsat));
+        assert_eq!(inc.probes(), 5);
+        assert_eq!(inc.probe_unsat(), 3);
+    }
+
+    #[test]
+    fn recorded_core_prunes_supersets_without_search() {
+        let p = port();
+        let low = p.clone().ult(Term::bv_const(16, 10));
+        let high = p.clone().ugt(Term::bv_const(16, 20));
+        // Unrelated third condition on a different variable.
+        let other = Term::var("inc.other", 8).eq(Term::bv_const(8, 1));
+        let mut inc = IncrementalSolver::new();
+        let b = SolverBudget::unlimited();
+        assert!(matches!(
+            inc.probe(&[low.clone(), high.clone()], &b),
+            SatOutcome::Unsat
+        ));
+        assert_eq!(inc.core_prunes(), 0);
+        // {low, high} is the recorded core; any superset is refuted
+        // without touching the SAT instance.
+        let before = inc.sat_counters();
+        assert!(matches!(
+            inc.probe(&[low, high, other], &b),
+            SatOutcome::Unsat
+        ));
+        assert_eq!(inc.core_prunes(), 1);
+        assert_eq!(inc.sat_counters(), before, "prune must not search");
+    }
+
+    #[test]
+    fn shared_subterms_hit_the_cnf_cache() {
+        let p = port();
+        // Both conditions share the subterm `p + 1`.
+        let bump = p.clone().bvadd(Term::bv_const(16, 1));
+        let c1 = bump.clone().ugt(Term::bv_const(16, 5));
+        let c2 = bump.ult(Term::bv_const(16, 100));
+        let mut inc = IncrementalSolver::new();
+        let b = SolverBudget::unlimited();
+        assert!(matches!(inc.probe(&[c1], &b), SatOutcome::Sat));
+        let after_first = inc.cnf_cache_hits();
+        assert!(matches!(inc.probe(&[c2], &b), SatOutcome::Sat));
+        assert!(
+            inc.cnf_cache_hits() > after_first,
+            "second condition must reuse the shared subterm's CNF"
+        );
+    }
+
+    #[test]
+    fn budget_limits_one_probe_not_the_context() {
+        // A hard query under a starved budget returns Unknown — but the
+        // budget is a per-probe delta, so a retry under the same tiny
+        // budget gets a fresh allowance and does real work (cumulative
+        // accounting would return Unknown immediately with zero new
+        // conflicts), and the context still decides once unstarved.
+        let xs: Vec<Term> = (0..12).map(|i| Term::var(format!("inc.h{i}"), 8)).collect();
+        let mut sum = Term::bv_const(8, 0);
+        for x in &xs {
+            sum = sum.bvadd(x.clone().bvmul(x.clone()));
+        }
+        let hard = sum.eq(Term::bv_const(8, 0x5a));
+        let mut inc = IncrementalSolver::new();
+        let starved = SolverBudget::conflicts(2);
+        let r = inc.probe(std::slice::from_ref(&hard), &starved);
+        assert!(matches!(r, SatOutcome::Unknown));
+        let (c0, _, _) = inc.sat_counters();
+        let r = inc.probe(std::slice::from_ref(&hard), &starved);
+        assert!(!matches!(r, SatOutcome::Unsat));
+        let (c1, _, _) = inc.sat_counters();
+        assert!(c1 > c0, "retry must get a fresh per-probe allowance");
+        assert!(matches!(
+            inc.probe(&[hard], &SolverBudget::unlimited()),
+            SatOutcome::Sat
+        ));
+    }
+
+    #[test]
+    fn subset_check_is_exact() {
+        let l = |v: u32| Lit::pos(v);
+        assert!(is_subset(&[], &[l(1), l(2)]));
+        assert!(is_subset(&[l(2)], &[l(1), l(2), l(3)]));
+        assert!(is_subset(&[l(1), l(3)], &[l(1), l(2), l(3)]));
+        assert!(!is_subset(&[l(4)], &[l(1), l(2), l(3)]));
+        assert!(!is_subset(&[l(1), l(2)], &[l(2)]));
+        assert!(!is_subset(&[l(0)], &[]));
+    }
+}

@@ -35,6 +35,7 @@
 pub mod bitblast;
 mod build;
 mod eval;
+pub mod incremental;
 pub mod metrics;
 pub mod sat;
 pub mod sexpr;
@@ -43,5 +44,6 @@ mod solver;
 mod term;
 
 pub use eval::{Assignment, Value};
+pub use incremental::IncrementalSolver;
 pub use solver::{complete_model, SatResult, Solver, SolverBudget, SolverStats, VerdictCache};
 pub use term::{mask, BvBinOp, BvUnaryOp, CmpOp, Op, Sort, Term};

@@ -66,6 +66,33 @@ pub fn depth(t: &Term) -> u64 {
     rec(t, &mut HashMap::new())
 }
 
+/// Cross-term DAG sharing: `(total, unique)` where `total` is the sum of
+/// per-term node counts and `unique` is the size of the union of all
+/// their DAG nodes.
+///
+/// `total - unique` nodes are shared between at least two terms — the
+/// structure a per-term encoder re-encodes and the incremental solver's
+/// id-keyed CNF cache encodes exactly once. The bench_solver tool reports
+/// this ratio per test to explain where the incremental speedup comes
+/// from.
+pub fn dag_shared_nodes(terms: &[Term]) -> (u64, u64) {
+    let mut union: HashSet<u64> = HashSet::new();
+    let mut total = 0u64;
+    for t in terms {
+        total += node_count(t);
+        let mut stack = vec![t.clone()];
+        while let Some(t) = stack.pop() {
+            if !union.insert(t.id()) {
+                continue;
+            }
+            for c in t.op().children() {
+                stack.push(c.clone());
+            }
+        }
+    }
+    (total, union.len() as u64)
+}
+
 /// Collect the names and widths of all variables occurring in the term.
 pub fn variables(t: &Term) -> Vec<(String, u32)> {
     let mut seen: HashSet<u64> = HashSet::new();
@@ -109,6 +136,22 @@ mod tests {
         assert_eq!(op_count(&e), 2);
         assert_eq!(node_count(&e), 3);
         assert_eq!(depth(&e), 2);
+    }
+
+    #[test]
+    fn dag_sharing_across_terms() {
+        let x = Term::var("mt.sh", 8);
+        let bump = x.clone().bvadd(Term::bv_const(8, 1)); // x, 1, add = 3 nodes
+        let a = bump.clone().ugt(Term::bv_const(8, 5)); // + 5, ugt = 5 nodes
+        let b = bump.clone().ult(Term::bv_const(8, 9)); // + 9, ult = 5 nodes
+        let (total, unique) = dag_shared_nodes(&[a.clone(), b]);
+        assert_eq!(total, 10);
+        // The 3-node `bump` subgraph is counted once in the union.
+        assert_eq!(unique, 7);
+        // Degenerate cases: empty set, single term, duplicate term.
+        assert_eq!(dag_shared_nodes(&[]), (0, 0));
+        assert_eq!(dag_shared_nodes(std::slice::from_ref(&a)), (5, 5));
+        assert_eq!(dag_shared_nodes(&[a.clone(), a]), (10, 5));
     }
 
     #[test]

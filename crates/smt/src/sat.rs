@@ -199,18 +199,34 @@ pub struct SatSolver {
     saved_phase: Vec<bool>,
     /// set when an empty clause was added
     unsat: bool,
-    /// Conflicts encountered so far.
+    /// Model saved at the last `Sat` outcome (indexed by variable). Kept
+    /// separate from the working assignment so the solver can backtrack to
+    /// level 0 after every query — the incremental interface adds clauses
+    /// and re-solves on the same instance — without losing the witness.
+    model: Vec<bool>,
+    /// UNSAT core of the last `solve_under_assumptions` call that returned
+    /// `Unsat`: the subset of the assumption literals that is jointly
+    /// inconsistent with the clause set. Empty when the clause set itself
+    /// is unsatisfiable (every assumption set fails).
+    core: Vec<Lit>,
+    /// Conflicts encountered so far (cumulative across queries).
     pub conflicts: u64,
-    /// Decisions made so far.
+    /// Decisions made so far (cumulative across queries).
     pub decisions: u64,
-    /// Literal propagations performed so far.
+    /// Literal propagations performed so far (cumulative across queries).
     pub propagations: u64,
-    /// conflict budget; `None` = unlimited
+    /// conflict budget *per query*; `None` = unlimited
     pub max_conflicts: Option<u64>,
-    /// propagation (step) budget; `None` = unlimited
+    /// propagation (step) budget *per query*; `None` = unlimited
     pub max_propagations: Option<u64>,
     /// wall-clock cutoff for the current `solve` call; `None` = unlimited
     pub deadline: Option<std::time::Instant>,
+    /// `conflicts` at the start of the current query: budgets compare the
+    /// *delta* since the query began, so a long-lived incremental instance
+    /// never charges one query's work against the next one's budget.
+    query_conflicts_base: u64,
+    /// `propagations` at the start of the current query (same delta rule).
+    query_propagations_base: u64,
 }
 
 impl Default for SatSolver {
@@ -236,12 +252,16 @@ impl SatSolver {
             order: VarHeap::default(),
             saved_phase: Vec::new(),
             unsat: false,
+            model: Vec::new(),
+            core: Vec::new(),
             conflicts: 0,
             decisions: 0,
             propagations: 0,
             max_conflicts: None,
             max_propagations: None,
             deadline: None,
+            query_conflicts_base: 0,
+            query_propagations_base: 0,
         }
     }
 
@@ -528,30 +548,59 @@ impl SatSolver {
     }
 
     /// True once the conflict or propagation budget is spent (the
-    /// wall-clock deadline is polled separately, on a stride).
+    /// wall-clock deadline is polled separately, on a stride). Budgets are
+    /// measured as deltas against the counters snapshotted when the current
+    /// query began — cumulative comparison would let earlier queries on a
+    /// reused instance double-count against this query's budget.
     fn budget_exhausted(&self) -> bool {
         if let Some(max) = self.max_conflicts {
-            if self.conflicts >= max {
+            if self.conflicts - self.query_conflicts_base >= max {
                 return true;
             }
         }
         if let Some(max) = self.max_propagations {
-            if self.propagations >= max {
+            if self.propagations - self.query_propagations_base >= max {
                 return true;
             }
         }
         false
     }
 
-    /// Run the CDCL main loop.
+    /// Run the CDCL main loop with no assumptions.
     pub fn solve(&mut self) -> SatOutcome {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Run the CDCL main loop with `assumptions` planted as pseudo-decisions
+    /// below every real decision (MiniSat's incremental interface).
+    ///
+    /// The clause set is untouched by the outcome: an `Unsat` here means
+    /// "unsatisfiable *under these assumptions*" and leaves the instance
+    /// usable for further queries — learned clauses, variable activities,
+    /// and saved phases all carry over. After such an `Unsat`,
+    /// [`SatSolver::last_core`] holds the subset of the assumptions the
+    /// final-conflict analysis found jointly inconsistent. The solver
+    /// backtracks to level 0 before returning, so clauses may be added
+    /// between queries; after `Sat` the witness is read through
+    /// [`SatSolver::model_value`].
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        self.core.clear();
+        self.query_conflicts_base = self.conflicts;
+        self.query_propagations_base = self.propagations;
         if self.unsat {
             return SatOutcome::Unsat;
         }
+        debug_assert!(self.trail_lim.is_empty(), "solve entered above level 0");
         if self.propagate().is_some() {
             self.unsat = true;
             return SatOutcome::Unsat;
         }
+        let out = self.search(assumptions);
+        self.backtrack(0);
+        out
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SatOutcome {
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = 100 * Self::luby(0);
         let mut conflicts_this_restart = 0u64;
@@ -561,14 +610,12 @@ impl SatSolver {
         let mut tick = 0u32;
         loop {
             if self.budget_exhausted() {
-                self.backtrack(0);
                 return SatOutcome::Unknown;
             }
             tick = tick.wrapping_add(1);
             if tick.is_multiple_of(DEADLINE_STRIDE) {
                 if let Some(d) = self.deadline {
                     if std::time::Instant::now() >= d {
-                        self.backtrack(0);
                         return SatOutcome::Unknown;
                     }
                 }
@@ -597,20 +644,90 @@ impl SatSolver {
                     self.backtrack(0);
                     continue;
                 }
-                if !self.decide() {
+                // Re-plant any assumption not yet on the trail (restarts and
+                // backjumps cancel them) before making a real decision.
+                let mut next = None;
+                while self.trail_lim.len() < assumptions.len() {
+                    let p = assumptions[self.trail_lim.len()];
+                    match self.value(p) {
+                        // Already implied: open an empty pseudo-level so the
+                        // level count keeps tracking the assumption index.
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        LBool::False => {
+                            self.core = self.analyze_final(p);
+                            return SatOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if let Some(p) = next {
+                    self.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(p, CLAUSE_NONE);
+                } else if !self.decide() {
+                    self.save_model();
                     return SatOutcome::Sat;
                 }
             }
         }
     }
 
-    /// Value of variable `v` in the found model (after `Sat`).
-    pub fn model_value(&self, v: u32) -> bool {
-        match self.assign[v as usize] {
-            LBool::True => true,
-            LBool::False => false,
-            LBool::Undef => false, // don't-care
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): called when
+    /// assumption `p` is falsified while being planted. Walks the
+    /// implication graph back from `!p` and collects the pseudo-decisions
+    /// — i.e. earlier assumptions — it rests on. The returned core is a
+    /// subset of the assumption set containing `p`; its conjunction is
+    /// inconsistent with the clause set.
+    fn analyze_final(&self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.trail_lim.is_empty() {
+            return core;
         }
+        let mut seen = vec![false; self.assign.len()];
+        seen[p.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var() as usize;
+            if !seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == CLAUSE_NONE {
+                // A pseudo-decision: every decision on the trail at this
+                // point is a planted assumption.
+                debug_assert!(self.level[v] > 0);
+                core.push(l);
+            } else {
+                for &q in &self.clauses[r as usize].lits {
+                    if self.level[q.var() as usize] > 0 {
+                        seen[q.var() as usize] = true;
+                    }
+                }
+            }
+            seen[v] = false;
+        }
+        core
+    }
+
+    /// UNSAT core of the most recent assumption query that returned
+    /// `Unsat`: a subset of the assumption literals whose conjunction the
+    /// clause set refutes. Empty if the clause set alone is unsatisfiable.
+    pub fn last_core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    fn save_model(&mut self) {
+        self.model.clear();
+        self.model
+            .extend(self.assign.iter().map(|a| matches!(a, LBool::True)));
+    }
+
+    /// Value of variable `v` in the model saved by the last `Sat` outcome.
+    pub fn model_value(&self, v: u32) -> bool {
+        self.model.get(v as usize).copied().unwrap_or(false)
     }
 
     /// Reset statistics counters.
@@ -753,6 +870,142 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn assumptions_flip_verdict_without_consuming_clauses() {
+        // (x1 | x2) with assumption !x1,!x2 is Unsat; without, Sat. The
+        // instance stays reusable across queries in both directions.
+        let mut s = SatSolver::new();
+        let c = lits(&[1, 2], &mut s);
+        s.add_clause(&c);
+        let a = Lit::neg(0);
+        let b = Lit::neg(1);
+        assert_eq!(s.solve_under_assumptions(&[a, b]), SatOutcome::Unsat);
+        let core = s.last_core().to_vec();
+        assert!(!core.is_empty() && core.iter().all(|l| *l == a || *l == b));
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.solve_under_assumptions(&[a]), SatOutcome::Sat);
+        assert!(s.model_value(1), "x2 must carry (x1|x2) under !x1");
+        assert_eq!(s.solve_under_assumptions(&[b, a]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn final_conflict_core_is_minimal_relevant_subset() {
+        // Chain x1 -> x2 -> x3; assuming [x1, !x3, x5] fails, and the core
+        // must involve only the chain assumptions, never the free x5.
+        let mut s = SatSolver::new();
+        let c = lits(&[-1, 2], &mut s);
+        s.add_clause(&c);
+        let c = lits(&[-2, 3], &mut s);
+        s.add_clause(&c);
+        while s.num_vars() < 5 {
+            s.new_var();
+        }
+        let assumptions = [Lit::pos(0), Lit::neg(2), Lit::pos(4)];
+        assert_eq!(s.solve_under_assumptions(&assumptions), SatOutcome::Unsat);
+        let core = s.last_core();
+        assert!(core.contains(&Lit::pos(0)) || core.contains(&Lit::neg(2)));
+        assert!(
+            !core.contains(&Lit::pos(4)),
+            "irrelevant assumption leaked into the core"
+        );
+        for l in core {
+            assert!(assumptions.contains(l), "core must be over the assumptions");
+        }
+    }
+
+    #[test]
+    fn unsat_clause_set_yields_empty_core() {
+        let mut s = SatSolver::new();
+        let c1 = lits(&[1], &mut s);
+        let c2 = lits(&[-1], &mut s);
+        s.add_clause(&c1);
+        s.add_clause(&c2);
+        assert_eq!(s.solve_under_assumptions(&[Lit::pos(0)]), SatOutcome::Unsat);
+        assert!(s.last_core().is_empty(), "formula-level Unsat has no core");
+    }
+
+    #[test]
+    fn incremental_reuse_keeps_learned_clauses_and_answers() {
+        // Pigeonhole 3-into-2 behind three activation literals: assuming
+        // all three is Unsat, dropping one is Sat — on one instance.
+        let p = |i: u32, j: u32| 3 + i * 2 + j; // vars 3.. hold p_ij
+        let mut s = SatSolver::new();
+        for _ in 0..9 {
+            s.new_var();
+        }
+        let acts = [Lit::pos(0), Lit::pos(1), Lit::pos(2)];
+        for i in 0..3u32 {
+            // act_i -> (p_i0 | p_i1)
+            s.add_clause(&[
+                acts[i as usize].negate(),
+                Lit::pos(p(i, 0)),
+                Lit::pos(p(i, 1)),
+            ]);
+        }
+        for j in 0..2u32 {
+            for i1 in 0..3u32 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p(i1, j)), Lit::neg(p(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(s.solve_under_assumptions(&acts), SatOutcome::Unsat);
+        let learned_after_first = s.num_learned();
+        // The core names the activation subset that clashed.
+        assert!(s.last_core().iter().all(|l| acts.contains(l)));
+        // Any two pigeons fit: every 2-subset of activations is Sat.
+        for drop in 0..3 {
+            let subset: Vec<Lit> = (0..3).filter(|&k| k != drop).map(|k| acts[k]).collect();
+            assert_eq!(s.solve_under_assumptions(&subset), SatOutcome::Sat);
+        }
+        assert!(
+            s.num_learned() >= learned_after_first,
+            "learned clauses must be retained across queries"
+        );
+        // And the full set still fails on the same instance.
+        assert_eq!(s.solve_under_assumptions(&acts), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn budget_is_per_query_delta_not_cumulative() {
+        // Burn conflicts on a hard query, then confirm a propagation-only
+        // query on the same instance still fits its own budget (the
+        // cumulative-counter bug would return Unknown before solving).
+        let act = 0u32; // var 0 gates the pigeonhole constraints
+        let p = |i: u32, j: u32| 1 + i * 4 + j;
+        let mut s = SatSolver::new();
+        for _ in 0..(1 + 5 * 4) {
+            s.new_var();
+        }
+        for i in 0..5u32 {
+            let mut c = vec![Lit::neg(act)];
+            c.extend((0..4).map(|j| Lit::pos(p(i, j))));
+            s.add_clause(&c);
+        }
+        for j in 0..4u32 {
+            for i1 in 0..5u32 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[Lit::neg(act), Lit::neg(p(i1, j)), Lit::neg(p(i2, j))]);
+                }
+            }
+        }
+        s.max_conflicts = Some(2);
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(act)]),
+            SatOutcome::Unknown,
+            "5-into-4 pigeonhole must exhaust a 2-conflict budget"
+        );
+        assert!(s.conflicts >= 2, "budget run must actually conflict");
+        // With the gate off, every clause is satisfied by !act alone: the
+        // query needs zero conflicts, so its own 2-conflict window must
+        // admit it no matter how many conflicts earlier queries spent.
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::neg(act)]),
+            SatOutcome::Sat,
+            "per-query budget must reset between queries"
+        );
     }
 
     #[test]

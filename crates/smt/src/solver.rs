@@ -7,6 +7,7 @@
 //! input bytes, which the harness turns into concrete reproduction messages.
 
 use crate::bitblast::BitBlaster;
+use crate::incremental::IncrementalSolver;
 use crate::sat::SatOutcome;
 use crate::simplify::{mk_and, propagate_equalities, Preprocessed};
 use crate::{Assignment, Term};
@@ -164,6 +165,24 @@ pub struct SolverStats {
     /// whole shared cache when one is attached, not just this solver's
     /// contributions).
     pub cache_size: u64,
+    /// Queries probed against an attached incremental context.
+    pub assumption_probes: u64,
+    /// Probes answered Unsat (published without a fresh solve).
+    pub probe_unsat: u64,
+    /// Probes refuted by a recorded UNSAT core with no search at all.
+    pub core_prunes: u64,
+    /// Learned clauses retained in the incremental context across
+    /// queries (point-in-time; summed over per-worker contexts on merge).
+    pub learned_retained: u64,
+    /// Bit-blast CNF cache hits in the incremental context (shared DAG
+    /// nodes encoded once instead of once per query).
+    pub cnf_cache_hits: u64,
+    /// Nanoseconds spent bit-blasting terms to CNF (fresh and
+    /// incremental paths combined).
+    pub bitblast_ns: u64,
+    /// Nanoseconds spent in CDCL search (fresh and incremental paths
+    /// combined).
+    pub search_ns: u64,
 }
 
 impl SolverStats {
@@ -181,6 +200,13 @@ impl SolverStats {
         self.cache_hits += other.cache_hits;
         self.unknown += other.unknown;
         self.cache_size = self.cache_size.max(other.cache_size);
+        self.assumption_probes += other.assumption_probes;
+        self.probe_unsat += other.probe_unsat;
+        self.core_prunes += other.core_prunes;
+        self.learned_retained += other.learned_retained;
+        self.cnf_cache_hits += other.cnf_cache_hits;
+        self.bitblast_ns += other.bitblast_ns;
+        self.search_ns += other.search_ns;
     }
 }
 
@@ -320,6 +346,14 @@ pub struct Solver {
     /// each solver owns a private cache; [`Solver::with_cache`] attaches a
     /// shared one so parallel workers reuse each other's verdicts.
     cache: Arc<VerdictCache>,
+    /// Optional persistent incremental context (see
+    /// [`Solver::enable_incremental`]). When attached, every cache-missed
+    /// query is first answered as an assumption probe; only the
+    /// value-deterministic Unsat answer is published directly — Sat and
+    /// Unknown probes fall through to the canonical fresh solve, so
+    /// models and budget-limited Unknowns stay byte-identical to the
+    /// non-incremental flow.
+    incremental: Option<IncrementalSolver>,
 }
 
 impl Solver {
@@ -340,6 +374,25 @@ impl Solver {
     /// share it with another solver).
     pub fn cache(&self) -> &Arc<VerdictCache> {
         &self.cache
+    }
+
+    /// Attach a persistent incremental context (idempotent).
+    ///
+    /// The context amortizes bit-blasting and CDCL search across the
+    /// closely-related queries of one test: assertions encode once behind
+    /// activation literals, learned clauses and variable activities
+    /// survive between queries, and recorded UNSAT cores refute whole
+    /// families of later queries without search. Attach one context per
+    /// (test, worker) — its value comes from queries sharing structure.
+    pub fn enable_incremental(&mut self) {
+        if self.incremental.is_none() {
+            self.incremental = Some(IncrementalSolver::new());
+        }
+    }
+
+    /// True if an incremental context is attached.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental.is_some()
     }
 
     /// Check satisfiability of the conjunction of `assertions`.
@@ -366,6 +419,46 @@ impl Solver {
         self.cache.insert(key, result.clone(), &self.budget);
         self.stats.cache_size = self.cache.len() as u64;
         result
+    }
+
+    /// Probe the attached incremental context for `key`, returning
+    /// `Some(Unsat)` when the probe refutes the query. Sat and Unknown
+    /// probe outcomes return `None` so the caller falls through to the
+    /// canonical fresh solve — models and budget-limited Unknowns stay
+    /// byte-identical to the non-incremental flow (Unsat is the one
+    /// value-deterministic verdict a probe may publish).
+    fn probe_incremental(&mut self, key: &[Term]) -> Option<SatResult> {
+        // Probes are advisory, so their search effort is capped on top of
+        // the query budget: a probe the context cannot refute quickly
+        // (hard Unsat, or Sat — which must re-solve fresh for a canonical
+        // model anyway) aborts as Unknown and falls through, bounding the
+        // overhead per query. Cheap refutations — unit propagation over
+        // retained learned clauses, recorded-core subsumption — are the
+        // payoff and fit well under the cap.
+        const PROBE_CONFLICT_CAP: u64 = 512;
+        let inc = self.incremental.as_mut()?;
+        let mut probe_budget = self.budget;
+        probe_budget.max_conflicts = Some(
+            probe_budget
+                .max_conflicts
+                .map_or(PROBE_CONFLICT_CAP, |c| c.min(PROBE_CONFLICT_CAP)),
+        );
+        let (c0, d0, p0) = inc.sat_counters();
+        let (bb0, se0) = inc.timing_ns();
+        let probe = inc.probe(key, &probe_budget);
+        let (c1, d1, p1) = inc.sat_counters();
+        let (bb1, se1) = inc.timing_ns();
+        self.stats.sat_conflicts += c1 - c0;
+        self.stats.sat_decisions += d1 - d0;
+        self.stats.sat_propagations += p1 - p0;
+        self.stats.bitblast_ns += bb1 - bb0;
+        self.stats.search_ns += se1 - se0;
+        self.stats.assumption_probes = inc.probes();
+        self.stats.probe_unsat = inc.probe_unsat();
+        self.stats.core_prunes = inc.core_prunes();
+        self.stats.learned_retained = inc.learned_retained();
+        self.stats.cnf_cache_hits = inc.cnf_cache_hits();
+        matches!(probe, SatOutcome::Unsat).then_some(SatResult::Unsat)
     }
 
     fn check_uncached(&mut self, assertions: &[Term]) -> SatResult {
@@ -397,17 +490,31 @@ impl Solver {
             );
             return SatResult::Sat(Arc::new(model));
         }
+        // Phase 1.5: assumption-probe the incremental context, if one is
+        // attached. Only queries simplification could not decide reach
+        // this point — exactly the ones worth real search — so the probe
+        // never competes with the (much cheaper) rewriting phase. It runs
+        // on the *original* canonical conjuncts, not the residual: the
+        // activation literals must align with the group conditions shared
+        // across the test's pair matrix for UNSAT-core family pruning.
+        if let Some(refuted) = self.probe_incremental(assertions) {
+            return refuted;
+        }
         // Phase 2: bit-blast and solve.
         let mut bb = BitBlaster::new();
         bb.sat.max_conflicts = self.budget.max_conflicts;
         bb.sat.max_propagations = self.budget.max_propagations;
         bb.sat.deadline = self.budget.time_limit.map(|d| Instant::now() + d);
+        let t0 = Instant::now();
         for t in &residual {
             bb.assert_term(t);
         }
+        self.stats.bitblast_ns += t0.elapsed().as_nanos() as u64;
         self.stats.cnf_clauses += bb.sat.num_clauses() as u64;
         self.stats.cnf_vars += bb.sat.num_vars() as u64;
+        let t1 = Instant::now();
         let out = bb.sat.solve();
+        self.stats.search_ns += t1.elapsed().as_nanos() as u64;
         self.stats.sat_conflicts += bb.sat.conflicts;
         self.stats.sat_decisions += bb.sat.decisions;
         self.stats.sat_propagations += bb.sat.propagations;

@@ -68,7 +68,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -437,6 +437,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }),
         resume: common.journal.resume,
         fsync: common.journal.fsync,
+        incremental: !args.iter().any(|a| a == "--no-incremental"),
     };
     eprintln!(
         "streaming {} vs {} through {} test(s) with {} job(s) ...",
@@ -685,6 +686,31 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `report --json` solver section: cumulative query statistics of
+/// the crosscheck pass, including the incremental-context counters
+/// (assumption probes, UNSAT-core prunes, CNF cache hits).
+fn solver_json(s: &soft::smt::SolverStats) -> Json {
+    Json::Object(vec![
+        ("queries".into(), Json::UInt(s.queries)),
+        (
+            "solved_by_simplification".into(),
+            Json::UInt(s.solved_by_simplification),
+        ),
+        ("cache_hits".into(), Json::UInt(s.cache_hits)),
+        ("unknown".into(), Json::UInt(s.unknown)),
+        ("sat_conflicts".into(), Json::UInt(s.sat_conflicts)),
+        ("sat_decisions".into(), Json::UInt(s.sat_decisions)),
+        ("sat_propagations".into(), Json::UInt(s.sat_propagations)),
+        ("assumption_probes".into(), Json::UInt(s.assumption_probes)),
+        ("probe_unsat".into(), Json::UInt(s.probe_unsat)),
+        ("core_prunes".into(), Json::UInt(s.core_prunes)),
+        ("learned_retained".into(), Json::UInt(s.learned_retained)),
+        ("cnf_cache_hits".into(), Json::UInt(s.cnf_cache_hits)),
+        ("bitblast_ns".into(), Json::UInt(s.bitblast_ns)),
+        ("search_ns".into(), Json::UInt(s.search_ns)),
+    ])
+}
+
 /// The machine-readable witness block of a `report --json` root cause.
 fn witness_json(entry: &CorpusEntry) -> Json {
     match &entry.status {
@@ -891,6 +917,7 @@ fn cmd_report(args: &[String]) -> ExitCode {
                 "unverified".into(),
                 Json::UInt(result.unverified.len() as u64),
             ),
+            ("solver".into(), solver_json(&result.solver)),
             ("root_causes".into(), Json::Array(causes_json)),
         ]);
         if let Err(e) = atomic_write(

@@ -95,6 +95,12 @@ pub struct SessionConfig {
     pub resume: bool,
     /// Fsync journal appends and artifact publishes.
     pub fsync: bool,
+    /// Give crosscheck workers and the probe scheduler persistent
+    /// incremental solver contexts (honored only while the session
+    /// budget is unlimited; artifacts are byte-identical either way).
+    /// Deliberately excluded from the journal fingerprint: a journal
+    /// written under either setting describes the same work.
+    pub incremental: bool,
 }
 
 /// What one test produced, for CLI reporting and exit-code policy.
@@ -173,6 +179,7 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionReport, String> {
         solver_budget: cfg.solver_budget,
         jobs: cfg.jobs.max(1),
         retry_rungs: cfg.retry_rungs,
+        incremental: cfg.incremental,
         ..CrosscheckConfig::default()
     };
     let n_units = cfg.tests.len() * 2;
@@ -250,9 +257,16 @@ impl ProbeQueue {
         self.cv.notify_all();
     }
 
-    /// No more probes will arrive; workers drain the remainder and exit.
+    /// No more probes will arrive — and none of the backlog is worth
+    /// running anymore. Probes are advisory (the canonical pass
+    /// re-derives every verdict from scratch), so once exploration has
+    /// finished, solving leftover claims serializes the pipeline behind
+    /// the probe solver for zero latency benefit; the pending queue is
+    /// discarded and workers exit after their in-flight probe.
     fn close(&self) {
-        recover(&self.state).1 = true;
+        let mut st = recover(&self.state);
+        st.1 = true;
+        st.0.clear();
         self.cv.notify_all();
     }
 
@@ -368,7 +382,7 @@ fn run_one_test(
         workers: (cfg.jobs / 2).max(1),
         ..base_explorer.clone()
     };
-    let sched = CheckScheduler::new(cfg.solver_budget);
+    let sched = CheckScheduler::new(cfg.solver_budget, cfg.incremental);
     let builders = Mutex::new((
         GroupBuilder::new(cfg.agent_a.id(), test.id, TreeShape::Balanced),
         GroupBuilder::new(cfg.agent_b.id(), test.id, TreeShape::Balanced),

@@ -88,7 +88,7 @@ fn phased(seed: u64, jobs: usize) -> (String, String, String) {
 
 /// One `soft run` session over the same test; returns the published
 /// artifact bytes read back from disk.
-fn streaming(tag: &str, seed: u64, jobs: usize) -> (String, String, String) {
+fn streaming(tag: &str, seed: u64, jobs: usize, incremental: bool) -> (String, String, String) {
     let dir = temp_dir(tag);
     let prefix = format!("{}/", dir.display());
     let cfg = SessionConfig {
@@ -104,6 +104,7 @@ fn streaming(tag: &str, seed: u64, jobs: usize) -> (String, String, String) {
         journal: None,
         resume: false,
         fsync: false,
+        incremental,
     };
     let report = run_session(&cfg).expect("session");
     assert_eq!(report.outcomes.len(), 1);
@@ -128,7 +129,7 @@ fn streaming_matches_phased_for_every_seed_and_jobs() {
         let (norm_a, norm_b) = (normalize_wall(&ref_a), normalize_wall(&ref_b));
         for jobs in [1usize, 8] {
             let tag = format!("s{s}_j{jobs}");
-            let (got_a, got_b, got_corpus) = streaming(&tag, seed, jobs);
+            let (got_a, got_b, got_corpus) = streaming(&tag, seed, jobs, true);
             assert_eq!(
                 normalize_wall(&got_a),
                 norm_a,
@@ -144,6 +145,35 @@ fn streaming_matches_phased_for_every_seed_and_jobs() {
                 "corpus diverged (seed {seed:#x}, jobs {jobs})"
             );
         }
+    }
+}
+
+/// The incremental-solver equivalence gate: the persistent per-test
+/// contexts (assumption probes, CNF caching, UNSAT-core pruning) are a
+/// pure speed lever — with them on or off the session publishes
+/// byte-identical artifacts and corpora at any `--jobs`. Probes publish
+/// only Unsat verdicts, which are value-deterministic, so nothing
+/// history-dependent can leak into the bytes.
+#[test]
+fn incremental_on_and_off_publish_identical_bytes() {
+    let seed = 0x50F7u64;
+    for jobs in [1usize, 8] {
+        let (off_a, off_b, off_corpus) = streaming(&format!("inc_off_j{jobs}"), seed, jobs, false);
+        let (on_a, on_b, on_corpus) = streaming(&format!("inc_on_j{jobs}"), seed, jobs, true);
+        assert_eq!(
+            normalize_wall(&on_a),
+            normalize_wall(&off_a),
+            "artifact A diverged with incremental solving (jobs {jobs})"
+        );
+        assert_eq!(
+            normalize_wall(&on_b),
+            normalize_wall(&off_b),
+            "artifact B diverged with incremental solving (jobs {jobs})"
+        );
+        assert_eq!(
+            on_corpus, off_corpus,
+            "corpus diverged with incremental solving (jobs {jobs})"
+        );
     }
 }
 
@@ -169,6 +199,7 @@ fn starved_session_is_clean_and_deterministic() {
             journal: None,
             resume: false,
             fsync: false,
+            incremental: true,
         };
         let report = run_session(&cfg).expect("session");
         let corpus =
