@@ -57,7 +57,7 @@ pub use crosscheck::{
 pub use group::{
     group_paths, group_paths_with, GroupBuilder, GroupError, GroupedResults, OutputGroup, TreeShape,
 };
-pub use regression::{regression_check, RegressionReport};
+pub use regression::{condition_diff, regression_check, ConditionDiff, RegressionReport};
 pub use replay::{concretize_inputs, replay, run_concrete, ReplayError, ReplayOutcome};
 pub use report::{classify_outputs, signature, DivergenceKind};
 pub use soft::{PairReport, Soft};

@@ -11,7 +11,8 @@
 use crate::crosscheck::{crosscheck, CrosscheckConfig, Inconsistency};
 use crate::group::GroupedResults;
 use soft_harness::ObservedOutput;
-use std::collections::HashSet;
+use soft_smt::Term;
+use std::collections::{HashMap, HashSet};
 
 /// The outcome of comparing a current run against a baseline.
 #[derive(Debug, Clone)]
@@ -34,6 +35,69 @@ impl RegressionReport {
     /// baseline on the tested input space.
     pub fn is_clean(&self) -> bool {
         self.new_outputs.is_empty() && self.removed_outputs.is_empty() && self.shifts.is_empty()
+    }
+}
+
+/// The solver-free core of a regression diff: which of `current`'s
+/// groups are *provably unchanged* from `baseline`?
+///
+/// A group is unchanged when `baseline` has a group with the same output
+/// class and a structurally identical path condition. A crosscheck
+/// verdict is a pure function of the two groups' conditions, their
+/// outputs, and the budget, so any stored verdict whose two endpoint
+/// groups are unchanged can be reused verbatim — no solving. Everything
+/// else is impacted and must re-solve. This is the invalidation rule
+/// behind `soft serve`'s diff-based partial re-audit.
+#[derive(Debug, Clone, Default)]
+pub struct ConditionDiff {
+    /// Per current group: `Some(bi)` when it exactly matches baseline
+    /// group `bi`, `None` when it is new or its condition changed.
+    pub unchanged: Vec<Option<usize>>,
+    /// Count of current groups with no exact baseline counterpart.
+    pub impacted: usize,
+}
+
+impl ConditionDiff {
+    /// Baseline-index → current-index map over unchanged groups (the
+    /// direction stored verdicts are translated in).
+    pub fn baseline_to_current(&self) -> HashMap<usize, usize> {
+        self.unchanged
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.map(|bi| (bi, i)))
+            .collect()
+    }
+}
+
+/// Diff `current` against `baseline` without any solver work (see
+/// [`ConditionDiff`]). Both must be grouped results for the same test.
+pub fn condition_diff(baseline: &GroupedResults, current: &GroupedResults) -> ConditionDiff {
+    assert_eq!(
+        baseline.test, current.test,
+        "regression comparison across different tests"
+    );
+    // Outputs are unique per grouping (groups are keyed by output), so
+    // this map is injective.
+    let by_output: HashMap<&ObservedOutput, usize> = baseline
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (&g.output, i))
+        .collect();
+    let unchanged: Vec<Option<usize>> = current
+        .groups
+        .iter()
+        .map(|g| {
+            by_output.get(&g.output).copied().filter(|&bi| {
+                Term::structural_cmp(&baseline.groups[bi].condition, &g.condition)
+                    == std::cmp::Ordering::Equal
+            })
+        })
+        .collect();
+    let impacted = unchanged.iter().filter(|u| u.is_none()).count();
+    ConditionDiff {
+        unchanged,
+        impacted,
     }
 }
 
@@ -89,6 +153,33 @@ mod tests {
         let g2 = group_paths("v2", &run.test, &run.paths).expect("grouping");
         let report = regression_check(&g1, &g2, &CrosscheckConfig::default());
         assert!(report.is_clean(), "identical versions must be clean");
+    }
+
+    #[test]
+    fn condition_diff_identity_and_change() {
+        let soft = Soft::new();
+        let test = suite::packet_out();
+        let base = soft
+            .group(&soft.phase1(AgentKind::Reference, &test))
+            .expect("grouping");
+        let same = soft
+            .group(&soft.phase1(AgentKind::Reference, &test))
+            .expect("grouping");
+        // Identical runs: every group maps straight across, no solving.
+        let diff = condition_diff(&base, &same);
+        assert_eq!(diff.impacted, 0);
+        assert!(diff
+            .unchanged
+            .iter()
+            .enumerate()
+            .all(|(i, u)| *u == Some(i)));
+        assert_eq!(diff.baseline_to_current().len(), base.groups.len());
+        // A behaviourally different agent: some groups must be impacted.
+        let changed = soft
+            .group(&soft.phase1(AgentKind::Modified, &test))
+            .expect("grouping");
+        let diff = condition_diff(&base, &changed);
+        assert!(diff.impacted > 0, "mutated agent must impact some groups");
     }
 
     #[test]

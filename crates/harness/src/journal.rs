@@ -127,7 +127,28 @@ impl From<io::Error> for JournalError {
 /// flush (+ fsync unless disabled), rename over the target, then fsync
 /// the directory so the rename itself is durable. A crash at any point
 /// leaves either the old content or the new content, never a torn file.
+///
+/// A directory fsync that fails with a real I/O error propagates — the
+/// publish is not durable and callers (a serve daemon acking a job, say)
+/// must not pretend it is. Filesystems that cannot fsync directories at
+/// all (ENOTSUP / EINVAL) are excused.
 pub fn atomic_write(path: &Path, data: &[u8], fsync: bool) -> io::Result<()> {
+    atomic_write_with(path, data, fsync, &sync_dir)
+}
+
+/// Per-process counter distinguishing temp files of concurrent writers
+/// targeting the same path. The pid alone is not enough once several
+/// daemon workers publish into one store directory.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// [`atomic_write`] with the directory-sync step injectable, so tests
+/// can exercise the failure classification without a faulty filesystem.
+fn atomic_write_with(
+    path: &Path,
+    data: &[u8],
+    fsync: bool,
+    sync_dir: &dyn Fn(&Path) -> io::Result<()>,
+) -> io::Result<()> {
     let dir = match path.parent() {
         Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
         _ => PathBuf::from("."),
@@ -136,9 +157,10 @@ pub fn atomic_write(path: &Path, data: &[u8], fsync: bool) -> io::Result<()> {
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
     let tmp = dir.join(format!(
-        ".{}.tmp.{}",
+        ".{}.tmp.{}.{}",
         name.to_string_lossy(),
-        std::process::id()
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
     let publish = (|| {
         let mut f = fs::File::create(&tmp)?;
@@ -154,13 +176,37 @@ pub fn atomic_write(path: &Path, data: &[u8], fsync: bool) -> io::Result<()> {
         return publish;
     }
     if fsync {
-        // Durability of the rename needs the directory synced; best-effort
-        // (some filesystems refuse to fsync directories).
-        if let Ok(d) = fs::File::open(&dir) {
-            let _ = d.sync_all();
+        // The rename is only durable once the directory entry is synced.
+        if let Err(e) = sync_dir(&dir) {
+            if !dir_sync_refused(&e) {
+                return Err(e);
+            }
         }
     }
     Ok(())
+}
+
+/// Fsync a directory so a rename inside it becomes durable. On
+/// platforms without directory fsync the step is a no-op.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Is this a filesystem legitimately refusing directory fsync
+/// (ENOTSUP / EINVAL), as opposed to a real I/O failure?
+fn dir_sync_refused(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Unsupported | io::ErrorKind::InvalidInput
+    ) || matches!(err.raw_os_error(), Some(22) | Some(95))
 }
 
 // ---------------------------------------------------------------------------
@@ -392,7 +438,10 @@ fn bits_in(v: &Json) -> Result<Vec<bool>, String> {
 /// FNV-1a 64-bit over a sequence of parts (with separators), rendered as
 /// fixed-width hex. Deliberately avoids hashing any interner-dependent
 /// representation: only stable identifiers and raw artifact text go in.
-fn fnv64_hex(parts: &[&str]) -> String {
+/// FNV-1a 64-bit hash over `parts` (unit-separated), hex-encoded.
+/// Process-stable; the fingerprint primitive shared by journals and the
+/// serve result store.
+pub fn fnv64_hex(parts: &[&str]) -> String {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -408,7 +457,7 @@ fn fnv64_hex(parts: &[&str]) -> String {
 }
 
 /// Wire form of a solver budget (only finite dimensions appear).
-fn budget_out(b: &SolverBudget) -> Json {
+pub(crate) fn budget_out(b: &SolverBudget) -> Json {
     let mut o = Vec::new();
     if let Some(n) = b.max_conflicts {
         o.push(("conflicts".to_string(), Json::UInt(n)));
@@ -422,7 +471,7 @@ fn budget_out(b: &SolverBudget) -> Json {
     Json::Object(o)
 }
 
-fn budget_in(v: &Json) -> Result<SolverBudget, String> {
+pub(crate) fn budget_in(v: &Json) -> Result<SolverBudget, String> {
     let dim = |key: &str| -> Result<Option<u64>, String> {
         match v.get(key) {
             Some(j) => Ok(Some(j.as_u64()?)),
@@ -1018,7 +1067,7 @@ pub struct VerdictRec {
     pub budget: SolverBudget,
 }
 
-fn verdict_record(
+pub(crate) fn verdict_record(
     t: Option<u64>,
     i: usize,
     j: usize,
@@ -1057,7 +1106,7 @@ fn verdict_record(
     Json::Object(fields)
 }
 
-fn parse_verdict_record(v: &Json) -> Result<VerdictRec, String> {
+pub(crate) fn parse_verdict_record(v: &Json) -> Result<VerdictRec, String> {
     let rec = v.field("rec")?.as_str()?;
     if rec != "verdict" {
         return Err(format!("unexpected record type '{rec}'"));
@@ -1543,6 +1592,62 @@ mod tests {
         atomic_write(&path, b"second", false).unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"second");
         // No temp droppings left behind.
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(&name) && e.path() != path)
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_real_errors_propagate() {
+        let path = temp_path("dirsync_err");
+        let fail = |_: &Path| -> io::Result<()> { Err(io::Error::other("disk on fire")) };
+        let err = atomic_write_with(&path, b"x", true, &fail).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // The rename happened before the failed sync, so the bytes are
+        // on disk — the error reports the durability gap, not data loss.
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+        // Without fsync the directory-sync step never runs at all.
+        atomic_write_with(&path, b"y", false, &fail).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"y");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_refusals_are_excused() {
+        let path = temp_path("dirsync_refused");
+        let enotsup =
+            |_: &Path| -> io::Result<()> { Err(io::Error::from(io::ErrorKind::Unsupported)) };
+        atomic_write_with(&path, b"x", true, &enotsup).unwrap();
+        let einval = |_: &Path| -> io::Result<()> { Err(io::Error::from_raw_os_error(22)) };
+        atomic_write_with(&path, b"y", true, &einval).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"y");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_target_never_collide() {
+        let path = temp_path("atomic_race");
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let path = path.clone();
+                s.spawn(move || {
+                    let data = vec![b'a' + t; 64];
+                    for _ in 0..50 {
+                        atomic_write(&path, &data, false).unwrap();
+                    }
+                });
+            }
+        });
+        // The survivor is one writer's payload in full, never a mix.
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 64);
+        assert!(bytes.windows(2).all(|w| w[0] == w[1]));
         let dir = path.parent().unwrap();
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let leftovers: Vec<_> = fs::read_dir(dir)

@@ -13,17 +13,21 @@
 pub mod input;
 pub mod journal;
 pub mod json;
+pub mod proto;
 pub mod recorded;
 pub mod runner;
+pub mod store;
 pub mod suite;
 pub mod wire;
 
 pub use input::{Input, TestCase};
 pub use journal::{
-    atomic_write, check_fingerprint, phase1_fingerprint, run_matrix_durable, run_test_durable,
-    run_unit_durable, session_fingerprint, CheckJournal, CorpusRec, DurableRun, JournalError,
-    SessionJournal, SessionRecovery, SessionUnitSink, UnitRecovery, VerdictRec,
+    atomic_write, check_fingerprint, fnv64_hex, phase1_fingerprint, run_matrix_durable,
+    run_test_durable, run_unit_durable, session_fingerprint, CheckJournal, CorpusRec, DurableRun,
+    JournalError, SessionJournal, SessionRecovery, SessionUnitSink, UnitRecovery, VerdictRec,
 };
+pub use proto::JobSpec;
 pub use recorded::{symbolize_frame, RecordedTrace, Symbolize};
 pub use runner::{record_path, run_matrix, run_test, ObservedOutput, PathRecord, TestRun};
+pub use store::{job_key, logical_key, ResultStore, StoreEntry};
 pub use wire::TestRunFile;

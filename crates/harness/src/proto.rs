@@ -1,0 +1,245 @@
+//! Length-prefixed JSON wire protocol for `soft serve`.
+//!
+//! Frames reuse the journal's record framing — `[u32 LE payload length]
+//! [u32 LE CRC32] [JSON payload]` — over any byte stream, so a `soft
+//! submit` client and the serve daemon speak the exact format the WAL
+//! already proves out. Every message is a JSON object with a `"type"`
+//! field:
+//!
+//! | direction | type        | meaning                                       |
+//! |-----------|-------------|-----------------------------------------------|
+//! | request   | `job`       | run (or answer from store) one audit job      |
+//! | request   | `status`    | report store-wide counters                    |
+//! | request   | `drain`     | stop accepting jobs, finish in-flight, exit   |
+//! | response  | `result`    | artifacts + per-job counters for a `job`      |
+//! | response  | `status`    | the counters object                           |
+//! | response  | `draining`  | drain acknowledged                            |
+//! | response  | `error`     | human-readable failure                        |
+
+use crate::journal::crc32;
+use crate::json::{self, Json};
+use std::io::{self, Read, Write};
+
+/// Sanity bound on one frame; artifacts for a single test are far
+/// smaller, so anything larger is framing damage, not data.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Serialize `msg` as one frame onto `w` (no flush; callers flush once
+/// per message batch).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
+    let mut payload = String::new();
+    msg.write_into(&mut payload);
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(bytes).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+/// Read one frame from `r`. `Ok(None)` means the peer closed the stream
+/// cleanly at a frame boundary; a partial frame, checksum mismatch, or
+/// unparseable payload is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
+    let mut header = [0u8; 8];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err("stream closed mid-frame-header".to_string()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("frame header read: {e}")),
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let sum = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_LEN {
+        return Err(format!("frame length {len} exceeds bound"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("frame payload read: {e}"))?;
+    if crc32(&payload) != sum {
+        return Err("frame checksum mismatch".to_string());
+    }
+    let text = std::str::from_utf8(&payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
+    json::parse(text).map(Some)
+}
+
+/// One audit job: which agent pair to crosscheck on which test, under
+/// what seed and solver budget. The optional `fp_a`/`fp_b` override the
+/// daemon's computed agent fingerprints — the knob that lets a client
+/// (or a test) declare "this agent changed" without shipping code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// First agent id (e.g. `reference`).
+    pub agent_a: String,
+    /// Second agent id (e.g. `ovs`).
+    pub agent_b: String,
+    /// Test id from the suite (e.g. `queue_config`).
+    pub test: String,
+    /// Exploration seed.
+    pub seed: u64,
+    /// Per-query solver conflict budget; `None` is unlimited.
+    pub budget_conflicts: Option<u64>,
+    /// Witness neighborhood-fuzz tries.
+    pub fuzz: u64,
+    /// Unknown-verdict retry rungs.
+    pub retry_rungs: u64,
+    /// Fingerprint override for agent A (hex, as produced by
+    /// [`crate::fnv64_hex`]).
+    pub fp_a: Option<String>,
+    /// Fingerprint override for agent B.
+    pub fp_b: Option<String>,
+}
+
+impl JobSpec {
+    /// The `job` request message for this spec.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("type".to_string(), Json::Str("job".to_string())),
+            ("agent_a".to_string(), Json::Str(self.agent_a.clone())),
+            ("agent_b".to_string(), Json::Str(self.agent_b.clone())),
+            ("test".to_string(), Json::Str(self.test.clone())),
+            ("seed".to_string(), Json::UInt(self.seed)),
+            ("fuzz".to_string(), Json::UInt(self.fuzz)),
+            ("retry_rungs".to_string(), Json::UInt(self.retry_rungs)),
+        ];
+        if let Some(c) = self.budget_conflicts {
+            fields.push(("budget_conflicts".to_string(), Json::UInt(c)));
+        }
+        if let Some(fp) = &self.fp_a {
+            fields.push(("fp_a".to_string(), Json::Str(fp.clone())));
+        }
+        if let Some(fp) = &self.fp_b {
+            fields.push(("fp_b".to_string(), Json::Str(fp.clone())));
+        }
+        Json::Object(fields)
+    }
+
+    /// Parse a `job` request message.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                Some(j) => Ok(Some(j.as_u64()?)),
+                None => Ok(None),
+            }
+        };
+        let opt_str = |key: &str| -> Result<Option<String>, String> {
+            match v.get(key) {
+                Some(j) => Ok(Some(j.as_str()?.to_string())),
+                None => Ok(None),
+            }
+        };
+        Ok(JobSpec {
+            agent_a: v.field("agent_a")?.as_str()?.to_string(),
+            agent_b: v.field("agent_b")?.as_str()?.to_string(),
+            test: v.field("test")?.as_str()?.to_string(),
+            seed: v.field("seed")?.as_u64()?,
+            budget_conflicts: opt_u64("budget_conflicts")?,
+            fuzz: v.field("fuzz")?.as_u64()?,
+            retry_rungs: v.field("retry_rungs")?.as_u64()?,
+            fp_a: opt_str("fp_a")?,
+            fp_b: opt_str("fp_b")?,
+        })
+    }
+
+    /// The budget string that participates in store keys. Must be
+    /// injective over distinct budgets so two budgets never share a key.
+    pub fn budget_str(&self) -> String {
+        match self.budget_conflicts {
+            Some(c) => format!("conflicts={c}"),
+            None => "unlimited".to_string(),
+        }
+    }
+}
+
+/// Build a `status` request.
+pub fn status_request() -> Json {
+    Json::Object(vec![("type".to_string(), Json::Str("status".to_string()))])
+}
+
+/// Build a `drain` request.
+pub fn drain_request() -> Json {
+    Json::Object(vec![("type".to_string(), Json::Str("drain".to_string()))])
+}
+
+/// Build an `error` response.
+pub fn error_response(message: &str) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("error".to_string())),
+        ("message".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let spec = JobSpec {
+            agent_a: "reference".to_string(),
+            agent_b: "ovs".to_string(),
+            test: "queue_config".to_string(),
+            seed: 7,
+            budget_conflicts: Some(1000),
+            fuzz: 4,
+            retry_rungs: 2,
+            fp_a: None,
+            fp_b: Some("deadbeefdeadbeef".to_string()),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &spec.to_json()).unwrap();
+        write_frame(&mut buf, &status_request()).unwrap();
+        let mut r = &buf[..];
+        let first = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(JobSpec::from_json(&first).unwrap(), spec);
+        let second = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(second.field("type").unwrap().as_str().unwrap(), "status");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain_request()).unwrap();
+        // Flip a payload byte: checksum must catch it.
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain_request()).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Oversized length header.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn budget_strings_are_injective() {
+        let mut spec = JobSpec {
+            agent_a: String::new(),
+            agent_b: String::new(),
+            test: String::new(),
+            seed: 0,
+            budget_conflicts: None,
+            fuzz: 0,
+            retry_rungs: 0,
+            fp_a: None,
+            fp_b: None,
+        };
+        assert_eq!(spec.budget_str(), "unlimited");
+        spec.budget_conflicts = Some(10);
+        assert_eq!(spec.budget_str(), "conflicts=10");
+    }
+}

@@ -1,0 +1,373 @@
+//! Persistent cross-run result store for `soft serve`.
+//!
+//! One entry per *content key* — [`job_key`] hashes the two agent
+//! fingerprints plus every job parameter that affects the published
+//! bytes (test, budget, seed, fuzz tries, retry rungs) — holding the
+//! complete published output of one audit job: both phase-1 artifacts,
+//! the witness corpus, the summary, and the full verdict matrix. A
+//! re-submitted job whose key is present is answered from the store
+//! without touching a solver.
+//!
+//! A second, fingerprint-free *logical key* ([`logical_key`]) indexes
+//! the latest entry per (agent pair, test, budget, seed, fuzz, rungs).
+//! When a job's content key misses but its logical key hits, the agent
+//! changed: the stored entry becomes the baseline for the diff-based
+//! partial re-solve (see `DESIGN.md` § Serve architecture).
+//!
+//! Layout under the store root (all files published via
+//! [`crate::atomic_write`]):
+//!
+//! ```text
+//! jobs/<key>.json      one store entry per content key
+//! index.json           logical key -> latest content key
+//! inflight/<key>.json  jobs accepted but not yet published (recovery)
+//! wal/<key>.wal        per-job session journal
+//! out/<key>_*          per-job artifact staging area
+//! serve_stats.json     store-wide counters, persisted on drain
+//! addr                 the daemon's bound address, for clients
+//! ```
+
+use crate::journal::{atomic_write, fnv64_hex, parse_verdict_record, verdict_record, VerdictRec};
+use crate::json::{self, Json};
+use crate::proto::JobSpec;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Content key of one job: agent fingerprints + every byte-affecting
+/// job parameter.
+pub fn job_key(fp_a: &str, fp_b: &str, spec: &JobSpec) -> String {
+    fnv64_hex(&[
+        "job",
+        fp_a,
+        fp_b,
+        &spec.test,
+        &spec.budget_str(),
+        &spec.seed.to_string(),
+        &spec.fuzz.to_string(),
+        &spec.retry_rungs.to_string(),
+    ])
+}
+
+/// Fingerprint-free job identity: which audit this is, independent of
+/// the agents' current code. Maps to the latest content key in the
+/// index, which is what makes an older entry discoverable as a diff
+/// baseline after an agent changes.
+pub fn logical_key(spec: &JobSpec) -> String {
+    fnv64_hex(&[
+        "logical",
+        &spec.agent_a,
+        &spec.agent_b,
+        &spec.test,
+        &spec.budget_str(),
+        &spec.seed.to_string(),
+        &spec.fuzz.to_string(),
+        &spec.retry_rungs.to_string(),
+    ])
+}
+
+/// The complete published output of one audit job.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// Fingerprint of agent A at publish time.
+    pub fp_a: String,
+    /// Fingerprint of agent B at publish time.
+    pub fp_b: String,
+    /// Phase-1 artifact text for agent A (exact published bytes).
+    pub artifact_a: String,
+    /// Phase-1 artifact text for agent B.
+    pub artifact_b: String,
+    /// Witness corpus text.
+    pub corpus: String,
+    /// The per-test summary object (verdict counts, solver stats).
+    pub summary: Json,
+    /// Full verdict matrix of the canonical crosscheck — the seed set
+    /// for diff-based partial re-solves.
+    pub verdicts: Vec<VerdictRec>,
+}
+
+impl StoreEntry {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("fp_a".to_string(), Json::Str(self.fp_a.clone())),
+            ("fp_b".to_string(), Json::Str(self.fp_b.clone())),
+            ("artifact_a".to_string(), Json::Str(self.artifact_a.clone())),
+            ("artifact_b".to_string(), Json::Str(self.artifact_b.clone())),
+            ("corpus".to_string(), Json::Str(self.corpus.clone())),
+            ("summary".to_string(), self.summary.clone()),
+            (
+                "verdicts".to_string(),
+                Json::Array(
+                    self.verdicts
+                        .iter()
+                        .map(|r| verdict_record(None, r.i, r.j, &r.verdict, &r.budget))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<StoreEntry, String> {
+        let mut verdicts = Vec::new();
+        for rec in v.field("verdicts")?.as_array()? {
+            verdicts.push(parse_verdict_record(rec)?);
+        }
+        Ok(StoreEntry {
+            fp_a: v.field("fp_a")?.as_str()?.to_string(),
+            fp_b: v.field("fp_b")?.as_str()?.to_string(),
+            artifact_a: v.field("artifact_a")?.as_str()?.to_string(),
+            artifact_b: v.field("artifact_b")?.as_str()?.to_string(),
+            corpus: v.field("corpus")?.as_str()?.to_string(),
+            summary: v.field("summary")?.clone(),
+            verdicts,
+        })
+    }
+}
+
+/// Handle on a store root directory. All mutation goes through
+/// [`crate::atomic_write`]; concurrent *processes* must not share a
+/// root, but concurrent threads of one daemon may (the daemon
+/// serializes index updates).
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    fsync: bool,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: &Path, fsync: bool) -> io::Result<ResultStore> {
+        for sub in ["jobs", "inflight", "wal", "out"] {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(ResultStore {
+            root: root.to_path_buf(),
+            fsync,
+        })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{key}.json"))
+    }
+
+    /// Fetch the entry stored under `key`, if any. A present-but-corrupt
+    /// entry is an error, not a miss — silently re-solving would mask
+    /// store damage.
+    pub fn lookup(&self, key: &str) -> Result<Option<StoreEntry>, String> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("store read {}: {e}", path.display())),
+        };
+        let v = json::parse(&text).map_err(|e| format!("store entry {key}: {e}"))?;
+        StoreEntry::from_json(&v).map(Some)
+    }
+
+    /// Publish `entry` under `key` and point `logical` at it in the
+    /// index. The entry write lands before the index update, so a crash
+    /// between the two leaves the index pointing at the older (still
+    /// valid) entry.
+    pub fn publish(&self, key: &str, logical: &str, entry: &StoreEntry) -> io::Result<()> {
+        let mut text = String::new();
+        entry.to_json().write_into(&mut text);
+        atomic_write(&self.entry_path(key), text.as_bytes(), self.fsync)?;
+        let mut index = self.read_index();
+        index.retain(|(k, _)| k != logical);
+        index.push((logical.to_string(), Json::Str(key.to_string())));
+        index.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        Json::Object(index).write_into(&mut out);
+        atomic_write(&self.root.join("index.json"), out.as_bytes(), self.fsync)
+    }
+
+    fn read_index(&self) -> Vec<(String, Json)> {
+        let Ok(text) = fs::read_to_string(self.root.join("index.json")) else {
+            return Vec::new();
+        };
+        match json::parse(&text) {
+            Ok(Json::Object(fields)) => fields,
+            _ => Vec::new(),
+        }
+    }
+
+    /// The latest content key published for `logical`, if any.
+    pub fn latest(&self, logical: &str) -> Option<String> {
+        self.read_index()
+            .iter()
+            .find(|(k, _)| k == logical)
+            .and_then(|(_, v)| v.as_str().ok().map(str::to_string))
+    }
+
+    /// Record a job as accepted-but-unpublished; survives a crash so the
+    /// daemon can re-run it on restart.
+    pub fn record_inflight(&self, key: &str, spec: &JobSpec) -> io::Result<()> {
+        let mut text = String::new();
+        spec.to_json().write_into(&mut text);
+        atomic_write(
+            &self.root.join("inflight").join(format!("{key}.json")),
+            text.as_bytes(),
+            self.fsync,
+        )
+    }
+
+    /// Drop a job's in-flight record (published or abandoned).
+    pub fn clear_inflight(&self, key: &str) {
+        let _ = fs::remove_file(self.root.join("inflight").join(format!("{key}.json")));
+    }
+
+    /// All in-flight records, sorted by key for deterministic recovery
+    /// order.
+    pub fn list_inflight(&self) -> Vec<(String, JobSpec)> {
+        let mut out = Vec::new();
+        let Ok(dir) = fs::read_dir(self.root.join("inflight")) else {
+            return out;
+        };
+        for e in dir.filter_map(|e| e.ok()) {
+            let name = e.file_name().to_string_lossy().to_string();
+            let Some(key) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Ok(text) = fs::read_to_string(e.path()) else {
+                continue;
+            };
+            let Ok(v) = json::parse(&text) else {
+                continue;
+            };
+            if let Ok(spec) = JobSpec::from_json(&v) {
+                out.push((key.to_string(), spec));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Per-job session journal path.
+    pub fn wal_path(&self, key: &str) -> PathBuf {
+        self.root.join("wal").join(format!("{key}.wal"))
+    }
+
+    /// Per-job artifact staging prefix (the session's `out_prefix`).
+    pub fn out_prefix(&self, key: &str) -> String {
+        format!("{}/{key}_", self.root.join("out").display())
+    }
+
+    /// Persist the store-wide counters object.
+    pub fn write_stats(&self, stats: &Json) -> io::Result<()> {
+        let mut text = String::new();
+        stats.write_into(&mut text);
+        atomic_write(
+            &self.root.join("serve_stats.json"),
+            text.as_bytes(),
+            self.fsync,
+        )
+    }
+
+    /// Publish the daemon's bound address for clients.
+    pub fn write_addr(&self, addr: &str) -> io::Result<()> {
+        atomic_write(&self.root.join("addr"), addr.as_bytes(), self.fsync)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_smt::{SatResult, SolverBudget};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            agent_a: "reference".to_string(),
+            agent_b: "ovs".to_string(),
+            test: "queue_config".to_string(),
+            seed: 7,
+            budget_conflicts: None,
+            fuzz: 4,
+            retry_rungs: 2,
+            fp_a: None,
+            fp_b: None,
+        }
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("soft_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_separate_fingerprints_and_params() {
+        let s = spec();
+        let k1 = job_key("aa", "bb", &s);
+        assert_eq!(k1, job_key("aa", "bb", &s), "keys must be deterministic");
+        assert_ne!(k1, job_key("aa", "cc", &s), "fingerprint must change key");
+        let mut s2 = s.clone();
+        s2.seed = 8;
+        assert_ne!(k1, job_key("aa", "bb", &s2), "seed must change key");
+        let mut s3 = s.clone();
+        s3.budget_conflicts = Some(100);
+        assert_ne!(k1, job_key("aa", "bb", &s3), "budget must change key");
+        // Logical key ignores fingerprints but not parameters.
+        assert_eq!(logical_key(&s), logical_key(&s));
+        assert_ne!(logical_key(&s), logical_key(&s2));
+    }
+
+    #[test]
+    fn entries_roundtrip_and_index_tracks_latest() {
+        let root = temp_store("roundtrip");
+        let store = ResultStore::open(&root, false).unwrap();
+        let s = spec();
+        let entry = StoreEntry {
+            fp_a: "aa".to_string(),
+            fp_b: "bb".to_string(),
+            artifact_a: "{\"a\":1}".to_string(),
+            artifact_b: "{\"b\":2}".to_string(),
+            corpus: "{\"c\":3}".to_string(),
+            summary: Json::Object(vec![("ok".to_string(), Json::Bool(true))]),
+            verdicts: vec![VerdictRec {
+                i: 0,
+                j: 1,
+                verdict: SatResult::Unsat,
+                budget: SolverBudget::unlimited(),
+            }],
+        };
+        let key = job_key("aa", "bb", &s);
+        let logical = logical_key(&s);
+        assert!(store.lookup(&key).unwrap().is_none());
+        store.publish(&key, &logical, &entry).unwrap();
+        let got = store.lookup(&key).unwrap().expect("entry");
+        assert_eq!(got.artifact_a, entry.artifact_a);
+        assert_eq!(got.artifact_b, entry.artifact_b);
+        assert_eq!(got.corpus, entry.corpus);
+        assert_eq!(got.verdicts.len(), 1);
+        assert!(matches!(got.verdicts[0].verdict, SatResult::Unsat));
+        assert_eq!(store.latest(&logical).as_deref(), Some(key.as_str()));
+        // A re-publish under a new fingerprint supersedes the index slot.
+        let key2 = job_key("aa2", "bb", &s);
+        store.publish(&key2, &logical, &entry).unwrap();
+        assert_eq!(store.latest(&logical).as_deref(), Some(key2.as_str()));
+        // The superseded entry stays addressable by content key.
+        assert!(store.lookup(&key).unwrap().is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn inflight_records_roundtrip() {
+        let root = temp_store("inflight");
+        let store = ResultStore::open(&root, false).unwrap();
+        let s = spec();
+        assert!(store.list_inflight().is_empty());
+        store.record_inflight("k1", &s).unwrap();
+        let listed = store.list_inflight();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, "k1");
+        assert_eq!(listed[0].1, s);
+        store.clear_inflight("k1");
+        assert!(store.list_inflight().is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -81,12 +81,36 @@ pub struct IncrementalSolver {
     /// search. An empty core means the base encoding itself is unsat, so
     /// every probe is.
     refuted: Vec<Vec<Lit>>,
+    /// Bound on `acts` (encoded assertions — and with them the CNF,
+    /// learned clauses, and variable store). Crossing it resets the
+    /// whole context (see [`Self::set_limits`]).
+    max_encoded: usize,
+    /// Bound on `refuted`; crossing it drops the oldest half.
+    max_cores: usize,
+    /// Entries (encoded assertions + recorded cores) dropped by the
+    /// bounds above.
+    evictions: u64,
+    /// SAT counters retired by context resets, folded into
+    /// [`Self::sat_counters`] so callers' around-probe deltas never go
+    /// backwards.
+    retired: (u64, u64, u64),
+    /// CNF cache hits retired by context resets.
+    retired_cnf_hits: u64,
     probes: u64,
     probe_unsat: u64,
     core_prunes: u64,
     bitblast_ns: u64,
     search_ns: u64,
 }
+
+/// Default bound on encoded assertions per context. A single test's
+/// assertion universe is far smaller; the bound exists so a context
+/// reused across many jobs in a long-lived process cannot grow without
+/// limit.
+pub const DEFAULT_MAX_ENCODED: usize = 1 << 16;
+
+/// Default bound on recorded UNSAT cores per context.
+pub const DEFAULT_MAX_CORES: usize = 1 << 12;
 
 impl Default for IncrementalSolver {
     fn default() -> Self {
@@ -108,18 +132,48 @@ impl fmt::Debug for IncrementalSolver {
 }
 
 impl IncrementalSolver {
-    /// Fresh, empty context.
+    /// Fresh, empty context with the default size bounds.
     pub fn new() -> Self {
         IncrementalSolver {
             bb: BitBlaster::new(),
             acts: HashMap::new(),
             refuted: Vec::new(),
+            max_encoded: DEFAULT_MAX_ENCODED,
+            max_cores: DEFAULT_MAX_CORES,
+            evictions: 0,
+            retired: (0, 0, 0),
+            retired_cnf_hits: 0,
             probes: 0,
             probe_unsat: 0,
             core_prunes: 0,
             bitblast_ns: 0,
             search_ns: 0,
         }
+    }
+
+    /// Override the context's size bounds (both clamped to at least 1).
+    ///
+    /// Crossing `max_encoded` drops the whole context — encoding, learned
+    /// clauses, and recorded cores — at the next probe; everything it
+    /// held is advisory, so verdicts are unaffected, only re-derived.
+    /// Crossing `max_cores` drops the oldest half of the recorded cores.
+    pub fn set_limits(&mut self, max_encoded: usize, max_cores: usize) {
+        self.max_encoded = max_encoded.max(1);
+        self.max_cores = max_cores.max(1);
+    }
+
+    /// Retire the current encoding wholesale: counters the facade reads
+    /// as cumulative move into `retired`, everything else is rebuilt
+    /// from scratch on demand.
+    fn reset_context(&mut self) {
+        self.evictions += (self.acts.len() + self.refuted.len()) as u64;
+        self.retired.0 += self.bb.sat.conflicts;
+        self.retired.1 += self.bb.sat.decisions;
+        self.retired.2 += self.bb.sat.propagations;
+        self.retired_cnf_hits += self.bb.cache_hits;
+        self.bb = BitBlaster::new();
+        self.acts.clear();
+        self.refuted.clear();
     }
 
     /// The activation literal guarding `t`'s encoding, encoding the term
@@ -146,6 +200,9 @@ impl IncrementalSolver {
     /// a fresh solve may still decide.
     pub fn probe(&mut self, key: &[Term], budget: &SolverBudget) -> SatOutcome {
         self.probes += 1;
+        if self.acts.len() >= self.max_encoded {
+            self.reset_context();
+        }
         let t0 = Instant::now();
         let mut assumptions = Vec::with_capacity(key.len());
         for t in key {
@@ -179,6 +236,13 @@ impl IncrementalSolver {
             if !self.refuted.iter().any(|c| is_subset(c, &core)) {
                 self.refuted.push(core);
             }
+            if self.refuted.len() > self.max_cores {
+                // Cores are advisory prune records; dropping the oldest
+                // half costs pruning power, never correctness.
+                let dropped = self.refuted.len() - self.max_cores / 2;
+                self.refuted.drain(..dropped);
+                self.evictions += dropped as u64;
+            }
         }
         out
     }
@@ -204,19 +268,36 @@ impl IncrementalSolver {
     }
 
     /// CNF cache hits in the persistent bit-blaster (shared subterms
-    /// served without re-encoding).
+    /// served without re-encoding), including hits retired by resets.
     pub fn cnf_cache_hits(&self) -> u64 {
-        self.bb.cache_hits
+        self.retired_cnf_hits + self.bb.cache_hits
+    }
+
+    /// Entries (encoded assertions + recorded cores) dropped by the
+    /// context's size bounds.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Assertions currently encoded behind activation literals.
+    pub fn encoded_terms(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// UNSAT cores currently recorded.
+    pub fn recorded_cores(&self) -> usize {
+        self.refuted.len()
     }
 
     /// Cumulative `(conflicts, decisions, propagations)` of the
-    /// underlying SAT instance — callers snapshot around [`Self::probe`]
-    /// to attribute per-probe search effort.
+    /// underlying SAT instance, including effort retired by context
+    /// resets — callers snapshot around [`Self::probe`] to attribute
+    /// per-probe search effort, and the counter never goes backwards.
     pub fn sat_counters(&self) -> (u64, u64, u64) {
         (
-            self.bb.sat.conflicts,
-            self.bb.sat.decisions,
-            self.bb.sat.propagations,
+            self.retired.0 + self.bb.sat.conflicts,
+            self.retired.1 + self.bb.sat.decisions,
+            self.retired.2 + self.bb.sat.propagations,
         )
     }
 
@@ -332,6 +413,61 @@ mod tests {
             inc.probe(&[hard], &SolverBudget::unlimited()),
             SatOutcome::Sat
         ));
+    }
+
+    #[test]
+    fn bounded_context_resets_and_stays_correct() {
+        let p = port();
+        let low = p.clone().ult(Term::bv_const(16, 10));
+        let high = p.clone().ugt(Term::bv_const(16, 20));
+        let mut inc = IncrementalSolver::new();
+        inc.set_limits(8, 4);
+        let b = SolverBudget::unlimited();
+        // Sustained distinct-term traffic far past the bound: the
+        // encoding store stays capped and evictions are counted.
+        for i in 0..64u64 {
+            let t = Term::var(format!("inc.bnd{i}"), 8).eq(Term::bv_const(8, i & 0x7f));
+            assert!(matches!(inc.probe(&[t], &b), SatOutcome::Sat));
+            assert!(
+                inc.encoded_terms() <= 8,
+                "encoded-term store exceeded its bound"
+            );
+        }
+        assert!(inc.evictions() > 0, "bound crossings must be counted");
+        // Verdicts survive the resets: a contradiction still refutes.
+        assert!(matches!(inc.probe(&[low, high], &b), SatOutcome::Unsat));
+        // Around-probe counter deltas never go backwards across resets.
+        let before = inc.sat_counters();
+        let t = Term::var("inc.bnd_post", 8).eq(Term::bv_const(8, 1));
+        assert!(matches!(inc.probe(&[t], &b), SatOutcome::Sat));
+        let after = inc.sat_counters();
+        assert!(after.0 >= before.0 && after.1 >= before.1 && after.2 >= before.2);
+    }
+
+    #[test]
+    fn core_store_is_bounded() {
+        let mut inc = IncrementalSolver::new();
+        inc.set_limits(1 << 16, 4);
+        let b = SolverBudget::unlimited();
+        // Distinct contradictions, each recording a distinct core.
+        for i in 0..32u64 {
+            let x = Term::var(format!("inc.core{i}"), 8);
+            let a = x.clone().ult(Term::bv_const(8, 3));
+            let c = x.ugt(Term::bv_const(8, 9));
+            assert!(matches!(inc.probe(&[a, c], &b), SatOutcome::Unsat));
+            assert!(
+                inc.recorded_cores() <= 4,
+                "core store exceeded its bound: {}",
+                inc.recorded_cores()
+            );
+        }
+        assert!(inc.evictions() > 0);
+        // A contradiction whose core was dropped is still refuted — by
+        // search instead of a prune.
+        let x = Term::var("inc.core0", 8);
+        let a = x.clone().ult(Term::bv_const(8, 3));
+        let c = x.ugt(Term::bv_const(8, 9));
+        assert!(matches!(inc.probe(&[a, c], &b), SatOutcome::Unsat));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::sat::SatOutcome;
 use crate::simplify::{mk_and, propagate_equalities, Preprocessed};
 use crate::{Assignment, Term};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -183,6 +184,14 @@ pub struct SolverStats {
     /// Nanoseconds spent in CDCL search (fresh and incremental paths
     /// combined).
     pub search_ns: u64,
+    /// Verdict-cache entries evicted to stay under the cache's entry
+    /// bound (whole shared cache when one is attached; gauge, max wins
+    /// on merge).
+    pub cache_evictions: u64,
+    /// Incremental-context entries (encoded assertions, recorded UNSAT
+    /// cores) dropped by the context's size bounds (point-in-time per
+    /// worker context; summed on merge).
+    pub context_evictions: u64,
 }
 
 impl SolverStats {
@@ -207,6 +216,8 @@ impl SolverStats {
         self.cnf_cache_hits += other.cnf_cache_hits;
         self.bitblast_ns += other.bitblast_ns;
         self.search_ns += other.search_ns;
+        self.cache_evictions = self.cache_evictions.max(other.cache_evictions);
+        self.context_evictions += other.context_evictions;
     }
 }
 
@@ -239,16 +250,37 @@ enum CachedVerdict {
 /// larger budget re-solves and can upgrade the entry to a decided verdict.
 /// Models are stored behind [`Arc`], so a hit is a pointer bump, not a
 /// byte-map clone.
+///
+/// The cache is **size-bounded**: every cache (including
+/// [`VerdictCache::new`]) carries an entry cap, defaulting to
+/// [`DEFAULT_CACHE_CAP`] — far above any single run's working set; its
+/// job is keeping a long-lived `soft serve` process from growing without
+/// bound, not trimming a run. When a shard exceeds its share of the cap,
+/// the least-recently-touched quarter is evicted. Eviction never changes
+/// a verdict — a re-asked evicted query re-solves to the identical
+/// answer (verdicts and models are pure functions of the canonical key)
+/// — it only costs the re-solve.
 #[derive(Debug)]
 pub struct VerdictCache {
-    shards: [Mutex<HashMap<Vec<Term>, CachedVerdict>>; CACHE_SHARDS],
+    shards: [Mutex<CacheShard>; CACHE_SHARDS],
+    /// Per-shard entry bound (total cap rounded up to a multiple of
+    /// [`CACHE_SHARDS`], at least one entry per shard).
+    shard_cap: usize,
+    /// Recency clock, bumped on every hit and insert.
+    tick: AtomicU64,
+    /// Entries dropped to stay under the bound.
+    evictions: AtomicU64,
 }
+
+/// Default total entry cap for a fresh [`VerdictCache`].
+pub const DEFAULT_CACHE_CAP: usize = 1 << 20;
+
+/// One cache shard: canonical key → (verdict, recency stamp).
+type CacheShard = HashMap<Vec<Term>, (CachedVerdict, u64)>;
 
 impl Default for VerdictCache {
     fn default() -> Self {
-        VerdictCache {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
-        }
+        VerdictCache::bounded(DEFAULT_CACHE_CAP)
     }
 }
 
@@ -262,12 +294,35 @@ fn recover<'m, T>(lock: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
 }
 
 impl VerdictCache {
-    /// Fresh, empty cache.
+    /// Fresh, empty cache bounded at [`DEFAULT_CACHE_CAP`] entries.
     pub fn new() -> Self {
         VerdictCache::default()
     }
 
-    fn shard(&self, key: &[Term]) -> &Mutex<HashMap<Vec<Term>, CachedVerdict>> {
+    /// Fresh cache bounded at roughly `max_entries` total entries. The
+    /// bound is enforced per shard, rounded up to at least one entry per
+    /// shard, so the effective cap is `max(max_entries, CACHE_SHARDS)`
+    /// rounded to a shard multiple.
+    pub fn bounded(max_entries: usize) -> Self {
+        VerdictCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shard_cap: max_entries.div_ceil(CACHE_SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The effective total entry cap.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * CACHE_SHARDS
+    }
+
+    /// Entries evicted so far to stay under the cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(AtomicOrdering::Relaxed)
+    }
+
+    fn shard(&self, key: &[Term]) -> &Mutex<CacheShard> {
         // Combine the structural hashes of the key's terms; process-stable.
         let mut h = 0xcbf29ce484222325u64;
         for t in key {
@@ -276,11 +331,19 @@ impl VerdictCache {
         &self.shards[(h as usize) & (CACHE_SHARDS - 1)]
     }
 
-    /// Look up a verdict usable under `budget`.
+    fn now(&self) -> u64 {
+        self.tick.fetch_add(1, AtomicOrdering::Relaxed)
+    }
+
+    /// Look up a verdict usable under `budget`, refreshing the entry's
+    /// recency stamp.
     fn get(&self, key: &[Term], budget: &SolverBudget) -> Option<SatResult> {
-        match recover(self.shard(key)).get(key) {
-            Some(CachedVerdict::Decided(r)) => Some(r.clone()),
-            Some(CachedVerdict::Exhausted(b)) if b.covers(budget) => Some(SatResult::Unknown),
+        let mut shard = recover(self.shard(key));
+        let entry = shard.get_mut(key)?;
+        entry.1 = self.now();
+        match &entry.0 {
+            CachedVerdict::Decided(r) => Some(r.clone()),
+            CachedVerdict::Exhausted(b) if b.covers(budget) => Some(SatResult::Unknown),
             _ => None,
         }
     }
@@ -288,22 +351,40 @@ impl VerdictCache {
     /// Record the verdict of solving `key` under `budget`.
     fn insert(&self, key: Vec<Term>, result: SatResult, budget: &SolverBudget) {
         let mut shard = recover(self.shard(&key));
+        let stamp = self.now();
         match result {
             SatResult::Unknown => {
                 // Keep the largest failed budget on record; never shadow a
                 // decided verdict another worker may have raced in.
                 match shard.get(&key) {
-                    Some(CachedVerdict::Decided(_)) => {}
-                    Some(CachedVerdict::Exhausted(b)) if b.covers(budget) => {}
+                    Some((CachedVerdict::Decided(_), _)) => {}
+                    Some((CachedVerdict::Exhausted(b), _)) if b.covers(budget) => {}
                     _ => {
-                        shard.insert(key, CachedVerdict::Exhausted(*budget));
+                        shard.insert(key, (CachedVerdict::Exhausted(*budget), stamp));
                     }
                 }
             }
             decided => {
-                shard.insert(key, CachedVerdict::Decided(decided));
+                shard.insert(key, (CachedVerdict::Decided(decided), stamp));
             }
         }
+        self.enforce_cap(&mut shard);
+    }
+
+    /// Drop the least-recently-touched quarter of a shard once it
+    /// exceeds its bound (amortized: one O(n) pass buys ~cap/4 inserts).
+    fn enforce_cap(&self, shard: &mut CacheShard) {
+        if shard.len() <= self.shard_cap {
+            return;
+        }
+        let mut ticks: Vec<u64> = shard.values().map(|e| e.1).collect();
+        ticks.sort_unstable();
+        let drop_n = (shard.len() / 4).max(shard.len() - self.shard_cap);
+        let threshold = ticks[drop_n - 1];
+        let before = shard.len();
+        shard.retain(|_, e| e.1 > threshold);
+        self.evictions
+            .fetch_add((before - shard.len()) as u64, AtomicOrdering::Relaxed);
     }
 
     /// Total number of cached verdicts across all shards (decided and
@@ -319,7 +400,7 @@ impl VerdictCache {
             .map(|s| {
                 recover(s)
                     .values()
-                    .filter(|v| matches!(v, CachedVerdict::Exhausted(_)))
+                    .filter(|(v, _)| matches!(v, CachedVerdict::Exhausted(_)))
                     .count()
             })
             .sum()
@@ -418,6 +499,7 @@ impl Solver {
         }
         self.cache.insert(key, result.clone(), &self.budget);
         self.stats.cache_size = self.cache.len() as u64;
+        self.stats.cache_evictions = self.cache.evictions();
         result
     }
 
@@ -458,6 +540,7 @@ impl Solver {
         self.stats.core_prunes = inc.core_prunes();
         self.stats.learned_retained = inc.learned_retained();
         self.stats.cnf_cache_hits = inc.cnf_cache_hits();
+        self.stats.context_evictions = inc.evictions();
         matches!(probe, SatOutcome::Unsat).then_some(SatResult::Unsat)
     }
 
@@ -750,6 +833,40 @@ mod tests {
             other => panic!("expected Sat/Sat, got {other:?}"),
         }
         assert_eq!(cache.len() as u64, a.stats.cache_size);
+    }
+
+    #[test]
+    fn capped_cache_stays_bounded_and_verdicts_unchanged() {
+        let capped = Arc::new(VerdictCache::bounded(64));
+        let cap = capped.capacity();
+        let mut with_cap = Solver::with_cache(Arc::clone(&capped));
+        let mut reference = Solver::new();
+        // Sustained distinct queries, several times the cap, mixing Sat
+        // and Unsat shapes; the capped cache must stay within bounds and
+        // every verdict must match an uncapped solver's.
+        for i in 0..(cap as u64 * 4) {
+            let x = Term::var(format!("cap.x{i}"), 16);
+            let lo = x.clone().ugt(Term::bv_const(16, i % 13));
+            let hi = x.ult(Term::bv_const(16, (i % 7) + 7));
+            let q = [lo, hi];
+            let got = with_cap.check(&q);
+            let want = reference.check(&q);
+            assert_eq!(got, want, "eviction changed a verdict (i={i})");
+            assert!(
+                capped.len() <= cap,
+                "cache exceeded its bound: {} > {cap}",
+                capped.len()
+            );
+        }
+        assert!(capped.evictions() > 0, "sustained inserts must evict");
+        assert_eq!(with_cap.stats.cache_evictions, capped.evictions());
+        // An evicted query re-solves to the identical verdict and model.
+        let x = Term::var("cap.x0", 16);
+        let q = [
+            x.clone().ugt(Term::bv_const(16, 0)),
+            x.ult(Term::bv_const(16, 7)),
+        ];
+        assert_eq!(with_cap.check(&q), reference.check(&q));
     }
 
     #[test]

@@ -204,6 +204,7 @@ fn streaming_flow(
         resume: false,
         fsync: false,
         incremental,
+        baseline: None,
     };
     run_session(&cfg).map(|_| ())
 }

@@ -68,7 +68,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft submit (--addr HOST:PORT | --store DIR) --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -438,6 +438,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         resume: common.journal.resume,
         fsync: common.journal.fsync,
         incremental: !args.iter().any(|a| a == "--no-incremental"),
+        baseline: None,
     };
     eprintln!(
         "streaming {} vs {} through {} test(s) with {} job(s) ...",
@@ -593,6 +594,11 @@ fn positional(args: &[String]) -> Vec<&String> {
             || args[i] == "--seed"
             || args[i] == "--fuzz"
             || args[i] == "--json"
+            || args[i] == "--store"
+            || args[i] == "--port"
+            || args[i] == "--addr"
+            || args[i] == "--fp-a"
+            || args[i] == "--fp-b"
         {
             i += 2; // flag + value
         } else if args[i].starts_with("--") {
@@ -706,6 +712,8 @@ fn solver_json(s: &soft::smt::SolverStats) -> Json {
         ("core_prunes".into(), Json::UInt(s.core_prunes)),
         ("learned_retained".into(), Json::UInt(s.learned_retained)),
         ("cnf_cache_hits".into(), Json::UInt(s.cnf_cache_hits)),
+        ("cache_evictions".into(), Json::UInt(s.cache_evictions)),
+        ("context_evictions".into(), Json::UInt(s.context_evictions)),
         ("bitblast_ns".into(), Json::UInt(s.bitblast_ns)),
         ("search_ns".into(), Json::UInt(s.search_ns)),
     ])
@@ -904,7 +912,7 @@ fn cmd_report(args: &[String]) -> ExitCode {
                 Json::Object(fields)
             })
             .collect();
-        let report_json = Json::Object(vec![
+        let mut report_fields = vec![
             ("format".into(), Json::UInt(2)),
             ("agent_a".into(), Json::Str(fa.agent.clone())),
             ("agent_b".into(), Json::Str(fb.agent.clone())),
@@ -919,7 +927,24 @@ fn cmd_report(args: &[String]) -> ExitCode {
             ),
             ("solver".into(), solver_json(&result.solver)),
             ("root_causes".into(), Json::Array(causes_json)),
-        ]);
+        ];
+        // `--store DIR` folds the serve daemon's store-wide counters
+        // (jobs served, store hits, pairs skipped via diff, queue
+        // depth, per-phase latency) into the machine-readable report.
+        if let Some(store) = flag_value(args, "--store") {
+            let stats_path = Path::new(&store).join("serve_stats.json");
+            match std::fs::read_to_string(&stats_path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| soft::harness::json::parse(&t))
+            {
+                Ok(stats) => report_fields.push(("serve".into(), stats)),
+                Err(e) => {
+                    eprintln!("report: cannot read {}: {e}", stats_path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let report_json = Json::Object(report_fields);
         if let Err(e) = atomic_write(
             Path::new(&json_path),
             report_json.to_string().as_bytes(),
@@ -1152,11 +1177,209 @@ fn cmd_regress(args: &[String]) -> ExitCode {
     }
 }
 
+/// The audit daemon: accept jobs over TCP, answer unchanged re-audits
+/// from the persistent store, diff-seed changed ones.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(store) = flag_value(args, "--store") else {
+        eprintln!("serve: missing --store");
+        return usage();
+    };
+    let port = match flag_value(args, "--port") {
+        None => 0u16,
+        Some(v) => match v.parse::<u16>() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("serve: --port must be a TCP port, got '{v}'");
+                return usage();
+            }
+        },
+    };
+    let workers = match jobs_flag(args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return usage();
+        }
+    };
+    let cfg = soft::ServeConfig {
+        store: PathBuf::from(store),
+        port,
+        workers,
+        fsync: !args.iter().any(|a| a == "--no-fsync"),
+    };
+    match soft::serve(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolve the daemon address: `--addr HOST:PORT` directly, or the
+/// `addr` file a daemon publishes under `--store DIR`.
+fn serve_addr(args: &[String]) -> Result<String, String> {
+    if let Some(addr) = flag_value(args, "--addr") {
+        return Ok(addr);
+    }
+    let Some(store) = flag_value(args, "--store") else {
+        return Err("missing --addr HOST:PORT (or --store DIR to read its addr file)".to_string());
+    };
+    let path = Path::new(&store).join("addr");
+    std::fs::read_to_string(&path)
+        .map(|s| s.trim().to_string())
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Submit one audit job (or a status/drain request) to a running daemon.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let addr = match serve_addr(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return usage();
+        }
+    };
+    if args.iter().any(|a| a == "--status") {
+        return match soft::serve::request(&addr, &soft::harness::proto::status_request()) {
+            Ok(reply) => {
+                println!("{reply}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("submit: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--drain") {
+        return match soft::serve::request(&addr, &soft::harness::proto::drain_request()) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("submit: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let common = match common_args("submit", args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let Some(agents_arg) = flag_value(args, "--agents") else {
+        eprintln!("submit: missing --agents (e.g. --agents reference,ovs)");
+        return usage();
+    };
+    let parts: Vec<&str> = agents_arg.split(',').collect();
+    if parts.len() != 2 || parse_agent(parts[0]).is_none() || parse_agent(parts[1]).is_none() {
+        eprintln!("submit: --agents takes two known agents, got '{agents_arg}'");
+        return usage();
+    }
+    let Some(test) = flag_value(args, "--test") else {
+        eprintln!("submit: missing --test");
+        return usage();
+    };
+    if find_test(&test).is_none() {
+        eprintln!("submit: unknown --test '{test}' (see `soft tests`)");
+        return usage();
+    }
+    let spec = soft::harness::JobSpec {
+        agent_a: parts[0].to_string(),
+        agent_b: parts[1].to_string(),
+        test,
+        seed: common.seed,
+        budget_conflicts: common.budget.max_conflicts,
+        fuzz: common.fuzz as u64,
+        retry_rungs: common.retry_rungs as u64,
+        fp_a: flag_value(args, "--fp-a"),
+        fp_b: flag_value(args, "--fp-b"),
+    };
+    let reply = match soft::serve::request(&addr, &spec.to_json()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reply.field("type").and_then(Json::as_str) != Ok("result") {
+        eprintln!("submit: server error: {reply}");
+        return ExitCode::FAILURE;
+    }
+    let summary = reply.field("summary").cloned().unwrap_or(Json::Null);
+    let s_u64 = |k: &str| summary.field(k).and_then(Json::as_u64).unwrap_or(0);
+    let r_u64 = |k: &str| reply.field(k).and_then(Json::as_u64).unwrap_or(0);
+    let store_hit = reply
+        .field("store_hit")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    println!(
+        "{}: {} inconsistencies, {} unverified, {} confirmed witness(es){}; {} of {} pair(s) diff-seeded, {} solver queries",
+        spec.test,
+        s_u64("inconsistencies"),
+        s_u64("unverified"),
+        s_u64("confirmed"),
+        if store_hit { " (store hit)" } else { "" },
+        r_u64("seeded_pairs"),
+        s_u64("pairs_total"),
+        r_u64("check_queries"),
+    );
+    // `--out PREFIX` writes the returned artifacts exactly as a local
+    // `soft run` would have published them.
+    if let Some(out) = flag_value(args, "--out") {
+        let write = |path: String, field: &str| -> Result<(), String> {
+            let text = reply
+                .field(field)
+                .and_then(Json::as_str)
+                .map_err(|e| format!("missing {field}: {e}"))?;
+            atomic_write(Path::new(&path), text.as_bytes(), true)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("{path}");
+            Ok(())
+        };
+        let res = write(
+            format!("{out}{}_{}.json", spec.agent_a, spec.test),
+            "artifact_a",
+        )
+        .and_then(|()| {
+            write(
+                format!("{out}{}_{}.json", spec.agent_b, spec.test),
+                "artifact_b",
+            )
+        })
+        .and_then(|()| write(format!("{out}corpus_{}.json", spec.test), "corpus"));
+        if let Err(e) = res {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(json_path) = flag_value(args, "--json") {
+        if let Err(e) = atomic_write(Path::new(&json_path), reply.to_string().as_bytes(), true) {
+            eprintln!("submit: cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{json_path}");
+    }
+    let truncated = summary
+        .field("truncated")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if s_u64("inconsistencies") > 0 {
+        ExitCode::from(EXIT_INCONSISTENT)
+    } else if s_u64("unverified") > 0 {
+        ExitCode::from(EXIT_UNVERIFIED)
+    } else if truncated {
+        ExitCode::from(EXIT_TRUNCATED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("tests") => cmd_tests(),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("phase1") => cmd_phase1(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("report") => cmd_report(&args[1..]),

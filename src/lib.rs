@@ -8,9 +8,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod serve;
 pub mod session;
 
-pub use session::{run_session, SessionConfig, SessionReport, TestOutcome};
+pub use serve::{agent_fingerprint, serve, ServeConfig};
+pub use session::{run_session, BaselineSeed, SessionConfig, SessionReport, TestOutcome};
 
 pub use soft_agents as agents;
 pub use soft_core as core;

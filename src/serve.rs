@@ -1,0 +1,548 @@
+//! `soft serve` — a continuously-incremental audit daemon.
+//!
+//! The phased CLI and even `soft run` are batch tools: every invocation
+//! pays full exploration and solving, then exits. A long-lived CI or
+//! vendor-lab deployment re-audits the *same* agent pairs after every
+//! code change, and most changes leave most path conditions untouched.
+//! `serve` turns the streaming session into a daemon in front of a
+//! persistent, content-addressed result store
+//! ([`soft_harness::store`]):
+//!
+//! - an **unchanged** re-audit (same agent fingerprints, same job
+//!   parameters) is answered straight from the store — zero solver
+//!   queries, byte-identical artifacts;
+//! - a **changed** agent misses on its content key but hits the
+//!   fingerprint-free logical index; the stored run becomes a baseline,
+//!   and [`soft_core::condition_diff`] pre-decides every crosscheck
+//!   pair whose endpoint groups are provably unchanged, so only
+//!   diff-impacted pairs re-solve (see [`crate::SessionConfig`]
+//!   `baseline`).
+//!
+//! Jobs arrive over a local TCP socket speaking the journal's framed
+//! JSON protocol ([`soft_harness::proto`]); concurrent jobs shard
+//! across a bounded worker pool. Every accepted job is recorded
+//! in-flight and journaled under a per-job WAL, so a killed daemon
+//! resumes exactly the unfinished work on restart. One SIGTERM drains
+//! (stop accepting, finish in-flight); a second exits immediately —
+//! the WAL makes that safe.
+
+use crate::{run_session, BaselineSeed, SessionConfig, TestOutcome};
+use soft_agents::AgentKind;
+use soft_harness::journal::fnv64_hex;
+use soft_harness::json::Json;
+use soft_harness::proto::{self, JobSpec};
+use soft_harness::store::{job_key, logical_key, ResultStore, StoreEntry};
+use soft_harness::{suite, TestCase};
+use soft_smt::SolverBudget;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// See `session::recover`: locks guard slot-wise state, so a sibling
+/// panic leaves usable data behind a poisoned mutex.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// How the daemon runs: where the store lives, where to listen, how
+/// many jobs may solve at once.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Store root directory (created if absent).
+    pub store: PathBuf,
+    /// TCP port on 127.0.0.1; `0` binds an ephemeral port (published in
+    /// `<store>/addr` either way).
+    pub port: u16,
+    /// Worker-pool size: jobs solving concurrently (each job itself
+    /// runs single-threaded; determinism is per job).
+    pub workers: usize,
+    /// Fsync store publishes and per-job journals.
+    pub fsync: bool,
+}
+
+/// Store-wide counters, monotone over the daemon's lifetime (except
+/// `queue_depth`, a gauge). Persisted to `serve_stats.json` on drain
+/// and returned by the `status` request.
+#[derive(Debug, Default)]
+struct Counters {
+    jobs_served: AtomicU64,
+    store_hits: AtomicU64,
+    diff_jobs: AtomicU64,
+    pairs_total: AtomicU64,
+    pairs_skipped_via_diff: AtomicU64,
+    check_queries: AtomicU64,
+    recovered_jobs: AtomicU64,
+    job_errors: AtomicU64,
+    queue_depth: AtomicU64,
+    lookup_ns: AtomicU64,
+    solve_ns: AtomicU64,
+    publish_ns: AtomicU64,
+}
+
+impl Counters {
+    fn to_json(&self) -> Json {
+        let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
+        Json::Object(vec![
+            ("type".to_string(), Json::Str("status".to_string())),
+            ("jobs_served".to_string(), u(&self.jobs_served)),
+            ("store_hits".to_string(), u(&self.store_hits)),
+            ("diff_jobs".to_string(), u(&self.diff_jobs)),
+            ("pairs_total".to_string(), u(&self.pairs_total)),
+            (
+                "pairs_skipped_via_diff".to_string(),
+                u(&self.pairs_skipped_via_diff),
+            ),
+            ("check_queries".to_string(), u(&self.check_queries)),
+            ("recovered_jobs".to_string(), u(&self.recovered_jobs)),
+            ("job_errors".to_string(), u(&self.job_errors)),
+            ("queue_depth".to_string(), u(&self.queue_depth)),
+            (
+                "lookup_ms".to_string(),
+                Json::UInt(self.lookup_ns.load(Ordering::Relaxed) / 1_000_000),
+            ),
+            (
+                "solve_ms".to_string(),
+                Json::UInt(self.solve_ns.load(Ordering::Relaxed) / 1_000_000),
+            ),
+            (
+                "publish_ms".to_string(),
+                Json::UInt(self.publish_ns.load(Ordering::Relaxed) / 1_000_000),
+            ),
+        ])
+    }
+}
+
+/// Counting semaphore bounding concurrent solver work.
+struct Pool {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Pool {
+    fn new(n: usize) -> Pool {
+        Pool {
+            permits: Mutex::new(n.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = recover(&self.permits);
+        while *p == 0 {
+            p = self.cv.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *recover(&self.permits) += 1;
+        self.cv.notify_one();
+    }
+}
+
+struct ServeState {
+    store: ResultStore,
+    counters: Counters,
+    pool: Pool,
+    draining: AtomicBool,
+}
+
+fn parse_agent(s: &str) -> Option<AgentKind> {
+    match s {
+        "reference" | "ref" => Some(AgentKind::Reference),
+        "ovs" | "openvswitch" => Some(AgentKind::OpenVSwitch),
+        "modified" => Some(AgentKind::Modified),
+        "panicky" => Some(AgentKind::Panicky),
+        _ => None,
+    }
+}
+
+fn find_test(id: &str) -> Option<TestCase> {
+    let mut tests = suite::table1_suite();
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+    tests.extend(suite::ablation::table5_suite());
+    tests.into_iter().find(|t| t.id == id)
+}
+
+/// Fingerprint of an agent's current code, computed without any
+/// solving: the FNV hash of its complete coverage universe (every
+/// instruction-block and branch-site label). Any change to the agent's
+/// model changes its label set — the paper's agents *are* their
+/// instrumented models — so an unchanged fingerprint certifies an
+/// unchanged path-condition universe.
+pub fn agent_fingerprint(agent: AgentKind) -> String {
+    let u = agent.make().universe();
+    let mut parts: Vec<&str> = vec!["agent", agent.id(), "blocks"];
+    parts.extend(u.blocks.iter().copied());
+    parts.push("branch_sites");
+    parts.extend(u.branch_sites.iter().copied());
+    fnv64_hex(&parts)
+}
+
+/// A job spec validated against the suite and agent registry, with both
+/// fingerprints settled (client override wins; the override is what
+/// lets tests and remote clients declare "this agent changed").
+struct ResolvedJob {
+    spec: JobSpec,
+    agent_a: AgentKind,
+    agent_b: AgentKind,
+    test: TestCase,
+    fp_a: String,
+    fp_b: String,
+}
+
+fn resolve(spec: JobSpec) -> Result<ResolvedJob, String> {
+    let agent_a =
+        parse_agent(&spec.agent_a).ok_or_else(|| format!("unknown agent '{}'", spec.agent_a))?;
+    let agent_b =
+        parse_agent(&spec.agent_b).ok_or_else(|| format!("unknown agent '{}'", spec.agent_b))?;
+    let test = find_test(&spec.test).ok_or_else(|| format!("unknown test '{}'", spec.test))?;
+    let fp_a = spec
+        .fp_a
+        .clone()
+        .unwrap_or_else(|| agent_fingerprint(agent_a));
+    let fp_b = spec
+        .fp_b
+        .clone()
+        .unwrap_or_else(|| agent_fingerprint(agent_b));
+    Ok(ResolvedJob {
+        spec,
+        agent_a,
+        agent_b,
+        test,
+        fp_a,
+        fp_b,
+    })
+}
+
+fn outcome_summary(o: &TestOutcome) -> Json {
+    Json::Object(vec![
+        ("paths_a".to_string(), Json::UInt(o.paths_a as u64)),
+        ("paths_b".to_string(), Json::UInt(o.paths_b as u64)),
+        ("truncated".to_string(), Json::Bool(o.truncated)),
+        (
+            "inconsistencies".to_string(),
+            Json::UInt(o.inconsistencies as u64),
+        ),
+        ("unverified".to_string(), Json::UInt(o.unverified as u64)),
+        ("confirmed".to_string(), Json::UInt(o.confirmed as u64)),
+        ("clusters".to_string(), Json::UInt(o.clusters as u64)),
+        ("fuzz_added".to_string(), Json::UInt(o.fuzz_added as u64)),
+        ("pairs_total".to_string(), Json::UInt(o.pairs_total as u64)),
+        (
+            "seeded_pairs".to_string(),
+            Json::UInt(o.seeded_pairs as u64),
+        ),
+        (
+            "check_queries".to_string(),
+            Json::UInt(o.check_queries as u64),
+        ),
+    ])
+}
+
+/// The `result` response: the exact published bytes plus per-serving
+/// counters (`store_hit`/`seeded_pairs`/`check_queries` describe *this*
+/// answer; `summary` describes the run that produced the stored entry).
+fn result_response(
+    key: &str,
+    rj: &ResolvedJob,
+    entry: &StoreEntry,
+    store_hit: bool,
+    seeded_pairs: u64,
+    check_queries: u64,
+) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("result".to_string())),
+        ("key".to_string(), Json::Str(key.to_string())),
+        ("store_hit".to_string(), Json::Bool(store_hit)),
+        ("agent_a".to_string(), Json::Str(rj.spec.agent_a.clone())),
+        ("agent_b".to_string(), Json::Str(rj.spec.agent_b.clone())),
+        ("test".to_string(), Json::Str(rj.spec.test.clone())),
+        ("seeded_pairs".to_string(), Json::UInt(seeded_pairs)),
+        ("check_queries".to_string(), Json::UInt(check_queries)),
+        (
+            "artifact_a".to_string(),
+            Json::Str(entry.artifact_a.clone()),
+        ),
+        (
+            "artifact_b".to_string(),
+            Json::Str(entry.artifact_b.clone()),
+        ),
+        ("corpus".to_string(), Json::Str(entry.corpus.clone())),
+        ("summary".to_string(), entry.summary.clone()),
+    ])
+}
+
+fn add_ns(counter: &AtomicU64, since: Instant) {
+    counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Serve one job: store hit, diff-seeded partial re-solve, or full run.
+/// The caller holds a pool permit.
+fn run_job(state: &ServeState, rj: &ResolvedJob, fsync: bool) -> Result<Json, String> {
+    let key = job_key(&rj.fp_a, &rj.fp_b, &rj.spec);
+    let logical = logical_key(&rj.spec);
+    let t_lookup = Instant::now();
+    if let Some(entry) = state.store.lookup(&key)? {
+        add_ns(&state.counters.lookup_ns, t_lookup);
+        state.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+        state.counters.jobs_served.fetch_add(1, Ordering::Relaxed);
+        return Ok(result_response(&key, rj, &entry, true, 0, 0));
+    }
+    // Content miss: the latest entry for the same logical job (if any)
+    // becomes the diff baseline. A missing or unreadable baseline just
+    // means a full solve — never an error.
+    let baseline = state
+        .store
+        .latest(&logical)
+        .and_then(|bk| state.store.lookup(&bk).ok().flatten());
+    add_ns(&state.counters.lookup_ns, t_lookup);
+    let is_diff = baseline.is_some();
+    state
+        .store
+        .record_inflight(&key, &rj.spec)
+        .map_err(|e| format!("store inflight record: {e}"))?;
+    let t_solve = Instant::now();
+    let cfg = SessionConfig {
+        agent_a: rj.agent_a,
+        agent_b: rj.agent_b,
+        tests: vec![rj.test.clone()],
+        jobs: 1,
+        seed: rj.spec.seed,
+        solver_budget: match rj.spec.budget_conflicts {
+            Some(c) => SolverBudget::conflicts(c),
+            None => SolverBudget::unlimited(),
+        },
+        retry_rungs: rj.spec.retry_rungs as u32,
+        fuzz_tries: rj.spec.fuzz as usize,
+        out_prefix: state.store.out_prefix(&key),
+        journal: Some(state.store.wal_path(&key)),
+        // Always resume: a fresh job has no WAL (open starts one), a
+        // recovered job continues exactly where the old daemon died.
+        resume: true,
+        fsync,
+        incremental: true,
+        baseline: baseline.map(|b| BaselineSeed {
+            artifact_a: b.artifact_a,
+            artifact_b: b.artifact_b,
+            verdicts: b.verdicts,
+        }),
+    };
+    let report = run_session(&cfg)?;
+    add_ns(&state.counters.solve_ns, t_solve);
+    let outcome = &report.outcomes[0];
+    let t_publish = Instant::now();
+    let read_back = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("read back {path}: {e}"))
+    };
+    let prefix = state.store.out_prefix(&key);
+    let entry = StoreEntry {
+        fp_a: rj.fp_a.clone(),
+        fp_b: rj.fp_b.clone(),
+        artifact_a: read_back(&format!("{prefix}{}_{}.json", rj.agent_a.id(), rj.test.id))?,
+        artifact_b: read_back(&format!("{prefix}{}_{}.json", rj.agent_b.id(), rj.test.id))?,
+        corpus: read_back(&format!("{prefix}corpus_{}.json", rj.test.id))?,
+        summary: outcome_summary(outcome),
+        verdicts: outcome.verdicts.clone(),
+    };
+    state
+        .store
+        .publish(&key, &logical, &entry)
+        .map_err(|e| format!("store publish: {e}"))?;
+    state.store.clear_inflight(&key);
+    // The WAL only covers the gap between accept and publish; the
+    // published entry now answers this key forever.
+    let _ = std::fs::remove_file(state.store.wal_path(&key));
+    add_ns(&state.counters.publish_ns, t_publish);
+    let c = &state.counters;
+    c.jobs_served.fetch_add(1, Ordering::Relaxed);
+    c.pairs_total
+        .fetch_add(outcome.pairs_total as u64, Ordering::Relaxed);
+    c.check_queries
+        .fetch_add(outcome.check_queries as u64, Ordering::Relaxed);
+    if is_diff {
+        c.diff_jobs.fetch_add(1, Ordering::Relaxed);
+        c.pairs_skipped_via_diff
+            .fetch_add(outcome.seeded_pairs as u64, Ordering::Relaxed);
+    }
+    Ok(result_response(
+        &key,
+        rj,
+        &entry,
+        false,
+        outcome.seeded_pairs as u64,
+        outcome.check_queries as u64,
+    ))
+}
+
+/// One client connection: frames in, frames out, until clean EOF.
+fn handle_conn(stream: TcpStream, state: &ServeState, fsync: bool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let msg = match proto::read_frame(&mut reader) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = proto::write_frame(&mut writer, &proto::error_response(&e));
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let kind = msg
+            .field("type")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let reply = match kind.as_str() {
+            "job" => match JobSpec::from_json(&msg).and_then(resolve) {
+                Ok(rj) => {
+                    state.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    state.pool.acquire();
+                    state.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    let out = run_job(state, &rj, fsync);
+                    state.pool.release();
+                    out.unwrap_or_else(|e| {
+                        state.counters.job_errors.fetch_add(1, Ordering::Relaxed);
+                        proto::error_response(&e)
+                    })
+                }
+                Err(e) => proto::error_response(&e),
+            },
+            "status" => state.counters.to_json(),
+            "drain" => {
+                state.draining.store(true, Ordering::Relaxed);
+                Json::Object(vec![(
+                    "type".to_string(),
+                    Json::Str("draining".to_string()),
+                )])
+            }
+            other => proto::error_response(&format!("unknown request type '{other}'")),
+        };
+        if proto::write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Run the daemon until drained (SIGTERM or a `drain` request).
+///
+/// Before accepting connections, every in-flight job left behind by a
+/// killed predecessor is re-run — each resumes from its per-job WAL, so
+/// finished exploration units replay and decided verdicts seed, exactly
+/// like `soft run --resume`.
+pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
+    let store = ResultStore::open(&cfg.store, cfg.fsync)
+        .map_err(|e| format!("store {}: {e}", cfg.store.display()))?;
+    let state = Arc::new(ServeState {
+        store,
+        counters: Counters::default(),
+        pool: Pool::new(cfg.workers),
+        draining: AtomicBool::new(false),
+    });
+    soft_serve::install_sigterm_latch();
+    for (key, spec) in state.store.list_inflight() {
+        match resolve(spec) {
+            Ok(rj) => {
+                eprintln!("soft serve: recovering in-flight job {key}");
+                match run_job(&state, &rj, cfg.fsync) {
+                    Ok(_) => {
+                        state
+                            .counters
+                            .recovered_jobs
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        state.counters.job_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("soft serve: recovery of {key} failed: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                // The spec itself is invalid (suite changed?): drop it
+                // rather than crash-looping on every restart.
+                eprintln!("soft serve: dropping unrecoverable job {key}: {e}");
+                state.store.clear_inflight(&key);
+            }
+        }
+    }
+    let listener =
+        TcpListener::bind(("127.0.0.1", cfg.port)).map_err(|e| format!("bind 127.0.0.1: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    state
+        .store
+        .write_addr(&addr.to_string())
+        .map_err(|e| format!("publish addr: {e}"))?;
+    println!("soft serve: listening on {addr}");
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if soft_serve::sigterm_count() >= 1 || state.draining.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let st = Arc::clone(&state);
+                let fsync = cfg.fsync;
+                conns.push(std::thread::spawn(move || handle_conn(stream, &st, fsync)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    drop(listener);
+    eprintln!(
+        "soft serve: draining ({} connection(s) open) ...",
+        conns.len()
+    );
+    let mut aborted = false;
+    'drain: for h in conns {
+        while !h.is_finished() {
+            if soft_serve::sigterm_count() >= 2 {
+                // Second SIGTERM: exit now. In-flight jobs stay recorded
+                // and their WALs survive; the next daemon resumes them.
+                eprintln!("soft serve: second SIGTERM — exiting immediately");
+                aborted = true;
+                break 'drain;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let _ = h.join();
+    }
+    state
+        .store
+        .write_stats(&state.counters.to_json())
+        .map_err(|e| format!("persist stats: {e}"))?;
+    if !aborted {
+        eprintln!("soft serve: drained");
+    }
+    Ok(())
+}
+
+/// Client side: send one request frame to `addr`, return the reply.
+pub fn request(addr: &str, msg: &Json) -> Result<Json, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut writer = BufWriter::new(stream);
+    proto::write_frame(&mut writer, msg).map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(read_half);
+    proto::read_frame(&mut reader)?.ok_or_else(|| "server closed without replying".to_string())
+}

@@ -35,12 +35,12 @@
 
 use soft_agents::AgentKind;
 use soft_core::{
-    crosscheck_hooked, CheckHooks, CheckScheduler, CheckSeeds, CrosscheckConfig, GroupBuilder,
-    GroupedResults, Inconsistency, Probe, Soft, TreeShape, VerdictSink,
+    condition_diff, crosscheck_hooked, CheckHooks, CheckScheduler, CheckSeeds, CrosscheckConfig,
+    GroupBuilder, GroupedResults, Inconsistency, Probe, Soft, TreeShape, VerdictSink,
 };
 use soft_harness::journal::{
     atomic_write, run_unit_durable, session_fingerprint, SessionJournal, SessionRecovery,
-    UnitRecovery,
+    UnitRecovery, VerdictRec,
 };
 use soft_harness::json::Json;
 use soft_harness::{record_path, TestCase, TestRun, TestRunFile};
@@ -101,6 +101,26 @@ pub struct SessionConfig {
     /// Deliberately excluded from the journal fingerprint: a journal
     /// written under either setting describes the same work.
     pub incremental: bool,
+    /// Cross-run baseline for diff-based partial re-solving (the `soft
+    /// serve` store path). Honored only for single-test sessions — a
+    /// baseline describes one job — and, like `incremental`, excluded
+    /// from the journal fingerprint: seeding only short-circuits solver
+    /// work whose verdicts are pure functions of the inputs, so the
+    /// published bytes are identical with or without it.
+    pub baseline: Option<BaselineSeed>,
+}
+
+/// A previous run of the *same logical job* (same pair, test, budget,
+/// seed), used to pre-decide crosscheck pairs whose endpoint groups are
+/// provably unchanged (see [`soft_core::condition_diff`]).
+#[derive(Debug, Clone)]
+pub struct BaselineSeed {
+    /// The baseline's published phase-1 artifact text for agent A.
+    pub artifact_a: String,
+    /// The baseline's published phase-1 artifact text for agent B.
+    pub artifact_b: String,
+    /// The baseline's full canonical verdict matrix (baseline indices).
+    pub verdicts: Vec<VerdictRec>,
 }
 
 /// What one test produced, for CLI reporting and exit-code policy.
@@ -129,6 +149,17 @@ pub struct TestOutcome {
     /// The corpus was republished verbatim from the journal (the test
     /// had already finished before a resume).
     pub replayed: bool,
+    /// Group pairs crosschecked (`|groups A| × |groups B|`; 0 on replay).
+    pub pairs_total: usize,
+    /// Pairs pre-decided from the cross-run baseline diff.
+    pub seeded_pairs: usize,
+    /// Pair verdicts the canonical crosscheck pass freshly delivered
+    /// (solved rather than taken from a seed); 0 means the whole matrix
+    /// was answered from seeds without touching a solver.
+    pub check_queries: usize,
+    /// The full canonical verdict matrix, sorted by pair — what the
+    /// serve store persists so the *next* run can diff-seed from it.
+    pub verdicts: Vec<VerdictRec>,
 }
 
 /// The session's aggregate result, one outcome per test.
@@ -303,6 +334,10 @@ struct EagerSink<'a> {
     agent_a: AgentKind,
     agent_b: AgentKind,
     drafts: &'a DraftMap,
+    /// Every canonically delivered verdict, collected for the session
+    /// report (the serve store persists them). Seeded pairs are not
+    /// re-delivered here; `run_one_test` merges them back in.
+    collected: &'a Mutex<Vec<VerdictRec>>,
 }
 
 impl VerdictSink for EagerSink<'_> {
@@ -310,6 +345,12 @@ impl VerdictSink for EagerSink<'_> {
         if let Some(journal) = self.journal {
             journal.record_verdict(self.t, i, j, verdict, budget);
         }
+        recover(self.collected).push(VerdictRec {
+            i,
+            j,
+            verdict: verdict.clone(),
+            budget: *budget,
+        });
     }
 
     fn on_decided(&self, i: usize, j: usize, verdict: &SatResult, _budget: &SolverBudget) {
@@ -373,6 +414,10 @@ fn run_one_test(
             fuzz_added: summary_u64(&rec.summary, "fuzz_added"),
             corpus_path,
             replayed: true,
+            pairs_total: 0,
+            seeded_pairs: 0,
+            check_queries: 0,
+            verdicts: recovery.verdicts[t].clone(),
         });
     }
 
@@ -503,7 +548,54 @@ fn run_one_test(
     for v in &recovery.verdicts[t] {
         seeds.insert(v.i, v.j, v.verdict.clone(), v.budget);
     }
+    // Cross-run baseline: pre-decide every pair whose two endpoint
+    // groups are provably unchanged from the stored run (same output
+    // class, structurally identical condition). A verdict is a pure
+    // function of (conditions, outputs, budget), so these reuse the
+    // stored result verbatim with zero solver queries; only pairs
+    // touching an impacted group re-solve. Journal-recovered verdicts
+    // (same run, current indices) take precedence and are never
+    // overwritten here.
+    let mut seeded_pairs = 0usize;
+    let mut seeded_recs: Vec<VerdictRec> = Vec::new();
+    if let Some(base) = cfg.baseline.as_ref().filter(|_| cfg.tests.len() == 1) {
+        let base_a = TestRunFile::from_json(&base.artifact_a)
+            .map_err(|e| format!("baseline artifact A: {e}"))
+            .and_then(|f| {
+                soft.group_artifact(&f)
+                    .map_err(|e| format!("baseline artifact A: {e}"))
+            })?;
+        let base_b = TestRunFile::from_json(&base.artifact_b)
+            .map_err(|e| format!("baseline artifact B: {e}"))
+            .and_then(|f| {
+                soft.group_artifact(&f)
+                    .map_err(|e| format!("baseline artifact B: {e}"))
+            })?;
+        if base_a.test == test.id && base_b.test == test.id {
+            let map_a = condition_diff(&base_a, &grouped_a).baseline_to_current();
+            let map_b = condition_diff(&base_b, &grouped_b).baseline_to_current();
+            let journaled: std::collections::HashSet<(usize, usize)> =
+                recovery.verdicts[t].iter().map(|v| (v.i, v.j)).collect();
+            for v in &base.verdicts {
+                let (Some(&ci), Some(&cj)) = (map_a.get(&v.i), map_b.get(&v.j)) else {
+                    continue;
+                };
+                if journaled.contains(&(ci, cj)) {
+                    continue;
+                }
+                seeds.insert(ci, cj, v.verdict.clone(), v.budget);
+                seeded_pairs += 1;
+                seeded_recs.push(VerdictRec {
+                    i: ci,
+                    j: cj,
+                    verdict: v.verdict.clone(),
+                    budget: v.budget,
+                });
+            }
+        }
+    }
     let drafts: DraftMap = Mutex::new(HashMap::new());
+    let collected: Mutex<Vec<VerdictRec>> = Mutex::new(Vec::new());
     let sink = EagerSink {
         journal,
         t,
@@ -513,6 +605,7 @@ fn run_one_test(
         agent_a: cfg.agent_a,
         agent_b: cfg.agent_b,
         drafts: &drafts,
+        collected: &collected,
     };
     let hooks = CheckHooks {
         seeds: Some(&seeds),
@@ -567,6 +660,24 @@ fn run_one_test(
     atomic_write(&corpus_path, corpus_text.as_bytes(), cfg.fsync)
         .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
 
+    // The full canonical matrix: seeds (journal-recovered + baseline)
+    // that short-circuited solving, overlaid by everything the sink saw
+    // freshly delivered — a re-solved pair (e.g. an Unknown seed retried
+    // under a bigger budget) supersedes its seed. Sorted by pair so the
+    // stored matrix is deterministic.
+    let mut matrix: HashMap<(usize, usize), VerdictRec> = HashMap::new();
+    for v in recovery.verdicts[t].iter().chain(&seeded_recs) {
+        matrix.insert((v.i, v.j), v.clone());
+    }
+    let mut fresh = recover(&collected);
+    let check_queries = fresh.len();
+    for v in fresh.drain(..) {
+        matrix.insert((v.i, v.j), v);
+    }
+    drop(fresh);
+    let mut verdicts: Vec<VerdictRec> = matrix.into_values().collect();
+    verdicts.sort_by_key(|v| (v.i, v.j));
+
     let outcome = TestOutcome {
         test: test.id.to_string(),
         paths_a: run_a.paths.len(),
@@ -579,6 +690,10 @@ fn run_one_test(
         fuzz_added: report.stats.fuzz_added,
         corpus_path: corpus_path.clone(),
         replayed: false,
+        pairs_total: grouped_a.groups.len() * grouped_b.groups.len(),
+        seeded_pairs,
+        check_queries,
+        verdicts,
     };
     // Journaled last, after the corpus artifact is durably published: a
     // corpus record is the test's commit point.

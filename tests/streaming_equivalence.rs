@@ -105,6 +105,7 @@ fn streaming(tag: &str, seed: u64, jobs: usize, incremental: bool) -> (String, S
         resume: false,
         fsync: false,
         incremental,
+        baseline: None,
     };
     let report = run_session(&cfg).expect("session");
     assert_eq!(report.outcomes.len(), 1);
@@ -177,6 +178,44 @@ fn incremental_on_and_off_publish_identical_bytes() {
     }
 }
 
+/// The long-lived-process invariant behind `soft serve`: two sequential
+/// jobs inside ONE process must publish artifacts byte-identical to the
+/// same jobs run in separate processes. The pipeline shares process-wide
+/// state across runs — the term interner, verdict caches, the
+/// atomic-write temp-name counter — and none of it may leak into the
+/// published bytes, or a daemon's answers would drift from the CLI's.
+/// (Separate-process bytes are pinned by
+/// `streaming_matches_phased_for_every_seed_and_jobs`, which compares
+/// against a phased reference; here the first in-process run doubles as
+/// that fresh-process reference for the second and third.)
+#[test]
+fn back_to_back_in_process_runs_publish_identical_bytes() {
+    let seed = 0x50F7u64;
+    let (first_a, first_b, first_corpus) = streaming("b2b_1", seed, 2, true);
+    // Same job again in the same process: warmed interner and caches.
+    let (second_a, second_b, second_corpus) = streaming("b2b_2", seed, 2, true);
+    assert_eq!(
+        normalize_wall(&second_a),
+        normalize_wall(&first_a),
+        "artifact A drifted on an in-process re-run"
+    );
+    assert_eq!(
+        normalize_wall(&second_b),
+        normalize_wall(&first_b),
+        "artifact B drifted on an in-process re-run"
+    );
+    assert_eq!(
+        second_corpus, first_corpus,
+        "corpus drifted on an in-process re-run"
+    );
+    // An unrelated job in between must not perturb the one after it.
+    let _ = streaming("b2b_other", 7, 1, true);
+    let (third_a, third_b, third_corpus) = streaming("b2b_3", seed, 2, true);
+    assert_eq!(normalize_wall(&third_a), normalize_wall(&first_a));
+    assert_eq!(normalize_wall(&third_b), normalize_wall(&first_b));
+    assert_eq!(third_corpus, first_corpus);
+}
+
 /// The session honors a solver budget end to end: a starved budget may
 /// leave pairs unverified, but the session must still complete cleanly
 /// and stay deterministic across job counts.
@@ -200,6 +239,7 @@ fn starved_session_is_clean_and_deterministic() {
             resume: false,
             fsync: false,
             incremental: true,
+            baseline: None,
         };
         let report = run_session(&cfg).expect("session");
         let corpus =

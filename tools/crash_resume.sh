@@ -175,6 +175,100 @@ else
     echo "    run summary identical to reference"
 fi
 
+echo "== serve: SIGTERM mid-job, journal-backed recovery on restart =="
+# Kill a daemon while it is solving a job; a fresh daemon must find the
+# in-flight record, resume the job from its per-job WAL, publish it, and
+# then answer a re-submission from the store with zero solver queries
+# and bytes identical to an uninterrupted daemon's answer.
+STORE_REF="$WORK/serve_ref_store"
+STORE_KILL="$WORK/serve_kill_store"
+serve_wait_addr() { # serve_wait_addr <store-dir>
+    for _ in $(seq 1 100); do
+        [ -s "$1/addr" ] && return 0
+        sleep 0.1
+    done
+    echo "crash_resume: serve daemon never published an addr"
+    return 1
+}
+# Reference: an uninterrupted daemon serves the job once.
+"$SOFT" serve --store "$STORE_REF" --no-fsync >/dev/null 2>&1 &
+REF_PID=$!
+serve_wait_addr "$STORE_REF" || exit 1
+"$SOFT" submit --store "$STORE_REF" --agents reference,ovs \
+    --test "$CHECK_TEST" --fuzz 0 --out "$WORK/serve_ref_" \
+    >/dev/null 2>&1
+serve_ref_rc=$?
+"$SOFT" submit --store "$STORE_REF" --drain >/dev/null 2>&1
+wait "$REF_PID" 2>/dev/null
+# Interrupted: SIGTERM the daemon mid-job (twice: drain then exit-now),
+# growing the grace period until a round lets the job finish.
+round=0
+while [ "$round" -lt 40 ]; do
+    grace_ms=$((30 + round * 40))
+    ("$SOFT" serve --store "$STORE_KILL" --no-fsync \
+        >/dev/null 2>>"$WORK/stderr.log" &
+     echo $! >"$WORK/serve.pid") 2>/dev/null
+    KILL_PID=$(cat "$WORK/serve.pid")
+    serve_wait_addr "$STORE_KILL" || exit 1
+    "$SOFT" submit --store "$STORE_KILL" --agents reference,ovs \
+        --test "$CHECK_TEST" --fuzz 0 --json "$WORK/serve_kill.json" \
+        >/dev/null 2>&1 &
+    SUBMIT_PID=$!
+    (sleep "$(awk "BEGIN{printf \"%.3f\", $grace_ms/1000}")"
+     kill -TERM "$KILL_PID" 2>/dev/null
+     sleep 0.05
+     kill -TERM "$KILL_PID" 2>/dev/null) 2>/dev/null
+    wait "$SUBMIT_PID" 2>/dev/null
+    sub_rc=$?
+    wait "$KILL_PID" 2>/dev/null
+    round=$((round + 1))
+    # The submission either completed before the SIGTERMs landed
+    # (store entry published) or was cut off; either way the next
+    # daemon must recover whatever was in flight.
+    if [ "$sub_rc" -eq "$serve_ref_rc" ] && [ -s "$WORK/serve_kill.json" ]; then
+        break
+    fi
+    rm -f "$WORK/serve_kill.json" "$STORE_KILL/addr"
+done
+echo "    $((round - 1)) interruption(s) before a completed submission" >&2
+# Restart: recovery re-runs any in-flight job, then the re-submission
+# must be a pure store hit.
+rm -f "$STORE_KILL/addr"
+"$SOFT" serve --store "$STORE_KILL" --no-fsync >/dev/null 2>&1 &
+RESTART_PID=$!
+serve_wait_addr "$STORE_KILL" || exit 1
+"$SOFT" submit --store "$STORE_KILL" --agents reference,ovs \
+    --test "$CHECK_TEST" --fuzz 0 --out "$WORK/serve_resumed_" \
+    --json "$WORK/serve_resumed.json" >/dev/null 2>&1
+resumed_rc=$?
+"$SOFT" submit --store "$STORE_KILL" --drain >/dev/null 2>&1
+wait "$RESTART_PID" 2>/dev/null
+if [ "$resumed_rc" -ne "$serve_ref_rc" ]; then
+    echo "crash_resume: serve exit code diverged: reference $serve_ref_rc, resumed $resumed_rc"
+    fail=1
+fi
+if ! grep -q '"store_hit":true' "$WORK/serve_resumed.json"; then
+    echo "crash_resume: SERVE RESUBMIT WAS NOT A STORE HIT"
+    fail=1
+fi
+if ! grep -q '"check_queries":0' "$WORK/serve_resumed.json"; then
+    echo "crash_resume: SERVE RESUBMIT ISSUED SOLVER QUERIES"
+    fail=1
+fi
+# Same job, same bytes: the recovered store must answer with the exact
+# artifacts the uninterrupted daemon produced (wall-clock excepted).
+serve_diverged=0
+for f in "reference_${CHECK_TEST}.json" "ovs_${CHECK_TEST}.json" "corpus_${CHECK_TEST}.json"; do
+    if ! diff <(norm "$WORK/serve_ref_$f") <(norm "$WORK/serve_resumed_$f") >/dev/null; then
+        echo "crash_resume: SERVE ARTIFACT DIVERGED after recovery: $f"
+        serve_diverged=1
+        fail=1
+    fi
+done
+if [ "$serve_diverged" -eq 0 ]; then
+    echo "    recovered store answers byte-identical to uninterrupted daemon"
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "crash_resume: FAILED"
     exit 1

@@ -11,10 +11,14 @@
 # `OpenOptions...create(true)` / `create_new(true)`. Witness corpora
 # (crates/witness) fall under the same contract: a half-written corpus
 # would fail its fingerprint check on load, but the write should never
-# tear in the first place. Test code (tests/ and #[cfg(test)] modules) is
-# exempt: tests construct fixtures, including deliberately torn ones. The
-# journal module itself is exempt — it IS the low-level writer, and its
-# append-only log has its own torn-tail recovery.
+# tear in the first place. Hand-rolled tmp+rename (`fs::rename` /
+# `fs::copy`) is equally forbidden: it skips the fsync ordering that
+# makes the rename durable, and the serve store (crates/harness/store.rs,
+# src/serve.rs) must publish entries through the one audited path. Test
+# code (tests/ and #[cfg(test)] modules) is exempt: tests construct
+# fixtures, including deliberately torn ones. The journal module itself
+# is exempt — it IS the low-level writer (atomic_write lives there), and
+# its append-only log has its own torn-tail recovery.
 set -u
 
 fail=0
@@ -25,7 +29,7 @@ for f in $(find crates/*/src src examples -name '*.rs' 2>/dev/null | sort); do
     # Strip everything from the first `#[cfg(test)]` on: by repo convention
     # test modules are a single trailing `mod tests` block per file.
     hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
-        | grep -n 'fs::write(\|File::create(\|create_new(\|OpenOptions::new(' || true)
+        | grep -n 'fs::write(\|File::create(\|create_new(\|OpenOptions::new(\|fs::rename(\|fs::copy(' || true)
     if [ -n "$hits" ]; then
         echo "$f: non-atomic file write in non-test code:"
         echo "$hits" | sed 's/^/  /'
