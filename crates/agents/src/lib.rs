@@ -22,3 +22,10 @@ pub use agent::{AgentKind, OpenFlowAgent};
 pub use common::Ctx;
 pub use ovs::OpenVSwitch;
 pub use reference::{Mutations, ReferenceSwitch};
+
+/// Build-time FNV-1a hash of the model-defining sources (this crate
+/// plus the wire-format, data-plane, and symbolic-context crates it
+/// builds on), computed by `build.rs`. `soft serve` folds it into every
+/// agent fingerprint: a code change that alters behaviour without
+/// adding or removing coverage labels still invalidates stored results.
+pub const BUILD_FINGERPRINT: &str = env!("SOFT_AGENTS_BUILD_FP");

@@ -41,18 +41,57 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
     w.write_all(bytes)
 }
 
-/// Read one frame from `r`. `Ok(None)` means the peer closed the stream
-/// cleanly at a frame boundary; a partial frame, checksum mismatch, or
-/// unparseable payload is an error.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
+/// One observed event on a framed stream (see [`read_frame_idle`]).
+pub enum FrameEvent {
+    /// A complete, checksum-verified frame.
+    Frame(Json),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Eof,
+    /// The stream's read timeout elapsed with no frame in progress. Only
+    /// surfaces on streams with a read timeout set; lets a server poll a
+    /// shutdown flag between frames instead of blocking forever on an
+    /// idle-but-connected client.
+    Idle,
+}
+
+/// Consecutive timed-out reads tolerated *inside* a frame before the
+/// peer is declared stalled. At the serve daemon's 200 ms socket
+/// timeout this is a minute of mid-frame silence — frames are written
+/// with a single flush, so a peer that stops mid-frame is gone, and an
+/// unbounded wait would let one half-sent frame pin a draining daemon.
+const MID_FRAME_STALL_LIMIT: u32 = 300;
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    // Unix reports an elapsed SO_RCVTIMEO as WouldBlock, Windows as
+    // TimedOut.
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Read one frame from `r`, surfacing read-timeout expiry between
+/// frames as [`FrameEvent::Idle`] rather than an error. A timeout
+/// *inside* a frame keeps waiting (the peer may just be slow) up to
+/// [`MID_FRAME_STALL_LIMIT`] consecutive stalls; a partial frame,
+/// checksum mismatch, or unparseable payload is an error.
+pub fn read_frame_idle<R: Read>(r: &mut R) -> Result<FrameEvent, String> {
     let mut header = [0u8; 8];
     let mut got = 0;
+    let mut stalls = 0u32;
     while got < header.len() {
         match r.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) if got == 0 => return Ok(FrameEvent::Eof),
             Ok(0) => return Err("stream closed mid-frame-header".to_string()),
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) && got == 0 => return Ok(FrameEvent::Idle),
+            Err(e) if is_timeout(e.kind()) => {
+                stalls += 1;
+                if stalls > MID_FRAME_STALL_LIMIT {
+                    return Err("peer stalled mid-frame-header".to_string());
+                }
+            }
             Err(e) => return Err(format!("frame header read: {e}")),
         }
     }
@@ -62,13 +101,43 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
         return Err(format!("frame length {len} exceeds bound"));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
-        .map_err(|e| format!("frame payload read: {e}"))?;
+    let mut got = 0;
+    let mut stalls = 0u32;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err("stream closed mid-frame-payload".to_string()),
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => {
+                stalls += 1;
+                if stalls > MID_FRAME_STALL_LIMIT {
+                    return Err("peer stalled mid-frame-payload".to_string());
+                }
+            }
+            Err(e) => return Err(format!("frame payload read: {e}")),
+        }
+    }
     if crc32(&payload) != sum {
         return Err("frame checksum mismatch".to_string());
     }
     let text = std::str::from_utf8(&payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
-    json::parse(text).map(Some)
+    json::parse(text).map(FrameEvent::Frame)
+}
+
+/// Read one frame from `r`. `Ok(None)` means the peer closed the stream
+/// cleanly at a frame boundary; a partial frame, checksum mismatch, or
+/// unparseable payload is an error. On a stream with a read timeout
+/// set, expiry between frames is an error here — use
+/// [`read_frame_idle`] to observe it instead.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
+    match read_frame_idle(r)? {
+        FrameEvent::Frame(msg) => Ok(Some(msg)),
+        FrameEvent::Eof => Ok(None),
+        FrameEvent::Idle => Err("read timed out between frames".to_string()),
+    }
 }
 
 /// One audit job: which agent pair to crosscheck on which test, under
@@ -223,6 +292,96 @@ mod tests {
         huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
         huge.extend_from_slice(&0u32.to_le_bytes());
         assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    /// One data byte per read, a timeout error between every pair —
+    /// the shape of a slow peer on a socket with SO_RCVTIMEO set.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            if !self.ready {
+                self.ready = true;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    /// `sent` bytes of a frame, then silence forever.
+    struct Stall<'a> {
+        data: &'a [u8],
+        pos: usize,
+        sent: usize,
+    }
+
+    impl Read for Stall<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.sent {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn idle_timeouts_are_not_errors_but_stalls_are() {
+        // Timeout with no frame in progress: Idle, not an error.
+        struct AlwaysTimeout;
+        impl Read for AlwaysTimeout {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::ErrorKind::WouldBlock.into())
+            }
+        }
+        assert!(matches!(
+            read_frame_idle(&mut AlwaysTimeout),
+            Ok(FrameEvent::Idle)
+        ));
+        // ... and read_frame (no-timeout contract) rejects it.
+        assert!(read_frame(&mut AlwaysTimeout).is_err());
+
+        // Timeouts *between bytes* of a frame are absorbed: the frame
+        // still arrives intact.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain_request()).unwrap();
+        let mut slow = Trickle {
+            data: &buf,
+            pos: 0,
+            ready: true, // first byte lands before the first timeout
+        };
+        let first = read_frame_idle(&mut slow).unwrap();
+        assert!(matches!(first, FrameEvent::Frame(_)));
+        assert!(matches!(read_frame_idle(&mut slow), Ok(FrameEvent::Eof)));
+
+        // A peer that goes silent mid-header or mid-payload is declared
+        // stalled once the tolerance runs out — never an infinite wait.
+        let mut mid_header = Stall {
+            data: &buf,
+            pos: 0,
+            sent: 4,
+        };
+        assert!(
+            read_frame_idle(&mut mid_header).is_err_and(|e| e.contains("stalled mid-frame-header"))
+        );
+        let mut mid_payload = Stall {
+            data: &buf,
+            pos: 0,
+            sent: 10,
+        };
+        assert!(read_frame_idle(&mut mid_payload)
+            .is_err_and(|e| e.contains("stalled mid-frame-payload")));
     }
 
     #[test]

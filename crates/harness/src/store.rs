@@ -33,6 +33,7 @@ use crate::proto::JobSpec;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Content key of one job: agent fingerprints + every byte-affecting
 /// job parameter.
@@ -126,12 +127,19 @@ impl StoreEntry {
 
 /// Handle on a store root directory. All mutation goes through
 /// [`crate::atomic_write`]; concurrent *processes* must not share a
-/// root, but concurrent threads of one daemon may (the daemon
-/// serializes index updates).
+/// root, but concurrent threads of one daemon may — entry files are
+/// one-per-key, and [`ResultStore::publish`] serializes the shared
+/// `index.json` update internally.
 #[derive(Debug)]
 pub struct ResultStore {
     root: PathBuf,
     fsync: bool,
+    /// Guards the `index.json` read-modify-write in [`Self::publish`]:
+    /// two unserialized publishers would each rewrite the index from a
+    /// stale read, and the last writer would silently drop the other's
+    /// logical→latest mapping (losing a diff baseline). Readers need no
+    /// lock — `atomic_write` renames, so any read sees a full snapshot.
+    index_lock: Mutex<()>,
 }
 
 impl ResultStore {
@@ -143,6 +151,7 @@ impl ResultStore {
         Ok(ResultStore {
             root: root.to_path_buf(),
             fsync,
+            index_lock: Mutex::new(()),
         })
     }
 
@@ -177,6 +186,7 @@ impl ResultStore {
         let mut text = String::new();
         entry.to_json().write_into(&mut text);
         atomic_write(&self.entry_path(key), text.as_bytes(), self.fsync)?;
+        let _index_guard = self.index_lock.lock().unwrap_or_else(|e| e.into_inner());
         let mut index = self.read_index();
         index.retain(|(k, _)| k != logical);
         index.push((logical.to_string(), Json::Str(key.to_string())));
@@ -299,6 +309,23 @@ mod tests {
         dir
     }
 
+    fn entry() -> StoreEntry {
+        StoreEntry {
+            fp_a: "aa".to_string(),
+            fp_b: "bb".to_string(),
+            artifact_a: "{\"a\":1}".to_string(),
+            artifact_b: "{\"b\":2}".to_string(),
+            corpus: "{\"c\":3}".to_string(),
+            summary: Json::Object(vec![("ok".to_string(), Json::Bool(true))]),
+            verdicts: vec![VerdictRec {
+                i: 0,
+                j: 1,
+                verdict: SatResult::Unsat,
+                budget: SolverBudget::unlimited(),
+            }],
+        }
+    }
+
     #[test]
     fn keys_separate_fingerprints_and_params() {
         let s = spec();
@@ -321,20 +348,7 @@ mod tests {
         let root = temp_store("roundtrip");
         let store = ResultStore::open(&root, false).unwrap();
         let s = spec();
-        let entry = StoreEntry {
-            fp_a: "aa".to_string(),
-            fp_b: "bb".to_string(),
-            artifact_a: "{\"a\":1}".to_string(),
-            artifact_b: "{\"b\":2}".to_string(),
-            corpus: "{\"c\":3}".to_string(),
-            summary: Json::Object(vec![("ok".to_string(), Json::Bool(true))]),
-            verdicts: vec![VerdictRec {
-                i: 0,
-                j: 1,
-                verdict: SatResult::Unsat,
-                budget: SolverBudget::unlimited(),
-            }],
-        };
+        let entry = entry();
         let key = job_key("aa", "bb", &s);
         let logical = logical_key(&s);
         assert!(store.lookup(&key).unwrap().is_none());
@@ -352,6 +366,37 @@ mod tests {
         assert_eq!(store.latest(&logical).as_deref(), Some(key2.as_str()));
         // The superseded entry stays addressable by content key.
         assert!(store.lookup(&key).unwrap().is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_publishes_keep_every_index_mapping() {
+        let root = temp_store("concurrent");
+        let store = ResultStore::open(&root, false).unwrap();
+        let entry = entry();
+        // Eight publishers race on index.json; every logical→latest
+        // mapping must survive the read-modify-write storm.
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let (store, entry) = (&store, &entry);
+                scope.spawn(move || {
+                    let mut s = spec();
+                    s.seed = t;
+                    store
+                        .publish(&job_key("aa", "bb", &s), &logical_key(&s), entry)
+                        .unwrap();
+                });
+            }
+        });
+        for t in 0..8u64 {
+            let mut s = spec();
+            s.seed = t;
+            assert_eq!(
+                store.latest(&logical_key(&s)).as_deref(),
+                Some(job_key("aa", "bb", &s).as_str()),
+                "publish race dropped the mapping for seed {t}"
+            );
+        }
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -30,16 +30,24 @@ use crate::{run_session, BaselineSeed, SessionConfig, TestOutcome};
 use soft_agents::AgentKind;
 use soft_harness::journal::fnv64_hex;
 use soft_harness::json::Json;
-use soft_harness::proto::{self, JobSpec};
+use soft_harness::proto::{self, FrameEvent, JobSpec};
 use soft_harness::store::{job_key, logical_key, ResultStore, StoreEntry};
 use soft_harness::{suite, TestCase};
 use soft_smt::SolverBudget;
+use std::collections::HashSet;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Read timeout on accepted connections: the granularity at which an
+/// idle connection's handler re-checks the drain flag. Without it a
+/// connected-but-silent client would pin `handle_conn` in a blocking
+/// read forever, and one such client would make a drain hang until a
+/// second SIGTERM aborts it.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// See `session::recover`: locks guard slot-wise state, so a sibling
 /// panic leaves usable data behind a poisoned mutex.
@@ -129,17 +137,71 @@ impl Pool {
         }
     }
 
-    fn acquire(&self) {
+    fn acquire(&self) -> Permit<'_> {
         let mut p = recover(&self.permits);
         while *p == 0 {
             p = self.cv.wait(p).unwrap_or_else(|e| e.into_inner());
         }
         *p -= 1;
+        Permit(self)
+    }
+}
+
+/// A held worker slot, returned on drop — so a job that panics cannot
+/// leak its permit and permanently shrink the pool.
+struct Permit<'a>(&'a Pool);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *recover(&self.0.permits) += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// Content keys currently being solved. Two concurrent submissions of
+/// the same job must never both reach `run_session`: they would share
+/// one WAL path and one artifact staging prefix, and two appenders
+/// interleaving frames in one journal corrupts it beyond torn-tail
+/// recovery. The second claimant blocks until the first finishes, then
+/// proceeds into `run_job`, whose first step — the store lookup — now
+/// hits the freshly published entry (or re-runs if the first failed).
+struct RunningJobs {
+    keys: Mutex<HashSet<String>>,
+    cv: Condvar,
+}
+
+impl RunningJobs {
+    fn new() -> RunningJobs {
+        RunningJobs {
+            keys: Mutex::new(HashSet::new()),
+            cv: Condvar::new(),
+        }
     }
 
-    fn release(&self) {
-        *recover(&self.permits) += 1;
-        self.cv.notify_one();
+    fn claim(&self, key: &str) -> KeyClaim<'_> {
+        let mut keys = recover(&self.keys);
+        while keys.contains(key) {
+            keys = self.cv.wait(keys).unwrap_or_else(|e| e.into_inner());
+        }
+        keys.insert(key.to_string());
+        KeyClaim {
+            jobs: self,
+            key: key.to_string(),
+        }
+    }
+}
+
+/// Exclusive right to run the job under `key`; released on drop, so a
+/// panicking job never wedges its key for later submissions.
+struct KeyClaim<'a> {
+    jobs: &'a RunningJobs,
+    key: String,
+}
+
+impl Drop for KeyClaim<'_> {
+    fn drop(&mut self) {
+        recover(&self.jobs.keys).remove(&self.key);
+        self.jobs.cv.notify_all();
     }
 }
 
@@ -147,6 +209,7 @@ struct ServeState {
     store: ResultStore,
     counters: Counters,
     pool: Pool,
+    running: RunningJobs,
     draining: AtomicBool,
 }
 
@@ -170,13 +233,21 @@ fn find_test(id: &str) -> Option<TestCase> {
 
 /// Fingerprint of an agent's current code, computed without any
 /// solving: the FNV hash of its complete coverage universe (every
-/// instruction-block and branch-site label). Any change to the agent's
-/// model changes its label set — the paper's agents *are* their
-/// instrumented models — so an unchanged fingerprint certifies an
-/// unchanged path-condition universe.
+/// instruction-block and branch-site label) folded with the build-time
+/// source hash of the model-defining crates
+/// ([`soft_agents::BUILD_FINGERPRINT`]). The label set alone is not
+/// enough — a change that flips a branch constant or an emitted output
+/// keeps every label while changing behaviour — so the build hash
+/// covers what the universe cannot see: an unchanged fingerprint
+/// certifies unchanged model *sources*, not just an unchanged label
+/// set.
 pub fn agent_fingerprint(agent: AgentKind) -> String {
+    fingerprint_with_build(soft_agents::BUILD_FINGERPRINT, agent)
+}
+
+fn fingerprint_with_build(build: &str, agent: AgentKind) -> String {
     let u = agent.make().universe();
-    let mut parts: Vec<&str> = vec!["agent", agent.id(), "blocks"];
+    let mut parts: Vec<&str> = vec!["agent", agent.id(), "build", build, "blocks"];
     parts.extend(u.blocks.iter().copied());
     parts.push("branch_sites");
     parts.extend(u.branch_sites.iter().copied());
@@ -285,6 +356,10 @@ fn add_ns(counter: &AtomicU64, since: Instant) {
 /// The caller holds a pool permit.
 fn run_job(state: &ServeState, rj: &ResolvedJob, fsync: bool) -> Result<Json, String> {
     let key = job_key(&rj.fp_a, &rj.fp_b, &rj.spec);
+    // Serialize per content key *before* the store lookup: a duplicate
+    // of an in-flight job waits here, then answers from the store the
+    // first runner just published.
+    let _running = state.running.claim(&key);
     let logical = logical_key(&rj.spec);
     let t_lookup = Instant::now();
     if let Some(entry) = state.store.lookup(&key)? {
@@ -379,17 +454,26 @@ fn run_job(state: &ServeState, rj: &ResolvedJob, fsync: bool) -> Result<Json, St
     ))
 }
 
-/// One client connection: frames in, frames out, until clean EOF.
+/// One client connection: frames in, frames out, until clean EOF — or
+/// until a drain begins and the client is idle at a frame boundary, in
+/// which case the connection is hung up so the drain can complete.
 fn handle_conn(stream: TcpStream, state: &ServeState, fsync: bool) {
+    let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
-        let msg = match proto::read_frame(&mut reader) {
-            Ok(Some(m)) => m,
-            Ok(None) => return,
+        let msg = match proto::read_frame_idle(&mut reader) {
+            Ok(FrameEvent::Frame(m)) => m,
+            Ok(FrameEvent::Eof) => return,
+            Ok(FrameEvent::Idle) => {
+                if state.draining.load(Ordering::Relaxed) || soft_serve::sigterm_count() >= 1 {
+                    return;
+                }
+                continue;
+            }
             Err(e) => {
                 let _ = proto::write_frame(&mut writer, &proto::error_response(&e));
                 let _ = writer.flush();
@@ -405,10 +489,10 @@ fn handle_conn(stream: TcpStream, state: &ServeState, fsync: bool) {
             "job" => match JobSpec::from_json(&msg).and_then(resolve) {
                 Ok(rj) => {
                     state.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
-                    state.pool.acquire();
+                    let permit = state.pool.acquire();
                     state.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     let out = run_job(state, &rj, fsync);
-                    state.pool.release();
+                    drop(permit);
                     out.unwrap_or_else(|e| {
                         state.counters.job_errors.fetch_add(1, Ordering::Relaxed);
                         proto::error_response(&e)
@@ -445,6 +529,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
         store,
         counters: Counters::default(),
         pool: Pool::new(cfg.workers),
+        running: RunningJobs::new(),
         draining: AtomicBool::new(false),
     });
     soft_serve::install_sigterm_latch();
@@ -489,6 +574,9 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         if soft_serve::sigterm_count() >= 1 || state.draining.load(Ordering::Relaxed) {
+            // Make the drain visible to connection handlers: an idle
+            // client's next read timeout turns into a clean hangup.
+            state.draining.store(true, Ordering::Relaxed);
             break;
         }
         match listener.accept() {
@@ -545,4 +633,40 @@ pub fn request(addr: &str, msg: &Json) -> Result<Json, String> {
     writer.flush().map_err(|e| format!("send: {e}"))?;
     let mut reader = BufReader::new(read_half);
     proto::read_frame(&mut reader)?.ok_or_else(|| "server closed without replying".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinct() {
+        for agent in AgentKind::all() {
+            assert_eq!(agent_fingerprint(agent), agent_fingerprint(agent));
+        }
+        let fps: HashSet<String> = AgentKind::all()
+            .iter()
+            .map(|&a| agent_fingerprint(a))
+            .collect();
+        assert_eq!(fps.len(), AgentKind::all().len(), "agents must not collide");
+    }
+
+    #[test]
+    fn fingerprints_fold_in_the_build_hash() {
+        // A source change that keeps the label universe intact still
+        // changes the build hash, which must change every fingerprint —
+        // otherwise a restarted daemon would serve stale artifacts.
+        assert_eq!(soft_agents::BUILD_FINGERPRINT.len(), 16);
+        assert!(soft_agents::BUILD_FINGERPRINT
+            .chars()
+            .all(|c| c.is_ascii_hexdigit()));
+        for agent in AgentKind::all() {
+            assert_ne!(
+                fingerprint_with_build("0000000000000000", agent),
+                fingerprint_with_build("ffffffffffffffff", agent),
+                "build hash must reach the fingerprint of {}",
+                agent.id()
+            );
+        }
+    }
 }

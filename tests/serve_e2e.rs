@@ -15,6 +15,7 @@ use soft::harness::json::Json;
 use soft::harness::JobSpec;
 use soft::{run_session, AgentKind, BaselineSeed, SessionConfig};
 use std::fs;
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -112,6 +113,9 @@ fn u64_field(v: &Json, key: &str) -> u64 {
 fn daemon_serves_hits_and_diff_seeded_reruns() {
     let store = temp_dir("daemon");
     let (mut child, addr) = spawn_daemon(&store);
+    // Returns an idle-but-connected client stream: the daemon must
+    // drain (below) even though this socket never sends a frame, and
+    // it stays open until after the daemon has exited.
     let result = std::panic::catch_unwind(|| {
         // Cold store: the first submission solves for real.
         let first = submit(&addr, &job());
@@ -173,10 +177,16 @@ fn daemon_serves_hits_and_diff_seeded_reruns() {
             "only the cold run may have solved"
         );
 
+        // An idle client — connected, never sends a frame — must not
+        // block the drain below: the daemon's per-connection read
+        // timeout turns drain into a hangup for it.
+        let idle = TcpStream::connect(&addr).expect("idle connect");
+
         // Drain: the daemon persists its stats and exits cleanly.
         let ack = soft::serve::request(&addr, &soft::harness::proto::drain_request())
             .expect("drain request");
         assert_eq!(ack.field("type").and_then(Json::as_str), Ok("draining"));
+        idle
     });
     let deadline = Instant::now() + Duration::from_secs(30);
     let status = loop {
@@ -200,6 +210,79 @@ fn daemon_serves_hits_and_diff_seeded_reruns() {
             .expect("stats persisted on drain")
             .contains("\"jobs_served\":3"),
         "drain must persist the counters"
+    );
+    let _ = fs::remove_dir_all(&store);
+}
+
+/// Two simultaneous submissions of the same job on a cold store must
+/// not both solve: they would share one WAL path and one artifact
+/// staging prefix, and two appenders interleaving frames in one journal
+/// corrupts it. The daemon serializes per content key — the duplicate
+/// waits for the first runner, then answers from the store.
+#[test]
+fn concurrent_duplicate_submissions_solve_once() {
+    let store = temp_dir("dedup");
+    let (mut child, addr) = spawn_daemon(&store); // --jobs 2: both submissions get a worker
+    let result = std::panic::catch_unwind(|| {
+        let replies: Vec<Json> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || submit(&addr, &job()))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .collect();
+        let hits = replies
+            .iter()
+            .filter(|r| r.field("store_hit").and_then(Json::as_bool) == Ok(true))
+            .count();
+        assert_eq!(
+            hits, 1,
+            "exactly one submission may solve; its duplicate must wait and answer from the store"
+        );
+        for f in ["artifact_a", "artifact_b", "corpus"] {
+            assert_eq!(
+                str_field(&replies[0], f),
+                str_field(&replies[1], f),
+                "duplicate submissions must return identical bytes ({f})"
+            );
+        }
+        let solved: Vec<&Json> = replies
+            .iter()
+            .filter(|r| r.field("store_hit").and_then(Json::as_bool) == Ok(false))
+            .collect();
+        let status = soft::serve::request(&addr, &soft::harness::proto::status_request())
+            .expect("status request");
+        assert_eq!(u64_field(&status, "jobs_served"), 2);
+        assert_eq!(u64_field(&status, "store_hits"), 1);
+        assert_eq!(
+            u64_field(&status, "check_queries"),
+            u64_field(solved[0], "check_queries"),
+            "only the first runner may have touched a solver"
+        );
+        let ack = soft::serve::request(&addr, &soft::harness::proto::drain_request())
+            .expect("drain request");
+        assert_eq!(ack.field("type").and_then(Json::as_str), Ok("draining"));
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("wait daemon") {
+            Some(st) => break Some(st),
+            None if Instant::now() >= deadline => break None,
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    if result.is_err() || status.is_none() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+    assert!(
+        status.expect("daemon failed to drain").success(),
+        "daemon exited uncleanly"
     );
     let _ = fs::remove_dir_all(&store);
 }
