@@ -1,0 +1,134 @@
+//! Jittered exponential backoff, shared by every wire client.
+//!
+//! Retries exist to ride out transient failure (a daemon still binding
+//! its socket, a switch rebooting its control plane); unjittered retries
+//! from many clients synchronize into thundering herds. The delay for
+//! attempt `k` is drawn uniformly from `[d/2, d]` with
+//! `d = min(cap, base * 2^k)` — deterministic for a given seed, so test
+//! runs with the same seed reproduce the same schedule.
+
+use soft_witness::SplitMix64;
+use std::time::Duration;
+
+/// A retry schedule: how many attempts, and how long to wait between them.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// Total attempts (>= 1); the first one is immediate.
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// A short ladder for local/CI traffic: `attempts` tries, 25 ms
+    /// doubling to a 400 ms cap.
+    pub fn quick(attempts: u32, seed: u64) -> BackoffPolicy {
+        BackoffPolicy {
+            attempts: attempts.max(1),
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+            seed,
+        }
+    }
+
+    /// The jittered delay to sleep before retry number `retry` (1-based:
+    /// the delay *after* the first failed attempt is `delay(1, ..)`).
+    pub fn delay(&self, retry: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = retry.saturating_sub(1).min(16);
+        let full = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.cap)
+            .as_millis() as u64;
+        // Uniform in [full/2, full]: enough spread to decorrelate
+        // clients, never so short that the ladder stops being a ladder.
+        let half = full / 2;
+        Duration::from_millis(half + rng.below(full - half + 1))
+    }
+
+    /// Run `op` under this policy: call it up to `attempts` times,
+    /// sleeping the jittered delay between calls. Returns the first
+    /// success, or the full error chain (one entry per attempt — the
+    /// never-lie rule applies to retries too: every failure is recorded,
+    /// not just the last).
+    pub fn run<T, E: std::fmt::Display>(
+        &self,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, Vec<String>> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut errors = Vec::new();
+        for attempt in 0..self.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.delay(attempt, &mut rng));
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => errors.push(format!("attempt {}: {e}", attempt + 1)),
+            }
+        }
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_stay_capped() {
+        let p = BackoffPolicy::quick(8, 7);
+        let mut rng = SplitMix64::new(p.seed);
+        let mut prev_full = 0u128;
+        for retry in 1..10 {
+            let d = p.delay(retry, &mut rng);
+            assert!(d <= p.cap, "delay exceeds cap at retry {retry}");
+            assert!(d.as_millis() * 2 + 1 >= prev_full, "jitter below half");
+            prev_full = prev_full.max(d.as_millis());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let p = BackoffPolicy::quick(4, 0x50F7);
+        let draw = |p: &BackoffPolicy| {
+            let mut rng = SplitMix64::new(p.seed);
+            (1..6).map(|r| p.delay(r, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(&p), draw(&p));
+    }
+
+    #[test]
+    fn run_returns_first_success_and_full_chain() {
+        let p = BackoffPolicy {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        let mut calls = 0;
+        let out: Result<u32, Vec<String>> = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(format!("boom {calls}"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let out: Result<u32, Vec<String>> = p.run(|| {
+            calls += 1;
+            Err::<u32, _>(format!("boom {calls}"))
+        });
+        let chain = out.unwrap_err();
+        assert_eq!(chain.len(), 3, "every attempt must be recorded");
+        assert!(chain[0].contains("attempt 1: boom 1"));
+        assert!(chain[2].contains("attempt 3: boom 3"));
+    }
+}

@@ -1,0 +1,526 @@
+//! Verdict classification: expected vs observed behavior, per witness
+//! and per root-cause cluster.
+//!
+//! For each witness the in-process models predict two signatures — what
+//! the reference-like agent would do and what the ovs-like agent would do
+//! on the same control-channel bytes, *behind the same handshake the wire
+//! harness performs*. The observed wire signature then lands in one of
+//! the behavioral classes (matches A, matches B, both, novel) or one of
+//! the degradation classes (flaky, unreachable, skipped). Degradations
+//! are first-class verdicts with recorded reasons, never silently
+//! dropped: a transport failure must not be laundered into "the DUT
+//! behaves like X".
+
+use crate::frames::{event_token, render_signature};
+use crate::handshake::{frame, ECHO_XID, FEATURES_XID, HELLO_XID};
+use crate::replayer::{replay_witness, ReplayConfig, WireOutcome};
+use crate::transport::Connector;
+use soft_agents::AgentKind;
+use soft_core::run_concrete;
+use soft_harness::json::Json;
+use soft_harness::Input;
+use soft_openflow::consts::msg_type;
+use soft_openflow::decode::HEADER_LEN;
+use soft_sym::SymBuf;
+use soft_witness::{Corpus, SplitMix64};
+
+/// Map a corpus agent id back to its model.
+pub fn kind_for_id(id: &str) -> Result<AgentKind, String> {
+    match id {
+        "reference" => Ok(AgentKind::Reference),
+        "ovs" => Ok(AgentKind::OpenVSwitch),
+        "modified" => Ok(AgentKind::Modified),
+        "panicky" => Ok(AgentKind::Panicky),
+        other => Err(format!("corpus names unknown agent '{other}'")),
+    }
+}
+
+/// How one witness classified the DUT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Observed behavior matches agent A's prediction only.
+    MatchesA,
+    /// Observed behavior matches agent B's prediction only.
+    MatchesB,
+    /// Both agents predicted the same behavior and the DUT agrees — a
+    /// non-discriminating witness.
+    MatchesBoth,
+    /// The DUT's behavior matches neither prediction.
+    Novel,
+    /// The DUT connected but transport kept failing within the retry
+    /// budget; no behavioral claim is made.
+    Flaky,
+    /// No connection was ever established.
+    Unreachable,
+    /// The witness cannot be replayed over a control channel (no
+    /// messages, unframable bytes, or the in-process prediction failed).
+    Skipped,
+}
+
+impl Verdict {
+    /// Stable lowercase name for reports and fingerprints.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::MatchesA => "matches_a",
+            Verdict::MatchesB => "matches_b",
+            Verdict::MatchesBoth => "matches_both",
+            Verdict::Novel => "novel",
+            Verdict::Flaky => "flaky",
+            Verdict::Unreachable => "unreachable",
+            Verdict::Skipped => "skipped",
+        }
+    }
+}
+
+/// Everything observed (or not) for one corpus entry.
+#[derive(Debug, Clone)]
+pub struct WitnessReport {
+    /// Index of the entry in the corpus.
+    pub index: usize,
+    /// Root-cause cluster, for confirmed entries.
+    pub cluster: Option<usize>,
+    /// True if non-message inputs were projected away for wire replay.
+    pub projected: bool,
+    /// The classification.
+    pub verdict: Verdict,
+    /// Signature agent A is predicted to produce.
+    pub expected_a: String,
+    /// Signature agent B is predicted to produce.
+    pub expected_b: String,
+    /// Signature observed on the wire, when traffic got through.
+    pub observed: Option<String>,
+    /// Connection attempts consumed.
+    pub attempts: u32,
+    /// Skip reason or per-attempt error chain.
+    pub detail: Vec<String>,
+}
+
+/// Aggregate verdict counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Witnesses matching agent A only.
+    pub matches_a: usize,
+    /// Witnesses matching agent B only.
+    pub matches_b: usize,
+    /// Non-discriminating matches.
+    pub matches_both: usize,
+    /// Behavior matching neither model.
+    pub novel: usize,
+    /// Transport-degraded witnesses.
+    pub flaky: usize,
+    /// Witnesses with no connection at all.
+    pub unreachable: usize,
+    /// Witnesses not replayable over the wire.
+    pub skipped: usize,
+}
+
+/// Severity class the CLI maps to an exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitClass {
+    /// Every replayed witness classified cleanly.
+    Clean,
+    /// Some witnesses degraded to flaky.
+    Flaky,
+    /// Some confirmed witness observed novel behavior.
+    Novel,
+    /// The DUT was never reachable for some witness.
+    Unreachable,
+}
+
+/// The full result of one conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformReport {
+    /// Test id of the corpus.
+    pub test: String,
+    /// Agent A id (reference-like axis).
+    pub agent_a: String,
+    /// Agent B id (ovs-like axis).
+    pub agent_b: String,
+    /// Description of the DUT endpoint.
+    pub dut: String,
+    /// Per-witness results, in corpus order.
+    pub witnesses: Vec<WitnessReport>,
+}
+
+impl ConformReport {
+    /// Tallied verdicts.
+    pub fn counts(&self) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for w in &self.witnesses {
+            match w.verdict {
+                Verdict::MatchesA => c.matches_a += 1,
+                Verdict::MatchesB => c.matches_b += 1,
+                Verdict::MatchesBoth => c.matches_both += 1,
+                Verdict::Novel => c.novel += 1,
+                Verdict::Flaky => c.flaky += 1,
+                Verdict::Unreachable => c.unreachable += 1,
+                Verdict::Skipped => c.skipped += 1,
+            }
+        }
+        c
+    }
+
+    /// One-word classification of the DUT over the *confirmed* witnesses:
+    /// which root-cause axis it sits on.
+    pub fn classification(&self) -> String {
+        let mut a = 0usize;
+        let mut b = 0usize;
+        let mut novel = 0usize;
+        for w in self.witnesses.iter().filter(|w| w.cluster.is_some()) {
+            match w.verdict {
+                Verdict::MatchesA => a += 1,
+                Verdict::MatchesB => b += 1,
+                Verdict::Novel => novel += 1,
+                _ => {}
+            }
+        }
+        if novel > 0 {
+            "novel".to_string()
+        } else if a > 0 && b == 0 {
+            format!("{}-like", self.agent_a)
+        } else if b > 0 && a == 0 {
+            format!("{}-like", self.agent_b)
+        } else if a > 0 && b > 0 {
+            "mixed".to_string()
+        } else {
+            "undiscriminated".to_string()
+        }
+    }
+
+    /// Severity for exit-code mapping. Degradations outrank behavior
+    /// findings downward only: unreachable > novel > flaky > clean.
+    /// Skipped entries never affect the exit code.
+    pub fn exit_class(&self) -> ExitClass {
+        let c = self.counts();
+        if c.unreachable > 0 {
+            ExitClass::Unreachable
+        } else if self
+            .witnesses
+            .iter()
+            .any(|w| w.cluster.is_some() && w.verdict == Verdict::Novel)
+        {
+            ExitClass::Novel
+        } else if c.flaky > 0 {
+            ExitClass::Flaky
+        } else {
+            ExitClass::Clean
+        }
+    }
+
+    /// Deterministic digest of (index, verdict, observed signature) —
+    /// everything a fault schedule must NOT change. Attempt counts and
+    /// error strings are deliberately excluded: retries are allowed to
+    /// differ under fault injection, verdicts are not.
+    pub fn verdict_fingerprint(&self) -> String {
+        self.witnesses
+            .iter()
+            .map(|w| {
+                format!(
+                    "{}:{}:{}",
+                    w.index,
+                    w.verdict.name(),
+                    w.observed.as_deref().unwrap_or("-")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Serialize for `--json` reports.
+    pub fn to_json(&self) -> Json {
+        let c = self.counts();
+        Json::Object(vec![
+            ("test".into(), Json::Str(self.test.clone())),
+            ("agent_a".into(), Json::Str(self.agent_a.clone())),
+            ("agent_b".into(), Json::Str(self.agent_b.clone())),
+            ("dut".into(), Json::Str(self.dut.clone())),
+            ("classification".into(), Json::Str(self.classification())),
+            (
+                "counts".into(),
+                Json::Object(vec![
+                    ("matches_a".into(), Json::UInt(c.matches_a as u64)),
+                    ("matches_b".into(), Json::UInt(c.matches_b as u64)),
+                    ("matches_both".into(), Json::UInt(c.matches_both as u64)),
+                    ("novel".into(), Json::UInt(c.novel as u64)),
+                    ("flaky".into(), Json::UInt(c.flaky as u64)),
+                    ("unreachable".into(), Json::UInt(c.unreachable as u64)),
+                    ("skipped".into(), Json::UInt(c.skipped as u64)),
+                ]),
+            ),
+            (
+                "witnesses".into(),
+                Json::Array(
+                    self.witnesses
+                        .iter()
+                        .map(|w| {
+                            Json::Object(vec![
+                                ("index".into(), Json::UInt(w.index as u64)),
+                                (
+                                    "cluster".into(),
+                                    match w.cluster {
+                                        Some(c) => Json::UInt(c as u64),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("projected".into(), Json::Bool(w.projected)),
+                                ("verdict".into(), Json::Str(w.verdict.name().into())),
+                                ("expected_a".into(), Json::Str(w.expected_a.clone())),
+                                ("expected_b".into(), Json::Str(w.expected_b.clone())),
+                                (
+                                    "observed".into(),
+                                    match &w.observed {
+                                        Some(s) => Json::Str(s.clone()),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("attempts".into(), Json::UInt(w.attempts as u64)),
+                                (
+                                    "detail".into(),
+                                    Json::Array(
+                                        w.detail.iter().map(|d| Json::Str(d.clone())).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The harness prelude as model inputs: the same HELLO, FEATURES_REQUEST
+/// and keepalive ECHO the wire handshake sends before witness traffic.
+fn prelude_inputs() -> Vec<Input> {
+    [
+        frame(msg_type::HELLO, HELLO_XID, &[]),
+        frame(msg_type::FEATURES_REQUEST, FEATURES_XID, &[]),
+        frame(msg_type::ECHO_REQUEST, ECHO_XID, &[]),
+    ]
+    .iter()
+    .map(|f| Input::Message(SymBuf::concrete(f)))
+    .collect()
+}
+
+/// Predict the signature `kind` would put on the wire for `msgs`,
+/// replayed behind the standard handshake prelude. The prelude's own
+/// replies are sliced off by replaying the prefix separately — only
+/// witness-induced events enter the signature.
+pub fn expected_signature(kind: AgentKind, msgs: &[&[u8]]) -> Result<String, String> {
+    let prelude = prelude_inputs();
+    let pre = run_concrete(kind, &prelude)
+        .map_err(|e| format!("{} prelude replay failed: {e}", kind.id()))?;
+    let mut inputs = prelude;
+    inputs.extend(msgs.iter().map(|m| Input::Message(SymBuf::concrete(m))));
+    let full = run_concrete(kind, &inputs)
+        .map_err(|e| format!("{} witness replay failed: {e}", kind.id()))?;
+    let mut tokens = Vec::new();
+    for e in full.events.iter().skip(pre.events.len()) {
+        if let Some(t) = event_token(e)? {
+            tokens.push(t);
+        }
+    }
+    Ok(render_signature(full.crashed, &tokens))
+}
+
+/// True if `msg` can be framed on a control channel exactly as the
+/// in-process model consumed it: the header length field must match the
+/// byte count, because the wire peer re-derives message boundaries from
+/// that field alone.
+fn wire_framable(msg: &[u8]) -> bool {
+    msg.len() >= HEADER_LEN && u16::from_be_bytes([msg[2], msg[3]]) as usize == msg.len()
+}
+
+/// Replay every corpus entry against the DUT behind `conn` and classify.
+pub fn run_conform(
+    corpus: &Corpus,
+    conn: &mut dyn Connector,
+    cfg: &ReplayConfig,
+) -> Result<ConformReport, String> {
+    let kind_a = kind_for_id(&corpus.agent_a)?;
+    let kind_b = kind_for_id(&corpus.agent_b)?;
+    let mut rng = SplitMix64::new(cfg.backoff.seed);
+    let mut witnesses = Vec::new();
+
+    for item in corpus.replay_items() {
+        let mut report = WitnessReport {
+            index: item.index,
+            cluster: item.cluster,
+            projected: item.projected,
+            verdict: Verdict::Skipped,
+            expected_a: String::new(),
+            expected_b: String::new(),
+            observed: None,
+            attempts: 0,
+            detail: Vec::new(),
+        };
+
+        if item.wire_msgs.is_empty() {
+            report.detail.push(
+                "no control-channel messages to replay (probe/time-only witness)".to_string(),
+            );
+            witnesses.push(report);
+            continue;
+        }
+        if let Some(bad) = item.wire_msgs.iter().position(|m| !wire_framable(m)) {
+            report.detail.push(format!(
+                "message {bad} is not wire-framable (length field disagrees with byte count); \
+                 a stream peer would desynchronize"
+            ));
+            witnesses.push(report);
+            continue;
+        }
+
+        match (
+            expected_signature(kind_a, &item.wire_msgs),
+            expected_signature(kind_b, &item.wire_msgs),
+        ) {
+            (Ok(ea), Ok(eb)) => {
+                report.expected_a = ea;
+                report.expected_b = eb;
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                report.detail.push(format!("prediction failed: {e}"));
+                witnesses.push(report);
+                continue;
+            }
+        }
+
+        match replay_witness(conn, &item.wire_msgs, cfg, &mut rng) {
+            WireOutcome::Observed(obs) => {
+                let sig = render_signature(obs.crashed, &obs.tokens);
+                report.verdict = match (sig == report.expected_a, sig == report.expected_b) {
+                    (true, true) => Verdict::MatchesBoth,
+                    (true, false) => Verdict::MatchesA,
+                    (false, true) => Verdict::MatchesB,
+                    (false, false) => Verdict::Novel,
+                };
+                report.observed = Some(sig);
+                report.attempts = obs.attempts;
+            }
+            WireOutcome::Flaky { attempts, errors } => {
+                report.verdict = Verdict::Flaky;
+                report.attempts = attempts;
+                report.detail = errors;
+            }
+            WireOutcome::Unreachable { attempts, errors } => {
+                report.verdict = Verdict::Unreachable;
+                report.attempts = attempts;
+                report.detail = errors;
+            }
+        }
+        witnesses.push(report);
+    }
+
+    Ok(ConformReport {
+        test: corpus.test.clone(),
+        agent_a: corpus.agent_a.clone(),
+        agent_b: corpus.agent_b.clone(),
+        dut: conn.describe(),
+        witnesses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wr(index: usize, cluster: Option<usize>, verdict: Verdict) -> WitnessReport {
+        WitnessReport {
+            index,
+            cluster,
+            projected: false,
+            verdict,
+            expected_a: "ea".into(),
+            expected_b: "eb".into(),
+            observed: None,
+            attempts: 1,
+            detail: Vec::new(),
+        }
+    }
+
+    fn report(witnesses: Vec<WitnessReport>) -> ConformReport {
+        ConformReport {
+            test: "t".into(),
+            agent_a: "reference".into(),
+            agent_b: "ovs".into(),
+            dut: "dut".into(),
+            witnesses,
+        }
+    }
+
+    #[test]
+    fn exit_class_priority_is_unreachable_then_novel_then_flaky() {
+        let r = report(vec![
+            wr(0, Some(0), Verdict::Novel),
+            wr(1, None, Verdict::Unreachable),
+            wr(2, None, Verdict::Flaky),
+        ]);
+        assert_eq!(r.exit_class(), ExitClass::Unreachable);
+        let r = report(vec![
+            wr(0, Some(0), Verdict::Novel),
+            wr(1, None, Verdict::Flaky),
+        ]);
+        assert_eq!(r.exit_class(), ExitClass::Novel);
+        // Novel on an unconfirmed entry is not a conformance finding.
+        let r = report(vec![
+            wr(0, None, Verdict::Novel),
+            wr(1, None, Verdict::Flaky),
+        ]);
+        assert_eq!(r.exit_class(), ExitClass::Flaky);
+        let r = report(vec![
+            wr(0, Some(0), Verdict::MatchesA),
+            wr(1, None, Verdict::Skipped),
+        ]);
+        assert_eq!(r.exit_class(), ExitClass::Clean);
+    }
+
+    #[test]
+    fn classification_rolls_up_confirmed_witnesses_only() {
+        let r = report(vec![
+            wr(0, Some(0), Verdict::MatchesA),
+            wr(1, Some(1), Verdict::MatchesBoth),
+            wr(2, None, Verdict::MatchesB), // unconfirmed: ignored
+        ]);
+        assert_eq!(r.classification(), "reference-like");
+        let r = report(vec![wr(0, Some(0), Verdict::MatchesB)]);
+        assert_eq!(r.classification(), "ovs-like");
+        let r = report(vec![wr(0, Some(0), Verdict::Novel)]);
+        assert_eq!(r.classification(), "novel");
+        let r = report(vec![wr(0, Some(0), Verdict::MatchesBoth)]);
+        assert_eq!(r.classification(), "undiscriminated");
+    }
+
+    #[test]
+    fn fingerprint_excludes_attempts_and_errors() {
+        let mut a = wr(0, None, Verdict::Flaky);
+        a.attempts = 2;
+        a.detail = vec!["attempt 1: boom".into()];
+        let mut b = wr(0, None, Verdict::Flaky);
+        b.attempts = 4;
+        b.detail = vec!["attempt 1: other".into(), "attempt 2: boom".into()];
+        assert_eq!(
+            report(vec![a]).verdict_fingerprint(),
+            report(vec![b]).verdict_fingerprint()
+        );
+    }
+
+    #[test]
+    fn expected_signatures_discriminate_the_agents_on_queue_config() {
+        // QUEUE_GET_CONFIG_REQUEST for port 0: the reference switch model
+        // crashes (crash #3 of §5.1.2), OVS answers — the classic
+        // discriminating witness from the paper's Table 3 axis.
+        let msg = frame(msg_type::QUEUE_GET_CONFIG_REQUEST, 7, &[0, 0, 0, 0]);
+        let a = expected_signature(AgentKind::Reference, &[&msg]).unwrap();
+        let b = expected_signature(AgentKind::OpenVSwitch, &[&msg]).unwrap();
+        assert_ne!(a, b, "queue_config must discriminate:\n A={a}\n B={b}");
+    }
+
+    #[test]
+    fn prelude_events_are_sliced_off() {
+        // An empty witness adds nothing beyond the prelude: the expected
+        // signature must be empty for a non-crashing agent.
+        let sig = expected_signature(AgentKind::OpenVSwitch, &[]).unwrap();
+        assert_eq!(sig, "");
+    }
+}

@@ -1,0 +1,183 @@
+//! Fault-tolerant replay of one witness against a live DUT.
+//!
+//! Per witness: connect, handshake, send the witness messages followed by
+//! a sentinel `BARRIER_REQUEST`, and collect every observation frame
+//! until the barrier reply (orderly completion) or a clean EOF (the DUT
+//! crashed — itself an observation). Transport failure at any point
+//! abandons the attempt and retries on a *fresh* connection under the
+//! jittered backoff ladder; when the per-witness budget runs out the
+//! witness degrades to `Flaky` with the full error chain — per the
+//! never-lie rule, a witness is never silently dropped and a transport
+//! failure is never laundered into a behavioral verdict.
+
+use crate::backoff::BackoffPolicy;
+use crate::handshake::{self, frame, is_harness_xid, BARRIER_XID};
+use crate::transport::{Channel, Connector, RecvEvent};
+use soft_openflow::consts::msg_type;
+use soft_openflow::decode::{frame_type, frame_xid};
+use soft_witness::SplitMix64;
+use std::time::Duration;
+
+/// Per-witness replay knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Attempts per witness (fresh connection each).
+    pub attempts: u32,
+    /// Deadline for each frame-level operation.
+    pub op_timeout: Duration,
+    /// Backoff ladder slept between attempts.
+    pub backoff: BackoffPolicy,
+}
+
+impl ReplayConfig {
+    /// Defaults tuned for CI: 4 attempts, 2 s per operation. Four
+    /// attempts is deliberately above the fault injector's forced-clean
+    /// threshold, so any fault schedule eventually lets traffic through.
+    pub fn new(seed: u64) -> ReplayConfig {
+        ReplayConfig {
+            attempts: 4,
+            op_timeout: Duration::from_secs(2),
+            backoff: BackoffPolicy::quick(4, seed),
+        }
+    }
+}
+
+/// A completed observation of the DUT's behavior on one witness.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The DUT closed its control channel before the barrier reply.
+    pub crashed: bool,
+    /// Observation tokens in arrival order (keepalives and handshake
+    /// chatter already excluded).
+    pub tokens: Vec<String>,
+    /// Which attempt (1-based) produced this observation.
+    pub attempts: u32,
+}
+
+/// How replaying one witness ended.
+#[derive(Debug, Clone)]
+pub enum WireOutcome {
+    /// Traffic got through; the DUT's behavior was observed.
+    Observed(Observation),
+    /// At least one attempt connected, but none completed — the error
+    /// chain records every attempt.
+    Flaky {
+        /// Attempts consumed.
+        attempts: u32,
+        /// One entry per failed attempt.
+        errors: Vec<String>,
+    },
+    /// No attempt ever established a connection.
+    Unreachable {
+        /// Attempts consumed.
+        attempts: u32,
+        /// One entry per failed attempt.
+        errors: Vec<String>,
+    },
+}
+
+enum AttemptFail {
+    /// connect() itself failed — counts toward Unreachable.
+    Connect(String),
+    /// The connection broke after being established — counts toward Flaky.
+    Broken(String),
+}
+
+/// Replay `msgs` against the DUT behind `conn` under `cfg`, sleeping
+/// jittered backoff (drawn from `rng`) between attempts.
+pub fn replay_witness(
+    conn: &mut dyn Connector,
+    msgs: &[&[u8]],
+    cfg: &ReplayConfig,
+    rng: &mut SplitMix64,
+) -> WireOutcome {
+    let mut errors = Vec::new();
+    let mut ever_connected = false;
+    let attempts = cfg.attempts.max(1);
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            std::thread::sleep(cfg.backoff.delay(attempt - 1, rng));
+        }
+        match attempt_once(conn, msgs, cfg.op_timeout) {
+            Ok((crashed, tokens)) => {
+                return WireOutcome::Observed(Observation {
+                    crashed,
+                    tokens,
+                    attempts: attempt,
+                })
+            }
+            Err(AttemptFail::Connect(e)) => errors.push(format!("attempt {attempt}: connect: {e}")),
+            Err(AttemptFail::Broken(e)) => {
+                ever_connected = true;
+                errors.push(format!("attempt {attempt}: {e}"));
+            }
+        }
+    }
+    if ever_connected {
+        WireOutcome::Flaky { attempts, errors }
+    } else {
+        WireOutcome::Unreachable { attempts, errors }
+    }
+}
+
+/// One attempt: fresh connection, handshake, replay, collect.
+fn attempt_once(
+    conn: &mut dyn Connector,
+    msgs: &[&[u8]],
+    op_timeout: Duration,
+) -> Result<(bool, Vec<String>), AttemptFail> {
+    let wire = conn
+        .connect()
+        .map_err(|e| AttemptFail::Connect(e.to_string()))?;
+    let mut ch = Channel::new(wire, op_timeout);
+    handshake::handshake(&mut ch).map_err(AttemptFail::Broken)?;
+
+    // Send the witness plus the barrier sentinel. A send failure here is
+    // not fatal to the attempt: the likely cause is the DUT crashing on
+    // an earlier message (closing the socket under us), and the crash
+    // will surface as a clean EOF in the collection loop below. Genuine
+    // transport damage surfaces there too, as an error.
+    let mut send_error = None;
+    for m in msgs {
+        if let Err(e) = ch.send_frame(m) {
+            send_error = Some(e);
+            break;
+        }
+    }
+    if send_error.is_none() {
+        if let Err(e) = ch.send_frame(&frame(msg_type::BARRIER_REQUEST, BARRIER_XID, &[])) {
+            send_error = Some(e);
+        }
+    }
+
+    let mut tokens = Vec::new();
+    loop {
+        match ch.recv_frame() {
+            Err(e) => {
+                let detail = match &send_error {
+                    Some(se) => format!("{e} (after send failure: {se})"),
+                    None => e,
+                };
+                return Err(AttemptFail::Broken(detail));
+            }
+            // Clean EOF at a frame boundary: the DUT's control channel
+            // died mid-witness — the wire-observable form of a crash.
+            Ok(RecvEvent::Closed) => return Ok((true, tokens)),
+            Ok(RecvEvent::Frame(f)) => match frame_type(&f) {
+                // Session chatter, not behavior.
+                t if t == msg_type::HELLO => {}
+                // The DUT probing *our* liveness: answer, don't record.
+                t if t == msg_type::ECHO_REQUEST => {
+                    let _ = ch.send_frame(&handshake::echo_reply_for(&f));
+                }
+                // Replies to our own keepalives, correlated by xid so
+                // fault-injected reordering cannot misfile them.
+                t if t == msg_type::ECHO_REPLY && is_harness_xid(frame_xid(&f)) => {}
+                t if t == msg_type::BARRIER_REPLY && frame_xid(&f) == BARRIER_XID => {
+                    return Ok((false, tokens));
+                }
+                _ => tokens.push(crate::frames::frame_token(&f)),
+            },
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The loopback self-test: prove the harness classifies correctly before
+//! trusting it against real hardware.
+//!
+//! Both corpus agents are served behind real TCP listeners and the full
+//! wire harness replays the corpus against each. The test passes iff
+//!
+//! 1. every confirmed witness whose predictions discriminate the agents
+//!    classifies the A-loopback as `matches_a` and the B-loopback as
+//!    `matches_b` — from the corpus alone, no side channel;
+//! 2. at least one confirmed witness discriminates (otherwise the corpus
+//!    cannot classify anything and the "pass" would be vacuous);
+//! 3. for every requested fault seed, re-running through the seeded
+//!    [`FaultyConnector`](crate::transport::FaultyConnector) produces a
+//!    verdict fingerprint byte-identical to the clean run — the
+//!    robustness property: any fault schedule that eventually lets
+//!    traffic through must not change verdicts.
+
+use crate::classifier::{kind_for_id, run_conform, ConformReport, Verdict};
+use crate::loopback::LoopbackDut;
+use crate::replayer::ReplayConfig;
+use crate::transport::{Connector, FaultyConnector, TcpConnector};
+use soft_witness::Corpus;
+use std::time::Duration;
+
+/// Outcome of the loopback self-test.
+#[derive(Debug)]
+pub struct SelfTestReport {
+    /// Clean-run report against the agent-A loopback.
+    pub report_a: ConformReport,
+    /// Clean-run report against the agent-B loopback.
+    pub report_b: ConformReport,
+    /// Human-readable summary lines.
+    pub summary: Vec<String>,
+    /// Everything that went wrong; empty means the self-test passed.
+    pub failures: Vec<String>,
+}
+
+impl SelfTestReport {
+    /// True if every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn check_side(
+    report: &ConformReport,
+    side: char,
+    want: Verdict,
+    failures: &mut Vec<String>,
+) -> usize {
+    let mut discriminating = 0;
+    for w in &report.witnesses {
+        if w.cluster.is_none() || w.expected_a == w.expected_b {
+            continue;
+        }
+        discriminating += 1;
+        if w.verdict != want {
+            failures.push(format!(
+                "witness {} against the {side} loopback: verdict {} (wanted {}); \
+                 expected_a={} expected_b={} observed={}",
+                w.index,
+                w.verdict.name(),
+                want.name(),
+                w.expected_a,
+                w.expected_b,
+                w.observed.as_deref().unwrap_or("-"),
+            ));
+        }
+    }
+    discriminating
+}
+
+/// Run the full self-test: clean classification of both agents, then
+/// fingerprint-identical re-runs under each fault seed.
+pub fn loopback_self_test(
+    corpus: &Corpus,
+    fault_seeds: &[u64],
+    cfg: &ReplayConfig,
+) -> Result<SelfTestReport, String> {
+    let kind_a = kind_for_id(&corpus.agent_a)?;
+    let kind_b = kind_for_id(&corpus.agent_b)?;
+    let mut summary = Vec::new();
+    let mut failures = Vec::new();
+
+    let mut reports = Vec::new();
+    for (side, kind, want) in [
+        ('A', kind_a, Verdict::MatchesA),
+        ('B', kind_b, Verdict::MatchesB),
+    ] {
+        let dut = LoopbackDut::spawn(kind).map_err(|e| format!("spawn {side} loopback: {e}"))?;
+        let mut conn = TcpConnector::new(dut.addr(), Duration::from_secs(2));
+        let clean = run_conform(corpus, &mut conn, cfg)?;
+        let discriminating = check_side(&clean, side, want.clone(), &mut failures);
+        if discriminating == 0 {
+            failures.push(format!(
+                "no confirmed witness discriminates the agents against the {side} loopback; \
+                 the self-test would be vacuous"
+            ));
+        }
+        summary.push(format!(
+            "side {side} ({}): classification {}, {discriminating} discriminating witnesses",
+            kind.id(),
+            clean.classification()
+        ));
+
+        for &seed in fault_seeds {
+            let inner: Box<dyn Connector> =
+                Box::new(TcpConnector::new(dut.addr(), Duration::from_secs(2)));
+            let mut faulty = FaultyConnector::new(inner, seed);
+            let faulted = run_conform(corpus, &mut faulty, cfg)?;
+            if faulted.verdict_fingerprint() != clean.verdict_fingerprint() {
+                failures.push(format!(
+                    "fault seed {seed:#x} changed verdicts against the {side} loopback:\n\
+                     --- clean ---\n{}\n--- seed {seed:#x} ---\n{}",
+                    clean.verdict_fingerprint(),
+                    faulted.verdict_fingerprint()
+                ));
+            } else {
+                summary.push(format!(
+                    "side {side}: fault seed {seed:#x} reproduced the clean verdicts exactly"
+                ));
+            }
+        }
+        reports.push(clean);
+    }
+
+    let report_b = reports.pop().expect("two sides");
+    let report_a = reports.pop().expect("two sides");
+    Ok(SelfTestReport {
+        report_a,
+        report_b,
+        summary,
+        failures,
+    })
+}

@@ -58,7 +58,9 @@ pub use group::{
     group_paths, group_paths_with, GroupBuilder, GroupError, GroupedResults, OutputGroup, TreeShape,
 };
 pub use regression::{condition_diff, regression_check, ConditionDiff, RegressionReport};
-pub use replay::{concretize_inputs, replay, run_concrete, ReplayError, ReplayOutcome};
+pub use replay::{
+    concretize_inputs, replay, run_concrete, run_concrete_raw, ReplayError, ReplayOutcome,
+};
 pub use report::{classify_outputs, signature, DivergenceKind};
 pub use soft::{PairReport, Soft};
 pub use stream::{CheckScheduler, Probe};

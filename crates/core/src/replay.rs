@@ -120,6 +120,23 @@ fn concretize_output(o: &ObservedOutput, witness: &Assignment) -> ObservedOutput
 /// vouch for — inputs that fork, an engine-aborted path — come back as
 /// [`ReplayError`] instead of a fabricated observation.
 pub fn run_concrete(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput, ReplayError> {
+    run_concrete_inner(kind, inputs, true)
+}
+
+/// As [`run_concrete`], but the trace keeps its raw transaction ids and
+/// buffer identifiers instead of being normalized. The over-the-wire
+/// conformance harness needs the real xids to frame replies the way a
+/// live switch would; normalization would erase exactly the field the
+/// peer uses to correlate them.
+pub fn run_concrete_raw(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput, ReplayError> {
+    run_concrete_inner(kind, inputs, false)
+}
+
+fn run_concrete_inner(
+    kind: AgentKind,
+    inputs: &[Input],
+    normalize: bool,
+) -> Result<ObservedOutput, ReplayError> {
     let ex = explore(&ExplorerConfig::default(), |ctx| {
         let drive = AssertUnwindSafe(|| {
             let mut agent = kind.make();
@@ -154,7 +171,11 @@ pub fn run_concrete(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput,
         return Err(ReplayError::Aborted(reason.clone()));
     }
     Ok(ObservedOutput {
-        events: normalize_trace(&p.trace),
+        events: if normalize {
+            normalize_trace(&p.trace)
+        } else {
+            p.trace.clone()
+        },
         crashed: matches!(p.outcome, PathOutcome::Crashed(_)),
     })
 }

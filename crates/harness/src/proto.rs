@@ -384,6 +384,184 @@ mod tests {
             .is_err_and(|e| e.contains("stalled mid-frame-payload")));
     }
 
+    /// `gap` consecutive timeouts before every data byte after the
+    /// first — the stall counter must reset on each byte of progress.
+    struct Choppy<'a> {
+        data: &'a [u8],
+        pos: usize,
+        pending_timeouts: u32,
+        gap: u32,
+    }
+
+    impl Read for Choppy<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            if self.pending_timeouts > 0 {
+                self.pending_timeouts -= 1;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.pending_timeouts = self.gap;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    /// The stall budget is exact: a peer that pauses for precisely
+    /// [`MID_FRAME_STALL_LIMIT`] timeouts before every byte is slow but
+    /// alive (the counter resets on progress); one more consecutive
+    /// timeout and it is declared stalled.
+    #[test]
+    fn mid_frame_stall_budget_boundary_is_exact() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain_request()).unwrap();
+        let mut at_budget = Choppy {
+            data: &buf,
+            pos: 0,
+            pending_timeouts: 0, // first byte lands, so every gap is mid-frame
+            gap: MID_FRAME_STALL_LIMIT,
+        };
+        assert!(matches!(
+            read_frame_idle(&mut at_budget),
+            Ok(FrameEvent::Frame(_))
+        ));
+        let mut past_budget = Choppy {
+            data: &buf,
+            pos: 0,
+            pending_timeouts: 0,
+            gap: MID_FRAME_STALL_LIMIT + 1,
+        };
+        assert!(read_frame_idle(&mut past_budget)
+            .is_err_and(|e| e.contains("stalled mid-frame-header")));
+    }
+
+    /// A frame scattered across many one-byte reads (no timeouts at all
+    /// — just a miserly kernel buffer) reassembles losslessly, back to
+    /// back.
+    #[test]
+    fn one_byte_reads_reassemble_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain_request()).unwrap();
+        write_frame(&mut buf, &status_request()).unwrap();
+        struct OneByte<'a> {
+            data: &'a [u8],
+            pos: usize,
+        }
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut r = OneByte { data: &buf, pos: 0 };
+        let first = match read_frame_idle(&mut r).unwrap() {
+            FrameEvent::Frame(f) => f,
+            other => panic!("expected frame, got {}", event_name(&other)),
+        };
+        assert_eq!(first.field("type").unwrap().as_str().unwrap(), "drain");
+        let second = match read_frame_idle(&mut r).unwrap() {
+            FrameEvent::Frame(f) => f,
+            other => panic!("expected frame, got {}", event_name(&other)),
+        };
+        assert_eq!(second.field("type").unwrap().as_str().unwrap(), "status");
+        assert!(matches!(read_frame_idle(&mut r), Ok(FrameEvent::Eof)));
+    }
+
+    /// A stream torn inside the 8-byte length prefix is damage, not a
+    /// clean close — only EOF at byte 0 of a frame is [`FrameEvent::Eof`].
+    #[test]
+    fn torn_length_prefix_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain_request()).unwrap();
+        for cut in 1..8 {
+            let err = read_frame_idle(&mut &buf[..cut]);
+            assert!(
+                err.as_ref()
+                    .is_err_and(|e| e.contains("closed mid-frame-header")),
+                "cut at {cut} must tear the header"
+            );
+        }
+        // EOF exactly at the header/payload seam tears the payload.
+        assert!(
+            read_frame_idle(&mut &buf[..8]).is_err_and(|e| e.contains("closed mid-frame-payload"))
+        );
+    }
+
+    fn event_name(e: &FrameEvent) -> &'static str {
+        match e {
+            FrameEvent::Frame(_) => "Frame",
+            FrameEvent::Eof => "Eof",
+            FrameEvent::Idle => "Idle",
+        }
+    }
+
+    /// The drain-poll contract: timeouts *between* frames surface as
+    /// `Idle` every time (a serving loop regains control to check its
+    /// shutdown flag), and absorbing a frame does not eat the following
+    /// idle window.
+    #[test]
+    fn idle_surfaces_between_frames_for_drain_polling() {
+        let mut first = Vec::new();
+        write_frame(&mut first, &drain_request()).unwrap();
+        let mut second = Vec::new();
+        write_frame(&mut second, &status_request()).unwrap();
+        // frame, 3 idle timeouts, frame, EOF.
+        struct Script<'a> {
+            chunks: Vec<&'a [u8]>,
+            idle_between: u32,
+            idles_done: u32,
+            chunk: usize,
+            pos: usize,
+        }
+        impl Read for Script<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let Some(data) = self.chunks.get(self.chunk) else {
+                    return Ok(0);
+                };
+                if self.pos == data.len() {
+                    if self.idles_done < self.idle_between {
+                        self.idles_done += 1;
+                        return Err(io::ErrorKind::WouldBlock.into());
+                    }
+                    self.chunk += 1;
+                    self.pos = 0;
+                    self.idles_done = 0;
+                    return self.read(buf);
+                }
+                buf[0] = data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut r = Script {
+            chunks: vec![&first, &second],
+            idle_between: 3,
+            idles_done: 0,
+            chunk: 0,
+            pos: 0,
+        };
+        let mut seen = Vec::new();
+        loop {
+            let e = read_frame_idle(&mut r).unwrap();
+            let name = event_name(&e);
+            seen.push(name);
+            if name == "Eof" {
+                break;
+            }
+        }
+        assert_eq!(
+            seen,
+            vec!["Frame", "Idle", "Idle", "Idle", "Frame", "Idle", "Idle", "Idle", "Eof"],
+            "every between-frame timeout must yield control to the caller"
+        );
+    }
+
     #[test]
     fn budget_strings_are_injective() {
         let mut spec = JobSpec {

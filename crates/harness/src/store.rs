@@ -20,6 +20,7 @@
 //! ```text
 //! jobs/<key>.json      one store entry per content key
 //! index.json           logical key -> latest content key
+//! index.json.corrupt-* quarantined corrupt index snapshots (forensics)
 //! inflight/<key>.json  jobs accepted but not yet published (recovery)
 //! wal/<key>.wal        per-job session journal
 //! out/<key>_*          per-job artifact staging area
@@ -85,11 +86,18 @@ pub struct StoreEntry {
     /// Full verdict matrix of the canonical crosscheck — the seed set
     /// for diff-based partial re-solves.
     pub verdicts: Vec<VerdictRec>,
+    /// The job spec this entry was published for. Embedding the spec
+    /// makes every entry self-describing: a lost or corrupt `index.json`
+    /// can be rebuilt from the `jobs/` directory alone (see
+    /// [`ResultStore::read_index`]). `None` for entries written before
+    /// the spec was embedded — those stay addressable by content key but
+    /// cannot be re-indexed.
+    pub spec: Option<JobSpec>,
 }
 
 impl StoreEntry {
     fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut fields = vec![
             ("fp_a".to_string(), Json::Str(self.fp_a.clone())),
             ("fp_b".to_string(), Json::Str(self.fp_b.clone())),
             ("artifact_a".to_string(), Json::Str(self.artifact_a.clone())),
@@ -105,7 +113,11 @@ impl StoreEntry {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(spec) = &self.spec {
+            fields.push(("spec".to_string(), spec.to_json()));
+        }
+        Json::Object(fields)
     }
 
     fn from_json(v: &Json) -> Result<StoreEntry, String> {
@@ -121,6 +133,11 @@ impl StoreEntry {
             corpus: v.field("corpus")?.as_str()?.to_string(),
             summary: v.field("summary")?.clone(),
             verdicts,
+            // Pre-spec entries are valid; they just cannot be re-indexed.
+            spec: v
+                .field("spec")
+                .ok()
+                .and_then(|s| JobSpec::from_json(s).ok()),
         })
     }
 }
@@ -196,18 +213,102 @@ impl ResultStore {
         atomic_write(&self.root.join("index.json"), out.as_bytes(), self.fsync)
     }
 
+    /// Read the logical index. A missing file is an empty index; a file
+    /// that exists but does not parse as a JSON object is *damage* — the
+    /// corrupt bytes are preserved under `index.json.corrupt-<n>` for
+    /// forensics and the index is rebuilt from the content-addressed
+    /// entries themselves (see [`Self::rebuild_index`]). Callers must
+    /// hold `index_lock`: recovery rewrites `index.json`, and an
+    /// unserialized reader racing a publisher could resurrect a stale
+    /// mapping.
     fn read_index(&self) -> Vec<(String, Json)> {
-        let Ok(text) = fs::read_to_string(self.root.join("index.json")) else {
-            return Vec::new();
+        let path = self.root.join("index.json");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return Vec::new(),
         };
         match json::parse(&text) {
             Ok(Json::Object(fields)) => fields,
-            _ => Vec::new(),
+            // Truncated write survived a crash, or external damage:
+            // quarantine and rebuild rather than silently serving an
+            // empty index (which would drop every diff baseline).
+            _ => self.recover_index(&text),
         }
     }
 
-    /// The latest content key published for `logical`, if any.
+    /// Quarantine the corrupt index bytes and rebuild `index.json` from
+    /// the entries under `jobs/`. Returns the rebuilt index. Caller
+    /// holds `index_lock`.
+    fn recover_index(&self, corrupt: &str) -> Vec<(String, Json)> {
+        for n in 0..10_000u32 {
+            let q = self.root.join(format!("index.json.corrupt-{n}"));
+            if !q.exists() {
+                let _ = atomic_write(&q, corrupt.as_bytes(), self.fsync);
+                break;
+            }
+        }
+        let rebuilt = self.rebuild_index();
+        let mut out = String::new();
+        Json::Object(rebuilt.clone()).write_into(&mut out);
+        let _ = atomic_write(&self.root.join("index.json"), out.as_bytes(), self.fsync);
+        rebuilt
+    }
+
+    /// Reconstruct logical-key → latest-content-key mappings from the
+    /// content-addressed entries. Each entry that embeds its [`JobSpec`]
+    /// yields its logical key directly; when several entries share one
+    /// (the agent changed between publishes), the most recently modified
+    /// file wins, with the key as a deterministic tie-break. Entries
+    /// without an embedded spec (pre-spec format, or unreadable) cannot
+    /// be re-indexed and are skipped — they remain addressable by
+    /// content key.
+    fn rebuild_index(&self) -> Vec<(String, Json)> {
+        use std::collections::BTreeMap;
+        use std::time::SystemTime;
+        let mut best: BTreeMap<String, (SystemTime, String)> = BTreeMap::new();
+        let Ok(dir) = fs::read_dir(self.root.join("jobs")) else {
+            return Vec::new();
+        };
+        for e in dir.filter_map(|e| e.ok()) {
+            let name = e.file_name().to_string_lossy().to_string();
+            let Some(key) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Ok(text) = fs::read_to_string(e.path()) else {
+                continue;
+            };
+            let Ok(v) = json::parse(&text) else {
+                continue;
+            };
+            let Ok(entry) = StoreEntry::from_json(&v) else {
+                continue;
+            };
+            let Some(spec) = entry.spec else {
+                continue;
+            };
+            let mtime = e
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            let candidate = (mtime, key.to_string());
+            match best.get_mut(&logical_key(&spec)) {
+                Some(cur) if *cur >= candidate => {}
+                Some(cur) => *cur = candidate,
+                None => {
+                    best.insert(logical_key(&spec), candidate);
+                }
+            }
+        }
+        best.into_iter()
+            .map(|(logical, (_, key))| (logical, Json::Str(key)))
+            .collect()
+    }
+
+    /// The latest content key published for `logical`, if any. Takes the
+    /// index lock: a corrupt index triggers a rebuild-and-rewrite here,
+    /// which must not interleave with a concurrent publish.
     pub fn latest(&self, logical: &str) -> Option<String> {
+        let _index_guard = self.index_lock.lock().unwrap_or_else(|e| e.into_inner());
         self.read_index()
             .iter()
             .find(|(k, _)| k == logical)
@@ -323,6 +424,7 @@ mod tests {
                 verdict: SatResult::Unsat,
                 budget: SolverBudget::unlimited(),
             }],
+            spec: None,
         }
     }
 
@@ -397,6 +499,93 @@ mod tests {
                 "publish race dropped the mapping for seed {t}"
             );
         }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_index_is_quarantined_and_rebuilt() {
+        let root = temp_store("corrupt");
+        let store = ResultStore::open(&root, false).unwrap();
+        // Two logical jobs with embedded specs, one of them superseded
+        // once (two content keys, same logical key), plus one pre-spec
+        // entry that cannot be re-indexed.
+        let s1 = spec();
+        let mut s2 = spec();
+        s2.seed = 99;
+        let mut e1 = entry();
+        e1.spec = Some(s1.clone());
+        let mut e2 = entry();
+        e2.spec = Some(s2.clone());
+        let old_key = job_key("aa_old", "bb", &s1);
+        let new_key = job_key("aa_new", "bb", &s1);
+        let other_key = job_key("aa", "bb", &s2);
+        store.publish(&old_key, &logical_key(&s1), &e1).unwrap();
+        store.publish(&new_key, &logical_key(&s1), &e1).unwrap();
+        store.publish(&other_key, &logical_key(&s2), &e2).unwrap();
+        store
+            .publish("prespec", "legacy-logical", &entry())
+            .unwrap();
+        // The superseded entry must *lose* the rebuild: backdate it so
+        // the mtime ranking is unambiguous.
+        let old_mtime = fs::metadata(store.entry_path(&new_key))
+            .and_then(|m| m.modified())
+            .unwrap()
+            - std::time::Duration::from_secs(60);
+        let f = fs::OpenOptions::new()
+            .append(true)
+            .open(store.entry_path(&old_key))
+            .unwrap();
+        f.set_modified(old_mtime).unwrap();
+        drop(f);
+
+        // Truncate the index mid-token, as a crash or disk fault would.
+        fs::write(root.join("index.json"), "{\"trunc").unwrap();
+
+        // The next read recovers: latest() serves the rebuilt mapping.
+        assert_eq!(
+            store.latest(&logical_key(&s1)).as_deref(),
+            Some(new_key.as_str())
+        );
+        assert_eq!(
+            store.latest(&logical_key(&s2)).as_deref(),
+            Some(other_key.as_str())
+        );
+        // The pre-spec entry dropped out of the index but is still
+        // addressable by content key.
+        assert_eq!(store.latest("legacy-logical"), None);
+        assert!(store.lookup("prespec").unwrap().is_some());
+        // The corrupt bytes were preserved, and the rewritten index is
+        // valid JSON that parses without another recovery pass.
+        let quarantined = fs::read_to_string(root.join("index.json.corrupt-0")).unwrap();
+        assert_eq!(quarantined, "{\"trunc");
+        let reread = fs::read_to_string(root.join("index.json")).unwrap();
+        assert!(matches!(json::parse(&reread), Ok(Json::Object(_))));
+        // A second corruption lands in the next quarantine slot.
+        fs::write(root.join("index.json"), "junk").unwrap();
+        assert_eq!(
+            store.latest(&logical_key(&s1)).as_deref(),
+            Some(new_key.as_str())
+        );
+        assert_eq!(
+            fs::read_to_string(root.join("index.json.corrupt-1")).unwrap(),
+            "junk"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn entries_embed_their_spec_and_tolerate_its_absence() {
+        let root = temp_store("spec_embed");
+        let store = ResultStore::open(&root, false).unwrap();
+        let s = spec();
+        let mut e = entry();
+        e.spec = Some(s.clone());
+        store.publish("with_spec", &logical_key(&s), &e).unwrap();
+        let got = store.lookup("with_spec").unwrap().expect("entry");
+        assert_eq!(got.spec, Some(s));
+        // An entry serialized before the spec field existed still loads.
+        store.publish("no_spec", "l2", &entry()).unwrap();
+        assert_eq!(store.lookup("no_spec").unwrap().expect("entry").spec, None);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,173 @@
+//! Incremental, resumable OpenFlow frame decoding.
+//!
+//! [`parse`](crate::parse::parse) validates one *complete* message buffer;
+//! this module solves the prior problem: carving complete frames out of a
+//! TCP byte stream that arrives in arbitrary fragments. The decoder is
+//! push-based and resumable — feed it whatever `read` returned (even one
+//! byte at a time) and pop frames as they complete. Partial frames stay
+//! buffered across calls, so a reader interrupted mid-frame loses nothing.
+//!
+//! Framing comes from the OpenFlow 1.0 header alone: byte 2..4 carry the
+//! big-endian total message length. A declared length shorter than the
+//! 8-byte header can never frame a valid message and would desynchronize
+//! the stream permanently, so it is a hard [`DecodeError`] — the caller
+//! must drop the connection rather than guess at message boundaries.
+
+/// Byte length of the fixed OpenFlow header.
+pub const HEADER_LEN: usize = 8;
+
+/// Why a byte stream cannot be framed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The header declares a length shorter than the header itself; no
+    /// consistent framing of the remaining stream exists.
+    RuntLength {
+        /// The declared `ofp_header.length`.
+        declared: u16,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::RuntLength { declared } => write!(
+                f,
+                "header declares length {declared} < {HEADER_LEN}; stream framing is lost"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Push-based OpenFlow frame reassembler.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw stream bytes (whatever the last `read` produced).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, if one is buffered. `Ok(None)` means
+    /// more bytes are needed; call [`push`](Self::push) and try again.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, DecodeError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize;
+        if declared < HEADER_LEN {
+            return Err(DecodeError::RuntLength {
+                declared: declared as u16,
+            });
+        }
+        if self.buf.len() < declared {
+            return Ok(None);
+        }
+        let rest = self.buf.split_off(declared);
+        let frame = std::mem::replace(&mut self.buf, rest);
+        Ok(Some(frame))
+    }
+
+    /// True if bytes of an incomplete frame are pending — an EOF here is a
+    /// torn frame, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Number of buffered (not yet framed) bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Abandon framing and recover the raw buffered bytes, leaving the
+    /// decoder empty. Used by pass-through layers that must hand an
+    /// unframable or torn tail downstream verbatim.
+    pub fn take_buffered(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// The `ofp_header.type` byte of a complete frame.
+pub fn frame_type(frame: &[u8]) -> u8 {
+    frame.get(1).copied().unwrap_or(0)
+}
+
+/// The `ofp_header.xid` of a complete frame.
+pub fn frame_xid(frame: &[u8]) -> u32 {
+    match frame.get(4..8) {
+        Some(b) => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(t: u8, len: u16, xid: u32, pad_to: usize) -> Vec<u8> {
+        let mut m = vec![crate::consts::OFP_VERSION, t];
+        m.extend_from_slice(&len.to_be_bytes());
+        m.extend_from_slice(&xid.to_be_bytes());
+        m.resize(pad_to, 0);
+        m
+    }
+
+    #[test]
+    fn whole_frame_pops_at_once() {
+        let mut d = FrameDecoder::new();
+        let m = msg(2, 12, 7, 12);
+        d.push(&m);
+        assert_eq!(d.next_frame().unwrap(), Some(m.clone()));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(!d.mid_frame());
+        assert_eq!(frame_type(&m), 2);
+        assert_eq!(frame_xid(&m), 7);
+    }
+
+    #[test]
+    fn one_byte_at_a_time_reassembles() {
+        let mut d = FrameDecoder::new();
+        let m = msg(0, 16, 0xdead_beef, 16);
+        for (i, b) in m.iter().enumerate() {
+            assert_eq!(d.next_frame().unwrap(), None, "frame popped early at {i}");
+            d.push(&[*b]);
+            assert!(d.mid_frame());
+        }
+        assert_eq!(d.next_frame().unwrap(), Some(m));
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn coalesced_frames_split_correctly() {
+        let mut d = FrameDecoder::new();
+        let a = msg(2, 8, 1, 8);
+        let b = msg(3, 10, 2, 10);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        joined.extend_from_slice(&b[..3]); // trailing partial frame
+        d.push(&joined);
+        assert_eq!(d.next_frame().unwrap(), Some(a));
+        assert_eq!(d.next_frame().unwrap(), Some(b.clone()));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(d.mid_frame());
+        assert_eq!(d.buffered(), 3);
+        d.push(&b[3..]);
+        assert_eq!(d.next_frame().unwrap(), Some(b));
+    }
+
+    #[test]
+    fn runt_length_is_fatal() {
+        let mut d = FrameDecoder::new();
+        d.push(&msg(2, 7, 0, 8));
+        assert_eq!(d.next_frame(), Err(DecodeError::RuntLength { declared: 7 }));
+    }
+}

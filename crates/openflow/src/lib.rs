@@ -11,6 +11,7 @@
 
 pub mod builder;
 pub mod consts;
+pub mod decode;
 pub mod layout;
 pub mod parse;
 pub mod trace;

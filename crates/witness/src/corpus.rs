@@ -253,6 +253,23 @@ impl CorpusEntry {
     }
 }
 
+/// One corpus entry prepared for over-the-wire replay (see
+/// [`Corpus::replay_items`]).
+#[derive(Debug, Clone)]
+pub struct ReplayItem<'a> {
+    /// Index of the entry within the corpus.
+    pub index: usize,
+    /// Root-cause cluster id, for confirmed entries.
+    pub cluster: Option<usize>,
+    /// The OpenFlow wire messages of the entry, in input order.
+    pub wire_msgs: Vec<&'a [u8]>,
+    /// True if the entry also had non-message inputs (probes, time
+    /// steps) that cannot be sent over a control channel.
+    pub projected: bool,
+    /// The full entry, for status/kind/signature reporting.
+    pub entry: &'a CorpusEntry,
+}
+
 /// Summary of one root-cause cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSummary {
@@ -311,6 +328,34 @@ impl Corpus {
     pub fn confirmed(&self) -> Vec<usize> {
         (0..self.entries.len())
             .filter(|&i| self.entries[i].is_confirmed())
+            .collect()
+    }
+
+    /// The corpus projected for over-the-wire replay: every entry —
+    /// distilled witnesses and their fuzz neighborhood alike, confirmed
+    /// or not — in corpus order, with the control-channel view of its
+    /// inputs. Data-plane probes and virtual-time steps cannot cross a
+    /// real OpenFlow control connection, so an item carries only the
+    /// `Message` inputs and flags itself `projected` when anything was
+    /// left behind; a wire harness must report (never hide) that its
+    /// observation covers the projected sequence.
+    pub fn replay_items(&self) -> Vec<ReplayItem<'_>> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(index, entry)| {
+                let wire_msgs = entry.messages();
+                ReplayItem {
+                    index,
+                    cluster: match entry.status {
+                        Status::Confirmed { cluster } => Some(cluster),
+                        Status::Unconfirmed { .. } => None,
+                    },
+                    projected: wire_msgs.len() != entry.inputs.len(),
+                    wire_msgs,
+                    entry,
+                }
+            })
             .collect()
     }
 
@@ -512,6 +557,23 @@ mod tests {
         assert_eq!(cl[0].members, 1);
         assert_eq!(cl[0].kind, "agent terminates with an error");
         assert_eq!(c.confirmed(), vec![0]);
+    }
+
+    #[test]
+    fn replay_items_project_control_channel_inputs() {
+        let c = sample();
+        let items = c.replay_items();
+        assert_eq!(items.len(), c.entries.len(), "no entry may be dropped");
+        // Entry 0 mixes a message with a probe and a time step: the wire
+        // view keeps only the message and flags the projection.
+        assert_eq!(items[0].index, 0);
+        assert_eq!(items[0].cluster, Some(0));
+        assert_eq!(items[0].wire_msgs.len(), 1);
+        assert!(items[0].projected);
+        // Entry 1 is message-only and unconfirmed.
+        assert_eq!(items[1].cluster, None);
+        assert_eq!(items[1].wire_msgs.len(), 1);
+        assert!(!items[1].projected);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! soft report ref.json ovs.json --replay
 //! ```
 
+use soft::conform::{
+    loopback_self_test, run_conform, ConformReport, Connector, ExitClass, FaultyConnector,
+    LoopbackDut, ReplayConfig, TcpConnector, Verdict,
+};
 use soft::core::report::{classify, dedupe, describe, describe_unverified, reproduce};
 use soft::core::{
     crosscheck_durable, replay, CheckSeeds, CrosscheckConfig, GroupedResults, Soft, VerdictSink,
@@ -43,6 +47,9 @@ const EXIT_UNVERIFIED: u8 = 3;
 /// engine panic was contained): artifacts cover only part of the input
 /// space.
 const EXIT_TRUNCATED: u8 = 4;
+/// Exit code when a conformance DUT never accepted a connection for some
+/// witness: no behavioral claim could be made at all.
+const EXIT_UNREACHABLE: u8 = 5;
 
 fn all_tests() -> Vec<TestCase> {
     let mut tests = suite::table1_suite();
@@ -68,7 +75,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft submit (--addr HOST:PORT | --store DIR) --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft conform <corpus.json> (--addr HOST:PORT | --self-test) [--retries N] [--op-timeout-ms N] [--fault-seed S]... [--seed S] [--json FILE]\n  soft conform-dut --agent <reference|ovs|modified|panicky> [--port N]\n  soft submit (--addr HOST:PORT | --store DIR) --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nconform replays a witness corpus OVER THE WIRE, OFTest-style: it dials\nthe DUT's OpenFlow 1.0 control channel (--addr), performs the\nHELLO/FEATURES handshake with an echo keepalive, replays every witness\nbehind a sentinel barrier, and classifies the DUT per root-cause\ncluster as reference-like, ovs-like, or novel. Transport is\nfault-tolerant: per-operation deadlines, jittered-backoff retries on\nfresh connections (--retries, --op-timeout-ms), and explicit degraded\nverdicts — flaky (connected but never completed, full error chain\nrecorded) and unreachable (never connected). --self-test serves both\ncorpus agents behind loopback listeners and requires correct\nclassification of each; every --fault-seed re-runs through a\ndeterministic splitmix64 fault injector (torn frames, truncation,\nstalls, resets, reordered echoes) and requires verdicts byte-identical\nto the clean run. conform-dut serves one agent on a TCP port for\nexternal harnesses.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated;\n{EXIT_UNREACHABLE} conformance DUT unreachable.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -79,6 +86,32 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Extract every value of a repeatable `--flag`.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parse a u64 in decimal or `0x…` hex.
+fn parse_u64(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse::<u64>(),
+    };
+    parsed.map_err(|_| format!("expected a u64 (decimal or 0x hex), got '{v}'"))
 }
 
 /// Parse `--jobs N` (default 1). `Err` on malformed or zero values.
@@ -110,13 +143,7 @@ fn budget_flag(args: &[String]) -> Result<SolverBudget, String> {
 fn seed_flag(args: &[String]) -> Result<u64, String> {
     match flag_value(args, "--seed") {
         None => Ok(DEFAULT_SEED),
-        Some(v) => {
-            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
-                Some(hex) => u64::from_str_radix(hex, 16),
-                None => v.parse::<u64>(),
-            };
-            parsed.map_err(|_| format!("--seed must be a u64 (decimal or 0x hex), got '{v}'"))
-        }
+        Some(v) => parse_u64(&v).map_err(|e| format!("--seed: {e}")),
     }
 }
 
@@ -599,6 +626,9 @@ fn positional(args: &[String]) -> Vec<&String> {
             || args[i] == "--addr"
             || args[i] == "--fp-a"
             || args[i] == "--fp-b"
+            || args[i] == "--retries"
+            || args[i] == "--op-timeout-ms"
+            || args[i] == "--fault-seed"
         {
             i += 2; // flag + value
         } else if args[i].starts_with("--") {
@@ -1122,6 +1152,254 @@ fn cmd_repro(args: &[String]) -> ExitCode {
     }
 }
 
+/// Build the conform replay config from CLI flags.
+fn conform_config(args: &[String]) -> Result<ReplayConfig, String> {
+    let mut cfg = ReplayConfig::new(seed_flag(args)?);
+    if let Some(v) = flag_value(args, "--retries") {
+        match v.parse::<u32>() {
+            Ok(n) if n >= 1 => {
+                cfg.attempts = n;
+                cfg.backoff.attempts = n;
+            }
+            _ => return Err(format!("--retries must be a positive integer, got '{v}'")),
+        }
+    }
+    if let Some(v) = flag_value(args, "--op-timeout-ms") {
+        match v.parse::<u64>() {
+            Ok(n) if n >= 1 => cfg.op_timeout = std::time::Duration::from_millis(n),
+            _ => {
+                return Err(format!(
+                    "--op-timeout-ms must be a positive millisecond count, got '{v}'"
+                ))
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+fn print_conform_report(report: &ConformReport) {
+    let c = report.counts();
+    println!(
+        "conform: {} vs {} on '{}' against {}",
+        report.agent_a, report.agent_b, report.test, report.dut
+    );
+    println!("  classification: {}", report.classification());
+    println!(
+        "  verdicts: matches_a={} matches_b={} matches_both={} novel={} flaky={} unreachable={} skipped={}",
+        c.matches_a, c.matches_b, c.matches_both, c.novel, c.flaky, c.unreachable, c.skipped
+    );
+    // Per-cluster rollup over confirmed witnesses.
+    let mut clusters: std::collections::BTreeMap<usize, Vec<&'static str>> = Default::default();
+    for w in &report.witnesses {
+        if let Some(cl) = w.cluster {
+            clusters.entry(cl).or_default().push(w.verdict.name());
+        }
+    }
+    for (cl, verdicts) in &clusters {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for v in verdicts {
+            *counts.entry(v).or_default() += 1;
+        }
+        let parts: Vec<String> = counts.iter().map(|(v, n)| format!("{v}={n}")).collect();
+        println!("  cluster {cl}: {}", parts.join(" "));
+    }
+    for w in &report.witnesses {
+        match w.verdict {
+            Verdict::Novel => println!(
+                "  witness #{}: NOVEL — observed {} (expected A {} / B {})",
+                w.index,
+                w.observed.as_deref().unwrap_or("-"),
+                w.expected_a,
+                w.expected_b
+            ),
+            Verdict::Flaky | Verdict::Unreachable => println!(
+                "  witness #{}: {} after {} attempts — {}",
+                w.index,
+                w.verdict.name(),
+                w.attempts,
+                w.detail.last().map(String::as_str).unwrap_or("no detail")
+            ),
+            Verdict::Skipped => println!(
+                "  witness #{}: skipped — {}",
+                w.index,
+                w.detail.first().map(String::as_str).unwrap_or("no reason")
+            ),
+            _ => {}
+        }
+    }
+}
+
+fn conform_exit(report: &ConformReport) -> ExitCode {
+    match report.exit_class() {
+        ExitClass::Unreachable => ExitCode::from(EXIT_UNREACHABLE),
+        ExitClass::Novel => ExitCode::from(EXIT_INCONSISTENT),
+        ExitClass::Flaky => ExitCode::from(EXIT_UNVERIFIED),
+        ExitClass::Clean => ExitCode::SUCCESS,
+    }
+}
+
+fn cmd_conform(args: &[String]) -> ExitCode {
+    let paths = positional(args);
+    if paths.len() != 1 {
+        eprintln!(
+            "conform: expected exactly one corpus file, got {}",
+            paths.len()
+        );
+        return usage();
+    }
+    let corpus = match Corpus::load(Path::new(paths[0])) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match conform_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return usage();
+        }
+    };
+    let mut fault_seeds = Vec::new();
+    for v in flag_values(args, "--fault-seed") {
+        match parse_u64(&v) {
+            Ok(s) => fault_seeds.push(s),
+            Err(e) => {
+                eprintln!("conform: --fault-seed: {e}");
+                return usage();
+            }
+        }
+    }
+    let self_test = args.iter().any(|a| a == "--self-test");
+    let addr = flag_value(args, "--addr");
+
+    if self_test && addr.is_none() {
+        let st = match loopback_self_test(&corpus, &fault_seeds, &cfg) {
+            Ok(st) => st,
+            Err(e) => {
+                eprintln!("conform: self-test: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for line in &st.summary {
+            println!("conform self-test: {line}");
+        }
+        if let Some(json_path) = flag_value(args, "--json") {
+            let j = Json::Object(vec![
+                ("passed".into(), Json::Bool(st.passed())),
+                (
+                    "failures".into(),
+                    Json::Array(st.failures.iter().map(|f| Json::Str(f.clone())).collect()),
+                ),
+                ("side_a".into(), st.report_a.to_json()),
+                ("side_b".into(), st.report_b.to_json()),
+            ]);
+            if let Err(e) = atomic_write(Path::new(&json_path), j.to_string().as_bytes(), true) {
+                eprintln!("conform: writing {json_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if st.passed() {
+            println!("conform self-test: PASS");
+            ExitCode::SUCCESS
+        } else {
+            for f in &st.failures {
+                eprintln!("conform self-test: FAIL — {f}");
+            }
+            ExitCode::FAILURE
+        };
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("conform: pass exactly one of --addr HOST:PORT or --self-test");
+        return usage();
+    };
+    if self_test {
+        eprintln!("conform: --addr and --self-test are mutually exclusive");
+        return usage();
+    }
+    let connect_timeout = cfg.op_timeout.max(std::time::Duration::from_secs(1));
+    let mut conn = TcpConnector::new(&addr, connect_timeout);
+    let report = match run_conform(&corpus, &mut conn, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_conform_report(&report);
+    // Chaos passes: each fault seed must reproduce the clean verdicts.
+    let mut mismatch = false;
+    for &seed in &fault_seeds {
+        let inner: Box<dyn Connector> = Box::new(TcpConnector::new(&addr, connect_timeout));
+        let mut faulty = FaultyConnector::new(inner, seed);
+        match run_conform(&corpus, &mut faulty, &cfg) {
+            Ok(r2) if r2.verdict_fingerprint() == report.verdict_fingerprint() => {
+                println!("conform: fault seed {seed:#x} reproduced the clean verdicts exactly");
+            }
+            Ok(_) => {
+                mismatch = true;
+                eprintln!(
+                    "conform: fault seed {seed:#x} CHANGED verdicts — harness not fault-tolerant"
+                );
+            }
+            Err(e) => {
+                mismatch = true;
+                eprintln!("conform: fault seed {seed:#x}: {e}");
+            }
+        }
+    }
+    if let Some(json_path) = flag_value(args, "--json") {
+        if let Err(e) = atomic_write(
+            Path::new(&json_path),
+            report.to_json().to_string().as_bytes(),
+            true,
+        ) {
+            eprintln!("conform: writing {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if mismatch {
+        ExitCode::FAILURE
+    } else {
+        conform_exit(&report)
+    }
+}
+
+fn cmd_conform_dut(args: &[String]) -> ExitCode {
+    let Some(agent_str) = flag_value(args, "--agent") else {
+        eprintln!("conform-dut: --agent is required");
+        return usage();
+    };
+    let Some(kind) = parse_agent(&agent_str) else {
+        eprintln!("conform-dut: unknown agent '{agent_str}'");
+        return usage();
+    };
+    let port: u16 = match flag_value(args, "--port") {
+        None => 0,
+        Some(v) => match v.parse() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("conform-dut: --port must be a port number, got '{v}'");
+                return usage();
+            }
+        },
+    };
+    let dut = match LoopbackDut::spawn_on(kind, port) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("conform-dut: bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("conform-dut: serving {} on {}", kind.id(), dut.addr());
+    // Serve until killed; the listener thread owns all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn cmd_regress(args: &[String]) -> ExitCode {
     let paths = positional(args);
     if paths.len() != 2 {
@@ -1385,6 +1663,8 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("distill") => cmd_distill(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
+        Some("conform") => cmd_conform(&args[1..]),
+        Some("conform-dut") => cmd_conform_dut(&args[1..]),
         Some("regress") => cmd_regress(&args[1..]),
         _ => usage(),
     }

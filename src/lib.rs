@@ -15,6 +15,7 @@ pub use serve::{agent_fingerprint, serve, ServeConfig};
 pub use session::{run_session, BaselineSeed, SessionConfig, SessionReport, TestOutcome};
 
 pub use soft_agents as agents;
+pub use soft_conform as conform;
 pub use soft_core as core;
 pub use soft_dataplane as dataplane;
 pub use soft_harness as harness;

@@ -423,6 +423,8 @@ fn run_job(state: &ServeState, rj: &ResolvedJob, fsync: bool) -> Result<Json, St
         corpus: read_back(&format!("{prefix}corpus_{}.json", rj.test.id))?,
         summary: outcome_summary(outcome),
         verdicts: outcome.verdicts.clone(),
+        // Embedded so a corrupt index.json can be rebuilt from entries.
+        spec: Some(rj.spec.clone()),
     };
     state
         .store
@@ -623,8 +625,16 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
 }
 
 /// Client side: send one request frame to `addr`, return the reply.
+///
+/// The connect is retried under the shared jittered-backoff ladder: a
+/// daemon that is still binding its socket (or briefly restarting) is a
+/// transient condition, not a submit failure. The full per-attempt error
+/// chain is reported if the ladder runs out.
 pub fn request(addr: &str, msg: &Json) -> Result<Json, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let policy = soft_conform::BackoffPolicy::quick(4, 0x50F7);
+    let stream = policy
+        .run(|| TcpStream::connect(addr))
+        .map_err(|chain| format!("connect {addr}: {}", chain.join("; ")))?;
     let read_half = stream
         .try_clone()
         .map_err(|e| format!("clone stream: {e}"))?;

@@ -269,6 +269,84 @@ if [ "$serve_diverged" -eq 0 ]; then
     echo "    recovered store answers byte-identical to uninterrupted daemon"
 fi
 
+echo "== conform: SIGKILL the DUT mid-replay, degrade to flaky/unreachable =="
+# A conformance DUT that dies under the harness must never crash or hang
+# the replayer: the run completes, the affected witnesses carry explicit
+# flaky (connected, never finished) or unreachable (never connected)
+# verdicts, and the exit code reports the degradation.
+"$SOFT" run --agents reference,ovs --test queue_config \
+    --out "$WORK/conform_" --no-journal --no-fsync >/dev/null 2>&1
+run_rc=$?
+if [ "$run_rc" -ne 0 ] && [ "$run_rc" -ne 2 ]; then
+    echo "crash_resume: corpus distillation for conform stage failed with $run_rc"
+    exit 1
+fi
+CON_CORPUS="$WORK/conform_corpus_queue_config.json"
+conform_degraded=0
+round=0
+while [ "$round" -lt 40 ]; do
+    # Grow the kill delay each round: early rounds kill the DUT before
+    # or during the first replay, later ones mid-corpus.
+    delay_ms=$((round * 5))
+    # Subshell + pid file so the async "Killed" notice for the DUT stays
+    # out of the script's stderr (same pattern as the serve section).
+    ("$SOFT" conform-dut --agent ovs >"$WORK/dut.out" 2>&1 &
+     echo $! >"$WORK/dut.pid") 2>/dev/null
+    DUT_PID=$(cat "$WORK/dut.pid")
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(grep -o '127\.0\.0\.1:[0-9]*' "$WORK/dut.out" 2>/dev/null || true)
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "crash_resume: conform-dut never published its address"
+        kill -9 "$DUT_PID" 2>/dev/null
+        exit 1
+    fi
+    "$SOFT" conform "$CON_CORPUS" --addr "$addr" \
+        --retries 2 --op-timeout-ms 400 --json "$WORK/conform_kill.json" \
+        >"$WORK/conform_kill.out" 2>"$WORK/conform_kill.err" &
+    CONF_PID=$!
+    (sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms/1000}")"
+     kill -KILL "$DUT_PID" 2>/dev/null) 2>/dev/null
+    wait "$CONF_PID" 2>/dev/null
+    conf_rc=$?
+    wait "$DUT_PID" 2>/dev/null
+    round=$((round + 1))
+    if grep -q 'panicked' "$WORK/conform_kill.err"; then
+        echo "crash_resume: CONFORM PANICKED when the DUT died:"
+        head -5 "$WORK/conform_kill.err"
+        fail=1
+        break
+    fi
+    # 3 = flaky, 5 = unreachable: the kill landed mid-replay and the
+    # run degraded explicitly. 0/2 means the replay outran the kill —
+    # legitimate, try a longer delay. Anything else is a bug.
+    if [ "$conf_rc" -eq 3 ] || [ "$conf_rc" -eq 5 ]; then
+        if ! grep -Eq '"(flaky|unreachable)":[1-9]' "$WORK/conform_kill.json"; then
+            echo "crash_resume: conform exit $conf_rc but no degraded verdict in report"
+            fail=1
+        else
+            conform_degraded=1
+        fi
+        break
+    fi
+    if [ "$conf_rc" -ne 0 ] && [ "$conf_rc" -ne 2 ]; then
+        echo "crash_resume: conform exited $conf_rc after DUT SIGKILL (want 3 or 5)"
+        cat "$WORK/conform_kill.out"
+        fail=1
+        break
+    fi
+    rm -f "$WORK/conform_kill.json"
+done
+if [ "$conform_degraded" -eq 1 ]; then
+    echo "    $round round(s): DUT death degraded to explicit verdicts, no crash"
+elif [ "$fail" -eq 0 ]; then
+    echo "crash_resume: conform kill never landed mid-replay in $round rounds"
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "crash_resume: FAILED"
     exit 1
