@@ -1,0 +1,161 @@
+//! Job identity, shared by the serve daemon and the fleet router.
+//!
+//! The router must compute the *same* content key a back-end will store
+//! an entry under — ring placement, duplicate coalescing, and replica
+//! lookup all hang off that key — so the agent registry, test lookup,
+//! and fingerprint computation live here, in the one crate both sides
+//! depend on.
+
+use soft_agents::AgentKind;
+use soft_harness::journal::fnv64_hex;
+use soft_harness::proto::JobSpec;
+use soft_harness::{suite, TestCase};
+
+/// Parse an agent id as accepted on the wire and the CLI.
+pub fn parse_agent(s: &str) -> Option<AgentKind> {
+    match s {
+        "reference" | "ref" => Some(AgentKind::Reference),
+        "ovs" | "openvswitch" => Some(AgentKind::OpenVSwitch),
+        "modified" => Some(AgentKind::Modified),
+        "panicky" => Some(AgentKind::Panicky),
+        _ => None,
+    }
+}
+
+/// Look a test id up in the full suite (Table 1 + extensions + Table 5
+/// ablations).
+pub fn find_test(id: &str) -> Option<TestCase> {
+    let mut tests = suite::table1_suite();
+    tests.push(suite::queue_config());
+    tests.push(suite::timeout_flow_mod());
+    tests.extend(suite::ablation::table5_suite());
+    tests.into_iter().find(|t| t.id == id)
+}
+
+/// Fingerprint of an agent's current code, computed without any
+/// solving: the FNV hash of its complete coverage universe (every
+/// instruction-block and branch-site label) folded with the build-time
+/// source hash of the model-defining crates
+/// ([`soft_agents::BUILD_FINGERPRINT`]). The label set alone is not
+/// enough — a change that flips a branch constant or an emitted output
+/// keeps every label while changing behaviour — so the build hash
+/// covers what the universe cannot see: an unchanged fingerprint
+/// certifies unchanged model *sources*, not just an unchanged label
+/// set.
+pub fn agent_fingerprint(agent: AgentKind) -> String {
+    fingerprint_with_build(soft_agents::BUILD_FINGERPRINT, agent)
+}
+
+/// [`agent_fingerprint`] under an explicit build hash (test seam).
+pub fn fingerprint_with_build(build: &str, agent: AgentKind) -> String {
+    let u = agent.make().universe();
+    let mut parts: Vec<&str> = vec!["agent", agent.id(), "build", build, "blocks"];
+    parts.extend(u.blocks.iter().copied());
+    parts.push("branch_sites");
+    parts.extend(u.branch_sites.iter().copied());
+    fnv64_hex(&parts)
+}
+
+/// A job spec validated against the suite and agent registry, with both
+/// fingerprints settled (client override wins; the override is what
+/// lets tests and remote clients declare "this agent changed").
+pub struct ResolvedJob {
+    /// The validated spec, verbatim.
+    pub spec: JobSpec,
+    /// Parsed agent A.
+    pub agent_a: AgentKind,
+    /// Parsed agent B.
+    pub agent_b: AgentKind,
+    /// The resolved test case.
+    pub test: TestCase,
+    /// Settled fingerprint of agent A.
+    pub fp_a: String,
+    /// Settled fingerprint of agent B.
+    pub fp_b: String,
+}
+
+/// Validate `spec` and settle its fingerprints.
+pub fn resolve(spec: JobSpec) -> Result<ResolvedJob, String> {
+    let agent_a =
+        parse_agent(&spec.agent_a).ok_or_else(|| format!("unknown agent '{}'", spec.agent_a))?;
+    let agent_b =
+        parse_agent(&spec.agent_b).ok_or_else(|| format!("unknown agent '{}'", spec.agent_b))?;
+    let test = find_test(&spec.test).ok_or_else(|| format!("unknown test '{}'", spec.test))?;
+    let fp_a = spec
+        .fp_a
+        .clone()
+        .unwrap_or_else(|| agent_fingerprint(agent_a));
+    let fp_b = spec
+        .fp_b
+        .clone()
+        .unwrap_or_else(|| agent_fingerprint(agent_b));
+    Ok(ResolvedJob {
+        spec,
+        agent_a,
+        agent_b,
+        test,
+        fp_a,
+        fp_b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinct() {
+        for agent in AgentKind::all() {
+            assert_eq!(agent_fingerprint(agent), agent_fingerprint(agent));
+        }
+        let fps: HashSet<String> = AgentKind::all()
+            .iter()
+            .map(|&a| agent_fingerprint(a))
+            .collect();
+        assert_eq!(fps.len(), AgentKind::all().len(), "agents must not collide");
+    }
+
+    #[test]
+    fn fingerprints_fold_in_the_build_hash() {
+        // A source change that keeps the label universe intact still
+        // changes the build hash, which must change every fingerprint —
+        // otherwise a restarted daemon would serve stale artifacts.
+        assert_eq!(soft_agents::BUILD_FINGERPRINT.len(), 16);
+        assert!(soft_agents::BUILD_FINGERPRINT
+            .chars()
+            .all(|c| c.is_ascii_hexdigit()));
+        for agent in AgentKind::all() {
+            assert_ne!(
+                fingerprint_with_build("0000000000000000", agent),
+                fingerprint_with_build("ffffffffffffffff", agent),
+                "build hash must reach the fingerprint of {}",
+                agent.id()
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_validates_agents_and_tests() {
+        let spec = |a: &str, b: &str, t: &str| JobSpec {
+            agent_a: a.to_string(),
+            agent_b: b.to_string(),
+            test: t.to_string(),
+            seed: 1,
+            budget_conflicts: None,
+            fuzz: 0,
+            retry_rungs: 0,
+            fp_a: None,
+            fp_b: None,
+        };
+        assert!(resolve(spec("reference", "ovs", "queue_config")).is_ok());
+        assert!(resolve(spec("nope", "ovs", "queue_config")).is_err());
+        assert!(resolve(spec("reference", "ovs", "no_such_test")).is_err());
+        // A fingerprint override wins over the computed fingerprint.
+        let mut s = spec("reference", "ovs", "queue_config");
+        s.fp_a = Some("deadbeefdeadbeef".to_string());
+        let rj = resolve(s).unwrap();
+        assert_eq!(rj.fp_a, "deadbeefdeadbeef");
+        assert_eq!(rj.fp_b, agent_fingerprint(AgentKind::OpenVSwitch));
+    }
+}

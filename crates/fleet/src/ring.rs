@@ -1,0 +1,185 @@
+//! Consistent-hash ring over the fleet's serve back-ends.
+//!
+//! Every back-end contributes `vnodes` virtual points to a 64-bit ring;
+//! a job key hashes to a point and is owned by the first back-end point
+//! clockwise from it. Virtual nodes smooth the load split (a handful of
+//! physical back-ends would otherwise carve the ring into wildly uneven
+//! arcs), and consistent hashing keeps reassignment minimal when a
+//! back-end joins or dies: only the keys in the lost arcs move.
+//!
+//! The ring is pure data, computed identically by the router (to place
+//! jobs) and by every back-end (to pick replication successors), from
+//! the same ordered membership list — there is no negotiation protocol
+//! to disagree over.
+
+use soft_harness::journal::fnv64_hex;
+
+/// A fixed membership's hash ring. Rebuild on membership change; the
+/// structure itself is immutable.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, backend index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    /// Number of distinct back-ends.
+    backends: usize,
+}
+
+/// Hash an arbitrary identifier onto the ring's 64-bit point space.
+fn ring_hash(parts: &[&str]) -> u64 {
+    u64::from_str_radix(&fnv64_hex(parts), 16).unwrap_or(0)
+}
+
+impl Ring {
+    /// Build the ring for `backends` (order defines each back-end's
+    /// identity — every fleet member must use the same list) with
+    /// `vnodes` virtual points per back-end.
+    pub fn new(backends: &[String], vnodes: u32) -> Ring {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(backends.len() * vnodes as usize);
+        for (idx, addr) in backends.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((ring_hash(&["vnode", addr, &v.to_string()]), idx));
+            }
+        }
+        // Ties (two vnodes hashing identically) resolve by backend
+        // index so every member computes the same ring.
+        points.sort();
+        Ring {
+            points,
+            backends: backends.len(),
+        }
+    }
+
+    /// Number of distinct back-ends on the ring.
+    pub fn len(&self) -> usize {
+        self.backends
+    }
+
+    /// True when the ring has no back-ends.
+    pub fn is_empty(&self) -> bool {
+        self.backends == 0
+    }
+
+    /// Every distinct back-end in ring order starting at `key`'s owner.
+    /// The first entry is the owner; the next `r` entries are the
+    /// replication successors; a router walks the list until it finds a
+    /// live back-end.
+    pub fn successors(&self, key: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let h = ring_hash(&["key", key]);
+        let start = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
+        let mut seen = vec![false; self.backends];
+        let mut order = Vec::with_capacity(self.backends);
+        for i in 0..self.points.len() {
+            let idx = self.points[(start + i) % self.points.len()].1;
+            if !seen[idx] {
+                seen[idx] = true;
+                order.push(idx);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The back-end owning `key`, if the ring is non-empty.
+    pub fn owner(&self, key: &str) -> Option<usize> {
+        self.successors(key).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_covers_all_backends() {
+        let ring = Ring::new(&addrs(3), 64);
+        for k in 0..100 {
+            let key = format!("job{k}");
+            let s1 = ring.successors(&key);
+            assert_eq!(s1, ring.successors(&key), "same key, same order");
+            assert_eq!(s1.len(), 3, "every backend appears once");
+            let mut sorted = s1.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            assert_eq!(ring.owner(&key), Some(s1[0]));
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_ownership() {
+        let ring = Ring::new(&addrs(3), 64);
+        let mut counts = [0usize; 3];
+        for k in 0..3000 {
+            counts[ring.owner(&format!("key{k}")).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // With 64 vnodes the split stays within a loose band; a
+            // collapsed ring (one backend owning nearly everything)
+            // fails this hard.
+            assert!(
+                c > 300 && c < 2000,
+                "backend {i} owns {c}/3000 keys — ring is unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_keys() {
+        let all = addrs(3);
+        let ring3 = Ring::new(&all, 64);
+        let ring2 = Ring::new(&all[..2], 64);
+        let mut moved = 0;
+        for k in 0..1000 {
+            let key = format!("key{k}");
+            let before = ring3.owner(&key).unwrap();
+            let after = ring2.owner(&key).unwrap();
+            if before < 2 {
+                // A key owned by a surviving backend must not move.
+                assert_eq!(before, after, "key {key} moved off a live backend");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the dead backend owned some keys");
+    }
+
+    #[test]
+    fn successor_walk_matches_owner_after_removal() {
+        // The failover rule: when the owner dies, the next ring
+        // successor in the 3-ring is the owner in the 2-ring whenever
+        // that successor survives. This is what lets the router retry a
+        // dead back-end's keys on the next live successor and land
+        // where replicas were pushed.
+        let all = addrs(3);
+        let ring3 = Ring::new(&all, 64);
+        for k in 0..300 {
+            let key = format!("key{k}");
+            let order = ring3.successors(&key);
+            if order[0] == 2 {
+                let ring2 = Ring::new(&all[..2], 64);
+                assert_eq!(
+                    ring2.owner(&key),
+                    Some(order[1]),
+                    "next live successor must own the dead backend's key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_is_explicit() {
+        let ring = Ring::new(&[], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner("k"), None);
+        assert!(ring.successors("k").is_empty());
+    }
+}

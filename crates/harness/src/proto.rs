@@ -15,6 +15,19 @@
 //! | response  | `status`    | the counters object                           |
 //! | response  | `draining`  | drain acknowledged                            |
 //! | response  | `error`     | human-readable failure                        |
+//!
+//! The fleet layer (`soft route`) adds four message kinds spoken
+//! between the router and its back-ends, and between back-end pairs:
+//!
+//! | direction           | type         | meaning                                   |
+//! |---------------------|--------------|-------------------------------------------|
+//! | router → back-end   | `route`      | fleet membership announcement             |
+//! | back-end → router   | `registered` | registration ack: worker count, depth     |
+//! | router → back-end   | `steal`      | release up to `max` queued routed jobs    |
+//! | back-end → router   | `steal_ack`  | how many queued jobs were released        |
+//! | back-end → back-end | `replicate`  | push one store entry to a ring successor  |
+//! | back-end → back-end | `replicated` | replication ack (`stored`: newly written) |
+//! | back-end → router   | `stolen`     | a queued `job`'s slot was stolen; re-route|
 
 use crate::journal::crc32;
 use crate::json::{self, Json};
@@ -23,6 +36,12 @@ use std::io::{self, Read, Write};
 /// Sanity bound on one frame; artifacts for a single test are far
 /// smaller, so anything larger is framing damage, not data.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Payload buffers grow by at most this much per read round, so a
+/// corrupt or hostile length prefix buys an attacker (or a flipped bit)
+/// at most one chunk of memory before the stream has to actually
+/// deliver bytes — never a `MAX_FRAME_LEN`-sized allocation up front.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Serialize `msg` as one frame onto `w` (no flush; callers flush once
 /// per message batch).
@@ -42,6 +61,7 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
 }
 
 /// One observed event on a framed stream (see [`read_frame_idle`]).
+#[derive(Debug)]
 pub enum FrameEvent {
     /// A complete, checksum-verified frame.
     Frame(Json),
@@ -98,13 +118,21 @@ pub fn read_frame_idle<R: Read>(r: &mut R) -> Result<FrameEvent, String> {
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     let sum = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
     if len > MAX_FRAME_LEN {
-        return Err(format!("frame length {len} exceeds bound"));
+        return Err(format!("frame length {len} exceeds bound {MAX_FRAME_LEN}"));
     }
-    let mut payload = vec![0u8; len as usize];
+    let total = len as usize;
+    // Allocate lazily, one chunk ahead of the bytes actually received:
+    // a length prefix is a *claim*, and claims under the cap must still
+    // not pre-commit memory the peer never sends.
+    let mut payload: Vec<u8> = Vec::with_capacity(total.min(READ_CHUNK));
     let mut got = 0;
     let mut stalls = 0u32;
-    while got < payload.len() {
-        match r.read(&mut payload[got..]) {
+    while got < total {
+        let want = got + (total - got).min(READ_CHUNK);
+        if payload.len() < want {
+            payload.resize(want, 0);
+        }
+        match r.read(&mut payload[got..want]) {
             Ok(0) => return Err("stream closed mid-frame-payload".to_string()),
             Ok(n) => {
                 got += n;
@@ -243,6 +271,122 @@ pub fn error_response(message: &str) -> Json {
     Json::Object(vec![
         ("type".to_string(), Json::Str("error".to_string())),
         ("message".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+/// Fleet membership as announced by the router to each back-end: the
+/// ordered back-end list (order defines ring identity, so every member
+/// must receive the same list), which entry the recipient is, and the
+/// ring/replication parameters. A back-end uses it to compute the same
+/// consistent-hash ring the router places jobs with, and to push
+/// freshly published store entries to its keys' ring successors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetView {
+    /// Every back-end's address, in ring-identity order.
+    pub backends: Vec<String>,
+    /// Index of the recipient in `backends`.
+    pub you: usize,
+    /// Virtual nodes per back-end on the hash ring.
+    pub vnodes: u32,
+    /// Ring successors each published entry is pushed to.
+    pub replicas: u32,
+}
+
+impl FleetView {
+    /// The `route` announcement message for this view.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("type".to_string(), Json::Str("route".to_string())),
+            (
+                "backends".to_string(),
+                Json::Array(self.backends.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("you".to_string(), Json::UInt(self.you as u64)),
+            ("vnodes".to_string(), Json::UInt(self.vnodes as u64)),
+            ("replicas".to_string(), Json::UInt(self.replicas as u64)),
+        ])
+    }
+
+    /// Parse a `route` announcement.
+    pub fn from_json(v: &Json) -> Result<FleetView, String> {
+        let mut backends = Vec::new();
+        for b in v.field("backends")?.as_array()? {
+            backends.push(b.as_str()?.to_string());
+        }
+        let you = v.field("you")?.as_u64()? as usize;
+        if backends.is_empty() {
+            return Err("route: empty backend list".to_string());
+        }
+        if you >= backends.len() {
+            return Err(format!(
+                "route: you={you} out of range for {} backend(s)",
+                backends.len()
+            ));
+        }
+        Ok(FleetView {
+            backends,
+            you,
+            vnodes: v.field("vnodes")?.as_u64()? as u32,
+            replicas: v.field("replicas")?.as_u64()? as u32,
+        })
+    }
+}
+
+/// Build a `registered` response: the back-end's worker capacity and
+/// current queue depth, the load facts the router's placement needs.
+pub fn registered_response(workers: u64, queue_depth: u64) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("registered".to_string())),
+        ("workers".to_string(), Json::UInt(workers)),
+        ("queue_depth".to_string(), Json::UInt(queue_depth)),
+    ])
+}
+
+/// Build a `steal` request: release up to `max` queued routed jobs back
+/// to the router for placement on an idle replica.
+pub fn steal_request(max: u64) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("steal".to_string())),
+        ("max".to_string(), Json::UInt(max)),
+    ])
+}
+
+/// Build a `steal_ack` response: how many queued jobs were released.
+pub fn steal_ack(stolen: u64) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("steal_ack".to_string())),
+        ("stolen".to_string(), Json::UInt(stolen)),
+    ])
+}
+
+/// Build the `stolen` response a back-end sends *on a job connection*
+/// whose queued job was released by a `steal`: the router re-routes the
+/// job to the back-end it freed capacity for.
+pub fn stolen_response(key: &str) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("stolen".to_string())),
+        ("key".to_string(), Json::Str(key.to_string())),
+    ])
+}
+
+/// Build a `replicate` push: one content-addressed store entry bound
+/// for a ring successor. `entry` is the store entry's JSON object —
+/// replication re-publishes the exact bytes, so the push is idempotent.
+pub fn replicate_message(key: &str, logical: &str, entry: &Json) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("replicate".to_string())),
+        ("key".to_string(), Json::Str(key.to_string())),
+        ("logical".to_string(), Json::Str(logical.to_string())),
+        ("entry".to_string(), entry.clone()),
+    ])
+}
+
+/// Build a `replicated` ack. `stored` is false when the replica already
+/// held the entry (idempotent re-push).
+pub fn replicated_response(stored: bool) -> Json {
+    Json::Object(vec![
+        ("type".to_string(), Json::Str("replicated".to_string())),
+        ("stored".to_string(), Json::Bool(stored)),
     ])
 }
 
@@ -559,6 +703,132 @@ mod tests {
             seen,
             vec!["Frame", "Idle", "Idle", "Idle", "Frame", "Idle", "Idle", "Idle", "Eof"],
             "every between-frame timeout must yield control to the caller"
+        );
+    }
+
+    /// A hostile length prefix must be rejected from the 8 header bytes
+    /// alone: no payload read, no payload allocation. The reader panics
+    /// if the frame layer asks it for anything past the header.
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_any_payload_read() {
+        struct HeaderOnly {
+            header: [u8; 8],
+            pos: usize,
+        }
+        impl Read for HeaderOnly {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                assert!(
+                    self.pos < 8,
+                    "frame layer must not read payload bytes of an oversized frame"
+                );
+                buf[0] = self.header[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        for hostile_len in [MAX_FRAME_LEN + 1, u32::MAX] {
+            let mut header = [0u8; 8];
+            header[..4].copy_from_slice(&hostile_len.to_le_bytes());
+            let mut r = HeaderOnly { header, pos: 0 };
+            let err = read_frame_idle(&mut r).expect_err("oversized frame must be rejected");
+            assert!(
+                err.contains("exceeds bound"),
+                "rejection must name the bound: {err}"
+            );
+        }
+    }
+
+    /// A length *under* the cap is still only a claim: the payload
+    /// buffer must grow chunk-by-chunk with the bytes actually
+    /// received, never be pre-sized to the claimed length. The reader
+    /// observes the buffer slices it is offered.
+    #[test]
+    fn payload_allocation_tracks_received_bytes_not_the_claimed_length() {
+        // A frame claiming 32 MiB (within bounds) whose peer vanishes
+        // after the header: the torn stream is an error, and the frame
+        // layer asked for at most one chunk of buffer.
+        struct TornAfterHeader {
+            header: [u8; 8],
+            pos: usize,
+            max_want: usize,
+        }
+        impl Read for TornAfterHeader {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.max_want = self.max_want.max(buf.len());
+                if self.pos < 8 {
+                    buf[0] = self.header[self.pos];
+                    self.pos += 1;
+                    Ok(1)
+                } else {
+                    Ok(0)
+                }
+            }
+        }
+        let claimed = 32 * 1024 * 1024u32;
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&claimed.to_le_bytes());
+        let mut r = TornAfterHeader {
+            header,
+            pos: 0,
+            max_want: 0,
+        };
+        assert!(read_frame_idle(&mut r).is_err_and(|e| e.contains("closed mid-frame-payload")));
+        assert!(
+            r.max_want <= READ_CHUNK,
+            "read of a {claimed}-byte claim asked for a {} byte buffer (> one {READ_CHUNK} chunk)",
+            r.max_want
+        );
+    }
+
+    #[test]
+    fn fleet_view_roundtrips_and_validates() {
+        let view = FleetView {
+            backends: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+            you: 1,
+            vnodes: 64,
+            replicas: 2,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &view.to_json()).unwrap();
+        let msg = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(msg.field("type").unwrap().as_str().unwrap(), "route");
+        assert_eq!(FleetView::from_json(&msg).unwrap(), view);
+        // Out-of-range self index and empty membership are damage.
+        let mut bad = view.clone();
+        bad.you = 2;
+        assert!(FleetView::from_json(&bad.to_json()).is_err());
+        let mut empty = view.clone();
+        empty.backends.clear();
+        empty.you = 0;
+        assert!(FleetView::from_json(&empty.to_json()).is_err());
+    }
+
+    #[test]
+    fn fleet_frames_roundtrip() {
+        let entry = Json::Object(vec![("fp_a".to_string(), Json::Str("aa".to_string()))]);
+        let msgs = [
+            replicate_message("k1", "l1", &entry),
+            replicated_response(true),
+            steal_request(3),
+            steal_ack(2),
+            stolen_response("k1"),
+            registered_response(4, 1),
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = &buf[..];
+        for m in &msgs {
+            let got = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(&got, m);
+        }
+        let rep = &msgs[0];
+        assert_eq!(rep.field("key").unwrap().as_str().unwrap(), "k1");
+        assert_eq!(rep.field("logical").unwrap().as_str().unwrap(), "l1");
+        assert_eq!(
+            rep.field("entry").unwrap().field("fp_a").unwrap().as_str(),
+            Ok("aa")
         );
     }
 

@@ -96,7 +96,10 @@ pub struct StoreEntry {
 }
 
 impl StoreEntry {
-    fn to_json(&self) -> Json {
+    /// Wire/disk form of the entry. Public because replication ships
+    /// entries between back-ends inside `replicate` frames — the pushed
+    /// bytes are exactly the published bytes.
+    pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("fp_a".to_string(), Json::Str(self.fp_a.clone())),
             ("fp_b".to_string(), Json::Str(self.fp_b.clone())),
@@ -120,7 +123,8 @@ impl StoreEntry {
         Json::Object(fields)
     }
 
-    fn from_json(v: &Json) -> Result<StoreEntry, String> {
+    /// Parse an entry from its wire/disk form.
+    pub fn from_json(v: &Json) -> Result<StoreEntry, String> {
         let mut verdicts = Vec::new();
         for rec in v.field("verdicts")?.as_array()? {
             verdicts.push(parse_verdict_record(rec)?);
@@ -211,6 +215,22 @@ impl ResultStore {
         let mut out = String::new();
         Json::Object(index).write_into(&mut out);
         atomic_write(&self.root.join("index.json"), out.as_bytes(), self.fsync)
+    }
+
+    /// Ingest an entry replicated from a fleet peer. Entries are
+    /// content-addressed and writes are atomic, so replication is
+    /// idempotent: if `key` is already present and readable the push is
+    /// a no-op (`Ok(false)`); otherwise the entry is published exactly
+    /// as a local solve would have published it — including the
+    /// logical→latest index update that makes it discoverable as a
+    /// store hit or diff baseline on this replica (`Ok(true)`). A
+    /// present-but-corrupt entry is repaired by re-publishing.
+    pub fn ingest_replica(&self, key: &str, logical: &str, entry: &StoreEntry) -> io::Result<bool> {
+        if let Ok(Some(_)) = self.lookup(key) {
+            return Ok(false);
+        }
+        self.publish(key, logical, entry)?;
+        Ok(true)
     }
 
     /// Read the logical index. A missing file is an empty index; a file
@@ -586,6 +606,27 @@ mod tests {
         // An entry serialized before the spec field existed still loads.
         store.publish("no_spec", "l2", &entry()).unwrap();
         assert_eq!(store.lookup("no_spec").unwrap().expect("entry").spec, None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replica_ingest_is_idempotent_and_indexes_the_entry() {
+        let root = temp_store("replica");
+        let store = ResultStore::open(&root, false).unwrap();
+        let s = spec();
+        let key = job_key("aa", "bb", &s);
+        let logical = logical_key(&s);
+        // First push lands and becomes the logical latest.
+        assert!(store.ingest_replica(&key, &logical, &entry()).unwrap());
+        assert_eq!(store.latest(&logical).as_deref(), Some(key.as_str()));
+        let first = fs::read_to_string(store.entry_path(&key)).unwrap();
+        // Re-push of the same content is a no-op, byte for byte.
+        assert!(!store.ingest_replica(&key, &logical, &entry()).unwrap());
+        assert_eq!(fs::read_to_string(store.entry_path(&key)).unwrap(), first);
+        // A corrupt entry under the key is repaired by the next push.
+        fs::write(store.entry_path(&key), "garbage").unwrap();
+        assert!(store.ingest_replica(&key, &logical, &entry()).unwrap());
+        assert_eq!(fs::read_to_string(store.entry_path(&key)).unwrap(), first);
         let _ = fs::remove_dir_all(&root);
     }
 

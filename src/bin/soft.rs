@@ -75,7 +75,7 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft conform <corpus.json> (--addr HOST:PORT | --self-test) [--retries N] [--op-timeout-ms N] [--fault-seed S]... [--seed S] [--json FILE]\n  soft conform-dut --agent <reference|ovs|modified|panicky> [--port N]\n  soft submit (--addr HOST:PORT | --store DIR) --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nconform replays a witness corpus OVER THE WIRE, OFTest-style: it dials\nthe DUT's OpenFlow 1.0 control channel (--addr), performs the\nHELLO/FEATURES handshake with an echo keepalive, replays every witness\nbehind a sentinel barrier, and classifies the DUT per root-cause\ncluster as reference-like, ovs-like, or novel. Transport is\nfault-tolerant: per-operation deadlines, jittered-backoff retries on\nfresh connections (--retries, --op-timeout-ms), and explicit degraded\nverdicts — flaky (connected but never completed, full error chain\nrecorded) and unreachable (never connected). --self-test serves both\ncorpus agents behind loopback listeners and requires correct\nclassification of each; every --fault-seed re-runs through a\ndeterministic splitmix64 fault injector (torn frames, truncation,\nstalls, resets, reordered echoes) and requires verdicts byte-identical\nto the clean run. conform-dut serves one agent on a TCP port for\nexternal harnesses.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated;\n{EXIT_UNREACHABLE} conformance DUT unreachable.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft route --backends HOST:PORT,HOST:PORT,... [--port N] [--vnodes N] [--replicas N] [--addr-file FILE]\n  soft fleet (--addr HOST:PORT | --addr-file FILE) [--json FILE]\n  soft conform <corpus.json> (--addr HOST:PORT | --self-test) [--retries N] [--op-timeout-ms N] [--fault-seed S]... [--seed S] [--json FILE]\n  soft conform-dut --agent <reference|ovs|modified|panicky> [--port N]\n  soft submit (--addr HOST:PORT | --store DIR) --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status [--json FILE] | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nroute runs the fleet front-end on 127.0.0.1: submit speaks to it\nexactly as to a single daemon, while jobs shard over the --backends\nlist via a consistent-hash ring (--vnodes virtual nodes each). Jobs\nqueued on a saturated back-end are work-stolen to idle replicas;\npublished results are pushed to --replicas ring successors, so a\nback-end killed mid-job degrades to a re-routed solve and an\nunchanged re-audit is answered from any surviving replica. Duplicate\nsubmissions coalesce fleet-wide. fleet prints the router's topology\nand health view; --drain at the router drains every back-end.\n\nconform replays a witness corpus OVER THE WIRE, OFTest-style: it dials\nthe DUT's OpenFlow 1.0 control channel (--addr), performs the\nHELLO/FEATURES handshake with an echo keepalive, replays every witness\nbehind a sentinel barrier, and classifies the DUT per root-cause\ncluster as reference-like, ovs-like, or novel. Transport is\nfault-tolerant: per-operation deadlines, jittered-backoff retries on\nfresh connections (--retries, --op-timeout-ms), and explicit degraded\nverdicts — flaky (connected but never completed, full error chain\nrecorded) and unreachable (never connected). --self-test serves both\ncorpus agents behind loopback listeners and requires correct\nclassification of each; every --fault-seed re-runs through a\ndeterministic splitmix64 fault injector (torn frames, truncation,\nstalls, resets, reordered echoes) and requires verdicts byte-identical\nto the clean run. conform-dut serves one agent on a TCP port for\nexternal harnesses.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated;\n{EXIT_UNREACHABLE} conformance DUT unreachable.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -1522,6 +1522,18 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         return match soft::serve::request(&addr, &soft::harness::proto::status_request()) {
             Ok(reply) => {
                 println!("{reply}");
+                // `--json FILE` persists the exact status object — the
+                // same counter set the daemon writes to
+                // `serve_stats.json` on drain.
+                if let Some(json_path) = flag_value(args, "--json") {
+                    if let Err(e) =
+                        atomic_write(Path::new(&json_path), reply.to_string().as_bytes(), true)
+                    {
+                        eprintln!("submit: cannot write {json_path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("{json_path}");
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -1651,12 +1663,114 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 }
 
+/// The fleet front-end: shard submitted jobs over serve back-ends on a
+/// consistent-hash ring, with work-stealing, replication and failover.
+fn cmd_route(args: &[String]) -> ExitCode {
+    let Some(backends_arg) = flag_value(args, "--backends") else {
+        eprintln!("route: missing --backends HOST:PORT,HOST:PORT,...");
+        return usage();
+    };
+    let backends: Vec<String> = backends_arg
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        eprintln!("route: --backends needs at least one HOST:PORT");
+        return usage();
+    }
+    let port = match flag_value(args, "--port") {
+        None => 0u16,
+        Some(v) => match v.parse::<u16>() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("route: --port must be a TCP port, got '{v}'");
+                return usage();
+            }
+        },
+    };
+    let parse_u32 = |flag: &str, default: u32, min: u32| -> Result<u32, String> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => match v.parse::<u32>() {
+                Ok(n) if n >= min => Ok(n),
+                _ => Err(format!("{flag} must be an integer >= {min}, got '{v}'")),
+            },
+        }
+    };
+    let vnodes = match parse_u32("--vnodes", 64, 1) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("route: {e}");
+            return usage();
+        }
+    };
+    let replicas = match parse_u32("--replicas", 1, 0) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("route: {e}");
+            return usage();
+        }
+    };
+    let cfg = soft::RouterConfig {
+        port,
+        backends,
+        vnodes,
+        replicas,
+        addr_file: flag_value(args, "--addr-file").map(PathBuf::from),
+    };
+    match soft::run_router(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("route: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Query a running router's topology: per-back-end health, queue
+/// depths, and the router's own routing counters.
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    let addr = if let Some(addr) = flag_value(args, "--addr") {
+        addr
+    } else if let Some(path) = flag_value(args, "--addr-file") {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s.trim().to_string(),
+            Err(e) => {
+                eprintln!("fleet: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("fleet: missing --addr HOST:PORT (or --addr-file FILE)");
+        return usage();
+    };
+    let reply = match soft::serve::request(&addr, &soft::fleet::fleet_request()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{reply}");
+    if let Some(json_path) = flag_value(args, "--json") {
+        if let Err(e) = atomic_write(Path::new(&json_path), reply.to_string().as_bytes(), true) {
+            eprintln!("fleet: cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{json_path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("tests") => cmd_tests(),
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("phase1") => cmd_phase1(&args[1..]),
         Some("check") => cmd_check(&args[1..]),

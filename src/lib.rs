@@ -13,11 +13,13 @@ pub mod session;
 
 pub use serve::{agent_fingerprint, serve, ServeConfig};
 pub use session::{run_session, BaselineSeed, SessionConfig, SessionReport, TestOutcome};
+pub use soft_fleet::{run_router, Ring, RouterConfig};
 
 pub use soft_agents as agents;
 pub use soft_conform as conform;
 pub use soft_core as core;
 pub use soft_dataplane as dataplane;
+pub use soft_fleet as fleet;
 pub use soft_harness as harness;
 pub use soft_openflow as openflow;
 pub use soft_smt as smt;

@@ -27,12 +27,12 @@
 //! the WAL makes that safe.
 
 use crate::{run_session, BaselineSeed, SessionConfig, TestOutcome};
-use soft_agents::AgentKind;
-use soft_harness::journal::fnv64_hex;
+pub use soft_fleet::job::agent_fingerprint;
+use soft_fleet::job::{resolve, ResolvedJob};
+use soft_fleet::Ring;
 use soft_harness::json::Json;
-use soft_harness::proto::{self, FrameEvent, JobSpec};
+use soft_harness::proto::{self, FleetView, FrameEvent, JobSpec};
 use soft_harness::store::{job_key, logical_key, ResultStore, StoreEntry};
-use soft_harness::{suite, TestCase};
 use soft_smt::SolverBudget;
 use std::collections::HashSet;
 use std::io::{BufReader, BufWriter, Write};
@@ -85,6 +85,17 @@ struct Counters {
     recovered_jobs: AtomicU64,
     job_errors: AtomicU64,
     queue_depth: AtomicU64,
+    /// Worker-pool size — a gauge set once at startup, gossiped to the
+    /// fleet router so it can tell "busy" from "saturated".
+    workers: AtomicU64,
+    /// Store entries this daemon pushed to ring successors.
+    replica_pushes: AtomicU64,
+    /// Replica pushes that failed (successor down; non-fatal).
+    replica_push_failures: AtomicU64,
+    /// Store entries accepted from ring predecessors.
+    replica_ingests: AtomicU64,
+    /// Queued routed jobs released back to the router via `steal`.
+    jobs_stolen: AtomicU64,
     lookup_ns: AtomicU64,
     solve_ns: AtomicU64,
     publish_ns: AtomicU64,
@@ -107,6 +118,14 @@ impl Counters {
             ("recovered_jobs".to_string(), u(&self.recovered_jobs)),
             ("job_errors".to_string(), u(&self.job_errors)),
             ("queue_depth".to_string(), u(&self.queue_depth)),
+            ("workers".to_string(), u(&self.workers)),
+            ("replica_pushes".to_string(), u(&self.replica_pushes)),
+            (
+                "replica_push_failures".to_string(),
+                u(&self.replica_push_failures),
+            ),
+            ("replica_ingests".to_string(), u(&self.replica_ingests)),
+            ("jobs_stolen".to_string(), u(&self.jobs_stolen)),
             (
                 "lookup_ms".to_string(),
                 Json::UInt(self.lookup_ns.load(Ordering::Relaxed) / 1_000_000),
@@ -144,6 +163,28 @@ impl Pool {
         }
         *p -= 1;
         Permit(self)
+    }
+
+    /// [`Pool::acquire`], but abandon the wait once `cancel` is set —
+    /// the path a queued routed job takes when the router steals it.
+    /// The wait polls on a short condvar timeout because the stealer
+    /// flips flags without holding the permit lock.
+    fn acquire_unless(&self, cancel: &AtomicBool) -> Option<Permit<'_>> {
+        let mut p = recover(&self.permits);
+        loop {
+            if *p > 0 {
+                *p -= 1;
+                return Some(Permit(self));
+            }
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(p, Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner());
+            p = guard;
+        }
     }
 }
 
@@ -205,89 +246,61 @@ impl Drop for KeyClaim<'_> {
     }
 }
 
+/// Routed jobs waiting for a worker permit, oldest first. A router
+/// `steal` pops entries and flips their cancel flags; the parked
+/// handler then answers `stolen` instead of solving, and the router
+/// re-places the job on an idle replica. Only jobs the router marked
+/// `routed` register here — direct submissions are never stolen.
+#[derive(Default)]
+struct StealRegistry {
+    waiting: Mutex<Vec<(String, Arc<AtomicBool>)>>,
+}
+
+impl StealRegistry {
+    /// Park `key` as stealable; the returned guard deregisters it.
+    fn park(&self, key: &str) -> StealSlot<'_> {
+        let flag = Arc::new(AtomicBool::new(false));
+        recover(&self.waiting).push((key.to_string(), Arc::clone(&flag)));
+        StealSlot {
+            registry: self,
+            flag,
+        }
+    }
+
+    /// Release up to `max` of the oldest parked jobs; returns how many.
+    fn steal(&self, max: u64) -> u64 {
+        let mut waiting = recover(&self.waiting);
+        let n = (max as usize).min(waiting.len());
+        for (_, flag) in waiting.drain(..n) {
+            flag.store(true, Ordering::Relaxed);
+        }
+        n as u64
+    }
+}
+
+/// One parked stealable job; deregisters on drop (whether the job won a
+/// permit or was stolen), so a panicking handler cannot leak an entry.
+struct StealSlot<'a> {
+    registry: &'a StealRegistry,
+    flag: Arc<AtomicBool>,
+}
+
+impl Drop for StealSlot<'_> {
+    fn drop(&mut self) {
+        recover(&self.registry.waiting).retain(|(_, f)| !Arc::ptr_eq(f, &self.flag));
+    }
+}
+
 struct ServeState {
     store: ResultStore,
     counters: Counters,
     pool: Pool,
     running: RunningJobs,
+    /// Fleet membership, set by the router's `route` announcement;
+    /// `None` outside fleet mode (replication then never triggers).
+    fleet: Mutex<Option<FleetView>>,
+    stealable: StealRegistry,
     draining: AtomicBool,
-}
-
-fn parse_agent(s: &str) -> Option<AgentKind> {
-    match s {
-        "reference" | "ref" => Some(AgentKind::Reference),
-        "ovs" | "openvswitch" => Some(AgentKind::OpenVSwitch),
-        "modified" => Some(AgentKind::Modified),
-        "panicky" => Some(AgentKind::Panicky),
-        _ => None,
-    }
-}
-
-fn find_test(id: &str) -> Option<TestCase> {
-    let mut tests = suite::table1_suite();
-    tests.push(suite::queue_config());
-    tests.push(suite::timeout_flow_mod());
-    tests.extend(suite::ablation::table5_suite());
-    tests.into_iter().find(|t| t.id == id)
-}
-
-/// Fingerprint of an agent's current code, computed without any
-/// solving: the FNV hash of its complete coverage universe (every
-/// instruction-block and branch-site label) folded with the build-time
-/// source hash of the model-defining crates
-/// ([`soft_agents::BUILD_FINGERPRINT`]). The label set alone is not
-/// enough — a change that flips a branch constant or an emitted output
-/// keeps every label while changing behaviour — so the build hash
-/// covers what the universe cannot see: an unchanged fingerprint
-/// certifies unchanged model *sources*, not just an unchanged label
-/// set.
-pub fn agent_fingerprint(agent: AgentKind) -> String {
-    fingerprint_with_build(soft_agents::BUILD_FINGERPRINT, agent)
-}
-
-fn fingerprint_with_build(build: &str, agent: AgentKind) -> String {
-    let u = agent.make().universe();
-    let mut parts: Vec<&str> = vec!["agent", agent.id(), "build", build, "blocks"];
-    parts.extend(u.blocks.iter().copied());
-    parts.push("branch_sites");
-    parts.extend(u.branch_sites.iter().copied());
-    fnv64_hex(&parts)
-}
-
-/// A job spec validated against the suite and agent registry, with both
-/// fingerprints settled (client override wins; the override is what
-/// lets tests and remote clients declare "this agent changed").
-struct ResolvedJob {
-    spec: JobSpec,
-    agent_a: AgentKind,
-    agent_b: AgentKind,
-    test: TestCase,
-    fp_a: String,
-    fp_b: String,
-}
-
-fn resolve(spec: JobSpec) -> Result<ResolvedJob, String> {
-    let agent_a =
-        parse_agent(&spec.agent_a).ok_or_else(|| format!("unknown agent '{}'", spec.agent_a))?;
-    let agent_b =
-        parse_agent(&spec.agent_b).ok_or_else(|| format!("unknown agent '{}'", spec.agent_b))?;
-    let test = find_test(&spec.test).ok_or_else(|| format!("unknown test '{}'", spec.test))?;
-    let fp_a = spec
-        .fp_a
-        .clone()
-        .unwrap_or_else(|| agent_fingerprint(agent_a));
-    let fp_b = spec
-        .fp_b
-        .clone()
-        .unwrap_or_else(|| agent_fingerprint(agent_b));
-    Ok(ResolvedJob {
-        spec,
-        agent_a,
-        agent_b,
-        test,
-        fp_a,
-        fp_b,
-    })
 }
 
 fn outcome_summary(o: &TestOutcome) -> Json {
@@ -435,6 +448,10 @@ fn run_job(state: &ServeState, rj: &ResolvedJob, fsync: bool) -> Result<Json, St
     // published entry now answers this key forever.
     let _ = std::fs::remove_file(state.store.wal_path(&key));
     add_ns(&state.counters.publish_ns, t_publish);
+    // In fleet mode, push the fresh entry to this key's ring successors
+    // before replying: once the client sees the result, a replica
+    // already holds it, so killing this daemon cannot orphan the key.
+    replicate_out(state, &key, &logical, &entry);
     let c = &state.counters;
     c.jobs_served.fetch_add(1, Ordering::Relaxed);
     c.pairs_total
@@ -454,6 +471,114 @@ fn run_job(state: &ServeState, rj: &ResolvedJob, fsync: bool) -> Result<Json, St
         outcome.seeded_pairs as u64,
         outcome.check_queries as u64,
     ))
+}
+
+/// Push a freshly published entry to the key's ring successors (fleet
+/// mode only). Push failures are counted, not fatal: the entry is
+/// already durable locally, and a router failover degrades to a fresh
+/// solve on the successor — never a lost result.
+fn replicate_out(state: &ServeState, key: &str, logical: &str, entry: &StoreEntry) {
+    let Some(view) = recover(&state.fleet).clone() else {
+        return;
+    };
+    if view.replicas == 0 || view.backends.len() < 2 {
+        return;
+    }
+    let ring = Ring::new(&view.backends, view.vnodes);
+    let targets: Vec<String> = ring
+        .successors(key)
+        .into_iter()
+        .filter(|&i| i != view.you)
+        .take(view.replicas as usize)
+        .map(|i| view.backends[i].clone())
+        .collect();
+    let msg = proto::replicate_message(key, logical, &entry.to_json());
+    for addr in targets {
+        match request(&addr, &msg) {
+            Ok(reply) if reply.get("type").and_then(|t| t.as_str().ok()) == Some("replicated") => {
+                state
+                    .counters
+                    .replica_pushes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(reply) => {
+                state
+                    .counters
+                    .replica_push_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!("soft serve: replica {addr} rejected {key}: {reply}");
+            }
+            Err(e) => {
+                state
+                    .counters
+                    .replica_push_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!("soft serve: replica push {key} -> {addr} failed: {e}");
+            }
+        }
+    }
+}
+
+/// Accept a replicated store entry from a ring predecessor. Idempotent:
+/// re-pushing a key this store already holds is an acknowledged no-op,
+/// so crash-retried pushes and overlapping successor sets are safe.
+fn handle_replicate(state: &ServeState, msg: &Json) -> Json {
+    let get_str = |k: &str| -> Result<&str, String> { msg.field(k)?.as_str() };
+    let parsed = (|| -> Result<(String, String, StoreEntry), String> {
+        let key = get_str("key")?.to_string();
+        let logical = get_str("logical")?.to_string();
+        let entry = StoreEntry::from_json(msg.field("entry")?)?;
+        Ok((key, logical, entry))
+    })();
+    let (key, logical, entry) = match parsed {
+        Ok(t) => t,
+        Err(e) => return proto::error_response(&format!("replicate: {e}")),
+    };
+    match state.store.ingest_replica(&key, &logical, &entry) {
+        Ok(stored) => {
+            if stored {
+                state
+                    .counters
+                    .replica_ingests
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            proto::replicated_response(stored)
+        }
+        Err(e) => proto::error_response(&format!("replicate {key}: {e}")),
+    }
+}
+
+/// Serve one `job` frame: resolve, wait for a worker (steallably, if
+/// the frame came through the router), then run. A routed job whose
+/// wait is cancelled by a `steal` answers `stolen` and never solves.
+fn serve_job_frame(state: &ServeState, msg: &Json, fsync: bool) -> Json {
+    let rj = match JobSpec::from_json(msg).and_then(resolve) {
+        Ok(rj) => rj,
+        Err(e) => return proto::error_response(&e),
+    };
+    let routed = msg.get("routed").and_then(|v| v.as_bool().ok()) == Some(true);
+    state.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+    let permit = if routed {
+        let key = job_key(&rj.fp_a, &rj.fp_b, &rj.spec);
+        let slot = state.stealable.park(&key);
+        let got = state.pool.acquire_unless(&slot.flag);
+        drop(slot);
+        state.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        match got {
+            Some(p) => p,
+            None => return proto::stolen_response(&key),
+        }
+    } else {
+        let p = state.pool.acquire();
+        state.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        p
+    };
+    let out = run_job(state, &rj, fsync);
+    drop(permit);
+    out.unwrap_or_else(|e| {
+        state.counters.job_errors.fetch_add(1, Ordering::Relaxed);
+        proto::error_response(&e)
+    })
 }
 
 /// One client connection: frames in, frames out, until clean EOF — or
@@ -488,21 +613,24 @@ fn handle_conn(stream: TcpStream, state: &ServeState, fsync: bool) {
             .unwrap_or("")
             .to_string();
         let reply = match kind.as_str() {
-            "job" => match JobSpec::from_json(&msg).and_then(resolve) {
-                Ok(rj) => {
-                    state.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
-                    let permit = state.pool.acquire();
-                    state.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    let out = run_job(state, &rj, fsync);
-                    drop(permit);
-                    out.unwrap_or_else(|e| {
-                        state.counters.job_errors.fetch_add(1, Ordering::Relaxed);
-                        proto::error_response(&e)
-                    })
+            "job" => serve_job_frame(state, &msg, fsync),
+            "status" => state.counters.to_json(),
+            "route" => match FleetView::from_json(&msg) {
+                Ok(view) => {
+                    let workers = state.counters.workers.load(Ordering::Relaxed);
+                    let depth = state.counters.queue_depth.load(Ordering::Relaxed);
+                    *recover(&state.fleet) = Some(view);
+                    proto::registered_response(workers, depth)
                 }
                 Err(e) => proto::error_response(&e),
             },
-            "status" => state.counters.to_json(),
+            "steal" => {
+                let max = msg.get("max").and_then(|v| v.as_u64().ok()).unwrap_or(0);
+                let n = state.stealable.steal(max);
+                state.counters.jobs_stolen.fetch_add(n, Ordering::Relaxed);
+                proto::steal_ack(n)
+            }
+            "replicate" => handle_replicate(state, &msg),
             "drain" => {
                 state.draining.store(true, Ordering::Relaxed);
                 Json::Object(vec![(
@@ -532,8 +660,14 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
         counters: Counters::default(),
         pool: Pool::new(cfg.workers),
         running: RunningJobs::new(),
+        fleet: Mutex::new(None),
+        stealable: StealRegistry::default(),
         draining: AtomicBool::new(false),
     });
+    state
+        .counters
+        .workers
+        .store(cfg.workers.max(1) as u64, Ordering::Relaxed);
     soft_serve::install_sigterm_latch();
     for (key, spec) in state.store.list_inflight() {
         match resolve(spec) {
@@ -650,33 +784,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fingerprints_are_deterministic_and_distinct() {
-        for agent in AgentKind::all() {
-            assert_eq!(agent_fingerprint(agent), agent_fingerprint(agent));
-        }
-        let fps: HashSet<String> = AgentKind::all()
-            .iter()
-            .map(|&a| agent_fingerprint(a))
-            .collect();
-        assert_eq!(fps.len(), AgentKind::all().len(), "agents must not collide");
+    fn acquire_unless_yields_to_a_steal_and_wakes_on_a_free_permit() {
+        let pool = Pool::new(1);
+        let held = pool.acquire();
+        // Pre-cancelled wait: no permit is available, so the cancel
+        // wins immediately.
+        let cancelled = AtomicBool::new(true);
+        assert!(pool.acquire_unless(&cancelled).is_none());
+        // A live wait ends when the permit frees.
+        let free = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| pool.acquire_unless(&free).is_some());
+            std::thread::sleep(Duration::from_millis(50));
+            drop(held);
+            assert!(waiter.join().unwrap(), "freed permit must win the wait");
+        });
     }
 
     #[test]
-    fn fingerprints_fold_in_the_build_hash() {
-        // A source change that keeps the label universe intact still
-        // changes the build hash, which must change every fingerprint —
-        // otherwise a restarted daemon would serve stale artifacts.
-        assert_eq!(soft_agents::BUILD_FINGERPRINT.len(), 16);
-        assert!(soft_agents::BUILD_FINGERPRINT
-            .chars()
-            .all(|c| c.is_ascii_hexdigit()));
-        for agent in AgentKind::all() {
-            assert_ne!(
-                fingerprint_with_build("0000000000000000", agent),
-                fingerprint_with_build("ffffffffffffffff", agent),
-                "build hash must reach the fingerprint of {}",
-                agent.id()
-            );
-        }
+    fn steal_registry_releases_oldest_first_and_slots_deregister() {
+        let reg = StealRegistry::default();
+        let a = reg.park("key_a");
+        let b = reg.park("key_b");
+        let c = reg.park("key_c");
+        assert_eq!(reg.steal(2), 2, "two parked jobs released");
+        assert!(a.flag.load(Ordering::Relaxed), "oldest stolen first");
+        assert!(b.flag.load(Ordering::Relaxed));
+        assert!(!c.flag.load(Ordering::Relaxed), "newest survives");
+        drop(c);
+        assert_eq!(reg.steal(10), 0, "dropped slots are deregistered");
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn duplicate_keys_park_independently() {
+        // Two connections can queue the same content key (the per-key
+        // claim serializes them later, at run_job); the registry must
+        // treat the slots as distinct so a steal of one cannot strand
+        // the other's flag.
+        let reg = StealRegistry::default();
+        let first = reg.park("same_key");
+        let second = reg.park("same_key");
+        assert_eq!(reg.steal(1), 1);
+        assert!(first.flag.load(Ordering::Relaxed));
+        assert!(!second.flag.load(Ordering::Relaxed));
+        drop(first);
+        drop(second);
     }
 }

@@ -369,3 +369,117 @@ fn baseline_diff_reruns_only_impacted_pairs() {
     );
     assert_eq!(diff_arts.2, full_arts.2, "corpus diverged under seeding");
 }
+
+/// `soft submit --status --json FILE` must persist exactly the counter
+/// object the daemon itself writes to `serve_stats.json` on drain — one
+/// counter set, two exits, no drift (the PR 9 satellite fix: `--json`
+/// used to be silently ignored on `--status`).
+#[test]
+fn status_json_matches_persisted_stats() {
+    let store = temp_dir("statusjson");
+    let (mut child, addr) = spawn_daemon(&store);
+    let status_path = store.join("status_snapshot.json");
+    let result = std::panic::catch_unwind(|| {
+        submit(&addr, &job());
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_soft"))
+            .args(["submit", "--addr", &addr, "--status", "--json"])
+            .arg(&status_path)
+            .output()
+            .expect("run soft submit --status --json");
+        assert!(
+            out.status.success(),
+            "status submit failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let ack = soft::serve::request(&addr, &soft::harness::proto::drain_request())
+            .expect("drain request");
+        assert_eq!(ack.field("type").and_then(Json::as_str), Ok("draining"));
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("wait daemon") {
+            Some(st) => break Some(st),
+            None if Instant::now() >= deadline => break None,
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    if result.is_err() || status.is_none() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+    assert!(status.expect("daemon failed to drain").success());
+    // No jobs ran between the snapshot and the drain, so the persisted
+    // stats must agree with the snapshot exactly: same keys, same
+    // values — field-for-field, not just the headline counters.
+    let snapshot = soft::harness::json::parse(
+        &fs::read_to_string(&status_path).expect("status snapshot written"),
+    )
+    .expect("snapshot parses");
+    let stats = soft::harness::json::parse(
+        &fs::read_to_string(store.join("serve_stats.json")).expect("stats persisted"),
+    )
+    .expect("stats parse");
+    assert_eq!(
+        snapshot, stats,
+        "status reply and serve_stats.json must report one counter set"
+    );
+    let _ = fs::remove_dir_all(&store);
+}
+
+/// A hostile length prefix on the wire must be rejected with a framed
+/// error — not honored with an attempted multi-gigabyte allocation.
+/// (The PR 9 satellite hardening: `read_frame` bounds the claimed
+/// length *before* allocating and reads in chunks.)
+#[test]
+fn hostile_length_prefix_gets_a_framed_error_not_an_allocation() {
+    use std::io::Write as _;
+    let store = temp_dir("hostile");
+    let (mut child, addr) = spawn_daemon(&store);
+    let result = std::panic::catch_unwind(|| {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        // Claimed length u32::MAX (4 GiB), arbitrary CRC: a corrupt or
+        // hostile header, never a valid frame.
+        stream.write_all(&u32::MAX.to_le_bytes()).expect("len");
+        stream
+            .write_all(&0xDEAD_BEEFu32.to_le_bytes())
+            .expect("crc");
+        stream.flush().expect("flush");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let reply = soft::harness::proto::read_frame(&mut reader)
+            .expect("daemon must reply, not hang or die")
+            .expect("framed error, not EOF");
+        assert_eq!(reply.field("type").and_then(Json::as_str), Ok("error"));
+        let msg = str_field(&reply, "message");
+        assert!(
+            msg.contains("exceeds"),
+            "error must name the bound violation, got: {msg}"
+        );
+        // The daemon survives to serve well-formed traffic.
+        let status = soft::serve::request(&addr, &soft::harness::proto::status_request())
+            .expect("status after hostile frame");
+        assert_eq!(status.field("type").and_then(Json::as_str), Ok("status"));
+        let ack = soft::serve::request(&addr, &soft::harness::proto::drain_request())
+            .expect("drain request");
+        assert_eq!(ack.field("type").and_then(Json::as_str), Ok("draining"));
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("wait daemon") {
+            Some(st) => break Some(st),
+            None if Instant::now() >= deadline => break None,
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    if result.is_err() || status.is_none() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+    assert!(status.expect("daemon failed to drain").success());
+    let _ = fs::remove_dir_all(&store);
+}

@@ -347,6 +347,111 @@ elif [ "$fail" -eq 0 ]; then
     fail=1
 fi
 
+echo "== fleet: SIGKILL a back-end mid-job, router re-routes =="
+# Two back-ends behind a router; a job's back-end is SIGKILLed while it
+# solves. The router must fail the job over to the survivor (fresh
+# solve — never a lost job), and a re-submission of the same spec must
+# be answered from the survivor's store with zero solver queries and
+# the exact bytes the failover run returned.
+FLT0="$WORK/fleet_s0"
+FLT1="$WORK/fleet_s1"
+for d in "$FLT0" "$FLT1"; do
+    ("$SOFT" serve --store "$d" --jobs 2 --no-fsync \
+        >/dev/null 2>>"$WORK/stderr.log" &
+     echo $! >"$d.pid") 2>/dev/null
+    serve_wait_addr "$d" || exit 1
+done
+("$SOFT" route --backends "$(cat "$FLT0/addr"),$(cat "$FLT1/addr")" \
+    --replicas 1 --addr-file "$WORK/fleet_addr" \
+    >/dev/null 2>>"$WORK/stderr.log" &
+ echo $! >"$WORK/route.pid") 2>/dev/null
+for _ in $(seq 1 100); do
+    [ -s "$WORK/fleet_addr" ] && break
+    sleep 0.1
+done
+[ -s "$WORK/fleet_addr" ] || { echo "crash_resume: router never published an addr"; exit 1; }
+RADDR=$(cat "$WORK/fleet_addr")
+round=0
+landed=0
+flt_rc=1
+flt_seed=0
+while [ "$round" -lt 5 ]; do
+    flt_seed=$((4242 + round))   # fresh content key per round: a retry must re-solve
+    rm -f "$WORK/fleet_kill.json"
+    "$SOFT" submit --addr "$RADDR" --agents reference,ovs \
+        --test "$CHECK_TEST" --fuzz 0 --seed "$flt_seed" \
+        --out "$WORK/fleet_kill_" --json "$WORK/fleet_kill.json" \
+        >/dev/null 2>&1 &
+    FLT_SUBMIT=$!
+    victim=""
+    for _ in $(seq 1 300); do
+        for d in "$FLT0" "$FLT1"; do
+            if ls "$d"/inflight/*.json >/dev/null 2>&1; then victim="$d"; break 2; fi
+        done
+        kill -0 "$FLT_SUBMIT" 2>/dev/null || break   # solve outran the poll
+        sleep 0.02
+    done
+    if [ -n "$victim" ]; then
+        VPID=$(cat "$victim.pid")
+        kill -9 "$VPID" 2>/dev/null
+        wait "$VPID" 2>/dev/null
+        landed=1
+    fi
+    wait "$FLT_SUBMIT" 2>/dev/null
+    flt_rc=$?
+    [ "$landed" -eq 1 ] && break
+    round=$((round + 1))
+done
+if [ "$landed" -ne 1 ]; then
+    echo "crash_resume: fleet kill never landed mid-job in $round round(s)"
+    fail=1
+elif [ "$flt_rc" -ne 0 ] && [ "$flt_rc" -ne 2 ] && [ "$flt_rc" -ne 3 ]; then
+    echo "crash_resume: FLEET JOB LOST after back-end SIGKILL (exit $flt_rc)"
+    fail=1
+else
+    echo "    round $round: back-end SIGKILLed mid-job, job completed (exit $flt_rc)"
+    # Same spec again: the survivor answers from its store.
+    "$SOFT" submit --addr "$RADDR" --agents reference,ovs \
+        --test "$CHECK_TEST" --fuzz 0 --seed "$flt_seed" \
+        --out "$WORK/fleet_hit_" --json "$WORK/fleet_hit.json" \
+        >/dev/null 2>&1
+    hit_rc=$?
+    if [ "$hit_rc" -ne "$flt_rc" ]; then
+        echo "crash_resume: fleet resubmit exit diverged: $flt_rc then $hit_rc"
+        fail=1
+    fi
+    if ! grep -q '"store_hit":true' "$WORK/fleet_hit.json"; then
+        echo "crash_resume: FLEET RESUBMIT WAS NOT A STORE HIT"
+        fail=1
+    fi
+    if ! grep -q '"check_queries":0' "$WORK/fleet_hit.json"; then
+        echo "crash_resume: FLEET RESUBMIT ISSUED SOLVER QUERIES"
+        fail=1
+    fi
+    fleet_diverged=0
+    for f in "reference_${CHECK_TEST}.json" "ovs_${CHECK_TEST}.json" "corpus_${CHECK_TEST}.json"; do
+        if ! diff <(norm "$WORK/fleet_kill_$f") <(norm "$WORK/fleet_hit_$f") >/dev/null; then
+            echo "crash_resume: FLEET ARTIFACT DIVERGED across failover: $f"
+            fleet_diverged=1
+            fail=1
+        fi
+    done
+    if [ "$fleet_diverged" -eq 0 ]; then
+        echo "    survivor serves the failover run's exact bytes"
+    fi
+fi
+# One drain at the router stops the router and the surviving back-end.
+"$SOFT" submit --addr "$RADDR" --drain >/dev/null 2>&1
+for pidfile in "$WORK/route.pid" "$FLT0.pid" "$FLT1.pid"; do
+    p=$(cat "$pidfile")
+    for _ in $(seq 1 150); do kill -0 "$p" 2>/dev/null || break; sleep 0.2; done
+    if kill -0 "$p" 2>/dev/null; then
+        echo "crash_resume: fleet process $p failed to drain"
+        kill -9 "$p" 2>/dev/null
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "crash_resume: FAILED"
     exit 1
