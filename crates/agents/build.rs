@@ -54,6 +54,7 @@ fn main() {
     // the fingerprint is stable across machines for identical sources.
     let roots = [
         ("agents/src", "src"),
+        ("protocol/src", "../protocol/src"),
         ("openflow/src", "../openflow/src"),
         ("dataplane/src", "../dataplane/src"),
         ("sym/src", "../sym/src"),

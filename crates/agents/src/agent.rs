@@ -1,44 +1,18 @@
 //! The agent interface SOFT tests against.
+//!
+//! The trait itself is protocol-generic and lives in `soft-protocol`
+//! ([`soft_protocol::Agent`]); this module re-exports it under its
+//! historical name and defines the enum of OpenFlow agents this
+//! reproduction ships.
 
-use crate::common::{AgentResult, Ctx};
-use soft_dataplane::Packet;
-use soft_sym::{CoverageUniverse, SymBuf};
-
-/// An OpenFlow agent under test.
+/// An agent under test. Alias of the protocol-generic
+/// [`soft_protocol::Agent`] trait, kept under the name the OpenFlow
+/// models were written against.
 ///
 /// Implementations must be *deterministic*: all data-dependent control flow
 /// goes through `ctx.branch`, all outputs through `ctx.emit`. The harness
 /// constructs a fresh instance per explored path.
-pub trait OpenFlowAgent {
-    /// Implementation name (used in reports and result files).
-    fn name(&self) -> &'static str;
-
-    /// The agent's instrumentation universe (for coverage accounting).
-    fn universe(&self) -> CoverageUniverse;
-
-    /// Connection-establishment work (runs after the Hello exchange, before
-    /// any test input). Covers the initialization code the paper measures
-    /// as the "No Message" baseline of Table 4.
-    fn on_connect(&mut self, ctx: &mut Ctx<'_>) -> AgentResult;
-
-    /// Process one OpenFlow control message.
-    fn handle_message(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf) -> AgentResult;
-
-    /// Process one data-plane packet arriving on `in_port`.
-    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, pkt: &Packet) -> AgentResult;
-
-    /// Advance the agent's virtual clock to `now` (seconds since
-    /// connection setup), firing any due timers (flow expiry).
-    ///
-    /// This implements the paper's stated future work ("we plan to extend
-    /// our approach to deal with time, e.g., similarly to MODIST"): with a
-    /// virtual clock the engine *can* trigger timers, making the
-    /// timeout-dependent injected modification (M2) observable.
-    fn handle_time(&mut self, ctx: &mut Ctx<'_>, now: u16) -> AgentResult {
-        let _ = (ctx, now);
-        Ok(())
-    }
-}
+pub use soft_protocol::Agent as OpenFlowAgent;
 
 /// The agents this reproduction ships, mirroring the paper's evaluation
 /// subjects.

@@ -7,15 +7,11 @@
 //! containers.
 
 use soft_openflow::layout;
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_smt::Term;
-use soft_sym::{ExecCtx, SymBuf};
+use soft_sym::SymBuf;
 
-/// The execution context type all agents run under.
-pub type Ctx<'e> = ExecCtx<'e, TraceEvent>;
-
-/// Result type for agent entry points.
-pub type AgentResult = soft_sym::RunEnd;
+pub use soft_protocol::{AgentResult, Ctx};
 
 /// Accessor for one 8-byte action slot in an action list.
 #[derive(Debug, Clone)]

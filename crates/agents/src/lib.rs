@@ -14,12 +14,15 @@
 mod agent;
 pub mod common;
 pub mod modified;
+pub mod of10;
 pub mod ovs;
 pub mod reference;
+pub mod suite;
 pub mod universe_data;
 
 pub use agent::{AgentKind, OpenFlowAgent};
 pub use common::Ctx;
+pub use of10::{Of10, OF10};
 pub use ovs::OpenVSwitch;
 pub use reference::{Mutations, ReferenceSwitch};
 

@@ -1,0 +1,614 @@
+//! The OpenFlow 1.0 [`Protocol`] implementation and its wire dialect.
+//!
+//! This is the binding layer between the protocol-agnostic kernel and the
+//! OpenFlow models: symbolic field layout, wire codec round-trips, the
+//! test suite, and the over-the-wire conformance dialect (framing,
+//! handshake script, frame classification, comparison tokens) all resolve
+//! here.
+//!
+//! Conformance verdicts hinge on comparing *expected* behavior (the
+//! in-process agent's trace) against *observed* behavior (frames read off
+//! a socket). Rendering those through two different code paths is how
+//! comparison logic drifts; this module has exactly one path instead:
+//!
+//! - [`encode_event`] turns a control-plane [`TraceEvent`] into an OF 1.0
+//!   frame. The xid lives in the header slot *only* — an `OfReply` field
+//!   named `"xid"` is never serialized into the payload — so a raw event
+//!   (real xid) and its normalized twin (xid stripped) encode to frames
+//!   that differ in the header alone.
+//! - [`frame_token`] renders a wire frame as a comparison token that
+//!   ignores the header xid and the packet-in buffer id, the exact data
+//!   [`TraceEvent::normalize`] zeroes.
+//!
+//! Expected signatures are therefore `encode_event ∘ frame_token` over the
+//! normalized trace, observed signatures are `frame_token` over the wire —
+//! consistent by construction.
+
+use crate::agent::AgentKind;
+use crate::suite;
+use soft_openflow::consts::{msg_type, OFP_VERSION};
+use soft_openflow::decode::{frame_type, frame_xid, HEADER_LEN};
+use soft_openflow::{layout, parse};
+use soft_protocol::{
+    Agent, AgentRef, FrameEvent, FrameIo, FrameStep, Input, Protocol, TestCase, TraceEvent,
+    WireDialect, WireRx,
+};
+use soft_smt::Term;
+use soft_sym::SymBuf;
+
+/// The one OpenFlow 1.0 protocol instance; [`AgentRef`]s and the registry
+/// point here.
+pub static OF10: Of10 = Of10;
+
+/// OpenFlow 1.0 as a [`Protocol`].
+#[derive(Debug)]
+pub struct Of10;
+
+impl Protocol for Of10 {
+    fn id(&self) -> &'static str {
+        "of10"
+    }
+
+    fn wire_name(&self) -> &'static str {
+        "OpenFlow 1.0"
+    }
+
+    fn agent_ids(&self) -> &'static [&'static str] {
+        &["reference", "ovs", "modified", "panicky"]
+    }
+
+    fn agent_id(&self, name: &str) -> Option<&'static str> {
+        match name {
+            "reference" | "ref" => Some("reference"),
+            "ovs" | "openvswitch" => Some("ovs"),
+            "modified" => Some("modified"),
+            "panicky" => Some("panicky"),
+            _ => None,
+        }
+    }
+
+    fn make_agent(&self, id: &str) -> Option<Box<dyn Agent>> {
+        Some(match id {
+            "reference" => AgentKind::Reference.make(),
+            "ovs" => AgentKind::OpenVSwitch.make(),
+            "modified" => AgentKind::Modified.make(),
+            "panicky" => AgentKind::Panicky.make(),
+            _ => return None,
+        })
+    }
+
+    fn build_fingerprint(&self) -> &'static str {
+        crate::BUILD_FINGERPRINT
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        let mut tests = suite::table1_suite();
+        tests.push(suite::queue_config());
+        tests.push(suite::timeout_flow_mod());
+        tests.extend(suite::ablation::table5_suite());
+        tests
+    }
+
+    fn message_spans(&self, bytes: &[u8]) -> Vec<(usize, usize)> {
+        layout::spans::message_spans(bytes)
+    }
+
+    fn roundtrips(&self, bytes: &[u8]) -> bool {
+        parse::roundtrips(bytes)
+    }
+
+    fn message_type(&self, bytes: &[u8]) -> Option<u8> {
+        bytes.get(1).copied()
+    }
+
+    fn dialect(&self) -> &'static dyn WireDialect {
+        &OF10_DIALECT
+    }
+}
+
+impl From<AgentKind> for AgentRef {
+    fn from(kind: AgentKind) -> AgentRef {
+        AgentRef {
+            protocol: &OF10,
+            agent: kind.id(),
+        }
+    }
+}
+
+/// Prefix of every harness-originated xid (`0xC04F____` — "conf").
+pub const HARNESS_XID_BASE: u32 = 0xC04F_0000;
+/// Xid of the opening `HELLO`.
+pub const HELLO_XID: u32 = HARNESS_XID_BASE | 1;
+/// Xid of the `FEATURES_REQUEST`.
+pub const FEATURES_XID: u32 = HARNESS_XID_BASE | 2;
+/// Xid of the liveness `ECHO_REQUEST` keepalive.
+pub const ECHO_XID: u32 = HARNESS_XID_BASE | 3;
+/// Xid of the end-of-witness `BARRIER_REQUEST` sentinel.
+pub const BARRIER_XID: u32 = HARNESS_XID_BASE | 0xBA;
+
+/// True if `xid` was minted by the conformance harness.
+pub fn is_harness_xid(xid: u32) -> bool {
+    xid & 0xFFFF_0000 == HARNESS_XID_BASE
+}
+
+/// Build one OpenFlow 1.0 frame: header plus `body`.
+pub fn frame(msg_type: u8, xid: u32, body: &[u8]) -> Vec<u8> {
+    let len = (8 + body.len()) as u16;
+    let mut f = vec![OFP_VERSION, msg_type];
+    f.extend_from_slice(&len.to_be_bytes());
+    f.extend_from_slice(&xid.to_be_bytes());
+    f.extend_from_slice(body);
+    f
+}
+
+/// The `ECHO_REPLY` answering a peer `ECHO_REQUEST` (same xid, same body).
+pub fn echo_reply_for(request: &[u8]) -> Vec<u8> {
+    frame(
+        msg_type::ECHO_REPLY,
+        frame_xid(request),
+        request.get(8..).unwrap_or(&[]),
+    )
+}
+
+fn concrete(t: &Term, what: &str) -> Result<u64, String> {
+    t.as_bv_const()
+        .ok_or_else(|| format!("{what} is symbolic in a concretely replayed trace"))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Encode one trace event as an OpenFlow 1.0 frame.
+///
+/// `Ok(None)` for data-plane events — they are not observable on the
+/// control channel and have no wire form here. `Err` if any field is
+/// still symbolic (the conformance path only ever sees concretely
+/// replayed traces, so this indicates a harness bug, not DUT behavior).
+pub fn encode_event(e: &TraceEvent) -> Result<Option<Vec<u8>>, String> {
+    match e {
+        TraceEvent::Error { xid, etype, code } => {
+            let mut body = Vec::with_capacity(4);
+            body.extend_from_slice(&(concrete(etype, "error etype")? as u16).to_be_bytes());
+            body.extend_from_slice(&(concrete(code, "error code")? as u16).to_be_bytes());
+            Ok(Some(frame(
+                msg_type::ERROR,
+                concrete(xid, "error xid")? as u32,
+                &body,
+            )))
+        }
+        TraceEvent::PacketIn {
+            buffer_id,
+            in_port,
+            reason,
+            data_len,
+            data,
+        } => {
+            let bytes = data
+                .as_concrete()
+                .ok_or("packet_in data is symbolic in a concretely replayed trace")?;
+            let mut body = Vec::with_capacity(10 + bytes.len());
+            body.extend_from_slice(&(concrete(buffer_id, "buffer_id")? as u32).to_be_bytes());
+            body.extend_from_slice(&(concrete(data_len, "data_len")? as u16).to_be_bytes());
+            body.extend_from_slice(&(concrete(in_port, "in_port")? as u16).to_be_bytes());
+            body.push(concrete(reason, "reason")? as u8);
+            body.push(0); // pad
+            body.extend_from_slice(&bytes);
+            Ok(Some(frame(msg_type::PACKET_IN, 0, &body)))
+        }
+        TraceEvent::OfReply {
+            msg_type: t,
+            fields,
+            body,
+        } => {
+            // The xid goes into the header slot only; every other field
+            // is serialized big-endian at its declared width, in order.
+            let mut xid = 0u32;
+            let mut payload = Vec::new();
+            for (name, term) in fields {
+                let v = concrete(term, &format!("reply field {name}"))?;
+                if *name == "xid" {
+                    xid = v as u32;
+                    continue;
+                }
+                let width_bytes = (term.width() as usize).div_ceil(8);
+                payload.extend_from_slice(&v.to_be_bytes()[8 - width_bytes..]);
+            }
+            payload.extend_from_slice(
+                &body
+                    .as_concrete()
+                    .ok_or("reply body is symbolic in a concretely replayed trace")?,
+            );
+            Ok(Some(frame(*t, xid, &payload)))
+        }
+        TraceEvent::DataPlaneTx { .. }
+        | TraceEvent::Flood { .. }
+        | TraceEvent::NormalForward { .. }
+        | TraceEvent::ProbeDropped => Ok(None),
+    }
+}
+
+/// Render one wire frame as a comparison token. Ignores exactly the data
+/// normalization zeroes: the header xid, and the packet-in buffer id.
+/// Error frames also drop any echoed offending-message tail — real
+/// switches attach it, the in-process model does not, and it carries no
+/// verdict information beyond the (type, code) pair.
+pub fn frame_token(f: &[u8]) -> String {
+    if f.len() < 8 {
+        return format!("runt({})", hex(f));
+    }
+    match frame_type(f) {
+        t if t == msg_type::ERROR && f.len() >= 12 => {
+            let etype = u16::from_be_bytes([f[8], f[9]]);
+            let code = u16::from_be_bytes([f[10], f[11]]);
+            format!("error({etype},{code})")
+        }
+        t if t == msg_type::PACKET_IN && f.len() >= 18 => {
+            let total_len = u16::from_be_bytes([f[12], f[13]]);
+            let in_port = u16::from_be_bytes([f[14], f[15]]);
+            let reason = f[16];
+            format!(
+                "packet_in(port={in_port},reason={reason},len={total_len},data={})",
+                hex(&f[18..])
+            )
+        }
+        t => format!("reply({t}:{})", hex(&f[8..])),
+    }
+}
+
+/// The token for an expected (in-process) event: canonical wire encoding
+/// followed by the same tokenizer the observed side uses. `Ok(None)` for
+/// events with no control-channel wire form.
+pub fn event_token(e: &TraceEvent) -> Result<Option<String>, String> {
+    Ok(encode_event(e)?.map(|f| frame_token(&f)))
+}
+
+/// What the completed handshake learned about the peer.
+#[derive(Debug)]
+pub struct HandshakeInfo {
+    /// The version byte of the peer's `HELLO`.
+    pub peer_version: u8,
+    /// Body of the peer's `FEATURES_REPLY` (datapath id first).
+    pub features_body: Vec<u8>,
+}
+
+/// Upper bound on frames consumed while waiting for one handshake step,
+/// so a peer spraying asynchronous messages cannot wedge the harness.
+const HANDSHAKE_FRAME_BUDGET: u32 = 64;
+
+/// Run the controller side of session bring-up on `io`.
+///
+/// The harness behaves like a minimal controller: exchange `HELLO`,
+/// negotiate down to 1.0, issue `FEATURES_REQUEST`, then prove liveness
+/// with an `ECHO_REQUEST` keepalive before any witness traffic flows.
+/// Every frame the harness originates carries an xid with the
+/// [`HARNESS_XID_BASE`] prefix so its own control traffic can never be
+/// confused with witness-induced replies — the replayer filters
+/// observations by that prefix, not by arrival order, which is what makes
+/// reordered keepalive replies harmless.
+///
+/// Any transport failure or protocol violation is an `Err` — the caller
+/// retries on a fresh connection; handshake failures are never verdicts.
+pub fn client_handshake_info(io: &mut dyn FrameIo) -> Result<HandshakeInfo, String> {
+    io.send_frame(&frame(msg_type::HELLO, HELLO_XID, &[]))?;
+    let hello = await_frame(io, "HELLO", |f| {
+        (frame_type(f) == msg_type::HELLO).then(|| f.first().copied().unwrap_or(0))
+    })?;
+    if hello == 0 {
+        return Err("peer HELLO carries version 0; no common version".to_string());
+    }
+    // OF version negotiation: the session runs at min(ours, theirs).
+    // We only speak 1.0, and every version byte >= 1 negotiates down to
+    // it, so any nonzero peer version is acceptable.
+
+    io.send_frame(&frame(msg_type::FEATURES_REQUEST, FEATURES_XID, &[]))?;
+    let features_body = await_frame(io, "FEATURES_REPLY", |f| {
+        (frame_type(f) == msg_type::FEATURES_REPLY).then(|| f.get(8..).unwrap_or(&[]).to_vec())
+    })?;
+
+    // Liveness: a keepalive echo must round-trip before witness traffic.
+    io.send_frame(&frame(msg_type::ECHO_REQUEST, ECHO_XID, &[]))?;
+    await_frame(io, "ECHO_REPLY", |f| {
+        (frame_type(f) == msg_type::ECHO_REPLY && frame_xid(f) == ECHO_XID).then_some(())
+    })?;
+
+    Ok(HandshakeInfo {
+        peer_version: hello,
+        features_body,
+    })
+}
+
+/// Read frames until `want` extracts a value, answering peer echo
+/// requests and ignoring asynchronous chatter along the way.
+fn await_frame<T>(
+    io: &mut dyn FrameIo,
+    what: &str,
+    want: impl Fn(&[u8]) -> Option<T>,
+) -> Result<T, String> {
+    for _ in 0..HANDSHAKE_FRAME_BUDGET {
+        match io.recv_frame()? {
+            FrameEvent::Closed => return Err(format!("peer closed while waiting for {what}")),
+            FrameEvent::Frame(f) => {
+                if let Some(v) = want(&f) {
+                    return Ok(v);
+                }
+                if frame_type(&f) == msg_type::ECHO_REQUEST {
+                    io.send_frame(&echo_reply_for(&f))?;
+                }
+            }
+        }
+    }
+    Err(format!(
+        "no {what} within {HANDSHAKE_FRAME_BUDGET} frames of chatter"
+    ))
+}
+
+/// The one OpenFlow 1.0 wire-dialect instance.
+pub static OF10_DIALECT: Of10Dialect = Of10Dialect;
+
+/// OpenFlow 1.0 as a [`WireDialect`].
+#[derive(Debug)]
+pub struct Of10Dialect;
+
+impl WireDialect for Of10Dialect {
+    fn server_greeting(&self) -> Vec<u8> {
+        // A switch speaks first: announce ourselves.
+        frame(msg_type::HELLO, 0, &[])
+    }
+
+    fn frame_step(&self, buffered: &[u8]) -> FrameStep {
+        // Mirrors `soft_openflow::decode::FrameDecoder` exactly, runt
+        // diagnostic included.
+        if buffered.len() < 4 {
+            return FrameStep::NeedMore;
+        }
+        let declared = u16::from_be_bytes([buffered[2], buffered[3]]) as usize;
+        if declared < HEADER_LEN {
+            return FrameStep::Invalid(format!(
+                "header declares length {declared} < {HEADER_LEN}; stream framing is lost"
+            ));
+        }
+        if buffered.len() < declared {
+            FrameStep::NeedMore
+        } else {
+            FrameStep::Frame(declared)
+        }
+    }
+
+    fn encode_event(&self, e: &TraceEvent) -> Result<Option<Vec<u8>>, String> {
+        encode_event(e)
+    }
+
+    fn frame_token(&self, f: &[u8]) -> String {
+        frame_token(f)
+    }
+
+    fn client_handshake(&self, io: &mut dyn FrameIo) -> Result<(), String> {
+        client_handshake_info(io).map(|_| ())
+    }
+
+    fn prelude_inputs(&self) -> Vec<Input> {
+        // The same HELLO, FEATURES_REQUEST and keepalive ECHO the wire
+        // handshake sends before witness traffic.
+        [
+            frame(msg_type::HELLO, HELLO_XID, &[]),
+            frame(msg_type::FEATURES_REQUEST, FEATURES_XID, &[]),
+            frame(msg_type::ECHO_REQUEST, ECHO_XID, &[]),
+        ]
+        .iter()
+        .map(|f| Input::Message(SymBuf::concrete(f)))
+        .collect()
+    }
+
+    fn end_sentinel(&self) -> Vec<u8> {
+        frame(msg_type::BARRIER_REQUEST, BARRIER_XID, &[])
+    }
+
+    fn classify_rx(&self, f: &[u8]) -> WireRx {
+        match frame_type(f) {
+            // Session chatter, not behavior.
+            t if t == msg_type::HELLO => WireRx::Ignore,
+            // The DUT probing *our* liveness: answer, don't record.
+            t if t == msg_type::ECHO_REQUEST => WireRx::Answer(echo_reply_for(f)),
+            // Replies to our own keepalives, correlated by xid so
+            // fault-injected reordering cannot misfile them.
+            t if t == msg_type::ECHO_REPLY && is_harness_xid(frame_xid(f)) => WireRx::Ignore,
+            t if t == msg_type::BARRIER_REPLY && frame_xid(f) == BARRIER_XID => WireRx::End,
+            _ => WireRx::Observe,
+        }
+    }
+
+    fn wire_framable(&self, msg: &[u8]) -> bool {
+        msg.len() >= HEADER_LEN && u16::from_be_bytes([msg[2], msg[3]]) as usize == msg.len()
+    }
+
+    fn is_keepalive_reply(&self, f: &[u8]) -> bool {
+        frame_type(f) == msg_type::ECHO_REPLY && is_harness_xid(frame_xid(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_protocol::render_signature;
+
+    #[test]
+    fn raw_and_normalized_error_share_a_token() {
+        let raw = TraceEvent::Error {
+            xid: Term::bv_const(32, 0xDEAD),
+            etype: Term::bv_const(16, 1),
+            code: Term::bv_const(16, 6),
+        };
+        let f_raw = encode_event(&raw).unwrap().unwrap();
+        let f_norm = encode_event(&raw.normalize()).unwrap().unwrap();
+        assert_eq!(frame_xid(&f_raw), 0xDEAD);
+        assert_eq!(frame_xid(&f_norm), 0);
+        assert_eq!(frame_token(&f_raw), "error(1,6)");
+        assert_eq!(frame_token(&f_raw), frame_token(&f_norm));
+    }
+
+    #[test]
+    fn reply_xid_field_lands_in_header_not_payload() {
+        let raw = TraceEvent::OfReply {
+            msg_type: msg_type::BARRIER_REPLY,
+            fields: vec![("xid", Term::bv_const(32, 77))],
+            body: SymBuf::empty(),
+        };
+        let f = encode_event(&raw).unwrap().unwrap();
+        assert_eq!(f.len(), 8, "xid must not leak into the payload");
+        assert_eq!(frame_xid(&f), 77);
+        let norm = encode_event(&raw.normalize()).unwrap().unwrap();
+        assert_eq!(frame_token(&f), frame_token(&norm));
+    }
+
+    #[test]
+    fn reply_fields_serialize_at_declared_width() {
+        let e = TraceEvent::OfReply {
+            msg_type: msg_type::FEATURES_REPLY,
+            fields: vec![
+                ("xid", Term::bv_const(32, 5)),
+                ("datapath_id", Term::bv_const(64, 0x1)),
+                ("n_buffers", Term::bv_const(32, 256)),
+                ("n_tables", Term::bv_const(8, 1)),
+            ],
+            body: SymBuf::empty(),
+        };
+        let f = encode_event(&e).unwrap().unwrap();
+        assert_eq!(f.len(), 8 + 8 + 4 + 1);
+        assert_eq!(&f[8..16], &[0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(&f[16..20], &[0, 0, 1, 0]);
+        assert_eq!(f[20], 1);
+    }
+
+    #[test]
+    fn packet_in_token_ignores_buffer_id() {
+        let mk = |buf_id: u64| TraceEvent::PacketIn {
+            buffer_id: Term::bv_const(32, buf_id),
+            in_port: Term::bv_const(16, 3),
+            reason: Term::bv_const(8, 0),
+            data_len: Term::bv_const(16, 2),
+            data: SymBuf::concrete(&[0xAA, 0xBB]),
+        };
+        let a = encode_event(&mk(17)).unwrap().unwrap();
+        let b = encode_event(&mk(9999)).unwrap().unwrap();
+        assert_ne!(a, b, "buffer id is on the wire");
+        assert_eq!(frame_token(&a), frame_token(&b), "but not in the token");
+        assert_eq!(
+            frame_token(&a),
+            "packet_in(port=3,reason=0,len=2,data=aabb)"
+        );
+    }
+
+    #[test]
+    fn symbolic_fields_are_rejected() {
+        let e = TraceEvent::Error {
+            xid: Term::var("x", 32),
+            etype: Term::bv_const(16, 1),
+            code: Term::bv_const(16, 6),
+        };
+        assert!(encode_event(&e).is_err());
+    }
+
+    #[test]
+    fn data_plane_events_have_no_wire_form() {
+        assert_eq!(encode_event(&TraceEvent::ProbeDropped).unwrap(), None);
+        assert_eq!(event_token(&TraceEvent::ProbeDropped).unwrap(), None);
+    }
+
+    #[test]
+    fn signature_style_matches_crosscheck_reports() {
+        let toks = vec!["error(1,6)".to_string(), "reply(19:)".to_string()];
+        assert_eq!(render_signature(false, &toks), "error(1,6)+reply(19:)");
+        assert_eq!(render_signature(true, &toks), "crash:error(1,6)+reply(19:)");
+        assert_eq!(render_signature(true, &[]), "crash:");
+    }
+
+    #[test]
+    fn frame_layout_is_of10() {
+        let f = frame(msg_type::ECHO_REQUEST, ECHO_XID, &[0xAB, 0xCD]);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f[0], OFP_VERSION);
+        assert_eq!(frame_type(&f), msg_type::ECHO_REQUEST);
+        assert_eq!(u16::from_be_bytes([f[2], f[3]]), 10);
+        assert_eq!(frame_xid(&f), ECHO_XID);
+        assert_eq!(&f[8..], &[0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn echo_reply_mirrors_xid_and_body() {
+        let req = frame(msg_type::ECHO_REQUEST, 0x1234, &[9, 9]);
+        let rep = echo_reply_for(&req);
+        assert_eq!(frame_type(&rep), msg_type::ECHO_REPLY);
+        assert_eq!(frame_xid(&rep), 0x1234);
+        assert_eq!(&rep[8..], &[9, 9]);
+    }
+
+    #[test]
+    fn harness_xids_are_recognizable() {
+        for xid in [HELLO_XID, FEATURES_XID, ECHO_XID, BARRIER_XID] {
+            assert!(is_harness_xid(xid));
+        }
+        assert!(!is_harness_xid(0));
+        assert!(!is_harness_xid(0x1234_5678));
+    }
+
+    #[test]
+    fn frame_step_matches_frame_decoder() {
+        let f = frame(msg_type::ECHO_REPLY, 7, &[1, 2]);
+        assert_eq!(OF10_DIALECT.frame_step(&f[..3]), FrameStep::NeedMore);
+        assert_eq!(OF10_DIALECT.frame_step(&f[..5]), FrameStep::NeedMore);
+        assert_eq!(OF10_DIALECT.frame_step(&f), FrameStep::Frame(f.len()));
+        let mut runt = f.clone();
+        runt[2] = 0;
+        runt[3] = 7;
+        assert!(matches!(
+            OF10_DIALECT.frame_step(&runt),
+            FrameStep::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn classify_rx_separates_chatter_from_behavior() {
+        use soft_protocol::WireRx;
+        assert_eq!(
+            OF10_DIALECT.classify_rx(&frame(msg_type::HELLO, 9, &[])),
+            WireRx::Ignore
+        );
+        let keepalive = frame(msg_type::ECHO_REPLY, ECHO_XID, &[]);
+        assert_eq!(OF10_DIALECT.classify_rx(&keepalive), WireRx::Ignore);
+        assert!(OF10_DIALECT.is_keepalive_reply(&keepalive));
+        assert_eq!(
+            OF10_DIALECT.classify_rx(&frame(msg_type::BARRIER_REPLY, BARRIER_XID, &[])),
+            WireRx::End
+        );
+        match OF10_DIALECT.classify_rx(&frame(msg_type::ECHO_REQUEST, 3, &[1])) {
+            WireRx::Answer(reply) => assert_eq!(frame_type(&reply), msg_type::ECHO_REPLY),
+            other => panic!("echo request should be answered, got {other:?}"),
+        }
+        assert_eq!(
+            OF10_DIALECT.classify_rx(&frame(msg_type::ERROR, 1, &[0, 1, 0, 6])),
+            WireRx::Observe
+        );
+    }
+
+    #[test]
+    fn protocol_surface_is_of10() {
+        assert_eq!(OF10.id(), "of10");
+        assert_eq!(OF10.wire_name(), "OpenFlow 1.0");
+        assert_eq!(OF10.agent_id("ref"), Some("reference"));
+        assert_eq!(OF10.agent_id("openvswitch"), Some("ovs"));
+        assert_eq!(OF10.agent_id("nope"), None);
+        let r: AgentRef = AgentKind::Reference.into();
+        assert_eq!(r.id(), "reference");
+        assert_eq!(r.protocol.id(), "of10");
+        assert_eq!(r.make().name(), AgentKind::Reference.make().name());
+        let f = frame(msg_type::ECHO_REQUEST, 1, &[]);
+        assert_eq!(OF10.message_type(&f), Some(msg_type::ECHO_REQUEST));
+        assert!(OF10.find_test("packet_out").is_some());
+        assert!(OF10.find_test("no_such_test").is_none());
+    }
+}

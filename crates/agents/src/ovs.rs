@@ -29,7 +29,7 @@ use soft_openflow::consts::{
     msg_type, port as ofpp, queue_op_failed, stats_type, wildcards, NO_BUFFER, OFP_VERSION,
 };
 use soft_openflow::layout;
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_smt::Term;
 use soft_sym::{CoverageUniverse, Stop, SymBuf};
 

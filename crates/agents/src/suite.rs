@@ -7,9 +7,9 @@
 //! handler the paper's §5.1.2 crash catalogue reaches through its broader
 //! runs.
 
-use crate::input::{Input, TestCase};
 use soft_dataplane::{eth_probe, tcp_probe, Packet};
 use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
+use soft_protocol::{Input, TestCase};
 
 fn tcp_probe_input() -> Input {
     Input::Probe {

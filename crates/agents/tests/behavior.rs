@@ -6,7 +6,7 @@ use soft_agents::{AgentKind, Mutations, OpenFlowAgent, ReferenceSwitch};
 use soft_dataplane::{tcp_probe, Packet, ProbeSpec};
 use soft_openflow::builder::{self, ActionSpec, FlowModSpec};
 use soft_openflow::consts::{bad_action, bad_request, error_type, msg_type, port as ofpp};
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
 
 /// Run one agent on a concrete message sequence; returns (events, crashed).

@@ -7,7 +7,7 @@ use soft_dataplane::{Packet, ProbeSpec};
 use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
 use soft_openflow::consts::{flow_mod_cmd, port as ofpp, wildcards, NO_BUFFER};
 use soft_openflow::layout;
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
 
 fn run(kind: AgentKind, msgs: Vec<SymBuf>, probe: Option<Packet>) -> (Vec<TraceEvent>, bool) {

@@ -8,7 +8,7 @@ use soft_openflow::builder::{self, ActionSpec, FlowModSpec, MatchMode};
 use soft_openflow::consts::{
     bad_request, error_type, flow_mod_cmd, flow_mod_flags, msg_type, stats_type, NO_BUFFER,
 };
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_sym::{explore, ExplorerConfig, PathOutcome, SymBuf};
 
 fn run_seq(

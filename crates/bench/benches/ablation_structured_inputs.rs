@@ -67,9 +67,7 @@ fn main() {
         // reaches the Packet Out execution logic at all, vs being burned
         // rediscovering framing and dispatch.
         let po_paths = {
-            use soft_harness::run_test;
-            let _ = run_test; // keep import shape stable
-                              // Re-explore to access per-path coverage.
+            // Re-explore to access per-path coverage.
             let ex = soft_sym::explore(&cfg, |ctx| {
                 let mut a = AgentKind::Reference.make();
                 a.on_connect(ctx)?;

@@ -8,7 +8,7 @@
 use soft_core::group_paths;
 use soft_dataplane::{tcp_probe, MatchFields};
 use soft_harness::{ObservedOutput, PathRecord};
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_smt::{sexpr, Solver, Term};
 use soft_sym::SymBuf;
 use std::hint::black_box;
@@ -123,7 +123,7 @@ fn bench_grouping() {
         })
         .collect();
     bench("grouping", "normalize_trace", 2000, || {
-        soft_openflow::normalize_trace(black_box(&trace))
+        soft_protocol::normalize_trace(black_box(&trace))
     });
 }
 

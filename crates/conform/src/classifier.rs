@@ -11,20 +11,18 @@
 //! dropped: a transport failure must not be laundered into "the DUT
 //! behaves like X".
 
-use crate::frames::{event_token, render_signature};
-use crate::handshake::{frame, ECHO_XID, FEATURES_XID, HELLO_XID};
 use crate::replayer::{replay_witness, ReplayConfig, WireOutcome};
 use crate::transport::Connector;
-use soft_agents::AgentKind;
+use soft_agents::{AgentKind, OF10};
 use soft_core::run_concrete;
 use soft_harness::json::Json;
 use soft_harness::Input;
-use soft_openflow::consts::msg_type;
-use soft_openflow::decode::HEADER_LEN;
+use soft_protocol::{render_signature, AgentRef, Protocol};
 use soft_sym::SymBuf;
 use soft_witness::{Corpus, SplitMix64};
 
-/// Map a corpus agent id back to its model.
+/// Map a corpus agent id back to its model (OpenFlow 1.0 compatibility
+/// path; the generic resolver is [`agent_for_id`]).
 pub fn kind_for_id(id: &str) -> Result<AgentKind, String> {
     match id {
         "reference" => Ok(AgentKind::Reference),
@@ -32,6 +30,20 @@ pub fn kind_for_id(id: &str) -> Result<AgentKind, String> {
         "modified" => Ok(AgentKind::Modified),
         "panicky" => Ok(AgentKind::Panicky),
         other => Err(format!("corpus names unknown agent '{other}'")),
+    }
+}
+
+/// Resolve a corpus agent id against a protocol's registry.
+pub fn agent_for_id(proto: &'static dyn Protocol, id: &str) -> Result<AgentRef, String> {
+    match proto.agent_id(id) {
+        Some(agent) => Ok(AgentRef {
+            protocol: proto,
+            agent,
+        }),
+        None => Err(format!(
+            "corpus names unknown agent '{id}' (protocol {})",
+            proto.id()
+        )),
     }
 }
 
@@ -289,56 +301,60 @@ impl ConformReport {
     }
 }
 
-/// The harness prelude as model inputs: the same HELLO, FEATURES_REQUEST
-/// and keepalive ECHO the wire handshake sends before witness traffic.
-fn prelude_inputs() -> Vec<Input> {
-    [
-        frame(msg_type::HELLO, HELLO_XID, &[]),
-        frame(msg_type::FEATURES_REQUEST, FEATURES_XID, &[]),
-        frame(msg_type::ECHO_REQUEST, ECHO_XID, &[]),
-    ]
-    .iter()
-    .map(|f| Input::Message(SymBuf::concrete(f)))
-    .collect()
-}
-
-/// Predict the signature `kind` would put on the wire for `msgs`,
-/// replayed behind the standard handshake prelude. The prelude's own
+/// Predict the signature `agent` would put on the wire for `msgs`,
+/// replayed behind its dialect's handshake prelude. The prelude's own
 /// replies are sliced off by replaying the prefix separately — only
 /// witness-induced events enter the signature.
-pub fn expected_signature(kind: AgentKind, msgs: &[&[u8]]) -> Result<String, String> {
-    let prelude = prelude_inputs();
-    let pre = run_concrete(kind, &prelude)
-        .map_err(|e| format!("{} prelude replay failed: {e}", kind.id()))?;
+pub fn expected_signature_for(
+    agent: impl Into<AgentRef>,
+    msgs: &[&[u8]],
+) -> Result<String, String> {
+    let agent = agent.into();
+    let dialect = agent.protocol.dialect();
+    let prelude = dialect.prelude_inputs();
+    let pre = run_concrete(agent, &prelude)
+        .map_err(|e| format!("{} prelude replay failed: {e}", agent.id()))?;
     let mut inputs = prelude;
     inputs.extend(msgs.iter().map(|m| Input::Message(SymBuf::concrete(m))));
-    let full = run_concrete(kind, &inputs)
-        .map_err(|e| format!("{} witness replay failed: {e}", kind.id()))?;
+    let full = run_concrete(agent, &inputs)
+        .map_err(|e| format!("{} witness replay failed: {e}", agent.id()))?;
     let mut tokens = Vec::new();
     for e in full.events.iter().skip(pre.events.len()) {
-        if let Some(t) = event_token(e)? {
+        if let Some(t) = dialect.event_token(e)? {
             tokens.push(t);
         }
     }
     Ok(render_signature(full.crashed, &tokens))
 }
 
-/// True if `msg` can be framed on a control channel exactly as the
-/// in-process model consumed it: the header length field must match the
-/// byte count, because the wire peer re-derives message boundaries from
-/// that field alone.
-fn wire_framable(msg: &[u8]) -> bool {
-    msg.len() >= HEADER_LEN && u16::from_be_bytes([msg[2], msg[3]]) as usize == msg.len()
+/// [`expected_signature_for`] with the OpenFlow agent enum (original
+/// entry point, kept for existing callers).
+pub fn expected_signature(kind: AgentKind, msgs: &[&[u8]]) -> Result<String, String> {
+    expected_signature_for(kind, msgs)
 }
 
-/// Replay every corpus entry against the DUT behind `conn` and classify.
+/// Replay every corpus entry against the DUT behind `conn` and classify,
+/// resolving the corpus agents against the OpenFlow 1.0 protocol.
 pub fn run_conform(
     corpus: &Corpus,
     conn: &mut dyn Connector,
     cfg: &ReplayConfig,
 ) -> Result<ConformReport, String> {
-    let kind_a = kind_for_id(&corpus.agent_a)?;
-    let kind_b = kind_for_id(&corpus.agent_b)?;
+    run_conform_with(&OF10, corpus, conn, cfg)
+}
+
+/// Replay every corpus entry against the DUT behind `conn` and classify,
+/// with the corpus agents resolved against `proto` and all wire behavior
+/// taken from its dialect.
+pub fn run_conform_with(
+    proto: &'static dyn Protocol,
+    corpus: &Corpus,
+    conn: &mut dyn Connector,
+    cfg: &ReplayConfig,
+) -> Result<ConformReport, String> {
+    let kind_a = agent_for_id(proto, &corpus.agent_a)?;
+    let kind_b = agent_for_id(proto, &corpus.agent_b)?;
+    let dialect = proto.dialect();
     let mut rng = SplitMix64::new(cfg.backoff.seed);
     let mut witnesses = Vec::new();
 
@@ -362,7 +378,11 @@ pub fn run_conform(
             witnesses.push(report);
             continue;
         }
-        if let Some(bad) = item.wire_msgs.iter().position(|m| !wire_framable(m)) {
+        if let Some(bad) = item
+            .wire_msgs
+            .iter()
+            .position(|m| !dialect.wire_framable(m))
+        {
             report.detail.push(format!(
                 "message {bad} is not wire-framable (length field disagrees with byte count); \
                  a stream peer would desynchronize"
@@ -372,8 +392,8 @@ pub fn run_conform(
         }
 
         match (
-            expected_signature(kind_a, &item.wire_msgs),
-            expected_signature(kind_b, &item.wire_msgs),
+            expected_signature_for(kind_a, &item.wire_msgs),
+            expected_signature_for(kind_b, &item.wire_msgs),
         ) {
             (Ok(ea), Ok(eb)) => {
                 report.expected_a = ea;
@@ -386,7 +406,7 @@ pub fn run_conform(
             }
         }
 
-        match replay_witness(conn, &item.wire_msgs, cfg, &mut rng) {
+        match replay_witness(dialect, conn, &item.wire_msgs, cfg, &mut rng) {
             WireOutcome::Observed(obs) => {
                 let sig = render_signature(obs.crashed, &obs.tokens);
                 report.verdict = match (sig == report.expected_a, sig == report.expected_b) {
@@ -424,6 +444,8 @@ pub fn run_conform(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::handshake::frame;
+    use soft_openflow::consts::msg_type;
 
     fn wr(index: usize, cluster: Option<usize>, verdict: Verdict) -> WitnessReport {
         WitnessReport {

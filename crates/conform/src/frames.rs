@@ -1,252 +1,12 @@
 //! Canonical wire encoding of trace events and signature tokens.
 //!
-//! Conformance verdicts hinge on comparing *expected* behavior (the
-//! in-process agent's trace) against *observed* behavior (frames read off
-//! a socket). Rendering those through two different code paths is how
-//! comparison logic drifts; this module has exactly one path instead:
-//!
-//! - [`encode_event`] turns a control-plane [`TraceEvent`] into an OF 1.0
-//!   frame. The xid lives in the header slot *only* — an `OfReply` field
-//!   named `"xid"` is never serialized into the payload — so a raw event
-//!   (real xid) and its normalized twin (xid stripped) encode to frames
-//!   that differ in the header alone.
-//! - [`frame_token`] renders a wire frame as a comparison token that
-//!   ignores the header xid and the packet-in buffer id, the exact data
-//!   [`TraceEvent::normalize`] zeroes.
-//!
-//! Expected signatures are therefore `encode_event ∘ frame_token` over the
-//! normalized trace, observed signatures are `frame_token` over the wire —
-//! consistent by construction.
+//! Compatibility re-exports: the canonical encoders moved next to the
+//! OpenFlow protocol implementation ([`soft_agents::of10`]) when the
+//! replayer went protocol-generic, and the replay loop now reaches them
+//! through [`soft_protocol::WireDialect`]. The invariant they enforce is
+//! unchanged — expected signatures are `encode_event ∘ frame_token` over
+//! the normalized trace, observed signatures are `frame_token` over the
+//! wire, consistent by construction.
 
-use soft_openflow::consts::msg_type;
-use soft_openflow::decode::frame_type;
-use soft_openflow::TraceEvent;
-use soft_smt::Term;
-
-use crate::handshake::frame;
-
-fn concrete(t: &Term, what: &str) -> Result<u64, String> {
-    t.as_bv_const()
-        .ok_or_else(|| format!("{what} is symbolic in a concretely replayed trace"))
-}
-
-fn hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
-    }
-    s
-}
-
-/// Encode one trace event as an OpenFlow 1.0 frame.
-///
-/// `Ok(None)` for data-plane events — they are not observable on the
-/// control channel and have no wire form here. `Err` if any field is
-/// still symbolic (the conformance path only ever sees concretely
-/// replayed traces, so this indicates a harness bug, not DUT behavior).
-pub fn encode_event(e: &TraceEvent) -> Result<Option<Vec<u8>>, String> {
-    match e {
-        TraceEvent::Error { xid, etype, code } => {
-            let mut body = Vec::with_capacity(4);
-            body.extend_from_slice(&(concrete(etype, "error etype")? as u16).to_be_bytes());
-            body.extend_from_slice(&(concrete(code, "error code")? as u16).to_be_bytes());
-            Ok(Some(frame(
-                msg_type::ERROR,
-                concrete(xid, "error xid")? as u32,
-                &body,
-            )))
-        }
-        TraceEvent::PacketIn {
-            buffer_id,
-            in_port,
-            reason,
-            data_len,
-            data,
-        } => {
-            let bytes = data
-                .as_concrete()
-                .ok_or("packet_in data is symbolic in a concretely replayed trace")?;
-            let mut body = Vec::with_capacity(10 + bytes.len());
-            body.extend_from_slice(&(concrete(buffer_id, "buffer_id")? as u32).to_be_bytes());
-            body.extend_from_slice(&(concrete(data_len, "data_len")? as u16).to_be_bytes());
-            body.extend_from_slice(&(concrete(in_port, "in_port")? as u16).to_be_bytes());
-            body.push(concrete(reason, "reason")? as u8);
-            body.push(0); // pad
-            body.extend_from_slice(&bytes);
-            Ok(Some(frame(msg_type::PACKET_IN, 0, &body)))
-        }
-        TraceEvent::OfReply {
-            msg_type: t,
-            fields,
-            body,
-        } => {
-            // The xid goes into the header slot only; every other field
-            // is serialized big-endian at its declared width, in order.
-            let mut xid = 0u32;
-            let mut payload = Vec::new();
-            for (name, term) in fields {
-                let v = concrete(term, &format!("reply field {name}"))?;
-                if *name == "xid" {
-                    xid = v as u32;
-                    continue;
-                }
-                let width_bytes = (term.width() as usize).div_ceil(8);
-                payload.extend_from_slice(&v.to_be_bytes()[8 - width_bytes..]);
-            }
-            payload.extend_from_slice(
-                &body
-                    .as_concrete()
-                    .ok_or("reply body is symbolic in a concretely replayed trace")?,
-            );
-            Ok(Some(frame(*t, xid, &payload)))
-        }
-        TraceEvent::DataPlaneTx { .. }
-        | TraceEvent::Flood { .. }
-        | TraceEvent::NormalForward { .. }
-        | TraceEvent::ProbeDropped => Ok(None),
-    }
-}
-
-/// Render one wire frame as a comparison token. Ignores exactly the data
-/// normalization zeroes: the header xid, and the packet-in buffer id.
-/// Error frames also drop any echoed offending-message tail — real
-/// switches attach it, the in-process model does not, and it carries no
-/// verdict information beyond the (type, code) pair.
-pub fn frame_token(f: &[u8]) -> String {
-    if f.len() < 8 {
-        return format!("runt({})", hex(f));
-    }
-    match frame_type(f) {
-        t if t == msg_type::ERROR && f.len() >= 12 => {
-            let etype = u16::from_be_bytes([f[8], f[9]]);
-            let code = u16::from_be_bytes([f[10], f[11]]);
-            format!("error({etype},{code})")
-        }
-        t if t == msg_type::PACKET_IN && f.len() >= 18 => {
-            let total_len = u16::from_be_bytes([f[12], f[13]]);
-            let in_port = u16::from_be_bytes([f[14], f[15]]);
-            let reason = f[16];
-            format!(
-                "packet_in(port={in_port},reason={reason},len={total_len},data={})",
-                hex(&f[18..])
-            )
-        }
-        t => format!("reply({t}:{})", hex(&f[8..])),
-    }
-}
-
-/// The token for an expected (in-process) event: canonical wire encoding
-/// followed by the same tokenizer the observed side uses. `Ok(None)` for
-/// events with no control-channel wire form.
-pub fn event_token(e: &TraceEvent) -> Result<Option<String>, String> {
-    Ok(encode_event(e)?.map(|f| frame_token(&f)))
-}
-
-/// Assemble a signature string from tokens, mirroring the style of the
-/// crosscheck report: optional `crash:` prefix, tokens joined with `+`.
-pub fn render_signature(crashed: bool, tokens: &[String]) -> String {
-    let mut s = String::new();
-    if crashed {
-        s.push_str("crash:");
-    }
-    s.push_str(&tokens.join("+"));
-    s
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use soft_openflow::decode::frame_xid;
-    use soft_sym::SymBuf;
-
-    #[test]
-    fn raw_and_normalized_error_share_a_token() {
-        let raw = TraceEvent::Error {
-            xid: Term::bv_const(32, 0xDEAD),
-            etype: Term::bv_const(16, 1),
-            code: Term::bv_const(16, 6),
-        };
-        let f_raw = encode_event(&raw).unwrap().unwrap();
-        let f_norm = encode_event(&raw.normalize()).unwrap().unwrap();
-        assert_eq!(frame_xid(&f_raw), 0xDEAD);
-        assert_eq!(frame_xid(&f_norm), 0);
-        assert_eq!(frame_token(&f_raw), "error(1,6)");
-        assert_eq!(frame_token(&f_raw), frame_token(&f_norm));
-    }
-
-    #[test]
-    fn reply_xid_field_lands_in_header_not_payload() {
-        let raw = TraceEvent::OfReply {
-            msg_type: msg_type::BARRIER_REPLY,
-            fields: vec![("xid", Term::bv_const(32, 77))],
-            body: SymBuf::empty(),
-        };
-        let f = encode_event(&raw).unwrap().unwrap();
-        assert_eq!(f.len(), 8, "xid must not leak into the payload");
-        assert_eq!(frame_xid(&f), 77);
-        let norm = encode_event(&raw.normalize()).unwrap().unwrap();
-        assert_eq!(frame_token(&f), frame_token(&norm));
-    }
-
-    #[test]
-    fn reply_fields_serialize_at_declared_width() {
-        let e = TraceEvent::OfReply {
-            msg_type: msg_type::FEATURES_REPLY,
-            fields: vec![
-                ("xid", Term::bv_const(32, 5)),
-                ("datapath_id", Term::bv_const(64, 0x1)),
-                ("n_buffers", Term::bv_const(32, 256)),
-                ("n_tables", Term::bv_const(8, 1)),
-            ],
-            body: SymBuf::empty(),
-        };
-        let f = encode_event(&e).unwrap().unwrap();
-        assert_eq!(f.len(), 8 + 8 + 4 + 1);
-        assert_eq!(&f[8..16], &[0, 0, 0, 0, 0, 0, 0, 1]);
-        assert_eq!(&f[16..20], &[0, 0, 1, 0]);
-        assert_eq!(f[20], 1);
-    }
-
-    #[test]
-    fn packet_in_token_ignores_buffer_id() {
-        let mk = |buf_id: u64| TraceEvent::PacketIn {
-            buffer_id: Term::bv_const(32, buf_id),
-            in_port: Term::bv_const(16, 3),
-            reason: Term::bv_const(8, 0),
-            data_len: Term::bv_const(16, 2),
-            data: SymBuf::concrete(&[0xAA, 0xBB]),
-        };
-        let a = encode_event(&mk(17)).unwrap().unwrap();
-        let b = encode_event(&mk(9999)).unwrap().unwrap();
-        assert_ne!(a, b, "buffer id is on the wire");
-        assert_eq!(frame_token(&a), frame_token(&b), "but not in the token");
-        assert_eq!(
-            frame_token(&a),
-            "packet_in(port=3,reason=0,len=2,data=aabb)"
-        );
-    }
-
-    #[test]
-    fn symbolic_fields_are_rejected() {
-        let e = TraceEvent::Error {
-            xid: Term::var("x", 32),
-            etype: Term::bv_const(16, 1),
-            code: Term::bv_const(16, 6),
-        };
-        assert!(encode_event(&e).is_err());
-    }
-
-    #[test]
-    fn data_plane_events_have_no_wire_form() {
-        assert_eq!(encode_event(&TraceEvent::ProbeDropped).unwrap(), None);
-        assert_eq!(event_token(&TraceEvent::ProbeDropped).unwrap(), None);
-    }
-
-    #[test]
-    fn signature_style_matches_crosscheck_reports() {
-        let toks = vec!["error(1,6)".to_string(), "reply(19:)".to_string()];
-        assert_eq!(render_signature(false, &toks), "error(1,6)+reply(19:)");
-        assert_eq!(render_signature(true, &toks), "crash:error(1,6)+reply(19:)");
-        assert_eq!(render_signature(true, &[]), "crash:");
-    }
-}
+pub use soft_agents::of10::{encode_event, event_token, frame_token};
+pub use soft_protocol::render_signature;

@@ -1,154 +1,24 @@
 //! OpenFlow 1.0 session bring-up and harness frame builders.
 //!
-//! The harness behaves like a minimal controller: exchange `HELLO`,
-//! negotiate down to 1.0, issue `FEATURES_REQUEST`, then prove liveness
-//! with an `ECHO_REQUEST` keepalive before any witness traffic flows.
-//! Every frame the harness originates carries an xid with the
-//! [`HARNESS_XID_BASE`] prefix so its own control traffic can never be
-//! confused with witness-induced replies — the replayer filters
-//! observations by that prefix, not by arrival order, which is what makes
-//! reordered keepalive replies harmless.
+//! Compatibility surface: the frame builders, harness xid scheme and the
+//! controller-side handshake script moved next to the OpenFlow protocol
+//! implementation ([`soft_agents::of10`]) when the replayer went
+//! protocol-generic; the generic replay loop runs them through
+//! [`soft_protocol::WireDialect::client_handshake`]. This module keeps
+//! the original paths (and the [`Channel`]-typed [`handshake`] entry
+//! point) working.
 
-use crate::transport::{Channel, RecvEvent};
-use soft_openflow::consts::{msg_type, OFP_VERSION};
-use soft_openflow::decode::{frame_type, frame_xid};
+use crate::transport::Channel;
 
-/// Prefix of every harness-originated xid (`0xC04F____` — "conf").
-pub const HARNESS_XID_BASE: u32 = 0xC04F_0000;
-/// Xid of the opening `HELLO`.
-pub const HELLO_XID: u32 = HARNESS_XID_BASE | 1;
-/// Xid of the `FEATURES_REQUEST`.
-pub const FEATURES_XID: u32 = HARNESS_XID_BASE | 2;
-/// Xid of the liveness `ECHO_REQUEST` keepalive.
-pub const ECHO_XID: u32 = HARNESS_XID_BASE | 3;
-/// Xid of the end-of-witness `BARRIER_REQUEST` sentinel.
-pub const BARRIER_XID: u32 = HARNESS_XID_BASE | 0xBA;
+pub use soft_agents::of10::{
+    echo_reply_for, frame, is_harness_xid, HandshakeInfo, BARRIER_XID, ECHO_XID, FEATURES_XID,
+    HARNESS_XID_BASE, HELLO_XID,
+};
 
-/// True if `xid` was minted by this harness.
-pub fn is_harness_xid(xid: u32) -> bool {
-    xid & 0xFFFF_0000 == HARNESS_XID_BASE
-}
-
-/// Build one OpenFlow 1.0 frame: header plus `body`.
-pub fn frame(msg_type: u8, xid: u32, body: &[u8]) -> Vec<u8> {
-    let len = (8 + body.len()) as u16;
-    let mut f = vec![OFP_VERSION, msg_type];
-    f.extend_from_slice(&len.to_be_bytes());
-    f.extend_from_slice(&xid.to_be_bytes());
-    f.extend_from_slice(body);
-    f
-}
-
-/// The `ECHO_REPLY` answering a peer `ECHO_REQUEST` (same xid, same body).
-pub fn echo_reply_for(request: &[u8]) -> Vec<u8> {
-    frame(
-        msg_type::ECHO_REPLY,
-        frame_xid(request),
-        request.get(8..).unwrap_or(&[]),
-    )
-}
-
-/// What the completed handshake learned about the peer.
-#[derive(Debug)]
-pub struct HandshakeInfo {
-    /// The version byte of the peer's `HELLO`.
-    pub peer_version: u8,
-    /// Body of the peer's `FEATURES_REPLY` (datapath id first).
-    pub features_body: Vec<u8>,
-}
-
-/// Upper bound on frames consumed while waiting for one handshake step,
-/// so a peer spraying asynchronous messages cannot wedge the harness.
-const HANDSHAKE_FRAME_BUDGET: u32 = 64;
-
-/// Run the controller side of session bring-up on `ch`.
+/// Run the controller side of OpenFlow 1.0 session bring-up on `ch`.
 ///
 /// Any transport failure or protocol violation is an `Err` — the caller
 /// retries on a fresh connection; handshake failures are never verdicts.
 pub fn handshake(ch: &mut Channel) -> Result<HandshakeInfo, String> {
-    ch.send_frame(&frame(msg_type::HELLO, HELLO_XID, &[]))?;
-    let hello = await_frame(ch, "HELLO", |f| {
-        (frame_type(f) == msg_type::HELLO).then(|| f.first().copied().unwrap_or(0))
-    })?;
-    if hello == 0 {
-        return Err("peer HELLO carries version 0; no common version".to_string());
-    }
-    // OF version negotiation: the session runs at min(ours, theirs).
-    // We only speak 1.0, and every version byte >= 1 negotiates down to
-    // it, so any nonzero peer version is acceptable.
-
-    ch.send_frame(&frame(msg_type::FEATURES_REQUEST, FEATURES_XID, &[]))?;
-    let features_body = await_frame(ch, "FEATURES_REPLY", |f| {
-        (frame_type(f) == msg_type::FEATURES_REPLY).then(|| f.get(8..).unwrap_or(&[]).to_vec())
-    })?;
-
-    // Liveness: a keepalive echo must round-trip before witness traffic.
-    ch.send_frame(&frame(msg_type::ECHO_REQUEST, ECHO_XID, &[]))?;
-    await_frame(ch, "ECHO_REPLY", |f| {
-        (frame_type(f) == msg_type::ECHO_REPLY && frame_xid(f) == ECHO_XID).then_some(())
-    })?;
-
-    Ok(HandshakeInfo {
-        peer_version: hello,
-        features_body,
-    })
-}
-
-/// Read frames until `want` extracts a value, answering peer echo
-/// requests and ignoring asynchronous chatter along the way.
-fn await_frame<T>(
-    ch: &mut Channel,
-    what: &str,
-    want: impl Fn(&[u8]) -> Option<T>,
-) -> Result<T, String> {
-    for _ in 0..HANDSHAKE_FRAME_BUDGET {
-        match ch.recv_frame()? {
-            RecvEvent::Closed => return Err(format!("peer closed while waiting for {what}")),
-            RecvEvent::Frame(f) => {
-                if let Some(v) = want(&f) {
-                    return Ok(v);
-                }
-                if frame_type(&f) == msg_type::ECHO_REQUEST {
-                    ch.send_frame(&echo_reply_for(&f))?;
-                }
-            }
-        }
-    }
-    Err(format!(
-        "no {what} within {HANDSHAKE_FRAME_BUDGET} frames of chatter"
-    ))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn frame_layout_is_of10() {
-        let f = frame(msg_type::ECHO_REQUEST, ECHO_XID, &[0xAB, 0xCD]);
-        assert_eq!(f.len(), 10);
-        assert_eq!(f[0], OFP_VERSION);
-        assert_eq!(frame_type(&f), msg_type::ECHO_REQUEST);
-        assert_eq!(u16::from_be_bytes([f[2], f[3]]), 10);
-        assert_eq!(frame_xid(&f), ECHO_XID);
-        assert_eq!(&f[8..], &[0xAB, 0xCD]);
-    }
-
-    #[test]
-    fn echo_reply_mirrors_xid_and_body() {
-        let req = frame(msg_type::ECHO_REQUEST, 0x1234, &[9, 9]);
-        let rep = echo_reply_for(&req);
-        assert_eq!(frame_type(&rep), msg_type::ECHO_REPLY);
-        assert_eq!(frame_xid(&rep), 0x1234);
-        assert_eq!(&rep[8..], &[9, 9]);
-    }
-
-    #[test]
-    fn harness_xids_are_recognizable() {
-        for xid in [HELLO_XID, FEATURES_XID, ECHO_XID, BARRIER_XID] {
-            assert!(is_harness_xid(xid));
-        }
-        assert!(!is_harness_xid(0));
-        assert!(!is_harness_xid(0x1234_5678));
-    }
+    soft_agents::of10::client_handshake_info(ch)
 }

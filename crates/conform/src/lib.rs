@@ -43,12 +43,12 @@ pub mod transport;
 
 pub use backoff::BackoffPolicy;
 pub use classifier::{
-    expected_signature, kind_for_id, run_conform, ConformReport, ExitClass, Verdict, VerdictCounts,
-    WitnessReport,
+    agent_for_id, expected_signature, expected_signature_for, kind_for_id, run_conform,
+    run_conform_with, ConformReport, ExitClass, Verdict, VerdictCounts, WitnessReport,
 };
 pub use frames::{encode_event, event_token, frame_token, render_signature};
 pub use handshake::{handshake, HandshakeInfo};
 pub use loopback::LoopbackDut;
 pub use replayer::{replay_witness, Observation, ReplayConfig, WireOutcome};
-pub use selftest::{loopback_self_test, SelfTestReport};
+pub use selftest::{loopback_self_test, loopback_self_test_with, SelfTestReport};
 pub use transport::{Channel, Connector, FaultyConnector, RecvEvent, TcpConnector, Wire};

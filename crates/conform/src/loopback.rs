@@ -20,14 +20,10 @@
 //!   (correctly) classify the observation as transport damage instead of
 //!   the crash it is.
 
-use crate::frames::encode_event;
-use crate::handshake::frame;
 use crate::transport::POLL;
-use soft_agents::AgentKind;
 use soft_core::run_concrete_raw;
 use soft_harness::Input;
-use soft_openflow::consts::msg_type;
-use soft_openflow::decode::FrameDecoder;
+use soft_protocol::{AgentRef, FrameBuffer};
 use soft_sym::SymBuf;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -45,12 +41,13 @@ pub struct LoopbackDut {
 
 impl LoopbackDut {
     /// Bind `127.0.0.1:0` and serve `kind` to every connection.
-    pub fn spawn(kind: AgentKind) -> std::io::Result<LoopbackDut> {
+    pub fn spawn(kind: impl Into<AgentRef>) -> std::io::Result<LoopbackDut> {
         LoopbackDut::spawn_on(kind, 0)
     }
 
     /// As [`spawn`](Self::spawn), on a caller-chosen port (0 = ephemeral).
-    pub fn spawn_on(kind: AgentKind, port: u16) -> std::io::Result<LoopbackDut> {
+    pub fn spawn_on(kind: impl Into<AgentRef>, port: u16) -> std::io::Result<LoopbackDut> {
+        let kind = kind.into();
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?.to_string();
         listener.set_nonblocking(true)?;
@@ -99,17 +96,19 @@ impl Drop for LoopbackDut {
 }
 
 /// Serve one control-channel connection with a fresh instance of `kind`.
-fn serve_conn(kind: AgentKind, mut stream: TcpStream, stop: &AtomicBool) {
+fn serve_conn(kind: AgentRef, mut stream: TcpStream, stop: &AtomicBool) {
+    let dialect = kind.protocol.dialect();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
-    // A switch speaks first: announce ourselves.
-    if stream.write_all(&frame(msg_type::HELLO, 0, &[])).is_err() {
+    // The DUT may speak first (OpenFlow's unsolicited HELLO).
+    let greeting = dialect.server_greeting();
+    if !greeting.is_empty() && stream.write_all(&greeting).is_err() {
         return;
     }
 
     let mut inputs: Vec<Input> = Vec::new();
     let mut sent_events = 0usize;
-    let mut dec = FrameDecoder::new();
+    let mut dec = FrameBuffer::new();
     let mut buf = [0u8; 4096];
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -130,7 +129,7 @@ fn serve_conn(kind: AgentKind, mut stream: TcpStream, stop: &AtomicBool) {
         };
         dec.push(&buf[..n]);
         loop {
-            let f = match dec.next_frame() {
+            let f = match dec.next_frame(dialect) {
                 Ok(Some(f)) => f,
                 Ok(None) => break,
                 // Unframable stream: a real switch's TCP stack would keep
@@ -149,7 +148,7 @@ fn serve_conn(kind: AgentKind, mut stream: TcpStream, stop: &AtomicBool) {
                 }
             };
             for e in &out.events[sent_events.min(out.events.len())..] {
-                if let Ok(Some(wire)) = encode_event(e) {
+                if let Ok(Some(wire)) = dialect.encode_event(e) {
                     if stream.write_all(&wire).is_err() {
                         return;
                     }

@@ -1,9 +1,12 @@
 //! Fault-tolerant replay of one witness against a live DUT.
 //!
-//! Per witness: connect, handshake, send the witness messages followed by
-//! a sentinel `BARRIER_REQUEST`, and collect every observation frame
-//! until the barrier reply (orderly completion) or a clean EOF (the DUT
-//! crashed — itself an observation). Transport failure at any point
+//! Per witness: connect, run the dialect's handshake, send the witness
+//! messages followed by the dialect's end-of-witness sentinel, and
+//! collect every observation frame until the sentinel reply (orderly
+//! completion) or a clean EOF (the DUT crashed — itself an
+//! observation). Everything protocol-specific — framing, handshake
+//! script, chatter-vs-behavior classification, the sentinel, tokens —
+//! comes from the [`WireDialect`]. Transport failure at any point
 //! abandons the attempt and retries on a *fresh* connection under the
 //! jittered backoff ladder; when the per-witness budget runs out the
 //! witness degrades to `Flaky` with the full error chain — per the
@@ -11,10 +14,8 @@
 //! failure is never laundered into a behavioral verdict.
 
 use crate::backoff::BackoffPolicy;
-use crate::handshake::{self, frame, is_harness_xid, BARRIER_XID};
 use crate::transport::{Channel, Connector, RecvEvent};
-use soft_openflow::consts::msg_type;
-use soft_openflow::decode::{frame_type, frame_xid};
+use soft_protocol::{WireDialect, WireRx};
 use soft_witness::SplitMix64;
 use std::time::Duration;
 
@@ -83,9 +84,11 @@ enum AttemptFail {
     Broken(String),
 }
 
-/// Replay `msgs` against the DUT behind `conn` under `cfg`, sleeping
-/// jittered backoff (drawn from `rng`) between attempts.
+/// Replay `msgs` against the DUT behind `conn` under `cfg`, speaking
+/// `dialect`, sleeping jittered backoff (drawn from `rng`) between
+/// attempts.
 pub fn replay_witness(
+    dialect: &'static dyn WireDialect,
     conn: &mut dyn Connector,
     msgs: &[&[u8]],
     cfg: &ReplayConfig,
@@ -98,7 +101,7 @@ pub fn replay_witness(
         if attempt > 1 {
             std::thread::sleep(cfg.backoff.delay(attempt - 1, rng));
         }
-        match attempt_once(conn, msgs, cfg.op_timeout) {
+        match attempt_once(dialect, conn, msgs, cfg.op_timeout) {
             Ok((crashed, tokens)) => {
                 return WireOutcome::Observed(Observation {
                     crashed,
@@ -122,6 +125,7 @@ pub fn replay_witness(
 
 /// One attempt: fresh connection, handshake, replay, collect.
 fn attempt_once(
+    dialect: &'static dyn WireDialect,
     conn: &mut dyn Connector,
     msgs: &[&[u8]],
     op_timeout: Duration,
@@ -129,14 +133,16 @@ fn attempt_once(
     let wire = conn
         .connect()
         .map_err(|e| AttemptFail::Connect(e.to_string()))?;
-    let mut ch = Channel::new(wire, op_timeout);
-    handshake::handshake(&mut ch).map_err(AttemptFail::Broken)?;
+    let mut ch = Channel::with_dialect(wire, op_timeout, dialect);
+    dialect
+        .client_handshake(&mut ch)
+        .map_err(AttemptFail::Broken)?;
 
-    // Send the witness plus the barrier sentinel. A send failure here is
-    // not fatal to the attempt: the likely cause is the DUT crashing on
-    // an earlier message (closing the socket under us), and the crash
-    // will surface as a clean EOF in the collection loop below. Genuine
-    // transport damage surfaces there too, as an error.
+    // Send the witness plus the end-of-witness sentinel. A send failure
+    // here is not fatal to the attempt: the likely cause is the DUT
+    // crashing on an earlier message (closing the socket under us), and
+    // the crash will surface as a clean EOF in the collection loop below.
+    // Genuine transport damage surfaces there too, as an error.
     let mut send_error = None;
     for m in msgs {
         if let Err(e) = ch.send_frame(m) {
@@ -145,7 +151,7 @@ fn attempt_once(
         }
     }
     if send_error.is_none() {
-        if let Err(e) = ch.send_frame(&frame(msg_type::BARRIER_REQUEST, BARRIER_XID, &[])) {
+        if let Err(e) = ch.send_frame(&dialect.end_sentinel()) {
             send_error = Some(e);
         }
     }
@@ -163,20 +169,16 @@ fn attempt_once(
             // Clean EOF at a frame boundary: the DUT's control channel
             // died mid-witness — the wire-observable form of a crash.
             Ok(RecvEvent::Closed) => return Ok((true, tokens)),
-            Ok(RecvEvent::Frame(f)) => match frame_type(&f) {
+            Ok(RecvEvent::Frame(f)) => match dialect.classify_rx(&f) {
                 // Session chatter, not behavior.
-                t if t == msg_type::HELLO => {}
+                WireRx::Ignore => {}
                 // The DUT probing *our* liveness: answer, don't record.
-                t if t == msg_type::ECHO_REQUEST => {
-                    let _ = ch.send_frame(&handshake::echo_reply_for(&f));
+                WireRx::Answer(reply) => {
+                    let _ = ch.send_frame(&reply);
                 }
-                // Replies to our own keepalives, correlated by xid so
-                // fault-injected reordering cannot misfile them.
-                t if t == msg_type::ECHO_REPLY && is_harness_xid(frame_xid(&f)) => {}
-                t if t == msg_type::BARRIER_REPLY && frame_xid(&f) == BARRIER_XID => {
-                    return Ok((false, tokens));
-                }
-                _ => tokens.push(crate::frames::frame_token(&f)),
+                // The sentinel reply: collection is complete.
+                WireRx::End => return Ok((false, tokens)),
+                WireRx::Observe => tokens.push(dialect.frame_token(&f)),
             },
         }
     }

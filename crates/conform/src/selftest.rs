@@ -15,10 +15,12 @@
 //!    robustness property: any fault schedule that eventually lets
 //!    traffic through must not change verdicts.
 
-use crate::classifier::{kind_for_id, run_conform, ConformReport, Verdict};
+use crate::classifier::{agent_for_id, run_conform_with, ConformReport, Verdict};
 use crate::loopback::LoopbackDut;
 use crate::replayer::ReplayConfig;
 use crate::transport::{Connector, FaultyConnector, TcpConnector};
+use soft_agents::OF10;
+use soft_protocol::Protocol;
 use soft_witness::Corpus;
 use std::time::Duration;
 
@@ -70,15 +72,27 @@ fn check_side(
     discriminating
 }
 
-/// Run the full self-test: clean classification of both agents, then
-/// fingerprint-identical re-runs under each fault seed.
+/// Run the full self-test with the corpus agents resolved against the
+/// OpenFlow 1.0 protocol (original entry point).
 pub fn loopback_self_test(
     corpus: &Corpus,
     fault_seeds: &[u64],
     cfg: &ReplayConfig,
 ) -> Result<SelfTestReport, String> {
-    let kind_a = kind_for_id(&corpus.agent_a)?;
-    let kind_b = kind_for_id(&corpus.agent_b)?;
+    loopback_self_test_with(&OF10, corpus, fault_seeds, cfg)
+}
+
+/// Run the full self-test: clean classification of both agents, then
+/// fingerprint-identical re-runs under each fault seed. Agents and the
+/// wire dialect come from `proto`.
+pub fn loopback_self_test_with(
+    proto: &'static dyn Protocol,
+    corpus: &Corpus,
+    fault_seeds: &[u64],
+    cfg: &ReplayConfig,
+) -> Result<SelfTestReport, String> {
+    let kind_a = agent_for_id(proto, &corpus.agent_a)?;
+    let kind_b = agent_for_id(proto, &corpus.agent_b)?;
     let mut summary = Vec::new();
     let mut failures = Vec::new();
 
@@ -89,7 +103,7 @@ pub fn loopback_self_test(
     ] {
         let dut = LoopbackDut::spawn(kind).map_err(|e| format!("spawn {side} loopback: {e}"))?;
         let mut conn = TcpConnector::new(dut.addr(), Duration::from_secs(2));
-        let clean = run_conform(corpus, &mut conn, cfg)?;
+        let clean = run_conform_with(proto, corpus, &mut conn, cfg)?;
         let discriminating = check_side(&clean, side, want.clone(), &mut failures);
         if discriminating == 0 {
             failures.push(format!(
@@ -106,8 +120,8 @@ pub fn loopback_self_test(
         for &seed in fault_seeds {
             let inner: Box<dyn Connector> =
                 Box::new(TcpConnector::new(dut.addr(), Duration::from_secs(2)));
-            let mut faulty = FaultyConnector::new(inner, seed);
-            let faulted = run_conform(corpus, &mut faulty, cfg)?;
+            let mut faulty = FaultyConnector::with_dialect(inner, seed, proto.dialect());
+            let faulted = run_conform_with(proto, corpus, &mut faulty, cfg)?;
             if faulted.verdict_fingerprint() != clean.verdict_fingerprint() {
                 failures.push(format!(
                     "fault seed {seed:#x} changed verdicts against the {side} loopback:\n\

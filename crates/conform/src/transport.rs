@@ -19,9 +19,8 @@
 //!   *closing its control channel*, the wire-observable form of a crash,
 //!   and it is part of the observation.
 
-use crate::handshake::is_harness_xid;
-use soft_openflow::consts::msg_type;
-use soft_openflow::decode::{frame_type, frame_xid, FrameDecoder};
+use soft_agents::of10::OF10_DIALECT;
+use soft_protocol::{FrameBuffer, FrameEvent, FrameIo, WireDialect};
 use soft_witness::SplitMix64;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -121,24 +120,41 @@ pub enum RecvEvent {
     Closed,
 }
 
-/// Frame-level view of a [`Wire`]: incremental reassembly plus a
-/// per-operation deadline.
+/// Frame-level view of a [`Wire`]: incremental reassembly under the
+/// protocol's framing rule plus a per-operation deadline.
 pub struct Channel {
     wire: Box<dyn Wire>,
-    dec: FrameDecoder,
+    dialect: &'static dyn WireDialect,
+    buf: FrameBuffer,
     op_timeout: Duration,
     eof: bool,
 }
 
 impl Channel {
-    /// Wrap `wire`; every frame-level operation gets `op_timeout`.
+    /// Wrap `wire` with OpenFlow 1.0 framing; every frame-level operation
+    /// gets `op_timeout`.
     pub fn new(wire: Box<dyn Wire>, op_timeout: Duration) -> Channel {
+        Channel::with_dialect(wire, op_timeout, &OF10_DIALECT)
+    }
+
+    /// Wrap `wire` with an explicit protocol dialect.
+    pub fn with_dialect(
+        wire: Box<dyn Wire>,
+        op_timeout: Duration,
+        dialect: &'static dyn WireDialect,
+    ) -> Channel {
         Channel {
             wire,
-            dec: FrameDecoder::new(),
+            dialect,
+            buf: FrameBuffer::new(),
             op_timeout,
             eof: false,
         }
+    }
+
+    /// The dialect framing this channel.
+    pub fn dialect(&self) -> &'static dyn WireDialect {
+        self.dialect
     }
 
     /// Send one pre-encoded frame.
@@ -153,11 +169,11 @@ impl Channel {
         let deadline = Instant::now() + self.op_timeout;
         let mut buf = [0u8; 4096];
         loop {
-            if let Some(f) = self.dec.next_frame().map_err(|e| e.to_string())? {
+            if let Some(f) = self.buf.next_frame(self.dialect)? {
                 return Ok(RecvEvent::Frame(f));
             }
             if self.eof {
-                return if self.dec.mid_frame() {
+                return if self.buf.mid_frame() {
                     Err("peer closed mid-frame (torn frame)".to_string())
                 } else {
                     Ok(RecvEvent::Closed)
@@ -171,11 +187,24 @@ impl Channel {
             }
             match self.wire.recv(&mut buf) {
                 Ok(0) => self.eof = true,
-                Ok(n) => self.dec.push(&buf[..n]),
+                Ok(n) => self.buf.push(&buf[..n]),
                 Err(e) if is_poll_timeout(&e) => {}
                 Err(e) => return Err(format!("recv: {e}")),
             }
         }
+    }
+}
+
+impl FrameIo for Channel {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), String> {
+        Channel::send_frame(self, frame)
+    }
+
+    fn recv_frame(&mut self) -> Result<FrameEvent, String> {
+        Ok(match Channel::recv_frame(self)? {
+            RecvEvent::Frame(f) => FrameEvent::Frame(f),
+            RecvEvent::Closed => FrameEvent::Closed,
+        })
     }
 }
 
@@ -214,16 +243,29 @@ pub const MAX_CONSECUTIVE_BREAKING: u32 = 2;
 /// seeded by splitmix64: same seed, same fault schedule, same verdicts.
 pub struct FaultyConnector {
     inner: Box<dyn Connector>,
+    dialect: &'static dyn WireDialect,
     rng: SplitMix64,
     seed: u64,
     consecutive_breaking: u32,
 }
 
 impl FaultyConnector {
-    /// Wrap `inner` with the fault schedule derived from `seed`.
+    /// Wrap `inner` with the fault schedule derived from `seed`,
+    /// reordering under OpenFlow 1.0 framing.
     pub fn new(inner: Box<dyn Connector>, seed: u64) -> FaultyConnector {
+        FaultyConnector::with_dialect(inner, seed, &OF10_DIALECT)
+    }
+
+    /// As [`new`](Self::new) with an explicit protocol dialect (the
+    /// `DelayHarnessEcho` plan must frame and recognize keepalives).
+    pub fn with_dialect(
+        inner: Box<dyn Connector>,
+        seed: u64,
+        dialect: &'static dyn WireDialect,
+    ) -> FaultyConnector {
         FaultyConnector {
             inner,
+            dialect,
             rng: SplitMix64::new(seed),
             seed,
             consecutive_breaking: 0,
@@ -266,11 +308,12 @@ impl Connector for FaultyConnector {
         let inner = self.inner.connect()?;
         Ok(Box::new(FaultyWire {
             inner,
+            dialect: self.dialect,
             plan,
             chunk_rng: SplitMix64::new(self.rng.next_u64()),
             written: 0,
             reads_done: 0,
-            dec: FrameDecoder::new(),
+            buf: FrameBuffer::new(),
             ready: VecDeque::new(),
             held: None,
         }))
@@ -287,13 +330,14 @@ impl Connector for FaultyConnector {
 
 struct FaultyWire {
     inner: Box<dyn Wire>,
+    dialect: &'static dyn WireDialect,
     plan: FaultPlan,
     chunk_rng: SplitMix64,
     written: usize,
     reads_done: u32,
     // DelayHarnessEcho machinery: frames cleared for delivery, and the
     // keepalive echo reply currently held back.
-    dec: FrameDecoder,
+    buf: FrameBuffer,
     ready: VecDeque<u8>,
     held: Option<Vec<u8>>,
 }
@@ -326,7 +370,7 @@ impl FaultyWire {
                     }
                     // A torn trailing frame must still reach the caller's
                     // decoder so the EOF is classified as torn, not clean.
-                    let leftover = self.dec.take_buffered();
+                    let leftover = self.buf.take_buffered();
                     if !leftover.is_empty() {
                         self.ready.extend(leftover);
                         continue;
@@ -334,12 +378,11 @@ impl FaultyWire {
                     return Ok(0);
                 }
                 Ok(n) => {
-                    self.dec.push(&tmp[..n]);
+                    self.buf.push(&tmp[..n]);
                     loop {
-                        match self.dec.next_frame() {
+                        match self.buf.next_frame(self.dialect) {
                             Ok(Some(f)) => {
-                                let is_keepalive_echo = frame_type(&f) == msg_type::ECHO_REPLY
-                                    && is_harness_xid(frame_xid(&f));
+                                let is_keepalive_echo = self.dialect.is_keepalive_reply(&f);
                                 if is_keepalive_echo && self.held.is_none() {
                                     self.held = Some(f);
                                 } else {
@@ -353,7 +396,7 @@ impl FaultyWire {
                             Err(_) => {
                                 // Unframable stream: stop interfering and
                                 // pass the raw bytes through.
-                                self.ready.extend(self.dec.take_buffered());
+                                self.ready.extend(self.buf.take_buffered());
                                 break;
                             }
                         }
@@ -426,6 +469,7 @@ impl Wire for FaultyWire {
 mod tests {
     use super::*;
     use crate::handshake::{self, HARNESS_XID_BASE};
+    use soft_openflow::consts::msg_type;
 
     /// In-memory wire: scripted inbound bytes, captured outbound bytes.
     struct ScriptWire {
@@ -520,11 +564,12 @@ mod tests {
         joined.extend_from_slice(&err);
         let w = FaultyWire {
             inner: Box::new(ScriptWire::new(vec![joined])),
+            dialect: &OF10_DIALECT,
             plan: FaultPlan::DelayHarnessEcho,
             chunk_rng: SplitMix64::new(0),
             written: 0,
             reads_done: 0,
-            dec: FrameDecoder::new(),
+            buf: FrameBuffer::new(),
             ready: VecDeque::new(),
             held: None,
         };

@@ -12,7 +12,7 @@
 
 use crate::group::GroupedResults;
 use soft_harness::ObservedOutput;
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_smt::{Assignment, SatResult, Solver, SolverBudget, SolverStats, Term, VerdictCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -707,7 +707,7 @@ mod tests {
     use super::*;
     use crate::group::group_paths;
     use soft_harness::PathRecord;
-    use soft_openflow::TraceEvent;
+    use soft_protocol::TraceEvent;
     use soft_smt::Term;
 
     fn out(tag: u16) -> ObservedOutput {

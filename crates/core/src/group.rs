@@ -256,7 +256,7 @@ impl GroupBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soft_openflow::TraceEvent;
+    use soft_protocol::TraceEvent;
 
     fn path(var: &str, val: u64, out_code: u16) -> PathRecord {
         let cond = Term::var(var, 8).eq(Term::bv_const(8, val));

@@ -135,106 +135,3 @@ pub fn regression_check(
         queries: result.queries,
     }
 }
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::group::group_paths;
-    use crate::Soft;
-    use soft_agents::AgentKind;
-    use soft_harness::suite;
-
-    #[test]
-    fn same_version_is_clean() {
-        let soft = Soft::new();
-        let test = suite::queue_config();
-        let run = soft.phase1(AgentKind::Reference, &test);
-        let g1 = group_paths("v1", &run.test, &run.paths).expect("grouping");
-        let g2 = group_paths("v2", &run.test, &run.paths).expect("grouping");
-        let report = regression_check(&g1, &g2, &CrosscheckConfig::default());
-        assert!(report.is_clean(), "identical versions must be clean");
-    }
-
-    #[test]
-    fn condition_diff_identity_and_change() {
-        let soft = Soft::new();
-        let test = suite::packet_out();
-        let base = soft
-            .group(&soft.phase1(AgentKind::Reference, &test))
-            .expect("grouping");
-        let same = soft
-            .group(&soft.phase1(AgentKind::Reference, &test))
-            .expect("grouping");
-        // Identical runs: every group maps straight across, no solving.
-        let diff = condition_diff(&base, &same);
-        assert_eq!(diff.impacted, 0);
-        assert!(diff
-            .unchanged
-            .iter()
-            .enumerate()
-            .all(|(i, u)| *u == Some(i)));
-        assert_eq!(diff.baseline_to_current().len(), base.groups.len());
-        // A behaviourally different agent: some groups must be impacted.
-        let changed = soft
-            .group(&soft.phase1(AgentKind::Modified, &test))
-            .expect("grouping");
-        let diff = condition_diff(&base, &changed);
-        assert!(diff.impacted > 0, "mutated agent must impact some groups");
-    }
-
-    #[test]
-    fn modified_switch_regresses_against_reference() {
-        // The Modified Switch *is* a "new version" of the Reference Switch
-        // with behaviour changes; regression mode must flag them.
-        let soft = Soft::new();
-        let test = suite::packet_out();
-        let base = soft
-            .group(&soft.phase1(AgentKind::Reference, &test))
-            .expect("grouping");
-        let cur = soft
-            .group(&soft.phase1(AgentKind::Modified, &test))
-            .expect("grouping");
-        let report = regression_check(&base, &cur, &CrosscheckConfig::default());
-        assert!(!report.is_clean());
-        assert!(
-            !report.shifts.is_empty(),
-            "behaviour shifts must carry witnesses"
-        );
-        // The flood-ingress mutation changes an output class.
-        assert!(
-            !report.new_outputs.is_empty() || !report.removed_outputs.is_empty(),
-            "the mutations change the output-class inventory"
-        );
-    }
-
-    #[test]
-    fn consistent_test_stays_clean_across_agents() {
-        // Set Config behaves identically on Ref and OVS (Table 3: 0
-        // inconsistencies): as a pseudo-regression it must be clean on
-        // shifts, though output inventories can legitimately coincide.
-        let soft = Soft::new();
-        let test = suite::set_config();
-        let base = soft
-            .group(&soft.phase1(AgentKind::Reference, &test))
-            .expect("grouping");
-        let cur = soft
-            .group(&soft.phase1(AgentKind::OpenVSwitch, &test))
-            .expect("grouping");
-        let report = regression_check(&base, &cur, &CrosscheckConfig::default());
-        assert!(report.shifts.is_empty());
-        assert!(report.new_outputs.is_empty() && report.removed_outputs.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "different tests")]
-    fn mismatched_tests_rejected() {
-        let soft = Soft::new();
-        let a = soft
-            .group(&soft.phase1(AgentKind::Reference, &suite::queue_config()))
-            .expect("grouping");
-        let b = soft
-            .group(&soft.phase1(AgentKind::Reference, &suite::short_symb()))
-            .expect("grouping");
-        regression_check(&a, &b, &CrosscheckConfig::default());
-    }
-}

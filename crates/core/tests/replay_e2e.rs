@@ -1,0 +1,80 @@
+//! End-to-end replay validation: concretized witnesses must diverge and
+//! match their symbolic predictions (the "no false positives" property).
+
+use soft_agents::AgentKind;
+use soft_core::{replay, Soft};
+use soft_harness::suite;
+
+/// Replay every Packet Out inconsistency: all must diverge concretely
+/// and match their predictions — the "no false positives" property,
+/// checked end to end.
+#[test]
+fn packet_out_inconsistencies_replay_faithfully() {
+    let soft = Soft::new();
+    let test = suite::packet_out();
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
+    assert!(!pair.result.inconsistencies.is_empty());
+    for inc in &pair.result.inconsistencies {
+        let r = replay(&test, inc, AgentKind::Reference, AgentKind::OpenVSwitch);
+        assert!(
+            r.diverges(),
+            "replayed agents agreed — false positive?\n{:?}\nvs\n{:?}",
+            r.observed_a,
+            r.observed_b
+        );
+        assert!(
+            r.matches_prediction(),
+            "concrete behaviour deviates from the symbolic prediction:\n\
+             observed A {:?}\npredicted A {:?}\nobserved B {:?}\npredicted B {:?}",
+            r.observed_a,
+            r.predicted_a,
+            r.observed_b,
+            r.predicted_b
+        );
+    }
+}
+
+#[test]
+fn queue_config_crash_replays() {
+    let soft = Soft::new();
+    let test = suite::queue_config();
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
+    let crash_inc = pair
+        .result
+        .inconsistencies
+        .iter()
+        .find(|i| i.output_a.crashed)
+        .expect("crash inconsistency");
+    let r = replay(
+        &test,
+        crash_inc,
+        AgentKind::Reference,
+        AgentKind::OpenVSwitch,
+    );
+    assert!(
+        r.observed_a.crashed,
+        "the reference switch must crash on replay"
+    );
+    assert!(!r.observed_b.crashed);
+    assert!(r.diverges() && r.matches_prediction());
+}
+
+#[test]
+fn replay_rejects_mismatched_test() {
+    let soft = Soft::new();
+    let test = suite::queue_config();
+    let pair = soft
+        .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
+        .expect("pipeline");
+    if let Some(inc) = pair.result.inconsistencies.first() {
+        let other = suite::packet_out();
+        let result = std::panic::catch_unwind(|| {
+            replay(&other, inc, AgentKind::Reference, AgentKind::OpenVSwitch)
+        });
+        assert!(result.is_err(), "test-id mismatch must be rejected");
+    }
+}

@@ -2,16 +2,38 @@
 //!
 //! The router must compute the *same* content key a back-end will store
 //! an entry under — ring placement, duplicate coalescing, and replica
-//! lookup all hang off that key — so the agent registry, test lookup,
-//! and fingerprint computation live here, in the one crate both sides
-//! depend on.
+//! lookup all hang off that key — so the protocol registry, agent and
+//! test lookup, and fingerprint computation live here, in the one crate
+//! both sides depend on.
 
-use soft_agents::AgentKind;
+use soft_agents::{AgentKind, OF10};
 use soft_harness::journal::fnv64_hex;
 use soft_harness::proto::JobSpec;
-use soft_harness::{suite, TestCase};
+use soft_harness::TestCase;
+use soft_protocol::{AgentRef, Protocol};
+use soft_tlv::TLV;
 
-/// Parse an agent id as accepted on the wire and the CLI.
+/// Every protocol this build can serve. Adding a protocol is one entry
+/// here; job keys fold the protocol id, so entries of different
+/// protocols can never alias in the store.
+pub static PROTOCOLS: [&dyn Protocol; 2] = [&OF10, &TLV];
+
+/// Resolve a protocol id (`"of10"`, `"tlv"`) against the registry.
+pub fn protocol_by_id(id: &str) -> Option<&'static dyn Protocol> {
+    PROTOCOLS.iter().copied().find(|p| p.id() == id)
+}
+
+/// Resolve an agent name under `proto` to a handle.
+pub fn agent_by_name(proto: &'static dyn Protocol, name: &str) -> Option<AgentRef> {
+    proto.agent_id(name).map(|agent| AgentRef {
+        protocol: proto,
+        agent,
+    })
+}
+
+/// Parse an OpenFlow agent id as accepted on the wire and the CLI
+/// (OpenFlow compatibility path; the generic resolver is
+/// [`agent_by_name`]).
 pub fn parse_agent(s: &str) -> Option<AgentKind> {
     match s {
         "reference" | "ref" => Some(AgentKind::Reference),
@@ -22,32 +44,30 @@ pub fn parse_agent(s: &str) -> Option<AgentKind> {
     }
 }
 
-/// Look a test id up in the full suite (Table 1 + extensions + Table 5
-/// ablations).
+/// Look a test id up in the OpenFlow suite (OpenFlow compatibility
+/// path; generic callers go through [`Protocol::tests`]).
 pub fn find_test(id: &str) -> Option<TestCase> {
-    let mut tests = suite::table1_suite();
-    tests.push(suite::queue_config());
-    tests.push(suite::timeout_flow_mod());
-    tests.extend(suite::ablation::table5_suite());
-    tests.into_iter().find(|t| t.id == id)
+    OF10.find_test(id)
 }
 
 /// Fingerprint of an agent's current code, computed without any
 /// solving: the FNV hash of its complete coverage universe (every
 /// instruction-block and branch-site label) folded with the build-time
-/// source hash of the model-defining crates
-/// ([`soft_agents::BUILD_FINGERPRINT`]). The label set alone is not
+/// source hash of the model-defining crates (the protocol's
+/// [`Protocol::build_fingerprint`]). The label set alone is not
 /// enough — a change that flips a branch constant or an emitted output
 /// keeps every label while changing behaviour — so the build hash
 /// covers what the universe cannot see: an unchanged fingerprint
 /// certifies unchanged model *sources*, not just an unchanged label
 /// set.
-pub fn agent_fingerprint(agent: AgentKind) -> String {
-    fingerprint_with_build(soft_agents::BUILD_FINGERPRINT, agent)
+pub fn agent_fingerprint(agent: impl Into<AgentRef>) -> String {
+    let agent = agent.into();
+    fingerprint_with_build(agent.protocol.build_fingerprint(), agent)
 }
 
 /// [`agent_fingerprint`] under an explicit build hash (test seam).
-pub fn fingerprint_with_build(build: &str, agent: AgentKind) -> String {
+pub fn fingerprint_with_build(build: &str, agent: impl Into<AgentRef>) -> String {
+    let agent = agent.into();
     let u = agent.make().universe();
     let mut parts: Vec<&str> = vec!["agent", agent.id(), "build", build, "blocks"];
     parts.extend(u.blocks.iter().copied());
@@ -56,16 +76,18 @@ pub fn fingerprint_with_build(build: &str, agent: AgentKind) -> String {
     fnv64_hex(&parts)
 }
 
-/// A job spec validated against the suite and agent registry, with both
+/// A job spec validated against the protocol registry, with both
 /// fingerprints settled (client override wins; the override is what
 /// lets tests and remote clients declare "this agent changed").
 pub struct ResolvedJob {
     /// The validated spec, verbatim.
     pub spec: JobSpec,
+    /// The resolved protocol.
+    pub protocol: &'static dyn Protocol,
     /// Parsed agent A.
-    pub agent_a: AgentKind,
+    pub agent_a: AgentRef,
     /// Parsed agent B.
-    pub agent_b: AgentKind,
+    pub agent_b: AgentRef,
     /// The resolved test case.
     pub test: TestCase,
     /// Settled fingerprint of agent A.
@@ -76,11 +98,15 @@ pub struct ResolvedJob {
 
 /// Validate `spec` and settle its fingerprints.
 pub fn resolve(spec: JobSpec) -> Result<ResolvedJob, String> {
-    let agent_a =
-        parse_agent(&spec.agent_a).ok_or_else(|| format!("unknown agent '{}'", spec.agent_a))?;
-    let agent_b =
-        parse_agent(&spec.agent_b).ok_or_else(|| format!("unknown agent '{}'", spec.agent_b))?;
-    let test = find_test(&spec.test).ok_or_else(|| format!("unknown test '{}'", spec.test))?;
+    let protocol = protocol_by_id(&spec.protocol)
+        .ok_or_else(|| format!("unknown protocol '{}'", spec.protocol))?;
+    let agent_a = agent_by_name(protocol, &spec.agent_a)
+        .ok_or_else(|| format!("unknown agent '{}'", spec.agent_a))?;
+    let agent_b = agent_by_name(protocol, &spec.agent_b)
+        .ok_or_else(|| format!("unknown agent '{}'", spec.agent_b))?;
+    let test = protocol
+        .find_test(&spec.test)
+        .ok_or_else(|| format!("unknown test '{}'", spec.test))?;
     let fp_a = spec
         .fp_a
         .clone()
@@ -91,6 +117,7 @@ pub fn resolve(spec: JobSpec) -> Result<ResolvedJob, String> {
         .unwrap_or_else(|| agent_fingerprint(agent_b));
     Ok(ResolvedJob {
         spec,
+        protocol,
         agent_a,
         agent_b,
         test,
@@ -136,8 +163,25 @@ mod tests {
     }
 
     #[test]
-    fn resolve_validates_agents_and_tests() {
-        let spec = |a: &str, b: &str, t: &str| JobSpec {
+    fn registry_resolves_both_protocols() {
+        assert_eq!(protocol_by_id("of10").unwrap().id(), "of10");
+        assert_eq!(protocol_by_id("tlv").unwrap().id(), "tlv");
+        assert!(protocol_by_id("of99").is_none());
+        let strict = agent_by_name(&TLV, "strict").unwrap();
+        assert_eq!(strict.id(), "strict");
+        assert_eq!(strict.protocol.id(), "tlv");
+        assert!(agent_by_name(&TLV, "reference").is_none());
+        // Same-named agents under different protocols would still get
+        // distinct fingerprints: the protocol's build hash is folded in.
+        assert_ne!(
+            agent_fingerprint(strict),
+            agent_fingerprint(AgentKind::Reference)
+        );
+    }
+
+    fn spec(protocol: &str, a: &str, b: &str, t: &str) -> JobSpec {
+        JobSpec {
+            protocol: protocol.to_string(),
             agent_a: a.to_string(),
             agent_b: b.to_string(),
             test: t.to_string(),
@@ -147,15 +191,31 @@ mod tests {
             retry_rungs: 0,
             fp_a: None,
             fp_b: None,
-        };
-        assert!(resolve(spec("reference", "ovs", "queue_config")).is_ok());
-        assert!(resolve(spec("nope", "ovs", "queue_config")).is_err());
-        assert!(resolve(spec("reference", "ovs", "no_such_test")).is_err());
+        }
+    }
+
+    #[test]
+    fn resolve_validates_agents_and_tests() {
+        assert!(resolve(spec("of10", "reference", "ovs", "queue_config")).is_ok());
+        assert!(resolve(spec("of10", "nope", "ovs", "queue_config")).is_err());
+        assert!(resolve(spec("of10", "reference", "ovs", "no_such_test")).is_err());
+        assert!(resolve(spec("bogus", "reference", "ovs", "queue_config")).is_err());
         // A fingerprint override wins over the computed fingerprint.
-        let mut s = spec("reference", "ovs", "queue_config");
+        let mut s = spec("of10", "reference", "ovs", "queue_config");
         s.fp_a = Some("deadbeefdeadbeef".to_string());
         let rj = resolve(s).unwrap();
         assert_eq!(rj.fp_a, "deadbeefdeadbeef");
         assert_eq!(rj.fp_b, agent_fingerprint(AgentKind::OpenVSwitch));
+    }
+
+    #[test]
+    fn resolve_is_protocol_scoped() {
+        let rj = resolve(spec("tlv", "strict", "lenient", "echo")).expect("tlv job");
+        assert_eq!(rj.protocol.id(), "tlv");
+        assert_eq!(rj.agent_a.id(), "strict");
+        // OpenFlow agents and tests do not leak into the TLV namespace.
+        assert!(resolve(spec("tlv", "reference", "ovs", "echo")).is_err());
+        assert!(resolve(spec("tlv", "strict", "lenient", "queue_config")).is_err());
+        assert!(resolve(spec("of10", "strict", "lenient", "queue_config")).is_err());
     }
 }

@@ -1,61 +1,6 @@
-//! Test inputs: sequences of control messages and probe packets.
+//! Test inputs and test cases.
+//!
+//! The definitions are protocol-generic and live in `soft-protocol`;
+//! this module re-exports them under their historical harness paths.
 
-use soft_dataplane::Packet;
-use soft_sym::SymBuf;
-
-/// One element of a test input sequence.
-#[derive(Debug, Clone)]
-pub enum Input {
-    /// An OpenFlow control message (possibly symbolic) from the emulated
-    /// controller.
-    Message(SymBuf),
-    /// A data-plane packet injected as a state probe (§3.3).
-    Probe {
-        /// Ingress port the probe arrives on.
-        in_port: u16,
-        /// The probe packet.
-        packet: Packet,
-    },
-    /// Advance the agent's virtual clock (the time extension implementing
-    /// the paper's future work; enables timer-dependent behaviour).
-    AdvanceTime {
-        /// New time, seconds since connection setup.
-        now: u16,
-    },
-}
-
-/// A named test: an input sequence fed to an agent under symbolic
-/// execution.
-#[derive(Debug, Clone)]
-pub struct TestCase {
-    /// Stable identifier (used in result files and bench output).
-    pub id: &'static str,
-    /// Human-readable name as printed in the paper's tables.
-    pub name: &'static str,
-    /// What the test exercises (the "Description" column of Table 1).
-    pub description: &'static str,
-    /// The input sequence.
-    pub inputs: Vec<Input>,
-    /// Number of OpenFlow messages (the "Message count" column of
-    /// Table 2 counts messages and probes).
-    pub message_count: usize,
-}
-
-impl TestCase {
-    /// Construct a test case; `message_count` is derived from the inputs.
-    pub fn new(
-        id: &'static str,
-        name: &'static str,
-        description: &'static str,
-        inputs: Vec<Input>,
-    ) -> TestCase {
-        let message_count = inputs.len();
-        TestCase {
-            id,
-            name,
-            description,
-            inputs,
-            message_count,
-        }
-    }
-}
+pub use soft_protocol::{Input, TestCase};

@@ -23,8 +23,7 @@ use crate::input::TestCase;
 use crate::json::{self, Json};
 use crate::runner::{agent_program, degraded_run, summarize, TestRun};
 use crate::wire::EventFile;
-use soft_agents::AgentKind;
-use soft_openflow::normalize_trace;
+use soft_protocol::{normalize_trace, AgentRef};
 use soft_smt::{Assignment, SatResult, SolverBudget};
 use soft_sym::{
     explore_fn_seeded, ExplorerConfig, PathOutcome, PathResult, PathSink, ResumeSeed, SeedPending,
@@ -506,7 +505,12 @@ pub struct DurableRun<'a> {
 /// interner indices differ across processes. `workers` is deliberately
 /// excluded: resuming with a different `--jobs` is supported and produces
 /// identical artifacts.
-pub fn phase1_fingerprint(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> String {
+pub fn phase1_fingerprint(
+    agent: impl Into<AgentRef>,
+    test: &TestCase,
+    cfg: &ExplorerConfig,
+) -> String {
+    let agent = agent.into();
     fnv64_hex(&[
         "phase1",
         agent.id(),
@@ -519,7 +523,7 @@ pub fn phase1_fingerprint(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfi
     ])
 }
 
-fn phase1_header(agent: AgentKind, test: &TestCase, fingerprint: &str) -> Json {
+fn phase1_header(agent: AgentRef, test: &TestCase, fingerprint: &str) -> Json {
     Json::Object(vec![
         ("format".to_string(), Json::UInt(1)),
         ("kind".to_string(), Json::Str("phase1".to_string())),
@@ -586,7 +590,7 @@ fn outcome_tag(outcome: &PathOutcome) -> &'static str {
 /// per-path serialization cost — small. Session journals tag each record
 /// with the (agent, test) unit it belongs to; phase-1 journals hold one
 /// unit and carry no tag.
-fn output_record(unit: Option<u64>, oid: u64, events: &[soft_openflow::TraceEvent]) -> Json {
+fn output_record(unit: Option<u64>, oid: u64, events: &[soft_protocol::TraceEvent]) -> Json {
     let mut fields = vec![("rec".to_string(), Json::Str("output".to_string()))];
     if let Some(u) = unit {
         fields.push(("unit".to_string(), Json::UInt(u)));
@@ -621,7 +625,7 @@ fn parse_output_record(v: &Json) -> Result<(u64, Vec<EventFile>), String> {
 fn path_record(
     unit: Option<u64>,
     origin: &[bool],
-    result: &PathResult<soft_openflow::TraceEvent>,
+    result: &PathResult<soft_protocol::TraceEvent>,
     pending: &[(Vec<bool>, &str)],
     oid: Option<u64>,
 ) -> Json {
@@ -732,7 +736,7 @@ fn build_seed(recorded: &BTreeMap<Vec<bool>, RecordedPath>) -> ResumeSeed {
 /// identity, so hashing is cheap and process-local) to its output id.
 struct SinkState {
     writer: JournalWriter,
-    outputs: HashMap<Vec<soft_openflow::TraceEvent>, u64>,
+    outputs: HashMap<Vec<soft_protocol::TraceEvent>, u64>,
     next_oid: u64,
 }
 
@@ -780,7 +784,7 @@ impl SharedSink {
         &self,
         unit: Option<u64>,
         origin: &[bool],
-        result: &PathResult<soft_openflow::TraceEvent>,
+        result: &PathResult<soft_protocol::TraceEvent>,
         pending: &[(Vec<bool>, &str)],
     ) {
         let events = match result.outcome {
@@ -825,11 +829,11 @@ struct RecordSink<'a> {
     unit: Option<u64>,
 }
 
-impl PathSink<soft_openflow::TraceEvent> for RecordSink<'_> {
+impl PathSink<soft_protocol::TraceEvent> for RecordSink<'_> {
     fn on_path(
         &self,
         origin: &[bool],
-        result: &PathResult<soft_openflow::TraceEvent>,
+        result: &PathResult<soft_protocol::TraceEvent>,
         pending: &[(Vec<bool>, &str)],
     ) {
         self.shared.append_path(self.unit, origin, result, pending);
@@ -842,12 +846,12 @@ impl PathSink<soft_openflow::TraceEvent> for RecordSink<'_> {
 /// — resuming would fabricate artifacts, so it is a hard error.
 fn validate_replay(
     recorded: &BTreeMap<Vec<bool>, RecordedPath>,
-    paths: &[PathResult<soft_openflow::TraceEvent>],
+    paths: &[PathResult<soft_protocol::TraceEvent>],
 ) -> Result<(), JournalError> {
     if recorded.is_empty() {
         return Ok(());
     }
-    let by_decisions: BTreeMap<&[bool], &PathResult<soft_openflow::TraceEvent>> =
+    let by_decisions: BTreeMap<&[bool], &PathResult<soft_protocol::TraceEvent>> =
         paths.iter().map(|p| (p.decisions.as_slice(), p)).collect();
     for (decisions, rec) in recorded {
         let bits: String = decisions
@@ -916,11 +920,12 @@ fn check_resumable(cfg: &ExplorerConfig) -> Result<(), JournalError> {
 /// byte-identical (modulo wall time) to an uninterrupted run at any
 /// worker count.
 pub fn run_test_durable(
-    agent: AgentKind,
+    agent: impl Into<AgentRef>,
     test: &TestCase,
     cfg: &ExplorerConfig,
     opts: &DurableRun<'_>,
 ) -> Result<TestRun, JournalError> {
+    let agent = agent.into();
     check_resumable(cfg)?;
     let fp = phase1_fingerprint(agent, test, cfg);
     let header = phase1_header(agent, test, &fp);
@@ -986,8 +991,8 @@ pub fn run_test_durable(
 /// to a path) and its own resumability. Engine panics degrade the
 /// combination exactly as the plain matrix does; journal errors are
 /// reported per combination so one damaged journal cannot sink the rest.
-pub fn run_matrix_durable(
-    agents: &[AgentKind],
+pub fn run_matrix_durable<A: Into<AgentRef> + Copy>(
+    agents: &[A],
     tests: &[TestCase],
     cfg: &ExplorerConfig,
     jobs: usize,
@@ -995,11 +1000,11 @@ pub fn run_matrix_durable(
     resume: bool,
     fsync: bool,
 ) -> Vec<Result<TestRun, JournalError>> {
-    let combos: Vec<(AgentKind, &TestCase)> = agents
+    let combos: Vec<(AgentRef, &TestCase)> = agents
         .iter()
-        .flat_map(|a| tests.iter().map(move |t| (*a, t)))
+        .flat_map(|a| tests.iter().map(move |t| ((*a).into(), t)))
         .collect();
-    let run_one = |a: AgentKind, t: &TestCase| -> Result<TestRun, JournalError> {
+    let run_one = |a: AgentRef, t: &TestCase| -> Result<TestRun, JournalError> {
         let path = journal_for(a.id(), t.id);
         let opts = DurableRun {
             journal: &path,
@@ -1215,13 +1220,14 @@ impl CheckJournal {
 /// identity (the session produces the artifacts); replay validation
 /// guards against the agents or tests changing under the journal.
 pub fn session_fingerprint(
-    agent_a: AgentKind,
-    agent_b: AgentKind,
+    agent_a: impl Into<AgentRef>,
+    agent_b: impl Into<AgentRef>,
     tests: &[TestCase],
     cfg: &ExplorerConfig,
     check_settings: &str,
     distill_settings: &str,
 ) -> String {
+    let (agent_a, agent_b) = (agent_a.into(), agent_b.into());
     let mut parts: Vec<String> = vec![
         "session".to_string(),
         agent_a.id().to_string(),
@@ -1270,7 +1276,7 @@ impl UnitRecovery {
     /// would fabricate artifacts.
     pub fn validate(
         &self,
-        paths: &[PathResult<soft_openflow::TraceEvent>],
+        paths: &[PathResult<soft_protocol::TraceEvent>],
     ) -> Result<(), JournalError> {
         validate_replay(&self.recorded, paths)
     }
@@ -1475,11 +1481,11 @@ pub struct SessionUnitSink<'a> {
     inner: RecordSink<'a>,
 }
 
-impl PathSink<soft_openflow::TraceEvent> for SessionUnitSink<'_> {
+impl PathSink<soft_protocol::TraceEvent> for SessionUnitSink<'_> {
     fn on_path(
         &self,
         origin: &[bool],
-        result: &PathResult<soft_openflow::TraceEvent>,
+        result: &PathResult<soft_protocol::TraceEvent>,
         pending: &[(Vec<bool>, &str)],
     ) {
         self.inner.on_path(origin, result, pending);
@@ -1494,12 +1500,13 @@ impl PathSink<soft_openflow::TraceEvent> for SessionUnitSink<'_> {
 /// wall time) to [`run_test_durable`] for the same unit at any worker
 /// count.
 pub fn run_unit_durable(
-    agent: AgentKind,
+    agent: impl Into<AgentRef>,
     test: &TestCase,
     cfg: &ExplorerConfig,
     recovery: &UnitRecovery,
-    sink: &dyn PathSink<soft_openflow::TraceEvent>,
+    sink: &dyn PathSink<soft_protocol::TraceEvent>,
 ) -> Result<TestRun, JournalError> {
+    let agent = agent.into();
     check_resumable(cfg)?;
     let seed = recovery.seed();
     let ex = explore_fn_seeded(cfg, agent_program(agent, test), Some(&seed), Some(sink));
@@ -1511,6 +1518,7 @@ pub fn run_unit_durable(
 mod tests {
     use super::*;
     use crate::suite;
+    use soft_agents::AgentKind;
 
     fn temp_path(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("soft_journal_{}_{}", std::process::id(), name))
@@ -1937,7 +1945,7 @@ mod tests {
         let sink = j.unit_sink(0);
         let ex = explore_fn_seeded(
             &cfg,
-            agent_program(AgentKind::Reference, test),
+            agent_program(AgentKind::Reference.into(), test),
             None,
             Some(&sink),
         );

@@ -17,7 +17,7 @@ pub mod proto;
 pub mod recorded;
 pub mod runner;
 pub mod store;
-pub mod suite;
+pub use soft_agents::suite;
 pub mod wire;
 
 pub use input::{Input, TestCase};

@@ -174,6 +174,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
 /// (or a test) declare "this agent changed" without shipping code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
+    /// Protocol id the agents belong to (e.g. `of10`, `tlv`). Folded
+    /// into store keys so same-named jobs of different protocols can
+    /// never alias.
+    pub protocol: String,
     /// First agent id (e.g. `reference`).
     pub agent_a: String,
     /// Second agent id (e.g. `ovs`).
@@ -200,6 +204,7 @@ impl JobSpec {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("type".to_string(), Json::Str("job".to_string())),
+            ("protocol".to_string(), Json::Str(self.protocol.clone())),
             ("agent_a".to_string(), Json::Str(self.agent_a.clone())),
             ("agent_b".to_string(), Json::Str(self.agent_b.clone())),
             ("test".to_string(), Json::Str(self.test.clone())),
@@ -234,6 +239,9 @@ impl JobSpec {
             }
         };
         Ok(JobSpec {
+            // Pre-protocol-abstraction clients do not send the field;
+            // their jobs are OpenFlow 1.0 by construction.
+            protocol: opt_str("protocol")?.unwrap_or_else(|| "of10".to_string()),
             agent_a: v.field("agent_a")?.as_str()?.to_string(),
             agent_b: v.field("agent_b")?.as_str()?.to_string(),
             test: v.field("test")?.as_str()?.to_string(),
@@ -397,6 +405,7 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         let spec = JobSpec {
+            protocol: "of10".to_string(),
             agent_a: "reference".to_string(),
             agent_b: "ovs".to_string(),
             test: "queue_config".to_string(),
@@ -835,6 +844,7 @@ mod tests {
     #[test]
     fn budget_strings_are_injective() {
         let mut spec = JobSpec {
+            protocol: "of10".to_string(),
             agent_a: String::new(),
             agent_b: String::new(),
             test: String::new(),

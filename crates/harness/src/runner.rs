@@ -8,8 +8,7 @@
 //! are part of the observed output (externally, the TCP connection dies).
 
 use crate::input::{Input, TestCase};
-use soft_agents::AgentKind;
-use soft_openflow::{normalize_trace, TraceEvent};
+use soft_protocol::{normalize_trace, AgentRef, TraceEvent};
 use soft_sym::{
     explore_fn, Coverage, ExecCtx, Exploration, ExplorationStats, ExplorerConfig, PathOutcome,
     RunEnd,
@@ -100,7 +99,8 @@ impl TestRun {
 /// ordered by decision prefix for *every* worker count, so the produced
 /// [`TestRun`] (and any artifact serialized from it) is identical whether
 /// the exploration ran on one thread or many.
-pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
+pub fn run_test(agent: impl Into<AgentRef>, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
+    let agent = agent.into();
     let ex: Exploration<TraceEvent> = explore_fn(cfg, agent_program(agent, test));
     summarize(agent, test, ex)
 }
@@ -109,7 +109,7 @@ pub fn run_test(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> Test
 /// then the test's input sequence with probe-drop detection. Shared by
 /// the plain and the journaled (durable) drivers.
 pub(crate) fn agent_program(
-    agent: AgentKind,
+    agent: AgentRef,
     test: &TestCase,
 ) -> impl Fn(&mut ExecCtx<'_, TraceEvent>) -> RunEnd + Sync + '_ {
     move |ctx| {
@@ -142,15 +142,15 @@ pub(crate) fn agent_program(
 /// cache), and the results come back in agent-major, test-minor order no
 /// matter how many threads ran them, so `jobs = N` output equals
 /// `jobs = 1` output exactly.
-pub fn run_matrix(
-    agents: &[AgentKind],
+pub fn run_matrix<A: Into<AgentRef> + Copy>(
+    agents: &[A],
     tests: &[TestCase],
     cfg: &ExplorerConfig,
     jobs: usize,
 ) -> Vec<TestRun> {
-    let combos: Vec<(AgentKind, &TestCase)> = agents
+    let combos: Vec<(AgentRef, &TestCase)> = agents
         .iter()
-        .flat_map(|a| tests.iter().map(move |t| (*a, t)))
+        .flat_map(|a| tests.iter().map(move |t| ((*a).into(), t)))
         .collect();
     if jobs <= 1 {
         return combos
@@ -191,14 +191,14 @@ pub fn run_matrix(
 /// matrix must still complete and say so — the combination degrades to an
 /// empty, truncated [`TestRun`] with `engine_panics` set, never to a
 /// process abort that discards every other combination.
-fn run_test_contained(agent: AgentKind, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
+fn run_test_contained(agent: AgentRef, test: &TestCase, cfg: &ExplorerConfig) -> TestRun {
     std::panic::catch_unwind(AssertUnwindSafe(|| run_test(agent, test, cfg)))
         .unwrap_or_else(|_| degraded_run(agent, test))
 }
 
 /// Placeholder result for a combination whose exploration engine panicked:
 /// no paths, flagged truncated, one engine panic on record.
-pub(crate) fn degraded_run(agent: AgentKind, test: &TestCase) -> TestRun {
+pub(crate) fn degraded_run(agent: AgentRef, test: &TestCase) -> TestRun {
     TestRun {
         agent: agent.id().to_string(),
         test: test.id.to_string(),
@@ -238,7 +238,7 @@ pub fn record_path(p: &soft_sym::PathResult<TraceEvent>) -> Option<PathRecord> {
     })
 }
 
-pub(crate) fn summarize(agent: AgentKind, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {
+pub(crate) fn summarize(agent: AgentRef, test: &TestCase, ex: Exploration<TraceEvent>) -> TestRun {
     let universe = agent.make().universe();
     let paths: Vec<PathRecord> = ex.paths.iter().filter_map(record_path).collect();
     TestRun {

@@ -41,6 +41,7 @@ use std::sync::Mutex;
 pub fn job_key(fp_a: &str, fp_b: &str, spec: &JobSpec) -> String {
     fnv64_hex(&[
         "job",
+        &spec.protocol,
         fp_a,
         fp_b,
         &spec.test,
@@ -58,6 +59,7 @@ pub fn job_key(fp_a: &str, fp_b: &str, spec: &JobSpec) -> String {
 pub fn logical_key(spec: &JobSpec) -> String {
     fnv64_hex(&[
         "logical",
+        &spec.protocol,
         &spec.agent_a,
         &spec.agent_b,
         &spec.test,
@@ -412,6 +414,7 @@ mod tests {
 
     fn spec() -> JobSpec {
         JobSpec {
+            protocol: "of10".to_string(),
             agent_a: "reference".to_string(),
             agent_b: "ovs".to_string(),
             test: "queue_config".to_string(),

@@ -9,7 +9,7 @@
 
 use crate::json::{self, Json};
 use crate::runner::{ObservedOutput, PathRecord, TestRun};
-use soft_openflow::TraceEvent;
+use soft_protocol::TraceEvent;
 use soft_smt::{sexpr, Term};
 use soft_sym::SymBuf;
 

@@ -1,8 +1,8 @@
 //! # soft-openflow — OpenFlow 1.0 protocol definitions
 //!
 //! Wire-level constants, struct layouts, symbolic test-message builders and
-//! the output trace-event model shared by the agents under test and the
-//! SOFT harness. The protocol version is 1.0, matching the two agents the
+//! parsing shared by the agents under test and the SOFT harness. (The
+//! protocol-generic output trace-event model lives in `soft-protocol`.) The protocol version is 1.0, matching the two agents the
 //! paper evaluates (the reference switch released with spec v1.0.0 and
 //! Open vSwitch 1.0.0).
 
@@ -14,6 +14,3 @@ pub mod consts;
 pub mod decode;
 pub mod layout;
 pub mod parse;
-pub mod trace;
-
-pub use trace::{normalize_trace, TraceEvent};

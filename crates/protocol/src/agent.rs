@@ -1,0 +1,51 @@
+//! The agent interface SOFT tests against.
+
+use crate::trace::TraceEvent;
+use soft_dataplane::Packet;
+use soft_sym::{CoverageUniverse, ExecCtx, SymBuf};
+
+/// The execution context type all agents run under.
+pub type Ctx<'e> = ExecCtx<'e, TraceEvent>;
+
+/// Result type for agent entry points.
+pub type AgentResult = soft_sym::RunEnd;
+
+/// An agent (protocol implementation) under test.
+///
+/// Implementations must be *deterministic*: all data-dependent control flow
+/// goes through `ctx.branch`, all outputs through `ctx.emit`. The harness
+/// constructs a fresh instance per explored path.
+pub trait Agent {
+    /// Implementation name (used in reports and result files).
+    fn name(&self) -> &'static str;
+
+    /// The agent's instrumentation universe (for coverage accounting).
+    fn universe(&self) -> CoverageUniverse;
+
+    /// Connection-establishment work (runs after transport setup, before
+    /// any test input). Covers the initialization code the paper measures
+    /// as the "No Message" baseline of Table 4.
+    fn on_connect(&mut self, ctx: &mut Ctx<'_>) -> AgentResult;
+
+    /// Process one control message.
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf) -> AgentResult;
+
+    /// Process one data-plane packet arriving on `in_port`. Protocols
+    /// without a data plane keep the default no-op.
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, in_port: u16, pkt: &Packet) -> AgentResult {
+        let _ = (ctx, in_port, pkt);
+        Ok(())
+    }
+
+    /// Advance the agent's virtual clock to `now` (seconds since
+    /// connection setup), firing any due timers (flow expiry).
+    ///
+    /// This implements the paper's stated future work ("we plan to extend
+    /// our approach to deal with time, e.g., similarly to MODIST"): with a
+    /// virtual clock the engine *can* trigger timers, making the
+    /// timeout-dependent injected modification (M2) observable.
+    fn handle_time(&mut self, ctx: &mut Ctx<'_>, now: u16) -> AgentResult {
+        let _ = (ctx, now);
+        Ok(())
+    }
+}

@@ -1,0 +1,169 @@
+//! The over-the-wire surface the conformance replayer is generic over.
+//!
+//! The replayer (`soft conform`) dials a device under test, performs the
+//! protocol's session bring-up, streams witness messages, and classifies
+//! the frames it observes. Everything protocol-specific in that loop —
+//! framing, the handshake script, which frames are chatter vs. behavior,
+//! the end-of-witness sentinel, and how a frame renders as a comparison
+//! token — lives behind [`WireDialect`]. The transport layers (TCP,
+//! loopback, the fault injector) stay protocol-blind.
+
+use crate::input::Input;
+use crate::trace::TraceEvent;
+
+/// Framing decision over a buffered byte prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameStep {
+    /// More bytes are needed before a framing decision can be made.
+    NeedMore,
+    /// The next complete frame occupies this many buffered bytes.
+    Frame(usize),
+    /// The stream cannot be framed (desynchronized); the connection must
+    /// be dropped rather than guessed at.
+    Invalid(String),
+}
+
+/// What a frame-level receive produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// One complete frame.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+}
+
+/// Frame-level IO the dialect's handshake script runs over. Implemented
+/// by the conformance transport's `Channel`; dialects never see sockets.
+pub trait FrameIo {
+    /// Send one pre-encoded frame.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), String>;
+    /// Receive the next complete frame (or a clean close).
+    fn recv_frame(&mut self) -> Result<FrameEvent, String>;
+}
+
+/// How the replayer should treat one received frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRx {
+    /// Session chatter, not behavior (e.g. a HELLO, a correlated
+    /// keepalive reply).
+    Ignore,
+    /// The peer probed our liveness: send this reply, record nothing.
+    Answer(Vec<u8>),
+    /// The end-of-witness sentinel reply: collection is complete.
+    End,
+    /// Witness-induced behavior: tokenize and record.
+    Observe,
+}
+
+/// A protocol's over-the-wire dialect.
+pub trait WireDialect: Sync {
+    /// The frame a server (device under test) sends on accept, before
+    /// reading anything — OpenFlow's unsolicited `HELLO`, for example.
+    /// Empty means the server speaks only when spoken to.
+    fn server_greeting(&self) -> Vec<u8>;
+
+    /// Framing decision over the currently buffered bytes.
+    fn frame_step(&self, buffered: &[u8]) -> FrameStep;
+
+    /// Canonical wire encoding of one trace event. `Ok(None)` for events
+    /// with no control-channel wire form (data-plane emissions). `Err` if
+    /// any field is still symbolic.
+    fn encode_event(&self, e: &TraceEvent) -> Result<Option<Vec<u8>>, String>;
+
+    /// Render one wire frame as a comparison token, ignoring exactly the
+    /// data trace normalization strips (transaction ids, buffer ids).
+    fn frame_token(&self, frame: &[u8]) -> String;
+
+    /// The token for an expected (in-process) event: canonical wire
+    /// encoding followed by the same tokenizer the observed side uses.
+    fn event_token(&self, e: &TraceEvent) -> Result<Option<String>, String> {
+        Ok(self.encode_event(e)?.map(|f| self.frame_token(&f)))
+    }
+
+    /// Run the client (controller) side of session bring-up.
+    fn client_handshake(&self, io: &mut dyn FrameIo) -> Result<(), String>;
+
+    /// The handshake as model inputs: what [`client_handshake`]
+    /// (WireDialect::client_handshake) sends, replayed in-process so
+    /// predicted signatures sit behind the same prelude the wire sees.
+    fn prelude_inputs(&self) -> Vec<Input>;
+
+    /// The end-of-witness sentinel request; its reply classifies as
+    /// [`WireRx::End`].
+    fn end_sentinel(&self) -> Vec<u8>;
+
+    /// Classify one received frame during witness collection.
+    fn classify_rx(&self, frame: &[u8]) -> WireRx;
+
+    /// True if `msg` can be framed on a control channel exactly as the
+    /// in-process model consumed it (a stream peer re-derives boundaries
+    /// from the frame alone).
+    fn wire_framable(&self, msg: &[u8]) -> bool;
+
+    /// True if `frame` is a reply to a harness keepalive — the one frame
+    /// class the fault injector's reorder plan may legally delay.
+    fn is_keepalive_reply(&self, frame: &[u8]) -> bool {
+        let _ = frame;
+        false
+    }
+}
+
+/// Push-based frame reassembler over any [`WireDialect`]'s framing.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append raw stream bytes (whatever the last `read` produced).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame under `dialect`'s framing. `Ok(None)`
+    /// means more bytes are needed.
+    pub fn next_frame(&mut self, dialect: &dyn WireDialect) -> Result<Option<Vec<u8>>, String> {
+        match dialect.frame_step(&self.buf) {
+            FrameStep::NeedMore => Ok(None),
+            FrameStep::Invalid(why) => Err(why),
+            FrameStep::Frame(n) => {
+                let rest = self.buf.split_off(n);
+                let frame = std::mem::replace(&mut self.buf, rest);
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// True if bytes of an incomplete frame are pending — an EOF here is
+    /// a torn frame, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Number of buffered (not yet framed) bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Abandon framing and recover the raw buffered bytes, leaving the
+    /// buffer empty.
+    pub fn take_buffered(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Assemble a signature string from tokens, mirroring the style of the
+/// crosscheck report: optional `crash:` prefix, tokens joined with `+`.
+pub fn render_signature(crashed: bool, tokens: &[String]) -> String {
+    let mut s = String::new();
+    if crashed {
+        s.push_str("crash:");
+    }
+    s.push_str(&tokens.join("+"));
+    s
+}

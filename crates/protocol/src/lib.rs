@@ -1,0 +1,40 @@
+//! # soft-protocol — the protocol abstraction under the interop kernel
+//!
+//! SOFT's kernel — symbolic exploration, output grouping, pairwise SMT
+//! crosscheck, and witness distillation — is implementation-pair-generic:
+//! nothing in it depends on *which* protocol the two agents speak. This
+//! crate is the seam that keeps it that way. It owns:
+//!
+//! - [`TraceEvent`]: the externally observable outputs agents emit, and
+//!   the normalization that strips spurious differences before grouping;
+//! - [`Input`] / [`TestCase`]: the input vocabulary test suites are
+//!   written in;
+//! - [`Agent`]: the deterministic model interface the explorer drives;
+//! - [`Protocol`]: everything the kernel must ask a protocol for —
+//!   agent construction, message field spans (ddmin and fuzzing), wire
+//!   codec round-trip validation (distillation), and the wire dialect;
+//! - [`AgentRef`]: a copyable (protocol, agent) handle the kernel passes
+//!   around instead of a protocol-specific enum;
+//! - [`WireDialect`]: the over-the-wire surface the conformance replayer
+//!   is generic over (framing, handshake, tokens, sentinels).
+//!
+//! Protocol implementations live in their own crates (`soft-agents` +
+//! `soft-openflow` for OpenFlow 1.0, `soft-tlv` for the TLV echo
+//! protocol) and depend on this one — never the other way around.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod dialect;
+mod input;
+mod proto;
+mod trace;
+
+pub use agent::{Agent, AgentResult, Ctx};
+pub use dialect::{
+    render_signature, FrameBuffer, FrameEvent, FrameIo, FrameStep, WireDialect, WireRx,
+};
+pub use input::{Input, TestCase};
+pub use proto::{AgentRef, Protocol};
+pub use trace::{normalize_trace, TraceEvent};

@@ -1,0 +1,115 @@
+//! The [`Protocol`] trait and the [`AgentRef`] handle.
+
+use crate::agent::Agent;
+use crate::dialect::WireDialect;
+use crate::input::TestCase;
+
+/// Everything the interop kernel must be able to ask a protocol for.
+///
+/// One `'static` instance per protocol (the registry hands out
+/// `&'static dyn Protocol`). The kernel — explorer, grouper, crosscheck,
+/// distillation, conformance replay — only ever goes through this trait
+/// (or through [`AgentRef`], which carries a pointer to it); protocol
+/// crates implement it and stay additive.
+pub trait Protocol: Sync {
+    /// Stable protocol identifier (`"of10"`, `"tlv"`). Folded into store
+    /// job keys and fingerprints so jobs of different protocols can never
+    /// alias.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable wire-format name used in diagnostics and corpus
+    /// entry reasons (`"OpenFlow 1.0"`). Part of the serialized corpus
+    /// bytes — changing it changes artifacts.
+    fn wire_name(&self) -> &'static str;
+
+    /// Canonical ids of every agent this protocol ships.
+    fn agent_ids(&self) -> &'static [&'static str];
+
+    /// Resolve an agent name (canonical id or accepted alias) to its
+    /// canonical interned id, or `None` for an unknown agent.
+    fn agent_id(&self, name: &str) -> Option<&'static str>;
+
+    /// Instantiate a fresh agent by canonical id.
+    fn make_agent(&self, id: &str) -> Option<Box<dyn Agent>>;
+
+    /// Build-time fingerprint of the model-defining sources. Folded into
+    /// agent fingerprints so a code change invalidates stored results
+    /// even when the coverage-label universe is unchanged.
+    fn build_fingerprint(&self) -> &'static str;
+
+    /// The test suite this protocol ships (exploration workloads).
+    fn tests(&self) -> Vec<TestCase>;
+
+    /// Exact partition of a concrete message into field byte spans, used
+    /// by ddmin's field-aware minimization pass and the neighborhood
+    /// fuzzer. Must cover the whole message; unknown layouts degrade to
+    /// whole-message or per-byte spans at the implementation's choice.
+    fn message_spans(&self, bytes: &[u8]) -> Vec<(usize, usize)>;
+
+    /// Wire-codec round-trip validation: true iff `bytes` parse as a
+    /// valid message of this protocol and re-serialize to the same bytes.
+    /// Distillation gates every witness on this.
+    fn roundtrips(&self, bytes: &[u8]) -> bool;
+
+    /// The message-type discriminator of a concrete message, if one
+    /// exists at this protocol's layout (OF 1.0: header byte 1; TLV: the
+    /// tag byte). Used for witness clustering features.
+    fn message_type(&self, bytes: &[u8]) -> Option<u8>;
+
+    /// The over-the-wire dialect for conformance replay.
+    fn dialect(&self) -> &'static dyn WireDialect;
+
+    /// Look a test id up in this protocol's suite.
+    fn find_test(&self, id: &str) -> Option<TestCase> {
+        self.tests().into_iter().find(|t| t.id == id)
+    }
+}
+
+/// A copyable handle naming one agent of one protocol.
+///
+/// This is what kernel APIs take instead of a protocol-specific enum;
+/// protocol crates provide `From` conversions (e.g.
+/// `AgentKind -> AgentRef`) so existing call sites keep passing their
+/// native enums.
+#[derive(Clone, Copy)]
+pub struct AgentRef {
+    /// The protocol this agent implements.
+    pub protocol: &'static dyn Protocol,
+    /// Canonical agent id (interned by the protocol).
+    pub agent: &'static str,
+}
+
+impl AgentRef {
+    /// Stable identifier used in result files.
+    pub fn id(&self) -> &'static str {
+        self.agent
+    }
+
+    /// Instantiate a fresh agent.
+    pub fn make(&self) -> Box<dyn Agent> {
+        self.protocol
+            .make_agent(self.agent)
+            .unwrap_or_else(|| panic!("agent '{}' not registered by its protocol", self.agent))
+    }
+}
+
+impl std::fmt::Debug for AgentRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AgentRef({}/{})", self.protocol.id(), self.agent)
+    }
+}
+
+impl PartialEq for AgentRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.protocol.id() == other.protocol.id() && self.agent == other.agent
+    }
+}
+
+impl Eq for AgentRef {}
+
+impl std::hash::Hash for AgentRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.protocol.id().hash(state);
+        self.agent.hash(state);
+    }
+}

@@ -11,7 +11,14 @@
 use soft_smt::Term;
 use soft_sym::SymBuf;
 
-/// One externally observable output of an OpenFlow agent.
+/// One externally observable output of an agent.
+///
+/// The variant set was born with OpenFlow 1.0 (hence `OfReply`), but the
+/// shapes are protocol-generic: an error indication, a data-bearing
+/// upcall, a typed reply with named header fields plus a body, and
+/// data-plane emissions. Protocols that need no data plane simply never
+/// emit the data-plane variants. The variant names are part of the
+/// serialized artifact format and must stay stable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TraceEvent {
     /// An OpenFlow error message sent to the controller.

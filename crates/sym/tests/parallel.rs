@@ -150,8 +150,8 @@ fn explore_fn_is_explore_canonically_sorted() {
     assert_eq!(snapshot(&plain), snapshot(&via_fn));
     // The ns timers are wall-clock, not results — zero them before
     // demanding identical solver statistics.
-    let mut plain_solver = plain.stats.solver.clone();
-    let mut via_fn_solver = via_fn.stats.solver.clone();
+    let mut plain_solver = plain.stats.solver;
+    let mut via_fn_solver = via_fn.stats.solver;
     plain_solver.bitblast_ns = 0;
     plain_solver.search_ns = 0;
     via_fn_solver.bitblast_ns = 0;

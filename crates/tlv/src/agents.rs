@@ -1,0 +1,402 @@
+//! The two TLV agent models under test.
+//!
+//! Both implement the same protocol skeleton — framing checks, a
+//! tag-dispatched handler set, a one-slot session register — and differ
+//! in exactly two seeded behaviors:
+//!
+//! - [`StrictTlv`] rejects zero-length values in the value-bearing
+//!   requests (`ECHO`, `SET`) with `error(SEMANTIC, 1)`.
+//! - [`LenientTlv`] accepts them, and silently truncates values longer
+//!   than [`VALUE_CAP`](crate::VALUE_CAP) bytes when echoing and storing.
+//!
+//! All data-dependent control flow goes through `ctx.branch` so the
+//! explorer enumerates both sides of every check; divergences surface as
+//! differing normalized traces on overlapping input subspaces, exactly
+//! like the OpenFlow pair.
+
+use crate::{etype, tag, HEADER_LEN, VALUE_CAP};
+use soft_protocol::{Agent, AgentResult, Ctx, TraceEvent};
+use soft_smt::Term;
+use soft_sym::{CoverageUniverse, SymBuf};
+
+fn emit_error(ctx: &mut Ctx<'_>, etype: u16, code: u16) {
+    ctx.emit(TraceEvent::Error {
+        xid: Term::bv_const(32, 0),
+        etype: Term::bv_const(16, etype as u64),
+        code: Term::bv_const(16, code as u64),
+    });
+}
+
+fn reply(ctx: &mut Ctx<'_>, reply_tag: u8, body: SymBuf) {
+    ctx.emit(TraceEvent::OfReply {
+        msg_type: reply_tag,
+        fields: vec![],
+        body,
+    });
+}
+
+/// Framing prologue shared by both models: runt frames and length-claim
+/// mismatches are rejected identically (they are not a seeded
+/// divergence). Returns the tag term and the value bytes, or `None` if
+/// an error was already emitted.
+fn check_frame(ctx: &mut Ctx<'_>, msg: &SymBuf) -> Result<Option<(Term, SymBuf)>, soft_sym::Stop> {
+    ctx.cover("rx.entry");
+    if msg.len() < HEADER_LEN {
+        ctx.cover("rx.runt");
+        emit_error(ctx, etype::FRAMING, 0);
+        return Ok(None);
+    }
+    let declared = msg.u16(1);
+    let avail = (msg.len() - HEADER_LEN) as u64;
+    if !ctx.branch("rx.len_ok", &declared.eq(Term::bv_const(16, avail)))? {
+        ctx.cover("rx.bad_len");
+        emit_error(ctx, etype::FRAMING, 1);
+        return Ok(None);
+    }
+    ctx.cover("rx.len_ok");
+    let value = msg.slice(HEADER_LEN, msg.len() - HEADER_LEN);
+    Ok(Some((msg.u8(0), value)))
+}
+
+fn tag_is(tag_term: &Term, t: u8) -> Term {
+    tag_term.clone().eq(Term::bv_const(8, t as u64))
+}
+
+/// The strict TLV model: zero-length values in `ECHO`/`SET` are protocol
+/// violations.
+#[derive(Debug)]
+pub struct StrictTlv {
+    register: SymBuf,
+}
+
+impl Default for StrictTlv {
+    fn default() -> Self {
+        StrictTlv::new()
+    }
+}
+
+impl StrictTlv {
+    /// A fresh instance with an empty session register.
+    pub fn new() -> StrictTlv {
+        StrictTlv {
+            register: SymBuf::empty(),
+        }
+    }
+}
+
+impl Agent for StrictTlv {
+    fn name(&self) -> &'static str {
+        "strict"
+    }
+
+    fn universe(&self) -> CoverageUniverse {
+        CoverageUniverse {
+            blocks: vec![
+                "connect.ready",
+                "rx.entry",
+                "rx.runt",
+                "rx.bad_len",
+                "rx.len_ok",
+                "hello.reply",
+                "echo.reject_empty",
+                "echo.reply",
+                "set.reject_empty",
+                "set.stored",
+                "get.reply",
+                "bye.reply",
+                "dispatch.unknown",
+            ],
+            branch_sites: vec![
+                "rx.len_ok",
+                "dispatch.hello",
+                "dispatch.echo",
+                "dispatch.set",
+                "dispatch.get",
+                "dispatch.bye",
+                "strict.echo_empty",
+                "strict.set_empty",
+            ],
+        }
+    }
+
+    fn on_connect(&mut self, ctx: &mut Ctx<'_>) -> AgentResult {
+        ctx.cover("connect.ready");
+        Ok(())
+    }
+
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf) -> AgentResult {
+        let Some((t, value)) = check_frame(ctx, msg)? else {
+            return Ok(());
+        };
+        if ctx.branch("dispatch.hello", &tag_is(&t, tag::HELLO))? {
+            ctx.cover("hello.reply");
+            reply(ctx, tag::HELLO | tag::REPLY, SymBuf::concrete(&[1]));
+        } else if ctx.branch("dispatch.echo", &tag_is(&t, tag::ECHO))? {
+            if ctx.branch("strict.echo_empty", &empty_value(&value))? {
+                // Seeded divergence 1: an empty value is a violation here.
+                ctx.cover("echo.reject_empty");
+                emit_error(ctx, etype::SEMANTIC, 1);
+            } else {
+                ctx.cover("echo.reply");
+                reply(ctx, tag::ECHO | tag::REPLY, value);
+            }
+        } else if ctx.branch("dispatch.set", &tag_is(&t, tag::SET))? {
+            if ctx.branch("strict.set_empty", &empty_value(&value))? {
+                ctx.cover("set.reject_empty");
+                emit_error(ctx, etype::SEMANTIC, 1);
+            } else {
+                ctx.cover("set.stored");
+                self.register = value;
+                reply(ctx, tag::SET | tag::REPLY, SymBuf::empty());
+            }
+        } else if ctx.branch("dispatch.get", &tag_is(&t, tag::GET))? {
+            ctx.cover("get.reply");
+            reply(ctx, tag::GET | tag::REPLY, self.register.clone());
+        } else if ctx.branch("dispatch.bye", &tag_is(&t, tag::BYE))? {
+            ctx.cover("bye.reply");
+            reply(ctx, tag::BYE | tag::REPLY, SymBuf::empty());
+        } else {
+            ctx.cover("dispatch.unknown");
+            emit_error(ctx, etype::SEMANTIC, 2);
+        }
+        Ok(())
+    }
+}
+
+/// A condition that is true iff the (already length-validated) value is
+/// empty. The value length is concrete buffer geometry, so this is a
+/// constant term — `ctx.branch` prunes the infeasible side for free.
+fn empty_value(value: &SymBuf) -> Term {
+    Term::bool_const(value.is_empty())
+}
+
+/// The lenient TLV model: empty values are fine, oversized values are
+/// silently truncated to [`VALUE_CAP`] bytes.
+#[derive(Debug)]
+pub struct LenientTlv {
+    register: SymBuf,
+}
+
+impl Default for LenientTlv {
+    fn default() -> Self {
+        LenientTlv::new()
+    }
+}
+
+impl LenientTlv {
+    /// A fresh instance with an empty session register.
+    pub fn new() -> LenientTlv {
+        LenientTlv {
+            register: SymBuf::empty(),
+        }
+    }
+
+    /// Seeded divergence 2: keep at most [`VALUE_CAP`] value bytes.
+    fn clamp(ctx: &mut Ctx<'_>, site_block: &'static str, value: &SymBuf) -> SymBuf {
+        if value.len() > VALUE_CAP {
+            ctx.cover(site_block);
+            value.slice(0, VALUE_CAP)
+        } else {
+            value.clone()
+        }
+    }
+}
+
+impl Agent for LenientTlv {
+    fn name(&self) -> &'static str {
+        "lenient"
+    }
+
+    fn universe(&self) -> CoverageUniverse {
+        CoverageUniverse {
+            blocks: vec![
+                "connect.ready",
+                "rx.entry",
+                "rx.runt",
+                "rx.bad_len",
+                "rx.len_ok",
+                "hello.reply",
+                "echo.reply",
+                "echo.truncated",
+                "set.stored",
+                "set.truncated",
+                "get.reply",
+                "bye.reply",
+                "dispatch.unknown",
+            ],
+            branch_sites: vec![
+                "rx.len_ok",
+                "dispatch.hello",
+                "dispatch.echo",
+                "dispatch.set",
+                "dispatch.get",
+                "dispatch.bye",
+            ],
+        }
+    }
+
+    fn on_connect(&mut self, ctx: &mut Ctx<'_>) -> AgentResult {
+        ctx.cover("connect.ready");
+        Ok(())
+    }
+
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, msg: &SymBuf) -> AgentResult {
+        let Some((t, value)) = check_frame(ctx, msg)? else {
+            return Ok(());
+        };
+        if ctx.branch("dispatch.hello", &tag_is(&t, tag::HELLO))? {
+            ctx.cover("hello.reply");
+            reply(ctx, tag::HELLO | tag::REPLY, SymBuf::concrete(&[1]));
+        } else if ctx.branch("dispatch.echo", &tag_is(&t, tag::ECHO))? {
+            ctx.cover("echo.reply");
+            let kept = LenientTlv::clamp(ctx, "echo.truncated", &value);
+            reply(ctx, tag::ECHO | tag::REPLY, kept);
+        } else if ctx.branch("dispatch.set", &tag_is(&t, tag::SET))? {
+            ctx.cover("set.stored");
+            self.register = LenientTlv::clamp(ctx, "set.truncated", &value);
+            reply(ctx, tag::SET | tag::REPLY, SymBuf::empty());
+        } else if ctx.branch("dispatch.get", &tag_is(&t, tag::GET))? {
+            ctx.cover("get.reply");
+            reply(ctx, tag::GET | tag::REPLY, self.register.clone());
+        } else if ctx.branch("dispatch.bye", &tag_is(&t, tag::BYE))? {
+            ctx.cover("bye.reply");
+            reply(ctx, tag::BYE | tag::REPLY, SymBuf::empty());
+        } else {
+            ctx.cover("dispatch.unknown");
+            emit_error(ctx, etype::SEMANTIC, 2);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+    use soft_protocol::Protocol;
+    use soft_sym::{explore, ExplorerConfig};
+
+    /// Run one agent over a concrete message sequence; the run must be a
+    /// single path (no symbolic branching on concrete inputs).
+    fn run_seq(id: &str, msgs: &[Vec<u8>]) -> Vec<TraceEvent> {
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut Ctx<'_>| {
+            let mut a = crate::TLV.make_agent(id).unwrap();
+            a.on_connect(ctx)?;
+            for m in msgs {
+                a.handle_message(ctx, &SymBuf::concrete(m))?;
+            }
+            Ok(())
+        });
+        let paths: Vec<_> = ex.effective_paths().collect();
+        assert_eq!(paths.len(), 1, "concrete input must be a single path");
+        paths[0].trace.clone()
+    }
+
+    fn run_one(id: &str, msg: &[u8]) -> Vec<TraceEvent> {
+        run_seq(id, &[msg.to_vec()])
+    }
+
+    fn body_of(e: &TraceEvent) -> Vec<u8> {
+        match e {
+            TraceEvent::OfReply { body, .. } => body.as_concrete().unwrap(),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agents_agree_on_the_happy_path() {
+        let msg = frame(tag::ECHO, &[1, 2]);
+        let s = run_one("strict", &msg);
+        let l = run_one("lenient", &msg);
+        assert_eq!(s, l);
+        assert_eq!(body_of(&s[0]), vec![1, 2]);
+    }
+
+    #[test]
+    fn strict_rejects_empty_echo_lenient_echoes_it() {
+        let msg = frame(tag::ECHO, &[]);
+        let s = run_one("strict", &msg);
+        assert!(matches!(s[0], TraceEvent::Error { .. }));
+        let l = run_one("lenient", &msg);
+        assert_eq!(body_of(&l[0]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn lenient_truncates_oversized_echo_strict_does_not() {
+        let msg = frame(tag::ECHO, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(body_of(&run_one("strict", &msg)[0]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(body_of(&run_one("lenient", &msg)[0]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn truncation_shows_through_the_register() {
+        let seq = vec![frame(tag::SET, &[9, 9, 9, 9, 9]), frame(tag::GET, &[])];
+        let s = run_seq("strict", &seq);
+        assert_eq!(body_of(&s[1]), vec![9, 9, 9, 9, 9]);
+        let l = run_seq("lenient", &seq);
+        assert_eq!(body_of(&l[1]), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn framing_rejections_are_shared_behavior() {
+        let mut bad = frame(tag::ECHO, &[1]);
+        bad[2] = 7; // length claim does not match the value
+        let s = run_one("strict", &bad);
+        let l = run_one("lenient", &bad);
+        assert_eq!(s, l);
+        assert!(matches!(s[0], TraceEvent::Error { .. }));
+        let runt = vec![0x02u8];
+        assert_eq!(run_one("strict", &runt), run_one("lenient", &runt));
+    }
+
+    #[test]
+    fn unknown_tags_error_identically() {
+        let msg = frame(0x7F, &[]);
+        let s = run_one("strict", &msg);
+        let l = run_one("lenient", &msg);
+        assert_eq!(s, l);
+        assert!(matches!(s[0], TraceEvent::Error { .. }));
+    }
+
+    #[test]
+    fn symbolic_tag_explores_every_handler() {
+        let mut msg = SymBuf::symbolic("m0", 3);
+        msg.set_u16(1, 0); // valid empty frame, symbolic tag
+        let ex = explore(&ExplorerConfig::default(), |ctx: &mut Ctx<'_>| {
+            LenientTlv::new().handle_message(ctx, &msg)
+        });
+        // hello, echo, set, get, bye, unknown (bad_len pruned: len concrete)
+        assert_eq!(ex.effective_paths().count(), 6);
+    }
+
+    #[test]
+    fn universes_cover_all_labels() {
+        for id in ["strict", "lenient"] {
+            let universe = crate::TLV.make_agent(id).unwrap().universe();
+            let mut echo6 = SymBuf::symbolic("m0", 9);
+            echo6.set_u8(0, tag::ECHO); // concrete tag, symbolic len + value
+            let symbolic_header = SymBuf::symbolic("m1", 3);
+            let runt = SymBuf::concrete(&[0x02]);
+            let set5 = SymBuf::concrete(&frame(tag::SET, &[5, 5, 5, 5, 5]));
+            let get = SymBuf::concrete(&frame(tag::GET, &[]));
+            let ex = explore(&ExplorerConfig::default(), |ctx: &mut Ctx<'_>| {
+                let mut a = crate::TLV.make_agent(id).unwrap();
+                a.on_connect(ctx)?;
+                a.handle_message(ctx, &runt)?;
+                a.handle_message(ctx, &echo6)?;
+                a.handle_message(ctx, &symbolic_header)?;
+                a.handle_message(ctx, &set5)?;
+                // read the register back so get.reply is reachable
+                a.handle_message(ctx, &get)
+            });
+            let errors = ex.coverage.validate(&universe);
+            assert!(errors.is_empty(), "{id}: {errors:?}");
+            // and every declared label was actually reached
+            assert_eq!(
+                ex.coverage.instruction_pct(&universe),
+                100.0,
+                "{id}: unreached blocks"
+            );
+        }
+    }
+}

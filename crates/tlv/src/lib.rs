@@ -1,0 +1,433 @@
+//! # soft-tlv — a deliberately small second protocol
+//!
+//! A TLV echo/handshake protocol that exists to prove the kernel is
+//! protocol-agnostic: everything the pipeline needs — symbolic agents,
+//! a test suite, field spans, a wire codec, and an over-the-wire
+//! conformance dialect — is implemented here against `soft-protocol`
+//! alone, with no OpenFlow types anywhere.
+//!
+//! ## Wire format
+//!
+//! One frame is `tag(1) || len(2, big-endian) || value(len)`. Request
+//! tags: `HELLO=0x01`, `ECHO=0x02`, `SET=0x03`, `GET=0x04`, `BYE=0x05`;
+//! a reply echoes the request tag with the high bit set (`0x81`..`0x85`);
+//! errors use tag `0xEE` with a 4-byte value `etype(2) || code(2)`.
+//!
+//! ## The two intentionally divergent agents
+//!
+//! - **strict** rejects zero-length values in the value-bearing requests
+//!   (`ECHO`, `SET`) with `error(2,1)` and otherwise processes values at
+//!   full length.
+//! - **lenient** accepts zero-length values and silently *truncates*
+//!   values longer than [`VALUE_CAP`] bytes, both when echoing and when
+//!   storing.
+//!
+//! Both agree on everything else (handshake, framing errors, unknown
+//! tags, `GET`/`BYE`), so every inconsistency the pipeline reports for
+//! this pair is one of those two seeded divergences — directly, or
+//! indirectly through the `SET`-then-`GET` register state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod suite;
+
+use soft_protocol::{
+    Agent, AgentRef, FrameEvent, FrameIo, FrameStep, Input, Protocol, TestCase, TraceEvent,
+    WireDialect, WireRx,
+};
+use soft_smt::Term;
+use soft_sym::SymBuf;
+
+/// Request tags.
+pub mod tag {
+    /// Session bring-up; reply `0x81` carries the protocol version.
+    pub const HELLO: u8 = 0x01;
+    /// Echo the value back; reply `0x82`.
+    pub const ECHO: u8 = 0x02;
+    /// Store the value in the session register; reply `0x83` (empty ack).
+    pub const SET: u8 = 0x03;
+    /// Read the session register; reply `0x84` carries it.
+    pub const GET: u8 = 0x04;
+    /// End of session; reply `0x85`. The conformance end sentinel.
+    pub const BYE: u8 = 0x05;
+    /// Set on a reply tag.
+    pub const REPLY: u8 = 0x80;
+    /// Error indication; value is `etype(2) || code(2)`.
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Error types (`etype`).
+pub mod etype {
+    /// Framing-level problems (runt frame, length claim mismatch).
+    pub const FRAMING: u16 = 1;
+    /// Semantic rejections (empty value, unknown tag).
+    pub const SEMANTIC: u16 = 2;
+}
+
+/// Bytes of value the lenient agent keeps; anything longer is truncated.
+pub const VALUE_CAP: usize = 4;
+
+/// TLV header bytes (`tag` + 2-byte length).
+pub const HEADER_LEN: usize = 3;
+
+/// Build one TLV frame: `tag || len || value`.
+pub fn frame(tag: u8, value: &[u8]) -> Vec<u8> {
+    let mut f = vec![tag];
+    f.extend_from_slice(&(value.len() as u16).to_be_bytes());
+    f.extend_from_slice(value);
+    f
+}
+
+fn concrete(t: &Term, what: &str) -> Result<u64, String> {
+    t.as_bv_const()
+        .ok_or_else(|| format!("{what} is symbolic in a concretely replayed trace"))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// The one TLV protocol instance; [`AgentRef`]s and the registry point
+/// here.
+pub static TLV: Tlv = Tlv;
+
+/// The TLV protocol as a [`Protocol`].
+#[derive(Debug)]
+pub struct Tlv;
+
+/// Build fingerprint folded into agent fingerprints. The TLV models are
+/// tiny and fully contained in this crate, so a hand-bumped version tag
+/// is the invalidation unit.
+pub const BUILD_FINGERPRINT: &str = "tlv-model-v1";
+
+impl Protocol for Tlv {
+    fn id(&self) -> &'static str {
+        "tlv"
+    }
+
+    fn wire_name(&self) -> &'static str {
+        "TLV/1"
+    }
+
+    fn agent_ids(&self) -> &'static [&'static str] {
+        &["strict", "lenient"]
+    }
+
+    fn agent_id(&self, name: &str) -> Option<&'static str> {
+        match name {
+            "strict" => Some("strict"),
+            "lenient" => Some("lenient"),
+            _ => None,
+        }
+    }
+
+    fn make_agent(&self, id: &str) -> Option<Box<dyn Agent>> {
+        Some(match id {
+            "strict" => Box::new(agents::StrictTlv::new()),
+            "lenient" => Box::new(agents::LenientTlv::new()),
+            _ => return None,
+        })
+    }
+
+    fn build_fingerprint(&self) -> &'static str {
+        BUILD_FINGERPRINT
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        suite::suite()
+    }
+
+    fn message_spans(&self, bytes: &[u8]) -> Vec<(usize, usize)> {
+        if bytes.len() < HEADER_LEN {
+            return vec![(0, bytes.len())];
+        }
+        let mut spans = vec![(0, 1), (1, HEADER_LEN)];
+        if bytes.len() > HEADER_LEN {
+            spans.push((HEADER_LEN, bytes.len()));
+        }
+        spans
+    }
+
+    fn roundtrips(&self, bytes: &[u8]) -> bool {
+        bytes.len() >= HEADER_LEN
+            && u16::from_be_bytes([bytes[1], bytes[2]]) as usize == bytes.len() - HEADER_LEN
+    }
+
+    fn message_type(&self, bytes: &[u8]) -> Option<u8> {
+        bytes.first().copied()
+    }
+
+    fn dialect(&self) -> &'static dyn WireDialect {
+        &TLV_DIALECT
+    }
+}
+
+/// A handle to one of the TLV agents (mirrors `AgentKind` on the
+/// OpenFlow side: a tiny enum call sites can name without strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlvAgent {
+    /// The strict model (rejects zero-length values).
+    Strict,
+    /// The lenient model (truncates oversized values).
+    Lenient,
+}
+
+impl TlvAgent {
+    /// Stable identifier used in result files.
+    pub fn id(&self) -> &'static str {
+        match self {
+            TlvAgent::Strict => "strict",
+            TlvAgent::Lenient => "lenient",
+        }
+    }
+}
+
+impl From<TlvAgent> for AgentRef {
+    fn from(a: TlvAgent) -> AgentRef {
+        AgentRef {
+            protocol: &TLV,
+            agent: a.id(),
+        }
+    }
+}
+
+/// The one TLV wire-dialect instance.
+pub static TLV_DIALECT: TlvDialect = TlvDialect;
+
+/// The TLV protocol as a [`WireDialect`].
+#[derive(Debug)]
+pub struct TlvDialect;
+
+/// Upper bound on frames consumed while waiting for the handshake reply.
+const HANDSHAKE_FRAME_BUDGET: u32 = 64;
+
+impl WireDialect for TlvDialect {
+    fn server_greeting(&self) -> Vec<u8> {
+        // A TLV server speaks only when spoken to.
+        Vec::new()
+    }
+
+    fn frame_step(&self, buffered: &[u8]) -> FrameStep {
+        if buffered.len() < HEADER_LEN {
+            return FrameStep::NeedMore;
+        }
+        let declared = u16::from_be_bytes([buffered[1], buffered[2]]) as usize;
+        let total = HEADER_LEN + declared;
+        if buffered.len() < total {
+            FrameStep::NeedMore
+        } else {
+            FrameStep::Frame(total)
+        }
+    }
+
+    fn encode_event(&self, e: &TraceEvent) -> Result<Option<Vec<u8>>, String> {
+        match e {
+            TraceEvent::Error { etype, code, .. } => {
+                let mut value = Vec::with_capacity(4);
+                value.extend_from_slice(&(concrete(etype, "error etype")? as u16).to_be_bytes());
+                value.extend_from_slice(&(concrete(code, "error code")? as u16).to_be_bytes());
+                Ok(Some(frame(tag::ERROR, &value)))
+            }
+            TraceEvent::OfReply {
+                msg_type,
+                fields,
+                body,
+            } => {
+                // The TLV agents carry everything in the body, but render
+                // any fields the OF way (big-endian at declared width) so
+                // the encoding stays total over the event type.
+                let mut value = Vec::new();
+                for (name, term) in fields {
+                    let v = concrete(term, &format!("reply field {name}"))?;
+                    let width_bytes = (term.width() as usize).div_ceil(8);
+                    value.extend_from_slice(&v.to_be_bytes()[8 - width_bytes..]);
+                }
+                value.extend_from_slice(
+                    &body
+                        .as_concrete()
+                        .ok_or("reply body is symbolic in a concretely replayed trace")?,
+                );
+                Ok(Some(frame(*msg_type, &value)))
+            }
+            // TLV has no data plane and no packet-in upcall.
+            TraceEvent::PacketIn { .. }
+            | TraceEvent::DataPlaneTx { .. }
+            | TraceEvent::Flood { .. }
+            | TraceEvent::NormalForward { .. }
+            | TraceEvent::ProbeDropped => Ok(None),
+        }
+    }
+
+    fn frame_token(&self, f: &[u8]) -> String {
+        if f.len() < HEADER_LEN {
+            return format!("runt({})", hex(f));
+        }
+        if f[0] == tag::ERROR && f.len() >= HEADER_LEN + 4 {
+            let etype = u16::from_be_bytes([f[3], f[4]]);
+            let code = u16::from_be_bytes([f[5], f[6]]);
+            return format!("error({etype},{code})");
+        }
+        format!("reply({}:{})", f[0], hex(&f[HEADER_LEN..]))
+    }
+
+    fn client_handshake(&self, io: &mut dyn FrameIo) -> Result<(), String> {
+        io.send_frame(&frame(tag::HELLO, &[]))?;
+        for _ in 0..HANDSHAKE_FRAME_BUDGET {
+            match io.recv_frame()? {
+                FrameEvent::Closed => {
+                    return Err("peer closed while waiting for HELLO reply".to_string())
+                }
+                FrameEvent::Frame(f) => {
+                    if f.first() == Some(&(tag::HELLO | tag::REPLY)) {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Err(format!(
+            "no HELLO reply within {HANDSHAKE_FRAME_BUDGET} frames of chatter"
+        ))
+    }
+
+    fn prelude_inputs(&self) -> Vec<Input> {
+        vec![Input::Message(SymBuf::concrete(&frame(tag::HELLO, &[])))]
+    }
+
+    fn end_sentinel(&self) -> Vec<u8> {
+        frame(tag::BYE, &[])
+    }
+
+    fn classify_rx(&self, f: &[u8]) -> WireRx {
+        match f.first().copied() {
+            // The handshake reply is session chatter, not behavior; it is
+            // sliced off the expected side the same way.
+            Some(t) if t == tag::HELLO | tag::REPLY => WireRx::Ignore,
+            Some(t) if t == tag::BYE | tag::REPLY => WireRx::End,
+            _ => WireRx::Observe,
+        }
+    }
+
+    fn wire_framable(&self, msg: &[u8]) -> bool {
+        msg.len() >= HEADER_LEN
+            && HEADER_LEN + u16::from_be_bytes([msg[1], msg[2]]) as usize == msg.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_protocol::render_signature;
+
+    #[test]
+    fn frame_layout_is_tlv() {
+        let f = frame(tag::ECHO, &[0xAB, 0xCD]);
+        assert_eq!(f, vec![0x02, 0x00, 0x02, 0xAB, 0xCD]);
+        assert!(TLV.roundtrips(&f));
+        assert!(TLV_DIALECT.wire_framable(&f));
+        assert_eq!(TLV.message_type(&f), Some(tag::ECHO));
+    }
+
+    #[test]
+    fn roundtrip_rejects_length_mismatch() {
+        let mut f = frame(tag::ECHO, &[1, 2, 3]);
+        f[2] = 9;
+        assert!(!TLV.roundtrips(&f));
+        assert!(!TLV_DIALECT.wire_framable(&f));
+        assert!(!TLV.roundtrips(&[0x02]));
+    }
+
+    #[test]
+    fn spans_partition_the_frame() {
+        let f = frame(tag::SET, &[1, 2, 3, 4]);
+        assert_eq!(TLV.message_spans(&f), vec![(0, 1), (1, 3), (3, 7)]);
+        let empty = frame(tag::GET, &[]);
+        assert_eq!(TLV.message_spans(&empty), vec![(0, 1), (1, 3)]);
+        assert_eq!(TLV.message_spans(&[0x01]), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn frame_step_reassembles_by_declared_length() {
+        let f = frame(tag::ECHO, &[7, 8, 9]);
+        assert_eq!(TLV_DIALECT.frame_step(&f[..2]), FrameStep::NeedMore);
+        assert_eq!(TLV_DIALECT.frame_step(&f[..4]), FrameStep::NeedMore);
+        assert_eq!(TLV_DIALECT.frame_step(&f), FrameStep::Frame(f.len()));
+        let empty = frame(tag::BYE, &[]);
+        assert_eq!(TLV_DIALECT.frame_step(&empty), FrameStep::Frame(3));
+    }
+
+    #[test]
+    fn error_events_tokenize_like_the_wire() {
+        let e = TraceEvent::Error {
+            xid: Term::bv_const(32, 0),
+            etype: Term::bv_const(16, etype::SEMANTIC as u64),
+            code: Term::bv_const(16, 1),
+        };
+        let f = TLV_DIALECT.encode_event(&e).unwrap().unwrap();
+        assert_eq!(f[0], tag::ERROR);
+        assert_eq!(TLV_DIALECT.frame_token(&f), "error(2,1)");
+        assert_eq!(
+            render_signature(false, &[TLV_DIALECT.frame_token(&f)]),
+            "error(2,1)"
+        );
+    }
+
+    #[test]
+    fn reply_events_carry_the_body_as_value() {
+        let e = TraceEvent::OfReply {
+            msg_type: tag::ECHO | tag::REPLY,
+            fields: vec![],
+            body: SymBuf::concrete(&[0xAA, 0xBB]),
+        };
+        let f = TLV_DIALECT.encode_event(&e).unwrap().unwrap();
+        assert_eq!(f, frame(tag::ECHO | tag::REPLY, &[0xAA, 0xBB]));
+        assert_eq!(TLV_DIALECT.frame_token(&f), "reply(130:aabb)");
+    }
+
+    #[test]
+    fn dataplane_events_have_no_wire_form() {
+        assert_eq!(
+            TLV_DIALECT.encode_event(&TraceEvent::ProbeDropped).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn classify_rx_separates_chatter_sentinel_and_behavior() {
+        assert_eq!(
+            TLV_DIALECT.classify_rx(&frame(tag::HELLO | tag::REPLY, &[1])),
+            WireRx::Ignore
+        );
+        assert_eq!(
+            TLV_DIALECT.classify_rx(&frame(tag::BYE | tag::REPLY, &[])),
+            WireRx::End
+        );
+        assert_eq!(
+            TLV_DIALECT.classify_rx(&frame(tag::ECHO | tag::REPLY, &[9])),
+            WireRx::Observe
+        );
+        assert_eq!(
+            TLV_DIALECT.classify_rx(&frame(tag::ERROR, &[0, 2, 0, 1])),
+            WireRx::Observe
+        );
+    }
+
+    #[test]
+    fn protocol_surface_is_tlv() {
+        assert_eq!(TLV.id(), "tlv");
+        assert_eq!(TLV.wire_name(), "TLV/1");
+        assert_eq!(TLV.agent_id("strict"), Some("strict"));
+        assert_eq!(TLV.agent_id("reference"), None);
+        let r: AgentRef = TlvAgent::Strict.into();
+        assert_eq!(r.id(), "strict");
+        assert_eq!(r.protocol.id(), "tlv");
+        assert_eq!(r.make().name(), "strict");
+        assert!(TLV.find_test("handshake").is_some());
+        assert!(TLV.find_test("packet_out").is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! The TLV exploration test suite.
+//!
+//! Four small workloads, mirroring the structure (not the content) of the
+//! OpenFlow Table 1 suite: a fully symbolic handshake-sized message, an
+//! oversized echo, a stateful set-then-get sequence, and a concrete
+//! control test on which the two agents must agree everywhere.
+
+use crate::{frame, tag, HEADER_LEN, VALUE_CAP};
+use soft_protocol::{Input, TestCase};
+use soft_sym::SymBuf;
+
+/// A message with a symbolic tag and length and no value bytes. Reaches
+/// every dispatch arm with an empty value — including the zero-length
+/// `ECHO`/`SET` the strict agent rejects and the lenient agent accepts.
+pub fn handshake() -> TestCase {
+    TestCase::new(
+        "handshake",
+        "Handshake",
+        "A single fully symbolic header-only TLV (symbolic tag, symbolic \
+         length claim, no value). Covers every dispatch arm at value \
+         length zero.",
+        vec![Input::Message(SymBuf::symbolic("m0", HEADER_LEN))],
+    )
+}
+
+/// An `ECHO` carrying more value bytes than [`VALUE_CAP`], with the
+/// length claim symbolic. The lenient agent truncates the echo, the
+/// strict agent returns it whole.
+pub fn echo() -> TestCase {
+    let mut m = SymBuf::symbolic("m0", HEADER_LEN + VALUE_CAP + 2);
+    m.set_u8(0, tag::ECHO);
+    TestCase::new(
+        "echo",
+        "Oversized Echo",
+        "An ECHO with a symbolic length claim and an oversized symbolic \
+         value (VALUE_CAP + 2 bytes).",
+        vec![Input::Message(m)],
+    )
+}
+
+/// A symbolic oversized `SET` followed by a concrete `GET`: the
+/// truncation divergence surfaces indirectly, through session state.
+pub fn session() -> TestCase {
+    let mut set = SymBuf::symbolic("m0", HEADER_LEN + VALUE_CAP + 1);
+    set.set_u8(0, tag::SET);
+    TestCase::new(
+        "session",
+        "Set then Get",
+        "A SET with an oversized symbolic value followed by a concrete \
+         GET; the stored-value divergence is only observable in the GET \
+         reply.",
+        vec![
+            Input::Message(set),
+            Input::Message(SymBuf::concrete(&frame(tag::GET, &[]))),
+        ],
+    )
+}
+
+/// Concrete messages only — HELLO, an unknown tag, BYE — on which the
+/// two agents agree everywhere. A control: exploring this test must
+/// produce zero inconsistencies.
+pub fn concrete() -> TestCase {
+    TestCase::new(
+        "concrete",
+        "Concrete",
+        "Concrete HELLO, unknown-tag and BYE messages; the agents agree \
+         on all of them.",
+        vec![
+            Input::Message(SymBuf::concrete(&frame(tag::HELLO, &[]))),
+            Input::Message(SymBuf::concrete(&frame(0x7F, &[]))),
+            Input::Message(SymBuf::concrete(&frame(tag::BYE, &[]))),
+        ],
+    )
+}
+
+/// The whole TLV suite, in canonical order.
+pub fn suite() -> Vec<TestCase> {
+    vec![handshake(), echo(), session(), concrete()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_ids_are_unique_and_counts_derived() {
+        let s = suite();
+        let mut ids: Vec<_> = s.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.len());
+        assert_eq!(s[0].message_count, 1);
+        assert_eq!(session().message_count, 2);
+        assert_eq!(concrete().message_count, 3);
+    }
+}

@@ -21,6 +21,11 @@ use std::path::Path;
 /// Corpus file format version.
 pub const CORPUS_FORMAT: u64 = 1;
 
+/// The protocol id corpora carried before they recorded one. Files for
+/// this protocol omit the `protocol` field entirely so their bytes (and
+/// hence their fingerprints) are unchanged from earlier formats.
+pub const DEFAULT_PROTOCOL: &str = "of10";
+
 /// One fully concrete test input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConcreteInput {
@@ -286,6 +291,11 @@ pub struct ClusterSummary {
 /// A distilled witness corpus for one (test, agent pair).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Corpus {
+    /// Protocol id the witnesses speak (see
+    /// [`soft_protocol::Protocol::id`]). Serialized only when it differs
+    /// from [`DEFAULT_PROTOCOL`], so pre-existing OpenFlow corpora keep
+    /// their exact bytes and fingerprints.
+    pub protocol: String,
     /// Test identifier the witnesses belong to.
     pub test: String,
     /// First agent id.
@@ -360,8 +370,11 @@ impl Corpus {
     }
 
     fn body_json(&self) -> Json {
-        Json::Object(vec![
-            ("format".into(), Json::UInt(CORPUS_FORMAT)),
+        let mut fields = vec![("format".into(), Json::UInt(CORPUS_FORMAT))];
+        if self.protocol != DEFAULT_PROTOCOL {
+            fields.push(("protocol".into(), Json::Str(self.protocol.clone())));
+        }
+        fields.extend([
             ("test".into(), Json::Str(self.test.clone())),
             ("agent_a".into(), Json::Str(self.agent_a.clone())),
             ("agent_b".into(), Json::Str(self.agent_b.clone())),
@@ -370,7 +383,8 @@ impl Corpus {
                 "entries".into(),
                 Json::Array(self.entries.iter().map(|e| e.to_json()).collect()),
             ),
-        ])
+        ]);
+        Json::Object(fields)
     }
 
     /// Serialize, wrapping the payload with a fingerprint over its exact
@@ -420,7 +434,12 @@ impl Corpus {
             .iter()
             .map(CorpusEntry::from_json)
             .collect::<Result<Vec<CorpusEntry>, String>>()?;
+        let protocol = match body.field("protocol") {
+            Ok(p) => p.as_str()?.to_string(),
+            Err(_) => DEFAULT_PROTOCOL.to_string(),
+        };
         Ok(Corpus {
+            protocol,
             test: body.field("test")?.as_str()?.to_string(),
             agent_a: body.field("agent_a")?.as_str()?.to_string(),
             agent_b: body.field("agent_b")?.as_str()?.to_string(),
@@ -481,6 +500,7 @@ mod tests {
 
     fn sample() -> Corpus {
         Corpus {
+            protocol: DEFAULT_PROTOCOL.into(),
             test: "queue_config".into(),
             agent_a: "reference".into(),
             agent_b: "ovs".into(),
@@ -528,6 +548,22 @@ mod tests {
         let back = Corpus::from_json_str(&text).expect("parse");
         assert_eq!(back, c);
         assert_eq!(back.to_json_string(), text, "re-export must be identical");
+    }
+
+    #[test]
+    fn protocol_field_defaults_and_round_trips() {
+        // The default protocol is never serialized: the bytes (and so the
+        // fingerprint) of pre-protocol corpora are preserved exactly.
+        let of = sample();
+        assert!(!of.to_json_string().contains("protocol"));
+        // A non-default protocol is serialized and round-trips.
+        let mut tlv = sample();
+        tlv.protocol = "tlv".into();
+        let text = tlv.to_json_string();
+        assert!(text.contains("\"protocol\":\"tlv\""));
+        let back = Corpus::from_json_str(&text).expect("parse");
+        assert_eq!(back.protocol, "tlv");
+        assert_eq!(back.to_json_string(), text);
     }
 
     #[test]

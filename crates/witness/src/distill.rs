@@ -7,8 +7,9 @@
 //! 1. **model extraction** — complete the stored witness against the two
 //!    recorded path conditions ([`soft_smt::complete_model`]), then
 //!    concretize the test inputs under it;
-//! 2. **wire validation** — every OpenFlow message must survive a
-//!    lossless parse→unparse round-trip ([`soft_openflow::parse`]);
+//! 2. **wire validation** — every protocol message must survive a
+//!    lossless parse→unparse round-trip
+//!    ([`soft_protocol::Protocol::roundtrips`]);
 //! 3. **replay confirmation** — both agents run concretely
 //!    ([`soft_core::run_concrete`]); the traces must actually diverge;
 //! 4. **minimization** — field-aware ddmin to a 1-minimal core
@@ -30,13 +31,12 @@ use crate::fuzz::mutate;
 use crate::minimize::{free_positions, minimize, residual_bytes};
 use crate::pool::par_map;
 use crate::rng::{stream_seed, SplitMix64};
-use soft_agents::AgentKind;
 use soft_core::{
     classify_outputs, concretize_inputs, run_concrete, signature, CrosscheckResult, GroupedResults,
     Inconsistency,
 };
 use soft_harness::{Input, ObservedOutput, TestCase};
-use soft_openflow::parse::roundtrips;
+use soft_protocol::{AgentRef, Protocol};
 use soft_smt::complete_model;
 
 /// Default base seed for the neighborhood fuzzer ("SOFT" on a hex
@@ -117,10 +117,10 @@ fn to_concrete(inputs: &[Input]) -> Vec<ConcreteInput> {
         .collect()
 }
 
-/// Every OpenFlow message input survives a lossless parse round-trip.
-fn wire_valid(inputs: &[ConcreteInput]) -> bool {
+/// Every protocol message input survives a lossless parse round-trip.
+fn wire_valid(proto: &dyn Protocol, inputs: &[ConcreteInput]) -> bool {
     inputs.iter().all(|i| match i {
-        ConcreteInput::Message(bytes) => roundtrips(bytes),
+        ConcreteInput::Message(bytes) => proto.roundtrips(bytes),
         _ => true,
     })
 }
@@ -129,13 +129,13 @@ fn wire_valid(inputs: &[ConcreteInput]) -> bool {
 /// and the two agents' concrete traces differ. Counts every call in
 /// `replays`.
 fn evaluate(
-    a: AgentKind,
-    b: AgentKind,
+    a: AgentRef,
+    b: AgentRef,
     inputs: &[ConcreteInput],
     replays: &mut usize,
 ) -> Option<(ObservedOutput, ObservedOutput)> {
     *replays += 1;
-    if !wire_valid(inputs) {
+    if !wire_valid(a.protocol, inputs) {
         return None;
     }
     let concrete: Vec<Input> = inputs.iter().map(|i| i.to_input()).collect();
@@ -196,9 +196,10 @@ pub fn draft_witness(
     inc: &Inconsistency,
     grouped_a: &GroupedResults,
     grouped_b: &GroupedResults,
-    a: AgentKind,
-    b: AgentKind,
+    a: impl Into<AgentRef>,
+    b: impl Into<AgentRef>,
 ) -> WitnessDraft {
+    let (a, b) = (a.into(), b.into());
     let free = free_positions(test);
     let mut replays = 0;
 
@@ -231,11 +232,14 @@ pub fn draft_witness(
     let inputs = to_concrete(&concretize_inputs(test, &witness));
 
     // Stage 2: wire validation.
-    if !wire_valid(&inputs) {
+    if !wire_valid(a.protocol, &inputs) {
         return unconfirmed(
             inputs,
             &free,
-            "witness is not valid OpenFlow 1.0 wire format (parse round-trip failed)".into(),
+            format!(
+                "witness is not valid {} wire format (parse round-trip failed)",
+                a.protocol.wire_name()
+            ),
             replays,
         );
     }
@@ -268,7 +272,8 @@ pub fn draft_witness(
     }
 
     // Stage 4: minimization (re-confirms divergence at every step).
-    let minimized = minimize(&inputs, &free, |candidate| {
+    let spans = |m: &[u8]| a.protocol.message_spans(m);
+    let minimized = minimize(&inputs, &free, &spans, |candidate| {
         evaluate(a, b, candidate, &mut replays)
     })
     .expect("stage 3 confirmed the starting inputs diverge");
@@ -288,14 +293,15 @@ fn fuzz_one(
     parent_index: usize,
     parent_inputs: &[ConcreteInput],
     free: &[Vec<usize>],
-    a: AgentKind,
-    b: AgentKind,
+    a: AgentRef,
+    b: AgentRef,
     cfg: &DistillConfig,
 ) -> Vec<Draft> {
+    let spans = |m: &[u8]| a.protocol.message_spans(m);
     let mut out = Vec::new();
     for step in 0..cfg.fuzz_tries {
         let mut rng = SplitMix64::new(stream_seed(cfg.seed, parent_index as u64, step as u64));
-        let Some(mutant) = mutate(parent_inputs, free, &mut rng) else {
+        let Some(mutant) = mutate(parent_inputs, free, &spans, &mut rng) else {
             continue;
         };
         let origin = Origin::Fuzzed {
@@ -316,7 +322,7 @@ fn fuzz_one(
             });
             continue;
         }
-        let minimized = minimize(&mutant, free, |candidate| {
+        let minimized = minimize(&mutant, free, &spans, |candidate| {
             evaluate(a, b, candidate, &mut replays)
         })
         .expect("the mutant was just confirmed divergent");
@@ -344,8 +350,8 @@ pub fn distill(
     result: &CrosscheckResult,
     grouped_a: &GroupedResults,
     grouped_b: &GroupedResults,
-    a: AgentKind,
-    b: AgentKind,
+    a: impl Into<AgentRef>,
+    b: impl Into<AgentRef>,
     cfg: &DistillConfig,
 ) -> DistillReport {
     let none = (0..result.inconsistencies.len()).map(|_| None).collect();
@@ -366,10 +372,11 @@ pub fn assemble(
     drafts: Vec<Option<WitnessDraft>>,
     grouped_a: &GroupedResults,
     grouped_b: &GroupedResults,
-    a: AgentKind,
-    b: AgentKind,
+    a: impl Into<AgentRef>,
+    b: impl Into<AgentRef>,
     cfg: &DistillConfig,
 ) -> DistillReport {
+    let (a, b) = (a.into(), b.into());
     assert_eq!(
         drafts.len(),
         result.inconsistencies.len(),
@@ -418,6 +425,7 @@ pub fn assemble(
     let mut clusters: Vec<(String, String)> = Vec::new();
     let mut entries: Vec<CorpusEntry> = Vec::new();
     fn push(
+        proto: &dyn Protocol,
         draft: Draft,
         stats: &mut DistillStats,
         clusters: &mut Vec<(String, String)>,
@@ -452,7 +460,7 @@ pub fn assemble(
             .inputs
             .iter()
             .filter_map(|i| match i {
-                ConcreteInput::Message(b) => Some(b.get(1).copied().unwrap_or(0)),
+                ConcreteInput::Message(b) => Some(proto.message_type(b).unwrap_or(0)),
                 _ => None,
             })
             .collect();
@@ -474,7 +482,7 @@ pub fn assemble(
             Ok(_) => stats.confirmed += 1,
             Err(_) => stats.unconfirmed += 1,
         }
-        push(draft, &mut stats, &mut clusters, &mut entries);
+        push(a.protocol, draft, &mut stats, &mut clusters, &mut entries);
     }
     for draft in fuzz_results.into_iter().flatten() {
         stats.replays += draft.inner.replays;
@@ -485,12 +493,13 @@ pub fn assemble(
             continue; // rediscovered an existing witness
         }
         stats.fuzz_added += 1;
-        push(draft, &mut stats, &mut clusters, &mut entries);
+        push(a.protocol, draft, &mut stats, &mut clusters, &mut entries);
     }
     stats.clusters = clusters.len();
 
     DistillReport {
         corpus: Corpus {
+            protocol: a.protocol.id().to_string(),
             test: test.id.to_string(),
             agent_a: a.id().to_string(),
             agent_b: b.id().to_string(),
@@ -507,15 +516,19 @@ pub fn assemble(
 /// Unconfirmed entries are skipped (they carry no claim to re-check).
 pub fn reproduce_corpus(
     corpus: &Corpus,
-    a: AgentKind,
-    b: AgentKind,
+    a: impl Into<AgentRef>,
+    b: impl Into<AgentRef>,
     jobs: usize,
 ) -> Vec<(usize, Result<(), String>)> {
+    let (a, b) = (a.into(), b.into());
     let confirmed = corpus.confirmed();
     let outcomes = par_map(jobs, &confirmed, |_, &i| {
         let entry = &corpus.entries[i];
-        if !wire_valid(&entry.inputs) {
-            return Err("entry is not valid OpenFlow 1.0 wire format".to_string());
+        if !wire_valid(a.protocol, &entry.inputs) {
+            return Err(format!(
+                "entry is not valid {} wire format",
+                a.protocol.wire_name()
+            ));
         }
         let concrete: Vec<Input> = entry.inputs.iter().map(|inp| inp.to_input()).collect();
         let oa = run_concrete(a, &concrete).map_err(|e| format!("replay of {}: {e}", a.id()))?;
@@ -533,148 +546,4 @@ pub fn reproduce_corpus(
         Ok(())
     });
     confirmed.into_iter().zip(outcomes).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use soft_core::Soft;
-    use soft_harness::suite;
-
-    fn queue_config_report(cfg: &DistillConfig) -> DistillReport {
-        let soft = Soft::new();
-        let test = suite::queue_config();
-        let pair = soft
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
-            .expect("pipeline");
-        distill(
-            &test,
-            &pair.result,
-            &pair.grouped_a,
-            &pair.grouped_b,
-            AgentKind::Reference,
-            AgentKind::OpenVSwitch,
-            cfg,
-        )
-    }
-
-    #[test]
-    fn queue_config_distills_and_reproduces() {
-        let report = queue_config_report(&DistillConfig::default());
-        assert!(report.stats.confirmed > 0, "stats: {:?}", report.stats);
-        assert_eq!(
-            report.stats.confirmed + report.stats.unconfirmed,
-            report.stats.witnesses
-        );
-        for (_, r) in reproduce_corpus(
-            &report.corpus,
-            AgentKind::Reference,
-            AgentKind::OpenVSwitch,
-            1,
-        ) {
-            r.expect("every confirmed entry must reproduce");
-        }
-    }
-
-    #[test]
-    fn corpus_is_jobs_invariant() {
-        let base = queue_config_report(&DistillConfig::default());
-        let par = queue_config_report(&DistillConfig {
-            jobs: 4,
-            ..DistillConfig::default()
-        });
-        assert_eq!(
-            base.corpus.to_json_string(),
-            par.corpus.to_json_string(),
-            "corpus must be byte-identical for any --jobs"
-        );
-        assert_eq!(base.stats, par.stats);
-    }
-
-    #[test]
-    fn precomputed_drafts_assemble_identically() {
-        // The streaming session drafts witnesses eagerly (out of band) and
-        // hands them to assemble; the corpus must be byte-identical to the
-        // batch pipeline no matter which slots were precomputed.
-        let soft = Soft::new();
-        let test = suite::queue_config();
-        let pair = soft
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
-            .expect("pipeline");
-        let cfg = DistillConfig::default();
-        let batch = distill(
-            &test,
-            &pair.result,
-            &pair.grouped_a,
-            &pair.grouped_b,
-            AgentKind::Reference,
-            AgentKind::OpenVSwitch,
-            &cfg,
-        );
-        assert!(!pair.result.inconsistencies.is_empty(), "need a slot");
-        // Precompute every other draft; leave the rest to assemble.
-        let slots: Vec<Option<WitnessDraft>> = pair
-            .result
-            .inconsistencies
-            .iter()
-            .enumerate()
-            .map(|(k, inc)| {
-                (k % 2 == 0).then(|| {
-                    draft_witness(
-                        &test,
-                        inc,
-                        &pair.grouped_a,
-                        &pair.grouped_b,
-                        AgentKind::Reference,
-                        AgentKind::OpenVSwitch,
-                    )
-                })
-            })
-            .collect();
-        let mixed = assemble(
-            &test,
-            &pair.result,
-            slots,
-            &pair.grouped_a,
-            &pair.grouped_b,
-            AgentKind::Reference,
-            AgentKind::OpenVSwitch,
-            &cfg,
-        );
-        assert_eq!(batch.corpus.to_json_string(), mixed.corpus.to_json_string());
-        assert_eq!(batch.stats, mixed.stats);
-    }
-
-    #[test]
-    fn identical_agents_yield_unconfirmed_not_silence() {
-        // Distill the ref-vs-ovs inconsistencies, then confirm against an
-        // *identical* pair: nothing can diverge, and the never-lie rule
-        // says every witness must surface as unconfirmed, not vanish.
-        let soft = Soft::new();
-        let test = suite::queue_config();
-        let pair = soft
-            .run_pair(AgentKind::Reference, AgentKind::OpenVSwitch, &test)
-            .expect("pipeline");
-        let report = distill(
-            &test,
-            &pair.result,
-            &pair.grouped_a,
-            &pair.grouped_b,
-            AgentKind::Reference,
-            AgentKind::Reference,
-            &DistillConfig {
-                fuzz_tries: 0,
-                ..DistillConfig::default()
-            },
-        );
-        assert_eq!(report.stats.confirmed, 0);
-        assert_eq!(report.stats.unconfirmed, report.stats.witnesses);
-        assert!(report.stats.witnesses > 0);
-        for e in &report.corpus.entries {
-            match &e.status {
-                Status::Unconfirmed { reason } => assert!(!reason.is_empty()),
-                s => panic!("expected unconfirmed, got {s:?}"),
-            }
-        }
-    }
 }

@@ -15,17 +15,21 @@
 //! `--jobs` value.
 
 use crate::corpus::ConcreteInput;
+use crate::minimize::SpanFn;
 use crate::rng::SplitMix64;
-use soft_openflow::layout::spans::message_spans;
 
 /// Mutable targets: (input index, free positions of one field span).
 /// Probes and single free bytes are byte-granular targets.
-fn targets(inputs: &[ConcreteInput], free: &[Vec<usize>]) -> Vec<(usize, Vec<usize>)> {
+fn targets(
+    inputs: &[ConcreteInput],
+    free: &[Vec<usize>],
+    spans: SpanFn<'_>,
+) -> Vec<(usize, Vec<usize>)> {
     let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
     for (idx, input) in inputs.iter().enumerate() {
         match input {
             ConcreteInput::Message(bytes) => {
-                for (start, end) in message_spans(bytes) {
+                for (start, end) in spans(bytes) {
                     let span: Vec<usize> = free[idx]
                         .iter()
                         .copied()
@@ -53,9 +57,10 @@ fn targets(inputs: &[ConcreteInput], free: &[Vec<usize>]) -> Vec<(usize, Vec<usi
 pub fn mutate(
     inputs: &[ConcreteInput],
     free: &[Vec<usize>],
+    spans: SpanFn<'_>,
     rng: &mut SplitMix64,
 ) -> Option<Vec<ConcreteInput>> {
-    let targets = targets(inputs, free);
+    let targets = targets(inputs, free, spans);
     if targets.is_empty() {
         return None;
     }
@@ -84,6 +89,11 @@ mod tests {
     use super::*;
     use crate::rng::stream_seed;
 
+    /// Synthetic field partition: one span over the free payload.
+    fn spans(_: &[u8]) -> Vec<(usize, usize)> {
+        vec![(8, 12)]
+    }
+
     fn start() -> (Vec<ConcreteInput>, Vec<Vec<usize>>) {
         (
             vec![ConcreteInput::Message(vec![
@@ -98,7 +108,7 @@ mod tests {
         let (inputs, free) = start();
         for step in 0..64u64 {
             let mut rng = SplitMix64::new(stream_seed(0x50F7, 0, step));
-            let m = mutate(&inputs, &free, &mut rng).expect("free bytes exist");
+            let m = mutate(&inputs, &free, &spans, &mut rng).expect("free bytes exist");
             let (ConcreteInput::Message(orig), ConcreteInput::Message(got)) = (&inputs[0], &m[0])
             else {
                 panic!()
@@ -113,7 +123,7 @@ mod tests {
         let (inputs, free) = start();
         let run = |step| {
             let mut rng = SplitMix64::new(stream_seed(7, 3, step));
-            mutate(&inputs, &free, &mut rng).unwrap()
+            mutate(&inputs, &free, &spans, &mut rng).unwrap()
         };
         assert_eq!(run(0), run(0));
         // Some step in a short prefix must differ from step 0, or the
@@ -125,6 +135,6 @@ mod tests {
     fn nothing_to_mutate_is_none() {
         let inputs = vec![ConcreteInput::AdvanceTime { now: 1 }];
         let mut rng = SplitMix64::new(1);
-        assert!(mutate(&inputs, &[Vec::new()], &mut rng).is_none());
+        assert!(mutate(&inputs, &[Vec::new()], &spans, &mut rng).is_none());
     }
 }

@@ -39,7 +39,10 @@ pub mod minimize;
 mod pool;
 pub mod rng;
 
-pub use corpus::{ClusterSummary, ConcreteInput, Corpus, CorpusEntry, Origin, ReplayItem, Status};
+pub use corpus::{
+    ClusterSummary, ConcreteInput, Corpus, CorpusEntry, Origin, ReplayItem, Status,
+    DEFAULT_PROTOCOL,
+};
 pub use distill::{
     assemble, distill, draft_witness, reproduce_corpus, DistillConfig, DistillReport, DistillStats,
     WitnessDraft, DEFAULT_SEED,

@@ -5,12 +5,14 @@
 //! that matters. Minimization drives every free byte it can back to the
 //! canonical unassigned value `0` — the solver's own don't-care
 //! convention — while re-confirming after every step that the candidate
-//! is still valid OpenFlow wire format and still concretely diverges.
+//! is still valid wire format and still concretely diverges.
 //!
 //! Two pass granularities, repeated to a joint fixpoint:
 //!
-//! 1. **field spans** from [`soft_openflow::layout`]: whole protocol
-//!    fields zeroed at once (fast progress, respects field semantics);
+//! 1. **field spans** from the protocol's field-span API
+//!    ([`soft_protocol::Protocol::message_spans`], threaded in as the
+//!    `spans` closure): whole protocol fields zeroed at once (fast
+//!    progress, respects field semantics);
 //! 2. **single bytes**: every remaining nonzero free byte individually.
 //!
 //! The fixpoint over single-byte passes makes the result 1-minimal (no
@@ -19,7 +21,11 @@
 
 use crate::corpus::ConcreteInput;
 use soft_harness::{Input, ObservedOutput, TestCase};
-use soft_openflow::layout::spans::message_spans;
+
+/// Exact field partition of a concrete message, supplied by the protocol
+/// under test ([`soft_protocol::Protocol::message_spans`]). Passed as a
+/// closure so this crate stays protocol-agnostic.
+pub type SpanFn<'a> = &'a dyn Fn(&[u8]) -> Vec<(usize, usize)>;
 
 /// A minimized, re-confirmed witness.
 #[derive(Debug, Clone)]
@@ -61,12 +67,16 @@ pub fn free_positions(test: &TestCase) -> Vec<Vec<usize>> {
 /// (intersected with the free positions) for messages, then every free
 /// position individually. Spans are computed from the *current* bytes, so
 /// length-bearing fields already zeroed reshape later groups correctly.
-fn groups(inputs: &[ConcreteInput], free: &[Vec<usize>]) -> Vec<(usize, Vec<usize>)> {
+fn groups(
+    inputs: &[ConcreteInput],
+    free: &[Vec<usize>],
+    spans: SpanFn<'_>,
+) -> Vec<(usize, Vec<usize>)> {
     let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
     // Pass-1 groups: field spans restricted to free positions.
     for (idx, input) in inputs.iter().enumerate() {
         if let ConcreteInput::Message(bytes) = input {
-            for (start, end) in message_spans(bytes) {
+            for (start, end) in spans(bytes) {
                 let span: Vec<usize> = free[idx]
                     .iter()
                     .copied()
@@ -111,7 +121,12 @@ fn zeroed(inputs: &[ConcreteInput], idx: usize, span: &[usize]) -> Option<Vec<Co
 /// only ever *keeps* candidates the oracle confirms. Returns `None` if the
 /// starting inputs themselves do not diverge (nothing to minimize — the
 /// caller reports the witness as unconfirmed instead).
-pub fn minimize<F>(inputs: &[ConcreteInput], free: &[Vec<usize>], mut check: F) -> Option<Minimized>
+pub fn minimize<F>(
+    inputs: &[ConcreteInput],
+    free: &[Vec<usize>],
+    spans: SpanFn<'_>,
+    mut check: F,
+) -> Option<Minimized>
 where
     F: FnMut(&[ConcreteInput]) -> Option<(ObservedOutput, ObservedOutput)>,
 {
@@ -120,7 +135,7 @@ where
     let mut current = inputs.to_vec();
     loop {
         let mut progressed = false;
-        for (idx, span) in groups(&current, free) {
+        for (idx, span) in groups(&current, free, spans) {
             let Some(candidate) = zeroed(&current, idx, &span) else {
                 continue; // span already all-zero
             };
@@ -185,6 +200,11 @@ mod tests {
         (b[9] != 0 || (b[8] != 0 && b[10] != 0)).then(|| (out(), out()))
     }
 
+    /// Synthetic field partition: one span over the free payload.
+    fn spans(_: &[u8]) -> Vec<(usize, usize)> {
+        vec![(8, 12)]
+    }
+
     fn start() -> (Vec<ConcreteInput>, Vec<Vec<usize>>) {
         let mut bytes = vec![1, 20, 0, 12, 0, 0, 0, 0, 7, 9, 3, 5];
         bytes[3] = 12;
@@ -197,7 +217,7 @@ mod tests {
     #[test]
     fn reaches_a_one_minimal_core() {
         let (inputs, free) = start();
-        let m = minimize(&inputs, &free, oracle).expect("diverges");
+        let m = minimize(&inputs, &free, &spans, oracle).expect("diverges");
         let ConcreteInput::Message(b) = &m.inputs[0] else {
             panic!()
         };
@@ -212,8 +232,8 @@ mod tests {
     #[test]
     fn is_idempotent() {
         let (inputs, free) = start();
-        let once = minimize(&inputs, &free, oracle).unwrap();
-        let twice = minimize(&once.inputs, &free, oracle).unwrap();
+        let once = minimize(&inputs, &free, &spans, oracle).unwrap();
+        let twice = minimize(&once.inputs, &free, &spans, oracle).unwrap();
         assert_eq!(once.inputs, twice.inputs);
     }
 
@@ -222,6 +242,6 @@ mod tests {
         let inputs = vec![ConcreteInput::Message(vec![
             1, 20, 0, 12, 0, 0, 0, 0, 0, 0, 0, 0,
         ])];
-        assert!(minimize(&inputs, &[vec![8, 9, 10, 11]], oracle).is_none());
+        assert!(minimize(&inputs, &[vec![8, 9, 10, 11]], &spans, oracle).is_none());
     }
 }

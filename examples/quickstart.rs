@@ -11,7 +11,7 @@
 use soft::core::{crosscheck, group_paths, CrosscheckConfig};
 use soft::harness::{ObservedOutput, PathRecord};
 use soft::openflow::consts::port::OFPP_CONTROLLER;
-use soft::openflow::TraceEvent;
+use soft::protocol::TraceEvent;
 use soft::smt::Term;
 use soft::sym::{explore, ExecCtx, ExplorerConfig, RunEnd, SymBuf};
 
@@ -75,7 +75,7 @@ where
                 constraint_size: soft::smt::metrics::op_count(&condition),
                 condition,
                 output: ObservedOutput {
-                    events: soft::openflow::normalize_trace(&p.trace),
+                    events: soft::protocol::normalize_trace(&p.trace),
                     crashed: false,
                 },
             }

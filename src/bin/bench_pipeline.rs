@@ -191,8 +191,8 @@ fn streaming_flow(
     incremental: bool,
 ) -> Result<(), String> {
     let cfg = SessionConfig {
-        agent_a: AgentKind::Reference,
-        agent_b: AgentKind::OpenVSwitch,
+        agent_a: AgentKind::Reference.into(),
+        agent_b: AgentKind::OpenVSwitch.into(),
         tests: tests.to_vec(),
         jobs,
         seed,

@@ -17,18 +17,20 @@
 //! ```
 
 use soft::conform::{
-    loopback_self_test, run_conform, ConformReport, Connector, ExitClass, FaultyConnector,
-    LoopbackDut, ReplayConfig, TcpConnector, Verdict,
+    loopback_self_test_with, run_conform_with, ConformReport, Connector, ExitClass,
+    FaultyConnector, LoopbackDut, ReplayConfig, TcpConnector, Verdict,
 };
 use soft::core::report::{classify, dedupe, describe, describe_unverified, reproduce};
 use soft::core::{
     crosscheck_durable, replay, CheckSeeds, CrosscheckConfig, GroupedResults, Soft, VerdictSink,
 };
+use soft::fleet::job::{agent_by_name, protocol_by_id};
 use soft::harness::json::Json;
 use soft::harness::{
     atomic_write, check_fingerprint, run_matrix, run_matrix_durable, run_test_durable, suite,
     CheckJournal, DurableRun, TestCase, TestRunFile,
 };
+use soft::protocol::Protocol;
 use soft::smt::{SatResult, SolverBudget};
 use soft::witness::{
     distill, reproduce_corpus, Corpus, CorpusEntry, DistillConfig, Status, DEFAULT_SEED,
@@ -73,9 +75,35 @@ fn parse_agent(s: &str) -> Option<AgentKind> {
     }
 }
 
+/// Resolve `--protocol` (default `of10`) against the registry.
+fn parse_protocol(cmd: &str, args: &[String]) -> Result<&'static dyn Protocol, ExitCode> {
+    let id = flag_value(args, "--protocol").unwrap_or_else(|| "of10".to_string());
+    protocol_by_id(&id).ok_or_else(|| {
+        eprintln!("{cmd}: unknown --protocol '{id}' (known: of10, tlv)");
+        usage()
+    })
+}
+
+/// Resolve the protocol a corpus file records (absent field = OpenFlow).
+fn corpus_protocol(cmd: &str, corpus: &Corpus) -> Result<&'static dyn Protocol, ExitCode> {
+    protocol_by_id(&corpus.protocol).ok_or_else(|| {
+        eprintln!(
+            "{cmd}: corpus speaks unknown protocol '{}' (this build knows: of10, tlv)",
+            corpus.protocol
+        );
+        ExitCode::FAILURE
+    })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  soft tests\n  soft run --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft route --backends HOST:PORT,HOST:PORT,... [--port N] [--vnodes N] [--replicas N] [--addr-file FILE]\n  soft fleet (--addr HOST:PORT | --addr-file FILE) [--json FILE]\n  soft conform <corpus.json> (--addr HOST:PORT | --self-test) [--retries N] [--op-timeout-ms N] [--fault-seed S]... [--seed S] [--json FILE]\n  soft conform-dut --agent <reference|ovs|modified|panicky> [--port N]\n  soft submit (--addr HOST:PORT | --store DIR) --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status [--json FILE] | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nroute runs the fleet front-end on 127.0.0.1: submit speaks to it\nexactly as to a single daemon, while jobs shard over the --backends\nlist via a consistent-hash ring (--vnodes virtual nodes each). Jobs\nqueued on a saturated back-end are work-stolen to idle replicas;\npublished results are pushed to --replicas ring successors, so a\nback-end killed mid-job degrades to a re-routed solve and an\nunchanged re-audit is answered from any surviving replica. Duplicate\nsubmissions coalesce fleet-wide. fleet prints the router's topology\nand health view; --drain at the router drains every back-end.\n\nconform replays a witness corpus OVER THE WIRE, OFTest-style: it dials\nthe DUT's OpenFlow 1.0 control channel (--addr), performs the\nHELLO/FEATURES handshake with an echo keepalive, replays every witness\nbehind a sentinel barrier, and classifies the DUT per root-cause\ncluster as reference-like, ovs-like, or novel. Transport is\nfault-tolerant: per-operation deadlines, jittered-backoff retries on\nfresh connections (--retries, --op-timeout-ms), and explicit degraded\nverdicts — flaky (connected but never completed, full error chain\nrecorded) and unreachable (never connected). --self-test serves both\ncorpus agents behind loopback listeners and requires correct\nclassification of each; every --fault-seed re-runs through a\ndeterministic splitmix64 fault injector (torn frames, truncation,\nstalls, resets, reordered echoes) and requires verdicts byte-identical\nto the clean run. conform-dut serves one agent on a TCP port for\nexternal harnesses.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated;\n{EXIT_UNREACHABLE} conformance DUT unreachable.\n\nResults are identical for every --jobs value; only wall-clock changes."
+        "usage:\n  soft tests [--protocol of10|tlv]\n  soft run [--protocol of10|tlv] --agents <a>,<b> --test <id|all> [--out PREFIX] [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--no-incremental] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft phase1 --agent <reference|ovs|modified|panicky|all> --test <id|all> --out <file-or-prefix> [--jobs N] [--seed S] [--solver-budget N] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft check <a.json> <b.json> [--jobs N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft report <a.json> <b.json> [--replay] [--json FILE] [--seed S] [--solver-budget N] [--retry-unknown RUNGS]\n  soft distill <a.json> <b.json> --out <corpus.json> [--jobs N] [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--journal FILE|--no-journal] [--resume] [--no-fsync]\n  soft repro <corpus.json> [--jobs N]\n  soft regress <baseline.json> <candidate.json>\n  soft serve --store DIR [--port N] [--jobs N] [--no-fsync]\n  soft route --backends HOST:PORT,HOST:PORT,... [--port N] [--vnodes N] [--replicas N] [--addr-file FILE]\n  soft fleet (--addr HOST:PORT | --addr-file FILE) [--json FILE]\n  soft conform <corpus.json> (--addr HOST:PORT | --self-test) [--retries N] [--op-timeout-ms N] [--fault-seed S]... [--seed S] [--json FILE]\n  soft conform-dut [--protocol of10|tlv] --agent <id> [--port N]\n  soft submit (--addr HOST:PORT | --store DIR) [--protocol of10|tlv] --agents <a>,<b> --test <id> [--seed S] [--fuzz N] [--solver-budget N] [--retry-unknown RUNGS] [--fp-a HEX] [--fp-b HEX] [--out PREFIX] [--json FILE]\n  soft submit (--addr HOST:PORT | --store DIR) (--status [--json FILE] | --drain)\n\nserve runs a continuously-incremental audit daemon on 127.0.0.1: jobs\narrive over a framed-JSON TCP socket (the bound address is printed and\npublished at <store>/addr), shard across a bounded worker pool, and\nland in a persistent content-addressed store. Re-submitting an\nunchanged job is answered from the store with zero solver queries and\nbyte-identical artifacts; after an agent changes, the stored run seeds\na diff that re-solves only the impacted group pairs. SIGTERM drains\ngracefully (a second SIGTERM exits at once); accepted-but-unfinished\njobs recover from their journals on restart. submit sends one job (or\n--status/--drain) and exits with the usual verdict codes; report\n--json --store DIR embeds the daemon's counters.\n\nroute runs the fleet front-end on 127.0.0.1: submit speaks to it\nexactly as to a single daemon, while jobs shard over the --backends\nlist via a consistent-hash ring (--vnodes virtual nodes each). Jobs\nqueued on a saturated back-end are work-stolen to idle replicas;\npublished results are pushed to --replicas ring successors, so a\nback-end killed mid-job degrades to a re-routed solve and an\nunchanged re-audit is answered from any surviving replica. Duplicate\nsubmissions coalesce fleet-wide. fleet prints the router's topology\nand health view; --drain at the router drains every back-end.\n\nconform replays a witness corpus OVER THE WIRE, OFTest-style: it dials\nthe DUT's OpenFlow 1.0 control channel (--addr), performs the\nHELLO/FEATURES handshake with an echo keepalive, replays every witness\nbehind a sentinel barrier, and classifies the DUT per root-cause\ncluster as reference-like, ovs-like, or novel. Transport is\nfault-tolerant: per-operation deadlines, jittered-backoff retries on\nfresh connections (--retries, --op-timeout-ms), and explicit degraded\nverdicts — flaky (connected but never completed, full error chain\nrecorded) and unreachable (never connected). --self-test serves both\ncorpus agents behind loopback listeners and requires correct\nclassification of each; every --fault-seed re-runs through a\ndeterministic splitmix64 fault injector (torn frames, truncation,\nstalls, resets, reordered echoes) and requires verdicts byte-identical\nto the clean run. conform-dut serves one agent on a TCP port for\nexternal harnesses.\n\nrun streams the whole pipeline — explore, group, crosscheck, distill —\nthrough one session: solver work overlaps exploration, witnesses distill\nas verdicts land, and one journal (<out>session.wal) covers everything so\n--resume continues mid-pipeline. It publishes the same artifacts the\nphased commands would (<out><agent>_<test>.json, <out>corpus_<test>.json),\nbyte-identical modulo recorded wall-clock.\n\n--solver-budget caps the SAT conflicts spent per solver query; exhausted\nqueries degrade to Unknown (reported, never misclassified).\n--retry-unknown re-solves Unknown pairs under geometrically escalated\nbudgets (x4 per rung) before reporting them unverified.\n--no-incremental disables the per-test incremental solver contexts\n(assumption probes, CNF caching, UNSAT-core pruning); artifacts are\nbyte-identical either way — the flag is a speed lever for comparison.\n--protocol selects the protocol under audit (default of10, the
+OpenFlow 1.0 models). tlv is a compact tag-length-value echo/handshake
+protocol with two intentionally divergent agents (strict, lenient) that
+exercises the same explore/group/crosscheck/distill kernel end to end.
+Corpora record their protocol, so repro and conform need no flag.
+
+--seed sets the base seed for every pseudo-random choice (exploration\nstrategies and the distill fuzzer); default 0x50F7. Same seed, same bytes.\n\ndistill turns crosscheck witnesses into a standalone corpus of minimal,\nclustered, wire-format reproductions (--fuzz N mutants per witness,\ndefault 4); repro replays a corpus and exits {EXIT_INCONSISTENT} if any confirmed\nwitness no longer reproduces its recorded divergence.\n\nDurability: run, phase1, check and distill write a write-ahead journal\nnext to their output (<out>.wal / <a>.check.wal unless --journal\noverrides) and publish artifacts atomically; --resume continues an\ninterrupted run from the journal, producing byte-identical artifacts for\nany --jobs value. --no-fsync trades crash durability for speed.\n\nexit codes: 0 clean; 1 usage or I/O error; {EXIT_INCONSISTENT} inconsistencies found;\n{EXIT_UNVERIFIED} pairs left unverified by the solver budget; {EXIT_TRUNCATED} exploration truncated;\n{EXIT_UNREACHABLE} conformance DUT unreachable.\n\nResults are identical for every --jobs value; only wall-clock changes."
     );
     ExitCode::FAILURE
 }
@@ -228,9 +256,13 @@ fn common_args(cmd: &str, args: &[String]) -> Result<CommonArgs, ExitCode> {
     })
 }
 
-fn cmd_tests() -> ExitCode {
+fn cmd_tests(args: &[String]) -> ExitCode {
+    let proto = match parse_protocol("tests", args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     println!("{:<20} {:<4} description", "id", "#in");
-    for t in all_tests() {
+    for t in proto.tests() {
         println!("{:<20} {:<4} {}", t.id, t.inputs.len(), t.description);
     }
     ExitCode::SUCCESS
@@ -415,6 +447,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(code) => return code,
     };
+    let proto = match parse_protocol("run", args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let Some(agents_arg) = flag_value(args, "--agents") else {
         eprintln!("run: missing --agents (e.g. --agents reference,ovs)");
         return usage();
@@ -424,13 +460,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("run: --agents takes exactly two comma-separated agents, got '{agents_arg}'");
         return usage();
     }
-    let (Some(agent_a), Some(agent_b)) = (parse_agent(parts[0]), parse_agent(parts[1])) else {
-        eprintln!("run: unknown agent in --agents '{agents_arg}'");
+    let (Some(agent_a), Some(agent_b)) = (
+        agent_by_name(proto, parts[0]),
+        agent_by_name(proto, parts[1]),
+    ) else {
+        eprintln!(
+            "run: unknown agent in --agents '{agents_arg}' (protocol {}, known: {})",
+            proto.id(),
+            proto.agent_ids().join(", ")
+        );
         return usage();
     };
     let tests: Vec<TestCase> = match flag_value(args, "--test").as_deref() {
-        Some("all") => all_tests(),
-        Some(t) => match find_test(t) {
+        Some("all") => proto.tests(),
+        Some(t) => match proto.find_test(t) {
             Some(tc) => vec![tc],
             None => {
                 eprintln!("run: unknown --test '{t}' (see `soft tests`)");
@@ -613,6 +656,7 @@ fn positional(args: &[String]) -> Vec<&String> {
         if args[i] == "--jobs"
             || args[i] == "--agent"
             || args[i] == "--agents"
+            || args[i] == "--protocol"
             || args[i] == "--test"
             || args[i] == "--out"
             || args[i] == "--solver-budget"
@@ -1114,10 +1158,19 @@ fn cmd_repro(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (Some(a), Some(b)) = (parse_agent(&corpus.agent_a), parse_agent(&corpus.agent_b)) else {
+    let proto = match corpus_protocol("repro", &corpus) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let (Some(a), Some(b)) = (
+        agent_by_name(proto, &corpus.agent_a),
+        agent_by_name(proto, &corpus.agent_b),
+    ) else {
         eprintln!(
-            "repro: unknown agent ids '{}'/'{}' in corpus",
-            corpus.agent_a, corpus.agent_b
+            "repro: unknown agent ids '{}'/'{}' in corpus (protocol {})",
+            corpus.agent_a,
+            corpus.agent_b,
+            proto.id()
         );
         return ExitCode::FAILURE;
     };
@@ -1273,9 +1326,13 @@ fn cmd_conform(args: &[String]) -> ExitCode {
     }
     let self_test = args.iter().any(|a| a == "--self-test");
     let addr = flag_value(args, "--addr");
+    let proto = match corpus_protocol("conform", &corpus) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
 
     if self_test && addr.is_none() {
-        let st = match loopback_self_test(&corpus, &fault_seeds, &cfg) {
+        let st = match loopback_self_test_with(proto, &corpus, &fault_seeds, &cfg) {
             Ok(st) => st,
             Err(e) => {
                 eprintln!("conform: self-test: {e}");
@@ -1321,7 +1378,7 @@ fn cmd_conform(args: &[String]) -> ExitCode {
     }
     let connect_timeout = cfg.op_timeout.max(std::time::Duration::from_secs(1));
     let mut conn = TcpConnector::new(&addr, connect_timeout);
-    let report = match run_conform(&corpus, &mut conn, &cfg) {
+    let report = match run_conform_with(proto, &corpus, &mut conn, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("conform: {e}");
@@ -1333,8 +1390,8 @@ fn cmd_conform(args: &[String]) -> ExitCode {
     let mut mismatch = false;
     for &seed in &fault_seeds {
         let inner: Box<dyn Connector> = Box::new(TcpConnector::new(&addr, connect_timeout));
-        let mut faulty = FaultyConnector::new(inner, seed);
-        match run_conform(&corpus, &mut faulty, &cfg) {
+        let mut faulty = FaultyConnector::with_dialect(inner, seed, proto.dialect());
+        match run_conform_with(proto, &corpus, &mut faulty, &cfg) {
             Ok(r2) if r2.verdict_fingerprint() == report.verdict_fingerprint() => {
                 println!("conform: fault seed {seed:#x} reproduced the clean verdicts exactly");
             }
@@ -1368,12 +1425,20 @@ fn cmd_conform(args: &[String]) -> ExitCode {
 }
 
 fn cmd_conform_dut(args: &[String]) -> ExitCode {
+    let proto = match parse_protocol("conform-dut", args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let Some(agent_str) = flag_value(args, "--agent") else {
         eprintln!("conform-dut: --agent is required");
         return usage();
     };
-    let Some(kind) = parse_agent(&agent_str) else {
-        eprintln!("conform-dut: unknown agent '{agent_str}'");
+    let Some(kind) = agent_by_name(proto, &agent_str) else {
+        eprintln!(
+            "conform-dut: unknown agent '{agent_str}' (protocol {}, known: {})",
+            proto.id(),
+            proto.agent_ids().join(", ")
+        );
         return usage();
     };
     let port: u16 = match flag_value(args, "--port") {
@@ -1555,24 +1620,36 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(code) => return code,
     };
+    let proto = match parse_protocol("submit", args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let Some(agents_arg) = flag_value(args, "--agents") else {
         eprintln!("submit: missing --agents (e.g. --agents reference,ovs)");
         return usage();
     };
     let parts: Vec<&str> = agents_arg.split(',').collect();
-    if parts.len() != 2 || parse_agent(parts[0]).is_none() || parse_agent(parts[1]).is_none() {
-        eprintln!("submit: --agents takes two known agents, got '{agents_arg}'");
+    if parts.len() != 2
+        || agent_by_name(proto, parts[0]).is_none()
+        || agent_by_name(proto, parts[1]).is_none()
+    {
+        eprintln!(
+            "submit: --agents takes two known agents, got '{agents_arg}' (protocol {}, known: {})",
+            proto.id(),
+            proto.agent_ids().join(", ")
+        );
         return usage();
     }
     let Some(test) = flag_value(args, "--test") else {
         eprintln!("submit: missing --test");
         return usage();
     };
-    if find_test(&test).is_none() {
+    if proto.find_test(&test).is_none() {
         eprintln!("submit: unknown --test '{test}' (see `soft tests`)");
         return usage();
     }
     let spec = soft::harness::JobSpec {
+        protocol: proto.id().to_string(),
         agent_a: parts[0].to_string(),
         agent_b: parts[1].to_string(),
         test,
@@ -1766,7 +1843,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("tests") => cmd_tests(),
+        Some("tests") => cmd_tests(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("route") => cmd_route(&args[1..]),

@@ -22,8 +22,10 @@ pub use soft_dataplane as dataplane;
 pub use soft_fleet as fleet;
 pub use soft_harness as harness;
 pub use soft_openflow as openflow;
+pub use soft_protocol as protocol;
 pub use soft_smt as smt;
 pub use soft_sym as sym;
+pub use soft_tlv as tlv;
 pub use soft_witness as witness;
 
 pub use soft_agents::AgentKind;

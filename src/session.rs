@@ -33,7 +33,6 @@
 //! corpus verbatim, finished paths replay concretely, decided verdicts
 //! seed the crosscheck, and only the genuinely unfinished work re-runs.
 
-use soft_agents::AgentKind;
 use soft_core::{
     condition_diff, crosscheck_hooked, CheckHooks, CheckScheduler, CheckSeeds, CrosscheckConfig,
     GroupBuilder, GroupedResults, Inconsistency, Probe, Soft, TreeShape, VerdictSink,
@@ -44,7 +43,7 @@ use soft_harness::journal::{
 };
 use soft_harness::json::Json;
 use soft_harness::{record_path, TestCase, TestRun, TestRunFile};
-use soft_openflow::TraceEvent;
+use soft_protocol::{AgentRef, TraceEvent};
 use soft_smt::{SatResult, SolverBudget};
 use soft_sym::{ExplorerConfig, StreamSink, StreamedPath, TeeSink};
 use soft_witness::{assemble, draft_witness, DistillConfig, WitnessDraft};
@@ -70,9 +69,9 @@ const STREAM_CAPACITY: usize = 256;
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// First agent under test.
-    pub agent_a: AgentKind,
+    pub agent_a: AgentRef,
     /// Second agent under test.
-    pub agent_b: AgentKind,
+    pub agent_b: AgentRef,
     /// Tests to run, in order.
     pub tests: Vec<TestCase>,
     /// Total worker threads, split across exploration, probing, and the
@@ -331,8 +330,8 @@ struct EagerSink<'a> {
     test: &'a TestCase,
     grouped_a: &'a GroupedResults,
     grouped_b: &'a GroupedResults,
-    agent_a: AgentKind,
-    agent_b: AgentKind,
+    agent_a: AgentRef,
+    agent_b: AgentRef,
     drafts: &'a DraftMap,
     /// Every canonically delivered verdict, collected for the session
     /// report (the serve store persists them). Seeded pairs are not
@@ -434,7 +433,7 @@ fn run_one_test(
     ));
     let queue = ProbeQueue::new();
 
-    let explore_side = |agent: AgentKind,
+    let explore_side = |agent: AgentRef,
                         unit: usize,
                         sink: StreamSink<TraceEvent>|
      -> Result<TestRun, String> {

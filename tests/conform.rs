@@ -40,6 +40,7 @@ fn test_corpus() -> Corpus {
     unframable[3] = 200; // length field disagrees with the byte count
 
     Corpus {
+        protocol: "of10".into(),
         test: "conform-e2e".into(),
         agent_a: "reference".into(),
         agent_b: "ovs".into(),

@@ -6,7 +6,7 @@
 use soft::core::report::{classify, DivergenceKind};
 use soft::core::{group_paths, CrosscheckConfig, Soft};
 use soft::harness::{run_test, suite, ObservedOutput, PathRecord, TestRunFile};
-use soft::openflow::TraceEvent;
+use soft::protocol::TraceEvent;
 use soft::smt::{SatResult, Solver, SolverBudget, Term, VerdictCache};
 use soft::sym::ExplorerConfig;
 use soft::AgentKind;

@@ -95,6 +95,7 @@ fn spawn_router(backends: &[String], addr_file: &PathBuf) -> (Child, String) {
 
 fn job(test: &str, seed: u64) -> JobSpec {
     JobSpec {
+        protocol: "of10".to_string(),
         agent_a: "reference".to_string(),
         agent_b: "ovs".to_string(),
         test: test.to_string(),

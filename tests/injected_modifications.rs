@@ -9,7 +9,7 @@ use soft::core::report::dedupe;
 use soft::core::{Inconsistency, Soft};
 use soft::harness::suite;
 use soft::openflow::consts::{bad_action, error_type};
-use soft::openflow::TraceEvent;
+use soft::protocol::TraceEvent;
 use soft::AgentKind;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};

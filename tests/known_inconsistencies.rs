@@ -9,7 +9,7 @@ use soft::core::report::{classify, dedupe, describe, DivergenceKind};
 use soft::core::{Inconsistency, Soft};
 use soft::harness::suite;
 use soft::openflow::consts::{bad_action, bad_request, error_type, port as ofpp};
-use soft::openflow::TraceEvent;
+use soft::protocol::TraceEvent;
 use soft::AgentKind;
 
 /// Run (and memoize) the Reference-vs-OVS pair report for a test: many

@@ -74,6 +74,7 @@ fn spawn_daemon(store: &PathBuf) -> (Child, String) {
 
 fn job() -> JobSpec {
     JobSpec {
+        protocol: "of10".to_string(),
         agent_a: "reference".to_string(),
         agent_b: "ovs".to_string(),
         test: "queue_config".to_string(),
@@ -298,8 +299,8 @@ fn baseline_diff_reruns_only_impacted_pairs() {
         let dir = temp_dir(tag);
         let prefix = format!("{}/", dir.display());
         let cfg = SessionConfig {
-            agent_a: AgentKind::OpenVSwitch,
-            agent_b,
+            agent_a: AgentKind::OpenVSwitch.into(),
+            agent_b: agent_b.into(),
             tests: vec![soft::suite::packet_out()],
             jobs: 2,
             seed: 0x50F7,
@@ -426,6 +427,85 @@ fn status_json_matches_persisted_stats() {
         snapshot, stats,
         "status reply and serve_stats.json must report one counter set"
     );
+    let _ = fs::remove_dir_all(&store);
+}
+
+/// One daemon serves jobs of both protocols: an OpenFlow audit and a
+/// TLV audit land in the same store under distinct keys (the job key
+/// folds the protocol id), both produce confirmed-witness corpora, and
+/// each resubmission is answered from the store.
+#[test]
+fn one_daemon_serves_both_protocols() {
+    let store = temp_dir("dualproto");
+    let (mut child, addr) = spawn_daemon(&store);
+    let result = std::panic::catch_unwind(|| {
+        let tlv_job = JobSpec {
+            protocol: "tlv".to_string(),
+            agent_a: "strict".to_string(),
+            agent_b: "lenient".to_string(),
+            test: "echo".to_string(),
+            seed: 0x50F7,
+            budget_conflicts: None,
+            fuzz: 2,
+            retry_rungs: 0,
+            fp_a: None,
+            fp_b: None,
+        };
+        let of_reply = submit(&addr, &job());
+        let tlv_reply = submit(&addr, &tlv_job);
+        for (name, reply) in [("of10", &of_reply), ("tlv", &tlv_reply)] {
+            assert_eq!(
+                reply.field("store_hit").and_then(Json::as_bool),
+                Ok(false),
+                "{name}: first submission must solve, not hit"
+            );
+            let summary = reply.field("summary").expect("summary");
+            assert!(
+                u64_field(summary, "confirmed") > 0,
+                "{name}: expected a confirmed witness"
+            );
+        }
+        // The two corpora speak different protocols — and say so.
+        assert!(!str_field(&of_reply, "corpus").contains("\"protocol\""));
+        assert!(str_field(&tlv_reply, "corpus").contains("\"protocol\":\"tlv\""));
+        // Same daemon, same store: both jobs replay as store hits with
+        // byte-identical artifacts.
+        for (name, spec, first) in [
+            ("of10", job(), &of_reply),
+            ("tlv", tlv_job.clone(), &tlv_reply),
+        ] {
+            let again = submit(&addr, &spec);
+            assert_eq!(
+                again.field("store_hit").and_then(Json::as_bool),
+                Ok(true),
+                "{name}: resubmission must be a store hit"
+            );
+            assert_eq!(
+                str_field(&again, "corpus"),
+                str_field(first, "corpus"),
+                "{name}: store hit must return the published bytes"
+            );
+        }
+        let ack = soft::serve::request(&addr, &soft::harness::proto::drain_request())
+            .expect("drain request");
+        assert_eq!(ack.field("type").and_then(Json::as_str), Ok("draining"));
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("wait daemon") {
+            Some(st) => break Some(st),
+            None if Instant::now() >= deadline => break None,
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    if result.is_err() || status.is_none() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+    assert!(status.expect("daemon failed to drain").success());
     let _ = fs::remove_dir_all(&store);
 }
 

@@ -92,8 +92,8 @@ fn streaming(tag: &str, seed: u64, jobs: usize, incremental: bool) -> (String, S
     let dir = temp_dir(tag);
     let prefix = format!("{}/", dir.display());
     let cfg = SessionConfig {
-        agent_a: AgentKind::Reference,
-        agent_b: AgentKind::OpenVSwitch,
+        agent_a: AgentKind::Reference.into(),
+        agent_b: AgentKind::OpenVSwitch.into(),
         tests: vec![suite::queue_config()],
         jobs,
         seed,
@@ -226,8 +226,8 @@ fn starved_session_is_clean_and_deterministic() {
         let dir = temp_dir(tag);
         let prefix = format!("{}/", dir.display());
         let cfg = SessionConfig {
-            agent_a: AgentKind::Reference,
-            agent_b: AgentKind::OpenVSwitch,
+            agent_a: AgentKind::Reference.into(),
+            agent_b: AgentKind::OpenVSwitch.into(),
             tests: vec![suite::queue_config()],
             jobs,
             seed: 1,

@@ -9,7 +9,7 @@
 use soft::core::Soft;
 use soft::harness::suite;
 use soft::openflow::consts::msg_type;
-use soft::openflow::TraceEvent;
+use soft::protocol::TraceEvent;
 use soft::AgentKind;
 
 fn flow_removed_count(o: &soft::harness::ObservedOutput) -> usize {

@@ -69,7 +69,7 @@ fn symbolizing_output_ports_finds_the_port_validation_divergence() {
     // At least one divergence must be port-validation shaped: reference
     // forwards, OVS errors (or NORMAL-forwarding asymmetry).
     let found = pair.result.inconsistencies.iter().any(|i| {
-        use soft::openflow::TraceEvent;
+        use soft::protocol::TraceEvent;
         let fwd = |o: &soft::harness::ObservedOutput| {
             o.events.iter().any(|e| {
                 matches!(
@@ -116,7 +116,7 @@ fn symbolizing_timeouts_with_clock_reaches_expiry_behaviour() {
             p.output.events.iter().any(|e| {
                 matches!(
                     e,
-                    soft::openflow::TraceEvent::OfReply { msg_type: 11, .. } // FLOW_REMOVED
+                    soft::protocol::TraceEvent::OfReply { msg_type: 11, .. } // FLOW_REMOVED
                 )
             })
         })

@@ -171,7 +171,9 @@ fn minimization_is_idempotent_and_divergence_preserving() {
         if !entry.is_confirmed() {
             continue;
         }
-        let again = minimize(&entry.inputs, &free, out).expect("still diverges");
+        let spans =
+            |bytes: &[u8]| soft::protocol::Protocol::message_spans(&soft::agents::OF10, bytes);
+        let again = minimize(&entry.inputs, &free, &spans, out).expect("still diverges");
         assert_eq!(
             again.inputs, entry.inputs,
             "minimization must be idempotent"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Lint gate: the kernel crates must stay protocol-agnostic.
+#
+# The Protocol trait (DESIGN.md, "Protocol abstraction") only holds if
+# the explore/group/crosscheck/distill kernel never reaches around it:
+# `crates/sym`, `crates/smt`, `crates/core` and `crates/witness` may
+# depend on `soft-protocol` (the trait) but never on a concrete protocol
+# implementation (`soft-openflow`, `soft-agents`, `soft-tlv`). Two
+# checks enforce that:
+#
+#  1. Cargo level: the crates' `[dependencies]` sections must not list a
+#     concrete protocol crate. `[dev-dependencies]` are exempt — kernel
+#     tests legitimately use the OpenFlow agents as oracles.
+#  2. Source level: non-test, non-comment code must not name
+#     `soft_openflow::` / `soft_agents::` / `soft_tlv::` paths (doc
+#     comments may; by repo convention test modules are a single
+#     trailing `mod tests` block per file).
+set -u
+
+KERNEL_CRATES="sym smt core witness"
+CONCRETE_DEPS='soft-openflow|soft-agents|soft-tlv'
+CONCRETE_PATHS='soft_openflow::|soft_agents::|soft_tlv::'
+fail=0
+
+for c in $KERNEL_CRATES; do
+    manifest="crates/$c/Cargo.toml"
+    # Check only the [dependencies] table: cut the manifest at it, then
+    # cut again at the next section header.
+    hits=$(sed -n '/^\[dependencies\]/,/^\[/p' "$manifest" \
+        | grep -E "^(${CONCRETE_DEPS}) *=|^(${CONCRETE_DEPS})\." || true)
+    if [ -n "$hits" ]; then
+        echo "$manifest: concrete protocol crate in [dependencies]:"
+        echo "$hits" | sed 's/^/  /'
+        fail=1
+    fi
+
+    for f in crates/"$c"/src/*.rs; do
+        # Strip test modules (everything from the first #[cfg(test)] on)
+        # and comment lines, then look for concrete protocol paths.
+        hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
+            | grep -nE "$CONCRETE_PATHS" \
+            | grep -vE '^\s*[0-9]+:\s*//' || true)
+        if [ -n "$hits" ]; then
+            echo "$f: concrete protocol reference in kernel code:"
+            echo "$hits" | sed 's/^/  /'
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "Route protocol specifics through the Protocol trait (see DESIGN.md, \"Protocol abstraction\")."
+    exit 1
+fi
+echo "protocol-layering lint OK: kernel crates are protocol-agnostic"
